@@ -1,0 +1,165 @@
+// Blocking / scalability extension (the paper's "efficient large-scale
+// fuzzy linking" future work): measures the candidate-reduction vs
+// recall trade-off of the BlockingIndex, and end-to-end speedup when
+// FTL queries only evaluate blocking survivors.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "ftl/ftl.h"
+
+namespace {
+
+using namespace ftl;
+
+struct BlockedRun {
+  double recall = 0.0;        // true match survives blocking
+  double reduction = 0.0;     // surviving fraction of candidates
+  double perceptiveness = 0.0;
+  double seconds = 0.0;
+};
+
+BlockedRun RunBlocked(const sim::DatasetPair& pair,
+                      const eval::Workload& workload,
+                      const core::FtlEngine& engine,
+                      const core::BlockingOptions* blocking) {
+  BlockedRun out;
+  std::unique_ptr<core::BlockingIndex> index;
+  if (blocking != nullptr) {
+    index = std::make_unique<core::BlockingIndex>(pair.q, *blocking);
+  }
+  Stopwatch sw;
+  size_t survivors_total = 0, recall_hits = 0, percept_hits = 0;
+  for (size_t qi = 0; qi < workload.queries.size(); ++qi) {
+    const auto& query = workload.queries[qi];
+    std::vector<size_t> survivors;
+    if (index) {
+      survivors = index->Candidates(query);
+    } else {
+      survivors.resize(pair.q.size());
+      for (size_t i = 0; i < pair.q.size(); ++i) survivors[i] = i;
+    }
+    survivors_total += survivors.size();
+    for (size_t ci : survivors) {
+      if (pair.q[ci].owner() == workload.owners[qi]) {
+        ++recall_hits;
+        break;
+      }
+    }
+    auto r = engine.QueryWithCandidates(query, pair.q, survivors,
+                                        core::Matcher::kNaiveBayes);
+    if (!r.ok()) continue;
+    for (const auto& c : r.value().candidates) {
+      if (pair.q[c.index].owner() == workload.owners[qi]) {
+        ++percept_hits;
+        break;
+      }
+    }
+  }
+  out.seconds = sw.ElapsedSeconds();
+  double nq = static_cast<double>(workload.queries.size());
+  out.recall = static_cast<double>(recall_hits) / nq;
+  out.reduction = static_cast<double>(survivors_total) /
+                  (nq * static_cast<double>(pair.q.size()));
+  out.perceptiveness = static_cast<double>(percept_hits) / nq;
+  return out;
+}
+
+}  // namespace
+
+void RunScenario(const char* title, const sim::DatasetPair& pair) {
+  core::EngineOptions eo;
+  eo.training.horizon_units = 60;
+  eo.naive_bayes.phi_r = 0.01;
+  core::FtlEngine engine(eo);
+  Status st = engine.Train(pair.p, pair.q);
+  if (!st.ok()) {
+    std::printf("%s: training failed: %s\n", title,
+                st.ToString().c_str());
+    return;
+  }
+  eval::WorkloadOptions wo;
+  wo.num_queries = bench::NumQueries();
+  wo.seed = bench::BenchSeed() + 9;
+  auto workload = eval::MakeWorkload(pair.p, pair.q, wo);
+
+  std::printf("=== %s ===\n", title);
+  std::printf("%-32s %-8s %-10s %-14s %-8s\n", "configuration", "recall",
+              "kept-frac", "perceptiveness", "seconds");
+  auto none = RunBlocked(pair, workload, engine, nullptr);
+  std::printf("%-32s %-8s %-10.3f %-14.3f %-8.2f\n", "no blocking", "1.000",
+              none.reduction, none.perceptiveness, none.seconds);
+
+  struct Config {
+    const char* name;
+    core::BlockingOptions opts;
+  };
+  std::vector<Config> configs;
+  {
+    core::BlockingOptions t;
+    t.use_spatial = false;
+    configs.push_back({"temporal only (6h slack)", t});
+    core::BlockingOptions s;
+    s.use_temporal = false;
+    configs.push_back({"spatial only (3km, nb=1)", s});
+    core::BlockingOptions both;
+    configs.push_back({"temporal + spatial", both});
+    core::BlockingOptions tight;
+    tight.cell_size_meters = 1500.0;
+    tight.neighborhood = 0;
+    tight.min_shared_cells = 2;
+    tight.temporal_slack_seconds = 0;
+    configs.push_back({"aggressive (1.5km, nb=0, >=2)", tight});
+  }
+  for (const auto& cfg : configs) {
+    auto r = RunBlocked(pair, workload, engine, &cfg.opts);
+    std::printf("%-32s %-8.3f %-10.3f %-14.3f %-8.2f\n", cfg.name,
+                r.recall, r.reduction, r.perceptiveness, r.seconds);
+  }
+  std::printf("\n");
+}
+
+/// Residents with neighbourhood-scale mobility in a large city: the
+/// realistic regime for population-scale linking, where spatial
+/// blocking genuinely discriminates.
+sim::DatasetPair LocalizedPopulationPair() {
+  sim::PopulationOptions po;
+  po.num_persons = bench::NumObjects();
+  po.duration_days = 10;
+  po.cdr_accesses_per_day = 14.0;
+  po.transit_accesses_per_day = 8.0;
+  po.city = sim::BeijingLike();
+  po.city.hotspots.clear();
+  po.waypoints.hotspot_prob = 0.0;
+  po.waypoints.trip_scale_meters = 2500.0;
+  po.waypoints.long_trip_prob = 0.02;
+  po.seed = bench::BenchSeed() + 10;
+  auto data = sim::SimulatePopulation(po);
+  sim::DatasetPair pair;
+  pair.name = "localized-population";
+  pair.p = std::move(data.cdr_db);
+  pair.q = std::move(data.transit_db);
+  return pair;
+}
+
+int main() {
+  std::printf("Blocking study: candidate pruning for large-scale FTL "
+              "(%zu objects, %zu queries)\n\n",
+              bench::NumObjects(), bench::NumQueries());
+
+  RunScenario("Localized residents (neighbourhood mobility)",
+              LocalizedPopulationPair());
+
+  sim::DatasetPair taxis = sim::BuildDataset(
+      sim::FindConfig("SF"), bench::NumObjects(), bench::BenchSeed());
+  RunScenario("City-roaming taxi fleet (SF config)", taxis);
+
+  std::printf(
+      "Reading: for localized residents the spatial blocker keeps\n"
+      "nearly all true matches while evaluating a fraction of the\n"
+      "database. For taxis that sweep the whole city over weeks,\n"
+      "spatial footprints overlap universally and blocking cannot\n"
+      "prune — an honest negative result matching intuition.\n");
+  return 0;
+}

@@ -1,0 +1,35 @@
+#ifndef FTL_BENCH_BENCH_COMMON_H_
+#define FTL_BENCH_BENCH_COMMON_H_
+
+/// \file bench_common.h
+/// Shared knobs for the paper-reproduction harnesses.
+///
+/// The paper's experiments ran against ~15k-taxi databases; these
+/// harnesses default to a few hundred objects so the full suite
+/// completes in minutes while preserving every qualitative shape.
+/// Set FTL_BENCH_SCALE=paper for larger runs.
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace ftl::bench {
+
+/// True when FTL_BENCH_SCALE=paper.
+inline bool PaperScale() {
+  const char* s = std::getenv("FTL_BENCH_SCALE");
+  return s != nullptr && std::strcmp(s, "paper") == 0;
+}
+
+/// Number of moving objects per simulated database.
+inline size_t NumObjects() { return PaperScale() ? 2000 : 250; }
+
+/// Number of queries per workload (paper: 200).
+inline size_t NumQueries() { return PaperScale() ? 200 : 80; }
+
+/// Global seed so every harness is reproducible.
+inline uint64_t BenchSeed() { return 20160501; }
+
+}  // namespace ftl::bench
+
+#endif  // FTL_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,64 @@
+// Reproduces Figure 4: the exact pmf f_X(x) of the number of mutual
+// segments per unit time vs (i) a Poisson with the same mean and (ii)
+// the Poisson approximation with mean E^(X) = 2*lP*lQ/(lP+lQ), for
+// (lP, lQ) = (0.5, 2) and (4, 10). A Monte-Carlo column validates the
+// closed forms.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "ftl/ftl.h"
+
+namespace {
+
+void RunPanel(double lp, double lq, int64_t max_x) {
+  using namespace ftl;
+  std::printf("--- Figure 4 panel: lambda_P=%.1f lambda_Q=%.1f ---\n", lp,
+              lq);
+  auto exact = analysis::MutualSegmentCountPmf(lp, lq, max_x);
+  double mean = 0;
+  for (size_t x = 0; x < exact.size(); ++x) {
+    mean += static_cast<double>(x) * exact[x];
+  }
+  auto pois_same_mean = stats::PoissonPmfVector(mean, max_x);
+  double e_hat = analysis::ApproxExpectedMutualSegments(lp, lq);
+  auto pois_ehat = stats::PoissonPmfVector(e_hat, max_x);
+
+  Rng rng(bench::BenchSeed());
+  auto sim = analysis::SimulateMutualSegmentCounts(&rng, lp, lq, 200000);
+  auto emp = stats::EmpiricalPmf(sim);
+
+  std::printf("E(X) closed form = %.4f   E^(X) approx = %.4f   "
+              "bound 2*min(l) = %.1f\n",
+              analysis::ExpectedMutualSegments(lp, lq), e_hat,
+              analysis::MutualSegmentCountUpperBound(lp, lq));
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"x", "f_X(x)", "Pois(mean)", "Pois(E^)", "simulated"});
+  for (int64_t x = 0; x <= max_x; ++x) {
+    size_t xi = static_cast<size_t>(x);
+    rows.push_back({std::to_string(x), FormatDouble(exact[xi], 4),
+                    FormatDouble(pois_same_mean[xi], 4),
+                    FormatDouble(pois_ehat[xi], 4),
+                    FormatDouble(xi < emp.size() ? emp[xi] : 0.0, 4)});
+  }
+  std::printf("%s", RenderTable(rows).c_str());
+  std::printf("TV(exact, Pois(mean)) = %.4f   TV(exact, Pois(E^)) = %.4f   "
+              "TV(exact, simulated) = %.4f\n\n",
+              stats::TotalVariationDistance(exact, pois_same_mean),
+              stats::TotalVariationDistance(exact, pois_ehat),
+              stats::TotalVariationDistance(exact, emp));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Figure 4 reproduction: f_X(x) vs Poisson approximations\n\n");
+  RunPanel(0.5, 2.0, 5);    // Figure 4(a)
+  RunPanel(4.0, 10.0, 16);  // Figure 4(b)
+  std::printf(
+      "Shape checks vs paper Figure 4: the three curves track each\n"
+      "other; Pois(E^) is biased slightly right; the bias shrinks from\n"
+      "panel (a) to panel (b) as the rates grow.\n");
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Reproduces Figure 5: the perceptiveness-selectiveness trade-off of
+// (a1,a2)-filtering vs Naive-Bayes-matching across the 12 dataset
+// configurations:
+//   (a) Singapore, varying sampling rate   (SA, SB, SC)
+//   (b) Singapore, varying duration        (SD, SE, SF)
+//   (c) T-Drive,  varying sampling rate    (TA, TB, TC)
+//   (d) T-Drive,  varying duration         (TD, TE, TF)
+//
+// For each configuration, pair scores are computed once and the
+// parameter sweeps ((a1,a2) pairs for filtering, phi_r values for NB)
+// are applied afterwards — exactly the protocol of Section VII-B with
+// Vmax = 120 kph.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "ftl/ftl.h"
+
+namespace {
+
+using namespace ftl;
+
+// The sweep grids (the paper labels a1/a2 pairs and phi_r values along
+// the SB curves; exact values are calibrated to produce comparable
+// strictness coverage).
+const std::vector<std::pair<double, double>> kAlphaGrid = {
+    {0.2, 0.001},  {0.1, 0.005}, {0.05, 0.01}, {0.02, 0.05},
+    {0.01, 0.1},   {0.005, 0.2}, {0.001, 0.4}, {0.0005, 0.6},
+};
+const std::vector<double> kPhiGrid = {1e-5, 1e-4, 5e-4, 0.002, 0.005,
+                                      0.02, 0.08,  0.2,  0.4};
+
+void RunConfig(const sim::DatasetConfig& cfg) {
+  sim::DatasetPair pair =
+      sim::BuildDataset(cfg, bench::NumObjects(), bench::BenchSeed());
+
+  core::EngineOptions eo;
+  eo.training.vmax_mps = geo::KphToMps(120.0);
+  eo.training.horizon_units = 60;
+  eo.training.acceptance_pairs_per_db = 1500;
+  eo.num_threads = 4;
+  core::FtlEngine engine(eo);
+  Status st = engine.Train(pair.p, pair.q);
+  if (!st.ok()) {
+    std::printf("%s: training failed: %s\n", cfg.name.c_str(),
+                st.ToString().c_str());
+    return;
+  }
+
+  eval::WorkloadOptions wo;
+  wo.num_queries = bench::NumQueries();
+  wo.seed = bench::BenchSeed() + 1;
+  auto workload = eval::MakeWorkload(pair.p, pair.q, wo);
+  auto scores = eval::ComputePairScores(engine, workload.queries, pair.q);
+
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"algorithm", "setting", "perceptiveness",
+                  "selectiveness", "mean|QP|"});
+  for (auto [a1, a2] : kAlphaGrid) {
+    auto m = eval::MetricsForAlpha(scores, workload.owners, pair.q, a1, a2);
+    rows.push_back({"alpha-" + cfg.name,
+                    "(" + FormatDouble(a1, 4) + "," + FormatDouble(a2, 3) +
+                        ")",
+                    FormatDouble(m.perceptiveness, 3),
+                    FormatDouble(m.selectiveness, 5),
+                    FormatDouble(m.mean_candidates, 1)});
+  }
+  for (double phi : kPhiGrid) {
+    auto m = eval::MetricsForPhi(scores, workload.owners, pair.q, phi);
+    rows.push_back({"n-" + cfg.name, "phi_r=" + FormatDouble(phi, 5),
+                    FormatDouble(m.perceptiveness, 3),
+                    FormatDouble(m.selectiveness, 5),
+                    FormatDouble(m.mean_candidates, 1)});
+  }
+  std::printf("%s", RenderTable(rows).c_str());
+  std::printf("\n");
+}
+
+void RunPanel(const char* title, const std::vector<std::string>& names) {
+  std::printf("=== %s ===\n", title);
+  for (const auto& name : names) RunConfig(sim::FindConfig(name));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Figure 5 reproduction: perceptiveness-selectiveness "
+              "trade-off (%zu objects, %zu queries, Vmax=120kph)\n\n",
+              bench::NumObjects(), bench::NumQueries());
+  RunPanel("Figure 5(a): Singapore, varying sampling rate",
+           {"SA", "SB", "SC"});
+  RunPanel("Figure 5(b): Singapore, varying duration", {"SD", "SE", "SF"});
+  RunPanel("Figure 5(c): T-Drive, varying sampling rate",
+           {"TA", "TB", "TC"});
+  RunPanel("Figure 5(d): T-Drive, varying duration", {"TD", "TE", "TF"});
+  std::printf(
+      "Shape checks vs paper Figure 5:\n"
+      "  * at equal selectiveness, perceptiveness orders SC>SB>SA\n"
+      "    (higher update frequency helps) and SF>SE>SD (longer\n"
+      "    duration helps);\n"
+      "  * Naive-Bayes traces a trade-off at least as good as\n"
+      "    (a1,a2)-filtering, with a wider edge on T-configs;\n"
+      "  * the worst cell is the 2-day TD config.\n");
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Reproduces Figure 6: ranking effectiveness. With intentionally loose
+// acceptance settings ((a1,a2) = (0.001, 0.08), phi_r = 0.4) the
+// algorithms return many candidates; ranking them by the Eq. 2 score
+// v = p1 (1 - p2) should concentrate the true matches at the top:
+// the number of queries whose true match appears within the top-k grows
+// steeply for small k and flattens.
+//
+// Panels: (a) the SF configuration, (b) the TF configuration.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "ftl/ftl.h"
+
+namespace {
+
+using namespace ftl;
+
+void RunPanel(const char* title, const std::string& config_name) {
+  sim::DatasetConfig cfg = sim::FindConfig(config_name);
+  sim::DatasetPair pair =
+      sim::BuildDataset(cfg, bench::NumObjects(), bench::BenchSeed());
+
+  core::EngineOptions eo;
+  eo.training.vmax_mps = geo::KphToMps(120.0);
+  eo.training.horizon_units = 60;
+  eo.num_threads = 4;
+  core::FtlEngine engine(eo);
+  Status st = engine.Train(pair.p, pair.q);
+  if (!st.ok()) {
+    std::printf("%s: training failed: %s\n", config_name.c_str(),
+                st.ToString().c_str());
+    return;
+  }
+
+  eval::WorkloadOptions wo;
+  // Paper uses 500 queries here.
+  wo.num_queries = bench::PaperScale() ? 500 : 120;
+  wo.seed = bench::BenchSeed() + 2;
+  auto workload = eval::MakeWorkload(pair.p, pair.q, wo);
+  auto scores = eval::ComputePairScores(engine, workload.queries, pair.q);
+
+  std::printf("=== %s (%s, %zu queries) ===\n", title, config_name.c_str(),
+              workload.queries.size());
+  struct Curve {
+    const char* name;
+    eval::WorkloadMetrics metrics;
+  };
+  std::vector<Curve> curves = {
+      {"alpha-filtering (0.001,0.08)",
+       eval::MetricsForAlpha(scores, workload.owners, pair.q, 0.001, 0.08)},
+      {"naive-bayes phi_r=0.4",
+       eval::MetricsForPhi(scores, workload.owners, pair.q, 0.4)},
+  };
+  size_t max_k = 30;
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"k"});
+  for (const auto& c : curves) rows[0].push_back(c.name);
+  for (size_t k : {1u, 2u, 3u, 5u, 8u, 10u, 15u, 20u, 30u}) {
+    std::vector<std::string> row = {std::to_string(k)};
+    for (const auto& c : curves) {
+      auto curve = eval::TopKCurve(c.metrics, max_k);
+      row.push_back(std::to_string(curve[k - 1]));
+    }
+    rows.push_back(row);
+  }
+  std::printf("%s", RenderTable(rows).c_str());
+  for (const auto& c : curves) {
+    std::printf("  %-28s mean candidates %.1f, perceptiveness %.3f\n",
+                c.name, c.metrics.mean_candidates,
+                c.metrics.perceptiveness);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Figure 6 reproduction: candidate-ranking effectiveness\n\n");
+  RunPanel("Figure 6(a): S-data", "SF");
+  RunPanel("Figure 6(b): T-data", "TF");
+  std::printf(
+      "Shape checks vs paper Figure 6: the top-k hit counts grow\n"
+      "quickly for small k and the growth rate slows as k rises —\n"
+      "true matches concentrate among the highest-ranked candidates.\n");
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Privacy extension study (the paper's closing future-work item):
+// FTL run as a re-identification attack against a defended database
+// release. For each defense family we sweep the defense strength and
+// report the residual linkage risk.
+//
+// Attack model: the adversary holds the CDR-style database P and obtains
+// a (defended) release of the transit-card database Q. Risk metrics:
+// perceptiveness (true owner somewhere in the candidate set), top-1
+// accuracy, and mean candidate-set size (residual uncertainty).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "ftl/ftl.h"
+
+namespace {
+
+using namespace ftl;
+
+privacy::AttackOptions Attack() {
+  privacy::AttackOptions o;
+  o.engine.training.horizon_units = 40;
+  o.engine.training.acceptance_pairs_per_db = 800;
+  o.engine.naive_bayes.phi_r = 0.02;
+  o.engine.num_threads = 4;
+  o.workload.num_queries = bench::NumQueries();
+  o.workload.seed = bench::BenchSeed() + 6;
+  return o;
+}
+
+void Report(const char* setting, const Result<privacy::RiskReport>& r) {
+  if (!r.ok()) {
+    std::printf("  %-26s (failed: %s)\n", setting,
+                r.status().ToString().c_str());
+    return;
+  }
+  std::printf("  %-26s perceptiveness %.3f  top1 %.3f  mean|QP| %.1f\n",
+              setting, r.value().perceptiveness, r.value().top1_accuracy,
+              r.value().mean_candidates);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Privacy study: FTL as a re-identification attack vs "
+              "data-release defenses (%zu persons, %zu queries)\n\n",
+              bench::NumObjects(), bench::NumQueries());
+
+  sim::PopulationOptions po;
+  po.num_persons = bench::NumObjects();
+  po.duration_days = 10;
+  po.cdr_accesses_per_day = 14.0;
+  po.transit_accesses_per_day = 8.0;
+  po.seed = bench::BenchSeed() + 7;
+  auto data = sim::SimulatePopulation(po);
+  Rng rng(bench::BenchSeed() + 8);
+
+  std::printf("=== Baseline (no defense) ===\n");
+  Report("undefended",
+         privacy::EvaluateLinkageRisk(data.cdr_db, data.transit_db,
+                                      Attack()));
+
+  std::printf("\n=== Defense 1: spatial cloaking (grid size) ===\n");
+  for (double grid : {500.0, 2000.0, 5000.0, 10000.0, 20000.0}) {
+    auto released = privacy::SpatialCloaking(data.transit_db, grid);
+    Report(("grid=" + FormatDouble(grid / 1000.0, 1) + "km").c_str(),
+           privacy::EvaluateLinkageRisk(data.cdr_db, released, Attack()));
+  }
+
+  std::printf("\n=== Defense 2: temporal cloaking (window) ===\n");
+  for (int64_t window : {300, 1800, 3600, 4 * 3600, 24 * 3600}) {
+    auto released = privacy::TemporalCloaking(data.transit_db, window);
+    Report(("window=" + std::to_string(window / 60) + "min").c_str(),
+           privacy::EvaluateLinkageRisk(data.cdr_db, released, Attack()));
+  }
+
+  std::printf("\n=== Defense 3: Gaussian perturbation (sigma) ===\n");
+  for (double sigma : {100.0, 500.0, 2000.0, 5000.0, 15000.0}) {
+    Rng sub = rng.Fork();
+    auto released =
+        privacy::GaussianPerturbation(data.transit_db, sigma, &sub);
+    Report(("sigma=" + FormatDouble(sigma / 1000.0, 1) + "km").c_str(),
+           privacy::EvaluateLinkageRisk(data.cdr_db, released, Attack()));
+  }
+
+  std::printf("\n=== Defense 4: record suppression (keep fraction) ===\n");
+  for (double keep : {0.8, 0.5, 0.25, 0.1, 0.05}) {
+    Rng sub = rng.Fork();
+    auto released =
+        privacy::RecordSuppression(data.transit_db, keep, &sub);
+    Report(("keep=" + FormatDouble(keep, 2)).c_str(),
+           privacy::EvaluateLinkageRisk(data.cdr_db, released, Attack()));
+  }
+
+  std::printf(
+      "\nReading: risk degrades gracefully — moderate defenses leave\n"
+      "FTL largely intact (confirming the paper's concern that sparsity\n"
+      "and noise alone are weak protection); only city-scale cloaking /\n"
+      "perturbation or aggressive suppression push top-1 risk toward\n"
+      "the random-guess floor.\n");
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Disease contact tracing — the paper's Example 1.
+//
+// A person is found infected and rode buses before diagnosis. The health
+// agency must find other commuters who boarded the same buses. Commuter
+// cards are anonymous, so:
+//   step 1: find card IDs that tapped near the infected person's taps
+//           (co-travel detection in the anonymous transit database),
+//   step 2: FTL-link those card trajectories against the eponymous CDR
+//           database to recover identities for follow-up.
+//
+// Build & run:  ./build/examples/disease_contact_tracing
+
+#include <cstdio>
+#include <vector>
+
+#include "ftl/ftl.h"
+
+namespace {
+
+/// Step 1: cards with >= `min_hits` taps within `radius` meters and
+/// `window` seconds of the index case's taps (rode the same vehicles).
+std::vector<size_t> FindCoTravelers(const ftl::traj::Trajectory& index_case,
+                                    const ftl::traj::TrajectoryDatabase& db,
+                                    double radius, int64_t window,
+                                    size_t min_hits) {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < db.size(); ++i) {
+    const auto& cand = db[i];
+    if (cand.label() == index_case.label()) continue;
+    size_t hits = 0;
+    for (const auto& a : index_case.records()) {
+      for (const auto& b : cand.records()) {
+        if (ftl::traj::TimeDiff(a, b) <= window &&
+            ftl::traj::Dist(a, b) <= radius) {
+          ++hits;
+          break;
+        }
+      }
+    }
+    if (hits >= min_hits) out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace ftl;
+
+  // A denser population so co-travel actually happens.
+  sim::PopulationOptions pop;
+  pop.num_persons = 150;
+  pop.duration_days = 7;
+  pop.cdr_accesses_per_day = 14.0;
+  pop.transit_accesses_per_day = 6.0;
+  pop.seed = 7;
+  sim::PopulationData data = sim::SimulatePopulation(pop);
+
+  // The index case: transit card #3.
+  const traj::Trajectory& infected_card = data.transit_db[3];
+  std::printf("Index case: card '%s' with %zu taps over %lld days\n",
+              infected_card.label().c_str(), infected_card.size(),
+              static_cast<long long>(infected_card.DurationSeconds() /
+                                     86400));
+
+  // Step 1 — co-traveling cards (same stop within 500 m / 10 min).
+  auto co = FindCoTravelers(infected_card, data.transit_db,
+                            /*radius=*/500.0, /*window=*/600,
+                            /*min_hits=*/1);
+  std::printf("Step 1: %zu co-traveling card(s) detected\n", co.size());
+
+  // Step 2 — FTL-link each co-traveler card to the CDR database.
+  core::EngineOptions opts;
+  opts.training.horizon_units = 40;
+  opts.naive_bayes.phi_r = 0.02;
+  core::FtlEngine engine(opts);
+  Status st = engine.Train(data.cdr_db, data.transit_db);
+  if (!st.ok()) {
+    std::printf("training failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  size_t identified = 0, correct = 0;
+  for (size_t idx : co) {
+    const auto& card = data.transit_db[idx];
+    auto result = engine.Query(card, data.cdr_db,
+                               core::Matcher::kNaiveBayes);
+    if (!result.ok() || result.value().candidates.empty()) {
+      std::printf("  card %-10s -> no confident identity\n",
+                  card.label().c_str());
+      continue;
+    }
+    const auto& best = result.value().candidates.front();
+    bool truth = data.cdr_db[best.index].owner() == card.owner();
+    ++identified;
+    if (truth) ++correct;
+    std::printf(
+        "  card %-10s -> phone %-10s (score %.4f, %zu candidate(s)) %s\n",
+        card.label().c_str(), best.label.c_str(), best.score,
+        result.value().candidates.size(), truth ? "[correct]" : "[wrong]");
+  }
+  std::printf(
+      "Step 2: identified %zu of %zu co-travelers, %zu correct top-1\n",
+      identified, co.size(), correct);
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Privacy audit: a data holder about to release an "anonymized"
+// trajectory database measures its re-identification risk under the FTL
+// attack, then checks how much defense is needed — operationalizing the
+// paper's closing privacy concern.
+//
+// Build & run:  ./build/examples/privacy_audit
+
+#include <cstdio>
+
+#include "ftl/ftl.h"
+
+int main() {
+  using namespace ftl;
+
+  // The world: people expose movement to a phone operator (adversary's
+  // side) and a transit operator (the releasing party).
+  sim::PopulationOptions pop;
+  pop.num_persons = 150;
+  pop.duration_days = 10;
+  pop.cdr_accesses_per_day = 12.0;
+  pop.transit_accesses_per_day = 6.0;
+  pop.seed = 555;
+  sim::PopulationData data = sim::SimulatePopulation(pop);
+
+  privacy::AttackOptions attack;
+  attack.engine.training.horizon_units = 40;
+  attack.engine.naive_bayes.phi_r = 0.02;
+  attack.workload.num_queries = 60;
+  attack.workload.seed = 3;
+
+  std::printf("Auditing a release of %zu anonymized card trajectories\n"
+              "against an adversary holding %zu eponymous phone "
+              "trajectories.\n\n",
+              data.transit_db.size(), data.cdr_db.size());
+
+  auto report =
+      privacy::EvaluateLinkageRisk(data.cdr_db, data.transit_db, attack);
+  if (!report.ok()) {
+    std::printf("audit failed: %s\n", report.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Raw release:      %.0f%% of identities re-identified "
+              "top-1 (%.0f%% within the candidate set)\n",
+              100 * report.value().top1_accuracy,
+              100 * report.value().perceptiveness);
+
+  // Try escalating spatial cloaking until top-1 risk falls below 10%.
+  Rng rng(9);
+  for (double grid : {2000.0, 5000.0, 10000.0, 20000.0}) {
+    auto released = privacy::SpatialCloaking(data.transit_db, grid);
+    auto defended =
+        privacy::EvaluateLinkageRisk(data.cdr_db, released, attack);
+    if (!defended.ok()) continue;
+    std::printf("Cloaked %4.1f km:  %.0f%% top-1, %.0f%% in set, "
+                "mean %.1f candidates\n",
+                grid / 1000.0, 100 * defended.value().top1_accuracy,
+                100 * defended.value().perceptiveness,
+                defended.value().mean_candidates);
+    if (defended.value().top1_accuracy < 0.10) {
+      std::printf("\n-> %0.1f km spatial cloaking pushes top-1 "
+                  "re-identification below 10%%.\n",
+                  grid / 1000.0);
+      std::printf("   (Note what it costs: locations coarser than most "
+                  "analytic uses tolerate —\n    sparsity alone is NOT "
+                  "privacy, which is the paper's warning.)\n");
+      break;
+    }
+  }
+  return 0;
+}

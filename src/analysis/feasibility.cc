@@ -1,0 +1,46 @@
+#include "analysis/feasibility.h"
+
+#include <cmath>
+#include <limits>
+
+#include "analysis/mutual_segment_analysis.h"
+
+namespace ftl::analysis {
+
+FeasibilityReport EstimateFeasibility(double lambda_p, double lambda_q,
+                                      double horizon_units,
+                                      double target_informative_segments) {
+  FeasibilityReport r;
+  r.expected_mutual_per_unit = ExpectedMutualSegments(lambda_p, lambda_q);
+  double rate_sum = lambda_p + lambda_q;
+  if (rate_sum > 0.0 && horizon_units > 0.0) {
+    r.informative_fraction = 1.0 - std::exp(-rate_sum * horizon_units);
+  }
+  r.informative_per_unit =
+      r.expected_mutual_per_unit * r.informative_fraction;
+  if (r.informative_per_unit > 0.0) {
+    r.units_for_target =
+        target_informative_segments / r.informative_per_unit;
+    r.feasible = true;
+  } else {
+    r.units_for_target = std::numeric_limits<double>::infinity();
+    r.feasible = false;
+  }
+  return r;
+}
+
+DailyFeasibility EstimateFeasibilityDaily(
+    double events_per_day_p, double events_per_day_q,
+    double horizon_minutes, double target_informative_segments) {
+  // Unit time = one day; horizon converted to days.
+  FeasibilityReport r = EstimateFeasibility(
+      events_per_day_p, events_per_day_q, horizon_minutes / (24.0 * 60.0),
+      target_informative_segments);
+  DailyFeasibility d;
+  d.informative_per_day = r.informative_per_unit;
+  d.days_for_target = r.units_for_target;
+  d.feasible = r.feasible;
+  return d;
+}
+
+}  // namespace ftl::analysis

@@ -1,0 +1,55 @@
+#ifndef FTL_ANALYSIS_FEASIBILITY_H_
+#define FTL_ANALYSIS_FEASIBILITY_H_
+
+/// \file feasibility.h
+/// FTL feasibility estimation from service access rates.
+///
+/// Section VI closes with: "Our analysis ... is useful in evaluating the
+/// feasibility of FTL when real values for λP and λQ are known." This
+/// header makes that concrete. Only mutual segments shorter than the
+/// model horizon carry signal; since the mutual-segment gap is
+/// Exp(λP + λQ) (Corollary 6.2), the informative fraction is
+/// 1 − e^{−(λP+λQ) h}, so
+///
+///   informative rate = E(X) · (1 − e^{−(λP+λQ) h})   per unit time,
+///
+/// and the observation duration needed for a target number of
+/// informative segments follows directly.
+
+#include <cstdint>
+
+namespace ftl::analysis {
+
+/// Feasibility estimate for one (λP, λQ, horizon) configuration.
+/// Rates are per *unit time*; `horizon` is in the same unit.
+struct FeasibilityReport {
+  double expected_mutual_per_unit = 0.0;       ///< E(X)
+  double informative_fraction = 0.0;           ///< Pr(gap <= horizon)
+  double informative_per_unit = 0.0;           ///< product of the above
+  double units_for_target = 0.0;               ///< duration for target
+  bool feasible = false;                       ///< target reachable
+};
+
+/// Computes the report. `target_informative_segments` is the number of
+/// informative mutual segments the classifier should see (a few tens
+/// give the hypothesis tests real power). Infeasible (units_for_target
+/// = inf, feasible = false) when either rate is 0.
+FeasibilityReport EstimateFeasibility(double lambda_p, double lambda_q,
+                                      double horizon_units,
+                                      double target_informative_segments);
+
+/// Convenience for real-world units: rates in events/day, horizon in
+/// minutes, result duration in days.
+struct DailyFeasibility {
+  double informative_per_day = 0.0;
+  double days_for_target = 0.0;
+  bool feasible = false;
+};
+DailyFeasibility EstimateFeasibilityDaily(double events_per_day_p,
+                                          double events_per_day_q,
+                                          double horizon_minutes,
+                                          double target_informative_segments);
+
+}  // namespace ftl::analysis
+
+#endif  // FTL_ANALYSIS_FEASIBILITY_H_

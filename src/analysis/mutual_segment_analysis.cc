@@ -1,0 +1,178 @@
+#include "analysis/mutual_segment_analysis.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "stats/distributions.h"
+
+namespace ftl::analysis {
+
+namespace {
+
+using stats::LogFactorial;
+
+/// log C(n, k); -inf out of range.
+double LogChoose(int64_t n, int64_t k) {
+  if (k < 0 || n < 0 || k > n) {
+    return -std::numeric_limits<double>::infinity();
+  }
+  return LogFactorial(n) - LogFactorial(k) - LogFactorial(n - k);
+}
+
+/// exp(a) + exp(b) combined safely in log space.
+double LogAddExp(double a, double b) {
+  if (std::isinf(a) && a < 0) return b;
+  if (std::isinf(b) && b < 0) return a;
+  double m = std::max(a, b);
+  return m + std::log(std::exp(a - m) + std::exp(b - m));
+}
+
+}  // namespace
+
+double AlternationProbability(int64_t a, int64_t b, int64_t x) {
+  if (a < 0 || b < 0 || x < 0) return 0.0;
+  if (a == 0 || b == 0) return x == 0 ? 1.0 : 0.0;
+  // x alternations <=> r = x + 1 runs; feasible r in [2, a + b], and the
+  // run counts per symbol must fit: ceil(r/2) <= max(a,b) etc. The
+  // classical run-count formula handles feasibility via LogChoose.
+  int64_t r = x + 1;
+  if (r < 2 || r > a + b) return 0.0;
+  double log_total = LogChoose(a + b, a);
+  double log_count;
+  if (r % 2 == 0) {
+    // r = 2m runs: m runs of each symbol, either symbol may start.
+    int64_t m = r / 2;
+    double c = LogChoose(a - 1, m - 1) + LogChoose(b - 1, m - 1);
+    log_count = c + std::log(2.0);
+    if (std::isinf(c)) log_count = c;
+  } else {
+    // r = 2m+1 runs: (m+1, m) split; the majority-run symbol starts.
+    int64_t m = r / 2;
+    double c1 = LogChoose(a - 1, m) + LogChoose(b - 1, m - 1);
+    double c2 = LogChoose(a - 1, m - 1) + LogChoose(b - 1, m);
+    log_count = LogAddExp(c1, c2);
+  }
+  if (std::isinf(log_count)) return 0.0;
+  return std::exp(log_count - log_total);
+}
+
+std::vector<double> MutualSegmentCountPmf(double lambda_p, double lambda_q,
+                                          int64_t max_x, double tail_eps) {
+  std::vector<double> pmf(static_cast<size_t>(max_x) + 1, 0.0);
+  // Truncate each Poisson at a count whose upper tail is < tail_eps.
+  auto truncation = [tail_eps](double lambda) {
+    int64_t n = static_cast<int64_t>(lambda) + 1;
+    while (1.0 - stats::PoissonCdf(n, lambda) > tail_eps && n < 4000) ++n;
+    return n;
+  };
+  int64_t max_a = truncation(lambda_p);
+  int64_t max_b = truncation(lambda_q);
+  for (int64_t a = 0; a <= max_a; ++a) {
+    double wa = stats::PoissonPmf(a, lambda_p);
+    if (wa <= 0.0) continue;
+    for (int64_t b = 0; b <= max_b; ++b) {
+      double w = wa * stats::PoissonPmf(b, lambda_q);
+      if (w <= 0.0) continue;
+      int64_t hi = std::min<int64_t>(max_x, a + b - 1);
+      if (a == 0 || b == 0) {
+        pmf[0] += w;
+        continue;
+      }
+      for (int64_t x = 0; x <= hi; ++x) {
+        pmf[static_cast<size_t>(x)] += w * AlternationProbability(a, b, x);
+      }
+    }
+  }
+  return pmf;
+}
+
+double ExpectedMutualSegments(double lambda_p, double lambda_q) {
+  double s = lambda_p + lambda_q;
+  if (s <= 0.0) return 0.0;
+  double t1 = 2.0 * lambda_p * lambda_q / s;
+  double t2 = 2.0 * lambda_p * lambda_q / (s * s) * (1.0 - std::exp(-s));
+  return t1 - t2;
+}
+
+double ApproxExpectedMutualSegments(double lambda_p, double lambda_q) {
+  double s = lambda_p + lambda_q;
+  if (s <= 0.0) return 0.0;
+  return 2.0 * lambda_p * lambda_q / s;
+}
+
+double MutualSegmentCountUpperBound(double lambda_p, double lambda_q) {
+  return 2.0 * std::min(lambda_p, lambda_q);
+}
+
+std::vector<double> MutualSegmentCountPoissonApprox(double lambda_p,
+                                                    double lambda_q,
+                                                    int64_t max_x) {
+  return stats::PoissonPmfVector(
+      ApproxExpectedMutualSegments(lambda_p, lambda_q), max_x);
+}
+
+double MutualSegmentGapPdf(double lambda_p, double lambda_q, double y) {
+  return stats::ExponentialPdf(y, lambda_p + lambda_q);
+}
+
+double MutualSegmentGapCdf(double lambda_p, double lambda_q, double y) {
+  return stats::ExponentialCdf(y, lambda_p + lambda_q);
+}
+
+std::vector<int64_t> SimulateMutualSegmentCounts(Rng* rng, double lambda_p,
+                                                 double lambda_q,
+                                                 size_t trials) {
+  std::vector<int64_t> counts;
+  counts.reserve(trials);
+  for (size_t t = 0; t < trials; ++t) {
+    auto tp = PoissonProcess(rng, lambda_p, 0.0, 1.0);
+    auto tq = PoissonProcess(rng, lambda_q, 0.0, 1.0);
+    // Merge and count alternations.
+    size_t i = 0, j = 0;
+    int last = -1;  // -1 none, 0 P, 1 Q
+    int64_t x = 0;
+    while (i < tp.size() || j < tq.size()) {
+      int cur;
+      if (i < tp.size() && (j >= tq.size() || tp[i] <= tq[j])) {
+        cur = 0;
+        ++i;
+      } else {
+        cur = 1;
+        ++j;
+      }
+      if (last != -1 && last != cur) ++x;
+      last = cur;
+    }
+    counts.push_back(x);
+  }
+  return counts;
+}
+
+std::vector<double> SimulateMutualSegmentGaps(Rng* rng, double lambda_p,
+                                              double lambda_q,
+                                              double horizon) {
+  auto tp = PoissonProcess(rng, lambda_p, 0.0, horizon);
+  auto tq = PoissonProcess(rng, lambda_q, 0.0, horizon);
+  std::vector<double> gaps;
+  size_t i = 0, j = 0;
+  int last = -1;
+  double last_t = 0.0;
+  while (i < tp.size() || j < tq.size()) {
+    int cur;
+    double t;
+    if (i < tp.size() && (j >= tq.size() || tp[i] <= tq[j])) {
+      cur = 0;
+      t = tp[i++];
+    } else {
+      cur = 1;
+      t = tq[j++];
+    }
+    if (last != -1 && last != cur) gaps.push_back(t - last_t);
+    last = cur;
+    last_t = t;
+  }
+  return gaps;
+}
+
+}  // namespace ftl::analysis

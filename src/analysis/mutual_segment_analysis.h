@@ -1,0 +1,78 @@
+#ifndef FTL_ANALYSIS_MUTUAL_SEGMENT_ANALYSIS_H_
+#define FTL_ANALYSIS_MUTUAL_SEGMENT_ANALYSIS_H_
+
+/// \file mutual_segment_analysis.h
+/// Section VI of the paper: distribution of the number and time-length
+/// of mutual segments when service accesses follow two independent
+/// Poisson processes N_P, N_Q with rates λP, λQ per unit time.
+///
+/// * Problem 1 — pmf f_X(x) of the number X of mutual segments in one
+///   unit of time. We compute it exactly: condition on the per-process
+///   event counts (a, b); given counts, the arrival order is a uniformly
+///   random interleaving, and X equals the number of source alternations
+///   (runs − 1) whose distribution has a classical closed form.
+/// * Problem 2 — E(X) closed form and the Poisson approximation with
+///   mean Ê(X) = 2λPλQ/(λP+λQ).
+/// * Problem 3 — the mutual-segment time length Y is exponential with
+///   rate λP + λQ (Corollary 6.2).
+///
+/// Monte-Carlo counterparts are provided so tests and the Figure 4 bench
+/// can validate every closed form by simulation.
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace ftl::analysis {
+
+/// Probability that a uniformly random binary sequence with `a` ones and
+/// `b` zeros has exactly `x` alternations (adjacent unequal pairs).
+/// Returns 0 outside the feasible range. a, b >= 0.
+double AlternationProbability(int64_t a, int64_t b, int64_t x);
+
+/// Exact pmf f_X(x) for x = 0..max_x. The infinite sums over event
+/// counts are truncated once the joint Poisson tail mass drops below
+/// `tail_eps`.
+std::vector<double> MutualSegmentCountPmf(double lambda_p, double lambda_q,
+                                          int64_t max_x,
+                                          double tail_eps = 1e-12);
+
+/// Closed-form E(X) (paper Problem 2):
+///   E(X) = 2λPλQ/(λP+λQ) − 2λPλQ/(λP+λQ)² · (1 − e^−(λP+λQ)).
+double ExpectedMutualSegments(double lambda_p, double lambda_q);
+
+/// First-order approximation Ê(X) = 2λPλQ/(λP+λQ); the omitted term is
+/// always in (0, 0.5).
+double ApproxExpectedMutualSegments(double lambda_p, double lambda_q);
+
+/// Corollary 6.1 bound: E(X) < 2·min(λP, λQ).
+double MutualSegmentCountUpperBound(double lambda_p, double lambda_q);
+
+/// Poisson approximation f̂_X with mean Ê(X), values for x = 0..max_x.
+std::vector<double> MutualSegmentCountPoissonApprox(double lambda_p,
+                                                    double lambda_q,
+                                                    int64_t max_x);
+
+/// Corollary 6.2: pdf of the mutual-segment time length,
+/// g_Y(y) = (λP+λQ) e^{−(λP+λQ) y}.
+double MutualSegmentGapPdf(double lambda_p, double lambda_q, double y);
+
+/// Corollary 6.2 cdf.
+double MutualSegmentGapCdf(double lambda_p, double lambda_q, double y);
+
+/// Simulates `trials` unit-time windows of the two Poisson processes and
+/// returns the mutual-segment count of each window.
+std::vector<int64_t> SimulateMutualSegmentCounts(Rng* rng, double lambda_p,
+                                                 double lambda_q,
+                                                 size_t trials);
+
+/// Simulates mutual-segment time lengths: runs the two processes over
+/// `horizon` time units and collects the gap of every mutual segment.
+std::vector<double> SimulateMutualSegmentGaps(Rng* rng, double lambda_p,
+                                              double lambda_q,
+                                              double horizon);
+
+}  // namespace ftl::analysis
+
+#endif  // FTL_ANALYSIS_MUTUAL_SEGMENT_ANALYSIS_H_

@@ -1,0 +1,36 @@
+#include "baselines/search.h"
+
+#include <algorithm>
+
+namespace ftl::baselines {
+
+std::vector<SearchHit> TopK(const traj::Trajectory& query,
+                            const traj::TrajectoryDatabase& db,
+                            const SimilarityMeasure& measure, size_t k) {
+  std::vector<SearchHit> hits;
+  hits.reserve(db.size());
+  for (size_t i = 0; i < db.size(); ++i) {
+    hits.push_back(SearchHit{i, measure.Distance(query, db[i])});
+  }
+  size_t keep = std::min(k, hits.size());
+  std::partial_sort(hits.begin(), hits.begin() + static_cast<long>(keep),
+                    hits.end(), [](const SearchHit& a, const SearchHit& b) {
+                      if (a.distance != b.distance) {
+                        return a.distance < b.distance;
+                      }
+                      return a.index < b.index;
+                    });
+  hits.resize(keep);
+  return hits;
+}
+
+bool ContainsOwner(const std::vector<SearchHit>& hits,
+                   const traj::TrajectoryDatabase& db,
+                   traj::OwnerId owner) {
+  for (const auto& h : hits) {
+    if (db[h.index].owner() == owner) return true;
+  }
+  return false;
+}
+
+}  // namespace ftl::baselines

@@ -1,0 +1,38 @@
+#ifndef FTL_BASELINES_SEARCH_H_
+#define FTL_BASELINES_SEARCH_H_
+
+/// \file search.h
+/// Top-k similarity search over a trajectory database — how the paper
+/// turns each similarity measure into an FTL-style candidate retriever
+/// (Section VII-E: "outputs for each query are ranked by similarity
+/// values ... we consider the top 10 candidates").
+
+#include <cstddef>
+#include <vector>
+
+#include "baselines/similarity.h"
+#include "traj/database.h"
+
+namespace ftl::baselines {
+
+/// One search hit.
+struct SearchHit {
+  size_t index = 0;      ///< position in the database
+  double distance = 0.0; ///< measure value (smaller = more similar)
+};
+
+/// Returns the k nearest database trajectories to `query` under
+/// `measure`, ascending by distance (ties by index).
+std::vector<SearchHit> TopK(const traj::Trajectory& query,
+                            const traj::TrajectoryDatabase& db,
+                            const SimilarityMeasure& measure, size_t k);
+
+/// True iff any of `hits` is owned by the same person as `query`
+/// (ground-truth check used by the precision experiments).
+bool ContainsOwner(const std::vector<SearchHit>& hits,
+                   const traj::TrajectoryDatabase& db,
+                   traj::OwnerId owner);
+
+}  // namespace ftl::baselines
+
+#endif  // FTL_BASELINES_SEARCH_H_

@@ -1,0 +1,107 @@
+#include "baselines/similarity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace ftl::baselines {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+double SpatialDistance(const traj::Record& a, const traj::Record& b) {
+  return geo::Distance(a.location, b.location);
+}
+
+}  // namespace
+
+double P2TDistance::Distance(const traj::Trajectory& a,
+                             const traj::Trajectory& b) const {
+  if (a.empty() || b.empty()) return kInf;
+  double acc = 0.0;
+  for (const auto& ra : a.records()) {
+    double best = kInf;
+    for (const auto& rb : b.records()) {
+      best = std::min(best, geo::DistanceSquared(ra.location, rb.location));
+    }
+    acc += std::sqrt(best);
+  }
+  return acc / static_cast<double>(a.size());
+}
+
+double DtwDistance::Distance(const traj::Trajectory& a,
+                             const traj::Trajectory& b) const {
+  size_t n = a.size(), m = b.size();
+  if (n == 0 || m == 0) return kInf;
+  // Two-row DP over squared ground costs; result is the square root of
+  // the accumulated cost (classical DTW on point sequences).
+  std::vector<double> prev(m + 1, kInf), cur(m + 1, kInf);
+  prev[0] = 0.0;
+  for (size_t i = 1; i <= n; ++i) {
+    cur.assign(m + 1, kInf);
+    size_t lo = 1, hi = m;
+    if (band_ >= 0) {
+      // Sakoe-Chiba band scaled to the rectangular case.
+      double ratio = static_cast<double>(m) / static_cast<double>(n);
+      auto center = static_cast<int64_t>(std::llround(ratio * i));
+      lo = static_cast<size_t>(std::max<int64_t>(1, center - band_));
+      hi = static_cast<size_t>(
+          std::min<int64_t>(static_cast<int64_t>(m), center + band_));
+    }
+    for (size_t j = lo; j <= hi; ++j) {
+      double cost = geo::DistanceSquared(a[i - 1].location, b[j - 1].location);
+      double best = std::min({prev[j], cur[j - 1], prev[j - 1]});
+      cur[j] = cost + best;
+    }
+    std::swap(prev, cur);
+  }
+  return std::sqrt(prev[m]);
+}
+
+double LcssDistance::Distance(const traj::Trajectory& a,
+                              const traj::Trajectory& b) const {
+  size_t n = a.size(), m = b.size();
+  if (n == 0 || m == 0) return 1.0;
+  std::vector<int> prev(m + 1, 0), cur(m + 1, 0);
+  for (size_t i = 1; i <= n; ++i) {
+    cur.assign(m + 1, 0);
+    for (size_t j = 1; j <= m; ++j) {
+      bool index_ok =
+          delta_ < 0 ||
+          std::llabs(static_cast<long long>(i) - static_cast<long long>(j)) <=
+              delta_;
+      if (index_ok && SpatialDistance(a[i - 1], b[j - 1]) <= epsilon_) {
+        cur[j] = prev[j - 1] + 1;
+      } else {
+        cur[j] = std::max(prev[j], cur[j - 1]);
+      }
+    }
+    std::swap(prev, cur);
+  }
+  double lcss = static_cast<double>(prev[m]);
+  return 1.0 - lcss / static_cast<double>(std::min(n, m));
+}
+
+double EdrDistance::Distance(const traj::Trajectory& a,
+                             const traj::Trajectory& b) const {
+  size_t n = a.size(), m = b.size();
+  if (n == 0 && m == 0) return 0.0;
+  if (n == 0 || m == 0) return 1.0;
+  std::vector<int> prev(m + 1), cur(m + 1);
+  for (size_t j = 0; j <= m; ++j) prev[j] = static_cast<int>(j);
+  for (size_t i = 1; i <= n; ++i) {
+    cur[0] = static_cast<int>(i);
+    for (size_t j = 1; j <= m; ++j) {
+      int sub =
+          SpatialDistance(a[i - 1], b[j - 1]) <= epsilon_ ? 0 : 1;
+      cur[j] = std::min({prev[j - 1] + sub, prev[j] + 1, cur[j - 1] + 1});
+    }
+    std::swap(prev, cur);
+  }
+  return static_cast<double>(prev[m]) /
+         static_cast<double>(std::max(n, m));
+}
+
+}  // namespace ftl::baselines

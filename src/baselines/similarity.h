@@ -1,0 +1,91 @@
+#ifndef FTL_BASELINES_SIMILARITY_H_
+#define FTL_BASELINES_SIMILARITY_H_
+
+/// \file similarity.h
+/// Classical trajectory similarity measures used as comparison baselines
+/// in the paper's Section VII-E: Point-to-Trajectory (P2T), Dynamic Time
+/// Warping (DTW), Longest Common Sub-Sequence (LCSS), and Edit Distance
+/// on Real sequence (EDR).
+///
+/// All measures implement a common *distance* interface: smaller values
+/// mean more similar. Similarity-flavoured measures (LCSS) are converted
+/// to a normalized distance.
+
+#include <memory>
+#include <string>
+
+#include "traj/trajectory.h"
+
+namespace ftl::baselines {
+
+/// Abstract trajectory distance.
+class SimilarityMeasure {
+ public:
+  virtual ~SimilarityMeasure() = default;
+
+  /// Distance between two trajectories; >= 0; smaller = more similar.
+  virtual double Distance(const traj::Trajectory& a,
+                          const traj::Trajectory& b) const = 0;
+
+  /// Short display name ("DTW", "LCSS", ...).
+  virtual std::string Name() const = 0;
+};
+
+/// Point-to-Trajectory distance: mean over records of `a` of the nearest
+/// spatial distance to any record of `b`. Directed (query -> candidate),
+/// matching its use as a query-scoring baseline.
+class P2TDistance : public SimilarityMeasure {
+ public:
+  double Distance(const traj::Trajectory& a,
+                  const traj::Trajectory& b) const override;
+  std::string Name() const override { return "P2T"; }
+};
+
+/// Dynamic Time Warping with squared-Euclidean ground cost
+/// (Yi, Jagadish & Faloutsos, ICDE 1998). Optional Sakoe-Chiba band:
+/// `band` < 0 disables the constraint.
+class DtwDistance : public SimilarityMeasure {
+ public:
+  explicit DtwDistance(int band = -1) : band_(band) {}
+  double Distance(const traj::Trajectory& a,
+                  const traj::Trajectory& b) const override;
+  std::string Name() const override { return "DTW"; }
+
+ private:
+  int band_;
+};
+
+/// Longest Common Sub-Sequence similarity (Vlachos, Gunopulos & Kollios,
+/// ICDE 2002), converted to distance 1 − LCSS/min(|a|, |b|).
+/// Two records match when their spatial distance <= epsilon and their
+/// index offset <= delta (delta < 0 disables the index constraint).
+class LcssDistance : public SimilarityMeasure {
+ public:
+  LcssDistance(double epsilon_meters, int delta = -1)
+      : epsilon_(epsilon_meters), delta_(delta) {}
+  double Distance(const traj::Trajectory& a,
+                  const traj::Trajectory& b) const override;
+  std::string Name() const override { return "LCSS"; }
+
+ private:
+  double epsilon_;
+  int delta_;
+};
+
+/// Edit Distance on Real sequence (Chen, Özsu & Oria, SIGMOD 2005),
+/// normalized by max(|a|, |b|). Records match when their spatial
+/// distance <= epsilon.
+class EdrDistance : public SimilarityMeasure {
+ public:
+  explicit EdrDistance(double epsilon_meters) : epsilon_(epsilon_meters) {}
+  double Distance(const traj::Trajectory& a,
+                  const traj::Trajectory& b) const override;
+  std::string Name() const override { return "EDR"; }
+
+ private:
+  double epsilon_;
+};
+
+}  // namespace ftl::baselines
+
+#endif  // FTL_BASELINES_SIMILARITY_H_

@@ -1,0 +1,37 @@
+#include "core/alpha_filter.h"
+
+#include "stats/poisson_binomial.h"
+
+namespace ftl::core {
+
+AlphaFilter::AlphaFilter(const ModelPair& models,
+                         const AlphaFilterParams& params)
+    : models_(models), params_(params) {}
+
+AlphaFilterDecision AlphaFilter::Classify(
+    const MutualSegmentEvidence& evidence) const {
+  AlphaFilterDecision d;
+  d.n_segments = evidence.size();
+  d.k_observed = evidence.ObservedIncompatible();
+
+  // Phase 1: α1-rejection against the rejection model.
+  stats::PoissonBinomial reject_dist(evidence.ProbsUnder(models_.rejection));
+  d.p1 = reject_dist.UpperTailPValue(d.k_observed);
+  d.survived_rejection = d.p1 >= params_.alpha1;
+  if (!d.survived_rejection) return d;
+
+  // Phase 2: α2-acceptance against the acceptance model.
+  stats::PoissonBinomial accept_dist(
+      evidence.ProbsUnder(models_.acceptance));
+  d.p2 = accept_dist.LowerTailPValue(d.k_observed);
+  d.accepted = d.p2 < params_.alpha2;
+  return d;
+}
+
+AlphaFilterDecision AlphaFilter::Classify(
+    const traj::Trajectory& p, const traj::Trajectory& q,
+    const EvidenceOptions& options) const {
+  return Classify(CollectEvidence(p, q, options));
+}
+
+}  // namespace ftl::core

@@ -1,0 +1,67 @@
+#ifndef FTL_CORE_ALPHA_FILTER_H_
+#define FTL_CORE_ALPHA_FILTER_H_
+
+/// \file alpha_filter.h
+/// The (α1, α2)-filtering classifier (paper Section IV-D).
+///
+/// Phase 1 (α1-rejection): under H0 "same person", the incompatible
+/// mutual-segment count K is Poisson-Binomial with probabilities from
+/// the rejection model; reject the candidate when the upper-tail
+/// p-value p1 = Pr(K >= k_obs) < α1.
+///
+/// Phase 2 (α2-acceptance): under H0 "different persons", K is
+/// Poisson-Binomial with probabilities from the acceptance model; accept
+/// the candidate when the lower-tail p-value p2 = Pr(K <= k_obs) < α2.
+///
+/// Ranking score (paper Section V, Eq. 2): v = p1 · (1 − p2).
+
+#include "core/compatibility_model.h"
+#include "core/evidence.h"
+#include "core/model_builders.h"
+
+namespace ftl::core {
+
+/// Significance levels for the two phases.
+struct AlphaFilterParams {
+  double alpha1 = 0.01;  ///< rejection-phase significance
+  double alpha2 = 0.05;  ///< acceptance-phase significance
+};
+
+/// Classification outcome for one (P, Q) pair.
+struct AlphaFilterDecision {
+  bool survived_rejection = false;  ///< p1 >= alpha1
+  bool accepted = false;            ///< survived AND p2 < alpha2
+  double p1 = 0.0;                  ///< Pr(K >= k | Mr)
+  double p2 = 1.0;                  ///< Pr(K <= k | Ma)
+  int64_t k_observed = 0;           ///< incompatible informative segments
+  size_t n_segments = 0;            ///< informative mutual segments
+
+  /// Ranking score v = p1 (1 - p2); higher means more likely a match.
+  double Score() const { return p1 * (1.0 - p2); }
+};
+
+/// Stateless classifier over a trained model pair.
+class AlphaFilter {
+ public:
+  /// `models` must outlive the filter.
+  AlphaFilter(const ModelPair& models, const AlphaFilterParams& params);
+
+  /// Scores pre-collected evidence. The evidence must have been
+  /// extracted with the same discretization as the models.
+  AlphaFilterDecision Classify(const MutualSegmentEvidence& evidence) const;
+
+  /// Convenience: collects evidence for (p, q) and classifies.
+  AlphaFilterDecision Classify(const traj::Trajectory& p,
+                               const traj::Trajectory& q,
+                               const EvidenceOptions& options) const;
+
+  const AlphaFilterParams& params() const { return params_; }
+
+ private:
+  const ModelPair& models_;
+  AlphaFilterParams params_;
+};
+
+}  // namespace ftl::core
+
+#endif  // FTL_CORE_ALPHA_FILTER_H_

@@ -1,0 +1,55 @@
+#include "core/assignment.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace ftl::core {
+
+std::vector<Assignment> AssignOneToOne(
+    const std::vector<QueryResult>& results, double min_score) {
+  // Flatten all (query, candidate, score) triples and sort by score.
+  std::vector<Assignment> pool;
+  for (size_t qi = 0; qi < results.size(); ++qi) {
+    for (const auto& c : results[qi].candidates) {
+      if (c.score < min_score) continue;
+      pool.push_back(Assignment{qi, c.index, c.score});
+    }
+  }
+  std::stable_sort(pool.begin(), pool.end(),
+                   [](const Assignment& a, const Assignment& b) {
+                     return a.score > b.score;
+                   });
+  std::unordered_set<size_t> used_queries, used_candidates;
+  std::vector<Assignment> out;
+  for (const auto& a : pool) {
+    if (used_queries.count(a.query_index) ||
+        used_candidates.count(a.candidate_index)) {
+      continue;
+    }
+    used_queries.insert(a.query_index);
+    used_candidates.insert(a.candidate_index);
+    out.push_back(a);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Assignment& a, const Assignment& b) {
+              return a.query_index < b.query_index;
+            });
+  return out;
+}
+
+double AssignmentAccuracy(const std::vector<Assignment>& assignments,
+                          const std::vector<traj::OwnerId>& query_owners,
+                          const traj::TrajectoryDatabase& db) {
+  if (query_owners.empty()) return 0.0;
+  size_t correct = 0;
+  for (const auto& a : assignments) {
+    if (a.query_index >= query_owners.size()) continue;
+    if (db[a.candidate_index].owner() == query_owners[a.query_index]) {
+      ++correct;
+    }
+  }
+  return static_cast<double>(correct) /
+         static_cast<double>(query_owners.size());
+}
+
+}  // namespace ftl::core

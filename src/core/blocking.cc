@@ -1,0 +1,83 @@
+#include "core/blocking.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace ftl::core {
+
+BlockingIndex::BlockingIndex(const traj::TrajectoryDatabase& db,
+                             const BlockingOptions& options)
+    : db_(db), options_(options) {
+  spans_.reserve(db.size());
+  for (size_t i = 0; i < db.size(); ++i) {
+    const auto& t = db[i];
+    if (t.empty()) {
+      spans_.emplace_back(1, 0);  // empty span: never overlaps
+    } else {
+      spans_.emplace_back(t.front().t, t.back().t);
+    }
+    if (options_.use_spatial) {
+      std::unordered_set<int64_t> cells;
+      double g = options_.cell_size_meters;
+      for (const auto& r : t.records()) {
+        int32_t cx = static_cast<int32_t>(std::floor(r.location.x / g));
+        int32_t cy = static_cast<int32_t>(std::floor(r.location.y / g));
+        cells.insert(CellKey(cx, cy));
+      }
+      for (int64_t c : cells) {
+        cell_to_candidates_[c].push_back(static_cast<uint32_t>(i));
+      }
+    }
+  }
+}
+
+std::vector<size_t> BlockingIndex::Candidates(
+    const traj::Trajectory& query) const {
+  std::vector<size_t> out;
+  if (query.empty()) return out;
+
+  // Spatial pass: count shared (expanded) cells per candidate.
+  std::vector<uint32_t> shared_counts;
+  if (options_.use_spatial) {
+    shared_counts.assign(spans_.size(), 0);
+    double g = options_.cell_size_meters;
+    int nb = options_.neighborhood;
+    std::unordered_set<int64_t> probe_cells;
+    for (const auto& r : query.records()) {
+      int32_t cx = static_cast<int32_t>(std::floor(r.location.x / g));
+      int32_t cy = static_cast<int32_t>(std::floor(r.location.y / g));
+      for (int dx = -nb; dx <= nb; ++dx) {
+        for (int dy = -nb; dy <= nb; ++dy) {
+          probe_cells.insert(CellKey(cx + dx, cy + dy));
+        }
+      }
+    }
+    // A candidate's cell set is deduplicated at build time, but a probe
+    // may hit the same candidate cell via several query records'
+    // expansions; count each candidate cell once per probe cell.
+    for (int64_t c : probe_cells) {
+      auto it = cell_to_candidates_.find(c);
+      if (it == cell_to_candidates_.end()) continue;
+      for (uint32_t cand : it->second) ++shared_counts[cand];
+    }
+  }
+
+  int64_t q_first = query.front().t - options_.temporal_slack_seconds;
+  int64_t q_last = query.back().t + options_.temporal_slack_seconds;
+  for (size_t i = 0; i < spans_.size(); ++i) {
+    if (options_.use_temporal) {
+      auto [c_first, c_last] = spans_[i];
+      if (c_first > c_last) continue;  // empty candidate
+      if (c_last < q_first || c_first > q_last) continue;
+    }
+    if (options_.use_spatial &&
+        shared_counts[i] < options_.min_shared_cells) {
+      continue;
+    }
+    out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace ftl::core

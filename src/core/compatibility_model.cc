@@ -1,0 +1,50 @@
+#include "core/compatibility_model.h"
+
+#include "util/string_util.h"
+
+namespace ftl::core {
+
+CompatibilityModel::CompatibilityModel(int64_t time_unit_seconds,
+                                       std::vector<double> probs)
+    : time_unit_seconds_(time_unit_seconds), probs_(std::move(probs)) {}
+
+int64_t CompatibilityModel::UnitIndex(int64_t timediff_seconds) const {
+  // Round to the nearest integer number of units (paper: "after rounding
+  // to the nearest integer").
+  return (timediff_seconds + time_unit_seconds_ / 2) / time_unit_seconds_;
+}
+
+double CompatibilityModel::IncompatProb(int64_t timediff_seconds) const {
+  return IncompatProbByUnit(UnitIndex(timediff_seconds));
+}
+
+double CompatibilityModel::IncompatProbByUnit(int64_t unit) const {
+  if (unit < 0 || unit >= static_cast<int64_t>(probs_.size())) return 0.0;
+  return probs_[static_cast<size_t>(unit)];
+}
+
+Status CompatibilityModel::Validate() const {
+  if (time_unit_seconds_ <= 0) {
+    return Status::InvalidArgument("time unit must be positive");
+  }
+  for (size_t i = 0; i < probs_.size(); ++i) {
+    if (probs_[i] < 0.0 || probs_[i] > 1.0) {
+      return Status::InvalidArgument(
+          "bucket " + std::to_string(i) + " probability out of [0,1]: " +
+          std::to_string(probs_[i]));
+    }
+  }
+  return Status::OK();
+}
+
+std::string CompatibilityModel::ToString() const {
+  std::string out = "unit=" + std::to_string(time_unit_seconds_) + "s probs=[";
+  for (size_t i = 0; i < probs_.size(); ++i) {
+    if (i) out += ' ';
+    out += FormatDouble(probs_[i], 4);
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace ftl::core

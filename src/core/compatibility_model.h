@@ -1,0 +1,73 @@
+#ifndef FTL_CORE_COMPATIBILITY_MODEL_H_
+#define FTL_CORE_COMPATIBILITY_MODEL_H_
+
+/// \file compatibility_model.h
+/// The statistic shared by the rejection and acceptance models: the
+/// probability that a mutual segment of a given (rounded) time length is
+/// *incompatible* (paper Sections IV-B/IV-C).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ftl::core {
+
+/// A trained set of per-time-bucket incompatibility probabilities,
+/// M = {s^(1), ..., s^(k)}.
+///
+/// Time differences are discretized into units of `time_unit_seconds`
+/// (rounded to the nearest integer unit, as in the paper). Buckets beyond
+/// `horizon_units` have probability 0 — "given enough time, one can
+/// always travel from one place to another".
+class CompatibilityModel {
+ public:
+  CompatibilityModel() = default;
+
+  /// Constructs a model from explicit bucket probabilities.
+  /// probs[i] is the incompatibility probability for time-length bucket
+  /// i units (bucket 0 = gaps rounding to 0).
+  CompatibilityModel(int64_t time_unit_seconds, std::vector<double> probs);
+
+  /// The discretization unit, seconds.
+  int64_t time_unit_seconds() const { return time_unit_seconds_; }
+
+  /// Number of buckets with (potentially) nonzero probability.
+  size_t horizon_units() const { return probs_.size(); }
+
+  /// Rounds a time difference (seconds) to its bucket index.
+  int64_t UnitIndex(int64_t timediff_seconds) const;
+
+  /// Incompatibility probability s^(i) for a mutual segment with the
+  /// given time difference; 0 beyond the horizon.
+  double IncompatProb(int64_t timediff_seconds) const;
+
+  /// Incompatibility probability by bucket index; 0 beyond the horizon.
+  double IncompatProbByUnit(int64_t unit) const;
+
+  /// Raw bucket probabilities.
+  const std::vector<double>& probs() const { return probs_; }
+
+  /// Number of training observations per bucket (empty if the model was
+  /// constructed directly from probabilities).
+  const std::vector<int64_t>& support() const { return support_; }
+  void set_support(std::vector<int64_t> support) {
+    support_ = std::move(support);
+  }
+
+  /// Sanity check: unit positive, probabilities within [0,1].
+  Status Validate() const;
+
+  /// Compact human-readable dump (bucket:prob pairs).
+  std::string ToString() const;
+
+ private:
+  int64_t time_unit_seconds_ = 60;
+  std::vector<double> probs_;
+  std::vector<int64_t> support_;
+};
+
+}  // namespace ftl::core
+
+#endif  // FTL_CORE_COMPATIBILITY_MODEL_H_

@@ -1,0 +1,166 @@
+#include "core/engine.h"
+
+#include <algorithm>
+
+#include "stats/poisson_binomial.h"
+#include "traj/alignment.h"
+#include "util/thread_pool.h"
+
+namespace ftl::core {
+
+FtlEngine::FtlEngine(EngineOptions options) : options_(std::move(options)) {}
+
+Status FtlEngine::Train(const traj::TrajectoryDatabase& p,
+                        const traj::TrajectoryDatabase& q) {
+  auto models = BuildModels(p, q, options_.training);
+  if (!models.ok()) return models.status();
+  models_ = std::move(models).value();
+  trained_ = true;
+  return Status::OK();
+}
+
+void FtlEngine::SetModels(ModelPair models) {
+  models_ = std::move(models);
+  trained_ = true;
+}
+
+EvidenceOptions FtlEngine::evidence_options() const {
+  EvidenceOptions ev;
+  ev.vmax_mps = options_.training.vmax_mps;
+  ev.time_unit_seconds = options_.training.time_unit_seconds;
+  ev.horizon_units = options_.training.horizon_units;
+  return ev;
+}
+
+bool FtlEngine::ScorePair(const traj::Trajectory& query,
+                          const traj::Trajectory& cand, Matcher matcher,
+                          MatchCandidate* out) const {
+  MutualSegmentEvidence ev = CollectEvidence(query, cand, evidence_options());
+  out->k_observed = ev.ObservedIncompatible();
+  out->n_segments = ev.size();
+
+  // p-values (quadratic Poisson-Binomial tails) are computed lazily:
+  // the rejection-phase p1 always gates the alpha filter, but p2 — and,
+  // for Naive-Bayes, both p-values — are only needed for candidates that
+  // enter Q_P, where they drive the Eq. 2 ranking (paper Section V
+  // applies the same score to NB candidates). This is what makes NB the
+  // faster matcher (paper Figure 7): its per-pair cost is a linear-time
+  // likelihood, not a quadratic tail evaluation.
+  auto fill_pvalues = [this, &ev, out]() {
+    stats::PoissonBinomial reject_dist(ev.ProbsUnder(models_.rejection));
+    out->p1 = reject_dist.UpperTailPValue(out->k_observed);
+    stats::PoissonBinomial accept_dist(ev.ProbsUnder(models_.acceptance));
+    out->p2 = accept_dist.LowerTailPValue(out->k_observed);
+    out->score = out->p1 * (1.0 - out->p2);
+  };
+
+  switch (matcher) {
+    case Matcher::kAlphaFilter: {
+      stats::PoissonBinomial reject_dist(ev.ProbsUnder(models_.rejection));
+      out->p1 = reject_dist.UpperTailPValue(out->k_observed);
+      if (out->p1 < options_.alpha.alpha1) return false;
+      stats::PoissonBinomial accept_dist(ev.ProbsUnder(models_.acceptance));
+      out->p2 = accept_dist.LowerTailPValue(out->k_observed);
+      out->score = out->p1 * (1.0 - out->p2);
+      return out->p2 < options_.alpha.alpha2;
+    }
+    case Matcher::kNaiveBayes: {
+      NaiveBayesMatcher nb(models_, options_.naive_bayes);
+      NaiveBayesDecision d = nb.Classify(ev);
+      out->nb_log_odds = d.LogOdds();
+      if (!d.same_person) return false;
+      fill_pvalues();
+      return true;
+    }
+  }
+  return false;
+}
+
+Result<QueryResult> FtlEngine::Query(const traj::Trajectory& query,
+                                     const traj::TrajectoryDatabase& db,
+                                     Matcher matcher) const {
+  if (!trained_) {
+    return Status::FailedPrecondition("FtlEngine::Query before Train");
+  }
+  if (db.empty()) {
+    return Status::InvalidArgument("candidate database is empty");
+  }
+  QueryResult result;
+  for (size_t i = 0; i < db.size(); ++i) {
+    const traj::Trajectory& cand = db[i];
+    if (!options_.evaluate_non_overlapping &&
+        traj::TimeSpanOverlapSeconds(query, cand) == 0) {
+      continue;
+    }
+    MatchCandidate mc;
+    mc.index = i;
+    if (ScorePair(query, cand, matcher, &mc)) {
+      mc.label = cand.label();
+      result.candidates.push_back(std::move(mc));
+    }
+  }
+  std::stable_sort(result.candidates.begin(), result.candidates.end(),
+                   [](const MatchCandidate& a, const MatchCandidate& b) {
+                     return a.score > b.score;
+                   });
+  result.selectiveness = static_cast<double>(result.candidates.size()) /
+                         static_cast<double>(db.size());
+  return result;
+}
+
+Result<QueryResult> FtlEngine::QueryWithCandidates(
+    const traj::Trajectory& query, const traj::TrajectoryDatabase& db,
+    const std::vector<size_t>& candidate_indices, Matcher matcher) const {
+  if (!trained_) {
+    return Status::FailedPrecondition(
+        "FtlEngine::QueryWithCandidates before Train");
+  }
+  if (db.empty()) {
+    return Status::InvalidArgument("candidate database is empty");
+  }
+  QueryResult result;
+  for (size_t i : candidate_indices) {
+    if (i >= db.size()) {
+      return Status::OutOfRange("candidate index " + std::to_string(i) +
+                                " out of range for database of size " +
+                                std::to_string(db.size()));
+    }
+    MatchCandidate mc;
+    mc.index = i;
+    if (ScorePair(query, db[i], matcher, &mc)) {
+      mc.label = db[i].label();
+      result.candidates.push_back(std::move(mc));
+    }
+  }
+  std::stable_sort(result.candidates.begin(), result.candidates.end(),
+                   [](const MatchCandidate& a, const MatchCandidate& b) {
+                     return a.score > b.score;
+                   });
+  result.selectiveness = static_cast<double>(result.candidates.size()) /
+                         static_cast<double>(db.size());
+  return result;
+}
+
+Result<std::vector<QueryResult>> FtlEngine::BatchQuery(
+    const std::vector<traj::Trajectory>& queries,
+    const traj::TrajectoryDatabase& db, Matcher matcher) const {
+  if (!trained_) {
+    return Status::FailedPrecondition("FtlEngine::BatchQuery before Train");
+  }
+  std::vector<QueryResult> results(queries.size());
+  std::vector<Status> statuses(queries.size());
+  ParallelFor(queries.size(), options_.num_threads, [&](size_t i) {
+    auto r = Query(queries[i], db, matcher);
+    if (r.ok()) {
+      results[i] = std::move(r).value();
+    } else {
+      statuses[i] = r.status();
+    }
+  });
+  for (const Status& s : statuses) {
+    if (!s.ok()) return s;
+  }
+  return results;
+}
+
+}  // namespace ftl::core

@@ -1,0 +1,127 @@
+#ifndef FTL_CORE_ENGINE_H_
+#define FTL_CORE_ENGINE_H_
+
+/// \file engine.h
+/// FtlEngine: the user-facing façade. Trains both models from a database
+/// pair, answers fuzzy-linking queries with either classifier, and ranks
+/// candidates by the paper's Eq. 2 score.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/alpha_filter.h"
+#include "core/model_builders.h"
+#include "core/naive_bayes.h"
+#include "traj/database.h"
+#include "util/status.h"
+
+namespace ftl::core {
+
+/// Which classifier a query should use.
+enum class Matcher {
+  kAlphaFilter,  ///< (α1, α2)-filtering, hypothesis testing
+  kNaiveBayes,   ///< Naïve-Bayes-matching
+};
+
+/// One returned candidate, with everything needed for ranking and
+/// diagnostics.
+struct MatchCandidate {
+  size_t index = 0;        ///< position in the candidate database Q
+  std::string label;       ///< candidate trajectory label
+  double p1 = 0.0;         ///< rejection-phase p-value Pr(K>=k | Mr)
+  double p2 = 1.0;         ///< acceptance-phase p-value Pr(K<=k | Ma)
+  double score = 0.0;      ///< ranking score v = p1 (1 - p2), Eq. 2
+  double nb_log_odds = 0;  ///< Naïve-Bayes posterior log-odds (if NB ran)
+  int64_t k_observed = 0;  ///< incompatible informative mutual segments
+  size_t n_segments = 0;   ///< informative mutual segments
+};
+
+/// The candidate set Q_P for one query, ranked by non-increasing score.
+struct QueryResult {
+  std::vector<MatchCandidate> candidates;
+
+  /// |Q_P| / |Q| for this query (selectiveness contribution).
+  double selectiveness = 0.0;
+};
+
+/// Engine configuration.
+struct EngineOptions {
+  ModelTrainingOptions training;
+  AlphaFilterParams alpha;
+  NaiveBayesParams naive_bayes;
+
+  /// Candidates whose time span does not overlap the query's produce at
+  /// most one informative mutual segment; when true they are still
+  /// evaluated (the paper evaluates all pairs). Kept as an option so the
+  /// ablation bench can measure the (small) effect of skipping them.
+  bool evaluate_non_overlapping = true;
+
+  /// Worker threads for batch queries; 1 = serial.
+  size_t num_threads = 1;
+};
+
+/// Trains models once, then answers many queries against a candidate
+/// database.
+class FtlEngine {
+ public:
+  explicit FtlEngine(EngineOptions options = {});
+
+  /// Trains the rejection/acceptance models from the database pair.
+  /// Must be called (successfully) before any query.
+  Status Train(const traj::TrajectoryDatabase& p,
+               const traj::TrajectoryDatabase& q);
+
+  /// Installs externally trained models (e.g. loaded from disk).
+  void SetModels(ModelPair models);
+
+  /// True when models are available.
+  bool trained() const { return trained_; }
+
+  /// The trained models.
+  const ModelPair& models() const { return models_; }
+
+  /// Evidence extraction parameters implied by the training options.
+  EvidenceOptions evidence_options() const;
+
+  /// Finds the candidate set Q_P for `query` in `db` with the selected
+  /// matcher; candidates are ranked by non-increasing Eq. 2 score.
+  /// For kAlphaFilter, a candidate enters Q_P iff it passes both phases;
+  /// for kNaiveBayes, iff the posterior favors "same person". In both
+  /// cases p1/p2/score are computed for ranking.
+  Result<QueryResult> Query(const traj::Trajectory& query,
+                            const traj::TrajectoryDatabase& db,
+                            Matcher matcher) const;
+
+  /// Like Query, but only evaluates the candidates at `candidate_indices`
+  /// (e.g. the survivors of a BlockingIndex). Selectiveness remains
+  /// relative to the whole database.
+  Result<QueryResult> QueryWithCandidates(
+      const traj::Trajectory& query, const traj::TrajectoryDatabase& db,
+      const std::vector<size_t>& candidate_indices, Matcher matcher) const;
+
+  /// Answers many queries, optionally in parallel
+  /// (options.num_threads > 1). Results align with `queries` order.
+  Result<std::vector<QueryResult>> BatchQuery(
+      const std::vector<traj::Trajectory>& queries,
+      const traj::TrajectoryDatabase& db, Matcher matcher) const;
+
+  const EngineOptions& options() const { return options_; }
+
+  /// Mutable access so harnesses can sweep α1/α2/φr without retraining.
+  EngineOptions* mutable_options() { return &options_; }
+
+ private:
+  /// Scores one (query, candidate) pair; returns true when the candidate
+  /// should enter Q_P.
+  bool ScorePair(const traj::Trajectory& query, const traj::Trajectory& cand,
+                 Matcher matcher, MatchCandidate* out) const;
+
+  EngineOptions options_;
+  ModelPair models_;
+  bool trained_ = false;
+};
+
+}  // namespace ftl::core
+
+#endif  // FTL_CORE_ENGINE_H_

@@ -1,0 +1,65 @@
+#ifndef FTL_CORE_ENRICHMENT_H_
+#define FTL_CORE_ENRICHMENT_H_
+
+/// \file enrichment.h
+/// Trajectory enrichment: the second knowledge gain of FTL
+/// (paper Figure 2). Once trajectories P and Q are linked as the same
+/// person, merging them yields a richer timeline than either source —
+/// each record tagged with its provenance, exactly like the paper's
+/// ID/Name/Time/Location/Source table.
+
+#include <string>
+#include <vector>
+
+#include "traj/alignment.h"
+#include "traj/trajectory.h"
+#include "util/status.h"
+
+namespace ftl::core {
+
+/// One row of an enriched timeline.
+struct EnrichedRecord {
+  traj::Record record;
+  std::string source;  ///< originating database/channel name
+};
+
+/// The merged view of two linked trajectories.
+struct EnrichedTrajectory {
+  std::string p_label;  ///< e.g. the eponymous identity ("Bob")
+  std::string q_label;  ///< e.g. the anonymous card ("#2565")
+  std::vector<EnrichedRecord> records;  ///< time-sorted, source-tagged
+
+  /// Mutual segments that violate the speed constraint — a non-empty
+  /// list is evidence the link may be wrong (or Vmax too tight).
+  size_t incompatible_mutual_segments = 0;
+
+  /// Fraction of records contributed by P.
+  double p_fraction = 0.0;
+
+  /// Mean gap of the merged timeline vs the better single source —
+  /// the enrichment factor (>1 means the merge is denser than either
+  /// source alone).
+  double densification_factor = 1.0;
+};
+
+/// Options for the merge.
+struct EnrichmentOptions {
+  std::string p_source_name = "P";
+  std::string q_source_name = "Q";
+  /// Speed threshold used for the consistency audit, m/s.
+  double vmax_mps = 120.0 * 1000.0 / 3600.0;
+};
+
+/// Merges two linked trajectories into an enriched, source-tagged
+/// timeline. Fails when both inputs are empty.
+Result<EnrichedTrajectory> Enrich(const traj::Trajectory& p,
+                                  const traj::Trajectory& q,
+                                  const EnrichmentOptions& options);
+
+/// Renders the enriched timeline as the paper's Figure 2 style table.
+std::string ToTableString(const EnrichedTrajectory& enriched,
+                          size_t max_rows = 20);
+
+}  // namespace ftl::core
+
+#endif  // FTL_CORE_ENRICHMENT_H_

@@ -1,0 +1,43 @@
+#include "core/evidence.h"
+
+#include "traj/alignment.h"
+
+namespace ftl::core {
+
+int64_t MutualSegmentEvidence::ObservedIncompatible() const {
+  int64_t k = 0;
+  for (uint8_t b : incompatible) k += b;
+  return k;
+}
+
+std::vector<double> MutualSegmentEvidence::ProbsUnder(
+    const CompatibilityModel& model) const {
+  std::vector<double> probs;
+  probs.reserve(units.size());
+  for (int32_t u : units) {
+    probs.push_back(model.IncompatProbByUnit(u));
+  }
+  return probs;
+}
+
+MutualSegmentEvidence CollectEvidence(const traj::Trajectory& p,
+                                      const traj::Trajectory& q,
+                                      const EvidenceOptions& options) {
+  MutualSegmentEvidence ev;
+  traj::ForEachMutualSegment(p, q, [&](const traj::Segment& s) {
+    ++ev.total_mutual;
+    int64_t dt = s.TimeLengthSeconds();
+    int64_t unit =
+        (dt + options.time_unit_seconds / 2) / options.time_unit_seconds;
+    bool compatible = traj::IsCompatible(s.first, s.second, options.vmax_mps);
+    if (unit >= options.horizon_units) {
+      if (!compatible) ++ev.beyond_horizon_incompatible;
+      return;
+    }
+    ev.units.push_back(static_cast<int32_t>(unit));
+    ev.incompatible.push_back(compatible ? 0 : 1);
+  });
+  return ev;
+}
+
+}  // namespace ftl::core

@@ -1,0 +1,67 @@
+#ifndef FTL_CORE_EVIDENCE_H_
+#define FTL_CORE_EVIDENCE_H_
+
+/// \file evidence.h
+/// Extraction of the classification evidence for a trajectory pair: the
+/// time-length bucket and observed compatibility bit of every mutual
+/// segment in the alignment W_PQ.
+///
+/// Both classifiers consume the same evidence, so it is collected once
+/// per (P, Q) pair and then scored against each model.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/compatibility_model.h"
+#include "traj/trajectory.h"
+
+namespace ftl::core {
+
+/// Per-pair mutual-segment observations.
+struct MutualSegmentEvidence {
+  /// Bucket index (rounded time units) of each informative mutual
+  /// segment, i.e. those within the model horizon. Parallel to
+  /// `incompatible`.
+  std::vector<int32_t> units;
+
+  /// Observed incompatibility bit b_i per informative mutual segment.
+  std::vector<uint8_t> incompatible;
+
+  /// Total mutual segments in the alignment including beyond-horizon
+  /// ones (those are always compatible by assumption and carry no
+  /// signal, but the count is useful diagnostics).
+  int64_t total_mutual = 0;
+
+  /// Beyond-horizon segments observed *incompatible* — physically
+  /// impossible under a correct horizon; nonzero values indicate the
+  /// horizon/Vmax configuration is too tight for the data.
+  int64_t beyond_horizon_incompatible = 0;
+
+  /// Number of informative segments.
+  size_t size() const { return units.size(); }
+
+  /// Observed number of incompatible informative segments (the test
+  /// statistic K).
+  int64_t ObservedIncompatible() const;
+
+  /// Per-segment incompatibility probabilities under `model`
+  /// (the Poisson-Binomial parameter vector).
+  std::vector<double> ProbsUnder(const CompatibilityModel& model) const;
+};
+
+/// Parameters of evidence extraction; must match the models' training
+/// discretization.
+struct EvidenceOptions {
+  double vmax_mps = 120.0 * 1000.0 / 3600.0;
+  int64_t time_unit_seconds = 60;
+  int64_t horizon_units = 60;
+};
+
+/// Streams the alignment of (p, q) and collects evidence.
+MutualSegmentEvidence CollectEvidence(const traj::Trajectory& p,
+                                      const traj::Trajectory& q,
+                                      const EvidenceOptions& options);
+
+}  // namespace ftl::core
+
+#endif  // FTL_CORE_EVIDENCE_H_

@@ -1,0 +1,137 @@
+#include "core/identity_graph.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+namespace ftl::core {
+
+namespace {
+
+/// Union-find with per-root source bitsets (as sorted vectors, since
+/// source counts are small).
+class ClusterSets {
+ public:
+  explicit ClusterSets(size_t n) : parent_(n), source_of_(n, 0) {
+    std::iota(parent_.begin(), parent_.end(), size_t{0});
+    sources_.resize(n);
+  }
+
+  void InitNode(size_t i, uint32_t source) {
+    source_of_[i] = source;
+    sources_[i] = {source};
+  }
+
+  size_t Find(size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  /// Merges the clusters of a and b unless they share a source.
+  /// Returns false (and leaves state unchanged) on conflict.
+  bool Union(size_t a, size_t b) {
+    size_t ra = Find(a), rb = Find(b);
+    if (ra == rb) return true;  // already together: consistent
+    // Conflict check: intersect source sets.
+    const auto& sa = sources_[ra];
+    const auto& sb = sources_[rb];
+    for (uint32_t s : sa) {
+      if (std::binary_search(sb.begin(), sb.end(), s)) return false;
+    }
+    // Merge smaller into larger.
+    size_t big = sa.size() >= sb.size() ? ra : rb;
+    size_t small = big == ra ? rb : ra;
+    std::vector<uint32_t> merged;
+    merged.reserve(sources_[big].size() + sources_[small].size());
+    std::merge(sources_[big].begin(), sources_[big].end(),
+               sources_[small].begin(), sources_[small].end(),
+               std::back_inserter(merged));
+    parent_[small] = big;
+    sources_[big] = std::move(merged);
+    sources_[small].clear();
+    return true;
+  }
+
+ private:
+  std::vector<size_t> parent_;
+  std::vector<uint32_t> source_of_;
+  std::vector<std::vector<uint32_t>> sources_;
+};
+
+}  // namespace
+
+IdentityGraph::IdentityGraph(std::vector<size_t> source_sizes)
+    : source_sizes_(std::move(source_sizes)) {
+  source_offsets_.reserve(source_sizes_.size());
+  for (size_t n : source_sizes_) {
+    source_offsets_.push_back(total_);
+    total_ += n;
+  }
+}
+
+size_t IdentityGraph::FlatIndex(const SourceRef& r) const {
+  return source_offsets_[r.source] + r.index;
+}
+
+Status IdentityGraph::AddLink(const SourceRef& a, const SourceRef& b,
+                              double score) {
+  if (a.source >= source_sizes_.size() || b.source >= source_sizes_.size()) {
+    return Status::InvalidArgument("source id out of range");
+  }
+  if (a.index >= source_sizes_[a.source] ||
+      b.index >= source_sizes_[b.source]) {
+    return Status::InvalidArgument("trajectory index out of range");
+  }
+  if (a.source == b.source) {
+    return Status::InvalidArgument(
+        "links must connect different sources (one person has one "
+        "trajectory per source)");
+  }
+  links_.push_back(IdentityLink{a, b, score});
+  return Status::OK();
+}
+
+std::vector<IdentityCluster> IdentityGraph::Resolve(double min_score) const {
+  std::vector<IdentityLink> sorted = links_;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const IdentityLink& x, const IdentityLink& y) {
+                     return x.score > y.score;
+                   });
+  ClusterSets sets(total_);
+  for (uint32_t s = 0; s < source_sizes_.size(); ++s) {
+    for (uint32_t i = 0; i < source_sizes_[s]; ++i) {
+      sets.InitNode(source_offsets_[s] + i, s);
+    }
+  }
+  last_conflicts_ = 0;
+  for (const auto& link : sorted) {
+    if (link.score < min_score) break;
+    if (!sets.Union(FlatIndex(link.a), FlatIndex(link.b))) {
+      ++last_conflicts_;
+    }
+  }
+  // Collect clusters.
+  std::map<size_t, IdentityCluster> by_root;
+  for (uint32_t s = 0; s < source_sizes_.size(); ++s) {
+    for (uint32_t i = 0; i < source_sizes_[s]; ++i) {
+      size_t flat = source_offsets_[s] + i;
+      by_root[sets.Find(flat)].members.push_back(SourceRef{s, i});
+    }
+  }
+  std::vector<IdentityCluster> out;
+  for (auto& [root, cluster] : by_root) {
+    if (cluster.members.size() < 2) continue;
+    std::sort(cluster.members.begin(), cluster.members.end(),
+              [](const SourceRef& x, const SourceRef& y) {
+                return x.source != y.source ? x.source < y.source
+                                            : x.index < y.index;
+              });
+    out.push_back(std::move(cluster));
+  }
+  return out;
+}
+
+}  // namespace ftl::core

@@ -1,0 +1,81 @@
+#ifndef FTL_CORE_IDENTITY_GRAPH_H_
+#define FTL_CORE_IDENTITY_GRAPH_H_
+
+/// \file identity_graph.h
+/// Multi-source identity resolution — "large-scale fuzzy linking among
+/// several sources of trajectory data" (the paper's future work).
+///
+/// With more than two databases, pairwise FTL links must be reconciled
+/// into identity clusters. Links are merged greedily by descending
+/// score under the structural constraint that a cluster holds at most
+/// one trajectory per source (one person has one card, one phone, ...).
+/// Conflicting links — those that would put two same-source
+/// trajectories in one cluster — are rejected; transitively consistent
+/// links (A≡B, B≡C) merge even if the weak A≡C link was missed, which
+/// is precisely the benefit of multi-source linking.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ftl::core {
+
+/// A trajectory in a multi-source setting.
+struct SourceRef {
+  uint32_t source = 0;  ///< database id (0-based)
+  uint32_t index = 0;   ///< trajectory index within that database
+
+  friend bool operator==(const SourceRef& a, const SourceRef& b) {
+    return a.source == b.source && a.index == b.index;
+  }
+};
+
+/// One pairwise FTL link.
+struct IdentityLink {
+  SourceRef a;
+  SourceRef b;
+  double score = 0.0;  ///< Eq. 2 score of the accepted pair
+};
+
+/// One resolved identity: its member trajectories across sources.
+struct IdentityCluster {
+  std::vector<SourceRef> members;  ///< sorted by (source, index)
+};
+
+/// Accumulates links, then resolves clusters.
+class IdentityGraph {
+ public:
+  /// `num_sources` databases with the given trajectory counts.
+  explicit IdentityGraph(std::vector<size_t> source_sizes);
+
+  /// Adds a link. InvalidArgument on out-of-range refs, same-source
+  /// links, or self links.
+  Status AddLink(const SourceRef& a, const SourceRef& b, double score);
+
+  /// Number of accumulated links.
+  size_t num_links() const { return links_.size(); }
+
+  /// Resolves identities: merges links with score >= min_score in
+  /// descending score order, skipping merges that would violate the
+  /// one-per-source constraint. Returns clusters with >= 2 members
+  /// (singletons are not identities).
+  std::vector<IdentityCluster> Resolve(double min_score = 0.0) const;
+
+  /// Number of links skipped as conflicting during the last Resolve.
+  size_t last_conflicts() const { return last_conflicts_; }
+
+ private:
+  size_t FlatIndex(const SourceRef& r) const;
+
+  std::vector<size_t> source_sizes_;
+  std::vector<size_t> source_offsets_;
+  size_t total_ = 0;
+  std::vector<IdentityLink> links_;
+  mutable size_t last_conflicts_ = 0;
+};
+
+}  // namespace ftl::core
+
+#endif  // FTL_CORE_IDENTITY_GRAPH_H_

@@ -1,0 +1,200 @@
+#include "core/model_builders.h"
+
+#include <algorithm>
+
+#include "traj/alignment.h"
+
+namespace ftl::core {
+
+namespace {
+
+/// Shared bucket accumulator for both builders.
+class BucketAccumulator {
+ public:
+  explicit BucketAccumulator(const ModelTrainingOptions& options)
+      : options_(options),
+        incompat_(static_cast<size_t>(options.horizon_units), 0),
+        total_(static_cast<size_t>(options.horizon_units), 0) {}
+
+  /// Adds one segment observation (Algorithm 1/2 inner loop).
+  void AddSegment(const traj::Record& a, const traj::Record& b) {
+    int64_t dt = traj::TimeDiff(a, b);
+    int64_t unit = (dt + options_.time_unit_seconds / 2) /
+                   options_.time_unit_seconds;
+    if (unit >= options_.horizon_units) return;  // always compatible
+    size_t u = static_cast<size_t>(unit);
+    ++total_[u];
+    if (!traj::IsCompatible(a, b, options_.vmax_mps)) ++incompat_[u];
+  }
+
+  size_t observations() const {
+    size_t n = 0;
+    for (int64_t t : total_) n += static_cast<size_t>(t);
+    return n;
+  }
+
+  /// Finalizes bucket frequencies into a model. Buckets with no
+  /// observations are filled by linear interpolation between their
+  /// nearest observed neighbours (leading gap copies the first observed
+  /// value; trailing gap decays linearly to 0 at the horizon).
+  CompatibilityModel Finalize() const {
+    size_t h = total_.size();
+    std::vector<double> probs(h, -1.0);
+    double alpha = options_.laplace_alpha;
+    for (size_t i = 0; i < h; ++i) {
+      if (total_[i] > 0) {
+        probs[i] = (static_cast<double>(incompat_[i]) + alpha) /
+                   (static_cast<double>(total_[i]) + 2.0 * alpha);
+      }
+    }
+    FillGaps(&probs);
+    CompatibilityModel model(options_.time_unit_seconds, std::move(probs));
+    model.set_support(total_);
+    return model;
+  }
+
+ private:
+  static void FillGaps(std::vector<double>* probs) {
+    size_t h = probs->size();
+    // Leading gap: copy first observed value.
+    size_t first = h;
+    for (size_t i = 0; i < h; ++i) {
+      if ((*probs)[i] >= 0.0) {
+        first = i;
+        break;
+      }
+    }
+    if (first == h) {
+      // No observations at all: degenerate model, all zeros.
+      std::fill(probs->begin(), probs->end(), 0.0);
+      return;
+    }
+    for (size_t i = 0; i < first; ++i) (*probs)[i] = (*probs)[first];
+    // Interior gaps: interpolate; trailing gap: decay to 0 at horizon.
+    size_t last_obs = first;
+    for (size_t i = first + 1; i < h; ++i) {
+      if ((*probs)[i] < 0.0) continue;
+      if (i > last_obs + 1) {
+        double lo = (*probs)[last_obs];
+        double hi_v = (*probs)[i];
+        for (size_t j = last_obs + 1; j < i; ++j) {
+          double t = static_cast<double>(j - last_obs) /
+                     static_cast<double>(i - last_obs);
+          (*probs)[j] = lo + (hi_v - lo) * t;
+        }
+      }
+      last_obs = i;
+    }
+    if (last_obs + 1 < h) {
+      double lo = (*probs)[last_obs];
+      size_t span = h - last_obs;
+      for (size_t j = last_obs + 1; j < h; ++j) {
+        double t = static_cast<double>(j - last_obs) /
+                   static_cast<double>(span);
+        (*probs)[j] = lo * (1.0 - t);
+      }
+    }
+  }
+
+  const ModelTrainingOptions& options_;
+  std::vector<int64_t> incompat_;
+  std::vector<int64_t> total_;
+};
+
+Status ValidateOptions(const ModelTrainingOptions& options) {
+  if (options.vmax_mps <= 0.0) {
+    return Status::InvalidArgument("vmax must be positive");
+  }
+  if (options.time_unit_seconds <= 0) {
+    return Status::InvalidArgument("time unit must be positive");
+  }
+  if (options.horizon_units <= 0) {
+    return Status::InvalidArgument("horizon must be positive");
+  }
+  if (options.laplace_alpha < 0.0) {
+    return Status::InvalidArgument("laplace alpha must be >= 0");
+  }
+  return Status::OK();
+}
+
+void AccumulateSelfSegments(const traj::TrajectoryDatabase& db,
+                            BucketAccumulator* acc) {
+  for (const auto& t : db) {
+    const auto& recs = t.records();
+    for (size_t i = 1; i < recs.size(); ++i) {
+      acc->AddSegment(recs[i - 1], recs[i]);
+    }
+  }
+}
+
+void AccumulateDifferentPersonPairs(const traj::TrajectoryDatabase& db,
+                                    const ModelTrainingOptions& options,
+                                    Rng* rng, BucketAccumulator* acc) {
+  size_t n = db.size();
+  if (n < 2) return;
+  for (size_t k = 0; k < options.acceptance_pairs_per_db; ++k) {
+    size_t i = rng->Index(n);
+    size_t j = rng->Index(n - 1);
+    if (j >= i) ++j;  // uniform pair with i != j
+    // Skip the rare same-owner pair so the model stays a pure
+    // different-person statistic (possible when a source splits one
+    // owner across labels).
+    if (db[i].owner() != traj::kUnknownOwner &&
+        db[i].owner() == db[j].owner()) {
+      continue;
+    }
+    traj::ForEachMutualSegment(
+        db[i], db[j], [acc](const traj::Segment& s) {
+          acc->AddSegment(s.first, s.second);
+        });
+  }
+}
+
+}  // namespace
+
+Result<CompatibilityModel> BuildRejectionModel(
+    const traj::TrajectoryDatabase& p, const traj::TrajectoryDatabase& q,
+    const ModelTrainingOptions& options) {
+  FTL_RETURN_NOT_OK(ValidateOptions(options));
+  BucketAccumulator acc(options);
+  AccumulateSelfSegments(p, &acc);
+  AccumulateSelfSegments(q, &acc);
+  if (acc.observations() == 0) {
+    return Status::FailedPrecondition(
+        "rejection model: no segments within the horizon; databases too "
+        "sparse or horizon too small");
+  }
+  return acc.Finalize();
+}
+
+Result<CompatibilityModel> BuildAcceptanceModel(
+    const traj::TrajectoryDatabase& p, const traj::TrajectoryDatabase& q,
+    const ModelTrainingOptions& options) {
+  FTL_RETURN_NOT_OK(ValidateOptions(options));
+  if (p.size() < 2 && q.size() < 2) {
+    return Status::FailedPrecondition(
+        "acceptance model: need at least two trajectories in one database");
+  }
+  Rng rng(options.seed);
+  BucketAccumulator acc(options);
+  AccumulateDifferentPersonPairs(p, options, &rng, &acc);
+  AccumulateDifferentPersonPairs(q, options, &rng, &acc);
+  if (acc.observations() == 0) {
+    return Status::FailedPrecondition(
+        "acceptance model: sampled pairs produced no mutual segments "
+        "within the horizon");
+  }
+  return acc.Finalize();
+}
+
+Result<ModelPair> BuildModels(const traj::TrajectoryDatabase& p,
+                              const traj::TrajectoryDatabase& q,
+                              const ModelTrainingOptions& options) {
+  auto rej = BuildRejectionModel(p, q, options);
+  if (!rej.ok()) return rej.status();
+  auto acc = BuildAcceptanceModel(p, q, options);
+  if (!acc.ok()) return acc.status();
+  return ModelPair{std::move(rej).value(), std::move(acc).value()};
+}
+
+}  // namespace ftl::core

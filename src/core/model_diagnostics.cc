@@ -1,0 +1,92 @@
+#include "core/model_diagnostics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/string_util.h"
+
+namespace ftl::core {
+
+namespace {
+
+constexpr double kEps = 1e-9;
+
+double Clamp01Eps(double p) {
+  return std::min(1.0 - kEps, std::max(kEps, p));
+}
+
+/// Binary entropy in bits.
+double H2(double p) {
+  p = Clamp01Eps(p);
+  return -p * std::log2(p) - (1.0 - p) * std::log2(1.0 - p);
+}
+
+/// Jensen-Shannon divergence (bits) between Bernoulli(p) and
+/// Bernoulli(q); symmetric, bounded by 1 bit.
+double BernoulliJs(double p, double q) {
+  double m = 0.5 * (p + q);
+  return H2(m) - 0.5 * H2(p) - 0.5 * H2(q);
+}
+
+/// Expected per-segment Naive-Bayes log-odds contribution (nats) when
+/// the true model is the rejection model: KL(Bern(p_r) || Bern(p_a)).
+double BernoulliKlNats(double p, double q) {
+  p = Clamp01Eps(p);
+  q = Clamp01Eps(q);
+  return p * std::log(p / q) + (1.0 - p) * std::log((1.0 - p) / (1.0 - q));
+}
+
+}  // namespace
+
+ModelDiagnostics DiagnoseModels(const ModelPair& models) {
+  ModelDiagnostics d;
+  size_t buckets = std::min(models.rejection.probs().size(),
+                            models.acceptance.probs().size());
+  d.bucket_js_bits.reserve(buckets);
+  // Support weights: prefer the rejection model's support (it is
+  // derived from every self-segment and reflects how often each gap
+  // actually occurs); fall back to uniform.
+  const auto& support = models.rejection.support();
+  double weight_sum = 0.0, js_sum = 0.0, kl_sum = 0.0;
+  for (size_t i = 0; i < buckets; ++i) {
+    double pr = models.rejection.probs()[i];
+    double pa = models.acceptance.probs()[i];
+    double js = BernoulliJs(pr, pa);
+    d.bucket_js_bits.push_back(js);
+    if (pa <= pr) ++d.inverted_buckets;
+    double w = i < support.size() && support[i] > 0
+                   ? static_cast<double>(support[i])
+                   : 1.0;
+    weight_sum += w;
+    js_sum += w * js;
+    kl_sum += w * BernoulliKlNats(pr, pa);
+  }
+  if (weight_sum > 0.0) {
+    d.mean_js_bits = js_sum / weight_sum;
+    double mean_kl = kl_sum / weight_sum;
+    d.segments_for_decisive_link =
+        mean_kl > 0.0 ? 5.0 / mean_kl
+                      : std::numeric_limits<double>::infinity();
+  } else {
+    d.segments_for_decisive_link =
+        std::numeric_limits<double>::infinity();
+  }
+  return d;
+}
+
+std::string ModelDiagnostics::ToString() const {
+  std::string out;
+  out += "mean_js_bits=" + FormatDouble(mean_js_bits, 4);
+  out += " inverted_buckets=" + std::to_string(inverted_buckets) + "/" +
+         std::to_string(bucket_js_bits.size());
+  out += " segments_for_decisive_link=";
+  if (std::isinf(segments_for_decisive_link)) {
+    out += "inf (models carry no signal)";
+  } else {
+    out += FormatDouble(segments_for_decisive_link, 1);
+  }
+  return out;
+}
+
+}  // namespace ftl::core

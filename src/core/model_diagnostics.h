@@ -1,0 +1,52 @@
+#ifndef FTL_CORE_MODEL_DIAGNOSTICS_H_
+#define FTL_CORE_MODEL_DIAGNOSTICS_H_
+
+/// \file model_diagnostics.h
+/// Trained-model diagnostics: "will FTL work on this data?"
+///
+/// The paper's criterion for its model statistics is *discrimination* —
+/// "the models [must be] highly distinguishable by their sets of
+/// statistics" (Section IV-B). This header quantifies that: per-bucket
+/// divergence between the rejection and acceptance models, an overall
+/// separability score, and the expected number of informative mutual
+/// segments a query pair needs before the classifiers have real power.
+
+#include <string>
+#include <vector>
+
+#include "core/model_builders.h"
+
+namespace ftl::core {
+
+/// Separability of a trained model pair.
+struct ModelDiagnostics {
+  /// Per-bucket Jensen-Shannon divergence (bits, in [0,1]) between the
+  /// two Bernoulli incompatibility distributions.
+  std::vector<double> bucket_js_bits;
+
+  /// Support-weighted mean of bucket_js_bits — the single-number
+  /// discriminability of this dataset pair (0 = models identical,
+  /// 1 = perfectly separable everywhere).
+  double mean_js_bits = 0.0;
+
+  /// Buckets where the acceptance probability does not exceed the
+  /// rejection probability — regions with no (or inverted) signal.
+  size_t inverted_buckets = 0;
+
+  /// Expected informative segments needed for the expected Naive-Bayes
+  /// log-odds gap to reach ~5 nats (a decisive posterior), assuming
+  /// segments fall in the support-weighted "average" bucket. +inf when
+  /// the models carry no signal.
+  double segments_for_decisive_link = 0.0;
+
+  /// Human-readable summary.
+  std::string ToString() const;
+};
+
+/// Computes diagnostics for a trained pair. Buckets beyond either
+/// model's horizon are ignored.
+ModelDiagnostics DiagnoseModels(const ModelPair& models);
+
+}  // namespace ftl::core
+
+#endif  // FTL_CORE_MODEL_DIAGNOSTICS_H_

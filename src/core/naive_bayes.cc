@@ -1,0 +1,44 @@
+#include "core/naive_bayes.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ftl::core {
+
+NaiveBayesMatcher::NaiveBayesMatcher(const ModelPair& models,
+                                     const NaiveBayesParams& params)
+    : models_(models), params_(params) {}
+
+double NaiveBayesMatcher::LogLikelihood(
+    const MutualSegmentEvidence& evidence,
+    const CompatibilityModel& model) const {
+  double ll = 0.0;
+  double floor = params_.prob_floor;
+  for (size_t i = 0; i < evidence.size(); ++i) {
+    double s = model.IncompatProbByUnit(evidence.units[i]);
+    s = std::min(1.0 - floor, std::max(floor, s));
+    ll += evidence.incompatible[i] ? std::log(s) : std::log(1.0 - s);
+  }
+  return ll;
+}
+
+NaiveBayesDecision NaiveBayesMatcher::Classify(
+    const MutualSegmentEvidence& evidence) const {
+  NaiveBayesDecision d;
+  d.n_segments = evidence.size();
+  double phi_r = std::min(1.0 - 1e-12, std::max(1e-12, params_.phi_r));
+  d.log_post_same =
+      std::log(phi_r) + LogLikelihood(evidence, models_.rejection);
+  d.log_post_diff =
+      std::log(1.0 - phi_r) + LogLikelihood(evidence, models_.acceptance);
+  d.same_person = d.log_post_same >= d.log_post_diff;
+  return d;
+}
+
+NaiveBayesDecision NaiveBayesMatcher::Classify(
+    const traj::Trajectory& p, const traj::Trajectory& q,
+    const EvidenceOptions& options) const {
+  return Classify(CollectEvidence(p, q, options));
+}
+
+}  // namespace ftl::core

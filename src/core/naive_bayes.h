@@ -1,0 +1,68 @@
+#ifndef FTL_CORE_NAIVE_BAYES_H_
+#define FTL_CORE_NAIVE_BAYES_H_
+
+/// \file naive_bayes.h
+/// The Naïve-Bayes-matching classifier (paper Section IV-E).
+///
+/// Given the compatibility bit vector (b_1 ... b_n) of the informative
+/// mutual segments, pick argmax_M Pr(M) · Pr((b_i) | M) over
+/// M ∈ {Mr (same person), Ma (different persons)} with
+/// Pr((b_i)|M) = Π_i s^(l_i)^{b_i} (1 − s^(l_i))^{1−b_i}.
+/// Priors: φr = Pr(Mr), φa = 1 − φr.
+
+#include "core/compatibility_model.h"
+#include "core/evidence.h"
+#include "core/model_builders.h"
+
+namespace ftl::core {
+
+/// Naïve-Bayes matcher parameters.
+struct NaiveBayesParams {
+  /// Prior probability φr that a pair of trajectories is of the same
+  /// person. In practice a strictness knob: larger values loosen
+  /// candidate selection (paper Section IV-E).
+  double phi_r = 0.01;
+
+  /// Probability clamp applied to model buckets so a single zero/one
+  /// bucket cannot produce an infinite log-likelihood.
+  double prob_floor = 1e-6;
+};
+
+/// Classification outcome for one (P, Q) pair.
+struct NaiveBayesDecision {
+  bool same_person = false;   ///< argmax model is Mr
+  double log_post_same = 0;   ///< log [φr · Pr(b | Mr)]
+  double log_post_diff = 0;   ///< log [φa · Pr(b | Ma)]
+  size_t n_segments = 0;
+
+  /// Posterior log-odds of "same person"; > 0 iff same_person.
+  double LogOdds() const { return log_post_same - log_post_diff; }
+};
+
+/// Stateless Naïve-Bayes classifier over a trained model pair.
+class NaiveBayesMatcher {
+ public:
+  /// `models` must outlive the matcher.
+  NaiveBayesMatcher(const ModelPair& models, const NaiveBayesParams& params);
+
+  /// Scores pre-collected evidence.
+  NaiveBayesDecision Classify(const MutualSegmentEvidence& evidence) const;
+
+  /// Convenience: collects evidence for (p, q) and classifies.
+  NaiveBayesDecision Classify(const traj::Trajectory& p,
+                              const traj::Trajectory& q,
+                              const EvidenceOptions& options) const;
+
+  const NaiveBayesParams& params() const { return params_; }
+
+ private:
+  double LogLikelihood(const MutualSegmentEvidence& evidence,
+                       const CompatibilityModel& model) const;
+
+  const ModelPair& models_;
+  NaiveBayesParams params_;
+};
+
+}  // namespace ftl::core
+
+#endif  // FTL_CORE_NAIVE_BAYES_H_

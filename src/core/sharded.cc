@@ -1,0 +1,64 @@
+#include "core/sharded.h"
+
+#include <algorithm>
+
+#include "util/thread_pool.h"
+
+namespace ftl::core {
+
+ShardedEngine::ShardedEngine(ShardedOptions options)
+    : options_(std::move(options)), engine_(options_.engine) {}
+
+Status ShardedEngine::Train(const traj::TrajectoryDatabase& p,
+                            const traj::TrajectoryDatabase& q) {
+  FTL_RETURN_NOT_OK(engine_.Train(p, q));
+  size_t n_shards = std::max<size_t>(1, options_.num_shards);
+  n_shards = std::min(n_shards, std::max<size_t>(1, q.size()));
+  shards_.clear();
+  shards_.resize(n_shards);
+  for (size_t s = 0; s < n_shards; ++s) {
+    shards_[s].db.set_name(q.name() + "/shard-" + std::to_string(s));
+  }
+  for (size_t i = 0; i < q.size(); ++i) {
+    Shard& shard = shards_[i % n_shards];
+    FTL_RETURN_NOT_OK(shard.db.Add(q[i]));
+    shard.original_index.push_back(i);
+  }
+  total_candidates_ = q.size();
+  return Status::OK();
+}
+
+Result<QueryResult> ShardedEngine::Query(const traj::Trajectory& query,
+                                         Matcher matcher) const {
+  if (shards_.empty()) {
+    return Status::FailedPrecondition("ShardedEngine::Query before Train");
+  }
+  std::vector<Result<QueryResult>> shard_results;
+  shard_results.reserve(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    shard_results.emplace_back(QueryResult{});
+  }
+  // Scatter: each shard is an independent worker.
+  ParallelFor(shards_.size(), options_.engine.num_threads, [&](size_t s) {
+    shard_results[s] = engine_.Query(query, shards_[s].db, matcher);
+  });
+  // Gather: remap to original indices, merge, re-rank.
+  QueryResult merged;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (!shard_results[s].ok()) return shard_results[s].status();
+    for (const MatchCandidate& c : shard_results[s].value().candidates) {
+      MatchCandidate global = c;
+      global.index = shards_[s].original_index[c.index];
+      merged.candidates.push_back(std::move(global));
+    }
+  }
+  std::stable_sort(merged.candidates.begin(), merged.candidates.end(),
+                   [](const MatchCandidate& a, const MatchCandidate& b) {
+                     return a.score > b.score;
+                   });
+  merged.selectiveness = static_cast<double>(merged.candidates.size()) /
+                         static_cast<double>(total_candidates_);
+  return merged;
+}
+
+}  // namespace ftl::core

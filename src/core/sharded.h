@@ -1,0 +1,71 @@
+#ifndef FTL_CORE_SHARDED_H_
+#define FTL_CORE_SHARDED_H_
+
+/// \file sharded.h
+/// Sharded (scatter–gather) fuzzy linking — the single-process model of
+/// the "parallel and distributed implementation" the paper names as
+/// future work.
+///
+/// The candidate database is partitioned into shards; each shard is
+/// scored independently (in parallel across worker threads, exactly as
+/// separate machines would) and the per-shard candidate lists are merged
+/// and re-ranked. Because FTL scores each (query, candidate) pair
+/// independently, sharded results are *identical* to single-node
+/// results — the property that makes the distributed design trivial to
+/// reason about, and which the tests enforce.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/engine.h"
+#include "traj/database.h"
+#include "util/status.h"
+
+namespace ftl::core {
+
+/// Sharded engine configuration.
+struct ShardedOptions {
+  size_t num_shards = 4;
+  EngineOptions engine;  ///< engine.num_threads parallelizes shards
+};
+
+/// Scatter–gather wrapper around FtlEngine.
+class ShardedEngine {
+ public:
+  explicit ShardedEngine(ShardedOptions options = {});
+
+  /// Trains global models on the full (p, q) and partitions q into
+  /// shards (round-robin). Models are global — every shard classifies
+  /// with the same statistics, as distributed workers sharing a model
+  /// snapshot would.
+  Status Train(const traj::TrajectoryDatabase& p,
+               const traj::TrajectoryDatabase& q);
+
+  /// Scatter the query to every shard, gather and re-rank candidates.
+  /// Candidate indices refer to the ORIGINAL database. Selectiveness is
+  /// relative to the full database size.
+  Result<QueryResult> Query(const traj::Trajectory& query,
+                            Matcher matcher) const;
+
+  /// Number of shards actually built (<= num_shards for small Q).
+  size_t num_shards() const { return shards_.size(); }
+
+  /// Total candidates across shards.
+  size_t total_candidates() const { return total_candidates_; }
+
+ private:
+  ShardedOptions options_;
+  FtlEngine engine_;  // holds the trained models + scoring options
+  // Each shard owns copies of its trajectories plus their original
+  // indices (what a remote worker's local store would hold).
+  struct Shard {
+    traj::TrajectoryDatabase db;
+    std::vector<size_t> original_index;
+  };
+  std::vector<Shard> shards_;
+  size_t total_candidates_ = 0;
+};
+
+}  // namespace ftl::core
+
+#endif  // FTL_CORE_SHARDED_H_

@@ -1,0 +1,146 @@
+#include "core/streaming.h"
+
+#include <algorithm>
+
+#include "stats/poisson_binomial.h"
+
+namespace ftl::core {
+
+StreamingLinker::StreamingLinker(ModelPair models, EvidenceOptions options)
+    : models_(std::move(models)), options_(options) {}
+
+Status StreamingLinker::AddWatch(const std::string& label) {
+  auto [it, inserted] = watch_index_.emplace(label, watches_.size());
+  if (!inserted) {
+    return Status::InvalidArgument("watch '" + label +
+                                   "' already registered");
+  }
+  WatchState ws;
+  ws.label = label;
+  ws.pairs.resize(candidate_labels_.size());
+  watches_.push_back(std::move(ws));
+  return Status::OK();
+}
+
+void StreamingLinker::TouchPair(PairState* pair, StreamSide side,
+                                const traj::Record& record) const {
+  if (pair->has_last) {
+    bool mutual = pair->last_side != side;
+    if (mutual) {
+      MutualSegmentEvidence& ev = pair->evidence;
+      ++ev.total_mutual;
+      int64_t dt = traj::TimeDiff(pair->last_record, record);
+      int64_t unit =
+          (dt + options_.time_unit_seconds / 2) / options_.time_unit_seconds;
+      bool compatible =
+          traj::IsCompatible(pair->last_record, record, options_.vmax_mps);
+      if (unit >= options_.horizon_units) {
+        if (!compatible) ++ev.beyond_horizon_incompatible;
+      } else {
+        ev.units.push_back(static_cast<int32_t>(unit));
+        ev.incompatible.push_back(compatible ? 0 : 1);
+      }
+    }
+  }
+  pair->last_record = record;
+  pair->last_side = side;
+  pair->has_last = true;
+}
+
+Status StreamingLinker::Ingest(StreamSide side, const std::string& label,
+                               const traj::Record& record) {
+  if (any_ingested_ && record.t < last_time_) {
+    return Status::InvalidArgument(
+        "records must arrive in non-decreasing time order (got t=" +
+        std::to_string(record.t) + " after t=" +
+        std::to_string(last_time_) + ")");
+  }
+  if (side == StreamSide::kQuery) {
+    auto it = watch_index_.find(label);
+    if (it == watch_index_.end()) {
+      return Status::NotFound("query label '" + label +
+                              "' was not registered with AddWatch");
+    }
+    // A watch record extends the alignment of every pair of this watch.
+    WatchState& ws = watches_[it->second];
+    for (auto& pair : ws.pairs) {
+      TouchPair(&pair, side, record);
+    }
+    ws.last_watch_record = record;
+    ws.has_watch_record = true;
+  } else {
+    auto [it, inserted] =
+        candidate_index_.emplace(label, candidate_labels_.size());
+    if (inserted) {
+      candidate_labels_.push_back(label);
+      for (auto& ws : watches_) {
+        PairState pair;
+        if (ws.has_watch_record) {
+          pair.last_record = ws.last_watch_record;
+          pair.last_side = StreamSide::kQuery;
+          pair.has_last = true;
+        }
+        ws.pairs.push_back(std::move(pair));
+      }
+    }
+    size_t ci = it->second;
+    for (auto& ws : watches_) {
+      TouchPair(&ws.pairs[ci], side, record);
+    }
+  }
+  last_time_ = record.t;
+  any_ingested_ = true;
+  ++ingested_;
+  return Status::OK();
+}
+
+PairBelief StreamingLinker::MakeBelief(const WatchState& watch,
+                                       size_t cand_idx) const {
+  const PairState& pair = watch.pairs[cand_idx];
+  PairBelief b;
+  b.watch_label = watch.label;
+  b.candidate_label = candidate_labels_[cand_idx];
+  b.informative_segments = pair.evidence.size();
+  b.incompatible = pair.evidence.ObservedIncompatible();
+  stats::PoissonBinomial rej(pair.evidence.ProbsUnder(models_.rejection));
+  b.p1 = rej.UpperTailPValue(b.incompatible);
+  stats::PoissonBinomial acc(pair.evidence.ProbsUnder(models_.acceptance));
+  b.p2 = acc.LowerTailPValue(b.incompatible);
+  b.score = b.p1 * (1.0 - b.p2);
+  return b;
+}
+
+Result<PairBelief> StreamingLinker::Belief(
+    const std::string& watch_label,
+    const std::string& candidate_label) const {
+  auto wit = watch_index_.find(watch_label);
+  if (wit == watch_index_.end()) {
+    return Status::NotFound("unknown watch '" + watch_label + "'");
+  }
+  auto cit = candidate_index_.find(candidate_label);
+  if (cit == candidate_index_.end()) {
+    return Status::NotFound("unknown candidate '" + candidate_label + "'");
+  }
+  return MakeBelief(watches_[wit->second], cit->second);
+}
+
+Result<std::vector<PairBelief>> StreamingLinker::RankedCandidates(
+    const std::string& watch_label) const {
+  auto wit = watch_index_.find(watch_label);
+  if (wit == watch_index_.end()) {
+    return Status::NotFound("unknown watch '" + watch_label + "'");
+  }
+  const WatchState& ws = watches_[wit->second];
+  std::vector<PairBelief> beliefs;
+  beliefs.reserve(ws.pairs.size());
+  for (size_t ci = 0; ci < ws.pairs.size(); ++ci) {
+    beliefs.push_back(MakeBelief(ws, ci));
+  }
+  std::stable_sort(beliefs.begin(), beliefs.end(),
+                   [](const PairBelief& a, const PairBelief& b) {
+                     return a.score > b.score;
+                   });
+  return beliefs;
+}
+
+}  // namespace ftl::core

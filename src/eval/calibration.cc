@@ -1,0 +1,76 @@
+#include "eval/calibration.h"
+
+#include "eval/metrics.h"
+
+namespace ftl::eval {
+
+CalibrationResult CalibratePhi(
+    const std::vector<QueryScores>& scores,
+    const std::vector<traj::OwnerId>& owners,
+    const traj::TrajectoryDatabase& db, const CalibrationTarget& target,
+    const std::vector<double>& grid) {
+  CalibrationResult best;
+  bool have_any = false;
+  for (double phi : grid) {
+    auto m = MetricsForPhi(scores, owners, db, phi);
+    if (!have_any || m.mean_candidates <= target.max_mean_candidates) {
+      best.phi_r = phi;
+      best.mean_candidates = m.mean_candidates;
+      best.perceptiveness = m.perceptiveness;
+      best.selectiveness = m.selectiveness;
+      have_any = true;
+    }
+    // Grid is ascending in looseness; once over budget, looser settings
+    // only grow further.
+    if (m.mean_candidates > target.max_mean_candidates) break;
+  }
+  return best;
+}
+
+CalibrationResult CalibrateAlpha(
+    const std::vector<QueryScores>& scores,
+    const std::vector<traj::OwnerId>& owners,
+    const traj::TrajectoryDatabase& db, const CalibrationTarget& target,
+    const std::vector<std::pair<double, double>>& grid) {
+  CalibrationResult best;
+  bool have_any = false;
+  for (auto [a1, a2] : grid) {
+    auto m = MetricsForAlpha(scores, owners, db, a1, a2);
+    if (!have_any || m.mean_candidates <= target.max_mean_candidates) {
+      best.alpha1 = a1;
+      best.alpha2 = a2;
+      best.mean_candidates = m.mean_candidates;
+      best.perceptiveness = m.perceptiveness;
+      best.selectiveness = m.selectiveness;
+      have_any = true;
+    }
+    if (m.mean_candidates > target.max_mean_candidates) break;
+  }
+  return best;
+}
+
+Result<CalibrationResult> AutoCalibrate(const core::FtlEngine& engine,
+                                        const traj::TrajectoryDatabase& p,
+                                        const traj::TrajectoryDatabase& q,
+                                        core::Matcher matcher,
+                                        const CalibrationTarget& target,
+                                        const WorkloadOptions& wo) {
+  if (!engine.trained()) {
+    return Status::FailedPrecondition("AutoCalibrate before Train");
+  }
+  Workload workload = MakeWorkload(p, q, wo);
+  if (workload.queries.empty()) {
+    return Status::FailedPrecondition(
+        "calibration workload is empty (no eligible queries)");
+  }
+  auto scores = ComputePairScores(engine, workload.queries, q);
+  switch (matcher) {
+    case core::Matcher::kNaiveBayes:
+      return CalibratePhi(scores, workload.owners, q, target);
+    case core::Matcher::kAlphaFilter:
+      return CalibrateAlpha(scores, workload.owners, q, target);
+  }
+  return Status::InvalidArgument("unknown matcher");
+}
+
+}  // namespace ftl::eval

@@ -1,0 +1,80 @@
+#ifndef FTL_EVAL_CALIBRATION_H_
+#define FTL_EVAL_CALIBRATION_H_
+
+/// \file calibration.h
+/// Automatic threshold calibration.
+///
+/// The paper leaves α1/α2/φr to the user: "a user may start with a small
+/// value of φr and increase it slowly. An appropriate value ... returns
+/// a few candidate matching sets for a query" (Section IV-E). This
+/// module automates exactly that loop: given a calibration workload, it
+/// sweeps the strictness knob and returns the loosest setting whose mean
+/// candidate-set size stays within the analyst's budget.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/engine.h"
+#include "eval/sweep.h"
+#include "eval/workload.h"
+#include "traj/database.h"
+#include "util/status.h"
+
+namespace ftl::eval {
+
+/// What the analyst can afford to investigate.
+struct CalibrationTarget {
+  /// Mean candidates per query the brute-force follow-up can absorb.
+  double max_mean_candidates = 10.0;
+};
+
+/// A calibrated operating point.
+struct CalibrationResult {
+  double phi_r = 0.0;              ///< Naive-Bayes prior (NB calibration)
+  double alpha1 = 0.0;             ///< filtering levels (alpha calibration)
+  double alpha2 = 0.0;
+  double mean_candidates = 0.0;    ///< achieved at that setting
+  double perceptiveness = 0.0;     ///< on the calibration workload
+  double selectiveness = 0.0;
+};
+
+/// Sweeps φr over `grid` (ascending looseness) on precomputed pair
+/// scores and returns the largest φr meeting the target; if none meets
+/// it, the strictest grid point is returned.
+CalibrationResult CalibratePhi(const std::vector<QueryScores>& scores,
+                               const std::vector<traj::OwnerId>& owners,
+                               const traj::TrajectoryDatabase& db,
+                               const CalibrationTarget& target,
+                               const std::vector<double>& grid = {
+                                   1e-6, 1e-5, 1e-4, 1e-3, 0.005, 0.02,
+                                   0.08, 0.2, 0.4});
+
+/// Sweeps (α1, α2) pairs (ascending looseness: α1 shrinking, α2
+/// growing) analogously.
+CalibrationResult CalibrateAlpha(
+    const std::vector<QueryScores>& scores,
+    const std::vector<traj::OwnerId>& owners,
+    const traj::TrajectoryDatabase& db, const CalibrationTarget& target,
+    const std::vector<std::pair<double, double>>& grid = {
+        {0.2, 0.001},
+        {0.1, 0.005},
+        {0.05, 0.01},
+        {0.02, 0.05},
+        {0.01, 0.1},
+        {0.005, 0.2},
+        {0.001, 0.4}});
+
+/// End-to-end convenience: trains nothing (engine must be trained),
+/// builds a workload from (p, q), computes pair scores, and calibrates
+/// the requested matcher. Returns FailedPrecondition when the engine is
+/// untrained or the workload is empty.
+Result<CalibrationResult> AutoCalibrate(const core::FtlEngine& engine,
+                                        const traj::TrajectoryDatabase& p,
+                                        const traj::TrajectoryDatabase& q,
+                                        core::Matcher matcher,
+                                        const CalibrationTarget& target,
+                                        const WorkloadOptions& wo);
+
+}  // namespace ftl::eval
+
+#endif  // FTL_EVAL_CALIBRATION_H_

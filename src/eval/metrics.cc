@@ -1,0 +1,55 @@
+#include "eval/metrics.h"
+
+namespace ftl::eval {
+
+WorkloadMetrics ComputeMetrics(const std::vector<core::QueryResult>& results,
+                               const std::vector<traj::OwnerId>& owners,
+                               const traj::TrajectoryDatabase& db) {
+  WorkloadMetrics m;
+  m.num_queries = results.size();
+  if (results.empty()) return m;
+  size_t hits = 0;
+  double sel_sum = 0.0, cand_sum = 0.0;
+  m.true_match_ranks.reserve(results.size());
+  for (size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    sel_sum += r.selectiveness;
+    cand_sum += static_cast<double>(r.candidates.size());
+    int64_t rank = -1;
+    for (size_t j = 0; j < r.candidates.size(); ++j) {
+      if (db[r.candidates[j].index].owner() == owners[i]) {
+        rank = static_cast<int64_t>(j);
+        break;
+      }
+    }
+    if (rank >= 0) ++hits;
+    m.true_match_ranks.push_back(rank);
+  }
+  double n = static_cast<double>(results.size());
+  m.perceptiveness = static_cast<double>(hits) / n;
+  m.selectiveness = sel_sum / n;
+  m.mean_candidates = cand_sum / n;
+  return m;
+}
+
+std::vector<int64_t> TopKCurve(const WorkloadMetrics& metrics, size_t max_k) {
+  std::vector<int64_t> curve(max_k, 0);
+  for (int64_t rank : metrics.true_match_ranks) {
+    if (rank < 0) continue;
+    for (size_t k = static_cast<size_t>(rank); k < max_k; ++k) {
+      ++curve[k];
+    }
+  }
+  return curve;
+}
+
+double PrecisionAtK(const std::vector<int64_t>& ranks, size_t k) {
+  if (ranks.empty()) return 0.0;
+  size_t hits = 0;
+  for (int64_t r : ranks) {
+    if (r >= 0 && r < static_cast<int64_t>(k)) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(ranks.size());
+}
+
+}  // namespace ftl::eval

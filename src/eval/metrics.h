@@ -1,0 +1,51 @@
+#ifndef FTL_EVAL_METRICS_H_
+#define FTL_EVAL_METRICS_H_
+
+/// \file metrics.h
+/// The paper's evaluation metrics (Section III):
+///  * perceptiveness — Pr(the returned candidate set contains a
+///    trajectory of the query's owner),
+///  * selectiveness  — E(|Q_P| / |Q|),
+/// plus the top-k ranking curve of Section VII-C and precision@k used in
+/// the baseline comparison of Section VII-E.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/engine.h"
+#include "traj/database.h"
+
+namespace ftl::eval {
+
+/// Aggregated outcome of running a query workload.
+struct WorkloadMetrics {
+  double perceptiveness = 0.0;   ///< fraction of queries with a true match
+  double selectiveness = 0.0;    ///< mean |Q_P| / |Q|
+  double mean_candidates = 0.0;  ///< mean |Q_P|
+  size_t num_queries = 0;
+
+  /// 0-based rank of the true match within each query's ranked
+  /// candidates; -1 when the true match was not returned. Parallel to
+  /// the query order.
+  std::vector<int64_t> true_match_ranks;
+};
+
+/// Computes workload metrics from per-query results. `owners[i]` is the
+/// ground-truth owner of query i; a candidate counts as a true match
+/// when its database trajectory has the same owner.
+WorkloadMetrics ComputeMetrics(
+    const std::vector<core::QueryResult>& results,
+    const std::vector<traj::OwnerId>& owners,
+    const traj::TrajectoryDatabase& db);
+
+/// Figure 6 curve: entry k-1 is the number of queries whose true match
+/// appears within the top-k ranked candidates, for k = 1..max_k.
+std::vector<int64_t> TopKCurve(const WorkloadMetrics& metrics, size_t max_k);
+
+/// Precision@k over ranks: fraction of queries whose true match rank is
+/// in [0, k).
+double PrecisionAtK(const std::vector<int64_t>& ranks, size_t k);
+
+}  // namespace ftl::eval
+
+#endif  // FTL_EVAL_METRICS_H_

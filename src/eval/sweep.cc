@@ -1,0 +1,108 @@
+#include "eval/sweep.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "core/evidence.h"
+#include "core/naive_bayes.h"
+#include "stats/poisson_binomial.h"
+#include "util/thread_pool.h"
+
+namespace ftl::eval {
+
+namespace {
+
+/// Prior-free log-likelihood of the evidence bits under a model, with
+/// the same probability floor the NaiveBayesMatcher uses.
+double LogLikelihood(const core::MutualSegmentEvidence& ev,
+                     const core::CompatibilityModel& model, double floor) {
+  double ll = 0.0;
+  for (size_t i = 0; i < ev.size(); ++i) {
+    double s = model.IncompatProbByUnit(ev.units[i]);
+    s = std::min(1.0 - floor, std::max(floor, s));
+    ll += ev.incompatible[i] ? std::log(s) : std::log(1.0 - s);
+  }
+  return ll;
+}
+
+WorkloadMetrics Evaluate(
+    const std::vector<QueryScores>& scores,
+    const std::vector<traj::OwnerId>& owners,
+    const traj::TrajectoryDatabase& db,
+    const std::function<bool(const PairScore&)>& accept) {
+  std::vector<core::QueryResult> results(scores.size());
+  for (size_t qi = 0; qi < scores.size(); ++qi) {
+    core::QueryResult& r = results[qi];
+    for (const PairScore& ps : scores[qi]) {
+      if (!accept(ps)) continue;
+      core::MatchCandidate mc;
+      mc.index = ps.candidate_index;
+      mc.p1 = ps.p1;
+      mc.p2 = ps.p2;
+      mc.score = ps.Score();
+      r.candidates.push_back(mc);
+    }
+    std::stable_sort(r.candidates.begin(), r.candidates.end(),
+                     [](const core::MatchCandidate& a,
+                        const core::MatchCandidate& b) {
+                       return a.score > b.score;
+                     });
+    r.selectiveness = static_cast<double>(r.candidates.size()) /
+                      static_cast<double>(db.size());
+  }
+  return ComputeMetrics(results, owners, db);
+}
+
+}  // namespace
+
+std::vector<QueryScores> ComputePairScores(
+    const core::FtlEngine& engine,
+    const std::vector<traj::Trajectory>& queries,
+    const traj::TrajectoryDatabase& db) {
+  const core::ModelPair& models = engine.models();
+  core::EvidenceOptions ev_opts = engine.evidence_options();
+  double floor = engine.options().naive_bayes.prob_floor;
+  std::vector<QueryScores> all(queries.size());
+  ParallelFor(queries.size(), engine.options().num_threads, [&](size_t qi) {
+    QueryScores& out = all[qi];
+    out.reserve(db.size());
+    for (size_t ci = 0; ci < db.size(); ++ci) {
+      core::MutualSegmentEvidence ev =
+          core::CollectEvidence(queries[qi], db[ci], ev_opts);
+      PairScore ps;
+      ps.candidate_index = ci;
+      int64_t k = ev.ObservedIncompatible();
+      stats::PoissonBinomial rej(ev.ProbsUnder(models.rejection));
+      ps.p1 = rej.UpperTailPValue(k);
+      stats::PoissonBinomial acc(ev.ProbsUnder(models.acceptance));
+      ps.p2 = acc.LowerTailPValue(k);
+      ps.log_lr = LogLikelihood(ev, models.rejection, floor) -
+                  LogLikelihood(ev, models.acceptance, floor);
+      out.push_back(ps);
+    }
+  });
+  return all;
+}
+
+WorkloadMetrics MetricsForAlpha(const std::vector<QueryScores>& scores,
+                                const std::vector<traj::OwnerId>& owners,
+                                const traj::TrajectoryDatabase& db,
+                                double alpha1, double alpha2) {
+  return Evaluate(scores, owners, db, [alpha1, alpha2](const PairScore& ps) {
+    return ps.p1 >= alpha1 && ps.p2 < alpha2;
+  });
+}
+
+WorkloadMetrics MetricsForPhi(const std::vector<QueryScores>& scores,
+                              const std::vector<traj::OwnerId>& owners,
+                              const traj::TrajectoryDatabase& db,
+                              double phi_r) {
+  phi_r = std::min(1.0 - 1e-12, std::max(1e-12, phi_r));
+  double threshold = std::log(1.0 - phi_r) - std::log(phi_r);
+  return Evaluate(scores, owners, db, [threshold](const PairScore& ps) {
+    return ps.log_lr >= threshold;
+  });
+}
+
+}  // namespace ftl::eval

@@ -1,0 +1,60 @@
+#ifndef FTL_EVAL_SWEEP_H_
+#define FTL_EVAL_SWEEP_H_
+
+/// \file sweep.h
+/// Parameter-sweep support for the trade-off experiments (paper
+/// Figure 5). The expensive part of a sweep — alignment, evidence
+/// extraction, p-values, likelihoods — does not depend on α1/α2/φr, so
+/// it is computed once per (query, candidate) pair and the thresholds
+/// are applied afterwards in O(1) per setting.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/engine.h"
+#include "eval/metrics.h"
+#include "eval/workload.h"
+#include "traj/database.h"
+
+namespace ftl::eval {
+
+/// Threshold-independent scores of one (query, candidate) pair.
+struct PairScore {
+  size_t candidate_index = 0;
+  double p1 = 0.0;      ///< Pr(K >= k | Mr), rejection-phase p-value
+  double p2 = 1.0;      ///< Pr(K <= k | Ma), acceptance-phase p-value
+  double log_lr = 0.0;  ///< log Pr(b|Mr) − log Pr(b|Ma) (prior-free)
+
+  /// Ranking score (paper Eq. 2).
+  double Score() const { return p1 * (1.0 - p2); }
+};
+
+/// All pair scores for one query.
+using QueryScores = std::vector<PairScore>;
+
+/// Computes pair scores for every (query, candidate) combination.
+/// `engine` must be trained; its num_threads option parallelizes over
+/// queries.
+std::vector<QueryScores> ComputePairScores(
+    const core::FtlEngine& engine,
+    const std::vector<traj::Trajectory>& queries,
+    const traj::TrajectoryDatabase& db);
+
+/// Applies (α1, α2)-filtering thresholds to precomputed scores and
+/// evaluates the workload.
+WorkloadMetrics MetricsForAlpha(const std::vector<QueryScores>& scores,
+                                const std::vector<traj::OwnerId>& owners,
+                                const traj::TrajectoryDatabase& db,
+                                double alpha1, double alpha2);
+
+/// Applies the Naïve-Bayes prior φr to precomputed scores and evaluates
+/// the workload: candidate accepted iff
+/// log φr + log Pr(b|Mr) >= log(1−φr) + log Pr(b|Ma).
+WorkloadMetrics MetricsForPhi(const std::vector<QueryScores>& scores,
+                              const std::vector<traj::OwnerId>& owners,
+                              const traj::TrajectoryDatabase& db,
+                              double phi_r);
+
+}  // namespace ftl::eval
+
+#endif  // FTL_EVAL_SWEEP_H_

@@ -1,0 +1,46 @@
+#include "eval/workload.h"
+
+#include <unordered_set>
+
+namespace ftl::eval {
+
+Workload MakeWorkload(const traj::TrajectoryDatabase& p,
+                      const traj::TrajectoryDatabase& q,
+                      const WorkloadOptions& options) {
+  // Owners present in Q with a non-trivial trajectory.
+  std::unordered_set<traj::OwnerId> q_owners;
+  if (options.require_match_in_q) {
+    for (const auto& t : q) {
+      if (t.owner() != traj::kUnknownOwner && t.size() >= 1) {
+        q_owners.insert(t.owner());
+      }
+    }
+  }
+  // Eligible query indices.
+  std::vector<size_t> eligible;
+  for (size_t i = 0; i < p.size(); ++i) {
+    const auto& t = p[i];
+    if (t.size() < options.min_query_records) continue;
+    if (options.require_match_in_q &&
+        (t.owner() == traj::kUnknownOwner ||
+         q_owners.find(t.owner()) == q_owners.end())) {
+      continue;
+    }
+    eligible.push_back(i);
+  }
+  Rng rng(options.seed);
+  auto picks = rng.SampleIndices(eligible.size(),
+                                 std::min(options.num_queries,
+                                          eligible.size()));
+  Workload w;
+  w.queries.reserve(picks.size());
+  w.owners.reserve(picks.size());
+  for (size_t pi : picks) {
+    const auto& t = p[eligible[pi]];
+    w.queries.push_back(t);
+    w.owners.push_back(t.owner());
+  }
+  return w;
+}
+
+}  // namespace ftl::eval

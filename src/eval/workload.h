@@ -1,0 +1,46 @@
+#ifndef FTL_EVAL_WORKLOAD_H_
+#define FTL_EVAL_WORKLOAD_H_
+
+/// \file workload.h
+/// Query-workload construction shared by the experiment harnesses:
+/// "randomly select N trajectories as queries from P and search for
+/// matching candidates from Q" (paper Section VII-B).
+
+#include <cstddef>
+#include <vector>
+
+#include "traj/database.h"
+#include "util/rng.h"
+
+namespace ftl::eval {
+
+/// Workload selection knobs.
+struct WorkloadOptions {
+  size_t num_queries = 200;
+
+  /// Queries must have at least this many records (a 1-point trajectory
+  /// is pure noise — the paper's own footnote 5 excuses exactly that
+  /// case).
+  size_t min_query_records = 2;
+
+  /// When true, only pick queries whose owner actually appears in Q
+  /// (the paper's problem statement assumes id(Q) ≡ id(P) exists).
+  bool require_match_in_q = true;
+
+  uint64_t seed = 99;
+};
+
+/// A selected workload: query copies plus their ground-truth owners.
+struct Workload {
+  std::vector<traj::Trajectory> queries;
+  std::vector<traj::OwnerId> owners;
+};
+
+/// Samples a workload from P (validating against Q per the options).
+Workload MakeWorkload(const traj::TrajectoryDatabase& p,
+                      const traj::TrajectoryDatabase& q,
+                      const WorkloadOptions& options);
+
+}  // namespace ftl::eval
+
+#endif  // FTL_EVAL_WORKLOAD_H_

@@ -1,0 +1,89 @@
+#ifndef FTL_GEO_POINT_H_
+#define FTL_GEO_POINT_H_
+
+/// \file point.h
+/// Planar geometry primitives.
+///
+/// All internal computation uses a local planar frame in meters. Real
+/// lat/lon data is projected into this frame on ingest (see projection.h);
+/// the simulators generate planar coordinates directly.
+
+#include <cmath>
+
+namespace ftl::geo {
+
+/// A point in the local planar frame, meters.
+struct Point {
+  double x = 0.0;  ///< East offset, meters.
+  double y = 0.0;  ///< North offset, meters.
+
+  friend bool operator==(const Point& a, const Point& b) {
+    return a.x == b.x && a.y == b.y;
+  }
+};
+
+/// Euclidean distance between two planar points, meters.
+inline double Distance(const Point& a, const Point& b) {
+  double dx = a.x - b.x;
+  double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+/// Squared Euclidean distance (cheap pre-filter).
+inline double DistanceSquared(const Point& a, const Point& b) {
+  double dx = a.x - b.x;
+  double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+/// L1 (Manhattan) distance — a better proxy for on-road travel length in
+/// grid-like cities; used by the mobility simulator.
+inline double ManhattanDistance(const Point& a, const Point& b) {
+  return std::abs(a.x - b.x) + std::abs(a.y - b.y);
+}
+
+/// Linear interpolation from `a` to `b` at fraction `t` in [0,1].
+inline Point Lerp(const Point& a, const Point& b, double t) {
+  return Point{a.x + (b.x - a.x) * t, a.y + (b.y - a.y) * t};
+}
+
+/// Axis-aligned bounding box in the planar frame.
+struct BoundingBox {
+  double min_x = 0.0;
+  double min_y = 0.0;
+  double max_x = 0.0;
+  double max_y = 0.0;
+
+  /// Width (east-west extent), meters.
+  double Width() const { return max_x - min_x; }
+  /// Height (north-south extent), meters.
+  double Height() const { return max_y - min_y; }
+  /// True iff `p` lies inside (inclusive).
+  bool Contains(const Point& p) const {
+    return p.x >= min_x && p.x <= max_x && p.y >= min_y && p.y <= max_y;
+  }
+  /// Clamps `p` into the box.
+  Point Clamp(const Point& p) const {
+    Point q = p;
+    if (q.x < min_x) q.x = min_x;
+    if (q.x > max_x) q.x = max_x;
+    if (q.y < min_y) q.y = min_y;
+    if (q.y > max_y) q.y = max_y;
+    return q;
+  }
+  /// Diagonal length, meters.
+  double Diagonal() const {
+    double w = Width(), h = Height();
+    return std::sqrt(w * w + h * h);
+  }
+};
+
+/// Converts kilometers-per-hour to meters-per-second.
+constexpr double KphToMps(double kph) { return kph * (1000.0 / 3600.0); }
+
+/// Converts meters-per-second to kilometers-per-hour.
+constexpr double MpsToKph(double mps) { return mps * 3.6; }
+
+}  // namespace ftl::geo
+
+#endif  // FTL_GEO_POINT_H_

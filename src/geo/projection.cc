@@ -1,0 +1,42 @@
+#include "geo/projection.h"
+
+#include <cmath>
+
+namespace ftl::geo {
+
+namespace {
+constexpr double kDegToRad = M_PI / 180.0;
+}  // namespace
+
+double HaversineDistance(const LatLon& a, const LatLon& b) {
+  double lat1 = a.lat_deg * kDegToRad;
+  double lat2 = b.lat_deg * kDegToRad;
+  double dlat = (b.lat_deg - a.lat_deg) * kDegToRad;
+  double dlon = (b.lon_deg - a.lon_deg) * kDegToRad;
+  double s1 = std::sin(dlat / 2);
+  double s2 = std::sin(dlon / 2);
+  double h = s1 * s1 + std::cos(lat1) * std::cos(lat2) * s2 * s2;
+  h = std::min(1.0, h);
+  return 2.0 * kEarthRadiusMeters * std::asin(std::sqrt(h));
+}
+
+LocalProjection::LocalProjection(const LatLon& origin)
+    : origin_(origin), cos_lat0_(std::cos(origin.lat_deg * kDegToRad)) {}
+
+Point LocalProjection::Forward(const LatLon& ll) const {
+  double dx =
+      (ll.lon_deg - origin_.lon_deg) * kDegToRad * cos_lat0_ *
+      kEarthRadiusMeters;
+  double dy = (ll.lat_deg - origin_.lat_deg) * kDegToRad * kEarthRadiusMeters;
+  return Point{dx, dy};
+}
+
+LatLon LocalProjection::Backward(const Point& p) const {
+  LatLon ll;
+  ll.lat_deg = origin_.lat_deg + p.y / kEarthRadiusMeters / kDegToRad;
+  ll.lon_deg =
+      origin_.lon_deg + p.x / (kEarthRadiusMeters * cos_lat0_) / kDegToRad;
+  return ll;
+}
+
+}  // namespace ftl::geo

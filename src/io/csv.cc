@@ -1,0 +1,95 @@
+#include "io/csv.h"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace ftl::io {
+
+std::string ToCsvString(const traj::TrajectoryDatabase& db) {
+  std::string out = "label,owner,t,x,y\n";
+  for (const auto& t : db) {
+    int64_t owner = t.owner() == traj::kUnknownOwner
+                        ? -1
+                        : static_cast<int64_t>(t.owner());
+    for (const auto& r : t.records()) {
+      out += t.label();
+      out += ',';
+      out += std::to_string(owner);
+      out += ',';
+      out += std::to_string(r.t);
+      out += ',';
+      out += FormatDouble(r.location.x, 3);
+      out += ',';
+      out += FormatDouble(r.location.y, 3);
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+Status WriteCsv(const traj::TrajectoryDatabase& db, const std::string& path) {
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) return Status::IOError("cannot open for write: " + path);
+  f << ToCsvString(db);
+  f.close();
+  if (!f) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<traj::TrajectoryDatabase> FromCsvString(const std::string& content,
+                                               const std::string& db_name) {
+  std::istringstream in(content);
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::IOError("empty CSV content");
+  }
+  if (Trim(line) != "label,owner,t,x,y") {
+    return Status::IOError("bad CSV header: '" + line + "'");
+  }
+  // label -> (owner, records)
+  std::map<std::string, std::pair<int64_t, std::vector<traj::Record>>> groups;
+  size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (Trim(line).empty()) continue;
+    auto fields = Split(line, ',');
+    if (fields.size() != 5) {
+      return Status::IOError("line " + std::to_string(line_no) +
+                             ": expected 5 fields, got " +
+                             std::to_string(fields.size()));
+    }
+    int64_t owner = 0, t = 0;
+    double x = 0, y = 0;
+    if (!ParseInt64(fields[1], &owner) || !ParseInt64(fields[2], &t) ||
+        !ParseDouble(fields[3], &x) || !ParseDouble(fields[4], &y)) {
+      return Status::IOError("line " + std::to_string(line_no) +
+                             ": unparseable numeric field");
+    }
+    auto& group = groups[fields[0]];
+    group.first = owner;
+    group.second.push_back(traj::Record{{x, y}, t});
+  }
+  traj::TrajectoryDatabase db(db_name);
+  for (auto& [label, group] : groups) {
+    traj::OwnerId owner = group.first < 0
+                              ? traj::kUnknownOwner
+                              : static_cast<traj::OwnerId>(group.first);
+    Status s = db.Add(traj::Trajectory(label, owner, std::move(group.second)));
+    if (!s.ok()) return s;
+  }
+  return db;
+}
+
+Result<traj::TrajectoryDatabase> ReadCsv(const std::string& path,
+                                         const std::string& db_name) {
+  std::ifstream f(path);
+  if (!f) return Status::IOError("cannot open for read: " + path);
+  std::stringstream buf;
+  buf << f.rdbuf();
+  return FromCsvString(buf.str(), db_name.empty() ? path : db_name);
+}
+
+}  // namespace ftl::io

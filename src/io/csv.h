@@ -1,0 +1,37 @@
+#ifndef FTL_IO_CSV_H_
+#define FTL_IO_CSV_H_
+
+/// \file csv.h
+/// CSV persistence for trajectory databases.
+///
+/// Format (header required):
+///   label,owner,t,x,y
+/// where `owner` is the ground-truth id (or -1 when unknown), `t` is
+/// seconds, and `x`/`y` are planar meters. Rows of one trajectory need
+/// not be contiguous or sorted; loading groups by label and sorts by
+/// time.
+
+#include <string>
+
+#include "traj/database.h"
+#include "util/status.h"
+
+namespace ftl::io {
+
+/// Writes a database to `path`. Overwrites existing files.
+Status WriteCsv(const traj::TrajectoryDatabase& db, const std::string& path);
+
+/// Reads a database from `path`.
+Result<traj::TrajectoryDatabase> ReadCsv(const std::string& path,
+                                         const std::string& db_name = "");
+
+/// Serializes a database to a CSV string (used by tests and WriteCsv).
+std::string ToCsvString(const traj::TrajectoryDatabase& db);
+
+/// Parses a database from a CSV string.
+Result<traj::TrajectoryDatabase> FromCsvString(const std::string& content,
+                                               const std::string& db_name);
+
+}  // namespace ftl::io
+
+#endif  // FTL_IO_CSV_H_

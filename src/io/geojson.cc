@@ -1,0 +1,80 @@
+#include "io/geojson.h"
+
+#include <fstream>
+
+#include "util/string_util.h"
+
+namespace ftl::io {
+
+namespace {
+
+std::string EscapeJson(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string ToGeoJson(
+    const traj::TrajectoryDatabase& db,
+    const std::optional<geo::LocalProjection>& projection) {
+  std::string out = "{\"type\":\"FeatureCollection\",\"features\":[";
+  bool first_feature = true;
+  for (const auto& t : db) {
+    if (!first_feature) out += ',';
+    first_feature = false;
+    out += "{\"type\":\"Feature\",\"properties\":{";
+    out += "\"label\":\"" + EscapeJson(t.label()) + "\",";
+    out += "\"owner\":" +
+           (t.owner() == traj::kUnknownOwner
+                ? std::string("null")
+                : std::to_string(t.owner())) +
+           ",";
+    out += "\"records\":" + std::to_string(t.size());
+    out += "},\"geometry\":{\"type\":\"LineString\",\"coordinates\":[";
+    bool first_pt = true;
+    for (const auto& r : t.records()) {
+      if (!first_pt) out += ',';
+      first_pt = false;
+      double x = r.location.x, y = r.location.y;
+      if (projection.has_value()) {
+        geo::LatLon ll = projection->Backward(r.location);
+        x = ll.lon_deg;
+        y = ll.lat_deg;
+      }
+      out += '[' + FormatDouble(x, 6) + ',' + FormatDouble(y, 6) + ']';
+    }
+    out += "]}}";
+  }
+  out += "]}";
+  return out;
+}
+
+Status WriteGeoJson(const traj::TrajectoryDatabase& db,
+                    const std::string& path,
+                    const std::optional<geo::LocalProjection>& projection) {
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) return Status::IOError("cannot open for write: " + path);
+  f << ToGeoJson(db, projection);
+  f.close();
+  if (!f) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace ftl::io

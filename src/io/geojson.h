@@ -1,0 +1,35 @@
+#ifndef FTL_IO_GEOJSON_H_
+#define FTL_IO_GEOJSON_H_
+
+/// \file geojson.h
+/// GeoJSON export for visualization.
+///
+/// Writes a FeatureCollection with one LineString per trajectory
+/// (properties: label, owner, record count). When a LocalProjection is
+/// provided, planar coordinates are inverse-projected to WGS-84 lon/lat
+/// so files drop straight into geojson.io / QGIS / kepler.gl; otherwise
+/// raw planar meters are emitted.
+
+#include <optional>
+#include <string>
+
+#include "geo/projection.h"
+#include "traj/database.h"
+#include "util/status.h"
+
+namespace ftl::io {
+
+/// Serializes the database as GeoJSON.
+std::string ToGeoJson(const traj::TrajectoryDatabase& db,
+                      const std::optional<geo::LocalProjection>& projection =
+                          std::nullopt);
+
+/// Writes GeoJSON to `path`.
+Status WriteGeoJson(const traj::TrajectoryDatabase& db,
+                    const std::string& path,
+                    const std::optional<geo::LocalProjection>& projection =
+                        std::nullopt);
+
+}  // namespace ftl::io
+
+#endif  // FTL_IO_GEOJSON_H_

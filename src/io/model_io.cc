@@ -1,0 +1,94 @@
+#include "io/model_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace ftl::io {
+
+namespace {
+constexpr char kMagic[] = "ftl-compat-model v1";
+}  // namespace
+
+std::string ModelToString(const core::CompatibilityModel& model) {
+  std::ostringstream out;
+  out << kMagic << '\n';
+  out << "unit_seconds " << model.time_unit_seconds() << '\n';
+  out << "buckets " << model.probs().size() << '\n';
+  const auto& support = model.support();
+  for (size_t i = 0; i < model.probs().size(); ++i) {
+    int64_t s = i < support.size() ? support[i] : 0;
+    out << FormatDouble(model.probs()[i], 10) << ' ' << s << '\n';
+  }
+  return out.str();
+}
+
+Result<core::CompatibilityModel> ModelFromString(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || Trim(line) != kMagic) {
+    return Status::IOError("bad model magic line");
+  }
+  int64_t unit = 0, buckets = 0;
+  if (!std::getline(in, line)) return Status::IOError("missing unit line");
+  {
+    auto fields = Split(std::string(Trim(line)), ' ');
+    if (fields.size() != 2 || fields[0] != "unit_seconds" ||
+        !ParseInt64(fields[1], &unit)) {
+      return Status::IOError("bad unit line: '" + line + "'");
+    }
+  }
+  if (!std::getline(in, line)) return Status::IOError("missing buckets line");
+  {
+    auto fields = Split(std::string(Trim(line)), ' ');
+    if (fields.size() != 2 || fields[0] != "buckets" ||
+        !ParseInt64(fields[1], &buckets) || buckets < 0) {
+      return Status::IOError("bad buckets line: '" + line + "'");
+    }
+  }
+  std::vector<double> probs;
+  std::vector<int64_t> support;
+  probs.reserve(static_cast<size_t>(buckets));
+  for (int64_t i = 0; i < buckets; ++i) {
+    if (!std::getline(in, line)) {
+      return Status::IOError("truncated model: expected " +
+                             std::to_string(buckets) + " buckets, got " +
+                             std::to_string(i));
+    }
+    auto fields = Split(std::string(Trim(line)), ' ');
+    double p = 0;
+    int64_t s = 0;
+    if (fields.size() != 2 || !ParseDouble(fields[0], &p) ||
+        !ParseInt64(fields[1], &s)) {
+      return Status::IOError("bad bucket line: '" + line + "'");
+    }
+    probs.push_back(p);
+    support.push_back(s);
+  }
+  core::CompatibilityModel model(unit, std::move(probs));
+  model.set_support(std::move(support));
+  Status st = model.Validate();
+  if (!st.ok()) return st;
+  return model;
+}
+
+Status WriteModel(const core::CompatibilityModel& model,
+                  const std::string& path) {
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) return Status::IOError("cannot open for write: " + path);
+  f << ModelToString(model);
+  f.close();
+  if (!f) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<core::CompatibilityModel> ReadModel(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) return Status::IOError("cannot open for read: " + path);
+  std::stringstream buf;
+  buf << f.rdbuf();
+  return ModelFromString(buf.str());
+}
+
+}  // namespace ftl::io

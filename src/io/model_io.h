@@ -1,0 +1,37 @@
+#ifndef FTL_IO_MODEL_IO_H_
+#define FTL_IO_MODEL_IO_H_
+
+/// \file model_io.h
+/// Persistence for trained compatibility models, so expensive training
+/// runs can be reused across sessions / shipped with deployments.
+///
+/// Format (plain text, line oriented):
+///   ftl-compat-model v1
+///   unit_seconds <int>
+///   buckets <n>
+///   <prob_0> <support_0>
+///   ...
+
+#include <string>
+
+#include "core/compatibility_model.h"
+#include "util/status.h"
+
+namespace ftl::io {
+
+/// Serializes a model to its text format.
+std::string ModelToString(const core::CompatibilityModel& model);
+
+/// Parses a model from the text format.
+Result<core::CompatibilityModel> ModelFromString(const std::string& text);
+
+/// Writes a model to `path`.
+Status WriteModel(const core::CompatibilityModel& model,
+                  const std::string& path);
+
+/// Reads a model from `path`.
+Result<core::CompatibilityModel> ReadModel(const std::string& path);
+
+}  // namespace ftl::io
+
+#endif  // FTL_IO_MODEL_IO_H_

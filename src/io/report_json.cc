@@ -1,0 +1,206 @@
+#include "io/report_json.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace ftl::io {
+
+void JsonWriter::Separate() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!needs_comma_.empty()) {
+    if (needs_comma_.back()) out_ += ',';
+    needs_comma_.back() = true;
+  }
+}
+
+std::string JsonWriter::Escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::BeginObject() {
+  Separate();
+  out_ += '{';
+  needs_comma_.push_back(false);
+}
+
+void JsonWriter::EndObject() {
+  out_ += '}';
+  needs_comma_.pop_back();
+}
+
+void JsonWriter::BeginArray() {
+  Separate();
+  out_ += '[';
+  needs_comma_.push_back(false);
+}
+
+void JsonWriter::EndArray() {
+  out_ += ']';
+  needs_comma_.pop_back();
+}
+
+void JsonWriter::Key(const std::string& k) {
+  Separate();
+  out_ += '"';
+  out_ += Escape(k);
+  out_ += "\":";
+  after_key_ = true;
+}
+
+void JsonWriter::Value(const std::string& v) {
+  Separate();
+  out_ += '"';
+  out_ += Escape(v);
+  out_ += '"';
+}
+
+void JsonWriter::Value(const char* v) { Value(std::string(v)); }
+
+void JsonWriter::Value(double v) {
+  Separate();
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.15g", v);
+  out_ += buf;
+}
+
+void JsonWriter::Value(int64_t v) {
+  Separate();
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  out_ += buf;
+}
+
+void JsonWriter::Value(uint64_t v) {
+  Separate();
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out_ += buf;
+}
+
+void JsonWriter::Value(bool v) {
+  Separate();
+  out_ += v ? "true" : "false";
+}
+
+void JsonWriter::Null() {
+  Separate();
+  out_ += "null";
+}
+
+std::string QueryResultToJson(const std::string& query_label,
+                              const core::QueryResult& result) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("query");
+  w.Value(query_label);
+  w.Key("selectiveness");
+  w.Value(result.selectiveness);
+  w.Key("candidates");
+  w.BeginArray();
+  for (const auto& c : result.candidates) {
+    w.BeginObject();
+    w.Key("label");
+    w.Value(c.label);
+    w.Key("index");
+    w.Value(static_cast<uint64_t>(c.index));
+    w.Key("score");
+    w.Value(c.score);
+    w.Key("p1");
+    w.Value(c.p1);
+    w.Key("p2");
+    w.Value(c.p2);
+    w.Key("incompatible");
+    w.Value(static_cast<int64_t>(c.k_observed));
+    w.Key("segments");
+    w.Value(static_cast<uint64_t>(c.n_segments));
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.str();
+}
+
+std::string MetricsToJson(const eval::WorkloadMetrics& metrics) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("num_queries");
+  w.Value(static_cast<uint64_t>(metrics.num_queries));
+  w.Key("perceptiveness");
+  w.Value(metrics.perceptiveness);
+  w.Key("selectiveness");
+  w.Value(metrics.selectiveness);
+  w.Key("mean_candidates");
+  w.Value(metrics.mean_candidates);
+  w.Key("true_match_ranks");
+  w.BeginArray();
+  for (int64_t r : metrics.true_match_ranks) w.Value(r);
+  w.EndArray();
+  w.EndObject();
+  return w.str();
+}
+
+std::string ClustersToJson(
+    const std::vector<core::IdentityCluster>& clusters,
+    const std::vector<const traj::TrajectoryDatabase*>& dbs) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("identities");
+  w.BeginArray();
+  for (const auto& cluster : clusters) {
+    w.BeginObject();
+    w.Key("members");
+    w.BeginArray();
+    for (const auto& m : cluster.members) {
+      w.BeginObject();
+      w.Key("source");
+      w.Value(static_cast<uint64_t>(m.source));
+      w.Key("index");
+      w.Value(static_cast<uint64_t>(m.index));
+      if (m.source < dbs.size() && dbs[m.source] != nullptr &&
+          m.index < dbs[m.source]->size()) {
+        w.Key("label");
+        w.Value((*dbs[m.source])[m.index].label());
+      }
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.str();
+}
+
+}  // namespace ftl::io

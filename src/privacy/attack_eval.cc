@@ -1,0 +1,34 @@
+#include "privacy/attack_eval.h"
+
+#include "eval/metrics.h"
+
+namespace ftl::privacy {
+
+Result<RiskReport> EvaluateLinkageRisk(
+    const traj::TrajectoryDatabase& p,
+    const traj::TrajectoryDatabase& q_release,
+    const AttackOptions& options) {
+  core::FtlEngine engine(options.engine);
+  FTL_RETURN_NOT_OK(engine.Train(p, q_release));
+
+  eval::Workload workload = eval::MakeWorkload(p, q_release,
+                                               options.workload);
+  if (workload.queries.empty()) {
+    return Status::FailedPrecondition(
+        "no eligible attack queries (release too heavily defended?)");
+  }
+  auto results =
+      engine.BatchQuery(workload.queries, q_release, options.matcher);
+  if (!results.ok()) return results.status();
+
+  eval::WorkloadMetrics m =
+      eval::ComputeMetrics(results.value(), workload.owners, q_release);
+  RiskReport report;
+  report.perceptiveness = m.perceptiveness;
+  report.top1_accuracy = eval::PrecisionAtK(m.true_match_ranks, 1);
+  report.mean_candidates = m.mean_candidates;
+  report.num_queries = m.num_queries;
+  return report;
+}
+
+}  // namespace ftl::privacy

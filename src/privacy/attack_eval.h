@@ -1,0 +1,45 @@
+#ifndef FTL_PRIVACY_ATTACK_EVAL_H_
+#define FTL_PRIVACY_ATTACK_EVAL_H_
+
+/// \file attack_eval.h
+/// Quantifies re-identification risk: FTL run as an adversary against a
+/// (possibly defended) database release.
+///
+/// Risk model: the adversary holds database P (their own service's
+/// data) and obtains a release of database Q. For each P-trajectory they
+/// run FTL and attempt re-identification. Reported risk:
+///  * perceptiveness — the true owner is somewhere in the candidate set,
+///  * top1_accuracy  — the highest-ranked candidate is the true owner,
+///  * mean candidate-set size — the adversary's residual uncertainty.
+
+#include "core/engine.h"
+#include "eval/workload.h"
+#include "traj/database.h"
+#include "util/status.h"
+
+namespace ftl::privacy {
+
+/// Attack outcome on one database release.
+struct RiskReport {
+  double perceptiveness = 0.0;   ///< true owner within candidate set
+  double top1_accuracy = 0.0;    ///< true owner ranked first
+  double mean_candidates = 0.0;  ///< residual uncertainty
+  size_t num_queries = 0;
+};
+
+/// Attack configuration.
+struct AttackOptions {
+  core::EngineOptions engine;       ///< adversary's FTL configuration
+  eval::WorkloadOptions workload;   ///< which P-trajectories attack
+  core::Matcher matcher = core::Matcher::kNaiveBayes;
+};
+
+/// Trains FTL on (p, q_release) — the adversary can always self-train on
+/// the released data — and measures re-identification risk.
+Result<RiskReport> EvaluateLinkageRisk(const traj::TrajectoryDatabase& p,
+                                       const traj::TrajectoryDatabase& q_release,
+                                       const AttackOptions& options);
+
+}  // namespace ftl::privacy
+
+#endif  // FTL_PRIVACY_ATTACK_EVAL_H_

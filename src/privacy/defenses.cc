@@ -1,0 +1,80 @@
+#include "privacy/defenses.h"
+
+#include <cmath>
+
+namespace ftl::privacy {
+
+namespace {
+
+template <typename Fn>
+traj::TrajectoryDatabase TransformRecords(const traj::TrajectoryDatabase& db,
+                                          Fn&& fn) {
+  traj::TrajectoryDatabase out(db.name());
+  for (const auto& t : db) {
+    std::vector<traj::Record> recs;
+    recs.reserve(t.size());
+    for (const auto& r : t.records()) {
+      traj::Record nr = r;
+      fn(&nr);
+      recs.push_back(nr);
+    }
+    (void)out.Add(traj::Trajectory(t.label(), t.owner(), std::move(recs)));
+  }
+  return out;
+}
+
+}  // namespace
+
+traj::TrajectoryDatabase SpatialCloaking(const traj::TrajectoryDatabase& db,
+                                         double grid_meters) {
+  return TransformRecords(db, [grid_meters](traj::Record* r) {
+    r->location.x =
+        (std::floor(r->location.x / grid_meters) + 0.5) * grid_meters;
+    r->location.y =
+        (std::floor(r->location.y / grid_meters) + 0.5) * grid_meters;
+  });
+}
+
+traj::TrajectoryDatabase TemporalCloaking(const traj::TrajectoryDatabase& db,
+                                          int64_t window_seconds) {
+  return TransformRecords(db, [window_seconds](traj::Record* r) {
+    // Floor toward -inf so the transform is monotone (keeps sorting).
+    int64_t t = r->t;
+    int64_t w = window_seconds;
+    r->t = (t >= 0 ? t / w : (t - w + 1) / w) * w;
+  });
+}
+
+traj::TrajectoryDatabase GaussianPerturbation(
+    const traj::TrajectoryDatabase& db, double sigma_meters, Rng* rng) {
+  traj::TrajectoryDatabase out(db.name());
+  for (const auto& t : db) {
+    Rng sub = rng->Fork();
+    std::vector<traj::Record> recs;
+    recs.reserve(t.size());
+    for (const auto& r : t.records()) {
+      traj::Record nr = r;
+      nr.location.x += sub.Normal(0.0, sigma_meters);
+      nr.location.y += sub.Normal(0.0, sigma_meters);
+      recs.push_back(nr);
+    }
+    (void)out.Add(traj::Trajectory(t.label(), t.owner(), std::move(recs)));
+  }
+  return out;
+}
+
+traj::TrajectoryDatabase RecordSuppression(const traj::TrajectoryDatabase& db,
+                                           double keep_prob, Rng* rng) {
+  traj::TrajectoryDatabase out(db.name());
+  for (const auto& t : db) {
+    Rng sub = rng->Fork();
+    std::vector<traj::Record> recs;
+    for (const auto& r : t.records()) {
+      if (sub.Bernoulli(keep_prob)) recs.push_back(r);
+    }
+    (void)out.Add(traj::Trajectory(t.label(), t.owner(), std::move(recs)));
+  }
+  return out;
+}
+
+}  // namespace ftl::privacy

@@ -1,0 +1,42 @@
+#ifndef FTL_PRIVACY_DEFENSES_H_
+#define FTL_PRIVACY_DEFENSES_H_
+
+/// \file defenses.h
+/// Location-privacy defenses against fuzzy trajectory linking.
+///
+/// The paper closes by flagging FTL's privacy implications as future
+/// work. This module implements the standard data-release defenses a
+/// service provider can apply before sharing a trajectory database, so
+/// that bench_privacy can quantify how each degrades the FTL attack:
+///  * spatial cloaking   — generalize locations to a coarse grid,
+///  * temporal cloaking  — round timestamps to coarse windows,
+///  * Gaussian perturbation — add planar noise to each location,
+///  * record suppression — publish only a subsample of records.
+///
+/// Every defense is a pure database->database transform; all randomness
+/// is seeded.
+
+#include "traj/database.h"
+#include "util/rng.h"
+
+namespace ftl::privacy {
+
+/// Snaps every location to the center of a `grid_meters` cell.
+traj::TrajectoryDatabase SpatialCloaking(const traj::TrajectoryDatabase& db,
+                                         double grid_meters);
+
+/// Rounds every timestamp down to a multiple of `window_seconds`.
+traj::TrajectoryDatabase TemporalCloaking(const traj::TrajectoryDatabase& db,
+                                          int64_t window_seconds);
+
+/// Adds independent N(0, sigma^2) noise to each coordinate.
+traj::TrajectoryDatabase GaussianPerturbation(
+    const traj::TrajectoryDatabase& db, double sigma_meters, Rng* rng);
+
+/// Keeps each record independently with probability `keep_prob`.
+traj::TrajectoryDatabase RecordSuppression(const traj::TrajectoryDatabase& db,
+                                           double keep_prob, Rng* rng);
+
+}  // namespace ftl::privacy
+
+#endif  // FTL_PRIVACY_DEFENSES_H_

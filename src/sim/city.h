@@ -1,0 +1,78 @@
+#ifndef FTL_SIM_CITY_H_
+#define FTL_SIM_CITY_H_
+
+/// \file city.h
+/// City models for the mobility simulator.
+///
+/// The paper's datasets come from Singapore (taxi log + trip databases)
+/// and Beijing (T-Drive). We model each as a bounded planar region with
+/// a speed regime; the FTL-relevant properties are the spatial extent
+/// (which bounds how incompatible two far-apart records can be) and the
+/// realistic travel speeds (which stay below Vmax).
+
+#include <vector>
+
+#include "geo/point.h"
+
+namespace ftl::sim {
+
+/// Static description of a city for simulation purposes.
+struct CityModel {
+  geo::BoundingBox bounds;      ///< city extent, meters
+  double min_speed_mps = 0.0;   ///< slowest travel speed
+  double max_speed_mps = 0.0;   ///< fastest travel speed (< FTL Vmax)
+  double road_factor = 1.25;    ///< path length inflation vs straight line
+
+  /// Attraction points (CBD, airport, malls, stations) that draw a
+  /// disproportionate share of trips. Shared destinations make
+  /// *different* moving objects frequently co-located — the property of
+  /// real urban data that makes fuzzy linking genuinely hard.
+  std::vector<geo::Point> hotspots;
+
+  /// Longest possible straight-line distance inside the city.
+  double Diameter() const { return bounds.Diagonal(); }
+};
+
+/// Singapore-like city: ~40 km x 25 km, urban taxi speeds, a compact
+/// set of high-traffic hotspots.
+inline CityModel SingaporeLike() {
+  CityModel c;
+  c.bounds = geo::BoundingBox{0.0, 0.0, 40000.0, 25000.0};
+  c.min_speed_mps = geo::KphToMps(20.0);
+  c.max_speed_mps = geo::KphToMps(70.0);
+  c.road_factor = 1.3;
+  c.hotspots = {
+      {20000.0, 12000.0},  // CBD
+      {36000.0, 9000.0},   // airport (east)
+      {9000.0, 15000.0},   // west hub
+      {24000.0, 18000.0},  // north mall belt
+      {15000.0, 6000.0},   // south port
+      {28000.0, 13000.0},  // east-central interchange
+  };
+  return c;
+}
+
+/// Beijing-like city: ~50 km x 50 km ("much larger scale than
+/// Singapore" — paper Section VII-B), hotspots spread wider.
+inline CityModel BeijingLike() {
+  CityModel c;
+  c.bounds = geo::BoundingBox{0.0, 0.0, 50000.0, 50000.0};
+  c.min_speed_mps = geo::KphToMps(15.0);
+  c.max_speed_mps = geo::KphToMps(60.0);
+  c.road_factor = 1.4;
+  c.hotspots = {
+      {25000.0, 25000.0},  // center
+      {44000.0, 30000.0},  // airport (east)
+      {14000.0, 34000.0},  // university district
+      {32000.0, 14000.0},  // south rail hub
+      {10000.0, 12000.0},  // southwest market
+      {38000.0, 42000.0},  // northeast business park
+      {20000.0, 42000.0},  // north residential hub
+      {45000.0, 8000.0},   // southeast industrial
+  };
+  return c;
+}
+
+}  // namespace ftl::sim
+
+#endif  // FTL_SIM_CITY_H_

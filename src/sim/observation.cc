@@ -1,0 +1,86 @@
+#include "sim/observation.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ftl::sim {
+
+traj::Record Observe(Rng* rng, const GroundTruthPath& path,
+                     traj::Timestamp t, const NoiseModel& noise) {
+  traj::Timestamp ts = t;
+  if (noise.time_jitter_seconds > 0) {
+    ts += rng->UniformInt(-noise.time_jitter_seconds,
+                          noise.time_jitter_seconds);
+  }
+  geo::Point p = path.PositionAt(t);
+  if (noise.cell_grid_meters > 0.0) {
+    double g = noise.cell_grid_meters;
+    p.x = std::round(p.x / g) * g;
+    p.y = std::round(p.y / g) * g;
+  } else if (noise.gps_sigma_meters > 0.0) {
+    p.x += rng->Normal(0.0, noise.gps_sigma_meters);
+    p.y += rng->Normal(0.0, noise.gps_sigma_meters);
+  }
+  return traj::Record{p, ts};
+}
+
+std::vector<traj::Record> SamplePeriodic(Rng* rng,
+                                         const GroundTruthPath& path,
+                                         const PeriodicSampler& sampler,
+                                         const ActivityPattern& activity,
+                                         const NoiseModel& noise) {
+  std::vector<traj::Record> out;
+  if (path.empty()) return out;
+  traj::Timestamp t0 = path.start_time();
+  traj::Timestamp t1 = path.end_time();
+  // Iterate day by day.
+  int64_t first_day = t0 / activity.day_seconds;
+  int64_t last_day = t1 / activity.day_seconds;
+  for (int64_t day = first_day; day <= last_day; ++day) {
+    int64_t day_start = day * activity.day_seconds;
+    double jitter = rng->Uniform(-activity.start_jitter_seconds,
+                                 activity.start_jitter_seconds);
+    traj::Timestamp on = day_start + activity.active_start_offset +
+                         static_cast<int64_t>(jitter);
+    traj::Timestamp off = on + activity.active_duration;
+    traj::Timestamp t = std::max(on, t0);
+    traj::Timestamp end = std::min(off, t1);
+    while (t < end) {
+      if (sampler.keep_prob >= 1.0 || rng->Bernoulli(sampler.keep_prob)) {
+        out.push_back(Observe(rng, path, t, noise));
+      }
+      double step = sampler.interval_seconds *
+                    rng->Uniform(1.0 - sampler.interval_jitter,
+                                 1.0 + sampler.interval_jitter);
+      t += std::max<int64_t>(1, static_cast<int64_t>(std::llround(step)));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const traj::Record& a, const traj::Record& b) {
+              return a.t < b.t;
+            });
+  return out;
+}
+
+std::vector<traj::Record> SamplePoisson(Rng* rng,
+                                        const GroundTruthPath& path,
+                                        double rate_per_second,
+                                        const NoiseModel& noise) {
+  std::vector<traj::Record> out;
+  if (path.empty() || rate_per_second <= 0.0) return out;
+  auto times = PoissonProcess(
+      rng, rate_per_second, static_cast<double>(path.start_time()),
+      static_cast<double>(path.end_time()));
+  out.reserve(times.size());
+  for (double td : times) {
+    out.push_back(
+        Observe(rng, path, static_cast<traj::Timestamp>(td), noise));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const traj::Record& a, const traj::Record& b) {
+              return a.t < b.t;
+            });
+  return out;
+}
+
+}  // namespace ftl::sim

@@ -1,0 +1,75 @@
+#ifndef FTL_SIM_OBSERVATION_H_
+#define FTL_SIM_OBSERVATION_H_
+
+/// \file observation.h
+/// Observation channels: turn a ground-truth path into the noisy,
+/// sparse location–timestamp records a service provider would store.
+///
+/// Models the paper's three data-quality challenges directly:
+///  * sparsity      — periodic/Poisson sampling with activity windows,
+///  * non-exact matching — independent channels sample at different times,
+///  * inaccuracy    — Gaussian GPS noise / cell-tower-like quantization.
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/path.h"
+#include "traj/trajectory.h"
+#include "util/rng.h"
+
+namespace ftl::sim {
+
+/// Location-reading noise model.
+struct NoiseModel {
+  /// Gaussian position noise standard deviation per axis, meters
+  /// (GPS: tens of meters).
+  double gps_sigma_meters = 50.0;
+
+  /// Cell-tower style quantization: when > 0, readings snap to a square
+  /// grid of this pitch *instead of* adding Gaussian noise — "the user
+  /// location in CDR data is usually the location of a nearby cell
+  /// tower, which can be hundreds of meters away".
+  double cell_grid_meters = 0.0;
+
+  /// Uniform timestamp jitter, +/- seconds.
+  int64_t time_jitter_seconds = 0;
+};
+
+/// Applies the noise model to a true position/time.
+traj::Record Observe(Rng* rng, const GroundTruthPath& path,
+                     traj::Timestamp t, const NoiseModel& noise);
+
+/// Periodic sampling: one reading every ~`interval` seconds (jittered by
+/// +/- `interval_jitter`) inside each [on, off) activity window,
+/// independently kept with probability `keep_prob`.
+struct PeriodicSampler {
+  double interval_seconds = 60.0;
+  double interval_jitter = 0.3;  ///< fraction of interval
+  double keep_prob = 1.0;        ///< thinning (== down-sampling at source)
+};
+
+/// Daily activity pattern: the object emits readings only during an
+/// active window each day (e.g. a taxi shift).
+struct ActivityPattern {
+  int64_t day_seconds = 86400;
+  int64_t active_start_offset = 6 * 3600;  ///< seconds after midnight
+  int64_t active_duration = 14 * 3600;     ///< shift length
+  double start_jitter_seconds = 3600.0;    ///< per-day uniform jitter
+};
+
+/// Samples a path periodically within daily activity windows.
+std::vector<traj::Record> SamplePeriodic(Rng* rng, const GroundTruthPath& path,
+                                         const PeriodicSampler& sampler,
+                                         const ActivityPattern& activity,
+                                         const NoiseModel& noise);
+
+/// Samples a path at Poisson-process event times with the given rate
+/// (events/second) over the whole path span — the Section VI access
+/// model (e.g. phone calls, card payments).
+std::vector<traj::Record> SamplePoisson(Rng* rng, const GroundTruthPath& path,
+                                        double rate_per_second,
+                                        const NoiseModel& noise);
+
+}  // namespace ftl::sim
+
+#endif  // FTL_SIM_OBSERVATION_H_

@@ -1,0 +1,115 @@
+#include "sim/path.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ftl::sim {
+
+geo::Point GroundTruthPath::PositionAt(traj::Timestamp t) const {
+  if (knots_.empty()) return geo::Point{};
+  if (t <= knots_.front().t) return knots_.front().location;
+  if (t >= knots_.back().t) return knots_.back().location;
+  auto it = std::lower_bound(
+      knots_.begin(), knots_.end(), t,
+      [](const traj::Record& r, traj::Timestamp ts) { return r.t < ts; });
+  // it points at the first knot with knot.t >= t; it > begin here.
+  const traj::Record& hi = *it;
+  const traj::Record& lo = *(it - 1);
+  if (hi.t == lo.t) return hi.location;
+  double frac = static_cast<double>(t - lo.t) /
+                static_cast<double>(hi.t - lo.t);
+  return geo::Lerp(lo.location, hi.location, frac);
+}
+
+double GroundTruthPath::MeanSpeed(traj::Timestamp t, int64_t dt) const {
+  if (dt <= 0) return 0.0;
+  geo::Point a = PositionAt(t);
+  geo::Point b = PositionAt(t + dt);
+  return geo::Distance(a, b) / static_cast<double>(dt);
+}
+
+double GroundTruthPath::MaxKnotSpeed() const {
+  double vmax = 0.0;
+  for (size_t i = 1; i < knots_.size(); ++i) {
+    int64_t dt = knots_[i].t - knots_[i - 1].t;
+    if (dt <= 0) continue;
+    double v = geo::Distance(knots_[i].location, knots_[i - 1].location) /
+               static_cast<double>(dt);
+    vmax = std::max(vmax, v);
+  }
+  return vmax;
+}
+
+namespace {
+
+/// Laplace-distributed offset with the given scale.
+double LaplaceOffset(Rng* rng, double scale) {
+  double u = rng->Uniform(-0.5, 0.5);
+  double sign = u < 0 ? -1.0 : 1.0;
+  return -scale * sign * std::log(1.0 - 2.0 * std::abs(u));
+}
+
+geo::Point NextWaypoint(Rng* rng, const CityModel& city,
+                        const geo::Point& from,
+                        const WaypointParams& params) {
+  if (!city.hotspots.empty() && rng->Bernoulli(params.hotspot_prob)) {
+    const geo::Point& h = city.hotspots[rng->Index(city.hotspots.size())];
+    geo::Point p{h.x + LaplaceOffset(rng, params.hotspot_scatter_meters),
+                 h.y + LaplaceOffset(rng, params.hotspot_scatter_meters)};
+    return city.bounds.Clamp(p);
+  }
+  if (rng->Bernoulli(params.long_trip_prob)) {
+    return geo::Point{
+        rng->Uniform(city.bounds.min_x, city.bounds.max_x),
+        rng->Uniform(city.bounds.min_y, city.bounds.max_y)};
+  }
+  geo::Point p{from.x + LaplaceOffset(rng, params.trip_scale_meters),
+               from.y + LaplaceOffset(rng, params.trip_scale_meters)};
+  return city.bounds.Clamp(p);
+}
+
+}  // namespace
+
+GroundTruthPath GenerateWaypointPath(Rng* rng, const CityModel& city,
+                                     traj::Timestamp t0, traj::Timestamp t1,
+                                     const WaypointParams& params) {
+  std::vector<traj::Record> knots;
+  geo::Point pos{rng->Uniform(city.bounds.min_x, city.bounds.max_x),
+                 rng->Uniform(city.bounds.min_y, city.bounds.max_y)};
+  traj::Timestamp t = t0;
+  knots.push_back(traj::Record{pos, t});
+  while (t < t1) {
+    // Dwell.
+    int64_t dwell = std::max<int64_t>(
+        1, static_cast<int64_t>(
+               std::llround(rng->Exponential(1.0 / params.mean_dwell_seconds))));
+    t += dwell;
+    if (t >= t1) {
+      knots.push_back(traj::Record{pos, t1});
+      break;
+    }
+    knots.push_back(traj::Record{pos, t});
+    // Travel. Road factor inflates effective trip time so the observed
+    // straight-line speed stays safely below the physical speed.
+    geo::Point dest = NextWaypoint(rng, city, pos, params);
+    double speed = rng->Uniform(city.min_speed_mps, city.max_speed_mps);
+    double straight = geo::Distance(pos, dest);
+    double travel_s = straight * city.road_factor / std::max(0.1, speed);
+    int64_t dt = std::max<int64_t>(1, static_cast<int64_t>(
+                                          std::llround(travel_s)));
+    t += dt;
+    pos = dest;
+    if (t >= t1) {
+      // Truncate the final leg at t1 (position interpolated).
+      double frac = 1.0 - static_cast<double>(t - t1) /
+                              static_cast<double>(dt);
+      geo::Point cut = geo::Lerp(knots.back().location, dest, frac);
+      knots.push_back(traj::Record{cut, t1});
+      break;
+    }
+    knots.push_back(traj::Record{pos, t});
+  }
+  return GroundTruthPath(std::move(knots));
+}
+
+}  // namespace ftl::sim

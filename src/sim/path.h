@@ -1,0 +1,82 @@
+#ifndef FTL_SIM_PATH_H_
+#define FTL_SIM_PATH_H_
+
+/// \file path.h
+/// Ground-truth continuous motion of one moving object.
+///
+/// A path is a piecewise-linear function time -> position given by
+/// knots; positions between knots are interpolated. Knot sequences are
+/// produced by a waypoint process: alternate dwells (stay in place) and
+/// travels (move to a new waypoint at a bounded speed). Every sampled
+/// observation in the synthetic datasets is a (possibly noisy) reading
+/// of such a path, so the maximum-speed constraint FTL relies on holds
+/// by construction.
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/point.h"
+#include "sim/city.h"
+#include "traj/record.h"
+#include "util/rng.h"
+
+namespace ftl::sim {
+
+/// Piecewise-linear ground-truth motion.
+class GroundTruthPath {
+ public:
+  GroundTruthPath() = default;
+
+  /// `knots` must be sorted by time and non-empty for PositionAt.
+  explicit GroundTruthPath(std::vector<traj::Record> knots)
+      : knots_(std::move(knots)) {}
+
+  /// Exact position at time `t` (clamped to the path's time span).
+  geo::Point PositionAt(traj::Timestamp t) const;
+
+  /// True ground-truth speed over [t, t+dt], m/s.
+  double MeanSpeed(traj::Timestamp t, int64_t dt) const;
+
+  const std::vector<traj::Record>& knots() const { return knots_; }
+  bool empty() const { return knots_.empty(); }
+  traj::Timestamp start_time() const { return knots_.front().t; }
+  traj::Timestamp end_time() const { return knots_.back().t; }
+
+  /// Maximum speed between consecutive knots, m/s (invariant check).
+  double MaxKnotSpeed() const;
+
+ private:
+  std::vector<traj::Record> knots_;
+};
+
+/// Waypoint-process parameters.
+struct WaypointParams {
+  /// Mean dwell between trips, seconds (exponential).
+  double mean_dwell_seconds = 600.0;
+
+  /// Trip displacement scale, meters: destination offsets are Laplace-
+  /// distributed with this scale, clamped into the city — short hops are
+  /// common, cross-city trips rare, as in real mobility.
+  double trip_scale_meters = 4000.0;
+
+  /// Probability a trip targets a uniformly random city point instead of
+  /// a local hop (long-haul fraction).
+  double long_trip_prob = 0.15;
+
+  /// Probability a trip targets one of the city's hotspots (with a small
+  /// scatter). Shared hotspots put different objects in the same place
+  /// at the same time, which is what makes real-world linking fuzzy.
+  double hotspot_prob = 0.35;
+
+  /// Scatter around the chosen hotspot, meters (Laplace scale).
+  double hotspot_scatter_meters = 400.0;
+};
+
+/// Generates a ground-truth path covering [t0, t1].
+GroundTruthPath GenerateWaypointPath(Rng* rng, const CityModel& city,
+                                     traj::Timestamp t0, traj::Timestamp t1,
+                                     const WaypointParams& params);
+
+}  // namespace ftl::sim
+
+#endif  // FTL_SIM_PATH_H_

@@ -1,0 +1,39 @@
+#include "sim/population_sim.h"
+
+#include <string>
+
+namespace ftl::sim {
+
+PopulationData SimulatePopulation(const PopulationOptions& options) {
+  PopulationData data;
+  data.cdr_db.set_name("cdr");
+  data.transit_db.set_name("transit");
+  Rng master(options.seed);
+  int64_t span = options.duration_days * 86400;
+  double cdr_rate = options.cdr_accesses_per_day / 86400.0;
+  double transit_rate = options.transit_accesses_per_day / 86400.0;
+  for (size_t i = 0; i < options.num_persons; ++i) {
+    Rng rng = master.Fork();
+    GroundTruthPath path =
+        GenerateWaypointPath(&rng, options.city, 0, span, options.waypoints);
+    traj::OwnerId owner = static_cast<traj::OwnerId>(i);
+    bool in_both = rng.Bernoulli(options.overlap_fraction);
+    bool cdr_only = !in_both && rng.Bernoulli(0.5);
+    if (in_both || cdr_only) {
+      auto recs = SamplePoisson(&rng, path, cdr_rate, options.cdr_noise);
+      (void)data.cdr_db.Add(
+          traj::Trajectory("phone-" + std::to_string(i), owner,
+                           std::move(recs)));
+    }
+    if (in_both || !cdr_only) {
+      auto recs =
+          SamplePoisson(&rng, path, transit_rate, options.transit_noise);
+      (void)data.transit_db.Add(
+          traj::Trajectory("card-" + std::to_string(i), owner,
+                           std::move(recs)));
+    }
+  }
+  return data;
+}
+
+}  // namespace ftl::sim

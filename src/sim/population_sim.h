@@ -1,0 +1,60 @@
+#ifndef FTL_SIM_POPULATION_SIM_H_
+#define FTL_SIM_POPULATION_SIM_H_
+
+/// \file population_sim.h
+/// Urban population simulator: people exposing their movement to two
+/// services — the paper's motivating scenario (CDR + commuting card).
+///
+/// Each person has one ground-truth path; the two services observe it as
+/// independent Poisson processes (the Section VI access model) with
+/// service-specific noise: the CDR channel quantizes to a cell-tower
+/// grid, the transit channel has GPS/stop-level accuracy.
+
+#include <cstdint>
+
+#include "sim/city.h"
+#include "sim/observation.h"
+#include "sim/path.h"
+#include "traj/database.h"
+
+namespace ftl::sim {
+
+/// Population simulation parameters.
+struct PopulationOptions {
+  CityModel city = SingaporeLike();
+  size_t num_persons = 300;
+  int64_t duration_days = 14;
+
+  /// Mean service accesses per day (Poisson).
+  double cdr_accesses_per_day = 12.0;      ///< calls/SMS/data events
+  double transit_accesses_per_day = 4.0;   ///< card taps
+
+  /// CDR readings snap to a cell-tower grid; transit readings are
+  /// GPS-grade.
+  NoiseModel cdr_noise{0.0, 500.0, 0};
+  NoiseModel transit_noise{20.0, 0.0, 0};
+
+  /// Commuter-style movement: long dwells (home/work), mid-range trips.
+  WaypointParams waypoints{3.5 * 3600.0, 6000.0, 0.1};
+
+  /// Fraction of persons present in BOTH databases; the rest appear in
+  /// only one, making the linking task realistic (not every query has a
+  /// true match, not every candidate is matchable).
+  double overlap_fraction = 1.0;
+
+  uint64_t seed = 11;
+};
+
+/// The two simulated service databases. Owner ids are the person index;
+/// labels "phone-<i>" (eponymous side) / "card-<i>" (anonymous side).
+struct PopulationData {
+  traj::TrajectoryDatabase cdr_db;      ///< eponymous: CDR trajectories
+  traj::TrajectoryDatabase transit_db;  ///< anonymous: commuting cards
+};
+
+/// Runs the simulation. Deterministic given options.seed.
+PopulationData SimulatePopulation(const PopulationOptions& options);
+
+}  // namespace ftl::sim
+
+#endif  // FTL_SIM_POPULATION_SIM_H_

@@ -1,0 +1,114 @@
+#include "sim/scenario.h"
+
+#include <string>
+
+#include "sim/observation.h"
+#include "sim/path.h"
+#include "sim/taxi_sim.h"
+#include "traj/transforms.h"
+#include "util/rng.h"
+
+namespace ftl::sim {
+
+std::vector<DatasetConfig> SingaporeConfigs() {
+  using F = DatasetFamily;
+  return {
+      {"SA", F::kSingaporeTaxi, 0.006, 0.08, 31},
+      {"SB", F::kSingaporeTaxi, 0.008, 0.08, 31},
+      {"SC", F::kSingaporeTaxi, 0.010, 0.08, 31},
+      {"SD", F::kSingaporeTaxi, 0.010, 0.08, 7},
+      {"SE", F::kSingaporeTaxi, 0.010, 0.08, 14},
+      {"SF", F::kSingaporeTaxi, 0.010, 0.08, 21},
+  };
+}
+
+std::vector<DatasetConfig> TDriveConfigs() {
+  using F = DatasetFamily;
+  return {
+      {"TA", F::kTDrive, 0.06, 0.06, 7},
+      {"TB", F::kTDrive, 0.07, 0.07, 7},
+      {"TC", F::kTDrive, 0.08, 0.08, 7},
+      {"TD", F::kTDrive, 0.08, 0.08, 2},
+      {"TE", F::kTDrive, 0.08, 0.08, 4},
+      {"TF", F::kTDrive, 0.08, 0.08, 6},
+  };
+}
+
+DatasetConfig FindConfig(const std::string& name) {
+  for (const auto& c : SingaporeConfigs()) {
+    if (c.name == name) return c;
+  }
+  for (const auto& c : TDriveConfigs()) {
+    if (c.name == name) return c;
+  }
+  return DatasetConfig{"", DatasetFamily::kSingaporeTaxi, 0, 0, 0};
+}
+
+namespace {
+
+DatasetPair BuildSingapore(const DatasetConfig& config, size_t num_objects,
+                           uint64_t seed) {
+  TaxiFleetOptions opts;
+  opts.num_taxis = num_objects;
+  opts.duration_days = config.duration_days;
+  // Thin at the source: keep_prob == the Table I sampling rate.
+  opts.log_sampler.keep_prob = config.rate_p;
+  opts.trip_sampler.keep_prob = config.rate_q;
+  opts.seed = seed;
+  TaxiFleetData fleet = SimulateTaxiFleet(opts);
+  DatasetPair pair;
+  pair.name = config.name;
+  pair.p = std::move(fleet.log_db);
+  pair.q = std::move(fleet.trip_db);
+  pair.p.set_name(config.name + "/P");
+  pair.q.set_name(config.name + "/Q");
+  return pair;
+}
+
+DatasetPair BuildTDrive(const DatasetConfig& config, size_t num_objects,
+                        uint64_t seed) {
+  CityModel city = BeijingLike();
+  // T-Drive-like raw channel: one report every ~177 s during a ~12 h
+  // active day.
+  PeriodicSampler raw_sampler{177.0, 0.35, 1.0};
+  ActivityPattern activity{86400, 7 * 3600, 12 * 3600, 3600.0};
+  NoiseModel noise{40.0, 0.0, 0};
+  WaypointParams waypoints{180.0, 6000.0, 0.25};
+  int64_t span = config.duration_days * 86400;
+
+  DatasetPair pair;
+  pair.name = config.name;
+  pair.p.set_name(config.name + "/P");
+  pair.q.set_name(config.name + "/Q");
+  Rng master(seed);
+  for (size_t i = 0; i < num_objects; ++i) {
+    Rng rng = master.Fork();
+    GroundTruthPath path =
+        GenerateWaypointPath(&rng, city, 0, span, waypoints);
+    auto records = SamplePeriodic(&rng, path, raw_sampler, activity, noise);
+    traj::Trajectory full("t" + std::to_string(i),
+                          static_cast<traj::OwnerId>(i), std::move(records));
+    // The paper's procedure: random 50/50 record split, then down-sample.
+    auto [a, b] = traj::SplitRecords(full, &rng);
+    traj::Trajectory pa = traj::DownSample(a, config.rate_p, &rng);
+    traj::Trajectory qb = traj::DownSample(b, config.rate_q, &rng);
+    (void)pair.p.Add(std::move(pa));
+    (void)pair.q.Add(std::move(qb));
+  }
+  return pair;
+}
+
+}  // namespace
+
+DatasetPair BuildDataset(const DatasetConfig& config, size_t num_objects,
+                         uint64_t seed) {
+  switch (config.family) {
+    case DatasetFamily::kSingaporeTaxi:
+      return BuildSingapore(config, num_objects, seed);
+    case DatasetFamily::kTDrive:
+      return BuildTDrive(config, num_objects, seed);
+  }
+  return DatasetPair{};
+}
+
+}  // namespace ftl::sim

@@ -1,0 +1,63 @@
+#ifndef FTL_SIM_SCENARIO_H_
+#define FTL_SIM_SCENARIO_H_
+
+/// \file scenario.h
+/// Named experiment datasets: the 12 configurations of the paper's
+/// Table I (SA–SF from Singapore-taxi-style data; TA–TF from
+/// T-Drive-style data), derived from the simulators by down-sampling and
+/// duration trimming exactly as the paper derives them from the raw
+/// datasets.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "traj/database.h"
+
+namespace ftl::sim {
+
+/// Which simulated raw dataset a configuration is derived from.
+enum class DatasetFamily {
+  kSingaporeTaxi,  ///< two channels (log + trip) of one fleet
+  kTDrive,         ///< one channel randomly split in two
+};
+
+/// One Table I column.
+struct DatasetConfig {
+  std::string name;          ///< "SA" ... "TF"
+  DatasetFamily family = DatasetFamily::kSingaporeTaxi;
+  double rate_p = 0.01;      ///< sampling rate applied to P
+  double rate_q = 0.08;      ///< sampling rate applied to Q
+  int64_t duration_days = 7; ///< trimmed duration
+};
+
+/// The Singapore-derived configurations SA–SF (Table I):
+/// SA/SB/SC vary the P sampling rate (0.006/0.008/0.01) at 31 days;
+/// SD/SE/SF vary duration (7/14/21 days) at rate 0.01.
+std::vector<DatasetConfig> SingaporeConfigs();
+
+/// The T-Drive-derived configurations TA–TF (Table I):
+/// TA/TB/TC vary the sampling rate (0.06/0.07/0.08) at 7 days;
+/// TD/TE/TF vary duration (2/4/6 days) at rate 0.08.
+std::vector<DatasetConfig> TDriveConfigs();
+
+/// Look up a config by name across both families; empty name on miss.
+DatasetConfig FindConfig(const std::string& name);
+
+/// A built (P, Q) database pair.
+struct DatasetPair {
+  std::string name;
+  traj::TrajectoryDatabase p;  ///< query side
+  traj::TrajectoryDatabase q;  ///< candidate side
+};
+
+/// Materializes a configuration with `num_objects` moving objects.
+/// Deterministic given `seed`. Down-sampling is applied at the source
+/// (Bernoulli thinning), which is distributionally identical to
+/// generating the full-rate stream and down-sampling afterwards.
+DatasetPair BuildDataset(const DatasetConfig& config, size_t num_objects,
+                         uint64_t seed);
+
+}  // namespace ftl::sim
+
+#endif  // FTL_SIM_SCENARIO_H_

@@ -1,0 +1,30 @@
+#include "sim/taxi_sim.h"
+
+#include <string>
+
+namespace ftl::sim {
+
+TaxiFleetData SimulateTaxiFleet(const TaxiFleetOptions& options) {
+  TaxiFleetData data;
+  data.log_db.set_name("taxi-log");
+  data.trip_db.set_name("taxi-trip");
+  Rng master(options.seed);
+  int64_t span = options.duration_days * 86400;
+  for (size_t i = 0; i < options.num_taxis; ++i) {
+    Rng rng = master.Fork();
+    GroundTruthPath path =
+        GenerateWaypointPath(&rng, options.city, 0, span, options.waypoints);
+    auto log_records = SamplePeriodic(&rng, path, options.log_sampler,
+                                      options.activity, options.log_noise);
+    auto trip_records = SamplePeriodic(&rng, path, options.trip_sampler,
+                                       options.activity, options.trip_noise);
+    traj::OwnerId owner = static_cast<traj::OwnerId>(i);
+    (void)data.log_db.Add(traj::Trajectory("log-" + std::to_string(i), owner,
+                                           std::move(log_records)));
+    (void)data.trip_db.Add(traj::Trajectory("trip-" + std::to_string(i),
+                                            owner, std::move(trip_records)));
+  }
+  return data;
+}
+
+}  // namespace ftl::sim

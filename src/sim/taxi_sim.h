@@ -1,0 +1,64 @@
+#ifndef FTL_SIM_TAXI_SIM_H_
+#define FTL_SIM_TAXI_SIM_H_
+
+/// \file taxi_sim.h
+/// Singapore-style taxi fleet simulator.
+///
+/// Substitutes the paper's proprietary Singapore taxi dataset: each taxi
+/// has one continuous ground-truth motion per day-shift, observed by two
+/// independent channels kept in two databases —
+///  * **log data**: periodic status reports (30–120 s) while in service,
+///  * **trip data**: one record at each trip start (start time+location,
+///    as the paper uses).
+/// The channels rarely sample the same instant, mirroring the paper's
+/// remark that the two databases "contain few overlap in location
+/// points".
+
+#include <cstdint>
+
+#include "sim/city.h"
+#include "sim/observation.h"
+#include "sim/path.h"
+#include "traj/database.h"
+
+namespace ftl::sim {
+
+/// Fleet simulation parameters.
+struct TaxiFleetOptions {
+  CityModel city = SingaporeLike();
+  size_t num_taxis = 500;
+  int64_t duration_days = 31;
+
+  /// Log channel: report cadence while in service.
+  PeriodicSampler log_sampler{60.0, 0.4, 1.0};
+
+  /// Trip channel: mean seconds between trip starts while in service
+  /// (~27 trips across a 14 h shift at the default).
+  PeriodicSampler trip_sampler{1800.0, 0.9, 1.0};
+
+  /// Daily service shift.
+  ActivityPattern activity{86400, 6 * 3600, 14 * 3600, 3600.0};
+
+  /// Observation noise per channel (GPS-grade on both).
+  NoiseModel log_noise{30.0, 0.0, 0};
+  NoiseModel trip_noise{30.0, 0.0, 0};
+
+  /// Taxi movement: short dwells, city-scale hops.
+  WaypointParams waypoints{120.0, 5000.0, 0.2};
+
+  uint64_t seed = 1;
+};
+
+/// The two simulated databases. Trajectory owner ids are the taxi index;
+/// labels are "log-<i>" / "trip-<i>".
+struct TaxiFleetData {
+  traj::TrajectoryDatabase log_db;   ///< the paper's query side P
+  traj::TrajectoryDatabase trip_db;  ///< the paper's candidate side Q
+};
+
+/// Runs the simulation. Deterministic given options.seed.
+TaxiFleetData SimulateTaxiFleet(const TaxiFleetOptions& options);
+
+}  // namespace ftl::sim
+
+#endif  // FTL_SIM_TAXI_SIM_H_

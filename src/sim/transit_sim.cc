@@ -1,0 +1,123 @@
+#include "sim/transit_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+namespace ftl::sim {
+
+geo::Point NearestStop(const geo::Point& p, double stop_pitch) {
+  return geo::Point{std::round(p.x / stop_pitch) * stop_pitch,
+                    std::round(p.y / stop_pitch) * stop_pitch};
+}
+
+namespace {
+
+/// Appends a straight movement leg to `knots`, advancing *t. Durations
+/// round UP so the realized knot-to-knot speed never exceeds `speed`.
+void Leg(std::vector<traj::Record>* knots, traj::Timestamp* t,
+         const geo::Point& from, const geo::Point& to, double speed) {
+  double d = geo::Distance(from, to);
+  int64_t dt = std::max<int64_t>(
+      1, static_cast<int64_t>(std::ceil(d / speed)));
+  *t += dt;
+  knots->push_back(traj::Record{to, *t});
+}
+
+/// One commute trip: walk -> board (tap) -> ride L-shape with a corner
+/// transfer (tap) -> walk. Returns the arrival time.
+traj::Timestamp Trip(std::vector<traj::Record>* knots,
+                     std::vector<traj::Record>* taps, traj::Timestamp t,
+                     const geo::Point& from, const geo::Point& to,
+                     const CommuterOptions& o) {
+  geo::Point s_from = NearestStop(from, o.stop_pitch);
+  geo::Point s_to = NearestStop(to, o.stop_pitch);
+  knots->push_back(traj::Record{from, t});
+  Leg(knots, &t, from, s_from, o.walk_speed);
+  taps->push_back(traj::Record{s_from, t});  // boarding tap
+  // Ride along the grid: horizontal then vertical via the corner.
+  geo::Point corner{s_to.x, s_from.y};
+  if (!(corner == s_from)) {
+    Leg(knots, &t, s_from, corner, o.bus_speed);
+  }
+  if (!(corner == s_to)) {
+    if (!(corner == s_from)) {
+      taps->push_back(traj::Record{corner, t});  // transfer tap
+    }
+    Leg(knots, &t, corner, s_to, o.bus_speed);
+  }
+  Leg(knots, &t, s_to, to, o.walk_speed);
+  return t;
+}
+
+}  // namespace
+
+CommuterDay BuildCommuter(Rng* rng, const CommuterOptions& options) {
+  CommuterDay day;
+  const auto& b = options.city.bounds;
+  geo::Point home{rng->Uniform(b.min_x, b.max_x),
+                  rng->Uniform(b.min_y, b.max_y)};
+  geo::Point work{rng->Uniform(b.min_x, b.max_x),
+                  rng->Uniform(b.min_y, b.max_y)};
+  std::vector<traj::Record> knots;
+  knots.push_back(traj::Record{home, 0});
+  traj::Timestamp horizon = options.duration_days * 86400;
+  for (int64_t d = 0; d * 86400 < horizon; ++d) {
+    traj::Timestamp day_start = d * 86400;
+    traj::Timestamp leave_home =
+        day_start + options.morning_leave +
+        rng->UniformInt(-options.leave_jitter, options.leave_jitter);
+    if (leave_home >= horizon) break;
+    knots.push_back(traj::Record{home, leave_home});
+    traj::Timestamp at_work =
+        Trip(&knots, &day.taps, leave_home, home, work, options);
+    traj::Timestamp leave_work =
+        day_start + options.evening_leave +
+        rng->UniformInt(-options.leave_jitter, options.leave_jitter);
+    leave_work = std::max(leave_work, at_work + 600);
+    if (leave_work >= horizon) break;
+    knots.push_back(traj::Record{work, leave_work});
+    Trip(&knots, &day.taps, leave_work, work, home, options);
+  }
+  if (knots.back().t < horizon) {
+    knots.push_back(traj::Record{knots.back().location, horizon});
+  }
+  day.path = GroundTruthPath(std::move(knots));
+  return day;
+}
+
+CommuterData SimulateCommuters(const CommuterOptions& options) {
+  CommuterData data;
+  data.cdr_db.set_name("commuter-cdr");
+  data.transit_db.set_name("commuter-cards");
+  Rng master(options.seed);
+  double cdr_rate = options.cdr_events_per_day / 86400.0;
+  for (size_t i = 0; i < options.num_persons; ++i) {
+    Rng rng = master.Fork();
+    CommuterDay person = BuildCommuter(&rng, options);
+    traj::OwnerId owner = static_cast<traj::OwnerId>(i);
+    // CDR channel: Poisson along the whole path, cell-quantized.
+    auto cdr = SamplePoisson(&rng, person.path, cdr_rate,
+                             options.cdr_noise);
+    (void)data.cdr_db.Add(traj::Trajectory(
+        "phone-" + std::to_string(i), owner, std::move(cdr)));
+    // Card channel: the tap events with small noise.
+    std::vector<traj::Record> taps;
+    taps.reserve(person.taps.size());
+    for (const auto& tap : person.taps) {
+      traj::Record noisy = tap;
+      if (options.tap_noise.gps_sigma_meters > 0.0) {
+        noisy.location.x +=
+            rng.Normal(0.0, options.tap_noise.gps_sigma_meters);
+        noisy.location.y +=
+            rng.Normal(0.0, options.tap_noise.gps_sigma_meters);
+      }
+      taps.push_back(noisy);
+    }
+    (void)data.transit_db.Add(traj::Trajectory(
+        "card-" + std::to_string(i), owner, std::move(taps)));
+  }
+  return data;
+}
+
+}  // namespace ftl::sim

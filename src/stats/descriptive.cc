@@ -1,0 +1,65 @@
+#include "stats/descriptive.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ftl::stats {
+
+void RunningStats::Add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  double d = x - mean_;
+  mean_ += d / static_cast<double>(n_);
+  m2_ += d * (x - mean_);
+}
+
+double RunningStats::Variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::Stdv() const { return std::sqrt(Variance()); }
+
+double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double Stdv(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  double m = Mean(xs);
+  double acc = 0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(xs.size() - 1));
+}
+
+double Quantile(std::vector<double> xs, double q) {
+  if (xs.empty()) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  std::sort(xs.begin(), xs.end());
+  double pos = q * static_cast<double>(xs.size() - 1);
+  size_t lo = static_cast<size_t>(pos);
+  size_t hi = std::min(xs.size() - 1, lo + 1);
+  double frac = pos - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+std::vector<double> EmpiricalPmf(const std::vector<int64_t>& xs) {
+  if (xs.empty()) return {};
+  int64_t mx = *std::max_element(xs.begin(), xs.end());
+  std::vector<double> pmf(static_cast<size_t>(std::max<int64_t>(0, mx)) + 1,
+                          0.0);
+  for (int64_t x : xs) {
+    if (x >= 0) pmf[static_cast<size_t>(x)] += 1.0;
+  }
+  for (double& p : pmf) p /= static_cast<double>(xs.size());
+  return pmf;
+}
+
+}  // namespace ftl::stats

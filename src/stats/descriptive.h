@@ -1,0 +1,58 @@
+#ifndef FTL_STATS_DESCRIPTIVE_H_
+#define FTL_STATS_DESCRIPTIVE_H_
+
+/// \file descriptive.h
+/// Descriptive statistics and histogram helpers.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ftl::stats {
+
+/// Streaming mean/variance accumulator (Welford).
+class RunningStats {
+ public:
+  /// Adds one observation.
+  void Add(double x);
+
+  /// Number of observations.
+  size_t Count() const { return n_; }
+
+  /// Sample mean (0 when empty).
+  double Mean() const { return mean_; }
+
+  /// Unbiased sample variance (0 for <2 observations).
+  double Variance() const;
+
+  /// Unbiased sample standard deviation.
+  double Stdv() const;
+
+  /// Minimum / maximum (0 when empty).
+  double Min() const { return n_ ? min_ : 0.0; }
+  double Max() const { return n_ ? max_ : 0.0; }
+
+ private:
+  size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Mean of a vector (0 when empty).
+double Mean(const std::vector<double>& xs);
+
+/// Unbiased sample standard deviation (0 for <2 elements).
+double Stdv(const std::vector<double>& xs);
+
+/// `q`-quantile (0<=q<=1) by linear interpolation on a copy.
+double Quantile(std::vector<double> xs, double q);
+
+/// Normalized histogram of non-negative integer observations:
+/// out[k] = fraction of observations equal to k, k = 0..max.
+std::vector<double> EmpiricalPmf(const std::vector<int64_t>& xs);
+
+}  // namespace ftl::stats
+
+#endif  // FTL_STATS_DESCRIPTIVE_H_

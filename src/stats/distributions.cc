@@ -1,0 +1,50 @@
+#include "stats/distributions.h"
+
+#include <cmath>
+
+namespace ftl::stats {
+
+double LogFactorial(int64_t k) {
+  if (k <= 1) return 0.0;
+  return std::lgamma(static_cast<double>(k) + 1.0);
+}
+
+double BinomialCoefficient(int64_t n, int64_t k) {
+  if (k < 0 || n < 0 || k > n) return 0.0;
+  return std::exp(LogFactorial(n) - LogFactorial(k) - LogFactorial(n - k));
+}
+
+double PoissonPmf(int64_t k, double lambda) {
+  if (k < 0) return 0.0;
+  if (lambda <= 0.0) return k == 0 ? 1.0 : 0.0;
+  return std::exp(-lambda + static_cast<double>(k) * std::log(lambda) -
+                  LogFactorial(k));
+}
+
+double PoissonCdf(int64_t k, double lambda) {
+  if (k < 0) return 0.0;
+  double acc = 0.0;
+  for (int64_t i = 0; i <= k; ++i) acc += PoissonPmf(i, lambda);
+  return std::min(1.0, acc);
+}
+
+std::vector<double> PoissonPmfVector(double lambda, int64_t n) {
+  std::vector<double> v;
+  v.reserve(static_cast<size_t>(n) + 1);
+  for (int64_t k = 0; k <= n; ++k) v.push_back(PoissonPmf(k, lambda));
+  return v;
+}
+
+double ExponentialPdf(double y, double rate) {
+  if (y < 0.0 || rate <= 0.0) return 0.0;
+  return rate * std::exp(-rate * y);
+}
+
+double ExponentialCdf(double y, double rate) {
+  if (y <= 0.0 || rate <= 0.0) return 0.0;
+  return 1.0 - std::exp(-rate * y);
+}
+
+double NormalCdf(double z) { return 0.5 * std::erfc(-z / std::sqrt(2.0)); }
+
+}  // namespace ftl::stats

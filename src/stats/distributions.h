@@ -1,0 +1,39 @@
+#ifndef FTL_STATS_DISTRIBUTIONS_H_
+#define FTL_STATS_DISTRIBUTIONS_H_
+
+/// \file distributions.h
+/// Standard distribution pmfs/pdfs/cdfs used by the Section VI analysis
+/// and by the goodness-of-fit tests.
+
+#include <cstdint>
+#include <vector>
+
+namespace ftl::stats {
+
+/// log(k!) via lgamma.
+double LogFactorial(int64_t k);
+
+/// Binomial coefficient C(n, k) as a double; 0 when out of range.
+double BinomialCoefficient(int64_t n, int64_t k);
+
+/// Poisson pmf Pr(X = k) with mean `lambda`.
+double PoissonPmf(int64_t k, double lambda);
+
+/// Poisson cdf Pr(X <= k) with mean `lambda`.
+double PoissonCdf(int64_t k, double lambda);
+
+/// The first `n+1` Poisson pmf values [Pr(0), ..., Pr(n)].
+std::vector<double> PoissonPmfVector(double lambda, int64_t n);
+
+/// Exponential pdf with rate `rate`.
+double ExponentialPdf(double y, double rate);
+
+/// Exponential cdf with rate `rate`.
+double ExponentialCdf(double y, double rate);
+
+/// Standard normal cdf.
+double NormalCdf(double z);
+
+}  // namespace ftl::stats
+
+#endif  // FTL_STATS_DISTRIBUTIONS_H_

@@ -1,0 +1,71 @@
+#include "stats/goodness_of_fit.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ftl::stats {
+
+double TotalVariationDistance(const std::vector<double>& p,
+                              const std::vector<double>& q) {
+  size_t n = std::max(p.size(), q.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    double pi = i < p.size() ? p[i] : 0.0;
+    double qi = i < q.size() ? q[i] : 0.0;
+    acc += std::abs(pi - qi);
+  }
+  return 0.5 * acc;
+}
+
+double KsStatistic(std::vector<double> samples,
+                   const std::function<double(double)>& cdf) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  double n = static_cast<double>(samples.size());
+  double d = 0.0;
+  for (size_t i = 0; i < samples.size(); ++i) {
+    double f = cdf(samples[i]);
+    double lo = static_cast<double>(i) / n;
+    double hi = static_cast<double>(i + 1) / n;
+    d = std::max(d, std::max(std::abs(f - lo), std::abs(hi - f)));
+  }
+  return d;
+}
+
+double KsPValue(double d, size_t n) {
+  if (n == 0 || d <= 0.0) return 1.0;
+  double sqrt_n = std::sqrt(static_cast<double>(n));
+  double lambda = (sqrt_n + 0.12 + 0.11 / sqrt_n) * d;
+  double sum = 0.0;
+  for (int j = 1; j <= 100; ++j) {
+    double term = 2.0 * std::pow(-1.0, j - 1) *
+                  std::exp(-2.0 * lambda * lambda * j * j);
+    sum += term;
+    if (std::abs(term) < 1e-12) break;
+  }
+  return std::min(1.0, std::max(0.0, sum));
+}
+
+double ChiSquareStatistic(const std::vector<double>& observed,
+                          const std::vector<double>& expected,
+                          double min_expected) {
+  size_t n = std::min(observed.size(), expected.size());
+  double chi = 0.0;
+  double pooled_obs = 0.0, pooled_exp = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    if (expected[i] < min_expected) {
+      pooled_obs += observed[i];
+      pooled_exp += expected[i];
+      continue;
+    }
+    double d = observed[i] - expected[i];
+    chi += d * d / expected[i];
+  }
+  if (pooled_exp > 0.0) {
+    double d = pooled_obs - pooled_exp;
+    chi += d * d / pooled_exp;
+  }
+  return chi;
+}
+
+}  // namespace ftl::stats

@@ -1,0 +1,36 @@
+#ifndef FTL_STATS_GOODNESS_OF_FIT_H_
+#define FTL_STATS_GOODNESS_OF_FIT_H_
+
+/// \file goodness_of_fit.h
+/// Simple goodness-of-fit measures used to validate the Section VI
+/// theoretical distributions against Monte-Carlo simulation.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace ftl::stats {
+
+/// Total variation distance between two (sub-)pmfs; vectors are padded
+/// with zeros to the longer length. Result in [0, 1].
+double TotalVariationDistance(const std::vector<double>& p,
+                              const std::vector<double>& q);
+
+/// One-sample Kolmogorov–Smirnov statistic of `samples` against a
+/// continuous cdf.
+double KsStatistic(std::vector<double> samples,
+                   const std::function<double(double)>& cdf);
+
+/// Asymptotic KS p-value for statistic `d` with sample size `n`
+/// (Kolmogorov distribution tail sum).
+double KsPValue(double d, size_t n);
+
+/// Pearson chi-square statistic of observed counts vs expected counts.
+/// Bins with expected < `min_expected` are pooled into the last bin.
+double ChiSquareStatistic(const std::vector<double>& observed,
+                          const std::vector<double>& expected,
+                          double min_expected = 5.0);
+
+}  // namespace ftl::stats
+
+#endif  // FTL_STATS_GOODNESS_OF_FIT_H_

@@ -1,0 +1,174 @@
+#include "stats/poisson_binomial.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ftl::stats {
+
+namespace {
+
+double Clamp01(double p) { return std::min(1.0, std::max(0.0, p)); }
+
+}  // namespace
+
+PoissonBinomial::PoissonBinomial(std::vector<double> probs)
+    : probs_(std::move(probs)) {
+  for (double& p : probs_) p = Clamp01(p);
+}
+
+double PoissonBinomial::Mean() const {
+  double m = 0;
+  for (double p : probs_) m += p;
+  return m;
+}
+
+double PoissonBinomial::Variance() const {
+  double v = 0;
+  for (double p : probs_) v += p * (1.0 - p);
+  return v;
+}
+
+void PoissonBinomial::EnsurePmf() const {
+  if (!pmf_.empty()) return;
+  pmf_ = PoissonBinomialPmfDp(probs_);
+  cdf_.resize(pmf_.size());
+  double acc = 0;
+  for (size_t i = 0; i < pmf_.size(); ++i) {
+    acc += pmf_[i];
+    cdf_[i] = std::min(1.0, acc);
+  }
+  if (!cdf_.empty()) cdf_.back() = 1.0;  // guard against rounding
+}
+
+double PoissonBinomial::Pmf(int64_t k) const {
+  if (k < 0 || k > static_cast<int64_t>(n())) return 0.0;
+  EnsurePmf();
+  return pmf_[static_cast<size_t>(k)];
+}
+
+double PoissonBinomial::Cdf(int64_t k) const {
+  if (k < 0) return 0.0;
+  if (k >= static_cast<int64_t>(n())) return 1.0;
+  EnsurePmf();
+  return cdf_[static_cast<size_t>(k)];
+}
+
+double PoissonBinomial::LowerTailPValue(int64_t k_observed) const {
+  return Cdf(k_observed);
+}
+
+double PoissonBinomial::UpperTailPValue(int64_t k_observed) const {
+  if (k_observed <= 0) return 1.0;
+  return std::max(0.0, 1.0 - Cdf(k_observed - 1));
+}
+
+const std::vector<double>& PoissonBinomial::PmfVector() const {
+  EnsurePmf();
+  return pmf_;
+}
+
+double PoissonBinomialCdfRna(const std::vector<double>& probs, int64_t k) {
+  double mu = 0.0, var = 0.0, m3 = 0.0;
+  for (double p_raw : probs) {
+    double p = Clamp01(p_raw);
+    mu += p;
+    var += p * (1.0 - p);
+    m3 += p * (1.0 - p) * (1.0 - 2.0 * p);
+  }
+  if (k < 0) return 0.0;
+  if (k >= static_cast<int64_t>(probs.size())) return 1.0;
+  if (var <= 0.0) {
+    // Deterministic sum.
+    return static_cast<double>(k) + 0.5 >= mu ? 1.0 : 0.0;
+  }
+  double sigma = std::sqrt(var);
+  double gamma = m3 / (var * sigma);
+  double x = (static_cast<double>(k) + 0.5 - mu) / sigma;
+  double z = x + gamma * (x * x - 1.0) / 6.0;
+  double cdf = 0.5 * std::erfc(-z / std::sqrt(2.0));
+  return std::min(1.0, std::max(0.0, cdf));
+}
+
+double PoissonBinomialUpperPValueRna(const std::vector<double>& probs,
+                                     int64_t k) {
+  if (k <= 0) return 1.0;
+  return std::max(0.0, 1.0 - PoissonBinomialCdfRna(probs, k - 1));
+}
+
+std::vector<double> PoissonBinomialPmfDp(const std::vector<double>& probs) {
+  std::vector<double> pmf(1, 1.0);
+  pmf.reserve(probs.size() + 1);
+  for (double p_raw : probs) {
+    double p = Clamp01(p_raw);
+    pmf.push_back(0.0);
+    // In-place backward update: new[k] = old[k]*(1-p) + old[k-1]*p.
+    for (size_t k = pmf.size() - 1; k > 0; --k) {
+      pmf[k] = pmf[k] * (1.0 - p) + pmf[k - 1] * p;
+    }
+    pmf[0] *= (1.0 - p);
+  }
+  return pmf;
+}
+
+std::vector<double> PoissonBinomialPmfRecursive(
+    const std::vector<double>& probs) {
+  // Separate deterministic trials: p == 0 contributes nothing; p == 1
+  // shifts the distribution right by one.
+  std::vector<double> ps;
+  size_t shift = 0;
+  for (double p_raw : probs) {
+    double p = Clamp01(p_raw);
+    if (p <= 0.0) continue;
+    if (p >= 1.0) {
+      ++shift;
+      continue;
+    }
+    ps.push_back(p);
+  }
+  // The alternating series cancels catastrophically once any odds ratio
+  // p/(1-p) exceeds 1 (terms grow geometrically while the result stays
+  // O(1)). Long-double accumulation buys a few digits of margin; the
+  // stable regime remains p <= 0.5. Production code uses the DP.
+  size_t n = ps.size();
+  std::vector<long double> core(n + 1, 0.0L);
+  // Pr(K=0) = prod(1 - p_i)
+  long double p0 = 1.0L;
+  for (double p : ps) p0 *= (1.0L - static_cast<long double>(p));
+  core[0] = p0;
+  // Precompute odds r_j = p_j / (1 - p_j); T(i) = sum_j r_j^i.
+  std::vector<long double> odds(n);
+  for (size_t j = 0; j < n; ++j) {
+    odds[j] = static_cast<long double>(ps[j]) /
+              (1.0L - static_cast<long double>(ps[j]));
+  }
+  std::vector<long double> t(n + 1, 0.0L);
+  std::vector<long double> pow_acc = odds;  // r_j^i, updated per i
+  for (size_t i = 1; i <= n; ++i) {
+    long double ti = 0.0L;
+    for (size_t j = 0; j < n; ++j) {
+      if (i > 1) pow_acc[j] *= odds[j];
+      ti += pow_acc[j];
+    }
+    t[i] = ti;
+  }
+  for (size_t k = 1; k <= n; ++k) {
+    long double acc = 0.0L;
+    long double sign = 1.0L;
+    for (size_t i = 1; i <= k; ++i) {
+      acc += sign * core[k - i] * t[i];
+      sign = -sign;
+    }
+    core[k] = acc / static_cast<long double>(k);
+    if (core[k] < 0.0L) core[k] = 0.0L;  // guard alternating-series jitter
+  }
+  // Apply the shift from p == 1 trials.
+  std::vector<double> pmf(probs.size() + 1, 0.0);
+  for (size_t k = 0; k <= n; ++k) {
+    if (k + shift < pmf.size()) {
+      pmf[k + shift] = static_cast<double>(core[k]);
+    }
+  }
+  return pmf;
+}
+
+}  // namespace ftl::stats

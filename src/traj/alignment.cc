@@ -1,0 +1,79 @@
+#include "traj/alignment.h"
+
+#include <algorithm>
+
+namespace ftl::traj {
+
+std::vector<AlignedRecord> Align(const Trajectory& p, const Trajectory& q) {
+  std::vector<AlignedRecord> out;
+  out.reserve(p.size() + q.size());
+  size_t i = 0, j = 0;
+  while (i < p.size() || j < q.size()) {
+    bool take_p;
+    if (i >= p.size()) {
+      take_p = false;
+    } else if (j >= q.size()) {
+      take_p = true;
+    } else {
+      take_p = p[i].t <= q[j].t;  // tie-break: P first
+    }
+    if (take_p) {
+      out.push_back({p[i++], Source::kP});
+    } else {
+      out.push_back({q[j++], Source::kQ});
+    }
+  }
+  return out;
+}
+
+void ForEachSegment(const Trajectory& p, const Trajectory& q,
+                    const std::function<void(const Segment&)>& fn) {
+  size_t i = 0, j = 0;
+  const Record* prev = nullptr;
+  Source prev_src = Source::kP;
+  while (i < p.size() || j < q.size()) {
+    const Record* cur;
+    Source cur_src;
+    if (i < p.size() && (j >= q.size() || p[i].t <= q[j].t)) {
+      cur = &p[i++];
+      cur_src = Source::kP;
+    } else {
+      cur = &q[j++];
+      cur_src = Source::kQ;
+    }
+    if (prev != nullptr) {
+      fn(Segment{*prev, *cur, prev_src != cur_src});
+    }
+    prev = cur;
+    prev_src = cur_src;
+  }
+}
+
+void ForEachMutualSegment(const Trajectory& p, const Trajectory& q,
+                          const std::function<void(const Segment&)>& fn) {
+  ForEachSegment(p, q, [&fn](const Segment& s) {
+    if (s.mutual) fn(s);
+  });
+}
+
+std::vector<Segment> MutualSegments(const Trajectory& p,
+                                    const Trajectory& q) {
+  std::vector<Segment> out;
+  ForEachMutualSegment(p, q, [&out](const Segment& s) { out.push_back(s); });
+  return out;
+}
+
+size_t CountMutualSegments(const Trajectory& p, const Trajectory& q) {
+  size_t n = 0;
+  ForEachMutualSegment(p, q, [&n](const Segment&) { ++n; });
+  return n;
+}
+
+int64_t TimeSpanOverlapSeconds(const Trajectory& p, const Trajectory& q) {
+  if (p.empty() || q.empty()) return 0;
+  int64_t lo = std::max(p.front().t, q.front().t);
+  int64_t hi = std::min(p.back().t, q.back().t);
+  return hi > lo ? hi - lo : 0;
+}
+
+}  // namespace ftl::traj

@@ -1,0 +1,71 @@
+#ifndef FTL_TRAJ_ALIGNMENT_H_
+#define FTL_TRAJ_ALIGNMENT_H_
+
+/// \file alignment.h
+/// Trajectory alignment and self/mutual segments (paper Section IV-A).
+///
+/// The alignment W_PQ of trajectories P and Q is the time-ordered merge
+/// of their records. Consecutive pairs (w_i, w_{i+1}) are *segments*:
+/// a **self-segment** when both records come from the same trajectory,
+/// a **mutual segment** when they straddle P and Q. Mutual segments carry
+/// the discriminating signal FTL is built on.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "traj/trajectory.h"
+
+namespace ftl::traj {
+
+/// Which source trajectory an aligned record came from.
+enum class Source : uint8_t { kP = 0, kQ = 1 };
+
+/// One record of an aligned trajectory, tagged with its source.
+struct AlignedRecord {
+  Record record;
+  Source source;
+};
+
+/// A segment of the alignment: two time-consecutive records.
+struct Segment {
+  Record first;
+  Record second;
+  bool mutual;  ///< True when the two records come from different sources.
+
+  /// Segment time length, seconds.
+  int64_t TimeLengthSeconds() const { return TimeDiff(first, second); }
+};
+
+/// Materializes the full alignment W_PQ (the paper's align(P, Q)).
+///
+/// Ties (equal timestamps) are broken P-first; tie order does not affect
+/// any model statistic because a zero-length mutual segment's
+/// compatibility is symmetric.
+std::vector<AlignedRecord> Align(const Trajectory& p, const Trajectory& q);
+
+/// Streams every segment of W_PQ to `fn` in time order without
+/// materializing the merge. This is the hot path used by model training
+/// and query evaluation.
+void ForEachSegment(const Trajectory& p, const Trajectory& q,
+                    const std::function<void(const Segment&)>& fn);
+
+/// Streams only the mutual segments of W_PQ to `fn`.
+void ForEachMutualSegment(const Trajectory& p, const Trajectory& q,
+                          const std::function<void(const Segment&)>& fn);
+
+/// Materializes all mutual segments of W_PQ.
+std::vector<Segment> MutualSegments(const Trajectory& p, const Trajectory& q);
+
+/// Number of mutual segments in W_PQ.
+size_t CountMutualSegments(const Trajectory& p, const Trajectory& q);
+
+/// Overlap of the two trajectories' time spans, seconds (0 when
+/// disjoint). Candidates with no overlap produce at most one
+/// informative mutual segment; engines may use this as a pre-filter
+/// signal.
+int64_t TimeSpanOverlapSeconds(const Trajectory& p, const Trajectory& q);
+
+}  // namespace ftl::traj
+
+#endif  // FTL_TRAJ_ALIGNMENT_H_

@@ -1,0 +1,51 @@
+#include "traj/database.h"
+
+#include <algorithm>
+
+namespace ftl::traj {
+
+Status TrajectoryDatabase::Add(Trajectory t) {
+  auto [it, inserted] = by_label_.emplace(t.label(), trajectories_.size());
+  if (!inserted) {
+    return Status::InvalidArgument("duplicate trajectory label '" +
+                                   t.label() + "' in database '" + name_ +
+                                   "'");
+  }
+  trajectories_.push_back(std::move(t));
+  return Status::OK();
+}
+
+size_t TrajectoryDatabase::Find(const std::string& label) const {
+  auto it = by_label_.find(label);
+  return it == by_label_.end() ? npos : it->second;
+}
+
+size_t TrajectoryDatabase::FindByOwner(OwnerId owner) const {
+  for (size_t i = 0; i < trajectories_.size(); ++i) {
+    if (trajectories_[i].owner() == owner) return i;
+  }
+  return npos;
+}
+
+size_t TrajectoryDatabase::TotalRecords() const {
+  size_t n = 0;
+  for (const auto& t : trajectories_) n += t.size();
+  return n;
+}
+
+size_t TrajectoryDatabase::PruneShort(size_t min_records) {
+  size_t before = trajectories_.size();
+  std::vector<Trajectory> kept;
+  kept.reserve(before);
+  for (auto& t : trajectories_) {
+    if (t.size() >= min_records) kept.push_back(std::move(t));
+  }
+  trajectories_ = std::move(kept);
+  by_label_.clear();
+  for (size_t i = 0; i < trajectories_.size(); ++i) {
+    by_label_.emplace(trajectories_[i].label(), i);
+  }
+  return before - trajectories_.size();
+}
+
+}  // namespace ftl::traj

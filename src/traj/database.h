@@ -1,0 +1,72 @@
+#ifndef FTL_TRAJ_DATABASE_H_
+#define FTL_TRAJ_DATABASE_H_
+
+/// \file database.h
+/// A trajectory database: the paper's P / Q collections.
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "traj/trajectory.h"
+#include "util/status.h"
+
+namespace ftl::traj {
+
+/// An in-memory collection of trajectories with label lookup.
+///
+/// One entry per moving object per source (a user "rarely has more than
+/// one trajectory in the same database" — paper Section IV-C); duplicate
+/// labels are rejected.
+class TrajectoryDatabase {
+ public:
+  TrajectoryDatabase() = default;
+
+  /// Constructs a named database (name used in reports only).
+  explicit TrajectoryDatabase(std::string name) : name_(std::move(name)) {}
+
+  /// Database display name.
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  /// Adds a trajectory; InvalidArgument on duplicate label.
+  Status Add(Trajectory t);
+
+  /// Number of trajectories (the paper's |Q|).
+  size_t size() const { return trajectories_.size(); }
+  bool empty() const { return trajectories_.empty(); }
+
+  /// Access by position.
+  const Trajectory& operator[](size_t i) const { return trajectories_[i]; }
+
+  /// All trajectories.
+  const std::vector<Trajectory>& trajectories() const { return trajectories_; }
+
+  /// Index of the trajectory with `label`, or npos.
+  static constexpr size_t npos = static_cast<size_t>(-1);
+  size_t Find(const std::string& label) const;
+
+  /// Index of the first trajectory owned by `owner`, or npos. Linear scan;
+  /// intended for ground-truth evaluation code only.
+  size_t FindByOwner(OwnerId owner) const;
+
+  /// Total number of records across all trajectories.
+  size_t TotalRecords() const;
+
+  /// Removes trajectories with fewer than `min_records` records.
+  /// Returns the number removed.
+  size_t PruneShort(size_t min_records);
+
+  /// Iterators (range-for support).
+  auto begin() const { return trajectories_.begin(); }
+  auto end() const { return trajectories_.end(); }
+
+ private:
+  std::string name_;
+  std::vector<Trajectory> trajectories_;
+  std::unordered_map<std::string, size_t> by_label_;
+};
+
+}  // namespace ftl::traj
+
+#endif  // FTL_TRAJ_DATABASE_H_

@@ -1,0 +1,25 @@
+#include "traj/record.h"
+
+#include <limits>
+
+namespace ftl::traj {
+
+double RequiredSpeed(const Record& a, const Record& b) {
+  double d = Dist(a, b);
+  int64_t dt = TimeDiff(a, b);
+  if (dt == 0) {
+    if (d == 0.0) return 0.0;
+    return std::numeric_limits<double>::infinity();
+  }
+  return d / static_cast<double>(dt);
+}
+
+bool IsCompatible(const Record& a, const Record& b, double vmax_mps) {
+  // dist / timediff <= vmax, written multiplicatively to avoid the
+  // divide-by-zero for simultaneous records.
+  double d = Dist(a, b);
+  int64_t dt = TimeDiff(a, b);
+  return d <= vmax_mps * static_cast<double>(dt);
+}
+
+}  // namespace ftl::traj

@@ -1,0 +1,48 @@
+#ifndef FTL_TRAJ_RECORD_H_
+#define FTL_TRAJ_RECORD_H_
+
+/// \file record.h
+/// The atomic unit of a trajectory: a location–timestamp record.
+
+#include <cstdint>
+
+#include "geo/point.h"
+
+namespace ftl::traj {
+
+/// Timestamps are seconds since an arbitrary epoch.
+using Timestamp = int64_t;
+
+/// One location–timestamp observation of a moving object.
+struct Record {
+  geo::Point location;  ///< Position in the local planar frame, meters.
+  Timestamp t = 0;      ///< Observation time, seconds.
+
+  friend bool operator==(const Record& a, const Record& b) {
+    return a.location == b.location && a.t == b.t;
+  }
+};
+
+/// Geographical distance between two records' locations, meters
+/// (the paper's dist(p, q)).
+inline double Dist(const Record& a, const Record& b) {
+  return geo::Distance(a.location, b.location);
+}
+
+/// Absolute time difference between two records, seconds
+/// (the paper's timediff(p, q)).
+inline int64_t TimeDiff(const Record& a, const Record& b) {
+  return a.t >= b.t ? a.t - b.t : b.t - a.t;
+}
+
+/// Minimum speed (m/s) needed to traverse the segment (a, b); +inf when
+/// the records are simultaneous but spatially apart, 0 when co-located.
+double RequiredSpeed(const Record& a, const Record& b);
+
+/// True iff a person could travel from `a` to `b` without exceeding
+/// `vmax_mps` (the paper's mutual-segment compatibility, Definition 3).
+bool IsCompatible(const Record& a, const Record& b, double vmax_mps);
+
+}  // namespace ftl::traj
+
+#endif  // FTL_TRAJ_RECORD_H_

@@ -1,0 +1,66 @@
+#include "traj/resample.h"
+
+namespace ftl::traj {
+
+Trajectory ResampleUniform(const Trajectory& t, int64_t interval_seconds) {
+  if (t.size() < 2 || interval_seconds <= 0) return t;
+  const auto& recs = t.records();
+  std::vector<Record> out;
+  out.reserve(static_cast<size_t>(t.DurationSeconds() / interval_seconds) +
+              2);
+  size_t hi = 1;
+  for (Timestamp ts = recs.front().t; ts <= recs.back().t;
+       ts += interval_seconds) {
+    while (hi + 1 < recs.size() && recs[hi].t < ts) ++hi;
+    const Record& b = recs[hi];
+    const Record& a = recs[hi - 1];
+    geo::Point p;
+    if (b.t == a.t) {
+      p = b.location;
+    } else {
+      double frac = static_cast<double>(ts - a.t) /
+                    static_cast<double>(b.t - a.t);
+      frac = std::min(1.0, std::max(0.0, frac));
+      p = geo::Lerp(a.location, b.location, frac);
+    }
+    out.push_back(Record{p, ts});
+  }
+  return Trajectory(t.label(), t.owner(), std::move(out));
+}
+
+std::vector<StayPoint> StayPoints(const Trajectory& t, double radius_meters,
+                                  int64_t min_duration_seconds) {
+  std::vector<StayPoint> out;
+  const auto& recs = t.records();
+  size_t i = 0;
+  while (i < recs.size()) {
+    size_t j = i + 1;
+    // Extend the run while every record stays within radius of the
+    // anchor record i.
+    while (j < recs.size() &&
+           geo::Distance(recs[i].location, recs[j].location) <=
+               radius_meters) {
+      ++j;
+    }
+    int64_t span = j > i + 1 ? recs[j - 1].t - recs[i].t : 0;
+    if (span >= min_duration_seconds) {
+      StayPoint sp;
+      double sx = 0, sy = 0;
+      for (size_t k = i; k < j; ++k) {
+        sx += recs[k].location.x;
+        sy += recs[k].location.y;
+      }
+      double n = static_cast<double>(j - i);
+      sp.centroid = geo::Point{sx / n, sy / n};
+      sp.arrive = recs[i].t;
+      sp.depart = recs[j - 1].t;
+      out.push_back(sp);
+      i = j;
+    } else {
+      ++i;
+    }
+  }
+  return out;
+}
+
+}  // namespace ftl::traj

@@ -1,0 +1,44 @@
+#ifndef FTL_TRAJ_RESAMPLE_H_
+#define FTL_TRAJ_RESAMPLE_H_
+
+/// \file resample.h
+/// Resampling and structure-extraction utilities.
+///
+/// Classical similarity measures (DTW/LCSS/EDR) behave best on evenly
+/// sampled sequences; ResampleUniform regularizes an irregular
+/// trajectory by linear interpolation. StayPoints extracts dwell
+/// locations (Li et al., GIS'08 style), useful for analysis and for
+/// interpreting links found by FTL.
+
+#include <cstdint>
+#include <vector>
+
+#include "traj/trajectory.h"
+
+namespace ftl::traj {
+
+/// Linearly interpolates `t` at a fixed `interval_seconds` cadence from
+/// its first to its last record (inclusive of the first; the last is
+/// included when it falls on the grid). Empty/singleton trajectories are
+/// returned unchanged.
+Trajectory ResampleUniform(const Trajectory& t, int64_t interval_seconds);
+
+/// A detected dwell: the object stayed within `radius` of the centroid
+/// for at least `min_duration`.
+struct StayPoint {
+  geo::Point centroid;
+  Timestamp arrive = 0;
+  Timestamp depart = 0;
+
+  int64_t DurationSeconds() const { return depart - arrive; }
+};
+
+/// Detects stay points: maximal record runs whose pairwise anchor
+/// distance stays within `radius_meters` and whose time span is at
+/// least `min_duration_seconds`.
+std::vector<StayPoint> StayPoints(const Trajectory& t, double radius_meters,
+                                  int64_t min_duration_seconds);
+
+}  // namespace ftl::traj
+
+#endif  // FTL_TRAJ_RESAMPLE_H_

@@ -1,0 +1,76 @@
+#include "traj/summary.h"
+
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace ftl::traj {
+
+namespace {
+
+struct Welford {
+  size_t n = 0;
+  double mean = 0.0;
+  double m2 = 0.0;
+
+  void Add(double x) {
+    ++n;
+    double d = x - mean;
+    mean += d / static_cast<double>(n);
+    m2 += d * (x - mean);
+  }
+  double Stdv() const {
+    return n > 1 ? std::sqrt(m2 / static_cast<double>(n - 1)) : 0.0;
+  }
+};
+
+}  // namespace
+
+DatabaseSummary Summarize(const TrajectoryDatabase& db) {
+  DatabaseSummary s;
+  s.num_trajectories = db.size();
+  Welford size_acc, gap_acc;
+  int64_t min_t = 0, max_t = 0;
+  bool any = false;
+  for (const auto& t : db) {
+    s.total_records += t.size();
+    size_acc.Add(static_cast<double>(t.size()));
+    const auto& recs = t.records();
+    for (size_t i = 1; i < recs.size(); ++i) {
+      double gap_h =
+          static_cast<double>(recs[i].t - recs[i - 1].t) / 3600.0;
+      gap_acc.Add(gap_h);
+    }
+    if (!t.empty()) {
+      if (!any) {
+        min_t = t.front().t;
+        max_t = t.back().t;
+        any = true;
+      } else {
+        min_t = std::min(min_t, t.front().t);
+        max_t = std::max(max_t, t.back().t);
+      }
+    }
+  }
+  s.mean_size = size_acc.mean;
+  s.stdv_size = size_acc.Stdv();
+  s.mean_gap_hours = gap_acc.mean;
+  s.stdv_gap_hours = gap_acc.Stdv();
+  s.duration_days =
+      any ? static_cast<double>(max_t - min_t) / 86400.0 : 0.0;
+  return s;
+}
+
+std::string ToString(const DatabaseSummary& s) {
+  std::string out;
+  out += "trajectories=" + std::to_string(s.num_trajectories);
+  out += " records=" + std::to_string(s.total_records);
+  out += " mean|P|=" + FormatDouble(s.mean_size, 2);
+  out += " stdv|P|=" + FormatDouble(s.stdv_size, 2);
+  out += " mean_gap_h=" + FormatDouble(s.mean_gap_hours, 2);
+  out += " stdv_gap_h=" + FormatDouble(s.stdv_gap_hours, 2);
+  out += " duration_d=" + FormatDouble(s.duration_days, 1);
+  return out;
+}
+
+}  // namespace ftl::traj

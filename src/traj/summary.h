@@ -1,0 +1,35 @@
+#ifndef FTL_TRAJ_SUMMARY_H_
+#define FTL_TRAJ_SUMMARY_H_
+
+/// \file summary.h
+/// Descriptive statistics over a trajectory database — the columns of
+/// the paper's Table I (mean/stdv of |P|, mean/stdv of timediff).
+
+#include <string>
+
+#include "traj/database.h"
+
+namespace ftl::traj {
+
+/// Table-I style summary for one database.
+struct DatabaseSummary {
+  size_t num_trajectories = 0;
+  size_t total_records = 0;
+  double mean_size = 0.0;      ///< mean |P|
+  double stdv_size = 0.0;      ///< stdv |P|
+  double mean_gap_hours = 0.0; ///< mean timediff between consecutive records
+  double stdv_gap_hours = 0.0; ///< stdv of those gaps
+  double duration_days = 0.0;  ///< max span across trajectories, days
+};
+
+/// Computes the summary. Gap statistics pool every consecutive-record gap
+/// across all trajectories (matching how the paper reports "mean of
+/// timediff in P").
+DatabaseSummary Summarize(const TrajectoryDatabase& db);
+
+/// Renders the summary as "k=v" lines for logs.
+std::string ToString(const DatabaseSummary& s);
+
+}  // namespace ftl::traj
+
+#endif  // FTL_TRAJ_SUMMARY_H_

@@ -1,0 +1,88 @@
+#ifndef FTL_TRAJ_TRAJECTORY_H_
+#define FTL_TRAJ_TRAJECTORY_H_
+
+/// \file trajectory.h
+/// A trajectory: the time-ordered record sequence of one moving object.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "traj/record.h"
+#include "util/status.h"
+
+namespace ftl::traj {
+
+/// Opaque owner identity (the paper's id(P)); used only for ground-truth
+/// evaluation, never by the linking algorithms themselves.
+using OwnerId = uint64_t;
+
+/// Sentinel for "owner unknown" (anonymous source).
+inline constexpr OwnerId kUnknownOwner = static_cast<OwnerId>(-1);
+
+/// A time-sorted sequence of location–timestamp records for one object.
+class Trajectory {
+ public:
+  Trajectory() = default;
+
+  /// Constructs a trajectory. `records` need not be sorted; they are
+  /// sorted by timestamp on construction (stable for equal timestamps).
+  Trajectory(std::string label, OwnerId owner, std::vector<Record> records);
+
+  /// The source-local label (e.g. card ID, taxi ID, phone number).
+  const std::string& label() const { return label_; }
+
+  /// Ground-truth owner identity; kUnknownOwner when anonymous.
+  OwnerId owner() const { return owner_; }
+
+  /// Sets the ground-truth owner (used by simulators and loaders).
+  void set_owner(OwnerId owner) { owner_ = owner; }
+
+  /// Records in non-decreasing timestamp order.
+  const std::vector<Record>& records() const { return records_; }
+
+  /// Number of records (the paper's |P|).
+  size_t size() const { return records_.size(); }
+  bool empty() const { return records_.empty(); }
+
+  /// Record access, 0-based.
+  const Record& operator[](size_t i) const { return records_[i]; }
+  const Record& front() const { return records_.front(); }
+  const Record& back() const { return records_.back(); }
+
+  /// Appends a record, keeping time order; returns InvalidArgument if the
+  /// record would violate the ordering.
+  Status Append(const Record& r);
+
+  /// Appends a record unconditionally, then marks the sequence dirty; call
+  /// SortByTime() before reading. Fast path for bulk generation.
+  void AppendUnchecked(const Record& r) { records_.push_back(r); }
+
+  /// Restores the time-order invariant after AppendUnchecked calls.
+  void SortByTime();
+
+  /// Duration covered, seconds (0 for <2 records).
+  int64_t DurationSeconds() const;
+
+  /// Mean gap between consecutive records, seconds (0 for <2 records).
+  double MeanGapSeconds() const;
+
+  /// Index of the first record with t >= `t0`; size() when none.
+  size_t LowerBound(Timestamp t0) const;
+
+  /// A new trajectory holding only records with t in [t0, t1).
+  Trajectory SliceTime(Timestamp t0, Timestamp t1) const;
+
+  /// Invariant check: records sorted by time. (Cheap; used by tests and
+  /// debug assertions.)
+  bool IsSorted() const;
+
+ private:
+  std::string label_;
+  OwnerId owner_ = kUnknownOwner;
+  std::vector<Record> records_;
+};
+
+}  // namespace ftl::traj
+
+#endif  // FTL_TRAJ_TRAJECTORY_H_

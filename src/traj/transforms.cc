@@ -1,0 +1,59 @@
+#include "traj/transforms.h"
+
+namespace ftl::traj {
+
+Trajectory DownSample(const Trajectory& t, double rate, Rng* rng) {
+  std::vector<Record> kept;
+  kept.reserve(static_cast<size_t>(static_cast<double>(t.size()) * rate) + 1);
+  for (const Record& r : t.records()) {
+    if (rng->Bernoulli(rate)) kept.push_back(r);
+  }
+  return Trajectory(t.label(), t.owner(), std::move(kept));
+}
+
+TrajectoryDatabase DownSample(const TrajectoryDatabase& db, double rate,
+                              Rng* rng) {
+  TrajectoryDatabase out(db.name());
+  for (const auto& t : db) {
+    Rng sub = rng->Fork();
+    // Add cannot fail: labels are unique in the source database.
+    (void)out.Add(DownSample(t, rate, &sub));
+  }
+  return out;
+}
+
+TrajectoryDatabase TrimDuration(const TrajectoryDatabase& db, Timestamp t0,
+                                int64_t duration_seconds) {
+  TrajectoryDatabase out(db.name());
+  for (const auto& t : db) {
+    (void)out.Add(t.SliceTime(t0, t0 + duration_seconds));
+  }
+  return out;
+}
+
+std::pair<Trajectory, Trajectory> SplitRecords(const Trajectory& t,
+                                               Rng* rng) {
+  std::vector<Record> a, b;
+  a.reserve(t.size() / 2 + 1);
+  b.reserve(t.size() / 2 + 1);
+  for (const Record& r : t.records()) {
+    (rng->Bernoulli(0.5) ? a : b).push_back(r);
+  }
+  return {Trajectory(t.label() + "/a", t.owner(), std::move(a)),
+          Trajectory(t.label() + "/b", t.owner(), std::move(b))};
+}
+
+std::pair<TrajectoryDatabase, TrajectoryDatabase> SplitDatabase(
+    const TrajectoryDatabase& db, Rng* rng) {
+  TrajectoryDatabase p(db.name() + "/a");
+  TrajectoryDatabase q(db.name() + "/b");
+  for (const auto& t : db) {
+    Rng sub = rng->Fork();
+    auto [a, b] = SplitRecords(t, &sub);
+    (void)p.Add(std::move(a));
+    (void)q.Add(std::move(b));
+  }
+  return {std::move(p), std::move(q)};
+}
+
+}  // namespace ftl::traj

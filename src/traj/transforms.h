@@ -1,0 +1,40 @@
+#ifndef FTL_TRAJ_TRANSFORMS_H_
+#define FTL_TRAJ_TRANSFORMS_H_
+
+/// \file transforms.h
+/// Dataset derivation operators: down-sampling, time trimming, random
+/// splitting. These reproduce how the paper derives its 12 experiment
+/// configurations (Table I) and the T-Drive two-way split.
+
+#include "traj/database.h"
+#include "util/rng.h"
+
+namespace ftl::traj {
+
+/// Keeps each record independently with probability `rate` in (0, 1].
+/// This is the paper's "down-sampling with sampling rate r".
+Trajectory DownSample(const Trajectory& t, double rate, Rng* rng);
+
+/// Down-samples every trajectory of a database (fresh sub-stream of
+/// `rng` per trajectory; deterministic given the seed).
+TrajectoryDatabase DownSample(const TrajectoryDatabase& db, double rate,
+                              Rng* rng);
+
+/// Restricts every trajectory to the window [t0, t0 + duration_seconds).
+/// This is the paper's duration trimming (31d -> 7/14/21d etc.).
+TrajectoryDatabase TrimDuration(const TrajectoryDatabase& db, Timestamp t0,
+                                int64_t duration_seconds);
+
+/// Randomly routes each record of `t` into one of two output trajectories
+/// with probability 1/2 each — the paper's T-Drive split procedure.
+/// Output labels get suffixes "/a" and "/b"; owners are preserved.
+std::pair<Trajectory, Trajectory> SplitRecords(const Trajectory& t,
+                                               Rng* rng);
+
+/// Applies SplitRecords to a whole database, producing the (P, Q) pair.
+std::pair<TrajectoryDatabase, TrajectoryDatabase> SplitDatabase(
+    const TrajectoryDatabase& db, Rng* rng);
+
+}  // namespace ftl::traj
+
+#endif  // FTL_TRAJ_TRANSFORMS_H_

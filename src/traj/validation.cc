@@ -1,0 +1,84 @@
+#include "traj/validation.h"
+
+#include <cmath>
+
+namespace ftl::traj {
+
+std::string ValidationReport::ToString() const {
+  std::string out;
+  out += "trajectories=" + std::to_string(trajectories);
+  out += " records=" + std::to_string(records);
+  if (empty_trajectories) {
+    out += " empty=" + std::to_string(empty_trajectories);
+  }
+  if (singleton_trajectories) {
+    out += " singletons=" + std::to_string(singleton_trajectories);
+  }
+  if (non_finite_records) {
+    out += " non_finite=" + std::to_string(non_finite_records);
+  }
+  if (duplicate_records) {
+    out += " duplicates=" + std::to_string(duplicate_records);
+  }
+  if (speed_violations) {
+    out += " speed_violations=" + std::to_string(speed_violations);
+  }
+  out += clean ? " [clean]" : " [issues found]";
+  return out;
+}
+
+ValidationReport ValidateDatabase(const TrajectoryDatabase& db,
+                                  const ValidationOptions& options) {
+  ValidationReport r;
+  r.trajectories = db.size();
+  for (const auto& t : db) {
+    r.records += t.size();
+    if (t.empty()) {
+      ++r.empty_trajectories;
+      continue;
+    }
+    if (t.size() == 1) ++r.singleton_trajectories;
+    const auto& recs = t.records();
+    for (size_t i = 0; i < recs.size(); ++i) {
+      if (!std::isfinite(recs[i].location.x) ||
+          !std::isfinite(recs[i].location.y)) {
+        ++r.non_finite_records;
+        continue;
+      }
+      if (i == 0) continue;
+      if (recs[i] == recs[i - 1]) ++r.duplicate_records;
+      int64_t dt = recs[i].t - recs[i - 1].t;
+      if (dt > 0) {
+        double v = Dist(recs[i - 1], recs[i]) / static_cast<double>(dt);
+        r.max_observed_speed_mps = std::max(r.max_observed_speed_mps, v);
+        if (v > options.max_speed_mps) ++r.speed_violations;
+      } else if (Dist(recs[i - 1], recs[i]) > 0.0) {
+        // Simultaneous records at different places: infinite speed.
+        ++r.speed_violations;
+      }
+    }
+  }
+  r.clean = r.empty_trajectories == 0 && r.non_finite_records == 0 &&
+            r.duplicate_records == 0 && r.speed_violations == 0;
+  return r;
+}
+
+TrajectoryDatabase Sanitize(const TrajectoryDatabase& db) {
+  TrajectoryDatabase out(db.name());
+  for (const auto& t : db) {
+    std::vector<Record> recs;
+    recs.reserve(t.size());
+    for (const auto& rec : t.records()) {
+      if (!std::isfinite(rec.location.x) || !std::isfinite(rec.location.y)) {
+        continue;
+      }
+      if (!recs.empty() && rec == recs.back()) continue;
+      recs.push_back(rec);
+    }
+    if (recs.empty()) continue;
+    (void)out.Add(Trajectory(t.label(), t.owner(), std::move(recs)));
+  }
+  return out;
+}
+
+}  // namespace ftl::traj

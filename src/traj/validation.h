@@ -1,0 +1,56 @@
+#ifndef FTL_TRAJ_VALIDATION_H_
+#define FTL_TRAJ_VALIDATION_H_
+
+/// \file validation.h
+/// Ingest-time data quality checks.
+///
+/// Real trajectory dumps are dirty: shuffled rows, duplicate points,
+/// NaN coordinates, impossible jumps. ValidateDatabase audits a loaded
+/// database and reports everything a linking run would silently suffer
+/// from; Sanitize applies the safe fixes.
+
+#include <string>
+#include <vector>
+
+#include "traj/database.h"
+
+namespace ftl::traj {
+
+/// Audit results for one database.
+struct ValidationReport {
+  size_t trajectories = 0;
+  size_t records = 0;
+  size_t empty_trajectories = 0;
+  size_t singleton_trajectories = 0;   ///< 1 record: unusable as query
+  size_t non_finite_records = 0;       ///< NaN/inf coordinates
+  size_t duplicate_records = 0;        ///< same (t, x, y) repeated
+  size_t speed_violations = 0;         ///< consecutive pair above vmax
+  double max_observed_speed_mps = 0.0;
+
+  /// True when nothing above the configured tolerances was found.
+  bool clean = false;
+
+  /// Human-readable one-line-per-issue summary.
+  std::string ToString() const;
+};
+
+/// Validation thresholds.
+struct ValidationOptions {
+  /// Speed above which a consecutive same-trajectory pair is counted as
+  /// a violation (default: generous 200 kph — data errors, not fast
+  /// driving).
+  double max_speed_mps = 200.0 * 1000.0 / 3600.0;
+};
+
+/// Audits `db` (read-only).
+ValidationReport ValidateDatabase(const TrajectoryDatabase& db,
+                                  const ValidationOptions& options = {});
+
+/// Returns a cleaned copy: drops non-finite records, collapses exact
+/// duplicate records, drops empty trajectories. Does NOT touch speed
+/// violations (they may be genuine noise the models should learn).
+TrajectoryDatabase Sanitize(const TrajectoryDatabase& db);
+
+}  // namespace ftl::traj
+
+#endif  // FTL_TRAJ_VALIDATION_H_

@@ -1,0 +1,37 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace ftl {
+
+std::vector<size_t> Rng::SampleIndices(size_t n, size_t k) {
+  std::vector<size_t> all(n);
+  std::iota(all.begin(), all.end(), size_t{0});
+  if (k >= n) {
+    Shuffle(&all);
+    return all;
+  }
+  // Partial Fisher–Yates: the first k slots become the sample.
+  for (size_t i = 0; i < k; ++i) {
+    size_t j = i + Index(n - i);
+    std::swap(all[i], all[j]);
+  }
+  all.resize(k);
+  return all;
+}
+
+std::vector<double> PoissonProcess(Rng* rng, double rate, double t0,
+                                   double t1) {
+  std::vector<double> times;
+  if (rate <= 0 || t1 <= t0) return times;
+  double t = t0;
+  for (;;) {
+    t += rng->Exponential(rate);
+    if (t >= t1) break;
+    times.push_back(t);
+  }
+  return times;
+}
+
+}  // namespace ftl

@@ -1,0 +1,93 @@
+#ifndef FTL_UTIL_RNG_H_
+#define FTL_UTIL_RNG_H_
+
+/// \file rng.h
+/// Deterministic random-number utilities.
+///
+/// Every stochastic component in the library (simulators, samplers,
+/// experiment harnesses) takes an explicit seed so that all results —
+/// including the paper-figure reproductions — are bit-reproducible.
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace ftl {
+
+/// A seeded random engine with convenience samplers.
+///
+/// Wraps std::mt19937_64. Not thread-safe; create one engine per thread
+/// (see Fork()).
+class Rng {
+ public:
+  /// Constructs an engine from a 64-bit seed.
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL) : engine_(seed) {}
+
+  /// Underlying engine access (for std:: distributions).
+  std::mt19937_64& engine() { return engine_; }
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool Bernoulli(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// Normal sample with the given mean and standard deviation.
+  double Normal(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Exponential sample with the given rate (mean 1/rate).
+  double Exponential(double rate) {
+    return std::exponential_distribution<double>(rate)(engine_);
+  }
+
+  /// Poisson sample with the given mean.
+  int64_t Poisson(double mean) {
+    return std::poisson_distribution<int64_t>(mean)(engine_);
+  }
+
+  /// Returns a uniformly random index in [0, n). n must be > 0.
+  size_t Index(size_t n) {
+    return static_cast<size_t>(
+        std::uniform_int_distribution<size_t>(0, n - 1)(engine_));
+  }
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      std::swap((*v)[i - 1], (*v)[Index(i)]);
+    }
+  }
+
+  /// Samples k distinct indices from [0, n) without replacement.
+  /// If k >= n, returns all indices 0..n-1 (shuffled).
+  std::vector<size_t> SampleIndices(size_t n, size_t k);
+
+  /// Derives an independent child engine; deterministic given the parent
+  /// state. Useful for handing per-thread/per-entity streams out of one
+  /// master seed.
+  Rng Fork() { return Rng(engine_()); }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+/// Event times of a homogeneous Poisson process with rate `rate` (events
+/// per second) on [t0, t1), in increasing order.
+std::vector<double> PoissonProcess(Rng* rng, double rate, double t0,
+                                   double t1);
+
+}  // namespace ftl
+
+#endif  // FTL_UTIL_RNG_H_

@@ -1,0 +1,34 @@
+#ifndef FTL_UTIL_STOPWATCH_H_
+#define FTL_UTIL_STOPWATCH_H_
+
+/// \file stopwatch.h
+/// Wall-clock timing helper for the runtime-efficiency experiments.
+
+#include <chrono>
+
+namespace ftl {
+
+/// Measures elapsed wall-clock time from construction or the last Reset().
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the measurement window.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction / last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds since construction / last Reset().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace ftl
+
+#endif  // FTL_UTIL_STOPWATCH_H_

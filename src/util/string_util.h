@@ -1,0 +1,36 @@
+#ifndef FTL_UTIL_STRING_UTIL_H_
+#define FTL_UTIL_STRING_UTIL_H_
+
+/// \file string_util.h
+/// Small string helpers used by the CSV codec and the table printers.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ftl {
+
+/// Splits `s` on `delim`, keeping empty fields.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Strips ASCII whitespace from both ends.
+std::string_view Trim(std::string_view s);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Parses a double; returns false on any trailing garbage.
+bool ParseDouble(std::string_view s, double* out);
+
+/// Parses a signed 64-bit integer; returns false on any trailing garbage.
+bool ParseInt64(std::string_view s, int64_t* out);
+
+/// Formats `v` with `digits` decimal places.
+std::string FormatDouble(double v, int digits);
+
+/// Renders an aligned plain-text table; `rows` includes the header row.
+std::string RenderTable(const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace ftl
+
+#endif  // FTL_UTIL_STRING_UTIL_H_

@@ -1,0 +1,60 @@
+#ifndef FTL_UTIL_THREAD_POOL_H_
+#define FTL_UTIL_THREAD_POOL_H_
+
+/// \file thread_pool.h
+/// A small fixed-size thread pool plus a ParallelFor helper.
+///
+/// Used by FtlEngine to answer independent queries in parallel — the
+/// "parallel implementation" the paper lists as future work.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace ftl {
+
+/// Fixed-size worker pool executing void() tasks FIFO.
+class ThreadPool {
+ public:
+  /// Creates a pool with `num_threads` workers (min 1).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Drains outstanding tasks and joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+  /// Number of worker threads.
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable task_ready_;
+  std::condition_variable idle_;
+  size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+/// Runs fn(i) for i in [0, n) across `num_threads` threads (static
+/// block partitioning). With num_threads <= 1, runs inline.
+void ParallelFor(size_t n, size_t num_threads,
+                 const std::function<void(size_t)>& fn);
+
+}  // namespace ftl
+
+#endif  // FTL_UTIL_THREAD_POOL_H_

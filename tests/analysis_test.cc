@@ -1,0 +1,229 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "analysis/mutual_segment_analysis.h"
+#include "stats/descriptive.h"
+#include "stats/distributions.h"
+#include "stats/goodness_of_fit.h"
+
+namespace ftl::analysis {
+namespace {
+
+// ----------------------------------------------- AlternationProbability
+
+TEST(AlternationTest, DegenerateOneSided) {
+  EXPECT_DOUBLE_EQ(AlternationProbability(0, 5, 0), 1.0);
+  EXPECT_DOUBLE_EQ(AlternationProbability(5, 0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(AlternationProbability(0, 5, 1), 0.0);
+  EXPECT_DOUBLE_EQ(AlternationProbability(0, 0, 0), 1.0);
+}
+
+TEST(AlternationTest, OneOfEach) {
+  // Sequences PQ and QP: always exactly 1 alternation.
+  EXPECT_DOUBLE_EQ(AlternationProbability(1, 1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(AlternationProbability(1, 1, 0), 0.0);
+  EXPECT_DOUBLE_EQ(AlternationProbability(1, 1, 2), 0.0);
+}
+
+TEST(AlternationTest, TwoAndOne) {
+  // a=2, b=1: sequences PPQ, PQP, QPP. Alternations: 1, 2, 1.
+  EXPECT_NEAR(AlternationProbability(2, 1, 1), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(AlternationProbability(2, 1, 2), 1.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(AlternationProbability(2, 1, 0), 0.0);
+}
+
+TEST(AlternationTest, SumsToOne) {
+  for (int64_t a = 1; a <= 12; ++a) {
+    for (int64_t b = 1; b <= 12; ++b) {
+      double s = 0;
+      for (int64_t x = 0; x <= a + b; ++x) {
+        s += AlternationProbability(a, b, x);
+      }
+      EXPECT_NEAR(s, 1.0, 1e-9) << "a=" << a << " b=" << b;
+    }
+  }
+}
+
+TEST(AlternationTest, ExpectedValueFormula) {
+  // E[alternations | a, b] = 2ab / (a + b).
+  for (int64_t a = 1; a <= 10; ++a) {
+    for (int64_t b = 1; b <= 10; ++b) {
+      double e = 0;
+      for (int64_t x = 0; x <= a + b; ++x) {
+        e += static_cast<double>(x) * AlternationProbability(a, b, x);
+      }
+      double expect = 2.0 * static_cast<double>(a * b) /
+                      static_cast<double>(a + b);
+      EXPECT_NEAR(e, expect, 1e-8) << "a=" << a << " b=" << b;
+    }
+  }
+}
+
+TEST(AlternationTest, SymmetricInAB) {
+  for (int64_t x = 0; x <= 8; ++x) {
+    EXPECT_NEAR(AlternationProbability(3, 5, x),
+                AlternationProbability(5, 3, x), 1e-12);
+  }
+}
+
+TEST(AlternationTest, MaxAlternations) {
+  // With a == b, max alternations is 2a - 1 (perfect interleave).
+  EXPECT_GT(AlternationProbability(3, 3, 5), 0.0);
+  EXPECT_DOUBLE_EQ(AlternationProbability(3, 3, 6), 0.0);
+  // With a = 5, b = 2: max is 2*2 = 4.
+  EXPECT_GT(AlternationProbability(5, 2, 4), 0.0);
+  EXPECT_DOUBLE_EQ(AlternationProbability(5, 2, 5), 0.0);
+}
+
+// ----------------------------------------------------------------- f_X(x)
+
+TEST(MutualSegmentCountPmfTest, SumsToOne) {
+  auto pmf = MutualSegmentCountPmf(0.5, 2.0, 40);
+  double s = std::accumulate(pmf.begin(), pmf.end(), 0.0);
+  EXPECT_NEAR(s, 1.0, 1e-6);
+}
+
+TEST(MutualSegmentCountPmfTest, ZeroProbabilityMatchesPaper) {
+  // f_X(0) = e^{-λP} + e^{-λQ} - e^{-(λP+λQ)}  (one side has no events).
+  double lp = 0.5, lq = 2.0;
+  auto pmf = MutualSegmentCountPmf(lp, lq, 10);
+  double expect = std::exp(-lp) + std::exp(-lq) - std::exp(-(lp + lq));
+  EXPECT_NEAR(pmf[0], expect, 1e-9);
+}
+
+TEST(MutualSegmentCountPmfTest, MeanMatchesClosedForm) {
+  for (auto [lp, lq] : std::vector<std::pair<double, double>>{
+           {0.5, 2.0}, {4.0, 10.0}, {1.0, 1.0}, {3.0, 0.2}}) {
+    auto pmf = MutualSegmentCountPmf(lp, lq, 80);
+    double mean = 0;
+    for (size_t x = 0; x < pmf.size(); ++x) {
+      mean += static_cast<double>(x) * pmf[x];
+    }
+    EXPECT_NEAR(mean, ExpectedMutualSegments(lp, lq), 1e-4)
+        << "lp=" << lp << " lq=" << lq;
+  }
+}
+
+TEST(MutualSegmentCountPmfTest, MatchesSimulation) {
+  double lp = 0.5, lq = 2.0;
+  auto pmf = MutualSegmentCountPmf(lp, lq, 20);
+  Rng rng(55);
+  auto counts = SimulateMutualSegmentCounts(&rng, lp, lq, 100000);
+  auto emp = stats::EmpiricalPmf(counts);
+  EXPECT_LT(stats::TotalVariationDistance(emp, pmf), 0.012);
+}
+
+TEST(MutualSegmentCountPmfTest, MatchesSimulationLargerRates) {
+  double lp = 4.0, lq = 10.0;
+  auto pmf = MutualSegmentCountPmf(lp, lq, 40);
+  Rng rng(56);
+  auto counts = SimulateMutualSegmentCounts(&rng, lp, lq, 100000);
+  auto emp = stats::EmpiricalPmf(counts);
+  EXPECT_LT(stats::TotalVariationDistance(emp, pmf), 0.015);
+}
+
+// ------------------------------------------------------------------ E(X)
+
+TEST(ExpectedMutualSegmentsTest, ClosedFormValues) {
+  // Degenerate rates.
+  EXPECT_DOUBLE_EQ(ExpectedMutualSegments(0.0, 5.0), 0.0);
+  EXPECT_DOUBLE_EQ(ApproxExpectedMutualSegments(0.0, 0.0), 0.0);
+  // Symmetry.
+  EXPECT_DOUBLE_EQ(ExpectedMutualSegments(2.0, 3.0),
+                   ExpectedMutualSegments(3.0, 2.0));
+}
+
+TEST(ExpectedMutualSegmentsTest, ApproximationGapInHalfOpenInterval) {
+  // Ê(X) - E(X) = 2λPλQ/(λP+λQ)^2 (1 - e^-(λP+λQ)) ∈ (0, 0.5).
+  for (auto [lp, lq] : std::vector<std::pair<double, double>>{
+           {0.5, 2.0}, {4.0, 10.0}, {0.1, 0.1}, {20.0, 30.0}}) {
+    double gap = ApproxExpectedMutualSegments(lp, lq) -
+                 ExpectedMutualSegments(lp, lq);
+    EXPECT_GT(gap, 0.0);
+    EXPECT_LT(gap, 0.5);
+  }
+}
+
+TEST(ExpectedMutualSegmentsTest, Corollary61Bound) {
+  for (auto [lp, lq] : std::vector<std::pair<double, double>>{
+           {0.5, 2.0}, {4.0, 10.0}, {7.0, 7.0}}) {
+    EXPECT_LT(ExpectedMutualSegments(lp, lq),
+              MutualSegmentCountUpperBound(lp, lq));
+    EXPECT_LE(ApproxExpectedMutualSegments(lp, lq),
+              MutualSegmentCountUpperBound(lp, lq));
+  }
+}
+
+TEST(ExpectedMutualSegmentsTest, MatchesSimulation) {
+  Rng rng(57);
+  double lp = 2.0, lq = 5.0;
+  auto counts = SimulateMutualSegmentCounts(&rng, lp, lq, 200000);
+  double mean = 0;
+  for (int64_t c : counts) mean += static_cast<double>(c);
+  mean /= static_cast<double>(counts.size());
+  EXPECT_NEAR(mean, ExpectedMutualSegments(lp, lq), 0.02);
+}
+
+TEST(ExpectedMutualSegmentsTest, LimitIsTwoLambda) {
+  // lim_{λQ→∞} E(X) = 2 λP.
+  EXPECT_NEAR(ApproxExpectedMutualSegments(3.0, 1e9), 6.0, 1e-6);
+}
+
+// ---------------------------------------------------- Poisson approx of X
+
+TEST(PoissonApproxTest, CloseToExactPmf) {
+  // Figure 4 claim: the three curves are similar in trend; the Poisson
+  // approximation is close in total variation for moderate rates.
+  auto exact = MutualSegmentCountPmf(4.0, 10.0, 40);
+  auto approx = MutualSegmentCountPoissonApprox(4.0, 10.0, 40);
+  EXPECT_LT(stats::TotalVariationDistance(exact, approx), 0.15);
+}
+
+TEST(PoissonApproxTest, BiasShrinksWithRate) {
+  double tv_small = stats::TotalVariationDistance(
+      MutualSegmentCountPmf(0.5, 2.0, 30),
+      MutualSegmentCountPoissonApprox(0.5, 2.0, 30));
+  double tv_large = stats::TotalVariationDistance(
+      MutualSegmentCountPmf(8.0, 20.0, 80),
+      MutualSegmentCountPoissonApprox(8.0, 20.0, 80));
+  EXPECT_LT(tv_large, tv_small);
+}
+
+// ------------------------------------------------------------------ g_Y
+
+TEST(GapDistributionTest, PdfIsExponential) {
+  EXPECT_DOUBLE_EQ(MutualSegmentGapPdf(1.0, 2.0, 0.0), 3.0);
+  EXPECT_NEAR(MutualSegmentGapPdf(1.0, 2.0, 1.0), 3.0 * std::exp(-3.0),
+              1e-12);
+  EXPECT_NEAR(MutualSegmentGapCdf(1.0, 2.0, std::log(2.0) / 3.0), 0.5,
+              1e-12);
+}
+
+TEST(GapDistributionTest, SimulatedGapsFollowExponential) {
+  Rng rng(58);
+  double lp = 1.0, lq = 2.0;
+  auto gaps = SimulateMutualSegmentGaps(&rng, lp, lq, 20000.0);
+  ASSERT_GT(gaps.size(), 10000u);
+  double d = stats::KsStatistic(gaps, [lp, lq](double y) {
+    return MutualSegmentGapCdf(lp, lq, y);
+  });
+  // Corollary 6.2: mutual-segment gaps are Exp(λP+λQ). The simulation
+  // measures gaps conditioned on alternation, which matches the
+  // memoryless inter-event law; allow a loose KS threshold.
+  EXPECT_LT(d, 0.02);
+}
+
+TEST(GapDistributionTest, SimulatedGapMeanMatches) {
+  Rng rng(59);
+  double lp = 0.7, lq = 1.3;
+  auto gaps = SimulateMutualSegmentGaps(&rng, lp, lq, 50000.0);
+  double mean = 0;
+  for (double g : gaps) mean += g;
+  mean /= static_cast<double>(gaps.size());
+  EXPECT_NEAR(mean, 1.0 / (lp + lq), 0.02);
+}
+
+}  // namespace
+}  // namespace ftl::analysis

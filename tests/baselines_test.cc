@@ -1,0 +1,245 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/search.h"
+#include "baselines/similarity.h"
+
+namespace ftl::baselines {
+namespace {
+
+using traj::Record;
+using traj::Timestamp;
+using traj::Trajectory;
+using traj::TrajectoryDatabase;
+
+Record R(double x, double y, Timestamp t) { return Record{{x, y}, t}; }
+
+Trajectory Line(const std::string& label, double x0, double step, size_t n,
+                traj::OwnerId owner = 0) {
+  std::vector<Record> recs;
+  for (size_t i = 0; i < n; ++i) {
+    recs.push_back(R(x0 + step * static_cast<double>(i), 0,
+                     static_cast<Timestamp>(i)));
+  }
+  return Trajectory(label, owner, std::move(recs));
+}
+
+// ------------------------------------------------------------------ P2T
+
+TEST(P2TTest, ZeroForIdenticalTrajectories) {
+  Trajectory a = Line("a", 0, 10, 5);
+  EXPECT_DOUBLE_EQ(P2TDistance().Distance(a, a), 0.0);
+}
+
+TEST(P2TTest, MeanNearestDistance) {
+  Trajectory a("a", 0, {R(0, 0, 0), R(10, 0, 1)});
+  Trajectory b("b", 0, {R(0, 3, 0)});
+  // Nearest distances: 3 and sqrt(100+9).
+  double expect = (3.0 + std::sqrt(109.0)) / 2.0;
+  EXPECT_NEAR(P2TDistance().Distance(a, b), expect, 1e-12);
+}
+
+TEST(P2TTest, EmptyIsInfinite) {
+  Trajectory a = Line("a", 0, 1, 3);
+  Trajectory e("e", 0, {});
+  EXPECT_TRUE(std::isinf(P2TDistance().Distance(a, e)));
+  EXPECT_TRUE(std::isinf(P2TDistance().Distance(e, a)));
+}
+
+TEST(P2TTest, Name) { EXPECT_EQ(P2TDistance().Name(), "P2T"); }
+
+// ------------------------------------------------------------------ DTW
+
+TEST(DtwTest, ZeroForIdenticalTrajectories) {
+  Trajectory a = Line("a", 0, 7, 6);
+  EXPECT_DOUBLE_EQ(DtwDistance().Distance(a, a), 0.0);
+}
+
+TEST(DtwTest, SinglePointPair) {
+  Trajectory a("a", 0, {R(0, 0, 0)});
+  Trajectory b("b", 0, {R(3, 4, 0)});
+  EXPECT_DOUBLE_EQ(DtwDistance().Distance(a, b), 5.0);
+}
+
+TEST(DtwTest, WarpingAbsorbsStutteredSampling) {
+  // The same spatial points with each point reported twice (a stalled
+  // GPS): warping aligns duplicates for free, so DTW is exactly 0.
+  Trajectory a = Line("a", 0, 10, 10);
+  std::vector<Record> stuttered;
+  for (size_t i = 0; i < 10; ++i) {
+    stuttered.push_back(R(static_cast<double>(i) * 10.0, 0,
+                          static_cast<Timestamp>(2 * i)));
+    stuttered.push_back(R(static_cast<double>(i) * 10.0, 0,
+                          static_cast<Timestamp>(2 * i + 1)));
+  }
+  Trajectory b("b", 0, std::move(stuttered));
+  EXPECT_LT(DtwDistance().Distance(a, b), 1e-9);
+}
+
+TEST(DtwTest, HalfDensitySamplingStaysCloserThanDifferentPath) {
+  // Resampling the same path at twice the density perturbs DTW far
+  // less than moving to a genuinely different path.
+  Trajectory a = Line("a", 0, 10, 10);
+  std::vector<Record> dense;
+  for (size_t i = 0; i < 19; ++i) {
+    dense.push_back(R(static_cast<double>(i) * 5.0, 0,
+                      static_cast<Timestamp>(i)));
+  }
+  Trajectory b("b", 0, std::move(dense));
+  Trajectory c = Line("c", 5000, 10, 10);
+  EXPECT_LT(DtwDistance().Distance(a, b), DtwDistance().Distance(a, c));
+}
+
+TEST(DtwTest, SymmetricWithoutBand) {
+  Trajectory a = Line("a", 0, 10, 8);
+  Trajectory b = Line("b", 5, 9, 11);
+  EXPECT_NEAR(DtwDistance().Distance(a, b), DtwDistance().Distance(b, a),
+              1e-9);
+}
+
+TEST(DtwTest, BandedIsAtLeastUnbanded) {
+  Trajectory a = Line("a", 0, 10, 20);
+  Trajectory b = Line("b", 3, 11, 20);
+  double full = DtwDistance().Distance(a, b);
+  double banded = DtwDistance(2).Distance(a, b);
+  EXPECT_GE(banded, full - 1e-9);
+}
+
+TEST(DtwTest, EmptyIsInfinite) {
+  Trajectory a = Line("a", 0, 1, 3);
+  Trajectory e("e", 0, {});
+  EXPECT_TRUE(std::isinf(DtwDistance().Distance(a, e)));
+}
+
+// ----------------------------------------------------------------- LCSS
+
+TEST(LcssTest, IdenticalIsZeroDistance) {
+  Trajectory a = Line("a", 0, 10, 5);
+  EXPECT_DOUBLE_EQ(LcssDistance(1.0).Distance(a, a), 0.0);
+}
+
+TEST(LcssTest, DisjointIsOneDistance) {
+  Trajectory a = Line("a", 0, 1, 5);
+  Trajectory b = Line("b", 100000, 1, 5);
+  EXPECT_DOUBLE_EQ(LcssDistance(10.0).Distance(a, b), 1.0);
+}
+
+TEST(LcssTest, PartialOverlap) {
+  // 3 of 5 points within epsilon.
+  Trajectory a("a", 0,
+               {R(0, 0, 0), R(10, 0, 1), R(20, 0, 2), R(1000, 0, 3),
+                R(2000, 0, 4)});
+  Trajectory b("b", 0,
+               {R(0, 1, 0), R(10, 1, 1), R(20, 1, 2), R(5000, 0, 3),
+                R(7000, 0, 4)});
+  EXPECT_NEAR(LcssDistance(5.0).Distance(a, b), 1.0 - 3.0 / 5.0, 1e-12);
+}
+
+TEST(LcssTest, DeltaConstrainsIndexOffset) {
+  // Matching points are offset by 3 positions; delta=1 forbids the match.
+  Trajectory a("a", 0, {R(0, 0, 0), R(1e6, 0, 1), R(2e6, 0, 2), R(3e6, 0, 3)});
+  Trajectory b("b", 0, {R(9e6, 0, 0), R(8e6, 0, 1), R(7e6, 0, 2), R(0, 1, 3)});
+  // a[0] matches b[3] spatially (offset 3).
+  EXPECT_DOUBLE_EQ(LcssDistance(10.0, 1).Distance(a, b), 1.0);
+  EXPECT_NEAR(LcssDistance(10.0, -1).Distance(a, b), 1.0 - 1.0 / 4.0,
+              1e-12);
+}
+
+TEST(LcssTest, EmptyIsMaxDistance) {
+  Trajectory a = Line("a", 0, 1, 3);
+  Trajectory e("e", 0, {});
+  EXPECT_DOUBLE_EQ(LcssDistance(1.0).Distance(a, e), 1.0);
+}
+
+// ------------------------------------------------------------------ EDR
+
+TEST(EdrTest, IdenticalIsZero) {
+  Trajectory a = Line("a", 0, 10, 6);
+  EXPECT_DOUBLE_EQ(EdrDistance(1.0).Distance(a, a), 0.0);
+}
+
+TEST(EdrTest, CompletelyDifferentIsOne) {
+  Trajectory a = Line("a", 0, 1, 4);
+  Trajectory b = Line("b", 1e7, 1, 4);
+  EXPECT_DOUBLE_EQ(EdrDistance(10.0).Distance(a, b), 1.0);
+}
+
+TEST(EdrTest, OneSubstitution) {
+  Trajectory a("a", 0, {R(0, 0, 0), R(10, 0, 1), R(20, 0, 2)});
+  Trajectory b("b", 0, {R(0, 0, 0), R(9999, 0, 1), R(20, 0, 2)});
+  EXPECT_NEAR(EdrDistance(5.0).Distance(a, b), 1.0 / 3.0, 1e-12);
+}
+
+TEST(EdrTest, InsertionCost) {
+  Trajectory a = Line("a", 0, 10, 4);
+  Trajectory b = Line("b", 0, 10, 5);  // one extra point
+  EXPECT_NEAR(EdrDistance(5.0).Distance(a, b), 1.0 / 5.0, 1e-12);
+}
+
+TEST(EdrTest, BothEmptyIsZero) {
+  Trajectory e1("a", 0, {}), e2("b", 0, {});
+  EXPECT_DOUBLE_EQ(EdrDistance(1.0).Distance(e1, e2), 0.0);
+  Trajectory a = Line("c", 0, 1, 2);
+  EXPECT_DOUBLE_EQ(EdrDistance(1.0).Distance(a, e1), 1.0);
+}
+
+// --------------------------------------------------------------- Search
+
+TEST(SearchTest, TopKReturnsNearestFirst) {
+  TrajectoryDatabase db;
+  (void)db.Add(Line("far", 10000, 1, 5, 1));
+  (void)db.Add(Line("near", 5, 1, 5, 2));
+  (void)db.Add(Line("mid", 500, 1, 5, 3));
+  Trajectory query = Line("q", 0, 1, 5, 9);
+  auto hits = TopK(query, db, P2TDistance(), 2);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(db[hits[0].index].label(), "near");
+  EXPECT_EQ(db[hits[1].index].label(), "mid");
+  EXPECT_LE(hits[0].distance, hits[1].distance);
+}
+
+TEST(SearchTest, KLargerThanDb) {
+  TrajectoryDatabase db;
+  (void)db.Add(Line("a", 0, 1, 3, 1));
+  auto hits = TopK(Line("q", 0, 1, 3), db, P2TDistance(), 10);
+  EXPECT_EQ(hits.size(), 1u);
+}
+
+TEST(SearchTest, ContainsOwner) {
+  TrajectoryDatabase db;
+  (void)db.Add(Line("a", 0, 1, 3, 7));
+  (void)db.Add(Line("b", 100, 1, 3, 8));
+  std::vector<SearchHit> hits = {{0, 1.0}, {1, 2.0}};
+  EXPECT_TRUE(ContainsOwner(hits, db, 7));
+  EXPECT_TRUE(ContainsOwner(hits, db, 8));
+  EXPECT_FALSE(ContainsOwner(hits, db, 9));
+  EXPECT_FALSE(ContainsOwner({}, db, 7));
+}
+
+TEST(SearchTest, AllMeasuresRankSelfFirst) {
+  // Property: a trajectory's own (noisy) copy beats unrelated ones.
+  TrajectoryDatabase db;
+  Trajectory self = Line("self", 0, 10, 20, 1);
+  std::vector<Record> noisy;
+  for (const auto& r : self.records()) {
+    noisy.push_back(R(r.location.x + 1.0, r.location.y - 1.0, r.t));
+  }
+  (void)db.Add(Trajectory("noisy-self", 1, std::move(noisy)));
+  (void)db.Add(Line("other1", 5000, 10, 20, 2));
+  (void)db.Add(Line("other2", -8000, 7, 25, 3));
+  P2TDistance p2t;
+  DtwDistance dtw;
+  LcssDistance lcss(50.0);
+  EdrDistance edr(50.0);
+  for (const SimilarityMeasure* m :
+       std::initializer_list<const SimilarityMeasure*>{&p2t, &dtw, &lcss,
+                                                       &edr}) {
+    auto hits = TopK(self, db, *m, 1);
+    ASSERT_EQ(hits.size(), 1u) << m->Name();
+    EXPECT_EQ(db[hits[0].index].label(), "noisy-self") << m->Name();
+  }
+}
+
+}  // namespace
+}  // namespace ftl::baselines

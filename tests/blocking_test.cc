@@ -1,0 +1,214 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/blocking.h"
+#include "core/engine.h"
+#include "sim/population_sim.h"
+
+namespace ftl::core {
+namespace {
+
+using traj::Record;
+using traj::Trajectory;
+using traj::TrajectoryDatabase;
+
+Record R(double x, double y, traj::Timestamp t) { return Record{{x, y}, t}; }
+
+Trajectory T(const std::string& label, traj::OwnerId owner,
+             std::vector<Record> recs) {
+  return Trajectory(label, owner, std::move(recs));
+}
+
+BlockingOptions NoSlack() {
+  BlockingOptions o;
+  o.temporal_slack_seconds = 0;
+  return o;
+}
+
+TEST(BlockingTest, TemporalDisjointPruned) {
+  TrajectoryDatabase db;
+  (void)db.Add(T("early", 1, {R(0, 0, 0), R(0, 0, 100)}));
+  (void)db.Add(T("late", 2, {R(0, 0, 100000), R(0, 0, 100100)}));
+  BlockingOptions o = NoSlack();
+  o.use_spatial = false;
+  BlockingIndex index(db, o);
+  Trajectory query = T("q", 9, {R(0, 0, 50), R(0, 0, 80)});
+  auto cands = index.Candidates(query);
+  ASSERT_EQ(cands.size(), 1u);
+  EXPECT_EQ(db[cands[0]].label(), "early");
+}
+
+TEST(BlockingTest, TemporalSlackExtendsWindow) {
+  TrajectoryDatabase db;
+  (void)db.Add(T("near", 1, {R(0, 0, 2000), R(0, 0, 2100)}));
+  BlockingOptions o;
+  o.use_spatial = false;
+  o.temporal_slack_seconds = 0;
+  BlockingIndex tight(db, o);
+  o.temporal_slack_seconds = 5000;
+  BlockingIndex loose(db, o);
+  Trajectory query = T("q", 9, {R(0, 0, 0), R(0, 0, 100)});
+  EXPECT_TRUE(tight.Candidates(query).empty());
+  EXPECT_EQ(loose.Candidates(query).size(), 1u);
+}
+
+TEST(BlockingTest, SpatialSharedCellRequired) {
+  TrajectoryDatabase db;
+  (void)db.Add(T("here", 1, {R(100, 100, 0), R(200, 200, 50)}));
+  (void)db.Add(T("far", 2, {R(90000, 90000, 0), R(90100, 90100, 50)}));
+  BlockingOptions o = NoSlack();
+  o.use_temporal = false;
+  o.cell_size_meters = 1000.0;
+  o.neighborhood = 1;
+  BlockingIndex index(db, o);
+  Trajectory query = T("q", 9, {R(150, 150, 25)});
+  auto cands = index.Candidates(query);
+  ASSERT_EQ(cands.size(), 1u);
+  EXPECT_EQ(db[cands[0]].label(), "here");
+}
+
+TEST(BlockingTest, NeighborhoodAbsorbsCellBoundary) {
+  // Query at the very edge of a cell; candidate just across the border.
+  TrajectoryDatabase db;
+  (void)db.Add(T("across", 1, {R(1001, 0, 0)}));
+  BlockingOptions o = NoSlack();
+  o.use_temporal = false;
+  o.cell_size_meters = 1000.0;
+  o.neighborhood = 0;
+  BlockingIndex strict(db, o);
+  o.neighborhood = 1;
+  BlockingIndex relaxed(db, o);
+  Trajectory query = T("q", 9, {R(999, 0, 0)});
+  EXPECT_TRUE(strict.Candidates(query).empty());
+  EXPECT_EQ(relaxed.Candidates(query).size(), 1u);
+}
+
+TEST(BlockingTest, MinSharedCellsFilters) {
+  TrajectoryDatabase db;
+  // Candidate visits two cells of the query's footprint.
+  (void)db.Add(T("two-cells", 1, {R(500, 500, 0), R(5500, 5500, 50)}));
+  // Candidate visits only one.
+  (void)db.Add(T("one-cell", 2, {R(500, 500, 0)}));
+  BlockingOptions o = NoSlack();
+  o.use_temporal = false;
+  o.cell_size_meters = 1000.0;
+  o.neighborhood = 0;
+  o.min_shared_cells = 2;
+  BlockingIndex index(db, o);
+  Trajectory query = T("q", 9, {R(400, 400, 10), R(5600, 5600, 60)});
+  auto cands = index.Candidates(query);
+  ASSERT_EQ(cands.size(), 1u);
+  EXPECT_EQ(db[cands[0]].label(), "two-cells");
+}
+
+TEST(BlockingTest, EmptyQueryNoCandidates) {
+  TrajectoryDatabase db;
+  (void)db.Add(T("a", 1, {R(0, 0, 0)}));
+  BlockingIndex index(db, {});
+  EXPECT_TRUE(index.Candidates(T("q", 9, {})).empty());
+}
+
+TEST(BlockingTest, EmptyCandidatesNeverReturned) {
+  TrajectoryDatabase db;
+  (void)db.Add(T("empty", 1, {}));
+  (void)db.Add(T("full", 2, {R(0, 0, 0), R(0, 0, 100)}));
+  BlockingIndex index(db, {});
+  auto cands = index.Candidates(T("q", 9, {R(10, 10, 50)}));
+  ASSERT_EQ(cands.size(), 1u);
+  EXPECT_EQ(db[cands[0]].label(), "full");
+}
+
+TEST(BlockingTest, HighRecallOnPopulation) {
+  // Property: on paired data from *localized* movers (each person stays
+  // in their own neighbourhood of a large city), spatial blocking keeps
+  // nearly every true match while pruning a large share of candidates.
+  sim::PopulationOptions po;
+  po.num_persons = 120;
+  po.duration_days = 7;
+  po.cdr_accesses_per_day = 15.0;
+  po.transit_accesses_per_day = 10.0;
+  po.city = sim::BeijingLike();
+  po.city.hotspots.clear();       // no shared attractors
+  po.waypoints.hotspot_prob = 0.0;
+  po.waypoints.trip_scale_meters = 2500.0;  // stay local
+  po.waypoints.long_trip_prob = 0.0;
+  po.seed = 404;
+  auto data = sim::SimulatePopulation(po);
+  BlockingOptions o;
+  o.cell_size_meters = 4000.0;
+  o.neighborhood = 1;
+  BlockingIndex index(data.transit_db, o);
+
+  size_t kept_true = 0, total = 0, candidate_sum = 0;
+  for (const auto& query : data.cdr_db) {
+    if (query.size() < 2) continue;
+    ++total;
+    auto cands = index.Candidates(query);
+    candidate_sum += cands.size();
+    for (size_t ci : cands) {
+      if (data.transit_db[ci].owner() == query.owner()) {
+        ++kept_true;
+        break;
+      }
+    }
+  }
+  ASSERT_GT(total, 100u);
+  double recall = static_cast<double>(kept_true) /
+                  static_cast<double>(total);
+  double reduction = static_cast<double>(candidate_sum) /
+                     (static_cast<double>(total) *
+                      static_cast<double>(data.transit_db.size()));
+  EXPECT_GT(recall, 0.97);
+  EXPECT_LT(reduction, 0.9);
+}
+
+TEST(BlockingTest, QueryWithCandidatesMatchesFullQueryOnSurvivors) {
+  sim::PopulationOptions po;
+  po.num_persons = 40;
+  po.duration_days = 5;
+  po.cdr_accesses_per_day = 20.0;
+  po.transit_accesses_per_day = 20.0;
+  po.seed = 405;
+  auto data = sim::SimulatePopulation(po);
+  EngineOptions eo;
+  eo.training.horizon_units = 30;
+  FtlEngine engine(eo);
+  ASSERT_TRUE(engine.Train(data.cdr_db, data.transit_db).ok());
+
+  BlockingIndex index(data.transit_db, {});
+  const auto& query = data.cdr_db[3];
+  auto survivors = index.Candidates(query);
+  auto full = engine.Query(query, data.transit_db, Matcher::kNaiveBayes);
+  auto blocked = engine.QueryWithCandidates(query, data.transit_db,
+                                            survivors,
+                                            Matcher::kNaiveBayes);
+  ASSERT_TRUE(full.ok());
+  ASSERT_TRUE(blocked.ok());
+  // Every blocked result must appear in the full results (blocking can
+  // only remove candidates).
+  for (const auto& c : blocked.value().candidates) {
+    bool found = false;
+    for (const auto& f : full.value().candidates) {
+      if (f.index == c.index) found = true;
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST(BlockingTest, OutOfRangeCandidateIndexRejected) {
+  sim::PopulationOptions po;
+  po.num_persons = 10;
+  po.duration_days = 2;
+  po.seed = 406;
+  auto data = sim::SimulatePopulation(po);
+  FtlEngine engine;
+  ASSERT_TRUE(engine.Train(data.cdr_db, data.transit_db).ok());
+  auto r = engine.QueryWithCandidates(data.cdr_db[0], data.transit_db,
+                                      {99999}, Matcher::kNaiveBayes);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+}
+
+}  // namespace
+}  // namespace ftl::core

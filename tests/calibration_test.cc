@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "eval/calibration.h"
+#include "sim/population_sim.h"
+
+namespace ftl::eval {
+namespace {
+
+struct Fixture {
+  sim::PopulationData data;
+  core::FtlEngine engine;
+  Workload workload;
+  std::vector<QueryScores> scores;
+};
+
+Fixture MakeFixture() {
+  Fixture f;
+  sim::PopulationOptions po;
+  po.num_persons = 60;
+  po.duration_days = 7;
+  po.cdr_accesses_per_day = 12.0;
+  po.transit_accesses_per_day = 8.0;
+  po.seed = 888;
+  f.data = sim::SimulatePopulation(po);
+  core::EngineOptions eo;
+  eo.training.horizon_units = 30;
+  f.engine = core::FtlEngine(eo);
+  EXPECT_TRUE(f.engine.Train(f.data.cdr_db, f.data.transit_db).ok());
+  WorkloadOptions wo;
+  wo.num_queries = 30;
+  wo.seed = 12;
+  f.workload = MakeWorkload(f.data.cdr_db, f.data.transit_db, wo);
+  f.scores = ComputePairScores(f.engine, f.workload.queries,
+                               f.data.transit_db);
+  return f;
+}
+
+TEST(CalibrationTest, PhiRespectsBudget) {
+  Fixture f = MakeFixture();
+  CalibrationTarget target;
+  target.max_mean_candidates = 3.0;
+  auto r = CalibratePhi(f.scores, f.workload.owners, f.data.transit_db,
+                        target);
+  EXPECT_LE(r.mean_candidates, 3.0);
+  EXPECT_GT(r.phi_r, 0.0);
+  EXPECT_GT(r.perceptiveness, 0.0);
+}
+
+TEST(CalibrationTest, LooserBudgetLoosensPhi) {
+  Fixture f = MakeFixture();
+  CalibrationTarget tight;
+  tight.max_mean_candidates = 1.0;
+  CalibrationTarget loose;
+  loose.max_mean_candidates = 50.0;
+  auto rt = CalibratePhi(f.scores, f.workload.owners, f.data.transit_db,
+                         tight);
+  auto rl = CalibratePhi(f.scores, f.workload.owners, f.data.transit_db,
+                         loose);
+  EXPECT_LE(rt.phi_r, rl.phi_r);
+  EXPECT_GE(rl.perceptiveness + 1e-9, rt.perceptiveness);
+}
+
+TEST(CalibrationTest, AlphaRespectsBudget) {
+  Fixture f = MakeFixture();
+  CalibrationTarget target;
+  target.max_mean_candidates = 5.0;
+  auto r = CalibrateAlpha(f.scores, f.workload.owners, f.data.transit_db,
+                          target);
+  EXPECT_LE(r.mean_candidates, 5.0);
+  EXPECT_GT(r.alpha1, 0.0);
+  EXPECT_GT(r.alpha2, 0.0);
+}
+
+TEST(CalibrationTest, ImpossibleBudgetFallsBackToStrictest) {
+  Fixture f = MakeFixture();
+  CalibrationTarget impossible;
+  impossible.max_mean_candidates = 0.0;
+  auto r = CalibratePhi(f.scores, f.workload.owners, f.data.transit_db,
+                        impossible);
+  // Strictest grid point returned; budget may still be exceeded but the
+  // result is well-defined.
+  EXPECT_DOUBLE_EQ(r.phi_r, 1e-6);
+}
+
+TEST(CalibrationTest, AutoCalibrateEndToEnd) {
+  Fixture f = MakeFixture();
+  CalibrationTarget target;
+  target.max_mean_candidates = 4.0;
+  WorkloadOptions wo;
+  wo.num_queries = 20;
+  wo.seed = 13;
+  auto r = AutoCalibrate(f.engine, f.data.cdr_db, f.data.transit_db,
+                         core::Matcher::kNaiveBayes, target, wo);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_LE(r.value().mean_candidates, 4.0);
+  EXPECT_GT(r.value().perceptiveness, 0.5);
+}
+
+TEST(CalibrationTest, AutoCalibrateAlphaMatcher) {
+  Fixture f = MakeFixture();
+  CalibrationTarget target;
+  target.max_mean_candidates = 6.0;
+  WorkloadOptions wo;
+  wo.num_queries = 20;
+  wo.seed = 14;
+  auto r = AutoCalibrate(f.engine, f.data.cdr_db, f.data.transit_db,
+                         core::Matcher::kAlphaFilter, target, wo);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r.value().alpha1, 0.0);
+}
+
+TEST(CalibrationTest, UntrainedEngineFails) {
+  Fixture f = MakeFixture();
+  core::FtlEngine untrained;
+  WorkloadOptions wo;
+  auto r = AutoCalibrate(untrained, f.data.cdr_db, f.data.transit_db,
+                         core::Matcher::kNaiveBayes, {}, wo);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(CalibrationTest, EmptyWorkloadFails) {
+  Fixture f = MakeFixture();
+  traj::TrajectoryDatabase empty_p("empty");
+  WorkloadOptions wo;
+  auto r = AutoCalibrate(f.engine, empty_p, f.data.transit_db,
+                         core::Matcher::kNaiveBayes, {}, wo);
+  EXPECT_FALSE(r.ok());
+}
+
+}  // namespace
+}  // namespace ftl::eval

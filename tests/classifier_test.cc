@@ -1,0 +1,270 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/alpha_filter.h"
+#include "core/evidence.h"
+#include "core/naive_bayes.h"
+
+namespace ftl::core {
+namespace {
+
+using traj::Record;
+using traj::Timestamp;
+using traj::Trajectory;
+
+Record R(double x, double y, Timestamp t) { return Record{{x, y}, t}; }
+
+EvidenceOptions Ev() {
+  EvidenceOptions o;
+  o.vmax_mps = 120.0 * 1000 / 3600;
+  o.time_unit_seconds = 60;
+  o.horizon_units = 10;
+  return o;
+}
+
+/// Models with a clear gap: same-person incompatibility 2%, different-
+/// person incompatibility 70% for every informative bucket.
+ModelPair SyntheticModels() {
+  ModelPair m;
+  m.rejection = CompatibilityModel(60, std::vector<double>(10, 0.02));
+  m.acceptance = CompatibilityModel(60, std::vector<double>(10, 0.70));
+  return m;
+}
+
+// ------------------------------------------------------------- Evidence
+
+TEST(EvidenceTest, CollectsBucketsAndBits) {
+  // P at t=0 (x=0); Q at t=60 (x=0, compatible) and t=150
+  // (x=1e6, incompatible vs P's t=180 record? build carefully).
+  Trajectory p("p", 0, {R(0, 0, 0), R(0, 0, 180)});
+  Trajectory q("q", 1, {R(0, 0, 60), R(1e6, 0, 150)});
+  // Alignment: p0(0) q0(60) q1(150) p1(180).
+  // Mutual: (p0,q0) gap 60 compat; (q1,p1) gap 30 distance 1e6 ->
+  // incompatible.
+  auto ev = CollectEvidence(p, q, Ev());
+  ASSERT_EQ(ev.size(), 2u);
+  EXPECT_EQ(ev.total_mutual, 2);
+  EXPECT_EQ(ev.units[0], 1);
+  EXPECT_EQ(ev.incompatible[0], 0);
+  EXPECT_EQ(ev.units[1], 1);  // 30 s rounds to unit 1? 30+30=60 /60 = 1
+  EXPECT_EQ(ev.incompatible[1], 1);
+  EXPECT_EQ(ev.ObservedIncompatible(), 1);
+}
+
+TEST(EvidenceTest, BeyondHorizonExcluded) {
+  Trajectory p("p", 0, {R(0, 0, 0)});
+  Trajectory q("q", 1, {R(0, 0, 100000)});  // gap >> horizon
+  auto ev = CollectEvidence(p, q, Ev());
+  EXPECT_EQ(ev.size(), 0u);
+  EXPECT_EQ(ev.total_mutual, 1);
+  EXPECT_EQ(ev.beyond_horizon_incompatible, 0);
+}
+
+TEST(EvidenceTest, BeyondHorizonIncompatibleTracked) {
+  EvidenceOptions o = Ev();
+  o.vmax_mps = 0.001;  // absurdly tight
+  Trajectory p("p", 0, {R(0, 0, 0)});
+  Trajectory q("q", 1, {R(1e9, 0, 100000)});
+  auto ev = CollectEvidence(p, q, o);
+  EXPECT_EQ(ev.beyond_horizon_incompatible, 1);
+}
+
+TEST(EvidenceTest, ProbsUnderModel) {
+  MutualSegmentEvidence ev;
+  ev.units = {0, 3, 9};
+  ev.incompatible = {0, 1, 0};
+  CompatibilityModel m(60, {0.1, 0.2, 0.3, 0.4, 0.5, 0.5, 0.5, 0.5, 0.5,
+                            0.9});
+  auto probs = ev.ProbsUnder(m);
+  ASSERT_EQ(probs.size(), 3u);
+  EXPECT_DOUBLE_EQ(probs[0], 0.1);
+  EXPECT_DOUBLE_EQ(probs[1], 0.4);
+  EXPECT_DOUBLE_EQ(probs[2], 0.9);
+}
+
+TEST(EvidenceTest, EmptyPairNoEvidence) {
+  Trajectory p("p", 0, {});
+  Trajectory q("q", 1, {R(0, 0, 0)});
+  auto ev = CollectEvidence(p, q, Ev());
+  EXPECT_EQ(ev.size(), 0u);
+  EXPECT_EQ(ev.total_mutual, 0);
+}
+
+// ---------------------------------------------------------- AlphaFilter
+
+MutualSegmentEvidence MakeEvidence(size_t n, size_t k_incompatible) {
+  MutualSegmentEvidence ev;
+  for (size_t i = 0; i < n; ++i) {
+    ev.units.push_back(1);
+    ev.incompatible.push_back(i < k_incompatible ? 1 : 0);
+  }
+  ev.total_mutual = static_cast<int64_t>(n);
+  return ev;
+}
+
+TEST(AlphaFilterTest, AcceptsCleanSamePersonEvidence) {
+  ModelPair models = SyntheticModels();
+  AlphaFilter filter(models, {0.01, 0.05});
+  // 30 informative segments, none incompatible: consistent with Mr
+  // (mean 0.6), wildly below Ma (mean 21).
+  auto d = filter.Classify(MakeEvidence(30, 0));
+  EXPECT_TRUE(d.survived_rejection);
+  EXPECT_TRUE(d.accepted);
+  EXPECT_GT(d.p1, 0.5);
+  EXPECT_LT(d.p2, 0.001);
+  EXPECT_GT(d.Score(), 0.5);
+}
+
+TEST(AlphaFilterTest, RejectsDifferentPersonEvidence) {
+  ModelPair models = SyntheticModels();
+  AlphaFilter filter(models, {0.01, 0.05});
+  // 30 segments, 21 incompatible: typical under Ma, impossible under Mr.
+  auto d = filter.Classify(MakeEvidence(30, 21));
+  EXPECT_FALSE(d.survived_rejection);
+  EXPECT_FALSE(d.accepted);
+  EXPECT_LT(d.p1, 1e-6);
+}
+
+TEST(AlphaFilterTest, NoEvidenceIsNotAccepted) {
+  ModelPair models = SyntheticModels();
+  AlphaFilter filter(models, {0.01, 0.05});
+  auto d = filter.Classify(MakeEvidence(0, 0));
+  EXPECT_TRUE(d.survived_rejection);  // p1 = 1
+  EXPECT_FALSE(d.accepted);           // p2 = 1 >= alpha2
+  EXPECT_DOUBLE_EQ(d.p1, 1.0);
+  EXPECT_DOUBLE_EQ(d.p2, 1.0);
+  EXPECT_DOUBLE_EQ(d.Score(), 0.0);
+}
+
+TEST(AlphaFilterTest, StricterAlpha1RejectsMore) {
+  ModelPair models = SyntheticModels();
+  // 30 segments, 3 incompatible: mildly suspicious under Mr.
+  auto ev = MakeEvidence(30, 3);
+  AlphaFilter loose(models, {1e-6, 0.05});
+  AlphaFilter strict(models, {0.5, 0.05});
+  EXPECT_TRUE(loose.Classify(ev).survived_rejection);
+  EXPECT_FALSE(strict.Classify(ev).survived_rejection);
+}
+
+TEST(AlphaFilterTest, StricterAlpha2AcceptsFewer) {
+  ModelPair models = SyntheticModels();
+  // 8 segments, 2 incompatible: lower tail under Ma is moderate.
+  auto ev = MakeEvidence(8, 2);
+  AlphaFilter loose(models, {0.001, 0.5});
+  AlphaFilter strict(models, {0.001, 1e-6});
+  auto dl = loose.Classify(ev);
+  auto ds = strict.Classify(ev);
+  ASSERT_TRUE(dl.survived_rejection);
+  EXPECT_TRUE(dl.accepted);
+  EXPECT_FALSE(ds.accepted);
+}
+
+TEST(AlphaFilterTest, ClassifyFromTrajectories) {
+  ModelPair models = SyntheticModels();
+  AlphaFilter filter(models, {0.01, 0.5});
+  // Co-located interleaved records: all compatible.
+  std::vector<Record> pr, qr;
+  for (int i = 0; i < 20; ++i) {
+    pr.push_back(R(0, 0, i * 120));
+    qr.push_back(R(10, 0, i * 120 + 60));
+  }
+  Trajectory p("p", 0, std::move(pr));
+  Trajectory q("q", 0, std::move(qr));
+  auto d = filter.Classify(p, q, Ev());
+  EXPECT_TRUE(d.accepted);
+  EXPECT_EQ(d.k_observed, 0);
+  EXPECT_GE(d.n_segments, 30u);
+}
+
+// ----------------------------------------------------------- NaiveBayes
+
+TEST(NaiveBayesTest, CleanEvidenceIsSamePerson) {
+  ModelPair models = SyntheticModels();
+  NaiveBayesMatcher nb(models, {0.01, 1e-6});
+  auto d = nb.Classify(MakeEvidence(30, 0));
+  EXPECT_TRUE(d.same_person);
+  EXPECT_GT(d.LogOdds(), 0.0);
+}
+
+TEST(NaiveBayesTest, DirtyEvidenceIsDifferentPerson) {
+  ModelPair models = SyntheticModels();
+  NaiveBayesMatcher nb(models, {0.5, 1e-6});
+  auto d = nb.Classify(MakeEvidence(30, 21));
+  EXPECT_FALSE(d.same_person);
+  EXPECT_LT(d.LogOdds(), 0.0);
+}
+
+TEST(NaiveBayesTest, PriorActsAsStrictnessKnob) {
+  ModelPair models = SyntheticModels();
+  // Borderline evidence: 10 segments, 2 incompatible.
+  auto ev = MakeEvidence(10, 2);
+  NaiveBayesMatcher loose(models, {0.49, 1e-6});
+  NaiveBayesMatcher strict(models, {1e-9, 1e-6});
+  EXPECT_TRUE(loose.Classify(ev).same_person);
+  EXPECT_FALSE(strict.Classify(ev).same_person);
+}
+
+TEST(NaiveBayesTest, NoEvidencePriorDecides) {
+  ModelPair models = SyntheticModels();
+  auto ev = MakeEvidence(0, 0);
+  NaiveBayesMatcher tiny(models, {0.01, 1e-6});
+  EXPECT_FALSE(tiny.Classify(ev).same_person);
+  NaiveBayesMatcher big(models, {0.99, 1e-6});
+  EXPECT_TRUE(big.Classify(ev).same_person);
+}
+
+TEST(NaiveBayesTest, ProbFloorPreventsInfiniteLogs) {
+  ModelPair m;
+  m.rejection = CompatibilityModel(60, std::vector<double>(10, 0.0));
+  m.acceptance = CompatibilityModel(60, std::vector<double>(10, 1.0));
+  NaiveBayesMatcher nb(m, {0.5, 1e-6});
+  auto ev = MakeEvidence(5, 2);  // impossible under both extremes
+  auto d = nb.Classify(ev);
+  EXPECT_TRUE(std::isfinite(d.log_post_same));
+  EXPECT_TRUE(std::isfinite(d.log_post_diff));
+}
+
+TEST(NaiveBayesTest, LogOddsMonotoneInIncompatibleCount) {
+  ModelPair models = SyntheticModels();
+  NaiveBayesMatcher nb(models, {0.5, 1e-6});
+  double prev = nb.Classify(MakeEvidence(20, 0)).LogOdds();
+  for (size_t k = 1; k <= 20; ++k) {
+    double cur = nb.Classify(MakeEvidence(20, k)).LogOdds();
+    EXPECT_LT(cur, prev) << "k=" << k;
+    prev = cur;
+  }
+}
+
+// Parameterized sweep: the alpha filter decision respects the
+// theoretical p-value thresholds for all (n, k).
+class AlphaFilterSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(AlphaFilterSweep, DecisionMatchesPValues) {
+  auto [n, k] = GetParam();
+  if (k > n) GTEST_SKIP();
+  ModelPair models = SyntheticModels();
+  AlphaFilterParams params{0.01, 0.05};
+  AlphaFilter filter(models, params);
+  auto ev = MakeEvidence(static_cast<size_t>(n), static_cast<size_t>(k));
+  auto d = filter.Classify(ev);
+  EXPECT_EQ(d.survived_rejection, d.p1 >= params.alpha1);
+  if (d.survived_rejection) {
+    EXPECT_EQ(d.accepted, d.p2 < params.alpha2);
+  } else {
+    EXPECT_FALSE(d.accepted);
+  }
+  EXPECT_GE(d.p1, 0.0);
+  EXPECT_LE(d.p1, 1.0);
+  EXPECT_GE(d.p2, 0.0);
+  EXPECT_LE(d.p2, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, AlphaFilterSweep,
+    ::testing::Combine(::testing::Values(1, 5, 10, 25, 50),
+                       ::testing::Values(0, 1, 3, 10, 25, 50)));
+
+}  // namespace
+}  // namespace ftl::core

@@ -1,0 +1,245 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+#include "tools/cli.h"
+
+namespace ftl::tools {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string Tmp(const std::string& name) {
+  return (fs::temp_directory_path() / name).string();
+}
+
+struct TempFiles {
+  std::vector<std::string> paths;
+  std::string Add(const std::string& name) {
+    paths.push_back(Tmp(name));
+    return paths.back();
+  }
+  ~TempFiles() {
+    for (const auto& p : paths) std::remove(p.c_str());
+  }
+};
+
+// ---------------------------------------------------------------- ArgMap
+
+TEST(ArgMapTest, ParsesKeyValuePairs) {
+  auto m = ArgMap::Parse({"--a", "1", "--b", "x"});
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m.value().Get("a", ""), "1");
+  EXPECT_EQ(m.value().Get("b", ""), "x");
+  EXPECT_EQ(m.value().Get("c", "zz"), "zz");
+  EXPECT_TRUE(m.value().Has("a"));
+  EXPECT_FALSE(m.value().Has("c"));
+}
+
+TEST(ArgMapTest, ValuelessFlagGetsTrue) {
+  auto m = ArgMap::Parse({"--verbose", "--k", "3"});
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m.value().Get("verbose", ""), "true");
+  EXPECT_EQ(m.value().Get("k", ""), "3");
+}
+
+TEST(ArgMapTest, RejectsBareToken) {
+  EXPECT_FALSE(ArgMap::Parse({"oops"}).ok());
+  EXPECT_FALSE(ArgMap::Parse({"--ok", "1", "--"}).ok());
+}
+
+TEST(ArgMapTest, NumericAccessors) {
+  auto m = ArgMap::Parse({"--d", "2.5", "--i", "42", "--bad", "xyz"});
+  ASSERT_TRUE(m.ok());
+  EXPECT_DOUBLE_EQ(m.value().GetDouble("d", 0).value(), 2.5);
+  EXPECT_EQ(m.value().GetInt("i", 0).value(), 42);
+  EXPECT_DOUBLE_EQ(m.value().GetDouble("missing", 7.0).value(), 7.0);
+  EXPECT_FALSE(m.value().GetDouble("bad", 0).ok());
+  EXPECT_FALSE(m.value().GetInt("d", 0).ok());
+}
+
+// ------------------------------------------------------------- Commands
+
+TEST(CliTest, UsageOnNoArgs) {
+  std::ostringstream out;
+  EXPECT_EQ(RunCli({}, out), 1);
+  EXPECT_NE(out.str().find("usage:"), std::string::npos);
+}
+
+TEST(CliTest, HelpIsSuccess) {
+  std::ostringstream out;
+  EXPECT_EQ(RunCli({"help"}, out), 0);
+}
+
+TEST(CliTest, UnknownCommand) {
+  std::ostringstream out;
+  EXPECT_EQ(RunCli({"frobnicate"}, out), 1);
+  EXPECT_NE(out.str().find("unknown command"), std::string::npos);
+}
+
+TEST(CliTest, SimulateRequiresOutputs) {
+  std::ostringstream out;
+  EXPECT_EQ(RunCli({"simulate"}, out), 1);
+  EXPECT_NE(out.str().find("out-p"), std::string::npos);
+}
+
+TEST(CliTest, SimulateRejectsUnknownConfig) {
+  std::ostringstream out;
+  int rc = RunCli({"simulate", "--out-p", Tmp("x.csv"), "--out-q",
+                   Tmp("y.csv"), "--config", "ZZ"},
+                  out);
+  EXPECT_EQ(rc, 1);
+  EXPECT_NE(out.str().find("unknown config"), std::string::npos);
+}
+
+TEST(CliTest, EndToEndPipeline) {
+  TempFiles files;
+  std::string p_csv = files.Add("cli_p.csv");
+  std::string q_csv = files.Add("cli_q.csv");
+  std::string rej = files.Add("cli_rej.model");
+  std::string acc = files.Add("cli_acc.model");
+  std::string gj = files.Add("cli_out.geojson");
+
+  // simulate
+  {
+    std::ostringstream out;
+    int rc = RunCli({"simulate", "--out-p", p_csv, "--out-q", q_csv,
+                     "--config", "SD", "--objects", "40", "--seed", "5"},
+                    out);
+    ASSERT_EQ(rc, 0) << out.str();
+    EXPECT_NE(out.str().find("simulated SD"), std::string::npos);
+  }
+  // stats
+  {
+    std::ostringstream out;
+    ASSERT_EQ(RunCli({"stats", "--db", p_csv}, out), 0) << out.str();
+    EXPECT_NE(out.str().find("trajectories=40"), std::string::npos);
+  }
+  // train
+  {
+    std::ostringstream out;
+    int rc = RunCli({"train", "--p", p_csv, "--q", q_csv,
+                     "--out-rejection", rej, "--out-acceptance", acc},
+                    out);
+    ASSERT_EQ(rc, 0) << out.str();
+    EXPECT_NE(out.str().find("trained models"), std::string::npos);
+    EXPECT_TRUE(std::filesystem::exists(rej));
+    EXPECT_TRUE(std::filesystem::exists(acc));
+  }
+  // link (single query)
+  {
+    std::ostringstream out;
+    int rc = RunCli({"link", "--p", p_csv, "--q", q_csv, "--query",
+                     "log-0", "--matcher", "nb", "--phi", "0.05"},
+                    out);
+    ASSERT_EQ(rc, 0) << out.str();
+    EXPECT_NE(out.str().find("log-0 ->"), std::string::npos);
+  }
+  // export
+  {
+    std::ostringstream out;
+    ASSERT_EQ(RunCli({"export", "--db", q_csv, "--out", gj}, out), 0)
+        << out.str();
+    EXPECT_TRUE(std::filesystem::exists(gj));
+  }
+}
+
+TEST(CliTest, LinkRejectsBadMatcher) {
+  TempFiles files;
+  std::string p_csv = files.Add("cli_p2.csv");
+  std::string q_csv = files.Add("cli_q2.csv");
+  std::ostringstream out;
+  ASSERT_EQ(RunCli({"simulate", "--out-p", p_csv, "--out-q", q_csv,
+                    "--config", "SD", "--objects", "10"},
+                   out),
+            0);
+  std::ostringstream out2;
+  int rc = RunCli({"link", "--p", p_csv, "--q", q_csv, "--matcher",
+                   "bogus"},
+                  out2);
+  EXPECT_EQ(rc, 1);
+  EXPECT_NE(out2.str().find("--matcher"), std::string::npos);
+}
+
+TEST(CliTest, LinkUnknownQueryLabel) {
+  TempFiles files;
+  std::string p_csv = files.Add("cli_p3.csv");
+  std::string q_csv = files.Add("cli_q3.csv");
+  std::ostringstream out;
+  ASSERT_EQ(RunCli({"simulate", "--out-p", p_csv, "--out-q", q_csv,
+                    "--config", "SD", "--objects", "10"},
+                   out),
+            0);
+  std::ostringstream out2;
+  EXPECT_EQ(RunCli({"link", "--p", p_csv, "--q", q_csv, "--query",
+                    "no-such-label"},
+                   out2),
+            1);
+  EXPECT_NE(out2.str().find("NotFound"), std::string::npos);
+}
+
+TEST(CliTest, ValidateDiagnoseCalibrateEnrich) {
+  TempFiles files;
+  std::string p_csv = files.Add("cli_p4.csv");
+  std::string q_csv = files.Add("cli_q4.csv");
+  std::string clean_csv = files.Add("cli_clean4.csv");
+  std::ostringstream sim_out;
+  ASSERT_EQ(RunCli({"simulate", "--out-p", p_csv, "--out-q", q_csv,
+                    "--config", "SD", "--objects", "25", "--seed", "9"},
+                   sim_out),
+            0);
+  {
+    std::ostringstream out;
+    ASSERT_EQ(RunCli({"validate", "--db", p_csv, "--sanitized-out",
+                      clean_csv},
+                     out),
+              0)
+        << out.str();
+    EXPECT_NE(out.str().find("trajectories=25"), std::string::npos);
+    EXPECT_TRUE(std::filesystem::exists(clean_csv));
+  }
+  {
+    std::ostringstream out;
+    ASSERT_EQ(RunCli({"diagnose", "--p", p_csv, "--q", q_csv}, out), 0)
+        << out.str();
+    EXPECT_NE(out.str().find("mean_js_bits"), std::string::npos);
+  }
+  {
+    std::ostringstream out;
+    ASSERT_EQ(RunCli({"calibrate", "--p", p_csv, "--q", q_csv,
+                      "--budget", "5", "--queries", "10"},
+                     out),
+              0)
+        << out.str();
+    EXPECT_NE(out.str().find("calibrated phi_r="), std::string::npos);
+  }
+  {
+    std::ostringstream out;
+    ASSERT_EQ(RunCli({"enrich", "--p", p_csv, "--q", q_csv, "--query",
+                      "log-1", "--candidate", "trip-1"},
+                     out),
+              0)
+        << out.str();
+    EXPECT_NE(out.str().find("linked: log-1 <-> trip-1"),
+              std::string::npos);
+    EXPECT_NE(out.str().find("densification"), std::string::npos);
+  }
+  {
+    std::ostringstream out;
+    EXPECT_EQ(RunCli({"enrich", "--p", p_csv, "--q", q_csv, "--query",
+                      "nope", "--candidate", "trip-1"},
+                     out),
+              1);
+  }
+}
+
+TEST(CliTest, StatsMissingFile) {
+  std::ostringstream out;
+  EXPECT_EQ(RunCli({"stats", "--db", "/nonexistent/f.csv"}, out), 1);
+  EXPECT_NE(out.str().find("IOError"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ftl::tools

@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/assignment.h"
+#include "core/enrichment.h"
+
+namespace ftl::core {
+namespace {
+
+using traj::Record;
+using traj::Trajectory;
+using traj::TrajectoryDatabase;
+
+Record R(double x, double y, traj::Timestamp t) { return Record{{x, y}, t}; }
+
+// ------------------------------------------------------------ Enrichment
+
+TEST(EnrichmentTest, MergesInTimeOrderWithSourceTags) {
+  Trajectory p("bob-cdr", 1, {R(0, 0, 10), R(0, 0, 30)});
+  Trajectory q("card-2565", 1, {R(0, 0, 20), R(0, 0, 40)});
+  EnrichmentOptions opts;
+  opts.p_source_name = "CDR";
+  opts.q_source_name = "Commuter";
+  auto e = Enrich(p, q, opts);
+  ASSERT_TRUE(e.ok());
+  const auto& recs = e.value().records;
+  ASSERT_EQ(recs.size(), 4u);
+  EXPECT_EQ(recs[0].source, "CDR");
+  EXPECT_EQ(recs[1].source, "Commuter");
+  EXPECT_EQ(recs[2].source, "CDR");
+  EXPECT_EQ(recs[3].source, "Commuter");
+  for (size_t i = 1; i < recs.size(); ++i) {
+    EXPECT_LE(recs[i - 1].record.t, recs[i].record.t);
+  }
+  EXPECT_EQ(e.value().p_label, "bob-cdr");
+  EXPECT_EQ(e.value().q_label, "card-2565");
+}
+
+TEST(EnrichmentTest, BothEmptyFails) {
+  Trajectory p("p", 1, {});
+  Trajectory q("q", 1, {});
+  EXPECT_FALSE(Enrich(p, q, {}).ok());
+}
+
+TEST(EnrichmentTest, OneEmptyStillMerges) {
+  Trajectory p("p", 1, {R(0, 0, 10)});
+  Trajectory q("q", 1, {});
+  auto e = Enrich(p, q, {});
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(e.value().records.size(), 1u);
+  EXPECT_DOUBLE_EQ(e.value().p_fraction, 1.0);
+}
+
+TEST(EnrichmentTest, AuditsIncompatibleSegments) {
+  // A bogus link: the two "linked" trajectories teleport between
+  // records.
+  Trajectory p("p", 1, {R(0, 0, 0), R(0, 0, 120)});
+  Trajectory q("q", 2, {R(500000, 0, 60)});
+  EnrichmentOptions opts;
+  opts.vmax_mps = 33.3;
+  auto e = Enrich(p, q, opts);
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(e.value().incompatible_mutual_segments, 2u);
+}
+
+TEST(EnrichmentTest, CleanLinkHasNoIncompatibilities) {
+  Trajectory p("p", 1, {R(0, 0, 0), R(10, 0, 120)});
+  Trajectory q("q", 1, {R(5, 0, 60)});
+  auto e = Enrich(p, q, {});
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(e.value().incompatible_mutual_segments, 0u);
+}
+
+TEST(EnrichmentTest, DensificationFactor) {
+  // P samples every 100 s, Q samples every 100 s offset by 50:
+  // merged cadence 50 s -> factor ~2.
+  std::vector<Record> pr, qr;
+  for (int i = 0; i < 20; ++i) {
+    pr.push_back(R(0, 0, i * 100));
+    qr.push_back(R(0, 0, i * 100 + 50));
+  }
+  Trajectory p("p", 1, std::move(pr));
+  Trajectory q("q", 1, std::move(qr));
+  auto e = Enrich(p, q, {});
+  ASSERT_TRUE(e.ok());
+  EXPECT_NEAR(e.value().densification_factor, 2.0, 0.1);
+}
+
+TEST(EnrichmentTest, TableStringRendersRows) {
+  Trajectory p("bob", 1, {R(87, 23, 100)});
+  Trajectory q("#2565", 1, {R(63, 45, 200)});
+  auto e = Enrich(p, q, {});
+  ASSERT_TRUE(e.ok());
+  std::string table = ToTableString(e.value());
+  EXPECT_NE(table.find("bob"), std::string::npos);
+  EXPECT_NE(table.find("#2565"), std::string::npos);
+  EXPECT_NE(table.find("source"), std::string::npos);
+}
+
+TEST(EnrichmentTest, TableStringTruncates) {
+  std::vector<Record> pr;
+  for (int i = 0; i < 50; ++i) pr.push_back(R(0, 0, i));
+  Trajectory p("p", 1, std::move(pr));
+  Trajectory q("q", 1, {R(0, 0, 1000)});
+  auto e = Enrich(p, q, {});
+  ASSERT_TRUE(e.ok());
+  std::string table = ToTableString(e.value(), 5);
+  EXPECT_NE(table.find("more rows"), std::string::npos);
+}
+
+// ------------------------------------------------------------ Assignment
+
+QueryResult ResultWith(std::vector<std::pair<size_t, double>> cands) {
+  QueryResult r;
+  for (auto [idx, score] : cands) {
+    MatchCandidate c;
+    c.index = idx;
+    c.score = score;
+    r.candidates.push_back(c);
+  }
+  return r;
+}
+
+TEST(AssignmentTest, ResolvesCollisionByScore) {
+  // Queries 0 and 1 both want candidate 7; query 1 scores higher and
+  // wins; query 0 falls back to candidate 3.
+  std::vector<QueryResult> results = {
+      ResultWith({{7, 0.8}, {3, 0.6}}),
+      ResultWith({{7, 0.9}}),
+  };
+  auto assignments = AssignOneToOne(results);
+  ASSERT_EQ(assignments.size(), 2u);
+  EXPECT_EQ(assignments[0].query_index, 0u);
+  EXPECT_EQ(assignments[0].candidate_index, 3u);
+  EXPECT_EQ(assignments[1].query_index, 1u);
+  EXPECT_EQ(assignments[1].candidate_index, 7u);
+}
+
+TEST(AssignmentTest, MinScoreExcludesWeakPairs) {
+  std::vector<QueryResult> results = {ResultWith({{1, 0.05}})};
+  EXPECT_TRUE(AssignOneToOne(results, 0.1).empty());
+  EXPECT_EQ(AssignOneToOne(results, 0.01).size(), 1u);
+}
+
+TEST(AssignmentTest, EachQueryAndCandidateAtMostOnce) {
+  std::vector<QueryResult> results = {
+      ResultWith({{1, 0.9}, {2, 0.8}}),
+      ResultWith({{1, 0.7}, {2, 0.6}}),
+      ResultWith({{1, 0.5}, {2, 0.4}}),
+  };
+  auto assignments = AssignOneToOne(results);
+  EXPECT_EQ(assignments.size(), 2u);  // only two distinct candidates
+  std::set<size_t> qs, cs;
+  for (const auto& a : assignments) {
+    EXPECT_TRUE(qs.insert(a.query_index).second);
+    EXPECT_TRUE(cs.insert(a.candidate_index).second);
+  }
+}
+
+TEST(AssignmentTest, EmptyInput) {
+  EXPECT_TRUE(AssignOneToOne({}).empty());
+}
+
+TEST(AssignmentTest, AccuracyAgainstGroundTruth) {
+  TrajectoryDatabase db;
+  (void)db.Add(Trajectory("c0", 10, {}));
+  (void)db.Add(Trajectory("c1", 20, {}));
+  std::vector<Assignment> assignments = {{0, 0, 0.9}, {1, 1, 0.8}};
+  // Query 0 owner 10 -> candidate 0 owner 10: correct.
+  // Query 1 owner 99 -> candidate 1 owner 20: wrong.
+  EXPECT_DOUBLE_EQ(AssignmentAccuracy(assignments, {10, 99}, db), 0.5);
+  EXPECT_DOUBLE_EQ(AssignmentAccuracy({}, {10, 99}, db), 0.0);
+}
+
+TEST(AssignmentTest, AssignmentNeverHurtsCollidingTop1) {
+  // Construct a batch where independent top-1 is wrong for one query
+  // due to a collision, and assignment fixes it.
+  TrajectoryDatabase db;
+  (void)db.Add(Trajectory("c0", 100, {}));
+  (void)db.Add(Trajectory("c1", 200, {}));
+  // Query 0 (owner 100): ranks c0 first, correctly, with high score.
+  // Query 1 (owner 200): also ranks c0 first (collision), c1 second.
+  std::vector<QueryResult> results = {
+      ResultWith({{0, 0.95}}),
+      ResultWith({{0, 0.6}, {1, 0.5}}),
+  };
+  std::vector<traj::OwnerId> owners = {100, 200};
+  // Independent top-1: query 1 picks c0 -> wrong. Accuracy 0.5.
+  auto assignments = AssignOneToOne(results);
+  EXPECT_DOUBLE_EQ(AssignmentAccuracy(assignments, owners, db), 1.0);
+}
+
+}  // namespace
+}  // namespace ftl::core

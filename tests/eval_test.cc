@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include "eval/metrics.h"
+#include "eval/workload.h"
+
+namespace ftl::eval {
+namespace {
+
+using core::MatchCandidate;
+using core::QueryResult;
+using traj::Record;
+using traj::Trajectory;
+using traj::TrajectoryDatabase;
+
+Record R(traj::Timestamp t) { return Record{{0, 0}, t}; }
+
+TrajectoryDatabase Db(const std::vector<traj::OwnerId>& owners) {
+  TrajectoryDatabase db;
+  for (size_t i = 0; i < owners.size(); ++i) {
+    (void)db.Add(Trajectory("t" + std::to_string(i), owners[i],
+                            {R(0), R(10)}));
+  }
+  return db;
+}
+
+QueryResult MakeResult(const std::vector<size_t>& indices, size_t db_size) {
+  QueryResult r;
+  for (size_t idx : indices) {
+    MatchCandidate c;
+    c.index = idx;
+    r.candidates.push_back(c);
+  }
+  r.selectiveness = static_cast<double>(indices.size()) /
+                    static_cast<double>(db_size);
+  return r;
+}
+
+// -------------------------------------------------------------- Metrics
+
+TEST(MetricsTest, PerceptivenessCountsHits) {
+  auto db = Db({10, 20, 30});
+  std::vector<QueryResult> results = {
+      MakeResult({0, 1}, 3),  // owner 10 at rank 0 -> hit for owner 10
+      MakeResult({2}, 3),     // owner 30 -> miss for owner 20
+  };
+  auto m = ComputeMetrics(results, {10, 20}, db);
+  EXPECT_EQ(m.num_queries, 2u);
+  EXPECT_DOUBLE_EQ(m.perceptiveness, 0.5);
+  ASSERT_EQ(m.true_match_ranks.size(), 2u);
+  EXPECT_EQ(m.true_match_ranks[0], 0);
+  EXPECT_EQ(m.true_match_ranks[1], -1);
+}
+
+TEST(MetricsTest, SelectivenessIsMean) {
+  auto db = Db({1, 2, 3, 4});
+  std::vector<QueryResult> results = {MakeResult({0}, 4),
+                                      MakeResult({0, 1, 2}, 4)};
+  auto m = ComputeMetrics(results, {1, 1}, db);
+  EXPECT_DOUBLE_EQ(m.selectiveness, (0.25 + 0.75) / 2.0);
+  EXPECT_DOUBLE_EQ(m.mean_candidates, 2.0);
+}
+
+TEST(MetricsTest, RankIsPositionOfFirstTrueMatch) {
+  auto db = Db({5, 6, 5});
+  std::vector<QueryResult> results = {MakeResult({1, 2, 0}, 3)};
+  auto m = ComputeMetrics(results, {5}, db);
+  EXPECT_EQ(m.true_match_ranks[0], 1);  // index 2 owner 5 at rank 1
+}
+
+TEST(MetricsTest, EmptyResults) {
+  auto db = Db({1});
+  auto m = ComputeMetrics({}, {}, db);
+  EXPECT_EQ(m.num_queries, 0u);
+  EXPECT_DOUBLE_EQ(m.perceptiveness, 0.0);
+}
+
+TEST(MetricsTest, TopKCurveMonotone) {
+  WorkloadMetrics m;
+  m.true_match_ranks = {0, 2, 2, -1, 5};
+  auto curve = TopKCurve(m, 6);
+  ASSERT_EQ(curve.size(), 6u);
+  EXPECT_EQ(curve[0], 1);  // one query at rank 0
+  EXPECT_EQ(curve[1], 1);
+  EXPECT_EQ(curve[2], 3);  // + two at rank 2
+  EXPECT_EQ(curve[5], 4);  // + one at rank 5; the miss never counts
+  for (size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i], curve[i - 1]);
+  }
+}
+
+TEST(MetricsTest, PrecisionAtK) {
+  std::vector<int64_t> ranks = {0, 9, 10, -1};
+  EXPECT_DOUBLE_EQ(PrecisionAtK(ranks, 1), 0.25);
+  EXPECT_DOUBLE_EQ(PrecisionAtK(ranks, 10), 0.5);
+  EXPECT_DOUBLE_EQ(PrecisionAtK(ranks, 11), 0.75);
+  EXPECT_DOUBLE_EQ(PrecisionAtK({}, 5), 0.0);
+}
+
+// ------------------------------------------------------------- Workload
+
+TEST(WorkloadTest, SelectsRequestedCount) {
+  auto p = Db({1, 2, 3, 4, 5, 6, 7, 8});
+  auto q = Db({1, 2, 3, 4, 5, 6, 7, 8});
+  WorkloadOptions o;
+  o.num_queries = 3;
+  o.seed = 1;
+  auto w = MakeWorkload(p, q, o);
+  EXPECT_EQ(w.queries.size(), 3u);
+  EXPECT_EQ(w.owners.size(), 3u);
+}
+
+TEST(WorkloadTest, RequiresMatchInQ) {
+  auto p = Db({1, 2, 3, 4});
+  auto q = Db({3, 4});  // only owners 3, 4 present
+  WorkloadOptions o;
+  o.num_queries = 10;
+  o.require_match_in_q = true;
+  auto w = MakeWorkload(p, q, o);
+  EXPECT_EQ(w.queries.size(), 2u);
+  for (auto owner : w.owners) {
+    EXPECT_TRUE(owner == 3 || owner == 4);
+  }
+}
+
+TEST(WorkloadTest, WithoutMatchRequirementUsesAll) {
+  auto p = Db({1, 2, 3, 4});
+  auto q = Db({99});
+  WorkloadOptions o;
+  o.num_queries = 10;
+  o.require_match_in_q = false;
+  auto w = MakeWorkload(p, q, o);
+  EXPECT_EQ(w.queries.size(), 4u);
+}
+
+TEST(WorkloadTest, MinRecordsFilter) {
+  TrajectoryDatabase p;
+  (void)p.Add(Trajectory("short", 1, {R(0)}));
+  (void)p.Add(Trajectory("long", 2, {R(0), R(1), R(2)}));
+  auto q = Db({1, 2});
+  WorkloadOptions o;
+  o.num_queries = 10;
+  o.min_query_records = 2;
+  auto w = MakeWorkload(p, q, o);
+  ASSERT_EQ(w.queries.size(), 1u);
+  EXPECT_EQ(w.queries[0].label(), "long");
+}
+
+TEST(WorkloadTest, DeterministicGivenSeed) {
+  auto p = Db({1, 2, 3, 4, 5, 6, 7, 8, 9, 10});
+  auto q = Db({1, 2, 3, 4, 5, 6, 7, 8, 9, 10});
+  WorkloadOptions o;
+  o.num_queries = 4;
+  o.seed = 77;
+  auto w1 = MakeWorkload(p, q, o);
+  auto w2 = MakeWorkload(p, q, o);
+  ASSERT_EQ(w1.queries.size(), w2.queries.size());
+  for (size_t i = 0; i < w1.queries.size(); ++i) {
+    EXPECT_EQ(w1.queries[i].label(), w2.queries[i].label());
+  }
+}
+
+TEST(WorkloadTest, UnknownOwnersExcludedWhenMatchRequired) {
+  TrajectoryDatabase p;
+  (void)p.Add(Trajectory("anon", traj::kUnknownOwner, {R(0), R(1)}));
+  (void)p.Add(Trajectory("known", 5, {R(0), R(1)}));
+  auto q = Db({5});
+  WorkloadOptions o;
+  o.num_queries = 10;
+  auto w = MakeWorkload(p, q, o);
+  ASSERT_EQ(w.queries.size(), 1u);
+  EXPECT_EQ(w.queries[0].label(), "known");
+}
+
+}  // namespace
+}  // namespace ftl::eval

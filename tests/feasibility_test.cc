@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/feasibility.h"
+#include "analysis/mutual_segment_analysis.h"
+
+namespace ftl::analysis {
+namespace {
+
+TEST(FeasibilityTest, ComponentsAreConsistent) {
+  auto r = EstimateFeasibility(2.0, 3.0, 0.5, 50.0);
+  EXPECT_NEAR(r.expected_mutual_per_unit, ExpectedMutualSegments(2.0, 3.0),
+              1e-12);
+  EXPECT_NEAR(r.informative_fraction, 1.0 - std::exp(-5.0 * 0.5), 1e-12);
+  EXPECT_NEAR(r.informative_per_unit,
+              r.expected_mutual_per_unit * r.informative_fraction, 1e-12);
+  EXPECT_NEAR(r.units_for_target, 50.0 / r.informative_per_unit, 1e-9);
+  EXPECT_TRUE(r.feasible);
+}
+
+TEST(FeasibilityTest, ZeroRateIsInfeasible) {
+  auto r = EstimateFeasibility(0.0, 5.0, 1.0, 10.0);
+  EXPECT_FALSE(r.feasible);
+  EXPECT_TRUE(std::isinf(r.units_for_target));
+  EXPECT_DOUBLE_EQ(r.informative_per_unit, 0.0);
+}
+
+TEST(FeasibilityTest, ZeroHorizonIsInfeasible) {
+  auto r = EstimateFeasibility(2.0, 2.0, 0.0, 10.0);
+  EXPECT_FALSE(r.feasible);
+}
+
+TEST(FeasibilityTest, MoreAccessesShortenTheWait) {
+  double d1 = EstimateFeasibility(1.0, 1.0, 0.1, 30.0).units_for_target;
+  double d2 = EstimateFeasibility(4.0, 4.0, 0.1, 30.0).units_for_target;
+  double d3 = EstimateFeasibility(16.0, 16.0, 0.1, 30.0).units_for_target;
+  EXPECT_GT(d1, d2);
+  EXPECT_GT(d2, d3);
+}
+
+TEST(FeasibilityTest, WiderHorizonShortensTheWait) {
+  double narrow = EstimateFeasibility(2.0, 2.0, 0.05, 30.0).units_for_target;
+  double wide = EstimateFeasibility(2.0, 2.0, 0.5, 30.0).units_for_target;
+  EXPECT_GT(narrow, wide);
+}
+
+TEST(FeasibilityTest, DailyConvenienceMatchesRaw) {
+  // 12 and 4 events/day, 60-minute horizon, 40 segments.
+  auto daily = EstimateFeasibilityDaily(12.0, 4.0, 60.0, 40.0);
+  auto raw = EstimateFeasibility(12.0, 4.0, 60.0 / 1440.0, 40.0);
+  EXPECT_NEAR(daily.informative_per_day, raw.informative_per_unit, 1e-12);
+  EXPECT_NEAR(daily.days_for_target, raw.units_for_target, 1e-9);
+  EXPECT_TRUE(daily.feasible);
+}
+
+TEST(FeasibilityTest, RealisticScenarioMagnitudes) {
+  // Phone (12/day) x transit card (4/day), 1 h horizon: a person
+  // produces a couple of informative segments per week, so tens of
+  // segments need weeks-to-months of data — matching the paper's use of
+  // month-long datasets.
+  auto daily = EstimateFeasibilityDaily(12.0, 4.0, 60.0, 30.0);
+  EXPECT_GT(daily.days_for_target, 7.0);
+  EXPECT_LT(daily.days_for_target, 400.0);
+}
+
+TEST(FeasibilityTest, SymmetricInRates) {
+  auto a = EstimateFeasibility(3.0, 7.0, 0.2, 25.0);
+  auto b = EstimateFeasibility(7.0, 3.0, 0.2, 25.0);
+  EXPECT_NEAR(a.units_for_target, b.units_for_target, 1e-9);
+}
+
+}  // namespace
+}  // namespace ftl::analysis

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geo/point.h"
+#include "geo/projection.h"
+
+namespace ftl::geo {
+namespace {
+
+TEST(PointTest, Distance) {
+  EXPECT_DOUBLE_EQ(Distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(Distance({1, 1}, {1, 1}), 0.0);
+}
+
+TEST(PointTest, DistanceSquared) {
+  EXPECT_DOUBLE_EQ(DistanceSquared({0, 0}, {3, 4}), 25.0);
+}
+
+TEST(PointTest, DistanceSymmetric) {
+  Point a{12.5, -3.0}, b{-7.0, 44.0};
+  EXPECT_DOUBLE_EQ(Distance(a, b), Distance(b, a));
+}
+
+TEST(PointTest, TriangleInequality) {
+  Point a{0, 0}, b{10, 0}, c{5, 5};
+  EXPECT_LE(Distance(a, b), Distance(a, c) + Distance(c, b) + 1e-12);
+}
+
+TEST(PointTest, ManhattanDominatesEuclidean) {
+  Point a{1, 2}, b{4, 6};
+  EXPECT_GE(ManhattanDistance(a, b), Distance(a, b));
+  EXPECT_DOUBLE_EQ(ManhattanDistance(a, b), 7.0);
+}
+
+TEST(PointTest, Lerp) {
+  Point a{0, 0}, b{10, 20};
+  Point mid = Lerp(a, b, 0.5);
+  EXPECT_DOUBLE_EQ(mid.x, 5.0);
+  EXPECT_DOUBLE_EQ(mid.y, 10.0);
+  EXPECT_EQ(Lerp(a, b, 0.0), a);
+  EXPECT_EQ(Lerp(a, b, 1.0), b);
+}
+
+TEST(BoundingBoxTest, ContainsAndClamp) {
+  BoundingBox box{0, 0, 100, 50};
+  EXPECT_TRUE(box.Contains({50, 25}));
+  EXPECT_TRUE(box.Contains({0, 0}));
+  EXPECT_TRUE(box.Contains({100, 50}));
+  EXPECT_FALSE(box.Contains({101, 25}));
+  EXPECT_FALSE(box.Contains({50, -1}));
+  Point c = box.Clamp({150, -20});
+  EXPECT_DOUBLE_EQ(c.x, 100.0);
+  EXPECT_DOUBLE_EQ(c.y, 0.0);
+}
+
+TEST(BoundingBoxTest, Dimensions) {
+  BoundingBox box{0, 0, 30, 40};
+  EXPECT_DOUBLE_EQ(box.Width(), 30.0);
+  EXPECT_DOUBLE_EQ(box.Height(), 40.0);
+  EXPECT_DOUBLE_EQ(box.Diagonal(), 50.0);
+}
+
+TEST(SpeedConversionTest, RoundTrip) {
+  EXPECT_NEAR(KphToMps(120.0), 33.3333, 1e-3);
+  EXPECT_NEAR(MpsToKph(KphToMps(88.0)), 88.0, 1e-9);
+}
+
+TEST(HaversineTest, ZeroForSamePoint) {
+  LatLon a{1.3521, 103.8198};  // Singapore
+  EXPECT_DOUBLE_EQ(HaversineDistance(a, a), 0.0);
+}
+
+TEST(HaversineTest, KnownDistance) {
+  // Singapore -> Kuala Lumpur (city centers), ~309 km great-circle.
+  LatLon sg{1.3521, 103.8198};
+  LatLon kl{3.1390, 101.6869};
+  double d = HaversineDistance(sg, kl);
+  EXPECT_NEAR(d, 309250.0, 2000.0);
+}
+
+TEST(HaversineTest, OneDegreeLatitude) {
+  LatLon a{0.0, 0.0}, b{1.0, 0.0};
+  // 1 degree of latitude is ~111.2 km.
+  EXPECT_NEAR(HaversineDistance(a, b), 111195.0, 200.0);
+}
+
+TEST(ProjectionTest, OriginMapsToZero) {
+  LatLon origin{1.35, 103.82};
+  LocalProjection proj(origin);
+  Point p = proj.Forward(origin);
+  EXPECT_NEAR(p.x, 0.0, 1e-9);
+  EXPECT_NEAR(p.y, 0.0, 1e-9);
+}
+
+TEST(ProjectionTest, RoundTrip) {
+  LocalProjection proj({1.35, 103.82});
+  LatLon ll{1.41, 103.95};
+  LatLon back = proj.Backward(proj.Forward(ll));
+  EXPECT_NEAR(back.lat_deg, ll.lat_deg, 1e-9);
+  EXPECT_NEAR(back.lon_deg, ll.lon_deg, 1e-9);
+}
+
+TEST(ProjectionTest, MatchesHaversineAtCityScale) {
+  LocalProjection proj({39.9, 116.4});  // Beijing
+  LatLon a{39.95, 116.30};
+  LatLon b{39.85, 116.55};
+  Point pa = proj.Forward(a);
+  Point pb = proj.Forward(b);
+  double planar = Distance(pa, pb);
+  double sphere = HaversineDistance(a, b);
+  // Better than 0.5% agreement across ~25 km.
+  EXPECT_NEAR(planar / sphere, 1.0, 0.005);
+}
+
+TEST(ProjectionTest, NorthIsPositiveY) {
+  LocalProjection proj({10.0, 20.0});
+  Point north = proj.Forward({10.1, 20.0});
+  EXPECT_GT(north.y, 0.0);
+  EXPECT_NEAR(north.x, 0.0, 1e-9);
+}
+
+TEST(ProjectionTest, EastIsPositiveX) {
+  LocalProjection proj({10.0, 20.0});
+  Point east = proj.Forward({10.0, 20.1});
+  EXPECT_GT(east.x, 0.0);
+  EXPECT_NEAR(east.y, 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace ftl::geo

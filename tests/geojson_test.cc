@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "io/geojson.h"
+
+namespace ftl::io {
+namespace {
+
+using traj::Record;
+using traj::Trajectory;
+using traj::TrajectoryDatabase;
+
+Record R(double x, double y, traj::Timestamp t) { return Record{{x, y}, t}; }
+
+TrajectoryDatabase Db() {
+  TrajectoryDatabase db("g");
+  (void)db.Add(Trajectory("alpha", 1, {R(100, 200, 0), R(300, 400, 10)}));
+  (void)db.Add(Trajectory("beta", traj::kUnknownOwner, {R(-5, 7.5, 3)}));
+  return db;
+}
+
+TEST(GeoJsonTest, StructureAndProperties) {
+  std::string gj = ToGeoJson(Db());
+  EXPECT_NE(gj.find("\"type\":\"FeatureCollection\""), std::string::npos);
+  EXPECT_NE(gj.find("\"label\":\"alpha\""), std::string::npos);
+  EXPECT_NE(gj.find("\"owner\":1"), std::string::npos);
+  EXPECT_NE(gj.find("\"owner\":null"), std::string::npos);
+  EXPECT_NE(gj.find("\"records\":2"), std::string::npos);
+  EXPECT_NE(gj.find("LineString"), std::string::npos);
+}
+
+TEST(GeoJsonTest, PlanarCoordinatesEmitted) {
+  std::string gj = ToGeoJson(Db());
+  EXPECT_NE(gj.find("[100.000000,200.000000]"), std::string::npos);
+  EXPECT_NE(gj.find("[-5.000000,7.500000]"), std::string::npos);
+}
+
+TEST(GeoJsonTest, ProjectionConvertsToLonLat) {
+  geo::LocalProjection proj(geo::LatLon{1.35, 103.82});
+  std::string gj = ToGeoJson(Db(), proj);
+  // All coordinates should be near the anchor lon/lat, i.e. ~103.82 /
+  // ~1.35, not in the hundreds.
+  EXPECT_NE(gj.find("103.82"), std::string::npos);
+  EXPECT_EQ(gj.find("[100.000000,200.000000]"), std::string::npos);
+}
+
+TEST(GeoJsonTest, EscapesSpecialCharactersInLabels) {
+  TrajectoryDatabase db;
+  (void)db.Add(Trajectory("we\"ird\\label", 1, {R(0, 0, 0)}));
+  std::string gj = ToGeoJson(db);
+  EXPECT_NE(gj.find("we\\\"ird\\\\label"), std::string::npos);
+}
+
+TEST(GeoJsonTest, EmptyDatabase) {
+  TrajectoryDatabase db;
+  std::string gj = ToGeoJson(db);
+  EXPECT_EQ(gj, "{\"type\":\"FeatureCollection\",\"features\":[]}");
+}
+
+TEST(GeoJsonTest, WriteToFile) {
+  auto path = (std::filesystem::temp_directory_path() / "ftl_gj_test.json")
+                  .string();
+  ASSERT_TRUE(WriteGeoJson(Db(), path).ok());
+  std::ifstream f(path);
+  ASSERT_TRUE(f.good());
+  std::string content((std::istreambuf_iterator<char>(f)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_NE(content.find("FeatureCollection"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(GeoJsonTest, WriteToBadPathFails) {
+  EXPECT_FALSE(WriteGeoJson(Db(), "/nonexistent/dir/x.json").ok());
+}
+
+}  // namespace
+}  // namespace ftl::io

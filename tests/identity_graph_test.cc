@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "core/identity_graph.h"
+#include "sim/city.h"
+#include "sim/observation.h"
+#include "sim/path.h"
+
+namespace ftl::core {
+namespace {
+
+SourceRef S(uint32_t source, uint32_t index) { return {source, index}; }
+
+TEST(IdentityGraphTest, RejectsInvalidLinks) {
+  IdentityGraph g({3, 3, 3});
+  EXPECT_FALSE(g.AddLink(S(0, 0), S(0, 1), 0.5).ok());  // same source
+  EXPECT_FALSE(g.AddLink(S(0, 5), S(1, 0), 0.5).ok());  // index range
+  EXPECT_FALSE(g.AddLink(S(3, 0), S(1, 0), 0.5).ok());  // source range
+  EXPECT_TRUE(g.AddLink(S(0, 0), S(1, 0), 0.5).ok());
+  EXPECT_EQ(g.num_links(), 1u);
+}
+
+TEST(IdentityGraphTest, SimplePairCluster) {
+  IdentityGraph g({2, 2});
+  ASSERT_TRUE(g.AddLink(S(0, 0), S(1, 1), 0.9).ok());
+  auto clusters = g.Resolve();
+  ASSERT_EQ(clusters.size(), 1u);
+  ASSERT_EQ(clusters[0].members.size(), 2u);
+  EXPECT_EQ(clusters[0].members[0], S(0, 0));
+  EXPECT_EQ(clusters[0].members[1], S(1, 1));
+}
+
+TEST(IdentityGraphTest, TransitiveMergeAcrossThreeSources) {
+  // A0 = B0 and B0 = C0 merge into one identity even without a direct
+  // A0 = C0 link — the benefit of multi-source linking.
+  IdentityGraph g({1, 1, 1});
+  ASSERT_TRUE(g.AddLink(S(0, 0), S(1, 0), 0.9).ok());
+  ASSERT_TRUE(g.AddLink(S(1, 0), S(2, 0), 0.8).ok());
+  auto clusters = g.Resolve();
+  ASSERT_EQ(clusters.size(), 1u);
+  EXPECT_EQ(clusters[0].members.size(), 3u);
+}
+
+TEST(IdentityGraphTest, ConflictingLinkSkipped) {
+  // Two candidates from source 1 both claim A0; the higher-scoring one
+  // wins, the other is a conflict.
+  IdentityGraph g({1, 2});
+  ASSERT_TRUE(g.AddLink(S(0, 0), S(1, 0), 0.9).ok());
+  ASSERT_TRUE(g.AddLink(S(0, 0), S(1, 1), 0.7).ok());
+  auto clusters = g.Resolve();
+  ASSERT_EQ(clusters.size(), 1u);
+  ASSERT_EQ(clusters[0].members.size(), 2u);
+  EXPECT_EQ(clusters[0].members[1], S(1, 0));  // higher score won
+  EXPECT_EQ(g.last_conflicts(), 1u);
+}
+
+TEST(IdentityGraphTest, IndirectSourceConflictBlocked) {
+  // A0=B0 (0.9), A1=B0? no — build: A0=B0, C0=B0 fine; then A1=C0 would
+  // drag A1 into a cluster already containing A0 (same source) ->
+  // conflict.
+  IdentityGraph g({2, 1, 1});
+  ASSERT_TRUE(g.AddLink(S(0, 0), S(1, 0), 0.9).ok());
+  ASSERT_TRUE(g.AddLink(S(1, 0), S(2, 0), 0.8).ok());
+  ASSERT_TRUE(g.AddLink(S(0, 1), S(2, 0), 0.7).ok());
+  auto clusters = g.Resolve();
+  ASSERT_EQ(clusters.size(), 1u);
+  EXPECT_EQ(clusters[0].members.size(), 3u);
+  EXPECT_EQ(g.last_conflicts(), 1u);
+}
+
+TEST(IdentityGraphTest, MinScoreCutsWeakLinks) {
+  IdentityGraph g({1, 1, 1});
+  ASSERT_TRUE(g.AddLink(S(0, 0), S(1, 0), 0.9).ok());
+  ASSERT_TRUE(g.AddLink(S(1, 0), S(2, 0), 0.2).ok());
+  auto clusters = g.Resolve(0.5);
+  ASSERT_EQ(clusters.size(), 1u);
+  EXPECT_EQ(clusters[0].members.size(), 2u);  // weak link excluded
+}
+
+TEST(IdentityGraphTest, RepeatedConsistentLinkIsNotConflict) {
+  IdentityGraph g({1, 1});
+  ASSERT_TRUE(g.AddLink(S(0, 0), S(1, 0), 0.9).ok());
+  ASSERT_TRUE(g.AddLink(S(0, 0), S(1, 0), 0.8).ok());
+  auto clusters = g.Resolve();
+  EXPECT_EQ(clusters.size(), 1u);
+  EXPECT_EQ(g.last_conflicts(), 0u);
+}
+
+TEST(IdentityGraphTest, NoLinksNoClusters) {
+  IdentityGraph g({5, 5});
+  EXPECT_TRUE(g.Resolve().empty());
+}
+
+/// End-to-end three-source linking: one population observed by three
+/// independent services; pairwise FTL links reconciled into identities.
+TEST(IdentityGraphTest, ThreeSourceEndToEnd) {
+  using traj::TrajectoryDatabase;
+  sim::CityModel city = sim::SingaporeLike();
+  Rng master(4242);
+  const size_t kPersons = 25;
+  int64_t span = 7 * 86400;
+  std::vector<TrajectoryDatabase> dbs(3);
+  dbs[0].set_name("cdr");
+  dbs[1].set_name("transit");
+  dbs[2].set_name("payments");
+  double rates_per_day[3] = {20.0, 15.0, 10.0};
+  sim::NoiseModel noises[3] = {{0.0, 500.0, 0}, {20.0, 0.0, 0},
+                               {30.0, 0.0, 0}};
+  for (size_t i = 0; i < kPersons; ++i) {
+    Rng rng = master.Fork();
+    auto path = sim::GenerateWaypointPath(&rng, city, 0, span,
+                                          {3.5 * 3600.0, 6000.0, 0.1});
+    for (int s = 0; s < 3; ++s) {
+      auto recs = sim::SamplePoisson(&rng, path,
+                                     rates_per_day[s] / 86400.0,
+                                     noises[s]);
+      (void)dbs[s].Add(traj::Trajectory(
+          "s" + std::to_string(s) + "-" + std::to_string(i),
+          static_cast<traj::OwnerId>(i), std::move(recs)));
+    }
+  }
+
+  EngineOptions eo;
+  eo.training.horizon_units = 30;
+  eo.naive_bayes.phi_r = 0.02;
+  IdentityGraph graph({kPersons, kPersons, kPersons});
+  for (uint32_t a = 0; a < 3; ++a) {
+    for (uint32_t b = a + 1; b < 3; ++b) {
+      FtlEngine engine(eo);
+      ASSERT_TRUE(engine.Train(dbs[a], dbs[b]).ok());
+      for (uint32_t qi = 0; qi < kPersons; ++qi) {
+        auto r = engine.Query(dbs[a][qi], dbs[b], Matcher::kNaiveBayes);
+        ASSERT_TRUE(r.ok());
+        for (const auto& c : r.value().candidates) {
+          ASSERT_TRUE(graph
+                          .AddLink(S(a, qi),
+                                   S(b, static_cast<uint32_t>(c.index)),
+                                   c.score)
+                          .ok());
+        }
+      }
+    }
+  }
+  auto clusters = graph.Resolve(0.01);
+  // Most clusters should be complete (3 members) and pure (one owner).
+  size_t complete = 0, pure = 0;
+  for (const auto& cluster : clusters) {
+    if (cluster.members.size() == 3) ++complete;
+    traj::OwnerId owner =
+        dbs[cluster.members[0].source][cluster.members[0].index].owner();
+    bool all_same = true;
+    for (const auto& m : cluster.members) {
+      if (dbs[m.source][m.index].owner() != owner) all_same = false;
+    }
+    if (all_same) ++pure;
+  }
+  ASSERT_GE(clusters.size(), kPersons * 7 / 10);
+  EXPECT_GE(pure, clusters.size() * 8 / 10);
+  EXPECT_GE(complete, clusters.size() / 2);
+}
+
+}  // namespace
+}  // namespace ftl::core

@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "io/csv.h"
+#include "io/model_io.h"
+
+namespace ftl::io {
+namespace {
+
+using traj::Record;
+using traj::Trajectory;
+using traj::TrajectoryDatabase;
+
+Record R(double x, double y, traj::Timestamp t) { return Record{{x, y}, t}; }
+
+TrajectoryDatabase SampleDb() {
+  TrajectoryDatabase db("sample");
+  (void)db.Add(Trajectory("a", 1, {R(1.5, 2.25, 10), R(3, 4, 20)}));
+  (void)db.Add(Trajectory("b", traj::kUnknownOwner, {R(-7.125, 0, 5)}));
+  return db;
+}
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+// ------------------------------------------------------------------ CSV
+
+TEST(CsvTest, RoundTripString) {
+  auto db = SampleDb();
+  auto parsed = FromCsvString(ToCsvString(db), "sample");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const auto& out = parsed.value();
+  ASSERT_EQ(out.size(), 2u);
+  size_t ia = out.Find("a");
+  ASSERT_NE(ia, TrajectoryDatabase::npos);
+  EXPECT_EQ(out[ia].owner(), 1u);
+  ASSERT_EQ(out[ia].size(), 2u);
+  EXPECT_EQ(out[ia][0].t, 10);
+  EXPECT_NEAR(out[ia][0].location.x, 1.5, 1e-9);
+  size_t ib = out.Find("b");
+  EXPECT_EQ(out[ib].owner(), traj::kUnknownOwner);
+}
+
+TEST(CsvTest, RoundTripFile) {
+  auto db = SampleDb();
+  std::string path = TempPath("ftl_csv_test.csv");
+  ASSERT_TRUE(WriteCsv(db, path).ok());
+  auto parsed = ReadCsv(path, "sample");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().size(), 2u);
+  EXPECT_EQ(parsed.value().TotalRecords(), 3u);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, UnsortedRowsGetSorted) {
+  std::string csv =
+      "label,owner,t,x,y\n"
+      "a,1,30,0,0\n"
+      "a,1,10,1,1\n"
+      "a,1,20,2,2\n";
+  auto parsed = FromCsvString(csv, "x");
+  ASSERT_TRUE(parsed.ok());
+  const auto& t = parsed.value()[0];
+  EXPECT_TRUE(t.IsSorted());
+  EXPECT_EQ(t[0].t, 10);
+}
+
+TEST(CsvTest, RejectsBadHeader) {
+  EXPECT_FALSE(FromCsvString("x,y,z\n", "x").ok());
+  EXPECT_FALSE(FromCsvString("", "x").ok());
+}
+
+TEST(CsvTest, RejectsBadFieldCount) {
+  auto r = FromCsvString("label,owner,t,x,y\na,1,2\n", "x");
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("5 fields"), std::string::npos);
+}
+
+TEST(CsvTest, RejectsNonNumericFields) {
+  EXPECT_FALSE(
+      FromCsvString("label,owner,t,x,y\na,1,abc,0,0\n", "x").ok());
+  EXPECT_FALSE(
+      FromCsvString("label,owner,t,x,y\na,1,5,zz,0\n", "x").ok());
+}
+
+TEST(CsvTest, SkipsBlankLines) {
+  auto r = FromCsvString("label,owner,t,x,y\n\na,1,5,0,0\n\n", "x");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().TotalRecords(), 1u);
+}
+
+TEST(CsvTest, ReadMissingFileFails) {
+  auto r = ReadCsv("/nonexistent/path/file.csv");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+}
+
+TEST(CsvTest, WriteToBadPathFails) {
+  EXPECT_FALSE(WriteCsv(SampleDb(), "/nonexistent/dir/file.csv").ok());
+}
+
+// ---------------------------------------------------------------- Model
+
+core::CompatibilityModel SampleModel() {
+  core::CompatibilityModel m(60, {0.5, 0.25, 0.0, 1.0});
+  m.set_support({100, 50, 10, 2});
+  return m;
+}
+
+TEST(ModelIoTest, RoundTripString) {
+  auto m = SampleModel();
+  auto parsed = ModelFromString(ModelToString(m));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().time_unit_seconds(), 60);
+  ASSERT_EQ(parsed.value().probs().size(), 4u);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(parsed.value().probs()[i], m.probs()[i], 1e-9);
+    EXPECT_EQ(parsed.value().support()[i], m.support()[i]);
+  }
+}
+
+TEST(ModelIoTest, RoundTripFile) {
+  std::string path = TempPath("ftl_model_test.txt");
+  ASSERT_TRUE(WriteModel(SampleModel(), path).ok());
+  auto parsed = ReadModel(path);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().probs().size(), 4u);
+  std::remove(path.c_str());
+}
+
+TEST(ModelIoTest, RejectsBadMagic) {
+  EXPECT_FALSE(ModelFromString("not-a-model\n").ok());
+}
+
+TEST(ModelIoTest, RejectsTruncated) {
+  std::string text = ModelToString(SampleModel());
+  text.resize(text.size() / 2);
+  // Either a truncated-bucket error or bad bucket line — must not crash
+  // and must not return OK.
+  EXPECT_FALSE(ModelFromString(text).ok());
+}
+
+TEST(ModelIoTest, RejectsMalformedHeaderLines) {
+  EXPECT_FALSE(
+      ModelFromString("ftl-compat-model v1\nunit_seconds abc\n").ok());
+  EXPECT_FALSE(
+      ModelFromString("ftl-compat-model v1\nunit_seconds 60\nbuckets -3\n")
+          .ok());
+}
+
+TEST(ModelIoTest, EmptyModelRoundTrips) {
+  core::CompatibilityModel m(30, {});
+  auto parsed = ModelFromString(ModelToString(m));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().time_unit_seconds(), 30);
+  EXPECT_TRUE(parsed.value().probs().empty());
+}
+
+TEST(ModelIoTest, ReadMissingFileFails) {
+  EXPECT_FALSE(ReadModel("/nonexistent/model.txt").ok());
+}
+
+}  // namespace
+}  // namespace ftl::io

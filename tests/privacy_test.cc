@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "privacy/attack_eval.h"
+#include "privacy/defenses.h"
+#include "sim/population_sim.h"
+
+namespace ftl::privacy {
+namespace {
+
+using traj::Record;
+using traj::Trajectory;
+using traj::TrajectoryDatabase;
+
+Record R(double x, double y, traj::Timestamp t) { return Record{{x, y}, t}; }
+
+TrajectoryDatabase SmallDb() {
+  TrajectoryDatabase db("d");
+  (void)db.Add(Trajectory("a", 1, {R(123.4, 567.8, 100), R(2345.6, 7890.1,
+                                                           200)}));
+  (void)db.Add(Trajectory("b", 2, {R(-50.0, 1499.9, 150)}));
+  return db;
+}
+
+// -------------------------------------------------------------- Defenses
+
+TEST(DefensesTest, SpatialCloakingSnapsToCellCenters) {
+  auto out = SpatialCloaking(SmallDb(), 1000.0);
+  for (const auto& t : out) {
+    for (const auto& r : t.records()) {
+      double fx = r.location.x / 1000.0;
+      double fy = r.location.y / 1000.0;
+      EXPECT_NEAR(fx - std::floor(fx), 0.5, 1e-9);
+      EXPECT_NEAR(fy - std::floor(fy), 0.5, 1e-9);
+    }
+  }
+  // Structure preserved.
+  EXPECT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].label(), "a");
+  EXPECT_EQ(out[0].owner(), 1u);
+  EXPECT_EQ(out.TotalRecords(), 3u);
+}
+
+TEST(DefensesTest, SpatialCloakingBoundedError) {
+  auto out = SpatialCloaking(SmallDb(), 1000.0);
+  auto in = SmallDb();
+  for (size_t i = 0; i < in.size(); ++i) {
+    for (size_t j = 0; j < in[i].size(); ++j) {
+      double d = geo::Distance(in[i][j].location, out[i][j].location);
+      EXPECT_LE(d, 1000.0 * std::sqrt(2.0) / 2.0 + 1e-9);
+    }
+  }
+}
+
+TEST(DefensesTest, TemporalCloakingFloorsTimestamps) {
+  auto out = TemporalCloaking(SmallDb(), 60);
+  EXPECT_EQ(out[0][0].t, 60);   // 100 -> 60
+  EXPECT_EQ(out[0][1].t, 180);  // 200 -> 180
+  EXPECT_EQ(out[1][0].t, 120);  // 150 -> 120
+  // Time order preserved (monotone transform).
+  for (const auto& t : out) EXPECT_TRUE(t.IsSorted());
+}
+
+TEST(DefensesTest, TemporalCloakingNegativeTimes) {
+  TrajectoryDatabase db;
+  (void)db.Add(Trajectory("n", 1, {R(0, 0, -100)}));
+  auto out = TemporalCloaking(db, 60);
+  EXPECT_EQ(out[0][0].t, -120);  // floor toward -inf
+}
+
+TEST(DefensesTest, GaussianPerturbationMovesPoints) {
+  Rng rng(1);
+  auto out = GaussianPerturbation(SmallDb(), 100.0, &rng);
+  auto in = SmallDb();
+  double total = 0;
+  size_t n = 0;
+  for (size_t i = 0; i < in.size(); ++i) {
+    for (size_t j = 0; j < in[i].size(); ++j) {
+      total += geo::Distance(in[i][j].location, out[i][j].location);
+      ++n;
+      EXPECT_EQ(in[i][j].t, out[i][j].t);
+    }
+  }
+  EXPECT_GT(total / static_cast<double>(n), 10.0);
+}
+
+TEST(DefensesTest, GaussianPerturbationDeterministic) {
+  Rng r1(7), r2(7);
+  auto a = GaussianPerturbation(SmallDb(), 50.0, &r1);
+  auto b = GaussianPerturbation(SmallDb(), 50.0, &r2);
+  EXPECT_DOUBLE_EQ(a[0][0].location.x, b[0][0].location.x);
+}
+
+TEST(DefensesTest, RecordSuppressionKeepsFraction) {
+  TrajectoryDatabase db("big");
+  std::vector<Record> recs;
+  for (int i = 0; i < 10000; ++i) recs.push_back(R(0, 0, i));
+  (void)db.Add(Trajectory("t", 1, std::move(recs)));
+  Rng rng(2);
+  auto out = RecordSuppression(db, 0.3, &rng);
+  EXPECT_NEAR(static_cast<double>(out.TotalRecords()), 3000.0, 250.0);
+}
+
+// ------------------------------------------------------------ Attack eval
+
+AttackOptions QuickAttack() {
+  AttackOptions o;
+  o.engine.training.horizon_units = 30;
+  o.engine.training.acceptance_pairs_per_db = 300;
+  o.engine.naive_bayes.phi_r = 0.02;
+  o.workload.num_queries = 25;
+  o.workload.seed = 9;
+  return o;
+}
+
+sim::PopulationData AttackData() {
+  sim::PopulationOptions po;
+  po.num_persons = 60;
+  po.duration_days = 7;
+  po.cdr_accesses_per_day = 15.0;
+  po.transit_accesses_per_day = 12.0;
+  po.seed = 777;
+  return sim::SimulatePopulation(po);
+}
+
+TEST(AttackEvalTest, UndefendedReleaseIsHighRisk) {
+  auto data = AttackData();
+  auto report = EvaluateLinkageRisk(data.cdr_db, data.transit_db,
+                                    QuickAttack());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_GT(report.value().perceptiveness, 0.7);
+  EXPECT_GT(report.value().top1_accuracy, 0.5);
+  EXPECT_EQ(report.value().num_queries, 25u);
+}
+
+TEST(AttackEvalTest, HeavySpatialCloakingReducesRisk) {
+  auto data = AttackData();
+  auto base = EvaluateLinkageRisk(data.cdr_db, data.transit_db,
+                                  QuickAttack());
+  ASSERT_TRUE(base.ok());
+  // 20 km cells destroy almost all location signal.
+  auto cloaked = SpatialCloaking(data.transit_db, 20000.0);
+  auto defended =
+      EvaluateLinkageRisk(data.cdr_db, cloaked, QuickAttack());
+  ASSERT_TRUE(defended.ok());
+  EXPECT_LT(defended.value().top1_accuracy,
+            base.value().top1_accuracy + 1e-9);
+}
+
+TEST(AttackEvalTest, SuppressionReducesRisk) {
+  auto data = AttackData();
+  auto base = EvaluateLinkageRisk(data.cdr_db, data.transit_db,
+                                  QuickAttack());
+  ASSERT_TRUE(base.ok());
+  Rng rng(3);
+  auto suppressed = RecordSuppression(data.transit_db, 0.05, &rng);
+  auto defended =
+      EvaluateLinkageRisk(data.cdr_db, suppressed, QuickAttack());
+  ASSERT_TRUE(defended.ok());
+  EXPECT_LE(defended.value().top1_accuracy,
+            base.value().top1_accuracy + 1e-9);
+}
+
+TEST(AttackEvalTest, FailsOnEmptyRelease) {
+  auto data = AttackData();
+  TrajectoryDatabase empty("empty");
+  auto report =
+      EvaluateLinkageRisk(data.cdr_db, empty, QuickAttack());
+  EXPECT_FALSE(report.ok());
+}
+
+}  // namespace
+}  // namespace ftl::privacy

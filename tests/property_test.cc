@@ -1,0 +1,267 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/alpha_filter.h"
+#include "core/model_diagnostics.h"
+#include "io/csv.h"
+#include "stats/descriptive.h"
+#include "stats/poisson_binomial.h"
+#include "traj/alignment.h"
+#include "util/rng.h"
+
+namespace ftl {
+namespace {
+
+using core::CompatibilityModel;
+using core::ModelPair;
+using core::MutualSegmentEvidence;
+
+/// Draws evidence FROM a model: buckets uniform in [0, buckets), bits
+/// Bernoulli with the model's per-bucket probability.
+MutualSegmentEvidence DrawEvidence(Rng* rng, const CompatibilityModel& m,
+                                   size_t n) {
+  MutualSegmentEvidence ev;
+  for (size_t i = 0; i < n; ++i) {
+    int32_t unit = static_cast<int32_t>(rng->Index(m.probs().size()));
+    ev.units.push_back(unit);
+    ev.incompatible.push_back(
+        rng->Bernoulli(m.IncompatProbByUnit(unit)) ? 1 : 0);
+  }
+  ev.total_mutual = static_cast<int64_t>(n);
+  return ev;
+}
+
+ModelPair RealisticModels() {
+  // Decaying acceptance probabilities, small flat rejection noise —
+  // the shape real training produces.
+  std::vector<double> rej(20, 0.02);
+  std::vector<double> acc(20);
+  for (size_t i = 0; i < acc.size(); ++i) {
+    acc[i] = 0.85 * std::exp(-static_cast<double>(i) / 8.0);
+  }
+  ModelPair m;
+  m.rejection = CompatibilityModel(60, rej);
+  m.acceptance = CompatibilityModel(60, acc);
+  return m;
+}
+
+/// Statistical soundness of the α1-rejection phase: when evidence truly
+/// comes from the rejection model (same person), the false-rejection
+/// rate at level α must be <= α (discrete tests are conservative).
+class RejectionCalibrationTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(RejectionCalibrationTest, FalseRejectionBoundedByAlpha) {
+  double alpha = GetParam();
+  ModelPair models = RealisticModels();
+  Rng rng(static_cast<uint64_t>(alpha * 1e6) + 17);
+  const int trials = 4000;
+  int rejected = 0;
+  for (int t = 0; t < trials; ++t) {
+    auto ev = DrawEvidence(&rng, models.rejection, 30);
+    stats::PoissonBinomial dist(ev.ProbsUnder(models.rejection));
+    double p1 = dist.UpperTailPValue(ev.ObservedIncompatible());
+    if (p1 < alpha) ++rejected;
+  }
+  double rate = static_cast<double>(rejected) / trials;
+  // Conservative test: rate <= alpha + 3 binomial sigmas.
+  double sigma = std::sqrt(alpha * (1 - alpha) / trials);
+  EXPECT_LE(rate, alpha + 3 * sigma + 1e-9) << "alpha=" << alpha;
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, RejectionCalibrationTest,
+                         ::testing::Values(0.01, 0.05, 0.1, 0.25));
+
+/// Power: when evidence comes from the acceptance model (different
+/// persons), the rejection phase should fire almost always at any
+/// reasonable level.
+TEST(PowerTest, DifferentPersonEvidenceIsRejected) {
+  ModelPair models = RealisticModels();
+  Rng rng(23);
+  const int trials = 1000;
+  int rejected = 0;
+  for (int t = 0; t < trials; ++t) {
+    auto ev = DrawEvidence(&rng, models.acceptance, 30);
+    stats::PoissonBinomial dist(ev.ProbsUnder(models.rejection));
+    if (dist.UpperTailPValue(ev.ObservedIncompatible()) < 0.01) {
+      ++rejected;
+    }
+  }
+  EXPECT_GT(static_cast<double>(rejected) / trials, 0.95);
+}
+
+/// Acceptance-phase power: same-person evidence yields small p2.
+TEST(PowerTest, SamePersonEvidenceIsAccepted) {
+  ModelPair models = RealisticModels();
+  Rng rng(29);
+  const int trials = 1000;
+  int accepted = 0;
+  for (int t = 0; t < trials; ++t) {
+    auto ev = DrawEvidence(&rng, models.rejection, 30);
+    stats::PoissonBinomial dist(ev.ProbsUnder(models.acceptance));
+    if (dist.LowerTailPValue(ev.ObservedIncompatible()) < 0.05) {
+      ++accepted;
+    }
+  }
+  EXPECT_GT(static_cast<double>(accepted) / trials, 0.95);
+}
+
+/// Eq. 2 score behaves monotonically in the incompatible count.
+TEST(ScoreMonotonicityTest, MoreIncompatibleLowersScore) {
+  ModelPair models = RealisticModels();
+  const size_t n = 25;
+  double prev = 2.0;
+  for (size_t k = 0; k <= n; k += 5) {
+    MutualSegmentEvidence ev;
+    for (size_t i = 0; i < n; ++i) {
+      ev.units.push_back(3);
+      ev.incompatible.push_back(i < k ? 1 : 0);
+    }
+    stats::PoissonBinomial rej(ev.ProbsUnder(models.rejection));
+    stats::PoissonBinomial acc(ev.ProbsUnder(models.acceptance));
+    int64_t kk = ev.ObservedIncompatible();
+    double score = rej.UpperTailPValue(kk) *
+                   (1.0 - acc.LowerTailPValue(kk));
+    EXPECT_LE(score, prev + 1e-12) << "k=" << k;
+    prev = score;
+  }
+}
+
+// ----------------------------------------------------- ModelDiagnostics
+
+TEST(ModelDiagnosticsTest, SeparableModelsScoreHigh) {
+  auto d = core::DiagnoseModels(RealisticModels());
+  EXPECT_GT(d.mean_js_bits, 0.1);
+  EXPECT_LT(d.segments_for_decisive_link, 100.0);
+  EXPECT_NE(d.ToString().find("mean_js_bits"), std::string::npos);
+}
+
+TEST(ModelDiagnosticsTest, IdenticalModelsScoreZero) {
+  ModelPair m;
+  m.rejection = CompatibilityModel(60, std::vector<double>(10, 0.3));
+  m.acceptance = CompatibilityModel(60, std::vector<double>(10, 0.3));
+  auto d = core::DiagnoseModels(m);
+  EXPECT_NEAR(d.mean_js_bits, 0.0, 1e-9);
+  EXPECT_TRUE(std::isinf(d.segments_for_decisive_link) ||
+              d.segments_for_decisive_link > 1e6);
+  EXPECT_EQ(d.inverted_buckets, 10u);  // pa <= pr everywhere
+}
+
+TEST(ModelDiagnosticsTest, CountsInvertedBuckets) {
+  ModelPair m;
+  m.rejection = CompatibilityModel(60, {0.1, 0.5, 0.1});
+  m.acceptance = CompatibilityModel(60, {0.8, 0.2, 0.9});
+  auto d = core::DiagnoseModels(m);
+  EXPECT_EQ(d.inverted_buckets, 1u);  // middle bucket
+  ASSERT_EQ(d.bucket_js_bits.size(), 3u);
+  EXPECT_GT(d.bucket_js_bits[0], d.bucket_js_bits[1]);
+}
+
+TEST(ModelDiagnosticsTest, SupportWeighting) {
+  // Same probs; concentrating support on the separable bucket raises
+  // the weighted mean.
+  ModelPair m;
+  m.rejection = CompatibilityModel(60, {0.02, 0.02});
+  m.acceptance = CompatibilityModel(60, {0.9, 0.03});
+  m.rejection.set_support({1000, 1});
+  double high = core::DiagnoseModels(m).mean_js_bits;
+  m.rejection.set_support({1, 1000});
+  double low = core::DiagnoseModels(m).mean_js_bits;
+  EXPECT_GT(high, low);
+}
+
+// ------------------------------------------------------- CSV fuzzing
+
+/// Round-trip property over randomized databases.
+class CsvFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CsvFuzzTest, RoundTripPreservesEverything) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 7919 + 1);
+  traj::TrajectoryDatabase db("fuzz");
+  size_t n_traj = 1 + rng.Index(8);
+  for (size_t i = 0; i < n_traj; ++i) {
+    std::vector<traj::Record> recs;
+    size_t n_rec = rng.Index(30);
+    int64_t t = -5000 + static_cast<int64_t>(rng.Index(10000));
+    for (size_t j = 0; j < n_rec; ++j) {
+      t += rng.UniformInt(0, 1000);
+      recs.push_back(traj::Record{
+          {rng.Uniform(-1e6, 1e6), rng.Uniform(-1e6, 1e6)}, t});
+    }
+    traj::OwnerId owner = rng.Bernoulli(0.2)
+                              ? traj::kUnknownOwner
+                              : static_cast<traj::OwnerId>(rng.Index(100));
+    (void)db.Add(traj::Trajectory("fz-" + std::to_string(i), owner,
+                                  std::move(recs)));
+  }
+  auto parsed = io::FromCsvString(io::ToCsvString(db), "fuzz");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const auto& out = parsed.value();
+  // Empty trajectories vanish in CSV (no rows); compare non-empty ones.
+  size_t non_empty = 0;
+  for (const auto& t : db) {
+    if (t.empty()) continue;
+    ++non_empty;
+    size_t oi = out.Find(t.label());
+    ASSERT_NE(oi, traj::TrajectoryDatabase::npos) << t.label();
+    const auto& o = out[oi];
+    EXPECT_EQ(o.owner(), t.owner());
+    ASSERT_EQ(o.size(), t.size());
+    for (size_t j = 0; j < t.size(); ++j) {
+      EXPECT_EQ(o[j].t, t[j].t);
+      EXPECT_NEAR(o[j].location.x, t[j].location.x, 1e-3);
+      EXPECT_NEAR(o[j].location.y, t[j].location.y, 1e-3);
+    }
+  }
+  EXPECT_EQ(out.size(), non_empty);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CsvFuzzTest, ::testing::Range(0, 12));
+
+// ------------------------------------------- alignment brute-force fuzz
+
+/// Mutual-segment counting vs an independent brute-force reference.
+class AlignmentFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AlignmentFuzzTest, MatchesBruteForce) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 104729 + 3);
+  std::vector<traj::Record> pr, qr;
+  size_t np = rng.Index(25), nq = rng.Index(25);
+  int64_t t = 0;
+  for (size_t i = 0; i < np; ++i) {
+    t += rng.UniformInt(1, 50);
+    pr.push_back(traj::Record{{0, 0}, t});
+  }
+  t = static_cast<int64_t>(rng.Index(40));
+  for (size_t i = 0; i < nq; ++i) {
+    t += rng.UniformInt(1, 50);
+    qr.push_back(traj::Record{{0, 0}, t});
+  }
+  traj::Trajectory p("p", 0, pr), q("q", 1, qr);
+
+  // Brute force: tag, concatenate, stable-sort, count alternations.
+  struct Tagged {
+    int64_t t;
+    int src;
+  };
+  std::vector<Tagged> all;
+  for (const auto& r : pr) all.push_back({r.t, 0});
+  for (const auto& r : qr) all.push_back({r.t, 1});
+  std::stable_sort(all.begin(), all.end(),
+                   [](const Tagged& a, const Tagged& b) {
+                     // Reproduce the P-first tie break: stable sort of
+                     // P-then-Q concatenation by time.
+                     return a.t < b.t;
+                   });
+  size_t brute = 0;
+  for (size_t i = 1; i < all.size(); ++i) {
+    if (all[i].src != all[i - 1].src) ++brute;
+  }
+  EXPECT_EQ(traj::CountMutualSegments(p, q), brute);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AlignmentFuzzTest, ::testing::Range(0, 16));
+
+}  // namespace
+}  // namespace ftl

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "io/report_json.h"
+
+namespace ftl::io {
+namespace {
+
+TEST(JsonWriterTest, FlatObject) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("a");
+  w.Value(int64_t{1});
+  w.Key("b");
+  w.Value("two");
+  w.Key("c");
+  w.Value(true);
+  w.Key("d");
+  w.Null();
+  w.EndObject();
+  EXPECT_EQ(w.str(), "{\"a\":1,\"b\":\"two\",\"c\":true,\"d\":null}");
+}
+
+TEST(JsonWriterTest, NestedContainers) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("xs");
+  w.BeginArray();
+  w.Value(int64_t{1});
+  w.Value(int64_t{2});
+  w.BeginObject();
+  w.Key("y");
+  w.Value(0.5);
+  w.EndObject();
+  w.EndArray();
+  w.EndObject();
+  EXPECT_EQ(w.str(), "{\"xs\":[1,2,{\"y\":0.5}]}");
+}
+
+TEST(JsonWriterTest, EscapesStrings) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("weird\"key");
+  w.Value("line\nbreak\\slash\ttab");
+  w.EndObject();
+  EXPECT_EQ(w.str(),
+            "{\"weird\\\"key\":\"line\\nbreak\\\\slash\\ttab\"}");
+}
+
+TEST(JsonWriterTest, ControlCharactersEscaped) {
+  JsonWriter w;
+  w.Value(std::string("a\x01") + "b");
+  EXPECT_EQ(w.str(), "\"a\\u0001b\"");
+}
+
+TEST(JsonWriterTest, DoublePrecision15Digits) {
+  JsonWriter w;
+  w.Value(0.12345678901234);  // 14 significant digits survive
+  EXPECT_EQ(w.str(), "0.12345678901234");
+}
+
+TEST(ReportJsonTest, QueryResult) {
+  core::QueryResult r;
+  core::MatchCandidate c;
+  c.label = "trip-7";
+  c.index = 7;
+  c.score = 0.75;
+  c.p1 = 0.9;
+  c.p2 = 1.0 / 6.0;
+  c.k_observed = 2;
+  c.n_segments = 31;
+  r.candidates.push_back(c);
+  r.selectiveness = 0.004;
+  std::string json = QueryResultToJson("log-3", r);
+  EXPECT_NE(json.find("\"query\":\"log-3\""), std::string::npos);
+  EXPECT_NE(json.find("\"label\":\"trip-7\""), std::string::npos);
+  EXPECT_NE(json.find("\"score\":0.75"), std::string::npos);
+  EXPECT_NE(json.find("\"segments\":31"), std::string::npos);
+  EXPECT_NE(json.find("\"selectiveness\":0.004"), std::string::npos);
+}
+
+TEST(ReportJsonTest, EmptyResult) {
+  core::QueryResult r;
+  std::string json = QueryResultToJson("q", r);
+  EXPECT_NE(json.find("\"candidates\":[]"), std::string::npos);
+}
+
+TEST(ReportJsonTest, Metrics) {
+  eval::WorkloadMetrics m;
+  m.num_queries = 3;
+  m.perceptiveness = 2.0 / 3.0;
+  m.selectiveness = 0.01;
+  m.mean_candidates = 1.5;
+  m.true_match_ranks = {0, -1, 4};
+  std::string json = MetricsToJson(m);
+  EXPECT_NE(json.find("\"num_queries\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"true_match_ranks\":[0,-1,4]"),
+            std::string::npos);
+}
+
+TEST(ReportJsonTest, Clusters) {
+  traj::TrajectoryDatabase a("a"), b("b");
+  (void)a.Add(traj::Trajectory("phone-1", 1, {}));
+  (void)b.Add(traj::Trajectory("card-1", 1, {}));
+  std::vector<core::IdentityCluster> clusters(1);
+  clusters[0].members = {{0, 0}, {1, 0}};
+  std::string json = ClustersToJson(clusters, {&a, &b});
+  EXPECT_NE(json.find("\"label\":\"phone-1\""), std::string::npos);
+  EXPECT_NE(json.find("\"label\":\"card-1\""), std::string::npos);
+  EXPECT_NE(json.find("\"source\":1"), std::string::npos);
+}
+
+TEST(ReportJsonTest, ClusterWithMissingDbOmitsLabel) {
+  std::vector<core::IdentityCluster> clusters(1);
+  clusters[0].members = {{0, 5}, {1, 0}};
+  traj::TrajectoryDatabase b("b");
+  (void)b.Add(traj::Trajectory("card-9", 2, {}));
+  // Source 0 db missing; index 5 out of range anyway.
+  std::string json = ClustersToJson(clusters, {nullptr, &b});
+  EXPECT_EQ(json.find("\"label\":\"phone"), std::string::npos);
+  EXPECT_NE(json.find("\"label\":\"card-9\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ftl::io

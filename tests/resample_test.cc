@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "traj/resample.h"
+
+namespace ftl::traj {
+namespace {
+
+Record R(double x, double y, Timestamp t) { return Record{{x, y}, t}; }
+
+TEST(ResampleTest, UniformCadence) {
+  Trajectory t("t", 1, {R(0, 0, 0), R(100, 0, 100)});
+  Trajectory r = ResampleUniform(t, 25);
+  ASSERT_EQ(r.size(), 5u);
+  for (size_t i = 0; i < r.size(); ++i) {
+    EXPECT_EQ(r[i].t, static_cast<Timestamp>(i * 25));
+    EXPECT_NEAR(r[i].location.x, static_cast<double>(i) * 25.0, 1e-9);
+  }
+}
+
+TEST(ResampleTest, MultiSegmentInterpolation) {
+  Trajectory t("t", 1, {R(0, 0, 0), R(100, 0, 10), R(100, 200, 20)});
+  Trajectory r = ResampleUniform(t, 5);
+  ASSERT_EQ(r.size(), 5u);
+  EXPECT_NEAR(r[1].location.x, 50.0, 1e-9);   // t=5, mid first leg
+  EXPECT_NEAR(r[3].location.y, 100.0, 1e-9);  // t=15, mid second leg
+}
+
+TEST(ResampleTest, DegenerateInputsReturnedUnchanged) {
+  Trajectory empty;
+  EXPECT_TRUE(ResampleUniform(empty, 10).empty());
+  Trajectory one("t", 1, {R(5, 5, 42)});
+  EXPECT_EQ(ResampleUniform(one, 10).size(), 1u);
+  Trajectory two("t", 1, {R(0, 0, 0), R(1, 1, 10)});
+  EXPECT_EQ(ResampleUniform(two, 0).size(), 2u);  // bad interval: no-op
+}
+
+TEST(ResampleTest, PreservesLabelAndOwner) {
+  Trajectory t("taxi-9", 9, {R(0, 0, 0), R(10, 0, 100)});
+  Trajectory r = ResampleUniform(t, 10);
+  EXPECT_EQ(r.label(), "taxi-9");
+  EXPECT_EQ(r.owner(), 9u);
+  EXPECT_TRUE(r.IsSorted());
+}
+
+TEST(ResampleTest, DuplicateTimestampsHandled) {
+  Trajectory t("t", 1, {R(0, 0, 0), R(100, 0, 0), R(200, 0, 10)});
+  Trajectory r = ResampleUniform(t, 5);
+  ASSERT_GE(r.size(), 2u);
+  // No NaN/garbage from the zero-length leg.
+  for (size_t i = 0; i < r.size(); ++i) {
+    EXPECT_TRUE(std::isfinite(r[i].location.x));
+  }
+}
+
+TEST(StayPointTest, DetectsSingleDwell) {
+  std::vector<Record> recs;
+  // Move, dwell 1h at (1000, 0), move away.
+  recs.push_back(R(0, 0, 0));
+  for (int i = 0; i <= 6; ++i) {
+    recs.push_back(R(1000 + i, 0, 1000 + i * 600));
+  }
+  recs.push_back(R(9000, 0, 10000));
+  Trajectory t("t", 1, std::move(recs));
+  auto sps = StayPoints(t, 100.0, 1800);
+  ASSERT_EQ(sps.size(), 1u);
+  EXPECT_NEAR(sps[0].centroid.x, 1003.0, 1.0);
+  EXPECT_EQ(sps[0].arrive, 1000);
+  EXPECT_EQ(sps[0].depart, 1000 + 6 * 600);
+  EXPECT_EQ(sps[0].DurationSeconds(), 3600);
+}
+
+TEST(StayPointTest, ShortDwellIgnored) {
+  std::vector<Record> recs = {R(0, 0, 0), R(1, 0, 60), R(2, 0, 120),
+                              R(9000, 0, 180)};
+  Trajectory t("t", 1, std::move(recs));
+  EXPECT_TRUE(StayPoints(t, 100.0, 1800).empty());
+}
+
+TEST(StayPointTest, MultipleDwells) {
+  std::vector<Record> recs;
+  for (int i = 0; i < 5; ++i) recs.push_back(R(0, 0, i * 1000));
+  recs.push_back(R(50000, 0, 10000));
+  for (int i = 0; i < 5; ++i) {
+    recs.push_back(R(50000, 0, 20000 + i * 1000));
+  }
+  Trajectory t("t", 1, std::move(recs));
+  auto sps = StayPoints(t, 200.0, 3000);
+  ASSERT_EQ(sps.size(), 2u);
+  EXPECT_NEAR(sps[0].centroid.x, 0.0, 1.0);
+  EXPECT_NEAR(sps[1].centroid.x, 50000.0, 1.0);
+}
+
+TEST(StayPointTest, EmptyTrajectory) {
+  Trajectory t;
+  EXPECT_TRUE(StayPoints(t, 100.0, 60).empty());
+}
+
+}  // namespace
+}  // namespace ftl::traj

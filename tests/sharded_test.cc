@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "core/sharded.h"
+#include "sim/population_sim.h"
+
+namespace ftl::core {
+namespace {
+
+sim::PopulationData TestData(uint64_t seed = 21) {
+  sim::PopulationOptions po;
+  po.num_persons = 50;
+  po.duration_days = 6;
+  po.cdr_accesses_per_day = 18.0;
+  po.transit_accesses_per_day = 15.0;
+  po.seed = seed;
+  return sim::SimulatePopulation(po);
+}
+
+ShardedOptions Opts(size_t shards) {
+  ShardedOptions o;
+  o.num_shards = shards;
+  o.engine.training.horizon_units = 30;
+  o.engine.naive_bayes.phi_r = 0.05;
+  return o;
+}
+
+TEST(ShardedTest, QueryBeforeTrainFails) {
+  ShardedEngine engine(Opts(4));
+  auto data = TestData();
+  auto r = engine.Query(data.cdr_db[0], Matcher::kNaiveBayes);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(ShardedTest, BuildsRequestedShards) {
+  ShardedEngine engine(Opts(4));
+  auto data = TestData();
+  ASSERT_TRUE(engine.Train(data.cdr_db, data.transit_db).ok());
+  EXPECT_EQ(engine.num_shards(), 4u);
+  EXPECT_EQ(engine.total_candidates(), data.transit_db.size());
+}
+
+TEST(ShardedTest, ShardCountClampedToDbSize) {
+  sim::PopulationOptions po;
+  po.num_persons = 3;
+  po.duration_days = 2;
+  po.seed = 5;
+  auto data = sim::SimulatePopulation(po);
+  ShardedEngine engine(Opts(16));
+  ASSERT_TRUE(engine.Train(data.cdr_db, data.transit_db).ok());
+  EXPECT_LE(engine.num_shards(), 3u);
+}
+
+/// The core distributed-correctness property: sharded results equal
+/// single-node results exactly, for both matchers and several shard
+/// counts.
+class ShardedEquivalenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ShardedEquivalenceTest, MatchesSingleNode) {
+  size_t shards = static_cast<size_t>(GetParam());
+  auto data = TestData();
+
+  ShardedOptions so = Opts(shards);
+  ShardedEngine sharded(so);
+  ASSERT_TRUE(sharded.Train(data.cdr_db, data.transit_db).ok());
+
+  FtlEngine single(so.engine);
+  ASSERT_TRUE(single.Train(data.cdr_db, data.transit_db).ok());
+
+  for (auto matcher : {Matcher::kAlphaFilter, Matcher::kNaiveBayes}) {
+    for (size_t qi = 0; qi < 6; ++qi) {
+      auto rs = sharded.Query(data.cdr_db[qi], matcher);
+      auto r1 = single.Query(data.cdr_db[qi], data.transit_db, matcher);
+      ASSERT_TRUE(rs.ok());
+      ASSERT_TRUE(r1.ok());
+      ASSERT_EQ(rs.value().candidates.size(),
+                r1.value().candidates.size());
+      EXPECT_DOUBLE_EQ(rs.value().selectiveness,
+                       r1.value().selectiveness);
+      // Same candidate set with the same scores (order may differ only
+      // among exact ties; compare as sorted (index, score) multisets).
+      auto key = [](const MatchCandidate& c) {
+        return std::make_pair(c.index, c.score);
+      };
+      std::vector<std::pair<size_t, double>> a, b;
+      for (const auto& c : rs.value().candidates) a.push_back(key(c));
+      for (const auto& c : r1.value().candidates) b.push_back(key(c));
+      std::sort(a.begin(), a.end());
+      std::sort(b.begin(), b.end());
+      EXPECT_EQ(a, b);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ShardCounts, ShardedEquivalenceTest,
+                         ::testing::Values(1, 2, 3, 8));
+
+TEST(ShardedTest, ScoresDescendAfterGather) {
+  auto data = TestData(33);
+  ShardedEngine engine(Opts(4));
+  ASSERT_TRUE(engine.Train(data.cdr_db, data.transit_db).ok());
+  auto r = engine.Query(data.cdr_db[1], Matcher::kNaiveBayes);
+  ASSERT_TRUE(r.ok());
+  for (size_t i = 1; i < r.value().candidates.size(); ++i) {
+    EXPECT_GE(r.value().candidates[i - 1].score,
+              r.value().candidates[i].score);
+  }
+}
+
+TEST(ShardedTest, GlobalIndicesValid) {
+  auto data = TestData(34);
+  ShardedEngine engine(Opts(5));
+  ASSERT_TRUE(engine.Train(data.cdr_db, data.transit_db).ok());
+  auto r = engine.Query(data.cdr_db[2], Matcher::kNaiveBayes);
+  ASSERT_TRUE(r.ok());
+  for (const auto& c : r.value().candidates) {
+    ASSERT_LT(c.index, data.transit_db.size());
+    EXPECT_EQ(c.label, data.transit_db[c.index].label());
+  }
+}
+
+}  // namespace
+}  // namespace ftl::core

@@ -1,0 +1,340 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/city.h"
+#include "sim/observation.h"
+#include "sim/path.h"
+#include "sim/population_sim.h"
+#include "sim/scenario.h"
+#include "sim/taxi_sim.h"
+#include "traj/summary.h"
+
+namespace ftl::sim {
+namespace {
+
+// ------------------------------------------------------------------ Path
+
+TEST(PathTest, CoversRequestedSpan) {
+  Rng rng(1);
+  CityModel city = SingaporeLike();
+  auto path = GenerateWaypointPath(&rng, city, 0, 86400, {});
+  ASSERT_FALSE(path.empty());
+  EXPECT_EQ(path.start_time(), 0);
+  EXPECT_EQ(path.end_time(), 86400);
+}
+
+TEST(PathTest, StaysInsideCity) {
+  Rng rng(2);
+  CityModel city = SingaporeLike();
+  auto path = GenerateWaypointPath(&rng, city, 0, 86400, {});
+  for (const auto& k : path.knots()) {
+    EXPECT_TRUE(city.bounds.Contains(k.location))
+        << k.location.x << "," << k.location.y;
+  }
+}
+
+TEST(PathTest, RespectsSpeedLimit) {
+  Rng rng(3);
+  CityModel city = SingaporeLike();
+  auto path = GenerateWaypointPath(&rng, city, 0, 7 * 86400, {});
+  // Straight-line knot speed <= physical speed / road factor <= max.
+  EXPECT_LE(path.MaxKnotSpeed(), city.max_speed_mps + 1e-6);
+}
+
+TEST(PathTest, PositionInterpolates) {
+  GroundTruthPath path({traj::Record{{0, 0}, 0}, traj::Record{{100, 0}, 100}});
+  EXPECT_NEAR(path.PositionAt(50).x, 50.0, 1e-9);
+  EXPECT_NEAR(path.PositionAt(0).x, 0.0, 1e-9);
+  EXPECT_NEAR(path.PositionAt(100).x, 100.0, 1e-9);
+  // Clamped outside the span.
+  EXPECT_NEAR(path.PositionAt(-10).x, 0.0, 1e-9);
+  EXPECT_NEAR(path.PositionAt(500).x, 100.0, 1e-9);
+}
+
+TEST(PathTest, MeanSpeed) {
+  GroundTruthPath path({traj::Record{{0, 0}, 0}, traj::Record{{100, 0}, 50}});
+  EXPECT_NEAR(path.MeanSpeed(0, 50), 2.0, 1e-9);
+  EXPECT_DOUBLE_EQ(path.MeanSpeed(0, 0), 0.0);
+}
+
+TEST(PathTest, DeterministicGivenSeed) {
+  CityModel city = BeijingLike();
+  Rng r1(9), r2(9);
+  auto p1 = GenerateWaypointPath(&r1, city, 0, 86400, {});
+  auto p2 = GenerateWaypointPath(&r2, city, 0, 86400, {});
+  ASSERT_EQ(p1.knots().size(), p2.knots().size());
+  for (size_t i = 0; i < p1.knots().size(); ++i) {
+    EXPECT_EQ(p1.knots()[i].t, p2.knots()[i].t);
+    EXPECT_DOUBLE_EQ(p1.knots()[i].location.x, p2.knots()[i].location.x);
+  }
+}
+
+// ----------------------------------------------------------- Observation
+
+TEST(ObservationTest, GaussianNoiseMagnitude) {
+  Rng rng(4);
+  GroundTruthPath path(
+      {traj::Record{{1000, 1000}, 0}, traj::Record{{1000, 1000}, 10000}});
+  NoiseModel noise{50.0, 0.0, 0};
+  double sq = 0;
+  const int n = 4000;
+  for (int i = 0; i < n; ++i) {
+    auto r = Observe(&rng, path, 500, noise);
+    double dx = r.location.x - 1000.0;
+    double dy = r.location.y - 1000.0;
+    sq += dx * dx + dy * dy;
+  }
+  // E[dx^2 + dy^2] = 2 sigma^2.
+  EXPECT_NEAR(sq / n, 2 * 50.0 * 50.0, 300.0);
+}
+
+TEST(ObservationTest, CellGridSnapping) {
+  Rng rng(5);
+  GroundTruthPath path(
+      {traj::Record{{1234, 5678}, 0}, traj::Record{{1234, 5678}, 100}});
+  NoiseModel noise{0.0, 500.0, 0};
+  auto r = Observe(&rng, path, 50, noise);
+  EXPECT_DOUBLE_EQ(std::fmod(r.location.x, 500.0), 0.0);
+  EXPECT_DOUBLE_EQ(std::fmod(r.location.y, 500.0), 0.0);
+  EXPECT_NEAR(r.location.x, 1234.0, 250.0);
+}
+
+TEST(ObservationTest, TimeJitter) {
+  Rng rng(6);
+  GroundTruthPath path(
+      {traj::Record{{0, 0}, 0}, traj::Record{{0, 0}, 100000}});
+  NoiseModel noise{0.0, 0.0, 30};
+  bool jittered = false;
+  for (int i = 0; i < 100; ++i) {
+    auto r = Observe(&rng, path, 5000, noise);
+    EXPECT_GE(r.t, 4970);
+    EXPECT_LE(r.t, 5030);
+    if (r.t != 5000) jittered = true;
+  }
+  EXPECT_TRUE(jittered);
+}
+
+TEST(ObservationTest, PeriodicSamplingCadence) {
+  Rng rng(7);
+  CityModel city = SingaporeLike();
+  auto path = GenerateWaypointPath(&rng, city, 0, 2 * 86400, {});
+  PeriodicSampler sampler{60.0, 0.0, 1.0};
+  ActivityPattern act{86400, 0, 86400, 0.0};  // always on
+  auto recs = SamplePeriodic(&rng, path, sampler, act, {0.0, 0.0, 0});
+  // ~2880 records over 2 days at 60 s cadence.
+  EXPECT_NEAR(static_cast<double>(recs.size()), 2880.0, 30.0);
+  for (size_t i = 1; i < recs.size(); ++i) {
+    EXPECT_GE(recs[i].t, recs[i - 1].t);
+  }
+}
+
+TEST(ObservationTest, ActivityWindowRestrictsSamples) {
+  Rng rng(8);
+  GroundTruthPath path(
+      {traj::Record{{0, 0}, 0}, traj::Record{{0, 0}, 86400}});
+  PeriodicSampler sampler{60.0, 0.0, 1.0};
+  ActivityPattern act{86400, 6 * 3600, 4 * 3600, 0.0};
+  auto recs = SamplePeriodic(&rng, path, sampler, act, {0.0, 0.0, 0});
+  ASSERT_FALSE(recs.empty());
+  for (const auto& r : recs) {
+    EXPECT_GE(r.t, 6 * 3600);
+    EXPECT_LT(r.t, 10 * 3600 + 60);
+  }
+}
+
+TEST(ObservationTest, KeepProbThins) {
+  Rng rng(9);
+  GroundTruthPath path(
+      {traj::Record{{0, 0}, 0}, traj::Record{{0, 0}, 10 * 86400}});
+  PeriodicSampler dense{60.0, 0.0, 1.0};
+  PeriodicSampler thin{60.0, 0.0, 0.1};
+  ActivityPattern act{86400, 0, 86400, 0.0};
+  auto full = SamplePeriodic(&rng, path, dense, act, {0.0, 0.0, 0});
+  auto kept = SamplePeriodic(&rng, path, thin, act, {0.0, 0.0, 0});
+  EXPECT_NEAR(static_cast<double>(kept.size()),
+              0.1 * static_cast<double>(full.size()),
+              0.03 * static_cast<double>(full.size()));
+}
+
+TEST(ObservationTest, PoissonSamplingRate) {
+  Rng rng(10);
+  GroundTruthPath path(
+      {traj::Record{{0, 0}, 0}, traj::Record{{0, 0}, 100 * 86400}});
+  double rate = 10.0 / 86400.0;  // 10 per day
+  auto recs = SamplePoisson(&rng, path, rate, {0.0, 0.0, 0});
+  EXPECT_NEAR(static_cast<double>(recs.size()), 1000.0, 120.0);
+}
+
+// -------------------------------------------------------------- TaxiSim
+
+TEST(TaxiSimTest, ProducesPairedDatabases) {
+  TaxiFleetOptions opts;
+  opts.num_taxis = 10;
+  opts.duration_days = 2;
+  opts.seed = 11;
+  auto data = SimulateTaxiFleet(opts);
+  EXPECT_EQ(data.log_db.size(), 10u);
+  EXPECT_EQ(data.trip_db.size(), 10u);
+  for (size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(data.log_db[i].owner(), data.trip_db[i].owner());
+    EXPECT_NE(data.log_db[i].label(), data.trip_db[i].label());
+  }
+}
+
+TEST(TaxiSimTest, LogDenserThanTrips) {
+  TaxiFleetOptions opts;
+  opts.num_taxis = 5;
+  opts.duration_days = 3;
+  opts.seed = 12;
+  auto data = SimulateTaxiFleet(opts);
+  // "the update frequency in log data is much denser than that in trip
+  // data" (paper Section VII-A).
+  EXPECT_GT(data.log_db.TotalRecords(), 5 * data.trip_db.TotalRecords());
+}
+
+TEST(TaxiSimTest, RecordsRespectVmax) {
+  TaxiFleetOptions opts;
+  opts.num_taxis = 5;
+  opts.duration_days = 2;
+  opts.seed = 13;
+  auto data = SimulateTaxiFleet(opts);
+  // Consecutive same-taxi records never need more than Vmax=120 kph
+  // (up to GPS noise on short gaps; tolerate a tiny violation count).
+  double vmax = geo::KphToMps(120.0);
+  size_t violations = 0, segments = 0;
+  for (const auto& t : data.log_db) {
+    const auto& recs = t.records();
+    for (size_t i = 1; i < recs.size(); ++i) {
+      ++segments;
+      if (!traj::IsCompatible(recs[i - 1], recs[i], vmax)) ++violations;
+    }
+  }
+  ASSERT_GT(segments, 1000u);
+  EXPECT_LT(static_cast<double>(violations) / static_cast<double>(segments),
+            0.01);
+}
+
+TEST(TaxiSimTest, Deterministic) {
+  TaxiFleetOptions opts;
+  opts.num_taxis = 3;
+  opts.duration_days = 1;
+  opts.seed = 14;
+  auto d1 = SimulateTaxiFleet(opts);
+  auto d2 = SimulateTaxiFleet(opts);
+  ASSERT_EQ(d1.log_db.TotalRecords(), d2.log_db.TotalRecords());
+  EXPECT_EQ(d1.log_db[0].size(), d2.log_db[0].size());
+}
+
+// -------------------------------------------------------- PopulationSim
+
+TEST(PopulationSimTest, FullOverlapPairsEveryone) {
+  PopulationOptions opts;
+  opts.num_persons = 20;
+  opts.duration_days = 2;
+  opts.overlap_fraction = 1.0;
+  opts.seed = 15;
+  auto data = SimulatePopulation(opts);
+  EXPECT_EQ(data.cdr_db.size(), 20u);
+  EXPECT_EQ(data.transit_db.size(), 20u);
+}
+
+TEST(PopulationSimTest, PartialOverlap) {
+  PopulationOptions opts;
+  opts.num_persons = 400;
+  opts.duration_days = 1;
+  opts.overlap_fraction = 0.5;
+  opts.seed = 16;
+  auto data = SimulatePopulation(opts);
+  // Each person lands in cdr-only, transit-only, or both.
+  EXPECT_LT(data.cdr_db.size(), 400u);
+  EXPECT_LT(data.transit_db.size(), 400u);
+  EXPECT_GT(data.cdr_db.size(), 150u);
+  EXPECT_GT(data.transit_db.size(), 150u);
+}
+
+TEST(PopulationSimTest, CdrSnapsToCellGrid) {
+  PopulationOptions opts;
+  opts.num_persons = 5;
+  opts.duration_days = 3;
+  opts.seed = 17;
+  auto data = SimulatePopulation(opts);
+  for (const auto& t : data.cdr_db) {
+    for (const auto& r : t.records()) {
+      EXPECT_DOUBLE_EQ(std::fmod(r.location.x, 500.0), 0.0);
+    }
+  }
+}
+
+TEST(PopulationSimTest, AccessRatesApproximatelyPoisson) {
+  PopulationOptions opts;
+  opts.num_persons = 100;
+  opts.duration_days = 10;
+  opts.cdr_accesses_per_day = 12.0;
+  opts.seed = 18;
+  auto data = SimulatePopulation(opts);
+  double total = static_cast<double>(data.cdr_db.TotalRecords());
+  double per_person_day = total / 100.0 / 10.0;
+  EXPECT_NEAR(per_person_day, 12.0, 1.0);
+}
+
+// ------------------------------------------------------------- Scenario
+
+TEST(ScenarioTest, ConfigTablesMatchPaper) {
+  auto s = SingaporeConfigs();
+  ASSERT_EQ(s.size(), 6u);
+  EXPECT_EQ(s[0].name, "SA");
+  EXPECT_DOUBLE_EQ(s[0].rate_p, 0.006);
+  EXPECT_EQ(s[0].duration_days, 31);
+  EXPECT_EQ(s[5].name, "SF");
+  EXPECT_EQ(s[5].duration_days, 21);
+  auto t = TDriveConfigs();
+  ASSERT_EQ(t.size(), 6u);
+  EXPECT_EQ(t[2].name, "TC");
+  EXPECT_DOUBLE_EQ(t[2].rate_p, 0.08);
+  EXPECT_EQ(t[3].duration_days, 2);
+}
+
+TEST(ScenarioTest, FindConfig) {
+  EXPECT_EQ(FindConfig("SB").name, "SB");
+  EXPECT_EQ(FindConfig("TF").name, "TF");
+  EXPECT_TRUE(FindConfig("XX").name.empty());
+}
+
+TEST(ScenarioTest, BuildSingaporeDataset) {
+  auto pair = BuildDataset(FindConfig("SD"), 30, 19);
+  EXPECT_EQ(pair.name, "SD");
+  EXPECT_EQ(pair.p.size(), 30u);
+  EXPECT_EQ(pair.q.size(), 30u);
+  // Rate 0.01 on ~60s logs over 7 days: |P| in the tens.
+  auto sum = traj::Summarize(pair.p);
+  EXPECT_GT(sum.mean_size, 10.0);
+  EXPECT_LT(sum.mean_size, 200.0);
+}
+
+TEST(ScenarioTest, BuildTDriveDataset) {
+  auto pair = BuildDataset(FindConfig("TD"), 30, 20);
+  EXPECT_EQ(pair.p.size(), 30u);
+  EXPECT_EQ(pair.q.size(), 30u);
+  // Owners align between the split halves.
+  for (size_t i = 0; i < 30; ++i) {
+    EXPECT_EQ(pair.p[i].owner(), pair.q[i].owner());
+  }
+}
+
+TEST(ScenarioTest, LongerDurationMoreRecords) {
+  auto d2 = BuildDataset(FindConfig("TD"), 20, 21);  // 2 days
+  auto d6 = BuildDataset(FindConfig("TF"), 20, 21);  // 6 days
+  EXPECT_GT(traj::Summarize(d6.p).mean_size,
+            traj::Summarize(d2.p).mean_size);
+}
+
+TEST(ScenarioTest, HigherRateMoreRecords) {
+  auto lo = BuildDataset(FindConfig("SA"), 15, 22);  // rate 0.006
+  auto hi = BuildDataset(FindConfig("SC"), 15, 22);  // rate 0.01
+  EXPECT_GT(traj::Summarize(hi.p).mean_size,
+            traj::Summarize(lo.p).mean_size);
+}
+
+}  // namespace
+}  // namespace ftl::sim

@@ -1,0 +1,377 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/descriptive.h"
+#include "stats/distributions.h"
+#include "stats/goodness_of_fit.h"
+#include "stats/poisson_binomial.h"
+#include "util/rng.h"
+
+namespace ftl::stats {
+namespace {
+
+double SumVec(const std::vector<double>& v) {
+  double s = 0;
+  for (double x : v) s += x;
+  return s;
+}
+
+// ----------------------------------------------------- Poisson-Binomial
+
+TEST(PoissonBinomialTest, SingleTrial) {
+  PoissonBinomial pb({0.3});
+  EXPECT_NEAR(pb.Pmf(0), 0.7, 1e-12);
+  EXPECT_NEAR(pb.Pmf(1), 0.3, 1e-12);
+  EXPECT_DOUBLE_EQ(pb.Pmf(2), 0.0);
+  EXPECT_DOUBLE_EQ(pb.Pmf(-1), 0.0);
+}
+
+TEST(PoissonBinomialTest, MatchesBinomialWhenHomogeneous) {
+  // Equal probabilities reduce to Binomial(n, p).
+  const int n = 12;
+  const double p = 0.25;
+  PoissonBinomial pb(std::vector<double>(n, p));
+  for (int k = 0; k <= n; ++k) {
+    double expect = BinomialCoefficient(n, k) * std::pow(p, k) *
+                    std::pow(1 - p, n - k);
+    EXPECT_NEAR(pb.Pmf(k), expect, 1e-12) << "k=" << k;
+  }
+}
+
+TEST(PoissonBinomialTest, PmfSumsToOne) {
+  PoissonBinomial pb({0.1, 0.9, 0.5, 0.33, 0.77});
+  EXPECT_NEAR(SumVec(pb.PmfVector()), 1.0, 1e-12);
+}
+
+TEST(PoissonBinomialTest, MeanAndVariance) {
+  std::vector<double> ps = {0.2, 0.4, 0.9};
+  PoissonBinomial pb(ps);
+  EXPECT_NEAR(pb.Mean(), 1.5, 1e-12);
+  EXPECT_NEAR(pb.Variance(), 0.2 * 0.8 + 0.4 * 0.6 + 0.9 * 0.1, 1e-12);
+  // Moments from the pmf agree.
+  double m = 0, v = 0;
+  const auto& pmf = pb.PmfVector();
+  for (size_t k = 0; k < pmf.size(); ++k) m += static_cast<double>(k) * pmf[k];
+  for (size_t k = 0; k < pmf.size(); ++k) {
+    v += (static_cast<double>(k) - m) * (static_cast<double>(k) - m) * pmf[k];
+  }
+  EXPECT_NEAR(m, pb.Mean(), 1e-10);
+  EXPECT_NEAR(v, pb.Variance(), 1e-10);
+}
+
+TEST(PoissonBinomialTest, DegenerateAllZero) {
+  PoissonBinomial pb({0.0, 0.0, 0.0});
+  EXPECT_DOUBLE_EQ(pb.Pmf(0), 1.0);
+  EXPECT_DOUBLE_EQ(pb.Cdf(0), 1.0);
+  EXPECT_DOUBLE_EQ(pb.UpperTailPValue(0), 1.0);
+  EXPECT_DOUBLE_EQ(pb.UpperTailPValue(1), 0.0);
+}
+
+TEST(PoissonBinomialTest, DegenerateAllOne) {
+  PoissonBinomial pb({1.0, 1.0});
+  EXPECT_DOUBLE_EQ(pb.Pmf(2), 1.0);
+  EXPECT_DOUBLE_EQ(pb.Pmf(0), 0.0);
+  EXPECT_DOUBLE_EQ(pb.LowerTailPValue(1), 0.0);
+  EXPECT_DOUBLE_EQ(pb.LowerTailPValue(2), 1.0);
+}
+
+TEST(PoissonBinomialTest, EmptyTrials) {
+  PoissonBinomial pb({});
+  EXPECT_DOUBLE_EQ(pb.Pmf(0), 1.0);
+  EXPECT_DOUBLE_EQ(pb.UpperTailPValue(0), 1.0);
+  EXPECT_DOUBLE_EQ(pb.LowerTailPValue(0), 1.0);
+}
+
+TEST(PoissonBinomialTest, ClampsOutOfRangeProbs) {
+  PoissonBinomial pb({-0.5, 1.5});
+  EXPECT_DOUBLE_EQ(pb.probs()[0], 0.0);
+  EXPECT_DOUBLE_EQ(pb.probs()[1], 1.0);
+  EXPECT_NEAR(SumVec(pb.PmfVector()), 1.0, 1e-12);
+}
+
+TEST(PoissonBinomialTest, CdfMonotone) {
+  PoissonBinomial pb({0.2, 0.5, 0.7, 0.1});
+  double prev = 0.0;
+  for (int k = 0; k <= 4; ++k) {
+    double c = pb.Cdf(k);
+    EXPECT_GE(c, prev - 1e-15);
+    prev = c;
+  }
+  EXPECT_DOUBLE_EQ(pb.Cdf(4), 1.0);
+  EXPECT_DOUBLE_EQ(pb.Cdf(-1), 0.0);
+}
+
+TEST(PoissonBinomialTest, TailIdentity) {
+  // Upper(k) + Lower(k-1) == 1.
+  PoissonBinomial pb({0.3, 0.6, 0.2, 0.8});
+  for (int k = 1; k <= 4; ++k) {
+    EXPECT_NEAR(pb.UpperTailPValue(k) + pb.LowerTailPValue(k - 1), 1.0,
+                1e-12);
+  }
+}
+
+TEST(PoissonBinomialTest, RecursiveMatchesDpInStableRegime) {
+  // The Eq. 1 recursion is an alternating series that is numerically
+  // stable while every odds ratio p/(1-p) <= 1, i.e. p <= 0.5 (why the
+  // DP is the production path). In that regime it matches the DP to
+  // near machine precision.
+  Rng rng(101);
+  for (int trial = 0; trial < 30; ++trial) {
+    size_t n = 1 + rng.Index(30);
+    std::vector<double> ps;
+    for (size_t i = 0; i < n; ++i) ps.push_back(rng.Uniform(0.01, 0.5));
+    auto dp = PoissonBinomialPmfDp(ps);
+    auto rec = PoissonBinomialPmfRecursive(ps);
+    ASSERT_EQ(dp.size(), rec.size());
+    for (size_t k = 0; k < dp.size(); ++k) {
+      EXPECT_NEAR(dp[k], rec[k], 1e-9) << "trial=" << trial << " k=" << k;
+    }
+  }
+}
+
+TEST(PoissonBinomialTest, RecursiveExactForSmallN) {
+  // For small trial counts with moderate odds the recursion is
+  // essentially exact even above p = 0.5.
+  Rng rng(102);
+  for (int trial = 0; trial < 50; ++trial) {
+    size_t n = 1 + rng.Index(8);
+    std::vector<double> ps;
+    for (size_t i = 0; i < n; ++i) ps.push_back(rng.Uniform(0.01, 0.9));
+    auto dp = PoissonBinomialPmfDp(ps);
+    auto rec = PoissonBinomialPmfRecursive(ps);
+    for (size_t k = 0; k < dp.size(); ++k) {
+      EXPECT_NEAR(dp[k], rec[k], 1e-6);
+    }
+  }
+}
+
+TEST(PoissonBinomialTest, RecursiveStillNormalizesOutsideStableRegime) {
+  // Outside the stable regime individual tail entries lose digits, but
+  // the clamped result must remain a (near-)distribution — this test
+  // documents the known limitation rather than hiding it.
+  std::vector<double> ps(20, 0.9);
+  auto rec = PoissonBinomialPmfRecursive(ps);
+  double sum = SumVec(rec);
+  EXPECT_NEAR(sum, 1.0, 0.05);
+  // The bulk (around k = 18) is still accurate.
+  auto dp = PoissonBinomialPmfDp(ps);
+  EXPECT_NEAR(rec[18], dp[18], 1e-3);
+}
+
+TEST(PoissonBinomialTest, RecursiveHandlesDeterministicTrials) {
+  std::vector<double> ps = {0.0, 1.0, 0.5, 0.0, 1.0};
+  auto dp = PoissonBinomialPmfDp(ps);
+  auto rec = PoissonBinomialPmfRecursive(ps);
+  ASSERT_EQ(dp.size(), rec.size());
+  for (size_t k = 0; k < dp.size(); ++k) {
+    EXPECT_NEAR(dp[k], rec[k], 1e-12);
+  }
+}
+
+TEST(PoissonBinomialTest, AgreesWithMonteCarlo) {
+  std::vector<double> ps = {0.05, 0.2, 0.5, 0.8, 0.33, 0.66};
+  PoissonBinomial pb(ps);
+  Rng rng(77);
+  const int trials = 200000;
+  std::vector<int64_t> counts;
+  counts.reserve(trials);
+  for (int t = 0; t < trials; ++t) {
+    int64_t k = 0;
+    for (double p : ps) k += rng.Bernoulli(p) ? 1 : 0;
+    counts.push_back(k);
+  }
+  auto emp = EmpiricalPmf(counts);
+  EXPECT_LT(TotalVariationDistance(emp, pb.PmfVector()), 0.01);
+}
+
+TEST(PoissonBinomialTest, RnaMatchesExactCdf) {
+  // Refined normal approximation: within ~1e-2 of the exact cdf for
+  // moderate n.
+  Rng rng(103);
+  for (int trial = 0; trial < 10; ++trial) {
+    size_t n = 50 + rng.Index(200);
+    std::vector<double> ps;
+    for (size_t i = 0; i < n; ++i) ps.push_back(rng.Uniform(0.02, 0.6));
+    PoissonBinomial pb(ps);
+    for (int64_t k : {static_cast<int64_t>(pb.Mean() * 0.5),
+                      static_cast<int64_t>(pb.Mean()),
+                      static_cast<int64_t>(pb.Mean() * 1.5)}) {
+      EXPECT_NEAR(PoissonBinomialCdfRna(ps, k), pb.Cdf(k), 0.015)
+          << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(PoissonBinomialTest, RnaBoundaries) {
+  std::vector<double> ps = {0.2, 0.5, 0.8};
+  EXPECT_DOUBLE_EQ(PoissonBinomialCdfRna(ps, -1), 0.0);
+  EXPECT_DOUBLE_EQ(PoissonBinomialCdfRna(ps, 3), 1.0);
+  EXPECT_DOUBLE_EQ(PoissonBinomialUpperPValueRna(ps, 0), 1.0);
+  EXPECT_GE(PoissonBinomialUpperPValueRna(ps, 3), 0.0);
+}
+
+TEST(PoissonBinomialTest, RnaDegenerateVariance) {
+  // All-0 and all-1 trial vectors have zero variance.
+  std::vector<double> zeros(5, 0.0);
+  EXPECT_DOUBLE_EQ(PoissonBinomialCdfRna(zeros, 0), 1.0);
+  std::vector<double> ones(5, 1.0);
+  EXPECT_DOUBLE_EQ(PoissonBinomialCdfRna(ones, 4), 0.0);
+  EXPECT_DOUBLE_EQ(PoissonBinomialCdfRna(ones, 5), 1.0);
+}
+
+TEST(PoissonBinomialTest, RnaUpperTailMonotoneInK) {
+  std::vector<double> ps(100, 0.3);
+  double prev = 1.0;
+  for (int64_t k = 0; k <= 100; k += 10) {
+    double p = PoissonBinomialUpperPValueRna(ps, k);
+    EXPECT_LE(p, prev + 1e-12);
+    prev = p;
+  }
+}
+
+// ---------------------------------------------------------- Poisson etc
+
+TEST(DistributionsTest, LogFactorial) {
+  EXPECT_DOUBLE_EQ(LogFactorial(0), 0.0);
+  EXPECT_DOUBLE_EQ(LogFactorial(1), 0.0);
+  EXPECT_NEAR(LogFactorial(5), std::log(120.0), 1e-10);
+  EXPECT_NEAR(LogFactorial(20), std::log(2432902008176640000.0), 1e-8);
+}
+
+TEST(DistributionsTest, BinomialCoefficient) {
+  EXPECT_NEAR(BinomialCoefficient(5, 2), 10.0, 1e-9);
+  EXPECT_NEAR(BinomialCoefficient(10, 0), 1.0, 1e-9);
+  EXPECT_NEAR(BinomialCoefficient(10, 10), 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(BinomialCoefficient(5, 6), 0.0);
+  EXPECT_DOUBLE_EQ(BinomialCoefficient(5, -1), 0.0);
+}
+
+TEST(DistributionsTest, PoissonPmfBasics) {
+  EXPECT_NEAR(PoissonPmf(0, 2.0), std::exp(-2.0), 1e-12);
+  EXPECT_NEAR(PoissonPmf(1, 2.0), 2.0 * std::exp(-2.0), 1e-12);
+  EXPECT_DOUBLE_EQ(PoissonPmf(-1, 2.0), 0.0);
+  EXPECT_DOUBLE_EQ(PoissonPmf(0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(PoissonPmf(3, 0.0), 0.0);
+}
+
+TEST(DistributionsTest, PoissonPmfNormalizes) {
+  double s = 0;
+  for (int k = 0; k <= 100; ++k) s += PoissonPmf(k, 7.5);
+  EXPECT_NEAR(s, 1.0, 1e-10);
+}
+
+TEST(DistributionsTest, PoissonCdf) {
+  EXPECT_NEAR(PoissonCdf(2, 1.0),
+              std::exp(-1.0) * (1.0 + 1.0 + 0.5), 1e-12);
+  EXPECT_DOUBLE_EQ(PoissonCdf(-1, 1.0), 0.0);
+}
+
+TEST(DistributionsTest, PoissonPmfVector) {
+  auto v = PoissonPmfVector(3.0, 10);
+  ASSERT_EQ(v.size(), 11u);
+  for (int k = 0; k <= 10; ++k) EXPECT_DOUBLE_EQ(v[k], PoissonPmf(k, 3.0));
+}
+
+TEST(DistributionsTest, Exponential) {
+  EXPECT_NEAR(ExponentialPdf(0.0, 2.0), 2.0, 1e-12);
+  EXPECT_NEAR(ExponentialPdf(1.0, 2.0), 2.0 * std::exp(-2.0), 1e-12);
+  EXPECT_DOUBLE_EQ(ExponentialPdf(-1.0, 2.0), 0.0);
+  EXPECT_NEAR(ExponentialCdf(std::log(2.0) / 2.0, 2.0), 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(ExponentialCdf(-1.0, 2.0), 0.0);
+}
+
+TEST(DistributionsTest, NormalCdf) {
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(NormalCdf(1.96), 0.975, 1e-3);
+  EXPECT_NEAR(NormalCdf(-1.96), 0.025, 1e-3);
+}
+
+// ------------------------------------------------------------ Descriptive
+
+TEST(RunningStatsTest, MeanVarianceMinMax) {
+  RunningStats rs;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) rs.Add(x);
+  EXPECT_EQ(rs.Count(), 8u);
+  EXPECT_DOUBLE_EQ(rs.Mean(), 5.0);
+  EXPECT_NEAR(rs.Variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(rs.Min(), 2.0);
+  EXPECT_DOUBLE_EQ(rs.Max(), 9.0);
+}
+
+TEST(RunningStatsTest, Empty) {
+  RunningStats rs;
+  EXPECT_DOUBLE_EQ(rs.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.Variance(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.Min(), 0.0);
+}
+
+TEST(DescriptiveTest, MeanStdv) {
+  std::vector<double> xs = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(Mean(xs), 3.0);
+  EXPECT_NEAR(Stdv(xs), std::sqrt(2.5), 1e-12);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Stdv({1.0}), 0.0);
+}
+
+TEST(DescriptiveTest, Quantile) {
+  std::vector<double> xs = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.25), 2.0);
+}
+
+TEST(DescriptiveTest, EmpiricalPmf) {
+  auto pmf = EmpiricalPmf({0, 1, 1, 3});
+  ASSERT_EQ(pmf.size(), 4u);
+  EXPECT_DOUBLE_EQ(pmf[0], 0.25);
+  EXPECT_DOUBLE_EQ(pmf[1], 0.5);
+  EXPECT_DOUBLE_EQ(pmf[2], 0.0);
+  EXPECT_DOUBLE_EQ(pmf[3], 0.25);
+  EXPECT_TRUE(EmpiricalPmf({}).empty());
+}
+
+// -------------------------------------------------------- Goodness of fit
+
+TEST(GofTest, TotalVariationDistance) {
+  EXPECT_DOUBLE_EQ(TotalVariationDistance({1.0}, {1.0}), 0.0);
+  EXPECT_DOUBLE_EQ(TotalVariationDistance({1.0, 0.0}, {0.0, 1.0}), 1.0);
+  EXPECT_DOUBLE_EQ(TotalVariationDistance({0.5, 0.5}, {1.0}), 0.5);
+}
+
+TEST(GofTest, KsUniformSamplesFitUniform) {
+  Rng rng(3);
+  std::vector<double> xs;
+  for (int i = 0; i < 5000; ++i) xs.push_back(rng.Uniform(0, 1));
+  double d = KsStatistic(xs, [](double x) {
+    return std::min(1.0, std::max(0.0, x));
+  });
+  EXPECT_GT(KsPValue(d, xs.size()), 0.01);
+}
+
+TEST(GofTest, KsRejectsWrongDistribution) {
+  Rng rng(4);
+  std::vector<double> xs;
+  for (int i = 0; i < 5000; ++i) xs.push_back(rng.Exponential(1.0));
+  // Test exponential samples against a uniform cdf: must reject.
+  double d = KsStatistic(xs, [](double x) {
+    return std::min(1.0, std::max(0.0, x));
+  });
+  EXPECT_LT(KsPValue(d, xs.size()), 1e-6);
+}
+
+TEST(GofTest, ChiSquareZeroForPerfectFit) {
+  std::vector<double> obs = {10, 20, 30};
+  EXPECT_DOUBLE_EQ(ChiSquareStatistic(obs, obs), 0.0);
+}
+
+TEST(GofTest, ChiSquarePoolsSmallBins) {
+  std::vector<double> obs = {100, 1, 2};
+  std::vector<double> exp = {100, 1.5, 1.5};
+  // Small expected bins pool: (3-3)^2/3 = 0.
+  EXPECT_DOUBLE_EQ(ChiSquareStatistic(obs, exp, 5.0), 0.0);
+}
+
+}  // namespace
+}  // namespace ftl::stats

@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "traj/transforms.h"
+
+namespace ftl::traj {
+namespace {
+
+Record R(Timestamp t) { return Record{{0, 0}, t}; }
+
+Trajectory Dense(const std::string& label, OwnerId owner, size_t n) {
+  std::vector<Record> recs;
+  recs.reserve(n);
+  for (size_t i = 0; i < n; ++i) recs.push_back(R(static_cast<Timestamp>(i)));
+  return Trajectory(label, owner, std::move(recs));
+}
+
+TEST(DownSampleTest, RateOneKeepsEverything) {
+  Rng rng(1);
+  Trajectory t = Dense("a", 1, 100);
+  Trajectory d = DownSample(t, 1.0, &rng);
+  EXPECT_EQ(d.size(), 100u);
+  EXPECT_EQ(d.label(), "a");
+  EXPECT_EQ(d.owner(), 1u);
+}
+
+TEST(DownSampleTest, ApproximatesRate) {
+  Rng rng(2);
+  Trajectory t = Dense("a", 1, 20000);
+  Trajectory d = DownSample(t, 0.1, &rng);
+  EXPECT_NEAR(static_cast<double>(d.size()), 2000.0, 150.0);
+  EXPECT_TRUE(d.IsSorted());
+}
+
+TEST(DownSampleTest, PreservesRelativeOrder) {
+  Rng rng(3);
+  Trajectory t = Dense("a", 1, 1000);
+  Trajectory d = DownSample(t, 0.5, &rng);
+  for (size_t i = 1; i < d.size(); ++i) {
+    EXPECT_LT(d[i - 1].t, d[i].t);
+  }
+}
+
+TEST(DownSampleTest, DatabaseVariant) {
+  TrajectoryDatabase db("src");
+  (void)db.Add(Dense("a", 1, 1000));
+  (void)db.Add(Dense("b", 2, 1000));
+  Rng rng(4);
+  TrajectoryDatabase out = DownSample(db, 0.2, &rng);
+  EXPECT_EQ(out.size(), 2u);
+  EXPECT_EQ(out.name(), "src");
+  EXPECT_NEAR(static_cast<double>(out[0].size()), 200.0, 60.0);
+  EXPECT_NEAR(static_cast<double>(out[1].size()), 200.0, 60.0);
+}
+
+TEST(DownSampleTest, DeterministicGivenSeed) {
+  TrajectoryDatabase db("src");
+  (void)db.Add(Dense("a", 1, 500));
+  Rng r1(7), r2(7);
+  auto a = DownSample(db, 0.3, &r1);
+  auto b = DownSample(db, 0.3, &r2);
+  ASSERT_EQ(a[0].size(), b[0].size());
+  for (size_t i = 0; i < a[0].size(); ++i) {
+    EXPECT_EQ(a[0][i].t, b[0][i].t);
+  }
+}
+
+TEST(TrimDurationTest, RestrictsWindow) {
+  TrajectoryDatabase db;
+  (void)db.Add(Dense("a", 1, 100));  // t = 0..99
+  TrajectoryDatabase out = TrimDuration(db, 10, 20);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].size(), 20u);
+  EXPECT_EQ(out[0].front().t, 10);
+  EXPECT_EQ(out[0].back().t, 29);
+}
+
+TEST(TrimDurationTest, KeepsEmptyTrajectories) {
+  TrajectoryDatabase db;
+  (void)db.Add(Dense("a", 1, 10));
+  TrajectoryDatabase out = TrimDuration(db, 1000, 100);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_TRUE(out[0].empty());
+}
+
+TEST(SplitRecordsTest, PartitionIsExact) {
+  Rng rng(5);
+  Trajectory t = Dense("a", 3, 1000);
+  auto [x, y] = SplitRecords(t, &rng);
+  EXPECT_EQ(x.size() + y.size(), 1000u);
+  EXPECT_EQ(x.label(), "a/a");
+  EXPECT_EQ(y.label(), "a/b");
+  EXPECT_EQ(x.owner(), 3u);
+  EXPECT_EQ(y.owner(), 3u);
+  // Roughly half in each.
+  EXPECT_NEAR(static_cast<double>(x.size()), 500.0, 80.0);
+  // No record lost or duplicated: timestamps 0..999 each appear once.
+  std::vector<bool> seen(1000, false);
+  for (const auto& r : x.records()) seen[static_cast<size_t>(r.t)] = true;
+  for (const auto& r : y.records()) {
+    EXPECT_FALSE(seen[static_cast<size_t>(r.t)]);
+    seen[static_cast<size_t>(r.t)] = true;
+  }
+  for (bool b : seen) EXPECT_TRUE(b);
+}
+
+TEST(SplitDatabaseTest, SplitsEveryTrajectory) {
+  TrajectoryDatabase db("td");
+  (void)db.Add(Dense("a", 1, 200));
+  (void)db.Add(Dense("b", 2, 200));
+  Rng rng(6);
+  auto [p, q] = SplitDatabase(db, &rng);
+  EXPECT_EQ(p.size(), 2u);
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(p[0].owner(), q[0].owner());
+  EXPECT_EQ(p[0].size() + q[0].size(), 200u);
+}
+
+// Property sweep over rates: downsampling is a subsequence with the
+// right expected size.
+class DownSampleRateTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(DownSampleRateTest, ExpectedSize) {
+  double rate = GetParam();
+  Rng rng(42);
+  Trajectory t = Dense("a", 1, 10000);
+  Trajectory d = DownSample(t, rate, &rng);
+  double expected = 10000.0 * rate;
+  // 5-sigma binomial bound.
+  double sigma = std::sqrt(10000.0 * rate * (1 - rate));
+  EXPECT_NEAR(static_cast<double>(d.size()), expected, 5 * sigma + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, DownSampleRateTest,
+                         ::testing::Values(0.006, 0.01, 0.02, 0.08, 0.1,
+                                           0.5, 0.9));
+
+}  // namespace
+}  // namespace ftl::traj

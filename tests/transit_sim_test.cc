@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/engine.h"
+#include "eval/metrics.h"
+#include "eval/workload.h"
+#include "sim/transit_sim.h"
+
+namespace ftl::sim {
+namespace {
+
+TEST(TransitSimTest, NearestStopSnapsToGrid) {
+  geo::Point s = NearestStop({1234.0, 5678.0}, 800.0);
+  EXPECT_DOUBLE_EQ(std::fmod(s.x, 800.0), 0.0);
+  EXPECT_DOUBLE_EQ(std::fmod(s.y, 800.0), 0.0);
+  EXPECT_LE(geo::Distance({1234.0, 5678.0}, s), 800.0 * std::sqrt(2.0) / 2);
+  // Exact stop maps to itself.
+  geo::Point exact{1600.0, 2400.0};
+  EXPECT_EQ(NearestStop(exact, 800.0), exact);
+}
+
+TEST(TransitSimTest, CommuterPathCoversHorizon) {
+  CommuterOptions o;
+  o.duration_days = 5;
+  Rng rng(1);
+  auto person = BuildCommuter(&rng, o);
+  ASSERT_FALSE(person.path.empty());
+  EXPECT_EQ(person.path.start_time(), 0);
+  EXPECT_EQ(person.path.end_time(), 5 * 86400);
+}
+
+TEST(TransitSimTest, TwoCommutesPerDayProduceTaps) {
+  CommuterOptions o;
+  o.duration_days = 5;
+  Rng rng(2);
+  auto person = BuildCommuter(&rng, o);
+  // >= 2 boarding taps per day (plus transfers), <= 4 per commute.
+  EXPECT_GE(person.taps.size(), 2u * 5u);
+  EXPECT_LE(person.taps.size(), 8u * 5u);
+  // Taps are time-ordered.
+  for (size_t i = 1; i < person.taps.size(); ++i) {
+    EXPECT_LE(person.taps[i - 1].t, person.taps[i].t);
+  }
+}
+
+TEST(TransitSimTest, TapsPinnedToStops) {
+  CommuterOptions o;
+  o.duration_days = 3;
+  Rng rng(3);
+  auto person = BuildCommuter(&rng, o);
+  for (const auto& tap : person.taps) {
+    geo::Point stop = NearestStop(tap.location, o.stop_pitch);
+    EXPECT_LE(geo::Distance(tap.location, stop), 1e-6);
+  }
+}
+
+TEST(TransitSimTest, PathSpeedBounded) {
+  CommuterOptions o;
+  o.duration_days = 4;
+  Rng rng(4);
+  auto person = BuildCommuter(&rng, o);
+  // No knot-to-knot leg exceeds the bus speed.
+  EXPECT_LE(person.path.MaxKnotSpeed(), o.bus_speed + 1e-6);
+}
+
+TEST(TransitSimTest, DatabasesAlignedByOwner) {
+  CommuterOptions o;
+  o.num_persons = 20;
+  o.duration_days = 3;
+  o.seed = 5;
+  auto data = SimulateCommuters(o);
+  ASSERT_EQ(data.cdr_db.size(), 20u);
+  ASSERT_EQ(data.transit_db.size(), 20u);
+  for (size_t i = 0; i < 20; ++i) {
+    EXPECT_EQ(data.cdr_db[i].owner(), data.transit_db[i].owner());
+  }
+  // CDR snapped to the cell grid.
+  for (const auto& r : data.cdr_db[0].records()) {
+    EXPECT_DOUBLE_EQ(std::fmod(r.location.x, 500.0), 0.0);
+  }
+}
+
+TEST(TransitSimTest, Deterministic) {
+  CommuterOptions o;
+  o.num_persons = 5;
+  o.duration_days = 2;
+  o.seed = 6;
+  auto a = SimulateCommuters(o);
+  auto b = SimulateCommuters(o);
+  ASSERT_EQ(a.transit_db.TotalRecords(), b.transit_db.TotalRecords());
+  EXPECT_EQ(a.cdr_db.TotalRecords(), b.cdr_db.TotalRecords());
+}
+
+TEST(TransitSimTest, EndToEndLinkingWorksOnStructuredData) {
+  // The paper's motivating scenario: link anonymous cards to phones.
+  CommuterOptions o;
+  o.num_persons = 60;
+  o.duration_days = 10;
+  o.cdr_events_per_day = 14.0;
+  o.seed = 7;
+  auto data = SimulateCommuters(o);
+
+  core::EngineOptions eo;
+  eo.training.horizon_units = 40;
+  eo.naive_bayes.phi_r = 0.02;
+  core::FtlEngine engine(eo);
+  ASSERT_TRUE(engine.Train(data.cdr_db, data.transit_db).ok());
+
+  eval::WorkloadOptions wo;
+  wo.num_queries = 30;
+  wo.seed = 8;
+  // Query with cards (anonymous side) against phones.
+  auto workload = eval::MakeWorkload(data.transit_db, data.cdr_db, wo);
+  auto results = engine.BatchQuery(workload.queries, data.cdr_db,
+                                   core::Matcher::kNaiveBayes);
+  ASSERT_TRUE(results.ok());
+  auto m = eval::ComputeMetrics(results.value(), workload.owners,
+                                data.cdr_db);
+  EXPECT_GT(m.perceptiveness, 0.6);
+  EXPECT_LT(m.selectiveness, 0.4);
+}
+
+}  // namespace
+}  // namespace ftl::sim

@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "traj/validation.h"
+
+namespace ftl::traj {
+namespace {
+
+Record R(double x, double y, Timestamp t) { return Record{{x, y}, t}; }
+
+TEST(ValidationTest, CleanDatabase) {
+  TrajectoryDatabase db;
+  (void)db.Add(Trajectory("a", 1, {R(0, 0, 0), R(10, 0, 60)}));
+  auto r = ValidateDatabase(db);
+  EXPECT_TRUE(r.clean);
+  EXPECT_EQ(r.trajectories, 1u);
+  EXPECT_EQ(r.records, 2u);
+  EXPECT_EQ(r.speed_violations, 0u);
+  EXPECT_NE(r.ToString().find("[clean]"), std::string::npos);
+}
+
+TEST(ValidationTest, CountsEmptyAndSingleton) {
+  TrajectoryDatabase db;
+  (void)db.Add(Trajectory("empty", 1, {}));
+  (void)db.Add(Trajectory("one", 2, {R(0, 0, 0)}));
+  auto r = ValidateDatabase(db);
+  EXPECT_EQ(r.empty_trajectories, 1u);
+  EXPECT_EQ(r.singleton_trajectories, 1u);
+  EXPECT_FALSE(r.clean);
+}
+
+TEST(ValidationTest, DetectsNonFinite) {
+  TrajectoryDatabase db;
+  double nan = std::nan("");
+  (void)db.Add(Trajectory("bad", 1, {R(nan, 0, 0), R(0, 0, 60)}));
+  auto r = ValidateDatabase(db);
+  EXPECT_EQ(r.non_finite_records, 1u);
+  EXPECT_FALSE(r.clean);
+}
+
+TEST(ValidationTest, DetectsDuplicates) {
+  TrajectoryDatabase db;
+  (void)db.Add(Trajectory("dup", 1, {R(5, 5, 10), R(5, 5, 10), R(6, 6, 20)}));
+  auto r = ValidateDatabase(db);
+  EXPECT_EQ(r.duplicate_records, 1u);
+}
+
+TEST(ValidationTest, DetectsSpeedViolations) {
+  TrajectoryDatabase db;
+  // 100 km in 60 s.
+  (void)db.Add(Trajectory("fast", 1, {R(0, 0, 0), R(100000, 0, 60)}));
+  auto r = ValidateDatabase(db);
+  EXPECT_EQ(r.speed_violations, 1u);
+  EXPECT_GT(r.max_observed_speed_mps, 1000.0);
+}
+
+TEST(ValidationTest, SimultaneousApartIsViolation) {
+  TrajectoryDatabase db;
+  (void)db.Add(Trajectory("tele", 1, {R(0, 0, 5), R(1000, 0, 5)}));
+  auto r = ValidateDatabase(db);
+  EXPECT_EQ(r.speed_violations, 1u);
+}
+
+TEST(ValidationTest, CustomSpeedThreshold) {
+  TrajectoryDatabase db;
+  // 1 km in 60 s = 60 kph.
+  (void)db.Add(Trajectory("car", 1, {R(0, 0, 0), R(1000, 0, 60)}));
+  ValidationOptions strict;
+  strict.max_speed_mps = 10.0;
+  EXPECT_EQ(ValidateDatabase(db, strict).speed_violations, 1u);
+  ValidationOptions loose;
+  loose.max_speed_mps = 100.0;
+  EXPECT_EQ(ValidateDatabase(db, loose).speed_violations, 0u);
+}
+
+TEST(SanitizeTest, DropsNonFiniteAndDuplicates) {
+  TrajectoryDatabase db;
+  double inf = std::numeric_limits<double>::infinity();
+  (void)db.Add(Trajectory(
+      "messy", 1, {R(0, 0, 0), R(0, 0, 0), R(inf, 0, 30), R(5, 5, 60)}));
+  auto out = Sanitize(db);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].size(), 2u);
+  EXPECT_TRUE(ValidateDatabase(out).clean);
+}
+
+TEST(SanitizeTest, DropsEmptyTrajectories) {
+  TrajectoryDatabase db;
+  double nan = std::nan("");
+  (void)db.Add(Trajectory("all-bad", 1, {R(nan, nan, 0)}));
+  (void)db.Add(Trajectory("good", 2, {R(0, 0, 0), R(1, 1, 10)}));
+  auto out = Sanitize(db);
+  EXPECT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].label(), "good");
+}
+
+TEST(SanitizeTest, PreservesCleanData) {
+  TrajectoryDatabase db;
+  (void)db.Add(Trajectory("a", 7, {R(0, 0, 0), R(1, 2, 10), R(3, 4, 20)}));
+  auto out = Sanitize(db);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].size(), 3u);
+  EXPECT_EQ(out[0].owner(), 7u);
+}
+
+}  // namespace
+}  // namespace ftl::traj

@@ -1,0 +1,399 @@
+#include "tools/cli.h"
+
+#include <sstream>
+
+#include "ftl/ftl.h"
+
+namespace ftl::tools {
+
+Result<ArgMap> ArgMap::Parse(const std::vector<std::string>& args) {
+  ArgMap m;
+  size_t i = 0;
+  while (i < args.size()) {
+    const std::string& tok = args[i];
+    if (tok.rfind("--", 0) != 0 || tok.size() <= 2) {
+      return Status::InvalidArgument("expected --flag, got '" + tok + "'");
+    }
+    std::string key = tok.substr(2);
+    if (i + 1 < args.size() && args[i + 1].rfind("--", 0) != 0) {
+      m.kv_.emplace_back(key, args[i + 1]);
+      i += 2;
+    } else {
+      m.kv_.emplace_back(key, "true");
+      i += 1;
+    }
+  }
+  return m;
+}
+
+std::string ArgMap::Get(const std::string& key,
+                        const std::string& fallback) const {
+  for (const auto& [k, v] : kv_) {
+    if (k == key) return v;
+  }
+  return fallback;
+}
+
+bool ArgMap::Has(const std::string& key) const {
+  for (const auto& [k, v] : kv_) {
+    if (k == key) return true;
+  }
+  return false;
+}
+
+Result<double> ArgMap::GetDouble(const std::string& key,
+                                 double fallback) const {
+  if (!Has(key)) return fallback;
+  double v = 0;
+  if (!ParseDouble(Get(key, ""), &v)) {
+    return Status::InvalidArgument("--" + key + " expects a number, got '" +
+                                   Get(key, "") + "'");
+  }
+  return v;
+}
+
+Result<int64_t> ArgMap::GetInt(const std::string& key,
+                               int64_t fallback) const {
+  if (!Has(key)) return fallback;
+  int64_t v = 0;
+  if (!ParseInt64(Get(key, ""), &v)) {
+    return Status::InvalidArgument("--" + key +
+                                   " expects an integer, got '" +
+                                   Get(key, "") + "'");
+  }
+  return v;
+}
+
+std::string UsageText() {
+  return
+      "ftl — fuzzy trajectory linking toolkit\n"
+      "\n"
+      "usage: ftl <command> [--flag value ...]\n"
+      "\n"
+      "commands:\n"
+      "  simulate  --out-p P.csv --out-q Q.csv [--config SF] [--objects N]\n"
+      "            [--seed S]          generate a synthetic dataset pair\n"
+      "  stats     --db D.csv          print Table-I style statistics\n"
+      "  train     --p P.csv --q Q.csv --out-rejection R.model\n"
+      "            --out-acceptance A.model [--vmax-kph 120] [--unit-s 60]\n"
+      "            [--horizon 60]      train and persist both models\n"
+      "  link      --p P.csv --q Q.csv [--query LABEL] [--matcher nb|alpha]\n"
+      "            [--phi 0.01] [--alpha1 0.01] [--alpha2 0.1] [--top 10]\n"
+      "            [--threads 1]       link query trajectories against Q\n"
+      "  export    --db D.csv --out D.geojson\n"
+      "                                convert a database to GeoJSON\n"
+      "  validate  --db D.csv [--sanitized-out C.csv]\n"
+      "                                audit data quality, optionally fix\n"
+      "  diagnose  --p P.csv --q Q.csv report model separability\n"
+      "  calibrate --p P.csv --q Q.csv [--matcher nb|alpha] [--budget 10]\n"
+      "            [--queries 50]      auto-pick thresholds for a budget\n"
+      "  enrich    --p P.csv --q Q.csv --query L1 --candidate L2\n"
+      "                                merge a linked pair (Figure 2)\n";
+}
+
+namespace {
+
+Result<traj::TrajectoryDatabase> LoadDb(const ArgMap& args,
+                                        const std::string& flag) {
+  std::string path = args.Get(flag, "");
+  if (path.empty()) {
+    return Status::InvalidArgument("missing required --" + flag);
+  }
+  return io::ReadCsv(path, path);
+}
+
+Result<core::EngineOptions> EngineOptionsFromArgs(const ArgMap& args) {
+  core::EngineOptions eo;
+  auto vmax = args.GetDouble("vmax-kph", 120.0);
+  if (!vmax.ok()) return vmax.status();
+  eo.training.vmax_mps = geo::KphToMps(vmax.value());
+  auto unit = args.GetInt("unit-s", 60);
+  if (!unit.ok()) return unit.status();
+  eo.training.time_unit_seconds = unit.value();
+  auto horizon = args.GetInt("horizon", 60);
+  if (!horizon.ok()) return horizon.status();
+  eo.training.horizon_units = horizon.value();
+  auto phi = args.GetDouble("phi", 0.01);
+  if (!phi.ok()) return phi.status();
+  eo.naive_bayes.phi_r = phi.value();
+  auto a1 = args.GetDouble("alpha1", 0.01);
+  if (!a1.ok()) return a1.status();
+  auto a2 = args.GetDouble("alpha2", 0.1);
+  if (!a2.ok()) return a2.status();
+  eo.alpha = {a1.value(), a2.value()};
+  auto threads = args.GetInt("threads", 1);
+  if (!threads.ok()) return threads.status();
+  eo.num_threads = static_cast<size_t>(std::max<int64_t>(1,
+                                                          threads.value()));
+  return eo;
+}
+
+}  // namespace
+
+Status CmdSimulate(const ArgMap& args, std::ostream& out) {
+  std::string out_p = args.Get("out-p", "");
+  std::string out_q = args.Get("out-q", "");
+  if (out_p.empty() || out_q.empty()) {
+    return Status::InvalidArgument("simulate needs --out-p and --out-q");
+  }
+  std::string config_name = args.Get("config", "SF");
+  sim::DatasetConfig config = sim::FindConfig(config_name);
+  if (config.name.empty()) {
+    return Status::InvalidArgument("unknown config '" + config_name +
+                                   "' (expected SA..SF or TA..TF)");
+  }
+  auto objects = args.GetInt("objects", 200);
+  if (!objects.ok()) return objects.status();
+  auto seed = args.GetInt("seed", 1);
+  if (!seed.ok()) return seed.status();
+  sim::DatasetPair pair =
+      sim::BuildDataset(config, static_cast<size_t>(objects.value()),
+                        static_cast<uint64_t>(seed.value()));
+  FTL_RETURN_NOT_OK(io::WriteCsv(pair.p, out_p));
+  FTL_RETURN_NOT_OK(io::WriteCsv(pair.q, out_q));
+  out << "simulated " << config.name << ": wrote " << pair.p.size()
+      << " trajectories (" << pair.p.TotalRecords() << " records) to "
+      << out_p << ", " << pair.q.size() << " trajectories ("
+      << pair.q.TotalRecords() << " records) to " << out_q << "\n";
+  return Status::OK();
+}
+
+Status CmdStats(const ArgMap& args, std::ostream& out) {
+  auto db = LoadDb(args, "db");
+  if (!db.ok()) return db.status();
+  out << "database: " << db.value().name() << "\n"
+      << traj::ToString(traj::Summarize(db.value())) << "\n";
+  return Status::OK();
+}
+
+Status CmdTrain(const ArgMap& args, std::ostream& out) {
+  auto p = LoadDb(args, "p");
+  if (!p.ok()) return p.status();
+  auto q = LoadDb(args, "q");
+  if (!q.ok()) return q.status();
+  std::string out_rej = args.Get("out-rejection", "");
+  std::string out_acc = args.Get("out-acceptance", "");
+  if (out_rej.empty() || out_acc.empty()) {
+    return Status::InvalidArgument(
+        "train needs --out-rejection and --out-acceptance");
+  }
+  auto eo = EngineOptionsFromArgs(args);
+  if (!eo.ok()) return eo.status();
+  auto models = core::BuildModels(p.value(), q.value(),
+                                  eo.value().training);
+  if (!models.ok()) return models.status();
+  FTL_RETURN_NOT_OK(io::WriteModel(models.value().rejection, out_rej));
+  FTL_RETURN_NOT_OK(io::WriteModel(models.value().acceptance, out_acc));
+  out << "trained models on " << p.value().size() << " x "
+      << q.value().size() << " trajectories\n"
+      << "rejection:  " << models.value().rejection.ToString() << "\n"
+      << "acceptance: " << models.value().acceptance.ToString() << "\n";
+  return Status::OK();
+}
+
+Status CmdLink(const ArgMap& args, std::ostream& out) {
+  auto p = LoadDb(args, "p");
+  if (!p.ok()) return p.status();
+  auto q = LoadDb(args, "q");
+  if (!q.ok()) return q.status();
+  auto eo = EngineOptionsFromArgs(args);
+  if (!eo.ok()) return eo.status();
+  std::string matcher_name = args.Get("matcher", "nb");
+  core::Matcher matcher;
+  if (matcher_name == "nb") {
+    matcher = core::Matcher::kNaiveBayes;
+  } else if (matcher_name == "alpha") {
+    matcher = core::Matcher::kAlphaFilter;
+  } else {
+    return Status::InvalidArgument("--matcher must be nb or alpha, got '" +
+                                   matcher_name + "'");
+  }
+  auto top = args.GetInt("top", 10);
+  if (!top.ok()) return top.status();
+
+  core::FtlEngine engine(eo.value());
+  FTL_RETURN_NOT_OK(engine.Train(p.value(), q.value()));
+
+  std::vector<size_t> query_indices;
+  if (args.Has("query")) {
+    size_t idx = p.value().Find(args.Get("query", ""));
+    if (idx == traj::TrajectoryDatabase::npos) {
+      return Status::NotFound("query label '" + args.Get("query", "") +
+                              "' not in P");
+    }
+    query_indices.push_back(idx);
+  } else {
+    for (size_t i = 0; i < p.value().size(); ++i) query_indices.push_back(i);
+  }
+
+  for (size_t qi : query_indices) {
+    const auto& query = p.value()[qi];
+    auto result = engine.Query(query, q.value(), matcher);
+    if (!result.ok()) return result.status();
+    out << query.label() << " -> " << result.value().candidates.size()
+        << " candidate(s)";
+    size_t shown = 0;
+    for (const auto& c : result.value().candidates) {
+      if (shown++ >= static_cast<size_t>(top.value())) break;
+      out << (shown == 1 ? ": " : ", ") << c.label << "("
+          << FormatDouble(c.score, 4) << ")";
+    }
+    out << "\n";
+  }
+  return Status::OK();
+}
+
+Status CmdExport(const ArgMap& args, std::ostream& out) {
+  auto db = LoadDb(args, "db");
+  if (!db.ok()) return db.status();
+  std::string path = args.Get("out", "");
+  if (path.empty()) return Status::InvalidArgument("export needs --out");
+  FTL_RETURN_NOT_OK(io::WriteGeoJson(db.value(), path));
+  out << "wrote " << db.value().size() << " features to " << path << "\n";
+  return Status::OK();
+}
+
+Status CmdValidate(const ArgMap& args, std::ostream& out) {
+  auto db = LoadDb(args, "db");
+  if (!db.ok()) return db.status();
+  auto report = traj::ValidateDatabase(db.value());
+  out << report.ToString() << "\n";
+  if (args.Has("sanitized-out")) {
+    auto clean = traj::Sanitize(db.value());
+    FTL_RETURN_NOT_OK(io::WriteCsv(clean, args.Get("sanitized-out", "")));
+    out << "sanitized copy (" << clean.size() << " trajectories, "
+        << clean.TotalRecords() << " records) written to "
+        << args.Get("sanitized-out", "") << "\n";
+  }
+  return Status::OK();
+}
+
+Status CmdDiagnose(const ArgMap& args, std::ostream& out) {
+  auto p = LoadDb(args, "p");
+  if (!p.ok()) return p.status();
+  auto q = LoadDb(args, "q");
+  if (!q.ok()) return q.status();
+  auto eo = EngineOptionsFromArgs(args);
+  if (!eo.ok()) return eo.status();
+  auto models = core::BuildModels(p.value(), q.value(),
+                                  eo.value().training);
+  if (!models.ok()) return models.status();
+  auto diag = core::DiagnoseModels(models.value());
+  out << diag.ToString() << "\n";
+  out << "rejection:  " << models.value().rejection.ToString() << "\n";
+  out << "acceptance: " << models.value().acceptance.ToString() << "\n";
+  return Status::OK();
+}
+
+Status CmdCalibrate(const ArgMap& args, std::ostream& out) {
+  auto p = LoadDb(args, "p");
+  if (!p.ok()) return p.status();
+  auto q = LoadDb(args, "q");
+  if (!q.ok()) return q.status();
+  auto eo = EngineOptionsFromArgs(args);
+  if (!eo.ok()) return eo.status();
+  std::string matcher_name = args.Get("matcher", "nb");
+  core::Matcher matcher = matcher_name == "alpha"
+                              ? core::Matcher::kAlphaFilter
+                              : core::Matcher::kNaiveBayes;
+  auto budget = args.GetDouble("budget", 10.0);
+  if (!budget.ok()) return budget.status();
+  auto queries = args.GetInt("queries", 50);
+  if (!queries.ok()) return queries.status();
+
+  core::FtlEngine engine(eo.value());
+  FTL_RETURN_NOT_OK(engine.Train(p.value(), q.value()));
+  eval::CalibrationTarget target;
+  target.max_mean_candidates = budget.value();
+  eval::WorkloadOptions wo;
+  wo.num_queries = static_cast<size_t>(queries.value());
+  auto result = eval::AutoCalibrate(engine, p.value(), q.value(), matcher,
+                                    target, wo);
+  if (!result.ok()) return result.status();
+  const auto& r = result.value();
+  if (matcher == core::Matcher::kNaiveBayes) {
+    out << "calibrated phi_r=" << FormatDouble(r.phi_r, 6) << "\n";
+  } else {
+    out << "calibrated alpha1=" << FormatDouble(r.alpha1, 6)
+        << " alpha2=" << FormatDouble(r.alpha2, 6) << "\n";
+  }
+  out << "mean candidates/query " << FormatDouble(r.mean_candidates, 2)
+      << " (budget " << FormatDouble(budget.value(), 1)
+      << "), perceptiveness " << FormatDouble(r.perceptiveness, 3)
+      << ", selectiveness " << FormatDouble(r.selectiveness, 5) << "\n";
+  return Status::OK();
+}
+
+Status CmdEnrich(const ArgMap& args, std::ostream& out) {
+  auto p = LoadDb(args, "p");
+  if (!p.ok()) return p.status();
+  auto q = LoadDb(args, "q");
+  if (!q.ok()) return q.status();
+  size_t pi = p.value().Find(args.Get("query", ""));
+  if (pi == traj::TrajectoryDatabase::npos) {
+    return Status::NotFound("query label '" + args.Get("query", "") +
+                            "' not in P");
+  }
+  size_t qi = q.value().Find(args.Get("candidate", ""));
+  if (qi == traj::TrajectoryDatabase::npos) {
+    return Status::NotFound("candidate label '" +
+                            args.Get("candidate", "") + "' not in Q");
+  }
+  core::EnrichmentOptions opts;
+  opts.p_source_name = "P";
+  opts.q_source_name = "Q";
+  auto vmax = args.GetDouble("vmax-kph", 120.0);
+  if (!vmax.ok()) return vmax.status();
+  opts.vmax_mps = geo::KphToMps(vmax.value());
+  auto enriched = core::Enrich(p.value()[pi], q.value()[qi], opts);
+  if (!enriched.ok()) return enriched.status();
+  out << core::ToTableString(enriched.value(), 30);
+  out << "densification x" +
+             FormatDouble(enriched.value().densification_factor, 2)
+      << ", incompatible mutual segments "
+      << enriched.value().incompatible_mutual_segments << "\n";
+  return Status::OK();
+}
+
+int RunCli(const std::vector<std::string>& args, std::ostream& out) {
+  if (args.empty() || args[0] == "help" || args[0] == "--help") {
+    out << UsageText();
+    return args.empty() ? 1 : 0;
+  }
+  std::string cmd = args[0];
+  auto parsed = ArgMap::Parse({args.begin() + 1, args.end()});
+  if (!parsed.ok()) {
+    out << "error: " << parsed.status().ToString() << "\n";
+    return 1;
+  }
+  Status st;
+  if (cmd == "simulate") {
+    st = CmdSimulate(parsed.value(), out);
+  } else if (cmd == "stats") {
+    st = CmdStats(parsed.value(), out);
+  } else if (cmd == "train") {
+    st = CmdTrain(parsed.value(), out);
+  } else if (cmd == "link") {
+    st = CmdLink(parsed.value(), out);
+  } else if (cmd == "export") {
+    st = CmdExport(parsed.value(), out);
+  } else if (cmd == "validate") {
+    st = CmdValidate(parsed.value(), out);
+  } else if (cmd == "diagnose") {
+    st = CmdDiagnose(parsed.value(), out);
+  } else if (cmd == "calibrate") {
+    st = CmdCalibrate(parsed.value(), out);
+  } else if (cmd == "enrich") {
+    st = CmdEnrich(parsed.value(), out);
+  } else {
+    out << "error: unknown command '" << cmd << "'\n" << UsageText();
+    return 1;
+  }
+  if (!st.ok()) {
+    out << "error: " << st.ToString() << "\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace ftl::tools

@@ -1,0 +1,73 @@
+#ifndef FTL_TOOLS_CLI_H_
+#define FTL_TOOLS_CLI_H_
+
+/// \file cli.h
+/// The `ftl` command-line tool, factored as a library so every
+/// subcommand is unit-testable.
+///
+/// Subcommands:
+///   ftl simulate --out-p p.csv --out-q q.csv [--config SF] [--objects N]
+///   ftl stats    --db data.csv
+///   ftl train    --p p.csv --q q.csv --out-rejection r.model
+///                --out-acceptance a.model
+///   ftl link     --p p.csv --q q.csv [--query LABEL] [--matcher nb|alpha]
+///                [--phi 0.01 | --alpha1 0.01 --alpha2 0.1] [--top K]
+///   ftl export   --db data.csv --out data.geojson
+///   ftl validate --db data.csv [--sanitized-out clean.csv]
+///   ftl diagnose --p p.csv --q q.csv
+///   ftl calibrate --p p.csv --q q.csv [--matcher nb|alpha]
+///                 [--budget 10] [--queries 50]
+///   ftl enrich   --p p.csv --q q.csv --query LABEL --candidate LABEL
+///
+/// Every subcommand returns a Status and writes human-readable output to
+/// the provided stream.
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ftl::tools {
+
+/// Parsed `--key value` arguments (flags without values get "true").
+class ArgMap {
+ public:
+  /// Parses argv-style tokens after the subcommand name.
+  static Result<ArgMap> Parse(const std::vector<std::string>& args);
+
+  /// Value of `--key`, or `fallback`.
+  std::string Get(const std::string& key, const std::string& fallback) const;
+
+  /// True when `--key` was supplied.
+  bool Has(const std::string& key) const;
+
+  /// Numeric accessors; return fallback on absent, error on malformed.
+  Result<double> GetDouble(const std::string& key, double fallback) const;
+  Result<int64_t> GetInt(const std::string& key, int64_t fallback) const;
+
+ private:
+  std::vector<std::pair<std::string, std::string>> kv_;
+};
+
+/// Dispatches a full command line (without the program name). Returns
+/// the process exit status; diagnostics go to `out`.
+int RunCli(const std::vector<std::string>& args, std::ostream& out);
+
+/// Individual subcommands (exposed for tests).
+Status CmdSimulate(const ArgMap& args, std::ostream& out);
+Status CmdStats(const ArgMap& args, std::ostream& out);
+Status CmdTrain(const ArgMap& args, std::ostream& out);
+Status CmdLink(const ArgMap& args, std::ostream& out);
+Status CmdExport(const ArgMap& args, std::ostream& out);
+Status CmdValidate(const ArgMap& args, std::ostream& out);
+Status CmdDiagnose(const ArgMap& args, std::ostream& out);
+Status CmdCalibrate(const ArgMap& args, std::ostream& out);
+Status CmdEnrich(const ArgMap& args, std::ostream& out);
+
+/// The usage text.
+std::string UsageText();
+
+}  // namespace ftl::tools
+
+#endif  // FTL_TOOLS_CLI_H_

@@ -1,0 +1,13 @@
+// Entry point of the `ftl` command-line tool. All logic lives in
+// cli.cc so it can be unit-tested.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "tools/cli.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return ftl::tools::RunCli(args, std::cout);
+}
