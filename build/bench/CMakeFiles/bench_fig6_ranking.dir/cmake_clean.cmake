@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_ranking.dir/bench_fig6_ranking.cc.o"
+  "CMakeFiles/bench_fig6_ranking.dir/bench_fig6_ranking.cc.o.d"
+  "bench_fig6_ranking"
+  "bench_fig6_ranking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_ranking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig7_runtime.cc" "bench/CMakeFiles/bench_fig7_runtime.dir/bench_fig7_runtime.cc.o" "gcc" "bench/CMakeFiles/bench_fig7_runtime.dir/bench_fig7_runtime.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/ftl_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/ftl_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ftl_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/ftl_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/privacy/CMakeFiles/ftl_privacy.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/ftl_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ftl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/traj/CMakeFiles/ftl_traj.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/ftl_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ftl_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ftl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disease_contact_tracing.dir/disease_contact_tracing.cpp.o"
+  "CMakeFiles/disease_contact_tracing.dir/disease_contact_tracing.cpp.o.d"
+  "disease_contact_tracing"
+  "disease_contact_tracing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disease_contact_tracing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

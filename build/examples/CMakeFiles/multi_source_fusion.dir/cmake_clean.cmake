@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_source_fusion.dir/multi_source_fusion.cpp.o"
+  "CMakeFiles/multi_source_fusion.dir/multi_source_fusion.cpp.o.d"
+  "multi_source_fusion"
+  "multi_source_fusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_source_fusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

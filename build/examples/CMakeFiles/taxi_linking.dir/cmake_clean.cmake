@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taxi_linking.dir/taxi_linking.cpp.o"
+  "CMakeFiles/taxi_linking.dir/taxi_linking.cpp.o.d"
+  "taxi_linking"
+  "taxi_linking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taxi_linking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

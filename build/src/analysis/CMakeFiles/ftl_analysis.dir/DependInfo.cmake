@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/feasibility.cc" "src/analysis/CMakeFiles/ftl_analysis.dir/feasibility.cc.o" "gcc" "src/analysis/CMakeFiles/ftl_analysis.dir/feasibility.cc.o.d"
+  "/root/repo/src/analysis/mutual_segment_analysis.cc" "src/analysis/CMakeFiles/ftl_analysis.dir/mutual_segment_analysis.cc.o" "gcc" "src/analysis/CMakeFiles/ftl_analysis.dir/mutual_segment_analysis.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/ftl_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ftl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftl_analysis.dir/feasibility.cc.o"
+  "CMakeFiles/ftl_analysis.dir/feasibility.cc.o.d"
+  "CMakeFiles/ftl_analysis.dir/mutual_segment_analysis.cc.o"
+  "CMakeFiles/ftl_analysis.dir/mutual_segment_analysis.cc.o.d"
+  "libftl_analysis.a"
+  "libftl_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftl_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftl_baselines.dir/search.cc.o"
+  "CMakeFiles/ftl_baselines.dir/search.cc.o.d"
+  "CMakeFiles/ftl_baselines.dir/similarity.cc.o"
+  "CMakeFiles/ftl_baselines.dir/similarity.cc.o.d"
+  "libftl_baselines.a"
+  "libftl_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftl_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/alpha_filter.cc" "src/core/CMakeFiles/ftl_core.dir/alpha_filter.cc.o" "gcc" "src/core/CMakeFiles/ftl_core.dir/alpha_filter.cc.o.d"
+  "/root/repo/src/core/assignment.cc" "src/core/CMakeFiles/ftl_core.dir/assignment.cc.o" "gcc" "src/core/CMakeFiles/ftl_core.dir/assignment.cc.o.d"
+  "/root/repo/src/core/blocking.cc" "src/core/CMakeFiles/ftl_core.dir/blocking.cc.o" "gcc" "src/core/CMakeFiles/ftl_core.dir/blocking.cc.o.d"
+  "/root/repo/src/core/compatibility_model.cc" "src/core/CMakeFiles/ftl_core.dir/compatibility_model.cc.o" "gcc" "src/core/CMakeFiles/ftl_core.dir/compatibility_model.cc.o.d"
+  "/root/repo/src/core/engine.cc" "src/core/CMakeFiles/ftl_core.dir/engine.cc.o" "gcc" "src/core/CMakeFiles/ftl_core.dir/engine.cc.o.d"
+  "/root/repo/src/core/enrichment.cc" "src/core/CMakeFiles/ftl_core.dir/enrichment.cc.o" "gcc" "src/core/CMakeFiles/ftl_core.dir/enrichment.cc.o.d"
+  "/root/repo/src/core/evidence.cc" "src/core/CMakeFiles/ftl_core.dir/evidence.cc.o" "gcc" "src/core/CMakeFiles/ftl_core.dir/evidence.cc.o.d"
+  "/root/repo/src/core/identity_graph.cc" "src/core/CMakeFiles/ftl_core.dir/identity_graph.cc.o" "gcc" "src/core/CMakeFiles/ftl_core.dir/identity_graph.cc.o.d"
+  "/root/repo/src/core/model_builders.cc" "src/core/CMakeFiles/ftl_core.dir/model_builders.cc.o" "gcc" "src/core/CMakeFiles/ftl_core.dir/model_builders.cc.o.d"
+  "/root/repo/src/core/model_diagnostics.cc" "src/core/CMakeFiles/ftl_core.dir/model_diagnostics.cc.o" "gcc" "src/core/CMakeFiles/ftl_core.dir/model_diagnostics.cc.o.d"
+  "/root/repo/src/core/naive_bayes.cc" "src/core/CMakeFiles/ftl_core.dir/naive_bayes.cc.o" "gcc" "src/core/CMakeFiles/ftl_core.dir/naive_bayes.cc.o.d"
+  "/root/repo/src/core/sharded.cc" "src/core/CMakeFiles/ftl_core.dir/sharded.cc.o" "gcc" "src/core/CMakeFiles/ftl_core.dir/sharded.cc.o.d"
+  "/root/repo/src/core/streaming.cc" "src/core/CMakeFiles/ftl_core.dir/streaming.cc.o" "gcc" "src/core/CMakeFiles/ftl_core.dir/streaming.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/traj/CMakeFiles/ftl_traj.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ftl_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ftl_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/ftl_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

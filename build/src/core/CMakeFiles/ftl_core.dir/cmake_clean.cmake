@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftl_core.dir/alpha_filter.cc.o"
+  "CMakeFiles/ftl_core.dir/alpha_filter.cc.o.d"
+  "CMakeFiles/ftl_core.dir/assignment.cc.o"
+  "CMakeFiles/ftl_core.dir/assignment.cc.o.d"
+  "CMakeFiles/ftl_core.dir/blocking.cc.o"
+  "CMakeFiles/ftl_core.dir/blocking.cc.o.d"
+  "CMakeFiles/ftl_core.dir/compatibility_model.cc.o"
+  "CMakeFiles/ftl_core.dir/compatibility_model.cc.o.d"
+  "CMakeFiles/ftl_core.dir/engine.cc.o"
+  "CMakeFiles/ftl_core.dir/engine.cc.o.d"
+  "CMakeFiles/ftl_core.dir/enrichment.cc.o"
+  "CMakeFiles/ftl_core.dir/enrichment.cc.o.d"
+  "CMakeFiles/ftl_core.dir/evidence.cc.o"
+  "CMakeFiles/ftl_core.dir/evidence.cc.o.d"
+  "CMakeFiles/ftl_core.dir/identity_graph.cc.o"
+  "CMakeFiles/ftl_core.dir/identity_graph.cc.o.d"
+  "CMakeFiles/ftl_core.dir/model_builders.cc.o"
+  "CMakeFiles/ftl_core.dir/model_builders.cc.o.d"
+  "CMakeFiles/ftl_core.dir/model_diagnostics.cc.o"
+  "CMakeFiles/ftl_core.dir/model_diagnostics.cc.o.d"
+  "CMakeFiles/ftl_core.dir/naive_bayes.cc.o"
+  "CMakeFiles/ftl_core.dir/naive_bayes.cc.o.d"
+  "CMakeFiles/ftl_core.dir/sharded.cc.o"
+  "CMakeFiles/ftl_core.dir/sharded.cc.o.d"
+  "CMakeFiles/ftl_core.dir/streaming.cc.o"
+  "CMakeFiles/ftl_core.dir/streaming.cc.o.d"
+  "libftl_core.a"
+  "libftl_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftl_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

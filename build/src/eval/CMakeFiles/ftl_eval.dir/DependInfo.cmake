@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/calibration.cc" "src/eval/CMakeFiles/ftl_eval.dir/calibration.cc.o" "gcc" "src/eval/CMakeFiles/ftl_eval.dir/calibration.cc.o.d"
+  "/root/repo/src/eval/metrics.cc" "src/eval/CMakeFiles/ftl_eval.dir/metrics.cc.o" "gcc" "src/eval/CMakeFiles/ftl_eval.dir/metrics.cc.o.d"
+  "/root/repo/src/eval/sweep.cc" "src/eval/CMakeFiles/ftl_eval.dir/sweep.cc.o" "gcc" "src/eval/CMakeFiles/ftl_eval.dir/sweep.cc.o.d"
+  "/root/repo/src/eval/workload.cc" "src/eval/CMakeFiles/ftl_eval.dir/workload.cc.o" "gcc" "src/eval/CMakeFiles/ftl_eval.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ftl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/traj/CMakeFiles/ftl_traj.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ftl_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/ftl_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ftl_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftl_eval.dir/calibration.cc.o"
+  "CMakeFiles/ftl_eval.dir/calibration.cc.o.d"
+  "CMakeFiles/ftl_eval.dir/metrics.cc.o"
+  "CMakeFiles/ftl_eval.dir/metrics.cc.o.d"
+  "CMakeFiles/ftl_eval.dir/sweep.cc.o"
+  "CMakeFiles/ftl_eval.dir/sweep.cc.o.d"
+  "CMakeFiles/ftl_eval.dir/workload.cc.o"
+  "CMakeFiles/ftl_eval.dir/workload.cc.o.d"
+  "libftl_eval.a"
+  "libftl_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftl_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

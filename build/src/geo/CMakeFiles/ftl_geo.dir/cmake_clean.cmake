@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftl_geo.dir/projection.cc.o"
+  "CMakeFiles/ftl_geo.dir/projection.cc.o.d"
+  "libftl_geo.a"
+  "libftl_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftl_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

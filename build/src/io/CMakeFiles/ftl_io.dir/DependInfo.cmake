@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/csv.cc" "src/io/CMakeFiles/ftl_io.dir/csv.cc.o" "gcc" "src/io/CMakeFiles/ftl_io.dir/csv.cc.o.d"
+  "/root/repo/src/io/geojson.cc" "src/io/CMakeFiles/ftl_io.dir/geojson.cc.o" "gcc" "src/io/CMakeFiles/ftl_io.dir/geojson.cc.o.d"
+  "/root/repo/src/io/model_io.cc" "src/io/CMakeFiles/ftl_io.dir/model_io.cc.o" "gcc" "src/io/CMakeFiles/ftl_io.dir/model_io.cc.o.d"
+  "/root/repo/src/io/report_json.cc" "src/io/CMakeFiles/ftl_io.dir/report_json.cc.o" "gcc" "src/io/CMakeFiles/ftl_io.dir/report_json.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/traj/CMakeFiles/ftl_traj.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ftl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/ftl_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ftl_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/ftl_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ftl_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftl_io.dir/csv.cc.o"
+  "CMakeFiles/ftl_io.dir/csv.cc.o.d"
+  "CMakeFiles/ftl_io.dir/geojson.cc.o"
+  "CMakeFiles/ftl_io.dir/geojson.cc.o.d"
+  "CMakeFiles/ftl_io.dir/model_io.cc.o"
+  "CMakeFiles/ftl_io.dir/model_io.cc.o.d"
+  "CMakeFiles/ftl_io.dir/report_json.cc.o"
+  "CMakeFiles/ftl_io.dir/report_json.cc.o.d"
+  "libftl_io.a"
+  "libftl_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftl_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftl_privacy.dir/attack_eval.cc.o"
+  "CMakeFiles/ftl_privacy.dir/attack_eval.cc.o.d"
+  "CMakeFiles/ftl_privacy.dir/defenses.cc.o"
+  "CMakeFiles/ftl_privacy.dir/defenses.cc.o.d"
+  "libftl_privacy.a"
+  "libftl_privacy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftl_privacy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/observation.cc" "src/sim/CMakeFiles/ftl_sim.dir/observation.cc.o" "gcc" "src/sim/CMakeFiles/ftl_sim.dir/observation.cc.o.d"
+  "/root/repo/src/sim/path.cc" "src/sim/CMakeFiles/ftl_sim.dir/path.cc.o" "gcc" "src/sim/CMakeFiles/ftl_sim.dir/path.cc.o.d"
+  "/root/repo/src/sim/population_sim.cc" "src/sim/CMakeFiles/ftl_sim.dir/population_sim.cc.o" "gcc" "src/sim/CMakeFiles/ftl_sim.dir/population_sim.cc.o.d"
+  "/root/repo/src/sim/scenario.cc" "src/sim/CMakeFiles/ftl_sim.dir/scenario.cc.o" "gcc" "src/sim/CMakeFiles/ftl_sim.dir/scenario.cc.o.d"
+  "/root/repo/src/sim/taxi_sim.cc" "src/sim/CMakeFiles/ftl_sim.dir/taxi_sim.cc.o" "gcc" "src/sim/CMakeFiles/ftl_sim.dir/taxi_sim.cc.o.d"
+  "/root/repo/src/sim/transit_sim.cc" "src/sim/CMakeFiles/ftl_sim.dir/transit_sim.cc.o" "gcc" "src/sim/CMakeFiles/ftl_sim.dir/transit_sim.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/traj/CMakeFiles/ftl_traj.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/ftl_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ftl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftl_sim.dir/observation.cc.o"
+  "CMakeFiles/ftl_sim.dir/observation.cc.o.d"
+  "CMakeFiles/ftl_sim.dir/path.cc.o"
+  "CMakeFiles/ftl_sim.dir/path.cc.o.d"
+  "CMakeFiles/ftl_sim.dir/population_sim.cc.o"
+  "CMakeFiles/ftl_sim.dir/population_sim.cc.o.d"
+  "CMakeFiles/ftl_sim.dir/scenario.cc.o"
+  "CMakeFiles/ftl_sim.dir/scenario.cc.o.d"
+  "CMakeFiles/ftl_sim.dir/taxi_sim.cc.o"
+  "CMakeFiles/ftl_sim.dir/taxi_sim.cc.o.d"
+  "CMakeFiles/ftl_sim.dir/transit_sim.cc.o"
+  "CMakeFiles/ftl_sim.dir/transit_sim.cc.o.d"
+  "libftl_sim.a"
+  "libftl_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftl_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftl_stats.dir/descriptive.cc.o"
+  "CMakeFiles/ftl_stats.dir/descriptive.cc.o.d"
+  "CMakeFiles/ftl_stats.dir/distributions.cc.o"
+  "CMakeFiles/ftl_stats.dir/distributions.cc.o.d"
+  "CMakeFiles/ftl_stats.dir/goodness_of_fit.cc.o"
+  "CMakeFiles/ftl_stats.dir/goodness_of_fit.cc.o.d"
+  "CMakeFiles/ftl_stats.dir/poisson_binomial.cc.o"
+  "CMakeFiles/ftl_stats.dir/poisson_binomial.cc.o.d"
+  "libftl_stats.a"
+  "libftl_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftl_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/traj/alignment.cc" "src/traj/CMakeFiles/ftl_traj.dir/alignment.cc.o" "gcc" "src/traj/CMakeFiles/ftl_traj.dir/alignment.cc.o.d"
+  "/root/repo/src/traj/database.cc" "src/traj/CMakeFiles/ftl_traj.dir/database.cc.o" "gcc" "src/traj/CMakeFiles/ftl_traj.dir/database.cc.o.d"
+  "/root/repo/src/traj/record.cc" "src/traj/CMakeFiles/ftl_traj.dir/record.cc.o" "gcc" "src/traj/CMakeFiles/ftl_traj.dir/record.cc.o.d"
+  "/root/repo/src/traj/resample.cc" "src/traj/CMakeFiles/ftl_traj.dir/resample.cc.o" "gcc" "src/traj/CMakeFiles/ftl_traj.dir/resample.cc.o.d"
+  "/root/repo/src/traj/summary.cc" "src/traj/CMakeFiles/ftl_traj.dir/summary.cc.o" "gcc" "src/traj/CMakeFiles/ftl_traj.dir/summary.cc.o.d"
+  "/root/repo/src/traj/trajectory.cc" "src/traj/CMakeFiles/ftl_traj.dir/trajectory.cc.o" "gcc" "src/traj/CMakeFiles/ftl_traj.dir/trajectory.cc.o.d"
+  "/root/repo/src/traj/transforms.cc" "src/traj/CMakeFiles/ftl_traj.dir/transforms.cc.o" "gcc" "src/traj/CMakeFiles/ftl_traj.dir/transforms.cc.o.d"
+  "/root/repo/src/traj/validation.cc" "src/traj/CMakeFiles/ftl_traj.dir/validation.cc.o" "gcc" "src/traj/CMakeFiles/ftl_traj.dir/validation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geo/CMakeFiles/ftl_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ftl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftl_traj.dir/alignment.cc.o"
+  "CMakeFiles/ftl_traj.dir/alignment.cc.o.d"
+  "CMakeFiles/ftl_traj.dir/database.cc.o"
+  "CMakeFiles/ftl_traj.dir/database.cc.o.d"
+  "CMakeFiles/ftl_traj.dir/record.cc.o"
+  "CMakeFiles/ftl_traj.dir/record.cc.o.d"
+  "CMakeFiles/ftl_traj.dir/resample.cc.o"
+  "CMakeFiles/ftl_traj.dir/resample.cc.o.d"
+  "CMakeFiles/ftl_traj.dir/summary.cc.o"
+  "CMakeFiles/ftl_traj.dir/summary.cc.o.d"
+  "CMakeFiles/ftl_traj.dir/trajectory.cc.o"
+  "CMakeFiles/ftl_traj.dir/trajectory.cc.o.d"
+  "CMakeFiles/ftl_traj.dir/transforms.cc.o"
+  "CMakeFiles/ftl_traj.dir/transforms.cc.o.d"
+  "CMakeFiles/ftl_traj.dir/validation.cc.o"
+  "CMakeFiles/ftl_traj.dir/validation.cc.o.d"
+  "libftl_traj.a"
+  "libftl_traj.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftl_traj.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftl_util.dir/rng.cc.o"
+  "CMakeFiles/ftl_util.dir/rng.cc.o.d"
+  "CMakeFiles/ftl_util.dir/status.cc.o"
+  "CMakeFiles/ftl_util.dir/status.cc.o.d"
+  "CMakeFiles/ftl_util.dir/string_util.cc.o"
+  "CMakeFiles/ftl_util.dir/string_util.cc.o.d"
+  "CMakeFiles/ftl_util.dir/thread_pool.cc.o"
+  "CMakeFiles/ftl_util.dir/thread_pool.cc.o.d"
+  "libftl_util.a"
+  "libftl_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftl_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

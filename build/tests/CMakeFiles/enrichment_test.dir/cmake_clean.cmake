@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enrichment_test.dir/enrichment_test.cc.o"
+  "CMakeFiles/enrichment_test.dir/enrichment_test.cc.o.d"
+  "enrichment_test"
+  "enrichment_test.pdb"
+  "enrichment_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enrichment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/identity_graph_test.dir/identity_graph_test.cc.o"
+  "CMakeFiles/identity_graph_test.dir/identity_graph_test.cc.o.d"
+  "identity_graph_test"
+  "identity_graph_test.pdb"
+  "identity_graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/identity_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transit_sim_test.dir/transit_sim_test.cc.o"
+  "CMakeFiles/transit_sim_test.dir/transit_sim_test.cc.o.d"
+  "transit_sim_test"
+  "transit_sim_test.pdb"
+  "transit_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transit_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

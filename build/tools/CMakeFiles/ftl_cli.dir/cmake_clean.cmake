@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftl_cli.dir/main.cc.o"
+  "CMakeFiles/ftl_cli.dir/main.cc.o.d"
+  "ftl"
+  "ftl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftl_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftl_cli_lib.dir/cli.cc.o"
+  "CMakeFiles/ftl_cli_lib.dir/cli.cc.o.d"
+  "libftl_cli_lib.a"
+  "libftl_cli_lib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftl_cli_lib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
