@@ -1,5 +1,8 @@
 #include "core/alpha_filter.h"
 
+#include <algorithm>
+#include <cmath>
+
 #include "stats/poisson_binomial.h"
 
 namespace ftl::core {
@@ -24,6 +27,64 @@ AlphaFilterDecision AlphaFilter::Classify(
   stats::PoissonBinomial accept_dist(
       evidence.ProbsUnder(models_.acceptance));
   d.p2 = accept_dist.LowerTailPValue(d.k_observed);
+  d.accepted = d.p2 < params_.alpha2;
+  return d;
+}
+
+AlphaFilterDecision AlphaFilter::Classify(
+    const BucketEvidence& evidence, stats::GroupedPbWorkspace* ws) const {
+  AlphaFilterDecision d;
+  d.n_segments = static_cast<size_t>(evidence.informative);
+  d.k_observed = evidence.k_observed;
+
+  // Phase 1: α1-rejection against the rejection model.
+  if (params_.fast_reject && evidence.informative > 0) {
+    // Mean under the rejection model, read straight off the bucket
+    // histogram — the fast-reject path never materializes trial groups.
+    // Unconditional multiply-add: empty units contribute 0, and the
+    // branchless loop vectorizes (a skip test on ~half-occupied
+    // histograms would mispredict constantly). Units past the model
+    // horizon have probability 0, matching GroupsUnder.
+    const std::vector<double>& probs = models_.rejection.probs();
+    double mu = 0.0;
+    const size_t h = std::min(evidence.horizon_units(), probs.size());
+    for (size_t u = 0; u < h; ++u) {
+      mu += static_cast<double>(evidence.count[u]) * probs[u];
+    }
+    double nd = static_cast<double>(evidence.informative);
+    double kd = static_cast<double>(d.k_observed);
+    if (kd > mu && mu > 0.0) {
+      // Chernoff bound in KL form (Hoeffding 1963, Theorem 1, which
+      // covers heterogeneous Bernoulli sums):
+      //   Pr(K >= k) <= exp(-n KL(k/n || mu/n)),
+      // at least as tight as the quadratic exp(-2 (k - mu)^2 / n) by
+      // Pinsker's inequality, and far tighter when mu/n is small — the
+      // typical rejection-model regime, where it discharges most
+      // non-matching candidates without touching the pmf.
+      double a = kd / nd;
+      double b = mu / nd;
+      double kl = a * std::log(a / b);
+      if (a < 1.0) kl += (1.0 - a) * std::log((1.0 - a) / (1.0 - b));
+      double bound = std::exp(-nd * kl);
+      if (bound < params_.alpha1) {
+        // p1 <= bound < alpha1: same rejection as the exact tail.
+        d.p1 = bound;
+        return d;
+      }
+    }
+  }
+  evidence.GroupsUnder(models_.rejection, &ws->groups);
+  stats::GroupedTails rej = stats::GroupedPoissonBinomialTails(
+      ws->groups, d.k_observed, params_.tail, ws);
+  d.p1 = rej.upper;
+  d.survived_rejection = d.p1 >= params_.alpha1;
+  if (!d.survived_rejection) return d;
+
+  // Phase 2: α2-acceptance against the acceptance model.
+  evidence.GroupsUnder(models_.acceptance, &ws->groups);
+  stats::GroupedTails acc = stats::GroupedPoissonBinomialTails(
+      ws->groups, d.k_observed, params_.tail, ws);
+  d.p2 = acc.lower;
   d.accepted = d.p2 < params_.alpha2;
   return d;
 }

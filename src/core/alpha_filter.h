@@ -18,6 +18,7 @@
 #include "core/compatibility_model.h"
 #include "core/evidence.h"
 #include "core/model_builders.h"
+#include "stats/grouped_poisson_binomial.h"
 
 namespace ftl::core {
 
@@ -25,6 +26,16 @@ namespace ftl::core {
 struct AlphaFilterParams {
   double alpha1 = 0.01;  ///< rejection-phase significance
   double alpha2 = 0.05;  ///< acceptance-phase significance
+
+  /// Exact-vs-RNA switch for the grouped-kernel scoring path.
+  stats::GroupedTailParams tail;
+
+  /// When true, the grouped-kernel path may reject a candidate from the
+  /// O(1) Chernoff–KL bound alone: if exp(-n KL(k/n || mu/n)) < alpha1
+  /// then p1 <= bound < alpha1, so the rejection decision is identical
+  /// to the exact test and the pmf is never built. The reported p1 of
+  /// such (discarded) candidates is the bound, not the exact tail.
+  bool fast_reject = true;
 };
 
 /// Classification outcome for one (P, Q) pair.
@@ -49,6 +60,14 @@ class AlphaFilter {
   /// Scores pre-collected evidence. The evidence must have been
   /// extracted with the same discretization as the models.
   AlphaFilterDecision Classify(const MutualSegmentEvidence& evidence) const;
+
+  /// Scores bucket-compacted evidence with the grouped kernel, reusing
+  /// `ws` buffers (no allocation after warm-up). Decisions are
+  /// identical to the per-segment overload; p-values agree to ~1e-13
+  /// on the exact path (see AlphaFilterParams::fast_reject and ::tail
+  /// for the two sanctioned deviations).
+  AlphaFilterDecision Classify(const BucketEvidence& evidence,
+                               stats::GroupedPbWorkspace* ws) const;
 
   /// Convenience: collects evidence for (p, q) and classifies.
   AlphaFilterDecision Classify(const traj::Trajectory& p,

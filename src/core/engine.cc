@@ -1,8 +1,9 @@
 #include "core/engine.h"
 
 #include <algorithm>
+#include <cmath>
 
-#include "stats/poisson_binomial.h"
+#include "stats/grouped_poisson_binomial.h"
 #include "traj/alignment.h"
 #include "util/thread_pool.h"
 
@@ -34,35 +35,42 @@ EvidenceOptions FtlEngine::evidence_options() const {
 
 bool FtlEngine::ScorePair(const traj::Trajectory& query,
                           const traj::Trajectory& cand, Matcher matcher,
-                          MatchCandidate* out) const {
-  MutualSegmentEvidence ev = CollectEvidence(query, cand, evidence_options());
-  out->k_observed = ev.ObservedIncompatible();
-  out->n_segments = ev.size();
+                          MatchCandidate* out, ScoreScratch* scratch) const {
+  CollectEvidence(query, cand, evidence_options(), &scratch->evidence);
+  const BucketEvidence& ev = scratch->evidence;
+  stats::GroupedPbWorkspace& ws = scratch->pb;
+  out->k_observed = ev.k_observed;
+  out->n_segments = static_cast<size_t>(ev.informative);
 
-  // p-values (quadratic Poisson-Binomial tails) are computed lazily:
-  // the rejection-phase p1 always gates the alpha filter, but p2 — and,
-  // for Naive-Bayes, both p-values — are only needed for candidates that
-  // enter Q_P, where they drive the Eq. 2 ranking (paper Section V
-  // applies the same score to NB candidates). This is what makes NB the
-  // faster matcher (paper Figure 7): its per-pair cost is a linear-time
-  // likelihood, not a quadratic tail evaluation.
-  auto fill_pvalues = [this, &ev, out]() {
-    stats::PoissonBinomial reject_dist(ev.ProbsUnder(models_.rejection));
-    out->p1 = reject_dist.UpperTailPValue(out->k_observed);
-    stats::PoissonBinomial accept_dist(ev.ProbsUnder(models_.acceptance));
-    out->p2 = accept_dist.LowerTailPValue(out->k_observed);
+  // Grouped Poisson-Binomial tails are computed lazily: the
+  // rejection-phase p1 always gates the alpha filter, but p2 — and,
+  // for Naive-Bayes, both p-values — are only needed for candidates
+  // that enter Q_P, where they drive the Eq. 2 ranking (paper
+  // Section V applies the same score to NB candidates).
+  auto fill_pvalues = [this, &ev, &ws, out]() {
+    ev.GroupsUnder(models_.rejection, &ws.groups);
+    out->p1 = stats::GroupedPoissonBinomialTails(
+                  ws.groups, out->k_observed, options_.alpha.tail, &ws)
+                  .upper;
+    ev.GroupsUnder(models_.acceptance, &ws.groups);
+    out->p2 = stats::GroupedPoissonBinomialTails(
+                  ws.groups, out->k_observed, options_.alpha.tail, &ws)
+                  .lower;
     out->score = out->p1 * (1.0 - out->p2);
   };
 
   switch (matcher) {
     case Matcher::kAlphaFilter: {
-      stats::PoissonBinomial reject_dist(ev.ProbsUnder(models_.rejection));
-      out->p1 = reject_dist.UpperTailPValue(out->k_observed);
-      if (out->p1 < options_.alpha.alpha1) return false;
-      stats::PoissonBinomial accept_dist(ev.ProbsUnder(models_.acceptance));
-      out->p2 = accept_dist.LowerTailPValue(out->k_observed);
-      out->score = out->p1 * (1.0 - out->p2);
-      return out->p2 < options_.alpha.alpha2;
+      // Single implementation of the two-phase test (Chernoff–KL
+      // fast-reject, truncated exact tails, lazy p2) lives in
+      // AlphaFilter; the filter is a thin view over the models, so
+      // constructing it here is free.
+      AlphaFilter filter(models_, options_.alpha);
+      AlphaFilterDecision decision = filter.Classify(ev, &ws);
+      out->p1 = decision.p1;
+      out->p2 = decision.p2;
+      out->score = decision.Score();
+      return decision.accepted;
     }
     case Matcher::kNaiveBayes: {
       NaiveBayesMatcher nb(models_, options_.naive_bayes);
@@ -76,27 +84,73 @@ bool FtlEngine::ScorePair(const traj::Trajectory& query,
   return false;
 }
 
-Result<QueryResult> FtlEngine::Query(const traj::Trajectory& query,
-                                     const traj::TrajectoryDatabase& db,
-                                     Matcher matcher) const {
-  if (!trained_) {
-    return Status::FailedPrecondition("FtlEngine::Query before Train");
-  }
+Result<QueryResult> FtlEngine::QueryImpl(
+    const traj::Trajectory& query, const traj::TrajectoryDatabase& db,
+    const std::vector<size_t>* candidate_indices, Matcher matcher,
+    size_t num_threads, ScoreScratch* scratch) const {
   if (db.empty()) {
     return Status::InvalidArgument("candidate database is empty");
   }
-  QueryResult result;
-  for (size_t i = 0; i < db.size(); ++i) {
-    const traj::Trajectory& cand = db[i];
-    if (!options_.evaluate_non_overlapping &&
-        traj::TimeSpanOverlapSeconds(query, cand) == 0) {
-      continue;
+  size_t m = candidate_indices ? candidate_indices->size() : db.size();
+  if (candidate_indices) {
+    for (size_t i : *candidate_indices) {
+      if (i >= db.size()) {
+        return Status::OutOfRange("candidate index " + std::to_string(i) +
+                                  " out of range for database of size " +
+                                  std::to_string(db.size()));
+      }
     }
-    MatchCandidate mc;
-    mc.index = i;
-    if (ScorePair(query, cand, matcher, &mc)) {
-      mc.label = cand.label();
-      result.candidates.push_back(std::move(mc));
+  }
+  auto candidate_at = [&](size_t i) {
+    return candidate_indices ? (*candidate_indices)[i] : i;
+  };
+  // The non-overlap pre-filter only applies when scoring the whole
+  // database; an explicit candidate list is always evaluated.
+  auto skip = [&](const traj::Trajectory& cand) {
+    return candidate_indices == nullptr &&
+           !options_.evaluate_non_overlapping &&
+           traj::TimeSpanOverlapSeconds(query, cand) == 0;
+  };
+
+  QueryResult result;
+  size_t workers = ParallelWorkerCount(m, num_threads);
+  if (workers <= 1) {
+    ScoreScratch local;
+    ScoreScratch* s = scratch != nullptr ? scratch : &local;
+    for (size_t i = 0; i < m; ++i) {
+      size_t idx = candidate_at(i);
+      const traj::Trajectory& cand = db[idx];
+      if (skip(cand)) continue;
+      MatchCandidate mc;
+      mc.index = idx;
+      if (ScorePair(query, cand, matcher, &mc, s)) {
+        mc.label = cand.label();
+        result.candidates.push_back(std::move(mc));
+      }
+    }
+  } else {
+    // Score into a per-candidate staging area, then collect accepted
+    // candidates in index order — byte-identical to the serial loop,
+    // regardless of chunk interleaving.
+    std::vector<MatchCandidate> staged(m);
+    std::vector<uint8_t> accepted(m, 0);
+    std::vector<ScoreScratch> scratches(workers);
+    ParallelForWorkers(
+        m, num_threads, [&](size_t worker, size_t begin, size_t end) {
+          ScoreScratch& s = scratches[worker];
+          for (size_t i = begin; i < end; ++i) {
+            size_t idx = candidate_at(i);
+            const traj::Trajectory& cand = db[idx];
+            if (skip(cand)) continue;
+            staged[i].index = idx;
+            accepted[i] =
+                ScorePair(query, cand, matcher, &staged[i], &s) ? 1 : 0;
+          }
+        });
+    for (size_t i = 0; i < m; ++i) {
+      if (!accepted[i]) continue;
+      staged[i].label = db[staged[i].index].label();
+      result.candidates.push_back(std::move(staged[i]));
     }
   }
   std::stable_sort(result.candidates.begin(), result.candidates.end(),
@@ -108,6 +162,22 @@ Result<QueryResult> FtlEngine::Query(const traj::Trajectory& query,
   return result;
 }
 
+Result<QueryResult> FtlEngine::Query(const traj::Trajectory& query,
+                                     const traj::TrajectoryDatabase& db,
+                                     Matcher matcher) const {
+  return Query(query, db, matcher, options_.num_threads);
+}
+
+Result<QueryResult> FtlEngine::Query(const traj::Trajectory& query,
+                                     const traj::TrajectoryDatabase& db,
+                                     Matcher matcher,
+                                     size_t num_threads) const {
+  if (!trained_) {
+    return Status::FailedPrecondition("FtlEngine::Query before Train");
+  }
+  return QueryImpl(query, db, nullptr, matcher, num_threads, nullptr);
+}
+
 Result<QueryResult> FtlEngine::QueryWithCandidates(
     const traj::Trajectory& query, const traj::TrajectoryDatabase& db,
     const std::vector<size_t>& candidate_indices, Matcher matcher) const {
@@ -115,30 +185,8 @@ Result<QueryResult> FtlEngine::QueryWithCandidates(
     return Status::FailedPrecondition(
         "FtlEngine::QueryWithCandidates before Train");
   }
-  if (db.empty()) {
-    return Status::InvalidArgument("candidate database is empty");
-  }
-  QueryResult result;
-  for (size_t i : candidate_indices) {
-    if (i >= db.size()) {
-      return Status::OutOfRange("candidate index " + std::to_string(i) +
-                                " out of range for database of size " +
-                                std::to_string(db.size()));
-    }
-    MatchCandidate mc;
-    mc.index = i;
-    if (ScorePair(query, db[i], matcher, &mc)) {
-      mc.label = db[i].label();
-      result.candidates.push_back(std::move(mc));
-    }
-  }
-  std::stable_sort(result.candidates.begin(), result.candidates.end(),
-                   [](const MatchCandidate& a, const MatchCandidate& b) {
-                     return a.score > b.score;
-                   });
-  result.selectiveness = static_cast<double>(result.candidates.size()) /
-                         static_cast<double>(db.size());
-  return result;
+  return QueryImpl(query, db, &candidate_indices, matcher,
+                   options_.num_threads, nullptr);
 }
 
 Result<std::vector<QueryResult>> FtlEngine::BatchQuery(
@@ -149,16 +197,47 @@ Result<std::vector<QueryResult>> FtlEngine::BatchQuery(
   }
   std::vector<QueryResult> results(queries.size());
   std::vector<Status> statuses(queries.size());
-  ParallelFor(queries.size(), options_.num_threads, [&](size_t i) {
-    auto r = Query(queries[i], db, matcher);
-    if (r.ok()) {
-      results[i] = std::move(r).value();
-    } else {
-      statuses[i] = r.status();
+  // Parallelism is spent across queries; each inner query runs serial
+  // on a per-worker scratch that persists across the whole batch.
+  size_t workers = ParallelWorkerCount(queries.size(), options_.num_threads);
+  std::vector<ScoreScratch> scratches(workers);
+  ParallelForWorkers(
+      queries.size(), options_.num_threads,
+      [&](size_t worker, size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          auto r = QueryImpl(queries[i], db, nullptr, matcher, 1,
+                             &scratches[worker]);
+          if (r.ok()) {
+            results[i] = std::move(r).value();
+          } else {
+            statuses[i] = r.status();
+          }
+        }
+      });
+  // Aggregate every failure instead of silently dropping all but the
+  // first: a batch over a mixed workload should report the full damage.
+  size_t failures = 0;
+  std::string detail;
+  StatusCode first_code = StatusCode::kInternal;
+  constexpr size_t kMaxDetailed = 8;
+  for (size_t i = 0; i < statuses.size(); ++i) {
+    if (statuses[i].ok()) continue;
+    if (failures == 0) first_code = statuses[i].code();
+    if (failures < kMaxDetailed) {
+      detail += "; query " + std::to_string(i) + ": " +
+                statuses[i].ToString();
     }
-  });
-  for (const Status& s : statuses) {
-    if (!s.ok()) return s;
+    ++failures;
+  }
+  if (failures > 0) {
+    std::string msg = "BatchQuery: " + std::to_string(failures) + " of " +
+                      std::to_string(queries.size()) + " queries failed" +
+                      detail;
+    if (failures > kMaxDetailed) {
+      msg += "; (" + std::to_string(failures - kMaxDetailed) +
+             " more not shown)";
+    }
+    return Status(first_code, std::move(msg));
   }
   return results;
 }

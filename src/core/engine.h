@@ -57,7 +57,9 @@ struct EngineOptions {
   /// ablation bench can measure the (small) effect of skipping them.
   bool evaluate_non_overlapping = true;
 
-  /// Worker threads for batch queries; 1 = serial.
+  /// Worker threads; 1 = serial. BatchQuery parallelizes across
+  /// queries; a single Query parallelizes across candidates (chunked,
+  /// with per-worker scratch — results are identical to serial).
   size_t num_threads = 1;
 };
 
@@ -93,6 +95,15 @@ class FtlEngine {
                             const traj::TrajectoryDatabase& db,
                             Matcher matcher) const;
 
+  /// Like Query, but with an explicit worker-thread override. Callers
+  /// that already parallelize at a coarser grain (BatchQuery across
+  /// queries, ShardedEngine across shards) pass 1 to keep the inner
+  /// loop serial instead of oversubscribing. Results are identical for
+  /// any thread count.
+  Result<QueryResult> Query(const traj::Trajectory& query,
+                            const traj::TrajectoryDatabase& db,
+                            Matcher matcher, size_t num_threads) const;
+
   /// Like Query, but only evaluates the candidates at `candidate_indices`
   /// (e.g. the survivors of a BlockingIndex). Selectiveness remains
   /// relative to the whole database.
@@ -112,10 +123,31 @@ class FtlEngine {
   EngineOptions* mutable_options() { return &options_; }
 
  private:
-  /// Scores one (query, candidate) pair; returns true when the candidate
-  /// should enter Q_P.
+  /// Per-thread scratch arena for the scoring hot path: evidence
+  /// buffers, trial groups and pmf workspaces are reused across pairs
+  /// instead of reallocated, so steady-state scoring is allocation
+  /// free. One instance per worker thread; never shared concurrently.
+  struct ScoreScratch {
+    BucketEvidence evidence;
+    stats::GroupedPbWorkspace pb;
+  };
+
+  /// Scores one (query, candidate) pair into `out` using `scratch`;
+  /// returns true when the candidate should enter Q_P.
   bool ScorePair(const traj::Trajectory& query, const traj::Trajectory& cand,
-                 Matcher matcher, MatchCandidate* out) const;
+                 Matcher matcher, MatchCandidate* out,
+                 ScoreScratch* scratch) const;
+
+  /// Shared implementation of the public query entry points.
+  /// `candidate_indices == nullptr` scores the whole database (and
+  /// applies the evaluate_non_overlapping pre-filter). `scratch` may
+  /// be null (a local one is used) and is only honored when
+  /// num_threads <= 1; parallel runs build one scratch per worker.
+  Result<QueryResult> QueryImpl(const traj::Trajectory& query,
+                                const traj::TrajectoryDatabase& db,
+                                const std::vector<size_t>* candidate_indices,
+                                Matcher matcher, size_t num_threads,
+                                ScoreScratch* scratch) const;
 
   EngineOptions options_;
   ModelPair models_;

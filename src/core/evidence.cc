@@ -1,5 +1,7 @@
 #include "core/evidence.h"
 
+#include <algorithm>
+
 #include "traj/alignment.h"
 
 namespace ftl::core {
@@ -24,7 +26,7 @@ MutualSegmentEvidence CollectEvidence(const traj::Trajectory& p,
                                       const traj::Trajectory& q,
                                       const EvidenceOptions& options) {
   MutualSegmentEvidence ev;
-  traj::ForEachMutualSegment(p, q, [&](const traj::Segment& s) {
+  traj::VisitMutualSegments(p, q, [&](const traj::Segment& s) {
     ++ev.total_mutual;
     int64_t dt = s.TimeLengthSeconds();
     int64_t unit =
@@ -38,6 +40,120 @@ MutualSegmentEvidence CollectEvidence(const traj::Trajectory& p,
     ev.incompatible.push_back(compatible ? 0 : 1);
   });
   return ev;
+}
+
+void BucketEvidence::Reset(size_t horizon_units) {
+  count.assign(horizon_units + 1, 0);  // last slot: beyond-horizon
+  incompatible.assign(horizon_units + 1, 0);
+  informative = 0;
+  k_observed = 0;
+  total_mutual = 0;
+  beyond_horizon_incompatible = 0;
+}
+
+void BucketEvidence::GroupsUnder(const CompatibilityModel& model,
+                                 std::vector<stats::TrialGroup>* out) const {
+  out->clear();
+  // Direct read of the model's bucket array; same semantics as
+  // IncompatProbByUnit (0 beyond the model horizon) without the
+  // per-unit call.
+  const std::vector<double>& probs = model.probs();
+  const size_t h = horizon_units();
+  for (size_t u = 0; u < h; ++u) {
+    if (count[u] == 0) continue;
+    double p = u < probs.size() ? probs[u] : 0.0;
+    out->push_back({p, static_cast<int64_t>(count[u])});
+  }
+}
+
+void CollectEvidence(const traj::Trajectory& p, const traj::Trajectory& q,
+                     const EvidenceOptions& options, BucketEvidence* out) {
+  out->Reset(static_cast<size_t>(options.horizon_units));
+  // Mutual segments are exactly the source alternations of the merged
+  // order, so instead of the record-by-record merge (one unpredictable
+  // branch per record) the loop below walks Q's records and, per Q
+  // record, skips the whole run of P records at or before it with a
+  // tight scan. Only run boundaries — at most two per Q record — do any
+  // segment work. Order and tie-breaking (P-first on equal timestamps)
+  // match traj::VisitSegments exactly.
+  const traj::Record* pr = p.records().data();
+  const traj::Record* qr = q.records().data();
+  const size_t np = p.records().size(), nq = q.records().size();
+  const int64_t tu = options.time_unit_seconds;
+  const int64_t half = tu / 2;
+  const int64_t horizon = options.horizon_units;
+  const double inv_tu = 1.0 / static_cast<double>(tu);
+  const double vmax = options.vmax_mps;
+  int32_t* cnt = out->count.data();
+  int32_t* inc = out->incompatible.data();
+  int64_t total_mutual = 0;
+  // Branch-free per segment: beyond-horizon units clamp into the
+  // overflow slot and the incompatibility bit is added arithmetically,
+  // so the only data-dependent branches left are the (almost never
+  // taken) one-off corrections of the reciprocal-multiply division.
+  auto mutual = [&](const traj::Record& a, const traj::Record& b) {
+    ++total_mutual;
+    int64_t dt = b.t - a.t;  // merge order => non-negative
+    double dx = b.location.x - a.location.x;
+    double dy = b.location.y - a.location.y;
+    double limit = vmax * static_cast<double>(dt);
+    int32_t incompat = dx * dx + dy * dy > limit * limit ? 1 : 0;
+    // unit = (dt + half) / tu without the integer divide: multiply by
+    // the reciprocal, then fix the possible one-off from float rounding.
+    int64_t x = dt + half;
+    int64_t unit = static_cast<int64_t>(static_cast<double>(x) * inv_tu);
+    int64_t r = x - unit * tu;
+    unit += (r >= tu) - (r < 0);
+    size_t u = static_cast<size_t>(std::min(unit, horizon));
+    ++cnt[u];
+    inc[u] += incompat;
+  };
+  size_t i = 0;
+  for (size_t j = 0; j < nq; ++j) {
+    const int64_t tj = qr[j].t;
+    if (i < np && pr[i].t <= tj) {
+      // A run of P records enters the merge before qr[j]. Its first
+      // record closes a Q->P alternation (except before the first Q
+      // record, where it has no Q predecessor); interior records form
+      // only self-segments; its last record opens the P->Q alternation
+      // closed by qr[j].
+      if (j > 0) mutual(qr[j - 1], pr[i]);
+      while (i + 1 < np && pr[i + 1].t <= tj) ++i;
+      mutual(pr[i], qr[j]);
+      ++i;
+    }
+  }
+  // P records after the last Q record: only the first closes an
+  // alternation (with the last Q record); the rest are self-segments.
+  if (i < np && nq > 0) mutual(qr[nq - 1], pr[i]);
+  // Fold the histogram into the aggregate counters in one pass.
+  int64_t informative = 0, k = 0;
+  const size_t h = static_cast<size_t>(horizon);
+  for (size_t u = 0; u < h; ++u) {
+    informative += cnt[u];
+    k += inc[u];
+  }
+  out->total_mutual = total_mutual;
+  out->informative = informative;
+  out->k_observed = k;
+  out->beyond_horizon_incompatible = inc[h];
+}
+
+void CompactEvidence(const MutualSegmentEvidence& ev, size_t horizon_units,
+                     BucketEvidence* out) {
+  out->Reset(horizon_units);
+  out->total_mutual = ev.total_mutual;
+  out->beyond_horizon_incompatible = ev.beyond_horizon_incompatible;
+  for (size_t i = 0; i < ev.units.size(); ++i) {
+    size_t u = static_cast<size_t>(ev.units[i]);
+    if (u >= horizon_units) continue;  // defensive: stale horizon
+    ++out->count[u];
+    ++out->informative;
+    if (ev.incompatible[i]) {
+      ++out->incompatible[u];
+      ++out->k_observed;
+    }
+  }
 }
 
 }  // namespace ftl::core

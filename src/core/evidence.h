@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/compatibility_model.h"
+#include "stats/grouped_poisson_binomial.h"
 #include "traj/trajectory.h"
 
 namespace ftl::core {
@@ -61,6 +62,63 @@ struct EvidenceOptions {
 MutualSegmentEvidence CollectEvidence(const traj::Trajectory& p,
                                       const traj::Trajectory& q,
                                       const EvidenceOptions& options);
+
+/// Bucket-compacted per-pair evidence: the same observations as
+/// MutualSegmentEvidence, folded into a per-time-unit histogram. Since
+/// a CompatibilityModel assigns one probability per unit, this loses
+/// nothing either classifier needs while shrinking per-pair state from
+/// O(n) to O(horizon_units) — the representation the query hot path
+/// scores from.
+struct BucketEvidence {
+  /// Informative mutual segments per unit; size = horizon_units + 1.
+  /// The last slot is an overflow bucket: beyond-horizon mutual
+  /// segments land there unconditionally, which keeps the collection
+  /// loop branch-free (no per-segment horizon test). Consumers iterate
+  /// units [0, horizon_units()).
+  std::vector<int32_t> count;
+
+  /// Observed incompatible segments per unit; parallel to `count`
+  /// (including the overflow slot).
+  std::vector<int32_t> incompatible;
+
+  /// Number of informative units (excludes the overflow slot).
+  size_t horizon_units() const {
+    return count.empty() ? 0 : count.size() - 1;
+  }
+
+  /// Sum of `count` (the paper's n).
+  int64_t informative = 0;
+
+  /// Sum of `incompatible` (the test statistic K).
+  int64_t k_observed = 0;
+
+  /// Total mutual segments including beyond-horizon ones.
+  int64_t total_mutual = 0;
+
+  /// Beyond-horizon segments observed incompatible (diagnostics; see
+  /// MutualSegmentEvidence).
+  int64_t beyond_horizon_incompatible = 0;
+
+  /// Zero-fills for a fresh pair, reusing buffer capacity.
+  void Reset(size_t horizon_units);
+
+  /// Writes the Poisson-Binomial trial groups of this evidence under
+  /// `model` into `out` (cleared first): one group per occupied unit,
+  /// probability looked up once per unit instead of once per segment.
+  void GroupsUnder(const CompatibilityModel& model,
+                   std::vector<stats::TrialGroup>* out) const;
+};
+
+/// Streams the alignment of (p, q) and collects bucket-compacted
+/// evidence into `out`, reusing its buffers. The allocation-free
+/// counterpart of CollectEvidence for the query hot path.
+void CollectEvidence(const traj::Trajectory& p, const traj::Trajectory& q,
+                     const EvidenceOptions& options, BucketEvidence* out);
+
+/// Folds per-segment evidence into the bucket histogram (used by the
+/// streaming linker, whose pair state accumulates incrementally).
+void CompactEvidence(const MutualSegmentEvidence& ev, size_t horizon_units,
+                     BucketEvidence* out);
 
 }  // namespace ftl::core
 

@@ -143,7 +143,7 @@ void AccumulateDifferentPersonPairs(const traj::TrajectoryDatabase& db,
         db[i].owner() == db[j].owner()) {
       continue;
     }
-    traj::ForEachMutualSegment(
+    traj::VisitMutualSegments(
         db[i], db[j], [acc](const traj::Segment& s) {
           acc->AddSegment(s.first, s.second);
         });

@@ -22,10 +22,39 @@ double NaiveBayesMatcher::LogLikelihood(
   return ll;
 }
 
+double NaiveBayesMatcher::LogLikelihood(
+    const BucketEvidence& evidence, const CompatibilityModel& model) const {
+  double ll = 0.0;
+  double floor = params_.prob_floor;
+  for (size_t u = 0; u < evidence.horizon_units(); ++u) {
+    int32_t n_u = evidence.count[u];
+    if (n_u == 0) continue;
+    double s = model.IncompatProbByUnit(static_cast<int64_t>(u));
+    s = std::min(1.0 - floor, std::max(floor, s));
+    int32_t inc = evidence.incompatible[u];
+    ll += static_cast<double>(inc) * std::log(s) +
+          static_cast<double>(n_u - inc) * std::log(1.0 - s);
+  }
+  return ll;
+}
+
 NaiveBayesDecision NaiveBayesMatcher::Classify(
     const MutualSegmentEvidence& evidence) const {
   NaiveBayesDecision d;
   d.n_segments = evidence.size();
+  double phi_r = std::min(1.0 - 1e-12, std::max(1e-12, params_.phi_r));
+  d.log_post_same =
+      std::log(phi_r) + LogLikelihood(evidence, models_.rejection);
+  d.log_post_diff =
+      std::log(1.0 - phi_r) + LogLikelihood(evidence, models_.acceptance);
+  d.same_person = d.log_post_same >= d.log_post_diff;
+  return d;
+}
+
+NaiveBayesDecision NaiveBayesMatcher::Classify(
+    const BucketEvidence& evidence) const {
+  NaiveBayesDecision d;
+  d.n_segments = static_cast<size_t>(evidence.informative);
   double phi_r = std::min(1.0 - 1e-12, std::max(1e-12, params_.phi_r));
   d.log_post_same =
       std::log(phi_r) + LogLikelihood(evidence, models_.rejection);

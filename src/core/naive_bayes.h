@@ -48,6 +48,11 @@ class NaiveBayesMatcher {
   /// Scores pre-collected evidence.
   NaiveBayesDecision Classify(const MutualSegmentEvidence& evidence) const;
 
+  /// Scores bucket-compacted evidence: the per-segment likelihood
+  /// product folds to one log/exp pair per occupied bucket, O(H)
+  /// instead of O(n).
+  NaiveBayesDecision Classify(const BucketEvidence& evidence) const;
+
   /// Convenience: collects evidence for (p, q) and classifies.
   NaiveBayesDecision Classify(const traj::Trajectory& p,
                               const traj::Trajectory& q,
@@ -57,6 +62,8 @@ class NaiveBayesMatcher {
 
  private:
   double LogLikelihood(const MutualSegmentEvidence& evidence,
+                       const CompatibilityModel& model) const;
+  double LogLikelihood(const BucketEvidence& evidence,
                        const CompatibilityModel& model) const;
 
   const ModelPair& models_;

@@ -38,9 +38,11 @@ Result<QueryResult> ShardedEngine::Query(const traj::Trajectory& query,
   for (size_t s = 0; s < shards_.size(); ++s) {
     shard_results.emplace_back(QueryResult{});
   }
-  // Scatter: each shard is an independent worker.
+  // Scatter: each shard is an independent worker. Inner queries run
+  // serial (explicit 1-thread override) — parallelism is already spent
+  // at the shard grain, exactly as separate machines would.
   ParallelFor(shards_.size(), options_.engine.num_threads, [&](size_t s) {
-    shard_results[s] = engine_.Query(query, shards_[s].db, matcher);
+    shard_results[s] = engine_.Query(query, shards_[s].db, matcher, 1);
   });
   // Gather: remap to original indices, merge, re-rank.
   QueryResult merged;

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "stats/poisson_binomial.h"
+#include "stats/grouped_poisson_binomial.h"
 
 namespace ftl::core {
 
@@ -95,17 +95,31 @@ Status StreamingLinker::Ingest(StreamSide side, const std::string& label,
 }
 
 PairBelief StreamingLinker::MakeBelief(const WatchState& watch,
-                                       size_t cand_idx) const {
+                                       size_t cand_idx,
+                                       BeliefScratch* scratch) const {
   const PairState& pair = watch.pairs[cand_idx];
   PairBelief b;
   b.watch_label = watch.label;
   b.candidate_label = candidate_labels_[cand_idx];
   b.informative_segments = pair.evidence.size();
   b.incompatible = pair.evidence.ObservedIncompatible();
-  stats::PoissonBinomial rej(pair.evidence.ProbsUnder(models_.rejection));
-  b.p1 = rej.UpperTailPValue(b.incompatible);
-  stats::PoissonBinomial acc(pair.evidence.ProbsUnder(models_.acceptance));
-  b.p2 = acc.LowerTailPValue(b.incompatible);
+  // Compact the accumulated per-segment evidence and evaluate both
+  // tails with the grouped kernel: O(n + convolution) instead of two
+  // O(n^2) per-trial DPs, with scratch reused across a ranking pass.
+  CompactEvidence(pair.evidence,
+                  static_cast<size_t>(options_.horizon_units),
+                  &scratch->buckets);
+  stats::GroupedTailParams tail;
+  scratch->buckets.GroupsUnder(models_.rejection, &scratch->pb.groups);
+  b.p1 = stats::GroupedPoissonBinomialTails(scratch->pb.groups,
+                                            b.incompatible, tail,
+                                            &scratch->pb)
+             .upper;
+  scratch->buckets.GroupsUnder(models_.acceptance, &scratch->pb.groups);
+  b.p2 = stats::GroupedPoissonBinomialTails(scratch->pb.groups,
+                                            b.incompatible, tail,
+                                            &scratch->pb)
+             .lower;
   b.score = b.p1 * (1.0 - b.p2);
   return b;
 }
@@ -121,7 +135,8 @@ Result<PairBelief> StreamingLinker::Belief(
   if (cit == candidate_index_.end()) {
     return Status::NotFound("unknown candidate '" + candidate_label + "'");
   }
-  return MakeBelief(watches_[wit->second], cit->second);
+  BeliefScratch scratch;
+  return MakeBelief(watches_[wit->second], cit->second, &scratch);
 }
 
 Result<std::vector<PairBelief>> StreamingLinker::RankedCandidates(
@@ -133,8 +148,9 @@ Result<std::vector<PairBelief>> StreamingLinker::RankedCandidates(
   const WatchState& ws = watches_[wit->second];
   std::vector<PairBelief> beliefs;
   beliefs.reserve(ws.pairs.size());
+  BeliefScratch scratch;
   for (size_t ci = 0; ci < ws.pairs.size(); ++ci) {
-    beliefs.push_back(MakeBelief(ws, ci));
+    beliefs.push_back(MakeBelief(ws, ci, &scratch));
   }
   std::stable_sort(beliefs.begin(), beliefs.end(),
                    [](const PairBelief& a, const PairBelief& b) {

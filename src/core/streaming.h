@@ -108,9 +108,16 @@ class StreamingLinker {
     bool has_watch_record = false;
   };
 
+  /// Reusable buffers for p-value evaluation across a ranking pass.
+  struct BeliefScratch {
+    BucketEvidence buckets;
+    stats::GroupedPbWorkspace pb;
+  };
+
   void TouchPair(PairState* pair, StreamSide side,
                  const traj::Record& record) const;
-  PairBelief MakeBelief(const WatchState& watch, size_t cand_idx) const;
+  PairBelief MakeBelief(const WatchState& watch, size_t cand_idx,
+                        BeliefScratch* scratch) const;
 
   ModelPair models_;
   EvidenceOptions options_;

@@ -6,7 +6,7 @@
 
 #include "core/evidence.h"
 #include "core/naive_bayes.h"
-#include "stats/poisson_binomial.h"
+#include "stats/grouped_poisson_binomial.h"
 #include "util/thread_pool.h"
 
 namespace ftl::eval {
@@ -14,14 +14,19 @@ namespace ftl::eval {
 namespace {
 
 /// Prior-free log-likelihood of the evidence bits under a model, with
-/// the same probability floor the NaiveBayesMatcher uses.
-double LogLikelihood(const core::MutualSegmentEvidence& ev,
+/// the same probability floor the NaiveBayesMatcher uses; folded over
+/// the bucket histogram.
+double LogLikelihood(const core::BucketEvidence& ev,
                      const core::CompatibilityModel& model, double floor) {
   double ll = 0.0;
-  for (size_t i = 0; i < ev.size(); ++i) {
-    double s = model.IncompatProbByUnit(ev.units[i]);
+  for (size_t u = 0; u < ev.horizon_units(); ++u) {
+    int32_t n_u = ev.count[u];
+    if (n_u == 0) continue;
+    double s = model.IncompatProbByUnit(static_cast<int64_t>(u));
     s = std::min(1.0 - floor, std::max(floor, s));
-    ll += ev.incompatible[i] ? std::log(s) : std::log(1.0 - s);
+    int32_t inc = ev.incompatible[u];
+    ll += static_cast<double>(inc) * std::log(s) +
+          static_cast<double>(n_u - inc) * std::log(1.0 - s);
   }
   return ll;
 }
@@ -64,24 +69,42 @@ std::vector<QueryScores> ComputePairScores(
   core::EvidenceOptions ev_opts = engine.evidence_options();
   double floor = engine.options().naive_bayes.prob_floor;
   std::vector<QueryScores> all(queries.size());
-  ParallelFor(queries.size(), engine.options().num_threads, [&](size_t qi) {
-    QueryScores& out = all[qi];
-    out.reserve(db.size());
-    for (size_t ci = 0; ci < db.size(); ++ci) {
-      core::MutualSegmentEvidence ev =
-          core::CollectEvidence(queries[qi], db[ci], ev_opts);
-      PairScore ps;
-      ps.candidate_index = ci;
-      int64_t k = ev.ObservedIncompatible();
-      stats::PoissonBinomial rej(ev.ProbsUnder(models.rejection));
-      ps.p1 = rej.UpperTailPValue(k);
-      stats::PoissonBinomial acc(ev.ProbsUnder(models.acceptance));
-      ps.p2 = acc.LowerTailPValue(k);
-      ps.log_lr = LogLikelihood(ev, models.rejection, floor) -
-                  LogLikelihood(ev, models.acceptance, floor);
-      out.push_back(ps);
-    }
-  });
+  // Per-worker scratch: bucket evidence and pmf workspaces are reused
+  // across every pair a worker scores.
+  struct SweepScratch {
+    core::BucketEvidence ev;
+    stats::GroupedPbWorkspace pb;
+  };
+  size_t workers =
+      ParallelWorkerCount(queries.size(), engine.options().num_threads);
+  std::vector<SweepScratch> scratches(workers);
+  stats::GroupedTailParams tail = engine.options().alpha.tail;
+  ParallelForWorkers(
+      queries.size(), engine.options().num_threads,
+      [&](size_t worker, size_t begin, size_t end) {
+        SweepScratch& s = scratches[worker];
+        for (size_t qi = begin; qi < end; ++qi) {
+          QueryScores& out = all[qi];
+          out.reserve(db.size());
+          for (size_t ci = 0; ci < db.size(); ++ci) {
+            core::CollectEvidence(queries[qi], db[ci], ev_opts, &s.ev);
+            PairScore ps;
+            ps.candidate_index = ci;
+            int64_t k = s.ev.k_observed;
+            s.ev.GroupsUnder(models.rejection, &s.pb.groups);
+            ps.p1 = stats::GroupedPoissonBinomialTails(s.pb.groups, k, tail,
+                                                       &s.pb)
+                        .upper;
+            s.ev.GroupsUnder(models.acceptance, &s.pb.groups);
+            ps.p2 = stats::GroupedPoissonBinomialTails(s.pb.groups, k, tail,
+                                                       &s.pb)
+                        .lower;
+            ps.log_lr = LogLikelihood(s.ev, models.rejection, floor) -
+                        LogLikelihood(s.ev, models.acceptance, floor);
+            out.push_back(ps);
+          }
+        }
+      });
   return all;
 }
 

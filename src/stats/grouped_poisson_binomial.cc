@@ -1,0 +1,323 @@
+#include "stats/grouped_poisson_binomial.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace ftl::stats {
+
+namespace {
+
+double Clamp01(double p) { return std::min(1.0, std::max(0.0, p)); }
+
+/// Sums mean, variance and the third absolute/central moments needed by
+/// the RNA and the Berry–Esseen guard in one O(H) pass.
+struct GroupMoments {
+  int64_t n = 0;
+  double mu = 0.0;
+  double var = 0.0;
+  double m3 = 0.0;   // sum p(1-p)(1-2p): standardized-skewness numerator
+  double psi = 0.0;  // sum p(1-p)(p^2 + (1-p)^2): Berry–Esseen numerator
+};
+
+GroupMoments ComputeMoments(const std::vector<TrialGroup>& groups) {
+  GroupMoments m;
+  for (const TrialGroup& g : groups) {
+    if (g.count <= 0) continue;
+    double c = static_cast<double>(g.count);
+    double p = Clamp01(g.p);
+    double q = 1.0 - p;
+    m.n += g.count;
+    m.mu += c * p;
+    m.var += c * p * q;
+    m.m3 += c * p * q * (q - p);
+    m.psi += c * p * q * (p * p + q * q);
+  }
+  return m;
+}
+
+/// First `m + 1` entries of Binomial(n, p) for 0 < p < 1, m <= n.
+/// When q^n is representable the prefix is built by the plain upward
+/// ratio recurrence from q^n — one exp/log1p, no lgamma. Only when q^n
+/// underflows (large n, small q) does it fall back to the mode-anchored
+/// lgamma form. The query hot path truncates m at the observed k, so
+/// this is O(min(n, k)) per group with a small constant.
+void BinomialPmfPrefix(int64_t n, double p, size_t m,
+                       std::vector<double>* out) {
+  out->resize(m + 1);
+  double nd = static_cast<double>(n);
+  double log_q_n = nd * std::log1p(-p);
+  double odds = p / (1.0 - p);
+  double* b = out->data();
+  if (log_q_n > -690.0) {
+    double v = std::exp(log_q_n);
+    b[0] = v;
+    for (size_t j = 0; j < m; ++j) {
+      v *= (nd - static_cast<double>(j)) / (static_cast<double>(j) + 1.0) *
+           odds;
+      b[j + 1] = v;
+    }
+    return;
+  }
+  // Underflow-safe: anchor at min(mode, m) and recur outward.
+  int64_t anchor = static_cast<int64_t>((nd + 1.0) * p);
+  anchor = std::min<int64_t>(anchor, static_cast<int64_t>(m));
+  anchor = std::max<int64_t>(0, std::min(anchor, n));
+  double ad = static_cast<double>(anchor);
+  double log_a = std::lgamma(nd + 1.0) - std::lgamma(ad + 1.0) -
+                 std::lgamma(nd - ad + 1.0) + ad * std::log(p) +
+                 (nd - ad) * std::log1p(-p);
+  double va = std::exp(log_a);
+  b[static_cast<size_t>(anchor)] = va;
+  double v = va;
+  for (int64_t k = anchor; k < static_cast<int64_t>(m); ++k) {
+    v *= static_cast<double>(n - k) / static_cast<double>(k + 1) * odds;
+    b[static_cast<size_t>(k + 1)] = v;
+  }
+  v = va;
+  for (int64_t k = anchor; k > 0; --k) {
+    v *= static_cast<double>(k) / (static_cast<double>(n - k + 1) * odds);
+    b[static_cast<size_t>(k - 1)] = v;
+  }
+}
+
+/// Builds the truncated prefix pmf[0..cap_idx] of the variable (0 < p
+/// < 1) part of the grouped distribution into ws->pmf. Truncation is
+/// exact: entry t of a convolution only depends on entries <= t of both
+/// operands, so each group's kernel is clipped to the first cap_idx + 1
+/// entries. The convolution runs backward in place: slot t only reads
+/// slots <= t, which still hold the previous round's values. Cost is
+/// O(#groups * (cap_idx + 1)) — the dominant win on query workloads,
+/// where the observed incompatible count k is far below the trial
+/// count n.
+void BuildTruncatedPrefix(const std::vector<TrialGroup>& groups,
+                          int64_t cap_idx, GroupedPbWorkspace* ws) {
+  const size_t cap = static_cast<size_t>(cap_idx) + 1;
+  std::vector<double>& pmf = ws->pmf;
+  pmf.assign(cap, 0.0);
+  pmf[0] = 1.0;
+  size_t len = 1;  // occupied prefix of pmf
+  for (const TrialGroup& g : groups) {
+    if (g.count <= 0) continue;
+    double p = Clamp01(g.p);
+    if (p <= 0.0 || p >= 1.0) continue;
+    double* f = pmf.data();
+    if (g.count == 1) {
+      // Single Bernoulli trial: one in-place backward DP update.
+      double q = 1.0 - p;
+      size_t new_len = std::min(cap, len + 1);
+      for (size_t t = new_len; t-- > 1;) f[t] = f[t] * q + f[t - 1] * p;
+      f[0] *= q;
+      len = new_len;
+      continue;
+    }
+    size_t m = std::min(static_cast<size_t>(g.count), cap - 1);
+    BinomialPmfPrefix(g.count, p, m, &ws->group_pmf);
+    const double* b = ws->group_pmf.data();
+    size_t new_len = std::min(cap, len + m);
+    for (size_t t = new_len; t-- > 0;) {
+      size_t jmax = std::min(t, m);
+      double acc = 0.0;
+      for (size_t j = 0; j <= jmax; ++j) acc += f[t - j] * b[j];
+      f[t] = acc;
+    }
+    len = new_len;
+  }
+}
+
+}  // namespace
+
+void BinomialPmf(int64_t n, double p, std::vector<double>* out) {
+  p = Clamp01(p);
+  size_t len = static_cast<size_t>(n) + 1;
+  out->assign(len, 0.0);
+  if (n == 0) {
+    (*out)[0] = 1.0;
+    return;
+  }
+  if (p <= 0.0) {
+    (*out)[0] = 1.0;
+    return;
+  }
+  if (p >= 1.0) {
+    (*out)[len - 1] = 1.0;
+    return;
+  }
+  // Anchor at the mode, where the pmf is largest (no underflow), then
+  // recur outward with exact multiplicative ratios:
+  //   B(k+1)/B(k) = (n-k)/(k+1) * p/(1-p).
+  double nd = static_cast<double>(n);
+  int64_t mode = static_cast<int64_t>((nd + 1.0) * p);
+  mode = std::min(n, std::max<int64_t>(0, mode));
+  double md = static_cast<double>(mode);
+  double log_mode = std::lgamma(nd + 1.0) - std::lgamma(md + 1.0) -
+                    std::lgamma(nd - md + 1.0) + md * std::log(p) +
+                    (nd - md) * std::log1p(-p);
+  (*out)[static_cast<size_t>(mode)] = std::exp(log_mode);
+  double odds = p / (1.0 - p);
+  double v = (*out)[static_cast<size_t>(mode)];
+  for (int64_t k = mode; k < n && v > 0.0; ++k) {
+    v *= static_cast<double>(n - k) / static_cast<double>(k + 1) * odds;
+    (*out)[static_cast<size_t>(k + 1)] = v;
+  }
+  v = (*out)[static_cast<size_t>(mode)];
+  for (int64_t k = mode; k > 0 && v > 0.0; --k) {
+    v *= static_cast<double>(k) /
+         (static_cast<double>(n - k + 1) * odds);
+    (*out)[static_cast<size_t>(k - 1)] = v;
+  }
+}
+
+void GroupedPoissonBinomialPmf(const std::vector<TrialGroup>& groups,
+                               GroupedPbWorkspace* ws) {
+  int64_t total = GroupedTrialCount(groups);
+  int64_t shift = 0;  // trials with p >= 1 always succeed
+  // Convolve the non-deterministic groups into ws->pmf.
+  ws->pmf.assign(1, 1.0);
+  size_t top = 0;  // current highest support index of ws->pmf
+  for (const TrialGroup& g : groups) {
+    if (g.count <= 0) continue;
+    double p = Clamp01(g.p);
+    if (p <= 0.0) continue;  // always-failure trials: delta at 0
+    if (p >= 1.0) {
+      shift += g.count;
+      continue;
+    }
+    BinomialPmf(g.count, p, &ws->group_pmf);
+    size_t glen = ws->group_pmf.size();
+    ws->tmp.assign(top + glen, 0.0);
+    for (size_t j = 0; j <= top; ++j) {
+      double fj = ws->pmf[j];
+      if (fj == 0.0) continue;
+      const double* b = ws->group_pmf.data();
+      double* t = ws->tmp.data() + j;
+      for (size_t k = 0; k < glen; ++k) t[k] += fj * b[k];
+    }
+    ws->pmf.swap(ws->tmp);
+    top += glen - 1;
+  }
+  // Expand to the full support [0, total] applying the p = 1 shift and
+  // the zero-probability padding, so the result is index-compatible
+  // with PoissonBinomialPmfDp on the expanded trial vector.
+  if (shift != 0 || top != static_cast<size_t>(total)) {
+    ws->tmp.assign(static_cast<size_t>(total) + 1, 0.0);
+    for (size_t j = 0; j <= top; ++j) {
+      ws->tmp[j + static_cast<size_t>(shift)] = ws->pmf[j];
+    }
+    ws->pmf.swap(ws->tmp);
+  }
+}
+
+double GroupedPoissonBinomialCdfRna(const std::vector<TrialGroup>& groups,
+                                    int64_t k) {
+  GroupMoments m = ComputeMoments(groups);
+  if (k < 0) return 0.0;
+  if (k >= m.n) return 1.0;
+  if (m.var <= 0.0) {
+    return static_cast<double>(k) + 0.5 >= m.mu ? 1.0 : 0.0;
+  }
+  double sigma = std::sqrt(m.var);
+  double gamma = m.m3 / (m.var * sigma);
+  double x = (static_cast<double>(k) + 0.5 - m.mu) / sigma;
+  double z = x + gamma * (x * x - 1.0) / 6.0;
+  double cdf = 0.5 * std::erfc(-z / std::sqrt(2.0));
+  return std::min(1.0, std::max(0.0, cdf));
+}
+
+double GroupedBerryEsseenBound(const std::vector<TrialGroup>& groups) {
+  GroupMoments m = ComputeMoments(groups);
+  if (m.var <= 0.0) return std::numeric_limits<double>::infinity();
+  // Shevtsova's constant for independent non-identical summands.
+  return 0.5600 * m.psi / (m.var * std::sqrt(m.var));
+}
+
+GroupedTails GroupedPoissonBinomialTails(const std::vector<TrialGroup>& groups,
+                                         int64_t k,
+                                         const GroupedTailParams& params,
+                                         GroupedPbWorkspace* ws) {
+  GroupedTails t;
+  int64_t n = GroupedTrialCount(groups);
+  // Boundary semantics match PoissonBinomial::{Upper,Lower}TailPValue.
+  if (k <= 0) {
+    t.upper = 1.0;
+  } else if (k > n) {
+    t.upper = 0.0;
+  }
+  if (k < 0) {
+    t.lower = 0.0;
+    return t;
+  }
+  if (k >= n) {
+    t.lower = 1.0;
+    if (k > n) return t;  // upper already 0
+  }
+  if (n == 0) return t;
+
+  if (static_cast<size_t>(n) >= params.rna_min_trials &&
+      GroupedBerryEsseenBound(groups) <= params.rna_max_abs_error) {
+    t.exact = false;
+    if (k > 0 && k <= n) {
+      t.upper = std::max(0.0, 1.0 - GroupedPoissonBinomialCdfRna(groups,
+                                                                 k - 1));
+    }
+    if (k >= 0 && k < n) {
+      t.lower = GroupedPoissonBinomialCdfRna(groups, k);
+    }
+    return t;
+  }
+
+  // Exact path: one truncated convolution of pmf[0..k] serves both
+  // tails — lower = cdf(k), upper = 1 - cdf(k - 1). The upper tail's
+  // 1 - cdf form loses at most ~k ulps absolutely (well inside the
+  // 1e-12 parity budget) and never needs the far support, so per-pair
+  // cost is O(#groups * (k + 1)) instead of O(n * support).
+  int64_t shift = 0, n_var = 0;
+  for (const TrialGroup& g : groups) {
+    if (g.count <= 0) continue;
+    double p = Clamp01(g.p);
+    if (p >= 1.0) {
+      shift += g.count;  // always-success trials move the support up
+    } else if (p > 0.0) {
+      n_var += g.count;
+    }
+  }
+  int64_t kk = k - shift;
+  double cdf_k, cdf_below;  // cdf(kk), cdf(kk - 1) on the variable part
+  if (kk < 0) {
+    cdf_k = 0.0;
+    cdf_below = 0.0;
+  } else {
+    int64_t cap_idx = std::min(kk, n_var);
+    BuildTruncatedPrefix(groups, cap_idx, ws);
+    const double* f = ws->pmf.data();
+    double acc = 0.0;
+    int64_t below_idx = std::min(kk - 1, n_var);
+    for (int64_t t2 = 0; t2 <= below_idx; ++t2) acc += f[t2];
+    cdf_below = kk - 1 >= n_var ? 1.0 : std::min(1.0, acc);
+    if (kk <= n_var && kk == below_idx + 1) acc += f[kk];
+    cdf_k = kk >= n_var ? 1.0 : std::min(1.0, acc);
+  }
+  if (k >= 0 && k < n) t.lower = cdf_k;
+  if (k > 0 && k <= n) {
+    t.upper = std::min(1.0, std::max(0.0, 1.0 - cdf_below));
+  }
+  return t;
+}
+
+int64_t GroupedTrialCount(const std::vector<TrialGroup>& groups) {
+  int64_t n = 0;
+  for (const TrialGroup& g : groups) {
+    if (g.count > 0) n += g.count;
+  }
+  return n;
+}
+
+double GroupedMean(const std::vector<TrialGroup>& groups) {
+  double mu = 0.0;
+  for (const TrialGroup& g : groups) {
+    if (g.count > 0) mu += static_cast<double>(g.count) * Clamp01(g.p);
+  }
+  return mu;
+}
+
+}  // namespace ftl::stats

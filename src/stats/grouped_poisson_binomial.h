@@ -1,0 +1,109 @@
+#ifndef FTL_STATS_GROUPED_POISSON_BINOMIAL_H_
+#define FTL_STATS_GROUPED_POISSON_BINOMIAL_H_
+
+/// \file grouped_poisson_binomial.h
+/// Grouped (bucket-compacted) Poisson-Binomial kernel.
+///
+/// FTL's per-pair trial probabilities are looked up from a
+/// CompatibilityModel, which assigns ONE probability per time-gap
+/// bucket — so the n-element probability vector contains at most
+/// `horizon_units` distinct values. Exploiting that, the sum K of the
+/// trials is a convolution of per-bucket Binomial(n_u, p_u) variables:
+///
+///   * each Binomial pmf is built in O(n_u) with a mode-anchored ratio
+///     recurrence (numerically stable; no cancellation), and
+///   * the group pmfs are convolved pairwise, which costs
+///     sum_{u<v} n_u n_v — the per-trial DP's O(n^2) minus its
+///     within-bucket quadratic part sum_u n_u^2 / 2. With H buckets the
+///     cross term is bounded by O(H * n * max_u n_u / n) and collapses
+///     toward O(n) for the concentrated histograms the alignment hot
+///     path produces.
+///
+/// The tail evaluator adds an adaptive switch: for very long alignments
+/// whose Berry–Esseen bound certifies the refined normal approximation
+/// (RNA) to the requested absolute error, the O(H) RNA path answers
+/// instead of the exact convolution.
+///
+/// All entry points write into a caller-owned workspace so the query
+/// hot path performs no per-pair allocations after warm-up.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ftl::stats {
+
+/// One group of i.i.d. Bernoulli trials: `count` trials with success
+/// probability `p` (clamped to [0, 1] on use).
+struct TrialGroup {
+  double p = 0.0;
+  int64_t count = 0;
+};
+
+/// Reusable buffers for the grouped kernel. Default-constructed state
+/// is valid; buffers grow on demand and keep their capacity across
+/// calls (the per-thread "scratch arena" of the query hot path).
+struct GroupedPbWorkspace {
+  std::vector<TrialGroup> groups;  ///< staging area for callers
+  std::vector<double> pmf;         ///< accumulated pmf of convolved groups
+  std::vector<double> group_pmf;   ///< one group's Binomial pmf
+  std::vector<double> tmp;         ///< convolution output buffer
+};
+
+/// Thresholds of the adaptive exact-vs-RNA switch.
+struct GroupedTailParams {
+  /// Below this many trials the exact convolution always answers.
+  size_t rna_min_trials = 4096;
+
+  /// The RNA may answer only when the Berry–Esseen bound on its
+  /// absolute CDF error is at most this (conservative: the RNA's true
+  /// error is typically an order of magnitude below the bound).
+  double rna_max_abs_error = 5e-3;
+};
+
+/// Both tail p-values of K at one observed count.
+struct GroupedTails {
+  double upper = 1.0;  ///< Pr(K >= k)
+  double lower = 1.0;  ///< Pr(K <= k)
+  bool exact = true;   ///< false when the RNA path answered
+};
+
+/// Pmf of Binomial(n, p) into `out` (resized to n + 1). Stable
+/// mode-anchored two-sided ratio recurrence, O(n). Exposed for tests.
+void BinomialPmf(int64_t n, double p, std::vector<double>* out);
+
+/// Exact pmf of K = sum over groups of Binomial(count, p), written to
+/// ws->pmf (length = total trial count + 1). Groups with p <= 0 or
+/// p >= 1 are handled as deterministic shifts, not convolved.
+/// `groups` may alias ws->groups.
+void GroupedPoissonBinomialPmf(const std::vector<TrialGroup>& groups,
+                               GroupedPbWorkspace* ws);
+
+/// Refined normal approximation to Pr(K <= k) over groups, O(H).
+/// Matches PoissonBinomialCdfRna on the expanded trial vector.
+double GroupedPoissonBinomialCdfRna(const std::vector<TrialGroup>& groups,
+                                    int64_t k);
+
+/// Berry–Esseen bound on the absolute CDF error of a normal
+/// approximation to K; +inf when the variance is 0. Used as the guard
+/// of the adaptive switch.
+double GroupedBerryEsseenBound(const std::vector<TrialGroup>& groups);
+
+/// Both tail p-values Pr(K >= k) and Pr(K <= k), exact (grouped
+/// convolution) or via the RNA when `params` certifies it. Agrees with
+/// PoissonBinomial::{Upper,Lower}TailPValue on the expanded trial
+/// vector to ~1e-13 on the exact path. `groups` may alias ws->groups.
+GroupedTails GroupedPoissonBinomialTails(const std::vector<TrialGroup>& groups,
+                                         int64_t k,
+                                         const GroupedTailParams& params,
+                                         GroupedPbWorkspace* ws);
+
+/// Total trial count over groups (clamping negative counts to 0).
+int64_t GroupedTrialCount(const std::vector<TrialGroup>& groups);
+
+/// Mean sum of p over groups (probabilities clamped to [0, 1]).
+double GroupedMean(const std::vector<TrialGroup>& groups);
+
+}  // namespace ftl::stats
+
+#endif  // FTL_STATS_GROUPED_POISSON_BINOMIAL_H_

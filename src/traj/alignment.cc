@@ -28,44 +28,24 @@ std::vector<AlignedRecord> Align(const Trajectory& p, const Trajectory& q) {
 
 void ForEachSegment(const Trajectory& p, const Trajectory& q,
                     const std::function<void(const Segment&)>& fn) {
-  size_t i = 0, j = 0;
-  const Record* prev = nullptr;
-  Source prev_src = Source::kP;
-  while (i < p.size() || j < q.size()) {
-    const Record* cur;
-    Source cur_src;
-    if (i < p.size() && (j >= q.size() || p[i].t <= q[j].t)) {
-      cur = &p[i++];
-      cur_src = Source::kP;
-    } else {
-      cur = &q[j++];
-      cur_src = Source::kQ;
-    }
-    if (prev != nullptr) {
-      fn(Segment{*prev, *cur, prev_src != cur_src});
-    }
-    prev = cur;
-    prev_src = cur_src;
-  }
+  VisitSegments(p, q, [&fn](const Segment& s) { fn(s); });
 }
 
 void ForEachMutualSegment(const Trajectory& p, const Trajectory& q,
                           const std::function<void(const Segment&)>& fn) {
-  ForEachSegment(p, q, [&fn](const Segment& s) {
-    if (s.mutual) fn(s);
-  });
+  VisitMutualSegments(p, q, [&fn](const Segment& s) { fn(s); });
 }
 
 std::vector<Segment> MutualSegments(const Trajectory& p,
                                     const Trajectory& q) {
   std::vector<Segment> out;
-  ForEachMutualSegment(p, q, [&out](const Segment& s) { out.push_back(s); });
+  VisitMutualSegments(p, q, [&out](const Segment& s) { out.push_back(s); });
   return out;
 }
 
 size_t CountMutualSegments(const Trajectory& p, const Trajectory& q) {
   size_t n = 0;
-  ForEachMutualSegment(p, q, [&n](const Segment&) { ++n; });
+  VisitMutualSegments(p, q, [&n](const Segment&) { ++n; });
   return n;
 }
 

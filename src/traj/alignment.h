@@ -44,9 +44,97 @@ struct Segment {
 /// compatibility is symmetric.
 std::vector<AlignedRecord> Align(const Trajectory& p, const Trajectory& q);
 
+/// Allocation-free forward cursor over the segments of W_PQ, merging
+/// the two record sequences on the fly. The iterator-style counterpart
+/// of VisitSegments for call sites where a callback is awkward.
+///
+///   SegmentCursor cur(p, q);
+///   Segment s;
+///   while (cur.Next(&s)) { ... }
+///
+/// Both trajectories must outlive the cursor.
+class SegmentCursor {
+ public:
+  SegmentCursor(const Trajectory& p, const Trajectory& q)
+      : p_(&p), q_(&q) {}
+
+  /// Advances to the next segment of the alignment; returns false when
+  /// the alignment is exhausted (fewer than two records overall).
+  bool Next(Segment* out) {
+    const Trajectory& p = *p_;
+    const Trajectory& q = *q_;
+    while (i_ < p.size() || j_ < q.size()) {
+      const Record* cur;
+      Source cur_src;
+      if (i_ < p.size() && (j_ >= q.size() || p[i_].t <= q[j_].t)) {
+        cur = &p[i_++];
+        cur_src = Source::kP;
+      } else {
+        cur = &q[j_++];
+        cur_src = Source::kQ;
+      }
+      if (prev_ != nullptr) {
+        out->first = *prev_;
+        out->second = *cur;
+        out->mutual = prev_src_ != cur_src;
+        prev_ = cur;
+        prev_src_ = cur_src;
+        return true;
+      }
+      prev_ = cur;
+      prev_src_ = cur_src;
+    }
+    return false;
+  }
+
+ private:
+  const Trajectory* p_;
+  const Trajectory* q_;
+  size_t i_ = 0, j_ = 0;
+  const Record* prev_ = nullptr;
+  Source prev_src_ = Source::kP;
+};
+
 /// Streams every segment of W_PQ to `fn` in time order without
-/// materializing the merge. This is the hot path used by model training
-/// and query evaluation.
+/// materializing the merge. Template variant: the callback is inlined
+/// into the merge loop, with no std::function indirection. This is the
+/// innermost loop of model training and query evaluation.
+template <typename Fn>
+void VisitSegments(const Trajectory& p, const Trajectory& q, Fn&& fn) {
+  size_t i = 0, j = 0;
+  const Record* prev = nullptr;
+  Source prev_src = Source::kP;
+  while (i < p.size() || j < q.size()) {
+    const Record* cur;
+    Source cur_src;
+    if (i < p.size() && (j >= q.size() || p[i].t <= q[j].t)) {
+      cur = &p[i++];
+      cur_src = Source::kP;
+    } else {
+      cur = &q[j++];
+      cur_src = Source::kQ;
+    }
+    if (prev != nullptr) {
+      fn(Segment{*prev, *cur, prev_src != cur_src});
+    }
+    prev = cur;
+    prev_src = cur_src;
+  }
+}
+
+/// Streams only the mutual segments of W_PQ to `fn` (template variant,
+/// callback inlined).
+template <typename Fn>
+void VisitMutualSegments(const Trajectory& p, const Trajectory& q,
+                         Fn&& fn) {
+  VisitSegments(p, q, [&fn](const Segment& s) {
+    if (s.mutual) fn(s);
+  });
+}
+
+/// Streams every segment of W_PQ to `fn` in time order. Type-erased
+/// convenience wrapper over VisitSegments; prefer the template (or
+/// SegmentCursor) on hot paths.
 void ForEachSegment(const Trajectory& p, const Trajectory& q,
                     const std::function<void(const Segment&)>& fn);
 

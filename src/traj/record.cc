@@ -14,12 +14,4 @@ double RequiredSpeed(const Record& a, const Record& b) {
   return d / static_cast<double>(dt);
 }
 
-bool IsCompatible(const Record& a, const Record& b, double vmax_mps) {
-  // dist / timediff <= vmax, written multiplicatively to avoid the
-  // divide-by-zero for simultaneous records.
-  double d = Dist(a, b);
-  int64_t dt = TimeDiff(a, b);
-  return d <= vmax_mps * static_cast<double>(dt);
-}
-
 }  // namespace ftl::traj

@@ -41,7 +41,13 @@ double RequiredSpeed(const Record& a, const Record& b);
 
 /// True iff a person could travel from `a` to `b` without exceeding
 /// `vmax_mps` (the paper's mutual-segment compatibility, Definition 3).
-bool IsCompatible(const Record& a, const Record& b, double vmax_mps);
+/// dist <= vmax * timediff, compared in squared form so the innermost
+/// query loop pays no sqrt; both sides are non-negative so the
+/// comparison is unchanged.
+inline bool IsCompatible(const Record& a, const Record& b, double vmax_mps) {
+  double limit = vmax_mps * static_cast<double>(TimeDiff(a, b));
+  return geo::DistanceSquared(a.location, b.location) <= limit * limit;
+}
 
 }  // namespace ftl::traj
 

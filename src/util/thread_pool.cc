@@ -1,6 +1,7 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <atomic>
 
 namespace ftl {
 
@@ -56,26 +57,43 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
-void ParallelFor(size_t n, size_t num_threads,
-                 const std::function<void(size_t)>& fn) {
+size_t ParallelWorkerCount(size_t n, size_t num_threads) {
+  return std::max<size_t>(1, std::min(num_threads, n));
+}
+
+void ParallelForWorkers(
+    size_t n, size_t num_threads,
+    const std::function<void(size_t, size_t, size_t)>& fn) {
   if (n == 0) return;
-  num_threads = std::max<size_t>(1, std::min(num_threads, n));
-  if (num_threads == 1) {
-    for (size_t i = 0; i < n; ++i) fn(i);
+  size_t workers = ParallelWorkerCount(n, num_threads);
+  if (n <= 1 || workers == 1) {
+    fn(0, 0, n);
     return;
   }
+  // Chunks several times smaller than a fair share keep all workers
+  // busy under skewed per-item cost without contending on the counter.
+  size_t chunk = std::max<size_t>(1, n / (workers * 8));
+  std::atomic<size_t> next{0};
+  auto run = [n, chunk, &next, &fn](size_t worker) {
+    for (;;) {
+      size_t begin = next.fetch_add(chunk, std::memory_order_relaxed);
+      if (begin >= n) return;
+      fn(worker, begin, std::min(n, begin + chunk));
+    }
+  };
   std::vector<std::thread> threads;
-  threads.reserve(num_threads);
-  size_t chunk = (n + num_threads - 1) / num_threads;
-  for (size_t t = 0; t < num_threads; ++t) {
-    size_t lo = t * chunk;
-    size_t hi = std::min(n, lo + chunk);
-    if (lo >= hi) break;
-    threads.emplace_back([lo, hi, &fn] {
-      for (size_t i = lo; i < hi; ++i) fn(i);
-    });
-  }
+  threads.reserve(workers - 1);
+  for (size_t t = 1; t < workers; ++t) threads.emplace_back(run, t);
+  run(0);  // the calling thread is worker 0
   for (auto& th : threads) th.join();
+}
+
+void ParallelFor(size_t n, size_t num_threads,
+                 const std::function<void(size_t)>& fn) {
+  ParallelForWorkers(n, num_threads,
+                     [&fn](size_t /*worker*/, size_t begin, size_t end) {
+                       for (size_t i = begin; i < end; ++i) fn(i);
+                     });
 }
 
 }  // namespace ftl

@@ -50,8 +50,28 @@ class ThreadPool {
   bool stop_ = false;
 };
 
-/// Runs fn(i) for i in [0, n) across `num_threads` threads (static
-/// block partitioning). With num_threads <= 1, runs inline.
+/// Number of workers ParallelFor / ParallelForWorkers will actually
+/// use for `n` items on `num_threads` threads: min(num_threads, n),
+/// at least 1. Callers sizing per-worker state must use this.
+size_t ParallelWorkerCount(size_t n, size_t num_threads);
+
+/// Runs fn(worker, begin, end) over chunked subranges of [0, n).
+///
+/// Workers pull chunks from a shared atomic counter (dynamic
+/// scheduling), so skewed per-item cost — e.g. wildly different
+/// trajectory lengths — cannot strand the tail of the range on one
+/// thread the way static block partitioning does. `worker` is in
+/// [0, ParallelWorkerCount(n, num_threads)) and is stable for the
+/// lifetime of the call, enabling per-thread scratch state indexed by
+/// it. With n <= 1 or one worker, runs inline on the calling thread.
+/// The calling thread participates as worker 0.
+void ParallelForWorkers(
+    size_t n, size_t num_threads,
+    const std::function<void(size_t worker, size_t begin, size_t end)>& fn);
+
+/// Runs fn(i) for i in [0, n) across `num_threads` threads via the
+/// chunked scheduler above. With n <= 1 or num_threads <= 1, runs
+/// inline on the calling thread.
 void ParallelFor(size_t n, size_t num_threads,
                  const std::function<void(size_t)>& fn);
 

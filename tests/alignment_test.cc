@@ -128,6 +128,71 @@ TEST(AlignmentTest, StreamingMatchesMaterialized) {
   }
 }
 
+TEST(AlignmentTest, VisitSegmentsMatchesForEach) {
+  // The inlined template variant must yield the exact segment sequence
+  // of the type-erased wrapper.
+  Trajectory p = T("p", {R(1, 1, 5), R(2, 2, 15), R(3, 3, 25)});
+  Trajectory q = T("q", {R(5, 5, 10), R(6, 6, 15), R(7, 7, 50)});
+  std::vector<Segment> erased, inlined;
+  ForEachSegment(p, q, [&erased](const Segment& s) { erased.push_back(s); });
+  VisitSegments(p, q, [&inlined](const Segment& s) { inlined.push_back(s); });
+  ASSERT_EQ(inlined.size(), erased.size());
+  for (size_t i = 0; i < erased.size(); ++i) {
+    EXPECT_EQ(inlined[i].first, erased[i].first);
+    EXPECT_EQ(inlined[i].second, erased[i].second);
+    EXPECT_EQ(inlined[i].mutual, erased[i].mutual);
+  }
+}
+
+TEST(AlignmentTest, SegmentCursorMatchesVisit) {
+  Rng rng(99);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<Record> pr, qr;
+    size_t np = rng.Index(20);
+    size_t nq = rng.Index(20);
+    for (size_t i = 0; i < np; ++i) {
+      pr.push_back(R(rng.Uniform(0, 100), rng.Uniform(0, 100),
+                     rng.UniformInt(0, 1000)));
+    }
+    for (size_t i = 0; i < nq; ++i) {
+      qr.push_back(R(rng.Uniform(0, 100), rng.Uniform(0, 100),
+                     rng.UniformInt(0, 1000)));
+    }
+    Trajectory p("p", 0, std::move(pr));
+    Trajectory q("q", 1, std::move(qr));
+    std::vector<Segment> visited;
+    VisitSegments(p, q,
+                  [&visited](const Segment& s) { visited.push_back(s); });
+    SegmentCursor cur(p, q);
+    Segment s;
+    size_t i = 0;
+    while (cur.Next(&s)) {
+      ASSERT_LT(i, visited.size()) << "trial " << trial;
+      EXPECT_EQ(s.first, visited[i].first) << "trial " << trial;
+      EXPECT_EQ(s.second, visited[i].second) << "trial " << trial;
+      EXPECT_EQ(s.mutual, visited[i].mutual) << "trial " << trial;
+      ++i;
+    }
+    EXPECT_EQ(i, visited.size()) << "trial " << trial;
+  }
+}
+
+TEST(AlignmentTest, SegmentCursorEmptyAndSingleton) {
+  Trajectory empty = T("e", {});
+  Trajectory one = T("o", {R(0, 0, 5)});
+  Segment s;
+  SegmentCursor both_empty(empty, empty);
+  EXPECT_FALSE(both_empty.Next(&s));
+  SegmentCursor single(one, empty);
+  EXPECT_FALSE(single.Next(&s));
+  Trajectory two = T("t", {R(0, 0, 1), R(0, 0, 9)});
+  SegmentCursor pair(two, empty);
+  ASSERT_TRUE(pair.Next(&s));
+  EXPECT_FALSE(s.mutual);
+  EXPECT_EQ(s.TimeLengthSeconds(), 8);
+  EXPECT_FALSE(pair.Next(&s));
+}
+
 TEST(AlignmentTest, TimeSpanOverlap) {
   Trajectory p = T("p", {R(0, 0, 10), R(0, 0, 50)});
   Trajectory q = T("q", {R(0, 0, 30), R(0, 0, 90)});

@@ -276,6 +276,49 @@ TEST(EngineTest, QueryAgainstSelfChannelFindsSelf) {
   EXPECT_EQ(r.value().candidates[0].index, 3u);
 }
 
+TEST(EngineTest, ParallelQueryIdenticalToSerial) {
+  // The staged parallel path must reproduce the serial loop exactly:
+  // same candidates, same order, bitwise-equal p-values and scores.
+  auto data = TestPopulation(40, 47);
+  FtlEngine engine(TestOptions());
+  ASSERT_TRUE(engine.Train(data.cdr_db, data.transit_db).ok());
+  for (size_t qi = 0; qi < 5; ++qi) {
+    auto serial = engine.Query(data.cdr_db[qi], data.transit_db,
+                               Matcher::kAlphaFilter, 1);
+    auto parallel = engine.Query(data.cdr_db[qi], data.transit_db,
+                                 Matcher::kAlphaFilter, 4);
+    ASSERT_TRUE(serial.ok());
+    ASSERT_TRUE(parallel.ok());
+    const auto& a = serial.value().candidates;
+    const auto& b = parallel.value().candidates;
+    ASSERT_EQ(a.size(), b.size()) << "query " << qi;
+    for (size_t j = 0; j < a.size(); ++j) {
+      EXPECT_EQ(a[j].index, b[j].index) << "query " << qi;
+      EXPECT_EQ(a[j].p1, b[j].p1) << "query " << qi;
+      EXPECT_EQ(a[j].p2, b[j].p2) << "query " << qi;
+      EXPECT_EQ(a[j].score, b[j].score) << "query " << qi;
+      EXPECT_EQ(a[j].k_observed, b[j].k_observed) << "query " << qi;
+    }
+    EXPECT_EQ(serial.value().selectiveness, parallel.value().selectiveness);
+  }
+}
+
+TEST(EngineTest, BatchQueryAggregatesAllFailures) {
+  // Every failing query must be reported, not just the first.
+  auto data = TestPopulation(10, 48);
+  FtlEngine engine(TestOptions());
+  ASSERT_TRUE(engine.Train(data.cdr_db, data.transit_db).ok());
+  std::vector<traj::Trajectory> queries = {data.cdr_db[0], data.cdr_db[1],
+                                           data.cdr_db[2]};
+  traj::TrajectoryDatabase empty;
+  auto r = engine.BatchQuery(queries, empty, Matcher::kAlphaFilter);
+  ASSERT_FALSE(r.ok());
+  const std::string& msg = r.status().message();
+  EXPECT_NE(msg.find("3 of 3"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("query 0"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("query 2"), std::string::npos) << msg;
+}
+
 TEST(EngineTest, EvidenceOptionsMirrorTraining) {
   EngineOptions o = TestOptions();
   o.training.vmax_mps = 42.0;

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <set>
+#include <thread>
 
 #include "util/rng.h"
 #include "util/status.h"
@@ -311,6 +312,63 @@ TEST(ParallelForTest, ZeroItems) {
   bool called = false;
   ParallelFor(0, 4, [&called](size_t) { called = true; });
   EXPECT_FALSE(called);
+}
+
+TEST(ParallelForTest, SingleItemRunsInline) {
+  // n <= 1 must execute on the calling thread with no pool spin-up.
+  std::thread::id caller = std::this_thread::get_id();
+  std::thread::id executed;
+  ParallelFor(1, 8, [&executed](size_t i) {
+    EXPECT_EQ(i, 0u);
+    executed = std::this_thread::get_id();
+  });
+  EXPECT_EQ(executed, caller);
+}
+
+TEST(ParallelWorkerCountTest, ClampsToItemsAndFloorsAtOne) {
+  EXPECT_EQ(ParallelWorkerCount(10, 4), 4u);
+  EXPECT_EQ(ParallelWorkerCount(2, 8), 2u);
+  EXPECT_EQ(ParallelWorkerCount(0, 8), 1u);
+  EXPECT_EQ(ParallelWorkerCount(10, 0), 1u);
+}
+
+TEST(ParallelForWorkersTest, ChunksPartitionTheRange) {
+  // Every index is visited exactly once, regardless of how the atomic
+  // chunk scheduler interleaves workers.
+  std::vector<std::atomic<int>> hits(777);
+  ParallelForWorkers(777, 8,
+                     [&hits](size_t /*worker*/, size_t begin, size_t end) {
+                       ASSERT_LE(begin, end);
+                       for (size_t i = begin; i < end; ++i) {
+                         hits[i].fetch_add(1);
+                       }
+                     });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForWorkersTest, WorkerIdsStayInRange) {
+  const size_t n = 500;
+  const size_t threads = 5;
+  const size_t workers = ParallelWorkerCount(n, threads);
+  std::vector<std::atomic<int>> used(workers);
+  ParallelForWorkers(n, threads,
+                     [&used, workers](size_t worker, size_t, size_t) {
+                       ASSERT_LT(worker, workers);
+                       used[worker].fetch_add(1);
+                     });
+  // Worker 0 is the calling thread and always participates.
+  EXPECT_GT(used[0].load(), 0);
+}
+
+TEST(ParallelForWorkersTest, InlineWhenSingleItem) {
+  std::thread::id caller = std::this_thread::get_id();
+  ParallelForWorkers(1, 8, [&caller](size_t worker, size_t begin,
+                                     size_t end) {
+    EXPECT_EQ(worker, 0u);
+    EXPECT_EQ(begin, 0u);
+    EXPECT_EQ(end, 1u);
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+  });
 }
 
 TEST(StopwatchTest, MeasuresElapsed) {
