@@ -1,5 +1,7 @@
 #include "core/compatibility_model.h"
 
+#include <algorithm>
+
 #include "util/string_util.h"
 
 namespace ftl::core {
@@ -21,6 +23,57 @@ double CompatibilityModel::IncompatProb(int64_t timediff_seconds) const {
 double CompatibilityModel::IncompatProbByUnit(int64_t unit) const {
   if (unit < 0 || unit >= static_cast<int64_t>(probs_.size())) return 0.0;
   return probs_[static_cast<size_t>(unit)];
+}
+
+size_t CompatibilityModel::RepairUnsupportedBuckets() {
+  if (repaired_) return repaired_buckets_;
+  repaired_ = true;
+  if (support_.size() != probs_.size() || probs_.empty()) return 0;
+  auto needs_fill = [this](size_t i) {
+    return support_[i] == 0 && probs_[i] == 0.0;
+  };
+  size_t first_supported = probs_.size();
+  for (size_t i = 0; i < probs_.size(); ++i) {
+    if (support_[i] > 0) {
+      first_supported = i;
+      break;
+    }
+  }
+  if (first_supported == probs_.size()) return 0;  // no anchor anywhere
+  auto clamp01 = [](double v) { return std::min(1.0, std::max(0.0, v)); };
+  for (size_t i = 0; i < first_supported; ++i) {
+    if (!needs_fill(i)) continue;
+    probs_[i] = clamp01(probs_[first_supported]);
+    ++repaired_buckets_;
+  }
+  size_t last_supported = first_supported;
+  for (size_t i = first_supported + 1; i < probs_.size(); ++i) {
+    if (support_[i] == 0) continue;
+    if (i > last_supported + 1) {
+      double lo = probs_[last_supported];
+      double hi = probs_[i];
+      for (size_t j = last_supported + 1; j < i; ++j) {
+        if (!needs_fill(j)) continue;
+        double t = static_cast<double>(j - last_supported) /
+                   static_cast<double>(i - last_supported);
+        probs_[j] = clamp01(lo + (hi - lo) * t);
+        ++repaired_buckets_;
+      }
+    }
+    last_supported = i;
+  }
+  if (last_supported + 1 < probs_.size()) {
+    double lo = probs_[last_supported];
+    size_t span = probs_.size() - last_supported;
+    for (size_t j = last_supported + 1; j < probs_.size(); ++j) {
+      if (!needs_fill(j)) continue;
+      double t = static_cast<double>(j - last_supported) /
+                 static_cast<double>(span);
+      probs_[j] = clamp01(lo * (1.0 - t));
+      ++repaired_buckets_;
+    }
+  }
+  return repaired_buckets_;
 }
 
 Status CompatibilityModel::Validate() const {

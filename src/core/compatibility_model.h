@@ -56,6 +56,22 @@ class CompatibilityModel {
     support_ = std::move(support);
   }
 
+  /// Graceful degradation for models whose support is known (training
+  /// counts or a loaded model file): buckets never seen at training
+  /// time that carry a bare 0.0 probability are backfilled by linear
+  /// interpolation between the nearest supported neighbors, clamped to
+  /// [0, 1] (leading gaps copy the first supported value; trailing
+  /// gaps decay to 0 at the horizon, matching the trainer's own gap
+  /// fill). A query over an out-of-support time gap then scores
+  /// against a plausible probability instead of a hard "impossible"
+  /// zero. Idempotent; returns the number of buckets backfilled, also
+  /// available afterwards as repaired_buckets(). No-op for models
+  /// without support counts or already-filled (freshly trained) ones.
+  size_t RepairUnsupportedBuckets();
+
+  /// Buckets backfilled by RepairUnsupportedBuckets (0 before repair).
+  size_t repaired_buckets() const { return repaired_buckets_; }
+
   /// Sanity check: unit positive, probabilities within [0,1].
   Status Validate() const;
 
@@ -66,6 +82,8 @@ class CompatibilityModel {
   int64_t time_unit_seconds_ = 60;
   std::vector<double> probs_;
   std::vector<int64_t> support_;
+  bool repaired_ = false;
+  size_t repaired_buckets_ = 0;
 };
 
 }  // namespace ftl::core

@@ -1,18 +1,32 @@
 #include "core/engine.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <mutex>
 
 #include "stats/grouped_poisson_binomial.h"
 #include "traj/alignment.h"
+#include "util/failpoint.h"
 #include "util/thread_pool.h"
 
 namespace ftl::core {
+
+Status QueryOptions::Check() const {
+  if (cancel.cancel_requested()) {
+    return Status::Cancelled("query cancelled by caller");
+  }
+  if (deadline.expired()) {
+    return Status::DeadlineExceeded("query deadline exceeded");
+  }
+  return Status::OK();
+}
 
 FtlEngine::FtlEngine(EngineOptions options) : options_(std::move(options)) {}
 
 Status FtlEngine::Train(const traj::TrajectoryDatabase& p,
                         const traj::TrajectoryDatabase& q) {
+  FTL_FAILPOINT("core.train");
   auto models = BuildModels(p, q, options_.training);
   if (!models.ok()) return models.status();
   models_ = std::move(models).value();
@@ -22,6 +36,13 @@ Status FtlEngine::Train(const traj::TrajectoryDatabase& p,
 
 void FtlEngine::SetModels(ModelPair models) {
   models_ = std::move(models);
+  // Models arriving from outside (typically a file) may carry buckets
+  // the training data never covered; backfill them so queries over
+  // unseen time gaps degrade gracefully instead of scoring against a
+  // hard zero. No-op for freshly trained models: the trainer already
+  // fills every bucket.
+  models_.rejection.RepairUnsupportedBuckets();
+  models_.acceptance.RepairUnsupportedBuckets();
   trained_ = true;
 }
 
@@ -87,7 +108,8 @@ bool FtlEngine::ScorePair(const traj::Trajectory& query,
 Result<QueryResult> FtlEngine::QueryImpl(
     const traj::Trajectory& query, const traj::TrajectoryDatabase& db,
     const std::vector<size_t>* candidate_indices, Matcher matcher,
-    size_t num_threads, ScoreScratch* scratch) const {
+    size_t num_threads, ScoreScratch* scratch,
+    const QueryOptions* qopts) const {
   if (db.empty()) {
     return Status::InvalidArgument("candidate database is empty");
   }
@@ -111,13 +133,27 @@ Result<QueryResult> FtlEngine::QueryImpl(
            !options_.evaluate_non_overlapping &&
            traj::TimeSpanOverlapSeconds(query, cand) == 0;
   };
+  size_t check_every =
+      qopts != nullptr ? std::max<size_t>(1, qopts->check_every) : 0;
 
   QueryResult result;
+  result.evaluated = m;
   size_t workers = ParallelWorkerCount(m, num_threads);
   if (workers <= 1) {
     ScoreScratch local;
     ScoreScratch* s = scratch != nullptr ? scratch : &local;
     for (size_t i = 0; i < m; ++i) {
+      if (qopts != nullptr && i % check_every == 0) {
+        Status limit = qopts->Check();
+        if (!limit.ok()) {
+          result.truncated = true;
+          result.status = std::move(limit);
+          result.evaluated = i;
+          break;
+        }
+      }
+      // A hard injected fault (unlike a fired limit) fails the query.
+      FTL_FAILPOINT("core.query.candidate");
       size_t idx = candidate_at(i);
       const traj::Trajectory& cand = db[idx];
       if (skip(cand)) continue;
@@ -131,23 +167,57 @@ Result<QueryResult> FtlEngine::QueryImpl(
   } else {
     // Score into a per-candidate staging area, then collect accepted
     // candidates in index order — byte-identical to the serial loop,
-    // regardless of chunk interleaving.
+    // regardless of chunk interleaving. With limits in play, chunks
+    // are claimed monotonically and every claimed chunk completes, so
+    // the evaluated candidates always form a contiguous prefix.
     std::vector<MatchCandidate> staged(m);
     std::vector<uint8_t> accepted(m, 0);
     std::vector<ScoreScratch> scratches(workers);
-    ParallelForWorkers(
-        m, num_threads, [&](size_t worker, size_t begin, size_t end) {
-          ScoreScratch& s = scratches[worker];
-          for (size_t i = begin; i < end; ++i) {
-            size_t idx = candidate_at(i);
-            const traj::Trajectory& cand = db[idx];
-            if (skip(cand)) continue;
-            staged[i].index = idx;
-            accepted[i] =
-                ScorePair(query, cand, matcher, &staged[i], &s) ? 1 : 0;
+    std::mutex fail_mu;
+    Status limit_status;
+    Status fail_status;
+    std::atomic<bool> failed{false};
+    auto worker_fn = [&](size_t worker, size_t begin, size_t end) {
+      ScoreScratch& s = scratches[worker];
+      for (size_t i = begin; i < end; ++i) {
+        if (failed.load(std::memory_order_relaxed)) return;
+        if (failpoint::AnyArmed()) {
+          Status fp = failpoint::Check("core.query.candidate");
+          if (!fp.ok()) {
+            std::lock_guard<std::mutex> lock(fail_mu);
+            if (fail_status.ok()) fail_status = std::move(fp);
+            failed.store(true, std::memory_order_relaxed);
+            return;
           }
-        });
-    for (size_t i = 0; i < m; ++i) {
+        }
+        size_t idx = candidate_at(i);
+        const traj::Trajectory& cand = db[idx];
+        if (skip(cand)) continue;
+        staged[i].index = idx;
+        accepted[i] = ScorePair(query, cand, matcher, &staged[i], &s) ? 1 : 0;
+      }
+    };
+    size_t evaluated = m;
+    if (qopts == nullptr) {
+      ParallelForWorkers(m, num_threads, worker_fn);
+    } else {
+      auto stop = [&]() {
+        if (failed.load(std::memory_order_relaxed)) return true;
+        Status limit = qopts->Check();
+        if (limit.ok()) return false;
+        std::lock_guard<std::mutex> lock(fail_mu);
+        if (limit_status.ok()) limit_status = std::move(limit);
+        return true;
+      };
+      evaluated = ParallelForWorkers(m, num_threads, stop, worker_fn);
+    }
+    if (failed.load(std::memory_order_relaxed)) return fail_status;
+    if (!limit_status.ok()) {
+      result.truncated = true;
+      result.status = limit_status;
+      result.evaluated = evaluated;
+    }
+    for (size_t i = 0; i < result.evaluated; ++i) {
       if (!accepted[i]) continue;
       staged[i].label = db[staged[i].index].label();
       result.candidates.push_back(std::move(staged[i]));
@@ -175,7 +245,18 @@ Result<QueryResult> FtlEngine::Query(const traj::Trajectory& query,
   if (!trained_) {
     return Status::FailedPrecondition("FtlEngine::Query before Train");
   }
-  return QueryImpl(query, db, nullptr, matcher, num_threads, nullptr);
+  return QueryImpl(query, db, nullptr, matcher, num_threads, nullptr, nullptr);
+}
+
+Result<QueryResult> FtlEngine::Query(const traj::Trajectory& query,
+                                     const traj::TrajectoryDatabase& db,
+                                     Matcher matcher,
+                                     const QueryOptions& qopts) const {
+  if (!trained_) {
+    return Status::FailedPrecondition("FtlEngine::Query before Train");
+  }
+  return QueryImpl(query, db, nullptr, matcher, options_.num_threads, nullptr,
+                   &qopts);
 }
 
 Result<QueryResult> FtlEngine::QueryWithCandidates(
@@ -186,7 +267,7 @@ Result<QueryResult> FtlEngine::QueryWithCandidates(
         "FtlEngine::QueryWithCandidates before Train");
   }
   return QueryImpl(query, db, &candidate_indices, matcher,
-                   options_.num_threads, nullptr);
+                   options_.num_threads, nullptr, nullptr);
 }
 
 Result<std::vector<QueryResult>> FtlEngine::BatchQuery(
@@ -206,7 +287,7 @@ Result<std::vector<QueryResult>> FtlEngine::BatchQuery(
       [&](size_t worker, size_t begin, size_t end) {
         for (size_t i = begin; i < end; ++i) {
           auto r = QueryImpl(queries[i], db, nullptr, matcher, 1,
-                             &scratches[worker]);
+                             &scratches[worker], nullptr);
           if (r.ok()) {
             results[i] = std::move(r).value();
           } else {
@@ -216,6 +297,70 @@ Result<std::vector<QueryResult>> FtlEngine::BatchQuery(
       });
   // Aggregate every failure instead of silently dropping all but the
   // first: a batch over a mixed workload should report the full damage.
+  size_t failures = 0;
+  std::string detail;
+  StatusCode first_code = StatusCode::kInternal;
+  constexpr size_t kMaxDetailed = 8;
+  for (size_t i = 0; i < statuses.size(); ++i) {
+    if (statuses[i].ok()) continue;
+    if (failures == 0) first_code = statuses[i].code();
+    if (failures < kMaxDetailed) {
+      detail += "; query " + std::to_string(i) + ": " +
+                statuses[i].ToString();
+    }
+    ++failures;
+  }
+  if (failures > 0) {
+    std::string msg = "BatchQuery: " + std::to_string(failures) + " of " +
+                      std::to_string(queries.size()) + " queries failed" +
+                      detail;
+    if (failures > kMaxDetailed) {
+      msg += "; (" + std::to_string(failures - kMaxDetailed) +
+             " more not shown)";
+    }
+    return Status(first_code, std::move(msg));
+  }
+  return results;
+}
+
+Result<std::vector<QueryResult>> FtlEngine::BatchQuery(
+    const std::vector<traj::Trajectory>& queries,
+    const traj::TrajectoryDatabase& db, Matcher matcher,
+    const QueryOptions& qopts) const {
+  if (!trained_) {
+    return Status::FailedPrecondition("FtlEngine::BatchQuery before Train");
+  }
+  std::vector<QueryResult> results(queries.size());
+  std::vector<Status> statuses(queries.size());
+  size_t workers = ParallelWorkerCount(queries.size(), options_.num_threads);
+  std::vector<ScoreScratch> scratches(workers);
+  ParallelForWorkers(
+      queries.size(), options_.num_threads,
+      [&](size_t worker, size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          // Cheap pre-check: once the shared limit fires, the queries
+          // that have not started get an empty truncated result
+          // instead of spinning up just to stop at their first
+          // candidate.
+          Status limit = qopts.Check();
+          if (!limit.ok()) {
+            results[i].truncated = true;
+            results[i].status = std::move(limit);
+            results[i].evaluated = 0;
+            continue;
+          }
+          auto r = QueryImpl(queries[i], db, nullptr, matcher, 1,
+                             &scratches[worker], &qopts);
+          if (r.ok()) {
+            results[i] = std::move(r).value();
+          } else {
+            statuses[i] = r.status();
+          }
+        }
+      });
+  // A fired limit is reported per query (truncated results above), so
+  // only hard errors fail the batch — same aggregation as the
+  // unlimited overload.
   size_t failures = 0;
   std::string detail;
   StatusCode first_code = StatusCode::kInternal;

@@ -14,6 +14,7 @@
 #include "core/model_builders.h"
 #include "core/naive_bayes.h"
 #include "traj/database.h"
+#include "util/deadline.h"
 #include "util/status.h"
 
 namespace ftl::core {
@@ -43,6 +44,45 @@ struct QueryResult {
 
   /// |Q_P| / |Q| for this query (selectiveness contribution).
   double selectiveness = 0.0;
+
+  /// True when the query stopped early (deadline or cancellation)
+  /// and `candidates` covers only the first `evaluated` candidates.
+  bool truncated = false;
+
+  /// Why the query was truncated (kDeadlineExceeded / kCancelled);
+  /// OK for complete results.
+  Status status;
+
+  /// Candidates actually scored. Equals the candidate count of the
+  /// run when not truncated; for truncated results the evaluated
+  /// candidates are always a prefix of the evaluation order, so a
+  /// truncated result equals the full result filtered to indices
+  /// that were reached.
+  size_t evaluated = 0;
+};
+
+/// Per-query limits, all optional and inert by default: a
+/// default-constructed QueryOptions never reads the clock and adds no
+/// observable behavior. Checked cooperatively between candidates, so a
+/// query stops within `check_every` candidate evaluations of the
+/// deadline or cancellation signal.
+struct QueryOptions {
+  /// Stop scoring once this deadline passes; the partial result is
+  /// returned with truncated=true and status kDeadlineExceeded.
+  Deadline deadline;
+
+  /// Cooperative cancellation; the partial result is returned with
+  /// truncated=true and status kCancelled. Cancellation wins over the
+  /// deadline when both fire.
+  CancelToken cancel;
+
+  /// How many candidates to score between checks. Smaller = tighter
+  /// latency bound, larger = less checking overhead.
+  size_t check_every = 16;
+
+  /// kCancelled if cancellation was requested, kDeadlineExceeded if
+  /// the deadline passed, OK otherwise.
+  Status Check() const;
 };
 
 /// Engine configuration.
@@ -104,6 +144,13 @@ class FtlEngine {
                             const traj::TrajectoryDatabase& db,
                             Matcher matcher, size_t num_threads) const;
 
+  /// Like Query, but honoring a deadline / cancellation token. When a
+  /// limit fires the result is still OK: it carries the candidates
+  /// scored so far with truncated=true and a status explaining why.
+  Result<QueryResult> Query(const traj::Trajectory& query,
+                            const traj::TrajectoryDatabase& db,
+                            Matcher matcher, const QueryOptions& qopts) const;
+
   /// Like Query, but only evaluates the candidates at `candidate_indices`
   /// (e.g. the survivors of a BlockingIndex). Selectiveness remains
   /// relative to the whole database.
@@ -116,6 +163,16 @@ class FtlEngine {
   Result<std::vector<QueryResult>> BatchQuery(
       const std::vector<traj::Trajectory>& queries,
       const traj::TrajectoryDatabase& db, Matcher matcher) const;
+
+  /// Like BatchQuery, but with a shared deadline / cancellation token.
+  /// A fired limit never fails the batch: queries that started return
+  /// their partial result (truncated=true), queries that had not
+  /// started return an empty truncated result, and each carries its
+  /// own status. Hard per-query errors still fail the batch.
+  Result<std::vector<QueryResult>> BatchQuery(
+      const std::vector<traj::Trajectory>& queries,
+      const traj::TrajectoryDatabase& db, Matcher matcher,
+      const QueryOptions& qopts) const;
 
   const EngineOptions& options() const { return options_; }
 
@@ -143,11 +200,17 @@ class FtlEngine {
   /// applies the evaluate_non_overlapping pre-filter). `scratch` may
   /// be null (a local one is used) and is only honored when
   /// num_threads <= 1; parallel runs build one scratch per worker.
+  /// `qopts` may be null (no limits); when set, deadline/cancellation
+  /// are polled every qopts->check_every candidates and a fired limit
+  /// yields an OK partial result with truncated=true. Candidates are
+  /// always evaluated in a stable order and truncation keeps a prefix
+  /// of it, so partial results are reproducible.
   Result<QueryResult> QueryImpl(const traj::Trajectory& query,
                                 const traj::TrajectoryDatabase& db,
                                 const std::vector<size_t>* candidate_indices,
                                 Matcher matcher, size_t num_threads,
-                                ScoreScratch* scratch) const;
+                                ScoreScratch* scratch,
+                                const QueryOptions* qopts) const;
 
   EngineOptions options_;
   ModelPair models_;

@@ -40,6 +40,7 @@
 #include "geo/point.h"
 #include "geo/projection.h"
 #include "io/csv.h"
+#include "io/file_util.h"
 #include "io/geojson.h"
 #include "io/model_io.h"
 #include "io/report_json.h"
@@ -62,6 +63,8 @@
 #include "traj/trajectory.h"
 #include "traj/validation.h"
 #include "traj/transforms.h"
+#include "util/deadline.h"
+#include "util/failpoint.h"
 #include "util/rng.h"
 #include "util/status.h"
 #include "util/stopwatch.h"

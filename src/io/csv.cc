@@ -1,12 +1,165 @@
 #include "io/csv.h"
 
-#include <fstream>
+#include <algorithm>
+#include <cmath>
 #include <map>
 #include <sstream>
 
+#include "io/file_util.h"
+#include "traj/record.h"
+#include "util/failpoint.h"
 #include "util/string_util.h"
 
 namespace ftl::io {
+
+namespace {
+
+/// One parsed data row plus its provenance, kept per label group so the
+/// post-group passes (duplicate/teleport quarantine) can report the
+/// offending source line.
+struct ParsedRow {
+  traj::Record record;
+  size_t line_no = 0;
+};
+
+/// Accumulates quarantine state during one lenient load.
+class QuarantineSink {
+ public:
+  QuarantineSink(const CsvReadOptions& options, QuarantineReport* report)
+      : options_(options), report_(report) {}
+
+  void Add(size_t line_no, const std::string& row_text,
+           QuarantineReason reason) {
+    ++report_->rows_quarantined;
+    ++report_->by_reason[static_cast<size_t>(reason)];
+    if (report_->sample_rows.size() < options_.max_sample_rows) {
+      report_->sample_rows.push_back(
+          "line " + std::to_string(line_no) + ": " + row_text + " [" +
+          QuarantineReasonName(reason) + "]");
+    }
+    if (!options_.sidecar_path.empty()) {
+      sidecar_ += QuarantineReasonName(reason);
+      sidecar_ += ',';
+      sidecar_ += row_text;
+      sidecar_ += '\n';
+    }
+  }
+
+  /// Flushes the sidecar CSV, if one was requested.
+  Status Flush() {
+    if (options_.sidecar_path.empty() || sidecar_.empty()) {
+      return Status::OK();
+    }
+    return WriteTextFile(options_.sidecar_path,
+                         "reason,label,owner,t,x,y\n" + sidecar_,
+                         "io.write_csv");
+  }
+
+ private:
+  const CsvReadOptions& options_;
+  QuarantineReport* report_;
+  std::string sidecar_;
+};
+
+/// Reconstructs the canonical row text of a parsed record (the raw line
+/// is no longer available once rows are grouped).
+std::string RowText(const std::string& label, int64_t owner,
+                    const traj::Record& r) {
+  return label + ',' + std::to_string(owner) + ',' + std::to_string(r.t) +
+         ',' + FormatDouble(r.location.x, 3) + ',' +
+         FormatDouble(r.location.y, 3);
+}
+
+/// Classifies one data row. On success fills `out`; on failure returns
+/// the reason and a human-readable detail for strict-mode errors.
+bool ClassifyRow(const std::vector<std::string>& fields,
+                 const CsvReadOptions& options, int64_t* owner,
+                 traj::Record* out, QuarantineReason* reason,
+                 std::string* detail) {
+  if (fields.size() != 5) {
+    *reason = QuarantineReason::kFieldCount;
+    *detail = "expected 5 fields, got " + std::to_string(fields.size());
+    return false;
+  }
+  int64_t t = 0;
+  double x = 0, y = 0;
+  // ParseInt64/ParseDouble use std::from_chars: locale-independent (a
+  // de_DE locale cannot turn "1.5" into 1500) and overflow-checked
+  // (huge timestamps fail the parse instead of wrapping).
+  if (!ParseInt64(fields[1], owner) || !ParseInt64(fields[2], &t) ||
+      !ParseDouble(fields[3], &x) || !ParseDouble(fields[4], &y)) {
+    *reason = QuarantineReason::kUnparseable;
+    *detail = "unparseable numeric field";
+    return false;
+  }
+  if (!std::isfinite(x) || !std::isfinite(y)) {
+    *reason = QuarantineReason::kNonFinite;
+    *detail = "non-finite coordinate";
+    return false;
+  }
+  // Physical-range plausibility is lenient-mode ingest policy; strict
+  // mode keeps the historical contract of accepting any finite
+  // parseable values (round-trips may carry negative epochs or large
+  // synthetic coordinates).
+  if (options.lenient) {
+    if (std::abs(x) > options.max_abs_coordinate ||
+        std::abs(y) > options.max_abs_coordinate) {
+      *reason = QuarantineReason::kCoordinateRange;
+      *detail = "coordinate beyond +/-" +
+                FormatDouble(options.max_abs_coordinate, 0) + " m";
+      return false;
+    }
+    if (t < 0 || t > options.max_timestamp) {
+      *reason = QuarantineReason::kTimestampRange;
+      *detail = "timestamp outside [0, " +
+                std::to_string(options.max_timestamp) + "]";
+      return false;
+    }
+  }
+  out->location = {x, y};
+  out->t = t;
+  return true;
+}
+
+}  // namespace
+
+const char* QuarantineReasonName(QuarantineReason reason) {
+  switch (reason) {
+    case QuarantineReason::kFieldCount:
+      return "field-count";
+    case QuarantineReason::kUnparseable:
+      return "unparseable";
+    case QuarantineReason::kNonFinite:
+      return "non-finite";
+    case QuarantineReason::kCoordinateRange:
+      return "coordinate-range";
+    case QuarantineReason::kTimestampRange:
+      return "timestamp-range";
+    case QuarantineReason::kDuplicateTimestamp:
+      return "duplicate-timestamp";
+    case QuarantineReason::kTeleport:
+      return "teleport";
+  }
+  return "unknown";
+}
+
+std::string QuarantineReport::ToString() const {
+  std::string out = "quarantined " + std::to_string(rows_quarantined) + "/" +
+                    std::to_string(rows_total) + " rows";
+  if (rows_quarantined == 0) return out;
+  out += " (";
+  bool first = true;
+  for (size_t i = 0; i < kQuarantineReasonCount; ++i) {
+    if (by_reason[i] == 0) continue;
+    if (!first) out += ' ';
+    first = false;
+    out += QuarantineReasonName(static_cast<QuarantineReason>(i));
+    out += '=';
+    out += std::to_string(by_reason[i]);
+  }
+  out += ")";
+  return out;
+}
 
 std::string ToCsvString(const traj::TrajectoryDatabase& db) {
   std::string out = "label,owner,t,x,y\n";
@@ -15,15 +168,7 @@ std::string ToCsvString(const traj::TrajectoryDatabase& db) {
                         ? -1
                         : static_cast<int64_t>(t.owner());
     for (const auto& r : t.records()) {
-      out += t.label();
-      out += ',';
-      out += std::to_string(owner);
-      out += ',';
-      out += std::to_string(r.t);
-      out += ',';
-      out += FormatDouble(r.location.x, 3);
-      out += ',';
-      out += FormatDouble(r.location.y, 3);
+      out += RowText(t.label(), owner, r);
       out += '\n';
     }
   }
@@ -31,16 +176,23 @@ std::string ToCsvString(const traj::TrajectoryDatabase& db) {
 }
 
 Status WriteCsv(const traj::TrajectoryDatabase& db, const std::string& path) {
-  std::ofstream f(path, std::ios::trunc);
-  if (!f) return Status::IOError("cannot open for write: " + path);
-  f << ToCsvString(db);
-  f.close();
-  if (!f) return Status::IOError("write failed: " + path);
-  return Status::OK();
+  return WriteTextFile(path, ToCsvString(db), "io.write_csv");
 }
 
 Result<traj::TrajectoryDatabase> FromCsvString(const std::string& content,
                                                const std::string& db_name) {
+  return FromCsvString(content, db_name, CsvReadOptions{}, nullptr);
+}
+
+Result<traj::TrajectoryDatabase> FromCsvString(const std::string& content,
+                                               const std::string& db_name,
+                                               const CsvReadOptions& options,
+                                               QuarantineReport* report) {
+  QuarantineReport local_report;
+  QuarantineReport* rep = report != nullptr ? report : &local_report;
+  *rep = QuarantineReport{};
+  QuarantineSink sink(options, rep);
+
   std::istringstream in(content);
   std::string line;
   if (!std::getline(in, line)) {
@@ -49,47 +201,88 @@ Result<traj::TrajectoryDatabase> FromCsvString(const std::string& content,
   if (Trim(line) != "label,owner,t,x,y") {
     return Status::IOError("bad CSV header: '" + line + "'");
   }
-  // label -> (owner, records)
-  std::map<std::string, std::pair<int64_t, std::vector<traj::Record>>> groups;
+  // label -> (owner, rows)
+  std::map<std::string, std::pair<int64_t, std::vector<ParsedRow>>> groups;
   size_t line_no = 1;
   while (std::getline(in, line)) {
     ++line_no;
     if (Trim(line).empty()) continue;
+    ++rep->rows_total;
     auto fields = Split(line, ',');
-    if (fields.size() != 5) {
-      return Status::IOError("line " + std::to_string(line_no) +
-                             ": expected 5 fields, got " +
-                             std::to_string(fields.size()));
-    }
-    int64_t owner = 0, t = 0;
-    double x = 0, y = 0;
-    if (!ParseInt64(fields[1], &owner) || !ParseInt64(fields[2], &t) ||
-        !ParseDouble(fields[3], &x) || !ParseDouble(fields[4], &y)) {
-      return Status::IOError("line " + std::to_string(line_no) +
-                             ": unparseable numeric field");
+    int64_t owner = 0;
+    traj::Record record;
+    QuarantineReason reason;
+    std::string detail;
+    if (!ClassifyRow(fields, options, &owner, &record, &reason, &detail)) {
+      if (!options.lenient) {
+        return Status::IOError("line " + std::to_string(line_no) + ": " +
+                               detail);
+      }
+      sink.Add(line_no, line, reason);
+      continue;
     }
     auto& group = groups[fields[0]];
     group.first = owner;
-    group.second.push_back(traj::Record{{x, y}, t});
+    group.second.push_back(ParsedRow{record, line_no});
   }
+
   traj::TrajectoryDatabase db(db_name);
   for (auto& [label, group] : groups) {
+    auto& rows = group.second;
+    if (options.lenient) {
+      // Record-level quarantine needs time order; stable sort keeps
+      // file order among equal timestamps so "first row wins" holds.
+      std::stable_sort(rows.begin(), rows.end(),
+                       [](const ParsedRow& a, const ParsedRow& b) {
+                         return a.record.t < b.record.t;
+                       });
+      std::vector<ParsedRow> kept;
+      kept.reserve(rows.size());
+      for (const ParsedRow& row : rows) {
+        if (options.drop_duplicate_timestamps && !kept.empty() &&
+            kept.back().record.t == row.record.t) {
+          sink.Add(row.line_no, RowText(label, group.first, row.record),
+                   QuarantineReason::kDuplicateTimestamp);
+          continue;
+        }
+        if (options.max_speed_mps > 0.0 && !kept.empty() &&
+            !traj::IsCompatible(kept.back().record, row.record,
+                                options.max_speed_mps)) {
+          sink.Add(row.line_no, RowText(label, group.first, row.record),
+                   QuarantineReason::kTeleport);
+          continue;
+        }
+        kept.push_back(row);
+      }
+      rows = std::move(kept);
+      if (rows.empty()) continue;  // whole trajectory quarantined away
+    }
+    std::vector<traj::Record> records;
+    records.reserve(rows.size());
+    for (const ParsedRow& row : rows) records.push_back(row.record);
     traj::OwnerId owner = group.first < 0
                               ? traj::kUnknownOwner
                               : static_cast<traj::OwnerId>(group.first);
-    Status s = db.Add(traj::Trajectory(label, owner, std::move(group.second)));
+    Status s = db.Add(traj::Trajectory(label, owner, std::move(records)));
     if (!s.ok()) return s;
   }
+  FTL_RETURN_NOT_OK(sink.Flush());
   return db;
 }
 
 Result<traj::TrajectoryDatabase> ReadCsv(const std::string& path,
                                          const std::string& db_name) {
-  std::ifstream f(path);
-  if (!f) return Status::IOError("cannot open for read: " + path);
-  std::stringstream buf;
-  buf << f.rdbuf();
-  return FromCsvString(buf.str(), db_name.empty() ? path : db_name);
+  return ReadCsv(path, db_name, CsvReadOptions{}, nullptr);
+}
+
+Result<traj::TrajectoryDatabase> ReadCsv(const std::string& path,
+                                         const std::string& db_name,
+                                         const CsvReadOptions& options,
+                                         QuarantineReport* report) {
+  auto content = ReadTextFile(path, "io.read_csv");
+  if (!content.ok()) return content.status();
+  return FromCsvString(content.value(),
+                       db_name.empty() ? path : db_name, options, report);
 }
 
 }  // namespace ftl::io

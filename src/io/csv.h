@@ -10,27 +10,124 @@
 /// seconds, and `x`/`y` are planar meters. Rows of one trajectory need
 /// not be contiguous or sorted; loading groups by label and sorts by
 /// time.
+///
+/// Two loading modes:
+///  * strict (default): the first malformed row fails the whole load
+///    with a row-level reason;
+///  * lenient (CsvReadOptions::lenient): malformed rows are routed to a
+///    QuarantineReport — counts per reason, sample rows, optional
+///    sidecar CSV — and the clean remainder loads normally. This is
+///    the ingest posture for real-world telemetry, where a fraction of
+///    corrupt rows must not abort a multi-gigabyte load.
 
+#include <array>
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "traj/database.h"
 #include "util/status.h"
 
 namespace ftl::io {
 
+/// Why a row or record was quarantined (or rejected, in strict mode).
+enum class QuarantineReason {
+  kFieldCount = 0,      ///< not exactly 5 comma-separated fields
+  kUnparseable,         ///< numeric field failed to parse (incl. overflow)
+  kNonFinite,           ///< NaN or infinite coordinate
+  kCoordinateRange,     ///< |x| or |y| beyond max_abs_coordinate
+  kTimestampRange,      ///< t negative or beyond max_timestamp
+  kDuplicateTimestamp,  ///< same timestamp repeated within one label
+  kTeleport,            ///< implied speed above max_speed_mps
+};
+inline constexpr size_t kQuarantineReasonCount = 7;
+
+/// Short lowercase name for a reason (e.g. "non-finite").
+const char* QuarantineReasonName(QuarantineReason reason);
+
+/// CSV loading knobs. The defaults reproduce strict historical
+/// behavior plus basic physical-range hardening.
+struct CsvReadOptions {
+  /// Quarantine malformed rows instead of failing the load.
+  bool lenient = false;
+
+  /// Lenient mode only: coordinates with |x| or |y| above this (meters)
+  /// are quarantined; 10,000 km covers any planar city projection.
+  /// Strict mode accepts any finite value (historical contract).
+  double max_abs_coordinate = 1.0e7;
+
+  /// Lenient mode only: timestamps outside [0, max_timestamp] seconds
+  /// are quarantined. Default is 9999-12-31T23:59:59Z — far beyond
+  /// plausible telemetry but well inside int64, so overflow garbage
+  /// cannot masquerade as data.
+  int64_t max_timestamp = 253402300799;
+
+  /// Lenient mode only: when > 0, records whose implied speed from the
+  /// previous kept record of the same trajectory exceeds this (m/s)
+  /// are quarantined as teleports. 0 disables the check.
+  double max_speed_mps = 0.0;
+
+  /// Lenient mode only: when true, records repeating a timestamp
+  /// already kept for the same label are quarantined (first one wins).
+  bool drop_duplicate_timestamps = true;
+
+  /// Rows kept verbatim in QuarantineReport::sample_rows.
+  size_t max_sample_rows = 5;
+
+  /// Lenient mode only: when non-empty, every quarantined row is
+  /// appended to this sidecar CSV as `reason,label,owner,t,x,y` (raw
+  /// row text for parse-level rejects).
+  std::string sidecar_path;
+};
+
+/// What lenient loading set aside, and why.
+struct QuarantineReport {
+  size_t rows_total = 0;        ///< data rows seen (excluding header)
+  size_t rows_quarantined = 0;  ///< rows/records set aside
+  std::array<size_t, kQuarantineReasonCount> by_reason{};
+
+  /// Up to CsvReadOptions::max_sample_rows examples,
+  /// "line <n>: <raw row> [<reason>]".
+  std::vector<std::string> sample_rows;
+
+  size_t count(QuarantineReason reason) const {
+    return by_reason[static_cast<size_t>(reason)];
+  }
+  bool empty() const { return rows_quarantined == 0; }
+
+  /// One-line summary, e.g.
+  /// "quarantined 3/30 rows (unparseable=2 non-finite=1)".
+  std::string ToString() const;
+};
+
 /// Writes a database to `path`. Overwrites existing files.
 Status WriteCsv(const traj::TrajectoryDatabase& db, const std::string& path);
 
-/// Reads a database from `path`.
+/// Reads a database from `path` (strict mode).
 Result<traj::TrajectoryDatabase> ReadCsv(const std::string& path,
                                          const std::string& db_name = "");
+
+/// Reads a database from `path` with explicit options. `report` (may
+/// be null) receives the quarantine summary; in strict mode it is
+/// cleared and left empty.
+Result<traj::TrajectoryDatabase> ReadCsv(const std::string& path,
+                                         const std::string& db_name,
+                                         const CsvReadOptions& options,
+                                         QuarantineReport* report);
 
 /// Serializes a database to a CSV string (used by tests and WriteCsv).
 std::string ToCsvString(const traj::TrajectoryDatabase& db);
 
-/// Parses a database from a CSV string.
+/// Parses a database from a CSV string (strict mode).
 Result<traj::TrajectoryDatabase> FromCsvString(const std::string& content,
                                                const std::string& db_name);
+
+/// Parses a database from a CSV string with explicit options; see
+/// ReadCsv for the `report` contract.
+Result<traj::TrajectoryDatabase> FromCsvString(const std::string& content,
+                                               const std::string& db_name,
+                                               const CsvReadOptions& options,
+                                               QuarantineReport* report);
 
 }  // namespace ftl::io
 

@@ -1,0 +1,50 @@
+#include "io/file_util.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "util/failpoint.h"
+
+namespace ftl::io {
+
+Result<std::string> ReadTextFile(const std::string& path,
+                                 const char* failpoint_site) {
+  FTL_FAILPOINT(failpoint_site);
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return Status::IOError("cannot open for read: " + path);
+  std::stringstream buf;
+  buf << f.rdbuf();
+  if (f.bad()) return Status::IOError("read failed: " + path);
+  return buf.str();
+}
+
+Status WriteTextFile(const std::string& path, const std::string& payload,
+                     const char* failpoint_site) {
+  size_t keep = payload.size();
+  if (failpoint::AnyArmed()) {
+    failpoint::Hit hit = failpoint::CheckIo(failpoint_site);
+    if (!hit.status.ok()) return hit.status;
+    if (hit.partial_write) {
+      // arg == 0 means "half the payload": a torn write somewhere in
+      // the middle, the default shape of a crash mid-flush.
+      size_t budget = hit.arg > 0 ? static_cast<size_t>(hit.arg)
+                                  : payload.size() / 2;
+      keep = std::min(keep, budget);
+    }
+  }
+  std::ofstream f(path, std::ios::trunc | std::ios::binary);
+  if (!f) return Status::IOError("cannot open for write: " + path);
+  f.write(payload.data(), static_cast<std::streamsize>(keep));
+  f.close();
+  if (!f) return Status::IOError("write failed: " + path);
+  if (keep < payload.size()) {
+    return Status::IOError(std::string("failpoint '") + failpoint_site +
+                           "': partial write (" + std::to_string(keep) +
+                           " of " + std::to_string(payload.size()) +
+                           " bytes) to " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace ftl::io

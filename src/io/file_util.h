@@ -1,0 +1,31 @@
+#ifndef FTL_IO_FILE_UTIL_H_
+#define FTL_IO_FILE_UTIL_H_
+
+/// \file file_util.h
+/// Whole-file read/write helpers shared by the CSV and model codecs.
+///
+/// Centralizing the byte-level IO gives every persistence path the
+/// same failure semantics: stream errors are surfaced as IOError, and
+/// each call site declares a failpoint so fault-injection tests can
+/// make it fail, stall, or tear its output (see util/failpoint.h).
+
+#include <string>
+
+#include "util/status.h"
+
+namespace ftl::io {
+
+/// Reads all of `path`. `failpoint_site` is evaluated before the read.
+Result<std::string> ReadTextFile(const std::string& path,
+                                 const char* failpoint_site);
+
+/// Writes `payload` to `path`, truncating any existing file.
+/// `failpoint_site` is evaluated first and may inject an error or
+/// request a partial (torn) write, in which case the truncated bytes
+/// are written and an IOError is returned.
+Status WriteTextFile(const std::string& path, const std::string& payload,
+                     const char* failpoint_site);
+
+}  // namespace ftl::io
+
+#endif  // FTL_IO_FILE_UTIL_H_

@@ -1,8 +1,8 @@
 #include "io/model_io.h"
 
-#include <fstream>
 #include <sstream>
 
+#include "io/file_util.h"
 #include "util/string_util.h"
 
 namespace ftl::io {
@@ -75,20 +75,13 @@ Result<core::CompatibilityModel> ModelFromString(const std::string& text) {
 
 Status WriteModel(const core::CompatibilityModel& model,
                   const std::string& path) {
-  std::ofstream f(path, std::ios::trunc);
-  if (!f) return Status::IOError("cannot open for write: " + path);
-  f << ModelToString(model);
-  f.close();
-  if (!f) return Status::IOError("write failed: " + path);
-  return Status::OK();
+  return WriteTextFile(path, ModelToString(model), "io.write_model");
 }
 
 Result<core::CompatibilityModel> ReadModel(const std::string& path) {
-  std::ifstream f(path);
-  if (!f) return Status::IOError("cannot open for read: " + path);
-  std::stringstream buf;
-  buf << f.rdbuf();
-  return ModelFromString(buf.str());
+  auto content = ReadTextFile(path, "io.read_model");
+  if (!content.ok()) return content.status();
+  return ModelFromString(content.value());
 }
 
 }  // namespace ftl::io

@@ -1,0 +1,195 @@
+#include "util/failpoint.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "util/string_util.h"
+
+namespace ftl::failpoint {
+
+namespace internal {
+std::atomic<int> g_armed_count{0};
+}  // namespace internal
+
+namespace {
+
+/// Every FTL_FAILPOINT site compiled into the library. Chaos tests
+/// sweep this list; keep it in sync when adding sites.
+constexpr const char* kCatalog[] = {
+    "io.read_csv",           // io::ReadCsv, before parsing
+    "io.write_csv",          // io::WriteCsv payload write
+    "io.read_model",         // io::ReadModel, before parsing
+    "io.write_model",        // io::WriteModel payload write
+    "core.train",            // FtlEngine::Train entry
+    "core.query.candidate",  // FtlEngine::QueryImpl, per candidate
+};
+
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, Spec> armed;
+  std::map<std::string, int64_t> hits;
+};
+
+Registry& GetRegistry() {
+  static Registry* r = new Registry();  // leaked: usable during shutdown
+  return *r;
+}
+
+/// Looks up the armed spec for `name` and bumps its hit counter.
+bool Lookup(const char* name, Spec* out) {
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.armed.find(name);
+  if (it == r.armed.end()) return false;
+  ++r.hits[name];
+  *out = it->second;
+  return true;
+}
+
+Status InjectedStatus(const char* name, const Spec& spec) {
+  switch (spec.action) {
+    case Action::kError:
+      return Status::Internal(std::string("failpoint '") + name +
+                              "': injected error");
+    case Action::kAllocFail:
+      return Status::Internal(std::string("failpoint '") + name +
+                              "': simulated allocation failure");
+    case Action::kDelay:
+      std::this_thread::sleep_for(std::chrono::milliseconds(spec.arg));
+      return Status::OK();
+    case Action::kPartialWrite:
+      // Non-IO sites cannot tear a write; treat as a plain pass so a
+      // broad sweep of `partial` stays harmless outside IO paths.
+      return Status::OK();
+  }
+  return Status::OK();
+}
+
+Result<Spec> ParseSpec(std::string_view action_str) {
+  std::string_view action = action_str;
+  std::string_view arg;
+  size_t colon = action_str.find(':');
+  if (colon != std::string_view::npos) {
+    action = action_str.substr(0, colon);
+    arg = action_str.substr(colon + 1);
+  }
+  Spec spec;
+  if (action == "error") {
+    spec.action = Action::kError;
+  } else if (action == "alloc") {
+    spec.action = Action::kAllocFail;
+  } else if (action == "delay") {
+    spec.action = Action::kDelay;
+  } else if (action == "partial") {
+    spec.action = Action::kPartialWrite;
+  } else {
+    return Status::InvalidArgument("unknown failpoint action '" +
+                                   std::string(action) +
+                                   "' (expected error|alloc|delay|partial)");
+  }
+  if (!arg.empty()) {
+    int64_t v = 0;
+    if (!ParseInt64(arg, &v) || v < 0) {
+      return Status::InvalidArgument("bad failpoint argument '" +
+                                     std::string(arg) + "'");
+    }
+    spec.arg = v;
+  }
+  return spec;
+}
+
+}  // namespace
+
+void Arm(const std::string& name, const Spec& spec) {
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto [it, inserted] = r.armed.insert_or_assign(name, spec);
+  (void)it;
+  if (inserted) {
+    internal::g_armed_count.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+bool Disarm(const std::string& name) {
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  if (r.armed.erase(name) == 0) return false;
+  internal::g_armed_count.fetch_sub(1, std::memory_order_relaxed);
+  return true;
+}
+
+void DisarmAll() {
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  internal::g_armed_count.fetch_sub(static_cast<int>(r.armed.size()),
+                                    std::memory_order_relaxed);
+  r.armed.clear();
+}
+
+Status Configure(const std::string& config) {
+  for (std::string_view clause_raw :
+       Split(config, ';')) {
+    std::string_view clause = Trim(clause_raw);
+    if (clause.empty()) continue;
+    size_t eq = clause.find('=');
+    if (eq == std::string_view::npos || eq == 0) {
+      return Status::InvalidArgument(
+          "bad failpoint clause '" + std::string(clause) +
+          "' (expected site=action[:arg])");
+    }
+    auto spec = ParseSpec(Trim(clause.substr(eq + 1)));
+    if (!spec.ok()) return spec.status();
+    Arm(std::string(Trim(clause.substr(0, eq))), spec.value());
+  }
+  return Status::OK();
+}
+
+Status InitFromEnv() {
+  const char* env = std::getenv("FTL_FAILPOINTS");
+  if (env == nullptr || *env == '\0') return Status::OK();
+  return Configure(env);
+}
+
+int64_t HitCount(const std::string& name) {
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.hits.find(name);
+  return it == r.hits.end() ? 0 : it->second;
+}
+
+std::vector<std::string> Catalog() {
+  return {std::begin(kCatalog), std::end(kCatalog)};
+}
+
+std::vector<std::string> Armed() {
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::vector<std::string> names;
+  names.reserve(r.armed.size());
+  for (const auto& [name, spec] : r.armed) names.push_back(name);
+  return names;
+}
+
+Status Check(const char* name) {
+  Spec spec;
+  if (!Lookup(name, &spec)) return Status::OK();
+  return InjectedStatus(name, spec);
+}
+
+Hit CheckIo(const char* name) {
+  Hit hit;
+  Spec spec;
+  if (!Lookup(name, &spec)) return hit;
+  if (spec.action == Action::kPartialWrite) {
+    hit.partial_write = true;
+    hit.arg = spec.arg;
+    return hit;
+  }
+  hit.status = InjectedStatus(name, spec);
+  return hit;
+}
+
+}  // namespace ftl::failpoint

@@ -1,0 +1,126 @@
+#ifndef FTL_UTIL_FAILPOINT_H_
+#define FTL_UTIL_FAILPOINT_H_
+
+/// \file failpoint.h
+/// Named fault-injection points for exercising failure paths.
+///
+/// A failpoint is a named site in fallible code where a fault can be
+/// injected at runtime: an error return, a latency spike, a simulated
+/// allocation failure, or a torn (partial) write. Sites are declared
+/// inline:
+///
+///   Status ReadThing(...) {
+///     FTL_FAILPOINT("io.read_thing");   // may return an injected error
+///     ...
+///   }
+///
+/// When nothing is armed, every site costs a single relaxed atomic
+/// load — safe to leave in hot loops. Arming happens programmatically
+/// (Arm / Configure), through the environment variable `FTL_FAILPOINTS`
+/// (read by InitFromEnv, which the CLI calls on every invocation), or
+/// through the CLI flag `--failpoints`. The activation string is a
+/// `;`-separated list of `site=action[:arg]` clauses:
+///
+///   FTL_FAILPOINTS="io.read_csv=error;core.query.candidate=delay:5"
+///
+/// Actions:
+///   error          return Status::Internal from the site
+///   alloc          return Status::Internal marked as an allocation
+///                  failure (simulates OOM without aborting)
+///   delay:<ms>     sleep <ms> milliseconds, then continue normally
+///   partial[:n]    IO write sites only: write the first n bytes
+///                  (payload/2 when n is omitted) and return IOError
+///
+/// The official site catalog lives in failpoint.cc; Catalog() exposes
+/// it so chaos tests can sweep every site one at a time.
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ftl::failpoint {
+
+/// What an armed failpoint does when its site executes.
+enum class Action {
+  kError,         ///< return an injected Status::Internal
+  kAllocFail,     ///< return a simulated allocation-failure Status
+  kDelay,         ///< sleep `arg` milliseconds, then proceed
+  kPartialWrite,  ///< IO sites: truncate the write to `arg` bytes
+};
+
+/// An armed failpoint configuration.
+struct Spec {
+  Action action = Action::kError;
+  int64_t arg = 0;  ///< kDelay: milliseconds; kPartialWrite: bytes kept
+};
+
+/// Slow-path evaluation result for IO sites (see CheckIo).
+struct Hit {
+  Status status;               ///< non-OK for kError / kAllocFail
+  bool partial_write = false;  ///< the site should truncate its write
+  int64_t arg = 0;             ///< byte budget for a partial write
+};
+
+namespace internal {
+extern std::atomic<int> g_armed_count;
+}  // namespace internal
+
+/// True when at least one failpoint is armed anywhere in the process.
+/// One relaxed atomic load; the inactive fast path of every site.
+inline bool AnyArmed() {
+  return internal::g_armed_count.load(std::memory_order_relaxed) != 0;
+}
+
+/// Arms `name` with `spec` (re-arming replaces the previous spec).
+void Arm(const std::string& name, const Spec& spec);
+
+/// Disarms `name`; returns false when it was not armed.
+bool Disarm(const std::string& name);
+
+/// Disarms everything (does not reset hit counters).
+void DisarmAll();
+
+/// Parses and arms a `site=action[:arg];...` activation string.
+Status Configure(const std::string& config);
+
+/// Arms from the FTL_FAILPOINTS environment variable (no-op when the
+/// variable is unset or empty). Idempotent; safe to call repeatedly.
+Status InitFromEnv();
+
+/// Times the failpoint `name` has fired (any action) since process
+/// start. Counts survive DisarmAll.
+int64_t HitCount(const std::string& name);
+
+/// The official failpoint site names compiled into the library, for
+/// exhaustive chaos sweeps.
+std::vector<std::string> Catalog();
+
+/// Names currently armed.
+std::vector<std::string> Armed();
+
+/// Slow-path evaluation of the site `name`: applies a delay inline and
+/// returns the injected Status for error/alloc actions (OK otherwise).
+/// Only call when AnyArmed() — use the FTL_FAILPOINT macro.
+Status Check(const char* name);
+
+/// Like Check, but additionally reports partial-write requests so IO
+/// sites can tear their output. Only call when AnyArmed().
+Hit CheckIo(const char* name);
+
+}  // namespace ftl::failpoint
+
+/// Declares a failpoint site; returns the injected Status from the
+/// enclosing function when the site is armed with a fault. Compiles to
+/// one relaxed atomic load when nothing is armed.
+#define FTL_FAILPOINT(name)                                   \
+  do {                                                        \
+    if (::ftl::failpoint::AnyArmed()) {                       \
+      ::ftl::Status _ftl_fp = ::ftl::failpoint::Check(name);  \
+      if (!_ftl_fp.ok()) return _ftl_fp;                      \
+    }                                                         \
+  } while (0)
+
+#endif  // FTL_UTIL_FAILPOINT_H_

@@ -24,6 +24,8 @@ enum class StatusCode {
   kOutOfRange,
   kFailedPrecondition,
   kInternal,
+  kDeadlineExceeded,  ///< an operation ran past its deadline
+  kCancelled,         ///< the caller requested cancellation
 };
 
 /// Returns a human-readable name for a StatusCode.
@@ -61,6 +63,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   /// True iff the operation succeeded.

@@ -64,18 +64,45 @@ size_t ParallelWorkerCount(size_t n, size_t num_threads) {
 void ParallelForWorkers(
     size_t n, size_t num_threads,
     const std::function<void(size_t, size_t, size_t)>& fn) {
-  if (n == 0) return;
+  ParallelForWorkers(n, num_threads, nullptr, fn);
+}
+
+size_t ParallelForWorkers(
+    size_t n, size_t num_threads, const std::function<bool()>& stop,
+    const std::function<void(size_t, size_t, size_t)>& fn) {
+  if (n == 0) return 0;
   size_t workers = ParallelWorkerCount(n, num_threads);
   if (n <= 1 || workers == 1) {
-    fn(0, 0, n);
-    return;
+    if (!stop) {
+      fn(0, 0, n);
+      return n;
+    }
+    // Serial cancellable path: same chunk granularity as the parallel
+    // one, so cancellation latency does not depend on the worker count.
+    size_t chunk = std::max<size_t>(1, n / 8);
+    size_t begin = 0;
+    while (begin < n) {
+      if (stop()) return begin;
+      size_t end = std::min(n, begin + chunk);
+      fn(0, begin, end);
+      begin = end;
+    }
+    return n;
   }
   // Chunks several times smaller than a fair share keep all workers
   // busy under skewed per-item cost without contending on the counter.
   size_t chunk = std::max<size_t>(1, n / (workers * 8));
   std::atomic<size_t> next{0};
-  auto run = [n, chunk, &next, &fn](size_t worker) {
+  std::atomic<bool> stopped{false};
+  auto run = [n, chunk, &next, &stopped, &stop, &fn](size_t worker) {
     for (;;) {
+      if (stop) {
+        if (stopped.load(std::memory_order_relaxed)) return;
+        if (stop()) {
+          stopped.store(true, std::memory_order_relaxed);
+          return;
+        }
+      }
       size_t begin = next.fetch_add(chunk, std::memory_order_relaxed);
       if (begin >= n) return;
       fn(worker, begin, std::min(n, begin + chunk));
@@ -86,6 +113,9 @@ void ParallelForWorkers(
   for (size_t t = 1; t < workers; ++t) threads.emplace_back(run, t);
   run(0);  // the calling thread is worker 0
   for (auto& th : threads) th.join();
+  // Claims are monotone and every claimed chunk completes, so the
+  // processed items are exactly the prefix [0, min(next, n)).
+  return std::min(n, next.load(std::memory_order_relaxed));
 }
 
 void ParallelFor(size_t n, size_t num_threads,

@@ -69,6 +69,20 @@ void ParallelForWorkers(
     size_t n, size_t num_threads,
     const std::function<void(size_t worker, size_t begin, size_t end)>& fn);
 
+/// Cancellable variant: `stop` (may be null) is polled once per chunk
+/// claim; once it returns true no further chunks are claimed, and
+/// workers wind down after finishing their in-flight chunk.
+///
+/// Because chunks are claimed in increasing order and every claimed
+/// chunk runs to completion, the processed items always form a
+/// contiguous prefix [0, processed) of the range. Returns `processed`
+/// (== n when the range completed). Deadline/cancellation plumbing in
+/// FtlEngine relies on this prefix guarantee for reproducible partial
+/// results.
+size_t ParallelForWorkers(
+    size_t n, size_t num_threads, const std::function<bool()>& stop,
+    const std::function<void(size_t worker, size_t begin, size_t end)>& fn);
+
 /// Runs fn(i) for i in [0, n) across `num_threads` threads via the
 /// chunked scheduler above. With n <= 1 or num_threads <= 1, runs
 /// inline on the calling thread.

@@ -1,0 +1,202 @@
+// Chaos harness: sweeps every failpoint in the catalog across the full
+// train -> save -> load -> query pipeline and asserts that each injected
+// fault surfaces as a clean non-OK Status (no crash, no partial state
+// escaping), and that results are byte-identical to the fault-free
+// baseline once the fault is disarmed.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "ftl/ftl.h"
+
+namespace ftl {
+namespace {
+
+sim::PopulationData ChaosPopulation() {
+  sim::PopulationOptions po;
+  po.num_persons = 12;
+  po.duration_days = 3;
+  po.cdr_accesses_per_day = 15.0;
+  po.transit_accesses_per_day = 15.0;
+  po.seed = 17;
+  return sim::SimulatePopulation(po);
+}
+
+core::EngineOptions ChaosOptions() {
+  core::EngineOptions o;
+  o.training.horizon_units = 20;
+  o.training.acceptance_pairs_per_db = 100;
+  o.alpha = {0.01, 0.2};
+  o.naive_bayes.phi_r = 0.05;
+  return o;
+}
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+/// The outcome of one end-to-end pipeline run: either a failure detail
+/// ("<step>: <status>") or a fingerprint of every query result, precise
+/// enough that two runs agree only if their outputs are identical.
+struct PipelineOutcome {
+  bool ok = false;
+  std::string detail;  // error: "<step>: <status>"; success: fingerprint
+};
+
+PipelineOutcome Fail(const std::string& step, const Status& st) {
+  return {false, step + ": " + st.ToString()};
+}
+
+/// WriteCsv -> ReadCsv -> Train -> WriteModel x2 -> ReadModel x2 ->
+/// SetModels -> Query + BatchQuery, through every failpoint site.
+PipelineOutcome RunPipeline(const sim::PopulationData& data) {
+  std::string p_csv = TempPath("ftl_chaos_p.csv");
+  std::string q_csv = TempPath("ftl_chaos_q.csv");
+  std::string rej_path = TempPath("ftl_chaos_rej.model");
+  std::string acc_path = TempPath("ftl_chaos_acc.model");
+
+  Status st = io::WriteCsv(data.cdr_db, p_csv);
+  if (!st.ok()) return Fail("write_csv", st);
+  st = io::WriteCsv(data.transit_db, q_csv);
+  if (!st.ok()) return Fail("write_csv", st);
+  auto p = io::ReadCsv(p_csv, "p");
+  if (!p.ok()) return Fail("read_csv", p.status());
+  auto q = io::ReadCsv(q_csv, "q");
+  if (!q.ok()) return Fail("read_csv", q.status());
+
+  core::FtlEngine trainer(ChaosOptions());
+  st = trainer.Train(p.value(), q.value());
+  if (!st.ok()) return Fail("train", st);
+  st = io::WriteModel(trainer.models().rejection, rej_path);
+  if (!st.ok()) return Fail("write_model", st);
+  st = io::WriteModel(trainer.models().acceptance, acc_path);
+  if (!st.ok()) return Fail("write_model", st);
+  auto rej = io::ReadModel(rej_path);
+  if (!rej.ok()) return Fail("read_model", rej.status());
+  auto acc = io::ReadModel(acc_path);
+  if (!acc.ok()) return Fail("read_model", acc.status());
+
+  core::FtlEngine engine(ChaosOptions());
+  engine.SetModels({std::move(rej).value(), std::move(acc).value()});
+
+  std::string fingerprint;
+  auto single = engine.Query(p.value()[0], q.value(),
+                             core::Matcher::kAlphaFilter);
+  if (!single.ok()) return Fail("query", single.status());
+  std::vector<traj::Trajectory> queries(p.value().begin(),
+                                        p.value().begin() + 4);
+  auto batch = engine.BatchQuery(queries, q.value(),
+                                 core::Matcher::kNaiveBayes);
+  if (!batch.ok()) return Fail("batch_query", batch.status());
+
+  auto add = [&fingerprint](const core::QueryResult& r) {
+    fingerprint += FormatDouble(r.selectiveness, 10) + "|";
+    for (const auto& c : r.candidates) {
+      fingerprint += c.label + ":" + FormatDouble(c.score, 12) + ":" +
+                     FormatDouble(c.p1, 12) + ":" +
+                     FormatDouble(c.p2, 12) + ";";
+    }
+    fingerprint += "\n";
+  };
+  add(single.value());
+  for (const auto& r : batch.value()) add(r);
+
+  for (const auto& f : {p_csv, q_csv, rej_path, acc_path}) {
+    std::remove(f.c_str());
+  }
+  return {true, fingerprint};
+}
+
+class ChaosTest : public ::testing::Test {
+ protected:
+  void SetUp() override { failpoint::DisarmAll(); }
+  void TearDown() override { failpoint::DisarmAll(); }
+};
+
+TEST_F(ChaosTest, BaselineIsDeterministic) {
+  auto data = ChaosPopulation();
+  auto first = RunPipeline(data);
+  ASSERT_TRUE(first.ok) << first.detail;
+  auto second = RunPipeline(data);
+  ASSERT_TRUE(second.ok) << second.detail;
+  EXPECT_EQ(first.detail, second.detail);
+  EXPECT_NE(first.detail.find(":"), std::string::npos)
+      << "fingerprint carries no candidates; the sweep below would "
+         "vacuously pass";
+}
+
+// The acceptance gate: every site, armed one at a time with each hard
+// fault, must produce a clean error — and full recovery after disarm.
+TEST_F(ChaosTest, HardFaultSweepFailsCleanAndRecovers) {
+  auto data = ChaosPopulation();
+  auto baseline = RunPipeline(data);
+  ASSERT_TRUE(baseline.ok) << baseline.detail;
+  for (failpoint::Action action :
+       {failpoint::Action::kError, failpoint::Action::kAllocFail}) {
+    for (const std::string& site : failpoint::Catalog()) {
+      failpoint::Arm(site, {action, 0});
+      auto faulted = RunPipeline(data);
+      EXPECT_FALSE(faulted.ok)
+          << site << " armed but the pipeline still succeeded";
+      EXPECT_NE(faulted.detail.find("failpoint"), std::string::npos)
+          << site << ": unexpected failure detail: " << faulted.detail;
+      failpoint::DisarmAll();
+      auto recovered = RunPipeline(data);
+      ASSERT_TRUE(recovered.ok) << site << ": " << recovered.detail;
+      EXPECT_EQ(recovered.detail, baseline.detail)
+          << site << ": results changed after fault recovery";
+    }
+  }
+}
+
+TEST_F(ChaosTest, PartialWriteTearsModelFileButReadFailsClean) {
+  auto data = ChaosPopulation();
+  core::FtlEngine trainer(ChaosOptions());
+  ASSERT_TRUE(trainer.Train(data.cdr_db, data.transit_db).ok());
+  std::string path = TempPath("ftl_chaos_torn.model");
+
+  failpoint::Arm("io.write_model", {failpoint::Action::kPartialWrite, 10});
+  Status st = io::WriteModel(trainer.models().rejection, path);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kIOError);
+  EXPECT_NE(st.message().find("partial write"), std::string::npos)
+      << st.ToString();
+  failpoint::DisarmAll();
+
+  // The torn file exists but must be rejected cleanly on load.
+  ASSERT_TRUE(std::filesystem::exists(path));
+  auto torn = io::ReadModel(path);
+  EXPECT_FALSE(torn.ok());
+  std::remove(path.c_str());
+}
+
+TEST_F(ChaosTest, PartialWriteTearsCsvButReadFailsClean) {
+  auto data = ChaosPopulation();
+  std::string path = TempPath("ftl_chaos_torn.csv");
+  failpoint::Arm("io.write_csv", {failpoint::Action::kPartialWrite, 8});
+  Status st = io::WriteCsv(data.cdr_db, path);
+  EXPECT_FALSE(st.ok());
+  failpoint::DisarmAll();
+  auto torn = io::ReadCsv(path, "torn");
+  EXPECT_FALSE(torn.ok());  // torn mid-header
+  std::remove(path.c_str());
+}
+
+TEST_F(ChaosTest, DelayEverywhereIsHarmless) {
+  auto data = ChaosPopulation();
+  auto baseline = RunPipeline(data);
+  ASSERT_TRUE(baseline.ok) << baseline.detail;
+  for (const std::string& site : failpoint::Catalog()) {
+    if (site == "core.query.candidate") continue;  // per-candidate: slow
+    failpoint::Arm(site, {failpoint::Action::kDelay, 1});
+  }
+  auto delayed = RunPipeline(data);
+  ASSERT_TRUE(delayed.ok) << delayed.detail;
+  EXPECT_EQ(delayed.detail, baseline.detail);
+}
+
+}  // namespace
+}  // namespace ftl

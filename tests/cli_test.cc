@@ -2,9 +2,11 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <sstream>
 
 #include "tools/cli.h"
+#include "util/failpoint.h"
 
 namespace ftl::tools {
 namespace {
@@ -81,7 +83,7 @@ TEST(CliTest, UnknownCommand) {
 
 TEST(CliTest, SimulateRequiresOutputs) {
   std::ostringstream out;
-  EXPECT_EQ(RunCli({"simulate"}, out), 1);
+  EXPECT_EQ(RunCli({"simulate"}, out), 2);  // InvalidArgument
   EXPECT_NE(out.str().find("out-p"), std::string::npos);
 }
 
@@ -90,7 +92,7 @@ TEST(CliTest, SimulateRejectsUnknownConfig) {
   int rc = RunCli({"simulate", "--out-p", Tmp("x.csv"), "--out-q",
                    Tmp("y.csv"), "--config", "ZZ"},
                   out);
-  EXPECT_EQ(rc, 1);
+  EXPECT_EQ(rc, 2);  // InvalidArgument
   EXPECT_NE(out.str().find("unknown config"), std::string::npos);
 }
 
@@ -159,7 +161,7 @@ TEST(CliTest, LinkRejectsBadMatcher) {
   int rc = RunCli({"link", "--p", p_csv, "--q", q_csv, "--matcher",
                    "bogus"},
                   out2);
-  EXPECT_EQ(rc, 1);
+  EXPECT_EQ(rc, 2);  // InvalidArgument
   EXPECT_NE(out2.str().find("--matcher"), std::string::npos);
 }
 
@@ -176,7 +178,7 @@ TEST(CliTest, LinkUnknownQueryLabel) {
   EXPECT_EQ(RunCli({"link", "--p", p_csv, "--q", q_csv, "--query",
                     "no-such-label"},
                    out2),
-            1);
+            3);  // NotFound
   EXPECT_NE(out2.str().find("NotFound"), std::string::npos);
 }
 
@@ -231,14 +233,91 @@ TEST(CliTest, ValidateDiagnoseCalibrateEnrich) {
     EXPECT_EQ(RunCli({"enrich", "--p", p_csv, "--q", q_csv, "--query",
                       "nope", "--candidate", "trip-1"},
                      out),
-              1);
+              3);  // NotFound
   }
 }
 
 TEST(CliTest, StatsMissingFile) {
   std::ostringstream out;
-  EXPECT_EQ(RunCli({"stats", "--db", "/nonexistent/f.csv"}, out), 1);
+  EXPECT_EQ(RunCli({"stats", "--db", "/nonexistent/f.csv"}, out),
+            4);  // IOError
   EXPECT_NE(out.str().find("IOError"), std::string::npos);
+}
+
+// ----------------------------------------------------- Robustness flags
+
+TEST(CliTest, ErrorsGoToTheErrorStream) {
+  std::ostringstream out, err;
+  EXPECT_EQ(RunCli({"stats", "--db", "/nonexistent/f.csv"}, out, err), 4);
+  EXPECT_TRUE(out.str().empty()) << out.str();
+  EXPECT_NE(err.str().find("IOError"), std::string::npos);
+}
+
+TEST(CliTest, LenientLoadQuarantinesCorruptRows) {
+  TempFiles files;
+  std::string db_csv = files.Add("cli_corrupt.csv");
+  std::string sidecar = files.Add("cli_quar");
+  std::string sidecar_file = sidecar + ".db.csv";
+  {
+    std::ofstream f(db_csv);
+    f << "label,owner,t,x,y\n"
+      << "a,1,0,0,0\n"
+      << "a,1,60,30,30\n"
+      << "a,1,120,bogus,30\n"
+      << "b,2,0,5,5\n";
+  }
+  // Strict load fails with the row-level reason...
+  std::ostringstream strict_out, strict_err;
+  EXPECT_EQ(RunCli({"stats", "--db", db_csv}, strict_out, strict_err), 4);
+  EXPECT_NE(strict_err.str().find("line 4"), std::string::npos)
+      << strict_err.str();
+  // ...and --lenient loads the clean remainder, reporting the rest.
+  std::ostringstream out;
+  ASSERT_EQ(RunCli({"stats", "--db", db_csv, "--lenient",
+                    "--quarantine-out", sidecar},
+                   out),
+            0)
+      << out.str();
+  EXPECT_NE(out.str().find("quarantined 1/4 rows"), std::string::npos)
+      << out.str();
+  EXPECT_NE(out.str().find("unparseable"), std::string::npos);
+  EXPECT_NE(out.str().find("trajectories=2"), std::string::npos);
+  EXPECT_TRUE(std::filesystem::exists(sidecar_file));
+  files.paths.push_back(sidecar_file);
+}
+
+TEST(CliTest, FailpointsFlagInjectsFaults) {
+  TempFiles files;
+  std::string p_csv = files.Add("cli_fp_p.csv");
+  std::string q_csv = files.Add("cli_fp_q.csv");
+  std::ostringstream sim_out;
+  ASSERT_EQ(RunCli({"simulate", "--out-p", p_csv, "--out-q", q_csv,
+                    "--config", "SD", "--objects", "10"},
+                   sim_out),
+            0);
+  {
+    std::ostringstream out, err;
+    int rc = RunCli({"stats", "--db", p_csv, "--failpoints",
+                     "io.read_csv=error"},
+                    out, err);
+    failpoint::DisarmAll();
+    EXPECT_EQ(rc, 7);  // Internal
+    EXPECT_NE(err.str().find("failpoint"), std::string::npos)
+        << err.str();
+  }
+  {
+    std::ostringstream out, err;
+    int rc = RunCli({"stats", "--db", p_csv, "--failpoints",
+                     "io.read_csv=explode"},
+                    out, err);
+    failpoint::DisarmAll();
+    EXPECT_EQ(rc, 2);  // InvalidArgument: malformed spec
+  }
+  {
+    // Disarmed again: the same command succeeds.
+    std::ostringstream out;
+    EXPECT_EQ(RunCli({"stats", "--db", p_csv}, out), 0) << out.str();
+  }
 }
 
 }  // namespace

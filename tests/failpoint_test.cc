@@ -1,0 +1,127 @@
+#include "util/failpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+
+#include "util/status.h"
+
+namespace ftl::failpoint {
+namespace {
+
+/// Every test leaves the global registry clean so suites can run in any
+/// order (and so armed points never leak into other test binaries'
+/// assumptions about the fast path).
+class FailpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override { DisarmAll(); }
+  void TearDown() override {
+    DisarmAll();
+    unsetenv("FTL_FAILPOINTS");
+  }
+};
+
+TEST_F(FailpointTest, NothingArmedByDefault) {
+  EXPECT_FALSE(AnyArmed());
+  EXPECT_TRUE(Armed().empty());
+  EXPECT_TRUE(Check("io.read_csv").ok());
+}
+
+TEST_F(FailpointTest, ArmDisarmTogglesFastPath) {
+  Arm("io.read_csv", {Action::kError, 0});
+  EXPECT_TRUE(AnyArmed());
+  ASSERT_EQ(Armed().size(), 1u);
+  EXPECT_EQ(Armed()[0], "io.read_csv");
+  EXPECT_TRUE(Disarm("io.read_csv"));
+  EXPECT_FALSE(AnyArmed());
+  EXPECT_FALSE(Disarm("io.read_csv"));  // already gone
+}
+
+TEST_F(FailpointTest, ErrorActionInjectsNonOkStatus) {
+  Arm("core.train", {Action::kError, 0});
+  Status st = Check("core.train");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInternal);
+  // Unarmed sites are unaffected.
+  EXPECT_TRUE(Check("io.read_csv").ok());
+}
+
+TEST_F(FailpointTest, AllocActionMentionsAllocationFailure) {
+  Arm("core.train", {Action::kAllocFail, 0});
+  Status st = Check("core.train");
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("alloc"), std::string::npos) << st.ToString();
+}
+
+TEST_F(FailpointTest, DelayActionSleepsThenSucceeds) {
+  Arm("core.query.candidate", {Action::kDelay, 30});
+  auto start = std::chrono::steady_clock::now();
+  Status st = Check("core.query.candidate");
+  auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  EXPECT_TRUE(st.ok());
+  EXPECT_GE(elapsed.count(), 25);
+}
+
+TEST_F(FailpointTest, HitCountAccumulatesAcrossDisarm) {
+  int64_t before = HitCount("core.train");
+  Arm("core.train", {Action::kError, 0});
+  (void)Check("core.train");
+  (void)Check("core.train");
+  DisarmAll();
+  EXPECT_EQ(HitCount("core.train"), before + 2);
+}
+
+TEST_F(FailpointTest, CheckIoReportsPartialWrite) {
+  Arm("io.write_model", {Action::kPartialWrite, 7});
+  Hit hit = CheckIo("io.write_model");
+  EXPECT_TRUE(hit.status.ok());
+  EXPECT_TRUE(hit.partial_write);
+  EXPECT_EQ(hit.arg, 7);
+}
+
+TEST_F(FailpointTest, ConfigureParsesClauseList) {
+  ASSERT_TRUE(Configure("io.read_csv=error;core.query.candidate=delay:5")
+                  .ok());
+  auto armed = Armed();
+  EXPECT_EQ(armed.size(), 2u);
+  EXPECT_FALSE(Check("io.read_csv").ok());
+  EXPECT_TRUE(Check("core.query.candidate").ok());  // delay, then OK
+}
+
+TEST_F(FailpointTest, ConfigureRejectsMalformedSpecs) {
+  EXPECT_FALSE(Configure("io.read_csv").ok());           // no action
+  EXPECT_FALSE(Configure("io.read_csv=explode").ok());   // unknown action
+  EXPECT_FALSE(Configure("io.read_csv=delay:xy").ok());  // bad arg
+  EXPECT_FALSE(Configure("io.read_csv=delay:-1").ok());  // negative arg
+  EXPECT_FALSE(AnyArmed());
+}
+
+TEST_F(FailpointTest, ConfigureEmptyStringIsNoOp) {
+  EXPECT_TRUE(Configure("").ok());
+  EXPECT_FALSE(AnyArmed());
+}
+
+TEST_F(FailpointTest, InitFromEnvArmsFromVariable) {
+  ASSERT_EQ(setenv("FTL_FAILPOINTS", "core.train=error", 1), 0);
+  ASSERT_TRUE(InitFromEnv().ok());
+  EXPECT_FALSE(Check("core.train").ok());
+  unsetenv("FTL_FAILPOINTS");
+  EXPECT_TRUE(InitFromEnv().ok());  // unset variable: no-op, still OK
+}
+
+TEST_F(FailpointTest, CatalogListsAllSites) {
+  auto catalog = Catalog();
+  EXPECT_GE(catalog.size(), 6u);
+  for (const char* site : {"io.read_csv", "io.write_csv", "io.read_model",
+                           "io.write_model", "core.train",
+                           "core.query.candidate"}) {
+    bool found = false;
+    for (const auto& name : catalog) found = found || name == site;
+    EXPECT_TRUE(found) << "catalog is missing " << site;
+  }
+}
+
+}  // namespace
+}  // namespace ftl::failpoint

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 
 #include "io/csv.h"
 #include "io/model_io.h"
@@ -100,6 +101,146 @@ TEST(CsvTest, ReadMissingFileFails) {
 
 TEST(CsvTest, WriteToBadPathFails) {
   EXPECT_FALSE(WriteCsv(SampleDb(), "/nonexistent/dir/file.csv").ok());
+}
+
+// ----------------------------------------------------------- Quarantine
+
+TEST(CsvTest, StrictErrorsCarryRowLevelReasons) {
+  auto field_count = FromCsvString("label,owner,t,x,y\na,1,5,0\n", "x");
+  ASSERT_FALSE(field_count.ok());
+  EXPECT_NE(field_count.status().message().find("line 2"),
+            std::string::npos);
+  EXPECT_NE(field_count.status().message().find("5 fields"),
+            std::string::npos);
+
+  // int64 overflow must fail the parse, not wrap into a bogus value.
+  auto overflow = FromCsvString(
+      "label,owner,t,x,y\na,1,999999999999999999999,0,0\n", "x");
+  ASSERT_FALSE(overflow.ok());
+  EXPECT_NE(overflow.status().message().find("line 2"), std::string::npos);
+
+  auto non_finite = FromCsvString("label,owner,t,x,y\na,1,5,nan,0\n", "x");
+  ASSERT_FALSE(non_finite.ok());
+  EXPECT_NE(non_finite.status().message().find("non-finite"),
+            std::string::npos);
+
+  // Physical-range checks are lenient-mode policy: strict mode keeps
+  // the historical contract that any finite parseable timestamp loads.
+  auto negative_t = FromCsvString("label,owner,t,x,y\na,1,-5,0,0\n", "x");
+  EXPECT_TRUE(negative_t.ok()) << negative_t.status().ToString();
+}
+
+TEST(CsvTest, LenientLoadsCleanRowsAndReportsTheRest) {
+  std::string csv =
+      "label,owner,t,x,y\n"
+      "a,1,0,0,0\n"
+      "a,1,60,30,30\n"
+      "a,1,120,60\n"            // field count
+      "a,1,180,90,90\n"
+      "b,2,0,abc,5\n"           // unparseable
+      "b,2,60,inf,5\n"          // non-finite
+      "b,2,120,99999999,5\n"    // coordinate range
+      "b,2,180,-1000,5\n"
+      "b,2,240,-990,6\n"
+      "c,3,-60,1,1\n";          // timestamp range
+  CsvReadOptions opts;
+  opts.lenient = true;
+  QuarantineReport report;
+  auto db = FromCsvString(csv, "lenient", opts, &report);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  EXPECT_EQ(report.rows_total, 10u);
+  EXPECT_EQ(report.rows_quarantined, 5u);
+  EXPECT_EQ(report.count(QuarantineReason::kFieldCount), 1u);
+  EXPECT_EQ(report.count(QuarantineReason::kUnparseable), 1u);
+  EXPECT_EQ(report.count(QuarantineReason::kNonFinite), 1u);
+  EXPECT_EQ(report.count(QuarantineReason::kCoordinateRange), 1u);
+  EXPECT_EQ(report.count(QuarantineReason::kTimestampRange), 1u);
+  EXPECT_EQ(report.sample_rows.size(), 5u);
+  // The clean 90% loads: a keeps 3 records, b keeps 2; c vanished
+  // entirely (its only row was quarantined).
+  ASSERT_EQ(db.value().size(), 2u);
+  EXPECT_EQ(db.value()[db.value().Find("a")].size(), 3u);
+  EXPECT_EQ(db.value()[db.value().Find("b")].size(), 2u);
+  EXPECT_EQ(db.value().Find("c"), traj::TrajectoryDatabase::npos);
+  EXPECT_NE(report.ToString().find("quarantined 5/10 rows"),
+            std::string::npos)
+      << report.ToString();
+}
+
+TEST(CsvTest, LenientDropsDuplicateTimestampsFirstRowWins) {
+  std::string csv =
+      "label,owner,t,x,y\n"
+      "a,1,60,111,0\n"
+      "a,1,60,222,0\n"  // duplicate of t=60; the first row wins
+      "a,1,0,5,5\n";
+  CsvReadOptions opts;
+  opts.lenient = true;
+  QuarantineReport report;
+  auto db = FromCsvString(csv, "dups", opts, &report);
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(report.count(QuarantineReason::kDuplicateTimestamp), 1u);
+  const auto& a = db.value()[db.value().Find("a")];
+  ASSERT_EQ(a.size(), 2u);
+  EXPECT_EQ(a[1].t, 60);
+  EXPECT_NEAR(a[1].location.x, 111.0, 1e-9);
+}
+
+TEST(CsvTest, LenientQuarantinesTeleports) {
+  // 100 km in 60 s is far beyond the 30 m/s ceiling.
+  std::string csv =
+      "label,owner,t,x,y\n"
+      "a,1,0,0,0\n"
+      "a,1,60,100000,0\n"
+      "a,1,120,1200,0\n";  // compatible with the kept t=0 record? no:
+                           // 1200 m in 120 s = 10 m/s -> kept.
+  CsvReadOptions opts;
+  opts.lenient = true;
+  opts.max_speed_mps = 30.0;
+  QuarantineReport report;
+  auto db = FromCsvString(csv, "tp", opts, &report);
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(report.count(QuarantineReason::kTeleport), 1u);
+  const auto& a = db.value()[db.value().Find("a")];
+  ASSERT_EQ(a.size(), 2u);
+  EXPECT_EQ(a[0].t, 0);
+  EXPECT_EQ(a[1].t, 120);
+}
+
+TEST(CsvTest, LenientWritesSidecarCsv) {
+  std::string path = TempPath("ftl_quarantine_sidecar.csv");
+  std::string csv =
+      "label,owner,t,x,y\n"
+      "a,1,0,0,0\n"
+      "a,1,60,bogus,0\n";
+  CsvReadOptions opts;
+  opts.lenient = true;
+  opts.sidecar_path = path;
+  QuarantineReport report;
+  auto db = FromCsvString(csv, "sc", opts, &report);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  ASSERT_EQ(report.rows_quarantined, 1u);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string header, row;
+  ASSERT_TRUE(std::getline(in, header));
+  EXPECT_EQ(header, "reason,label,owner,t,x,y");
+  ASSERT_TRUE(std::getline(in, row));
+  EXPECT_NE(row.find("unparseable"), std::string::npos);
+  EXPECT_NE(row.find("bogus"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, LenientNoCorruptionMatchesStrictLoad) {
+  std::string csv = ToCsvString(SampleDb());
+  CsvReadOptions opts;
+  opts.lenient = true;
+  QuarantineReport report;
+  auto lenient = FromCsvString(csv, "sample", opts, &report);
+  auto strict = FromCsvString(csv, "sample");
+  ASSERT_TRUE(lenient.ok());
+  ASSERT_TRUE(strict.ok());
+  EXPECT_TRUE(report.empty());
+  EXPECT_EQ(ToCsvString(lenient.value()), ToCsvString(strict.value()));
 }
 
 // ---------------------------------------------------------------- Model

@@ -88,18 +88,69 @@ std::string UsageText() {
       "  calibrate --p P.csv --q Q.csv [--matcher nb|alpha] [--budget 10]\n"
       "            [--queries 50]      auto-pick thresholds for a budget\n"
       "  enrich    --p P.csv --q Q.csv --query L1 --candidate L2\n"
-      "                                merge a linked pair (Figure 2)\n";
+      "                                merge a linked pair (Figure 2)\n"
+      "\n"
+      "global flags:\n"
+      "  --lenient             quarantine malformed CSV rows instead of\n"
+      "                        failing the load (summary printed)\n"
+      "  --quarantine-out F    with --lenient, write quarantined rows of\n"
+      "                        each input to F.<flag>.csv\n"
+      "  --failpoints SPEC     arm fault injection: site=action[:arg];...\n"
+      "                        (also via the FTL_FAILPOINTS env var)\n";
+}
+
+int ExitCodeForStatus(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kOk:
+      return 0;
+    case StatusCode::kInvalidArgument:
+      return 2;
+    case StatusCode::kNotFound:
+      return 3;
+    case StatusCode::kIOError:
+      return 4;
+    case StatusCode::kOutOfRange:
+      return 5;
+    case StatusCode::kFailedPrecondition:
+      return 6;
+    case StatusCode::kInternal:
+      return 7;
+    case StatusCode::kDeadlineExceeded:
+      return 8;
+    case StatusCode::kCancelled:
+      return 9;
+  }
+  return 1;
 }
 
 namespace {
 
 Result<traj::TrajectoryDatabase> LoadDb(const ArgMap& args,
-                                        const std::string& flag) {
+                                        const std::string& flag,
+                                        std::ostream& out) {
   std::string path = args.Get(flag, "");
   if (path.empty()) {
     return Status::InvalidArgument("missing required --" + flag);
   }
-  return io::ReadCsv(path, path);
+  if (!args.Has("lenient")) return io::ReadCsv(path, path);
+  io::CsvReadOptions opts;
+  opts.lenient = true;
+  std::string sidecar = args.Get("quarantine-out", "");
+  if (!sidecar.empty()) {
+    opts.sidecar_path = sidecar + "." + flag + ".csv";
+  }
+  io::QuarantineReport report;
+  auto db = io::ReadCsv(path, path, opts, &report);
+  if (db.ok() && !report.empty()) {
+    out << path << ": " << report.ToString() << "\n";
+    for (const auto& sample : report.sample_rows) {
+      out << "  " << sample << "\n";
+    }
+    if (!opts.sidecar_path.empty()) {
+      out << "  quarantined rows written to " << opts.sidecar_path << "\n";
+    }
+  }
+  return db;
 }
 
 Result<core::EngineOptions> EngineOptionsFromArgs(const ArgMap& args) {
@@ -159,7 +210,7 @@ Status CmdSimulate(const ArgMap& args, std::ostream& out) {
 }
 
 Status CmdStats(const ArgMap& args, std::ostream& out) {
-  auto db = LoadDb(args, "db");
+  auto db = LoadDb(args, "db", out);
   if (!db.ok()) return db.status();
   out << "database: " << db.value().name() << "\n"
       << traj::ToString(traj::Summarize(db.value())) << "\n";
@@ -167,9 +218,9 @@ Status CmdStats(const ArgMap& args, std::ostream& out) {
 }
 
 Status CmdTrain(const ArgMap& args, std::ostream& out) {
-  auto p = LoadDb(args, "p");
+  auto p = LoadDb(args, "p", out);
   if (!p.ok()) return p.status();
-  auto q = LoadDb(args, "q");
+  auto q = LoadDb(args, "q", out);
   if (!q.ok()) return q.status();
   std::string out_rej = args.Get("out-rejection", "");
   std::string out_acc = args.Get("out-acceptance", "");
@@ -192,9 +243,9 @@ Status CmdTrain(const ArgMap& args, std::ostream& out) {
 }
 
 Status CmdLink(const ArgMap& args, std::ostream& out) {
-  auto p = LoadDb(args, "p");
+  auto p = LoadDb(args, "p", out);
   if (!p.ok()) return p.status();
-  auto q = LoadDb(args, "q");
+  auto q = LoadDb(args, "q", out);
   if (!q.ok()) return q.status();
   auto eo = EngineOptionsFromArgs(args);
   if (!eo.ok()) return eo.status();
@@ -244,7 +295,7 @@ Status CmdLink(const ArgMap& args, std::ostream& out) {
 }
 
 Status CmdExport(const ArgMap& args, std::ostream& out) {
-  auto db = LoadDb(args, "db");
+  auto db = LoadDb(args, "db", out);
   if (!db.ok()) return db.status();
   std::string path = args.Get("out", "");
   if (path.empty()) return Status::InvalidArgument("export needs --out");
@@ -254,7 +305,7 @@ Status CmdExport(const ArgMap& args, std::ostream& out) {
 }
 
 Status CmdValidate(const ArgMap& args, std::ostream& out) {
-  auto db = LoadDb(args, "db");
+  auto db = LoadDb(args, "db", out);
   if (!db.ok()) return db.status();
   auto report = traj::ValidateDatabase(db.value());
   out << report.ToString() << "\n";
@@ -269,9 +320,9 @@ Status CmdValidate(const ArgMap& args, std::ostream& out) {
 }
 
 Status CmdDiagnose(const ArgMap& args, std::ostream& out) {
-  auto p = LoadDb(args, "p");
+  auto p = LoadDb(args, "p", out);
   if (!p.ok()) return p.status();
-  auto q = LoadDb(args, "q");
+  auto q = LoadDb(args, "q", out);
   if (!q.ok()) return q.status();
   auto eo = EngineOptionsFromArgs(args);
   if (!eo.ok()) return eo.status();
@@ -286,9 +337,9 @@ Status CmdDiagnose(const ArgMap& args, std::ostream& out) {
 }
 
 Status CmdCalibrate(const ArgMap& args, std::ostream& out) {
-  auto p = LoadDb(args, "p");
+  auto p = LoadDb(args, "p", out);
   if (!p.ok()) return p.status();
-  auto q = LoadDb(args, "q");
+  auto q = LoadDb(args, "q", out);
   if (!q.ok()) return q.status();
   auto eo = EngineOptionsFromArgs(args);
   if (!eo.ok()) return eo.status();
@@ -325,9 +376,9 @@ Status CmdCalibrate(const ArgMap& args, std::ostream& out) {
 }
 
 Status CmdEnrich(const ArgMap& args, std::ostream& out) {
-  auto p = LoadDb(args, "p");
+  auto p = LoadDb(args, "p", out);
   if (!p.ok()) return p.status();
-  auto q = LoadDb(args, "q");
+  auto q = LoadDb(args, "q", out);
   if (!q.ok()) return q.status();
   size_t pi = p.value().Find(args.Get("query", ""));
   if (pi == traj::TrajectoryDatabase::npos) {
@@ -356,6 +407,18 @@ Status CmdEnrich(const ArgMap& args, std::ostream& out) {
 }
 
 int RunCli(const std::vector<std::string>& args, std::ostream& out) {
+  return RunCli(args, out, out);
+}
+
+int RunCli(const std::vector<std::string>& args, std::ostream& out,
+           std::ostream& err) {
+  // Honor FTL_FAILPOINTS before anything fallible runs, so injected
+  // faults cover the whole command.
+  Status env = failpoint::InitFromEnv();
+  if (!env.ok()) {
+    err << "error: " << env.ToString() << "\n";
+    return ExitCodeForStatus(env);
+  }
   if (args.empty() || args[0] == "help" || args[0] == "--help") {
     out << UsageText();
     return args.empty() ? 1 : 0;
@@ -363,8 +426,15 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out) {
   std::string cmd = args[0];
   auto parsed = ArgMap::Parse({args.begin() + 1, args.end()});
   if (!parsed.ok()) {
-    out << "error: " << parsed.status().ToString() << "\n";
+    err << "error: " << parsed.status().ToString() << "\n";
     return 1;
+  }
+  if (parsed.value().Has("failpoints")) {
+    Status fp = failpoint::Configure(parsed.value().Get("failpoints", ""));
+    if (!fp.ok()) {
+      err << "error: " << fp.ToString() << "\n";
+      return ExitCodeForStatus(fp);
+    }
   }
   Status st;
   if (cmd == "simulate") {
@@ -386,12 +456,12 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out) {
   } else if (cmd == "enrich") {
     st = CmdEnrich(parsed.value(), out);
   } else {
-    out << "error: unknown command '" << cmd << "'\n" << UsageText();
+    err << "error: unknown command '" << cmd << "'\n" << UsageText();
     return 1;
   }
   if (!st.ok()) {
-    out << "error: " << st.ToString() << "\n";
-    return 1;
+    err << "error: " << st.ToString() << "\n";
+    return ExitCodeForStatus(st);
   }
   return 0;
 }

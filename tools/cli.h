@@ -20,7 +20,14 @@
 ///   ftl enrich   --p p.csv --q q.csv --query LABEL --candidate LABEL
 ///
 /// Every subcommand returns a Status and writes human-readable output to
-/// the provided stream.
+/// the provided stream. Global flags:
+///   --failpoints SPEC   arm fault-injection sites ("site=action[:arg];...")
+///                       for this invocation; FTL_FAILPOINTS in the
+///                       environment does the same.
+///   --lenient           load CSVs in quarantine mode: malformed rows are
+///                       reported and skipped instead of failing the load.
+///   --quarantine-out F  with --lenient, write quarantined rows of each
+///                       input to F.<flag>.csv (e.g. F.p.csv, F.q.csv).
 
 #include <ostream>
 #include <string>
@@ -50,8 +57,20 @@ class ArgMap {
   std::vector<std::pair<std::string, std::string>> kv_;
 };
 
+/// Maps a Status to a process exit code, one distinct code per error
+/// category so scripts can branch on the failure kind:
+///   0 OK; 2 InvalidArgument; 3 NotFound; 4 IOError; 5 OutOfRange;
+///   6 FailedPrecondition; 7 Internal; 8 DeadlineExceeded; 9 Cancelled.
+/// (1 is reserved for usage errors: unknown command / malformed flags.)
+int ExitCodeForStatus(const Status& status);
+
 /// Dispatches a full command line (without the program name). Returns
-/// the process exit status; diagnostics go to `out`.
+/// the process exit status; regular output goes to `out`, error
+/// diagnostics to `err`.
+int RunCli(const std::vector<std::string>& args, std::ostream& out,
+           std::ostream& err);
+
+/// Single-stream convenience overload: errors share `out`.
 int RunCli(const std::vector<std::string>& args, std::ostream& out);
 
 /// Individual subcommands (exposed for tests).

@@ -9,5 +9,5 @@
 
 int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
-  return ftl::tools::RunCli(args, std::cout);
+  return ftl::tools::RunCli(args, std::cout, std::cerr);
 }
