@@ -29,6 +29,7 @@
 
 #include "bench_common.h"
 #include "ftl/ftl.h"
+#include "obs/metrics.h"
 #include "stats/grouped_poisson_binomial.h"
 #include "util/stopwatch.h"
 
@@ -326,6 +327,36 @@ int main(int argc, char** argv) {
       "parallel speedup vs serial:      %.2fx on %zu threads\n",
       speedup_exact, speedup_parallel, hw_threads);
 
+  // ------------------------------------------------- metrics snapshot
+  // The engine modes above ran fully instrumented; report what the obs
+  // layer saw (sampled stage timers, fast-reject counters) so the bench
+  // doubles as an end-to-end check of the observability data.
+  {
+    auto& reg = ftl::obs::MetricsRegistry::Global();
+    auto stage = [&reg](const char* name) {
+      const ftl::obs::Histogram& h = reg.GetHistogram(name);
+      std::printf("  %-28s n=%-8lld p50=%8.0fns p99=%10.0fns\n", name,
+                  static_cast<long long>(h.Count()), h.Quantile(0.5),
+                  h.Quantile(0.99));
+    };
+    std::printf("\nobs stage timers (sampled 1/64 pairs):\n");
+    stage("ftl_stage_alignment_ns");
+    stage("ftl_stage_bucketing_ns");
+    stage("ftl_stage_tail_ns");
+    stage("ftl_stage_decision_ns");
+    std::printf(
+        "obs counters: candidates=%lld fast_reject=%lld exact_tail=%lld "
+        "rna_tail=%lld\n",
+        static_cast<long long>(
+            reg.GetCounter("ftl_query_candidates_total").Value()),
+        static_cast<long long>(
+            reg.GetCounter("ftl_query_fast_reject_total").Value()),
+        static_cast<long long>(
+            reg.GetCounter("ftl_query_tail_exact_total").Value()),
+        static_cast<long long>(
+            reg.GetCounter("ftl_query_tail_rna_total").Value()));
+  }
+
   FILE* f = std::fopen(out_path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
@@ -364,7 +395,8 @@ int main(int argc, char** argv) {
                  m.query_latency.p50_us, m.query_latency.p99_us, m.threads,
                  m.accepted, i + 1 < modes.size() ? "," : "");
   }
-  std::fprintf(f, "  }\n}\n");
+  std::fprintf(f, "  },\n  \"metrics\": %s\n}\n",
+               ftl::obs::DumpJson().c_str());
   std::fclose(f);
   std::printf("wrote %s\n", out_path.c_str());
   return max_pvalue_diff <= 1e-12 ? 0 : 2;

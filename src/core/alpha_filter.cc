@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "stats/poisson_binomial.h"
+#include "util/stopwatch.h"
 
 namespace ftl::core {
 
@@ -32,7 +33,8 @@ AlphaFilterDecision AlphaFilter::Classify(
 }
 
 AlphaFilterDecision AlphaFilter::Classify(
-    const BucketEvidence& evidence, stats::GroupedPbWorkspace* ws) const {
+    const BucketEvidence& evidence, stats::GroupedPbWorkspace* ws,
+    AlphaFilterStageTimes* stage_times) const {
   AlphaFilterDecision d;
   d.n_segments = static_cast<size_t>(evidence.informative);
   d.k_observed = evidence.k_observed;
@@ -69,22 +71,45 @@ AlphaFilterDecision AlphaFilter::Classify(
       if (bound < params_.alpha1) {
         // p1 <= bound < alpha1: same rejection as the exact tail.
         d.p1 = bound;
+        d.fast_rejected = true;
         return d;
       }
     }
   }
+  // The sampled stage timers wrap the two grouped-kernel stages; when
+  // stage_times is null (the hot path) no clock is read.
+  Stopwatch sw;
   evidence.GroupsUnder(models_.rejection, &ws->groups);
+  if (stage_times != nullptr) {
+    stage_times->bucketing_ns +=
+        static_cast<int64_t>(sw.ElapsedSeconds() * 1e9);
+    sw.Reset();
+  }
   stats::GroupedTails rej = stats::GroupedPoissonBinomialTails(
       ws->groups, d.k_observed, params_.tail, ws);
+  if (stage_times != nullptr) {
+    stage_times->tail_ns += static_cast<int64_t>(sw.ElapsedSeconds() * 1e9);
+  }
   d.p1 = rej.upper;
+  d.used_rna = !rej.exact;
   d.survived_rejection = d.p1 >= params_.alpha1;
   if (!d.survived_rejection) return d;
 
   // Phase 2: α2-acceptance against the acceptance model.
+  if (stage_times != nullptr) sw.Reset();
   evidence.GroupsUnder(models_.acceptance, &ws->groups);
+  if (stage_times != nullptr) {
+    stage_times->bucketing_ns +=
+        static_cast<int64_t>(sw.ElapsedSeconds() * 1e9);
+    sw.Reset();
+  }
   stats::GroupedTails acc = stats::GroupedPoissonBinomialTails(
       ws->groups, d.k_observed, params_.tail, ws);
+  if (stage_times != nullptr) {
+    stage_times->tail_ns += static_cast<int64_t>(sw.ElapsedSeconds() * 1e9);
+  }
   d.p2 = acc.lower;
+  d.used_rna = d.used_rna || !acc.exact;
   d.accepted = d.p2 < params_.alpha2;
   return d;
 }

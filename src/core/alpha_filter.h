@@ -47,8 +47,24 @@ struct AlphaFilterDecision {
   int64_t k_observed = 0;           ///< incompatible informative segments
   size_t n_segments = 0;            ///< informative mutual segments
 
+  /// The Chernoff–KL bound alone rejected the candidate (grouped-kernel
+  /// path only); p1 is the bound, and no tail was evaluated.
+  bool fast_rejected = false;
+
+  /// At least one evaluated tail answered via the refined normal
+  /// approximation instead of the exact convolution.
+  bool used_rna = false;
+
   /// Ranking score v = p1 (1 - p2); higher means more likely a match.
   double Score() const { return p1 * (1.0 - p2); }
+};
+
+/// Optional per-stage wall-clock breakdown of the grouped-kernel
+/// Classify, filled only when the caller passes a non-null pointer
+/// (the engine's sampled stage timers). Durations in nanoseconds.
+struct AlphaFilterStageTimes {
+  int64_t bucketing_ns = 0;  ///< GroupsUnder under both models
+  int64_t tail_ns = 0;       ///< grouped-PB tail evaluation, both phases
 };
 
 /// Stateless classifier over a trained model pair.
@@ -65,9 +81,14 @@ class AlphaFilter {
   /// `ws` buffers (no allocation after warm-up). Decisions are
   /// identical to the per-segment overload; p-values agree to ~1e-13
   /// on the exact path (see AlphaFilterParams::fast_reject and ::tail
-  /// for the two sanctioned deviations).
+  /// for the two sanctioned deviations). When `stage_times` is
+  /// non-null the bucketing/tail stages are stopwatch-timed into it
+  /// (two extra clock reads per stage; pass null on the hot path and
+  /// sample).
   AlphaFilterDecision Classify(const BucketEvidence& evidence,
-                               stats::GroupedPbWorkspace* ws) const;
+                               stats::GroupedPbWorkspace* ws,
+                               AlphaFilterStageTimes* stage_times =
+                                   nullptr) const;
 
   /// Convenience: collects evidence for (p, q) and classifies.
   AlphaFilterDecision Classify(const traj::Trajectory& p,

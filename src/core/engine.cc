@@ -5,12 +5,65 @@
 #include <cmath>
 #include <mutex>
 
+#include "obs/metrics.h"
 #include "stats/grouped_poisson_binomial.h"
 #include "traj/alignment.h"
 #include "util/failpoint.h"
+#include "util/stopwatch.h"
 #include "util/thread_pool.h"
 
 namespace ftl::core {
+
+namespace {
+
+/// Every kStageSampleEvery-th pair per scratch stream pays the stage
+/// stopwatches (6-8 clock reads); the rest pay only local integer
+/// tallies. Power of two so the modulo is a mask.
+constexpr uint32_t kStageSampleEvery = 64;
+
+/// Named obs handles, resolved once per process (registry lookups are
+/// mutex-guarded and must stay off the per-query path).
+struct EngineMetrics {
+  obs::Counter* queries;
+  obs::Counter* truncated_deadline;
+  obs::Counter* truncated_cancel;
+  obs::Counter* candidates;
+  obs::Counter* accepted;
+  obs::Counter* fast_rejects;
+  obs::Counter* exact_tails;
+  obs::Counter* rna_tails;
+  obs::Histogram* query_latency_us;
+  obs::Histogram* stage_alignment_ns;
+  obs::Histogram* stage_bucketing_ns;
+  obs::Histogram* stage_tail_ns;
+  obs::Histogram* stage_decision_ns;
+};
+
+const EngineMetrics& Metrics() {
+  static const EngineMetrics m = [] {
+    auto& r = obs::MetricsRegistry::Global();
+    EngineMetrics em;
+    em.queries = &r.GetCounter("ftl_query_total");
+    em.truncated_deadline =
+        &r.GetCounter("ftl_query_truncated_total{reason=\"deadline\"}");
+    em.truncated_cancel =
+        &r.GetCounter("ftl_query_truncated_total{reason=\"cancelled\"}");
+    em.candidates = &r.GetCounter("ftl_query_candidates_total");
+    em.accepted = &r.GetCounter("ftl_query_accepted_total");
+    em.fast_rejects = &r.GetCounter("ftl_query_fast_reject_total");
+    em.exact_tails = &r.GetCounter("ftl_query_tail_exact_total");
+    em.rna_tails = &r.GetCounter("ftl_query_tail_rna_total");
+    em.query_latency_us = &r.GetHistogram("ftl_query_latency_us");
+    em.stage_alignment_ns = &r.GetHistogram("ftl_stage_alignment_ns");
+    em.stage_bucketing_ns = &r.GetHistogram("ftl_stage_bucketing_ns");
+    em.stage_tail_ns = &r.GetHistogram("ftl_stage_tail_ns");
+    em.stage_decision_ns = &r.GetHistogram("ftl_stage_decision_ns");
+    return em;
+  }();
+  return m;
+}
+
+}  // namespace
 
 Status QueryOptions::Check() const {
   if (cancel.cancel_requested()) {
@@ -57,7 +110,22 @@ EvidenceOptions FtlEngine::evidence_options() const {
 bool FtlEngine::ScorePair(const traj::Trajectory& query,
                           const traj::Trajectory& cand, Matcher matcher,
                           MatchCandidate* out, ScoreScratch* scratch) const {
-  CollectEvidence(query, cand, evidence_options(), &scratch->evidence);
+  // Stage timers are sampled (1 in kStageSampleEvery pairs, always
+  // including the first of a stream) so per-stage attribution costs a
+  // fraction of a clock read per pair amortized; counters are plain
+  // local increments flushed once per query. Neither touches the
+  // computation, so results are byte-identical with metrics on.
+  const bool sampled =
+      (scratch->sample_tick++ & (kStageSampleEvery - 1)) == 0;
+  ++scratch->n_candidates;
+  int64_t alignment_ns = 0;
+  if (sampled) {
+    Stopwatch sw;
+    CollectEvidence(query, cand, evidence_options(), &scratch->evidence);
+    alignment_ns = static_cast<int64_t>(sw.ElapsedSeconds() * 1e9);
+  } else {
+    CollectEvidence(query, cand, evidence_options(), &scratch->evidence);
+  }
   const BucketEvidence& ev = scratch->evidence;
   stats::GroupedPbWorkspace& ws = scratch->pb;
   out->k_observed = ev.k_observed;
@@ -68,16 +136,21 @@ bool FtlEngine::ScorePair(const traj::Trajectory& query,
   // for Naive-Bayes, both p-values — are only needed for candidates
   // that enter Q_P, where they drive the Eq. 2 ranking (paper
   // Section V applies the same score to NB candidates).
-  auto fill_pvalues = [this, &ev, &ws, out]() {
+  auto fill_pvalues = [this, &ev, &ws, out, scratch]() {
     ev.GroupsUnder(models_.rejection, &ws.groups);
-    out->p1 = stats::GroupedPoissonBinomialTails(
-                  ws.groups, out->k_observed, options_.alpha.tail, &ws)
-                  .upper;
+    stats::GroupedTails rej = stats::GroupedPoissonBinomialTails(
+        ws.groups, out->k_observed, options_.alpha.tail, &ws);
+    out->p1 = rej.upper;
     ev.GroupsUnder(models_.acceptance, &ws.groups);
-    out->p2 = stats::GroupedPoissonBinomialTails(
-                  ws.groups, out->k_observed, options_.alpha.tail, &ws)
-                  .lower;
+    stats::GroupedTails acc = stats::GroupedPoissonBinomialTails(
+        ws.groups, out->k_observed, options_.alpha.tail, &ws);
+    out->p2 = acc.lower;
     out->score = out->p1 * (1.0 - out->p2);
+    if (rej.exact && acc.exact) {
+      ++scratch->n_exact_tail;
+    } else {
+      ++scratch->n_rna_tail;
+    }
   };
 
   switch (matcher) {
@@ -87,7 +160,29 @@ bool FtlEngine::ScorePair(const traj::Trajectory& query,
       // AlphaFilter; the filter is a thin view over the models, so
       // constructing it here is free.
       AlphaFilter filter(models_, options_.alpha);
-      AlphaFilterDecision decision = filter.Classify(ev, &ws);
+      AlphaFilterDecision decision;
+      if (sampled) {
+        AlphaFilterStageTimes st;
+        Stopwatch sw;
+        decision = filter.Classify(ev, &ws, &st);
+        int64_t total_ns =
+            static_cast<int64_t>(sw.ElapsedSeconds() * 1e9);
+        const EngineMetrics& em = Metrics();
+        em.stage_alignment_ns->Record(alignment_ns);
+        em.stage_bucketing_ns->Record(st.bucketing_ns);
+        em.stage_tail_ns->Record(st.tail_ns);
+        em.stage_decision_ns->Record(
+            std::max<int64_t>(0, total_ns - st.bucketing_ns - st.tail_ns));
+      } else {
+        decision = filter.Classify(ev, &ws);
+      }
+      if (decision.fast_rejected) {
+        ++scratch->n_fast_reject;
+      } else if (decision.used_rna) {
+        ++scratch->n_rna_tail;
+      } else {
+        ++scratch->n_exact_tail;
+      }
       out->p1 = decision.p1;
       out->p2 = decision.p2;
       out->score = decision.Score();
@@ -95,6 +190,21 @@ bool FtlEngine::ScorePair(const traj::Trajectory& query,
     }
     case Matcher::kNaiveBayes: {
       NaiveBayesMatcher nb(models_, options_.naive_bayes);
+      if (sampled) {
+        // NB has no grouped-kernel stage split; its whole
+        // classification (plus the lazy p-value fill for accepted
+        // candidates) is attributed to the decision stage.
+        Stopwatch sw;
+        NaiveBayesDecision d = nb.Classify(ev);
+        out->nb_log_odds = d.LogOdds();
+        bool same = d.same_person;
+        if (same) fill_pvalues();
+        const EngineMetrics& em = Metrics();
+        em.stage_alignment_ns->Record(alignment_ns);
+        em.stage_decision_ns->Record(
+            static_cast<int64_t>(sw.ElapsedSeconds() * 1e9));
+        return same;
+      }
       NaiveBayesDecision d = nb.Classify(ev);
       out->nb_log_odds = d.LogOdds();
       if (!d.same_person) return false;
@@ -136,6 +246,23 @@ Result<QueryResult> FtlEngine::QueryImpl(
   size_t check_every =
       qopts != nullptr ? std::max<size_t>(1, qopts->check_every) : 0;
 
+  // One query-level stopwatch plus a per-scratch tally flush is the
+  // whole per-query metrics cost; per-pair accounting lives in
+  // ScorePair as local integer increments.
+  Stopwatch query_sw;
+  auto flush_tally = [](ScoreScratch* s) {
+    if (s->n_candidates == 0) return;
+    const EngineMetrics& em = Metrics();
+    em.candidates->Add(s->n_candidates);
+    em.fast_rejects->Add(s->n_fast_reject);
+    em.exact_tails->Add(s->n_exact_tail);
+    em.rna_tails->Add(s->n_rna_tail);
+    s->n_candidates = 0;
+    s->n_fast_reject = 0;
+    s->n_exact_tail = 0;
+    s->n_rna_tail = 0;
+  };
+
   QueryResult result;
   result.evaluated = m;
   size_t workers = ParallelWorkerCount(m, num_threads);
@@ -164,6 +291,7 @@ Result<QueryResult> FtlEngine::QueryImpl(
         result.candidates.push_back(std::move(mc));
       }
     }
+    flush_tally(s);
   } else {
     // Score into a per-candidate staging area, then collect accepted
     // candidates in index order — byte-identical to the serial loop,
@@ -211,6 +339,7 @@ Result<QueryResult> FtlEngine::QueryImpl(
       };
       evaluated = ParallelForWorkers(m, num_threads, stop, worker_fn);
     }
+    for (ScoreScratch& s : scratches) flush_tally(&s);
     if (failed.load(std::memory_order_relaxed)) return fail_status;
     if (!limit_status.ok()) {
       result.truncated = true;
@@ -229,6 +358,16 @@ Result<QueryResult> FtlEngine::QueryImpl(
                    });
   result.selectiveness = static_cast<double>(result.candidates.size()) /
                          static_cast<double>(db.size());
+  const EngineMetrics& em = Metrics();
+  em.queries->Add(1);
+  if (result.truncated) {
+    (result.status.code() == StatusCode::kCancelled ? em.truncated_cancel
+                                                    : em.truncated_deadline)
+        ->Add(1);
+  }
+  em.accepted->Add(static_cast<int64_t>(result.candidates.size()));
+  em.query_latency_us->Record(
+      static_cast<int64_t>(query_sw.ElapsedSeconds() * 1e6));
   return result;
 }
 

@@ -187,6 +187,20 @@ class FtlEngine {
   struct ScoreScratch {
     BucketEvidence evidence;
     stats::GroupedPbWorkspace pb;
+
+    /// Local metric tallies: plain integers bumped per pair and
+    /// flushed to the global obs counters once per query, so the
+    /// steady-state per-pair metrics cost is a handful of register
+    /// increments (no atomics, no clock reads).
+    int64_t n_candidates = 0;
+    int64_t n_fast_reject = 0;
+    int64_t n_exact_tail = 0;
+    int64_t n_rna_tail = 0;
+
+    /// Stage-timer sampling phase: every kStageSampleEvery-th pair of
+    /// this scratch's stream (including the first) is wall-clocked
+    /// per stage into the ftl_stage_* histograms.
+    uint32_t sample_tick = 0;
   };
 
   /// Scores one (query, candidate) pair into `out` using `scratch`;

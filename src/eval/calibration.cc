@@ -13,16 +13,22 @@ CalibrationResult CalibratePhi(
   bool have_any = false;
   for (double phi : grid) {
     auto m = MetricsForPhi(scores, owners, db, phi);
-    if (!have_any || m.mean_candidates <= target.max_mean_candidates) {
+    bool fits = m.mean_candidates <= target.max_mean_candidates;
+    // The first grid point is stored unconditionally so an infeasible
+    // budget still yields the strictest setting as a fallback — but
+    // flagged, so callers can tell "best within budget" from "least
+    // bad".
+    if (!have_any || fits) {
       best.phi_r = phi;
       best.mean_candidates = m.mean_candidates;
       best.perceptiveness = m.perceptiveness;
       best.selectiveness = m.selectiveness;
+      best.feasible = fits;
       have_any = true;
     }
     // Grid is ascending in looseness; once over budget, looser settings
     // only grow further.
-    if (m.mean_candidates > target.max_mean_candidates) break;
+    if (!fits) break;
   }
   return best;
 }
@@ -36,15 +42,17 @@ CalibrationResult CalibrateAlpha(
   bool have_any = false;
   for (auto [a1, a2] : grid) {
     auto m = MetricsForAlpha(scores, owners, db, a1, a2);
-    if (!have_any || m.mean_candidates <= target.max_mean_candidates) {
+    bool fits = m.mean_candidates <= target.max_mean_candidates;
+    if (!have_any || fits) {
       best.alpha1 = a1;
       best.alpha2 = a2;
       best.mean_candidates = m.mean_candidates;
       best.perceptiveness = m.perceptiveness;
       best.selectiveness = m.selectiveness;
+      best.feasible = fits;
       have_any = true;
     }
-    if (m.mean_candidates > target.max_mean_candidates) break;
+    if (!fits) break;
   }
   return best;
 }

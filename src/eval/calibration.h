@@ -36,11 +36,17 @@ struct CalibrationResult {
   double mean_candidates = 0.0;    ///< achieved at that setting
   double perceptiveness = 0.0;     ///< on the calibration workload
   double selectiveness = 0.0;
+  /// True when the returned setting actually meets the budget. False
+  /// means even the strictest grid point exceeded
+  /// `max_mean_candidates`; the strictest point is still returned so
+  /// callers have a usable fallback, but they must not treat it as
+  /// within budget.
+  bool feasible = false;
 };
 
 /// Sweeps φr over `grid` (ascending looseness) on precomputed pair
 /// scores and returns the largest φr meeting the target; if none meets
-/// it, the strictest grid point is returned.
+/// it, the strictest grid point is returned with `feasible == false`.
 CalibrationResult CalibratePhi(const std::vector<QueryScores>& scores,
                                const std::vector<traj::OwnerId>& owners,
                                const traj::TrajectoryDatabase& db,

@@ -1,11 +1,13 @@
 #include "io/csv.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <map>
 #include <sstream>
 
 #include "io/file_util.h"
+#include "obs/metrics.h"
 #include "traj/record.h"
 #include "util/failpoint.h"
 #include "util/string_util.h"
@@ -13,6 +15,30 @@
 namespace ftl::io {
 
 namespace {
+
+/// Ingest counters, resolved once. Flushed per load from the local
+/// QuarantineReport, so per-row parsing pays nothing.
+struct IngestMetrics {
+  obs::Counter* rows;
+  obs::Counter* quarantined;
+  std::array<obs::Counter*, kQuarantineReasonCount> by_reason;
+};
+
+const IngestMetrics& Metrics() {
+  static const IngestMetrics m = [] {
+    auto& r = obs::MetricsRegistry::Global();
+    IngestMetrics im;
+    im.rows = &r.GetCounter("ftl_ingest_rows_total");
+    im.quarantined = &r.GetCounter("ftl_ingest_quarantined_total");
+    for (size_t i = 0; i < kQuarantineReasonCount; ++i) {
+      im.by_reason[i] = &r.GetCounter(
+          std::string("ftl_ingest_quarantined_total{reason=\"") +
+          QuarantineReasonName(static_cast<QuarantineReason>(i)) + "\"}");
+    }
+    return im;
+  }();
+  return m;
+}
 
 /// One parsed data row plus its provenance, kept per label group so the
 /// post-group passes (duplicate/teleport quarantine) can report the
@@ -267,6 +293,16 @@ Result<traj::TrajectoryDatabase> FromCsvString(const std::string& content,
     if (!s.ok()) return s;
   }
   FTL_RETURN_NOT_OK(sink.Flush());
+  const IngestMetrics& im = Metrics();
+  im.rows->Add(static_cast<int64_t>(rep->rows_total));
+  if (rep->rows_quarantined > 0) {
+    im.quarantined->Add(static_cast<int64_t>(rep->rows_quarantined));
+    for (size_t i = 0; i < kQuarantineReasonCount; ++i) {
+      if (rep->by_reason[i] > 0) {
+        im.by_reason[i]->Add(static_cast<int64_t>(rep->by_reason[i]));
+      }
+    }
+  }
   return db;
 }
 

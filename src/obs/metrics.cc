@@ -1,0 +1,261 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace ftl::obs {
+
+double Histogram::Mean() const {
+  int64_t n = Count();
+  return n > 0 ? static_cast<double>(Sum()) / static_cast<double>(n) : 0.0;
+}
+
+int64_t Histogram::BucketUpperBound(size_t b) {
+  if (b == 0) return 0;
+  if (b >= 63) return INT64_MAX;
+  return (static_cast<int64_t>(1) << b) - 1;
+}
+
+double Histogram::Quantile(double q) const {
+  q = std::min(1.0, std::max(0.0, q));
+  // Snapshot the buckets once; concurrent writers can skew a live
+  // two-pass read, and exporters want one consistent-enough view.
+  std::array<int64_t, kBuckets> snap;
+  int64_t total = 0;
+  for (size_t b = 0; b < kBuckets; ++b) {
+    snap[b] = buckets_[b].load(std::memory_order_relaxed);
+    total += snap[b];
+  }
+  if (total == 0) return 0.0;
+  double rank = q * static_cast<double>(total - 1);
+  int64_t seen = 0;
+  for (size_t b = 0; b < kBuckets; ++b) {
+    if (snap[b] == 0) continue;
+    if (rank < static_cast<double>(seen + snap[b])) {
+      // Linear interpolation across the bucket's value range by the
+      // fractional position of `rank` among its samples.
+      double lo = b == 0 ? 0.0
+                         : static_cast<double>(static_cast<int64_t>(1)
+                                               << (b - 1));
+      double hi = b == 0 ? 0.0 : lo * 2.0;
+      double frac = (rank - static_cast<double>(seen)) /
+                    static_cast<double>(snap[b]);
+      return lo + (hi - lo) * frac;
+    }
+    seen += snap[b];
+  }
+  // Numeric edge (rank == total - 1 with rounding): top occupied bucket.
+  for (size_t b = kBuckets; b-- > 0;) {
+    if (snap[b] != 0) {
+      return static_cast<double>(BucketUpperBound(b));
+    }
+  }
+  return 0.0;
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+namespace {
+
+/// Splits `name` into the metric name proper and an optional
+/// `{label="value",...}` suffix so exporters can splice in their own
+/// labels (histogram `le`) and type lines can use the bare name.
+void SplitLabels(const std::string& name, std::string* base,
+                 std::string* labels) {
+  size_t brace = name.find('{');
+  if (brace == std::string::npos) {
+    *base = name;
+    labels->clear();
+    return;
+  }
+  *base = name.substr(0, brace);
+  *labels = name.substr(brace);  // includes the braces
+}
+
+/// `base{existing,extra}` — merges an extra label into a (possibly
+/// empty) label set.
+std::string WithExtraLabel(const std::string& base, const std::string& labels,
+                           const std::string& extra) {
+  if (labels.empty()) return base + "{" + extra + "}";
+  // labels == "{...}"; splice before the closing brace.
+  return base + labels.substr(0, labels.size() - 1) + "," + extra + "}";
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+std::string FormatNumber(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+struct MetricsRegistry::Impl {
+  mutable std::mutex mu;
+  // std::map: deterministic (sorted) export order. unique_ptr values:
+  // handles stay stable across inserts. Entries are never erased.
+  std::map<std::string, std::unique_ptr<Counter>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms;
+};
+
+MetricsRegistry::Impl& MetricsRegistry::impl() const {
+  static Impl* impl = new Impl();  // leaked: usable during shutdown
+  return *impl;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  auto& slot = im.counters[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  auto& slot = im.gauges[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  auto& slot = im.histograms[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+std::string MetricsRegistry::DumpPrometheus() const {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  std::string out;
+  // One TYPE line per metric family: labeled variants of the same base
+  // name sort adjacently in the map, so tracking the previous base is
+  // enough to emit it exactly once.
+  std::string prev_base;
+  for (const auto& [name, c] : im.counters) {
+    std::string base, labels;
+    SplitLabels(name, &base, &labels);
+    if (base != prev_base) {
+      out += "# TYPE " + base + " counter\n";
+      prev_base = base;
+    }
+    out += name + " " + std::to_string(c->Value()) + "\n";
+  }
+  prev_base.clear();
+  for (const auto& [name, g] : im.gauges) {
+    std::string base, labels;
+    SplitLabels(name, &base, &labels);
+    if (base != prev_base) {
+      out += "# TYPE " + base + " gauge\n";
+      prev_base = base;
+    }
+    out += name + " " + std::to_string(g->Value()) + "\n";
+  }
+  prev_base.clear();
+  for (const auto& [name, h] : im.histograms) {
+    std::string base, labels;
+    SplitLabels(name, &base, &labels);
+    if (base != prev_base) {
+      out += "# TYPE " + base + " histogram\n";
+      prev_base = base;
+    }
+    int64_t cumulative = 0;
+    for (size_t b = 0; b < Histogram::kBuckets; ++b) {
+      int64_t n = h->BucketCount(b);
+      if (n == 0) continue;  // sparse exposition: skip empty buckets
+      cumulative += n;
+      out += WithExtraLabel(
+                 base + "_bucket", labels,
+                 "le=\"" +
+                     std::to_string(Histogram::BucketUpperBound(b)) +
+                     "\"") +
+             " " + std::to_string(cumulative) + "\n";
+    }
+    out += WithExtraLabel(base + "_bucket", labels, "le=\"+Inf\"") + " " +
+           std::to_string(h->Count()) + "\n";
+    out += base + "_sum" + labels + " " + std::to_string(h->Sum()) + "\n";
+    out += base + "_count" + labels + " " + std::to_string(h->Count()) +
+           "\n";
+  }
+  return out;
+}
+
+std::string MetricsRegistry::DumpJson() const {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : im.counters) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + JsonEscape(name) +
+           "\": " + std::to_string(c->Value());
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : im.gauges) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + JsonEscape(name) +
+           "\": " + std::to_string(g->Value());
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : im.histograms) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + JsonEscape(name) + "\": {\"count\": " +
+           std::to_string(h->Count()) + ", \"sum\": " +
+           std::to_string(h->Sum()) + ", \"mean\": " +
+           FormatNumber(h->Mean()) + ", \"p50\": " +
+           FormatNumber(h->Quantile(0.50)) + ", \"p90\": " +
+           FormatNumber(h->Quantile(0.90)) + ", \"p99\": " +
+           FormatNumber(h->Quantile(0.99)) + "}";
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+void MetricsRegistry::ResetAllForTest() {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  for (auto& [name, c] : im.counters) c->Reset();
+  for (auto& [name, g] : im.gauges) g->Reset();
+  for (auto& [name, h] : im.histograms) h->Reset();
+}
+
+std::string DumpPrometheus() {
+  return MetricsRegistry::Global().DumpPrometheus();
+}
+
+std::string DumpJson() { return MetricsRegistry::Global().DumpJson(); }
+
+}  // namespace ftl::obs

@@ -1,0 +1,183 @@
+#ifndef FTL_OBS_METRICS_H_
+#define FTL_OBS_METRICS_H_
+
+/// \file metrics.h
+/// Low-overhead process-wide metrics: counters, gauges, and latency
+/// histograms behind a named registry, with Prometheus-text and JSON
+/// exporters.
+///
+/// Design discipline (mirrors the failpoint idle-cost rule):
+///  * the hot path pays one relaxed atomic add per event — no locks,
+///    no strings, no clock reads;
+///  * names are resolved ONCE at setup into stable handles
+///    (`MetricsRegistry::Global().GetCounter("...")`); per-event code
+///    never touches the registry;
+///  * handles are never invalidated: the registry only ever adds
+///    entries, and `ResetAllForTest` zeroes values without removing
+///    them, so a handle cached in a function-local static stays valid
+///    for the process lifetime.
+///
+/// Naming scheme (see DESIGN.md §8): `ftl_<layer>_<what>[_<unit>]`,
+/// with `_total` for monotonic counters and an explicit unit suffix
+/// (`_ns`, `_us`) for histograms. A name may carry a Prometheus label
+/// set verbatim, e.g. `ftl_failpoint_trips_total{site="core.train"}`;
+/// the registry treats the full string as the key and the exporters
+/// pass it through (the text exposition format allows exactly this).
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace ftl::obs {
+
+/// Monotonic counter, sharded across cache lines so concurrent writers
+/// (e.g. the per-worker tally flushes of a parallel query) do not
+/// contend. `Add` is one relaxed atomic add; `Value` sums the shards
+/// (reads are rare: exporters and tests only).
+class Counter {
+ public:
+  static constexpr size_t kShards = 16;  // power of two
+
+  void Add(int64_t n = 1) {
+    shards_[ShardIndex()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  int64_t Value() const {
+    int64_t sum = 0;
+    for (const Shard& s : shards_) {
+      sum += s.v.load(std::memory_order_relaxed);
+    }
+    return sum;
+  }
+
+  /// Zeroes every shard (test support; not atomic across shards).
+  void Reset() {
+    for (Shard& s : shards_) s.v.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<int64_t> v{0};
+  };
+
+  /// Stable per-thread shard assignment: threads round-robin over the
+  /// shards at first use, so any fixed worker set spreads evenly.
+  static size_t ShardIndex() {
+    static std::atomic<size_t> next{0};
+    thread_local const size_t id =
+        next.fetch_add(1, std::memory_order_relaxed);
+    return id & (kShards - 1);
+  }
+
+  std::array<Shard, kShards> shards_;
+};
+
+/// Point-in-time value (queue depth, active workers). Single relaxed
+/// atomic; gauges are low-frequency by construction.
+class Gauge {
+ public:
+  void Set(int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  void Sub(int64_t n = 1) { v_.fetch_sub(n, std::memory_order_relaxed); }
+  int64_t Value() const { return v_.load(std::memory_order_relaxed); }
+  void Reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+/// Fixed-bucket log2 histogram of non-negative integer samples
+/// (durations in ns/us, sizes, counts). Bucket b holds samples in
+/// [2^(b-1), 2^b); bucket 0 holds zeros. 64 buckets cover all of
+/// int64, so `Record` never branches on range: one bit-scan plus one
+/// relaxed add (plus count/sum bookkeeping), lock free.
+///
+/// Quantile readout interpolates linearly inside the selected bucket —
+/// exact to within a factor-2 bucket width, which is what a log-scale
+/// latency histogram promises.
+class Histogram {
+ public:
+  static constexpr size_t kBuckets = 64;
+
+  void Record(int64_t value) {
+    if (value < 0) value = 0;
+    buckets_[BucketOf(value)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+  }
+
+  int64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  int64_t Sum() const { return sum_.load(std::memory_order_relaxed); }
+
+  /// Mean sample (0 when empty).
+  double Mean() const;
+
+  /// Interpolated q-quantile (q clamped to [0, 1]; 0 when empty).
+  double Quantile(double q) const;
+
+  /// Bucket count at index b (exporters).
+  int64_t BucketCount(size_t b) const {
+    return buckets_[b].load(std::memory_order_relaxed);
+  }
+
+  /// Inclusive upper bound of bucket b (2^b - 1; 0 for b = 0).
+  static int64_t BucketUpperBound(size_t b);
+
+  void Reset();
+
+ private:
+  static size_t BucketOf(int64_t value) {
+    // floor(log2(value)) + 1 for value >= 1; 0 for value == 0.
+    size_t bits = 0;
+    uint64_t v = static_cast<uint64_t>(value);
+    while (v != 0) {
+      ++bits;
+      v >>= 1;
+    }
+    return bits;
+  }
+
+  std::array<std::atomic<int64_t>, kBuckets> buckets_{};
+  std::atomic<int64_t> count_{0};
+  std::atomic<int64_t> sum_{0};
+};
+
+/// Process-wide registry of named metrics. Lookups take a mutex and
+/// are meant for setup only; the returned references are stable for
+/// the process lifetime (entries are never removed). A given name must
+/// always be used with the same metric kind.
+class MetricsRegistry {
+ public:
+  /// The process-wide instance (leaked; usable during shutdown).
+  static MetricsRegistry& Global();
+
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  Histogram& GetHistogram(const std::string& name);
+
+  /// Prometheus text exposition: counters and gauges as single
+  /// samples, histograms as cumulative `_bucket{le=...}` series plus
+  /// `_sum` / `_count`. Series are emitted in name order.
+  std::string DumpPrometheus() const;
+
+  /// JSON object {"counters": {...}, "gauges": {...}, "histograms":
+  /// {name: {count, sum, mean, p50, p90, p99}}}. Keys in name order.
+  std::string DumpJson() const;
+
+  /// Zeroes every registered metric without invalidating handles.
+  void ResetAllForTest();
+
+ private:
+  MetricsRegistry() = default;
+  struct Impl;
+  Impl& impl() const;
+};
+
+/// Convenience dumps of the global registry.
+std::string DumpPrometheus();
+std::string DumpJson();
+
+}  // namespace ftl::obs
+
+#endif  // FTL_OBS_METRICS_H_

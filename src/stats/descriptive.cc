@@ -2,11 +2,15 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 namespace ftl::stats {
 
 void RunningStats::Add(double x) {
-  if (n_ == 0) {
+  if (n_ == 0 || std::isnan(x)) {
+    // A NaN observation poisons min/max explicitly: std::min/max would
+    // silently keep the old extreme (NaN compares false) while the mean
+    // turns NaN, leaving the accumulator half-poisoned.
     min_ = max_ = x;
   } else {
     min_ = std::min(min_, x);
@@ -41,6 +45,11 @@ double Stdv(const std::vector<double>& xs) {
 
 double Quantile(std::vector<double> xs, double q) {
   if (xs.empty()) return 0.0;
+  // NaN breaks strict weak ordering, making std::sort undefined
+  // behavior; propagate instead, matching Mean/Stdv.
+  for (double x : xs) {
+    if (std::isnan(x)) return std::numeric_limits<double>::quiet_NaN();
+  }
   q = std::min(1.0, std::max(0.0, q));
   std::sort(xs.begin(), xs.end());
   double pos = q * static_cast<double>(xs.size() - 1);
@@ -53,12 +62,19 @@ double Quantile(std::vector<double> xs, double q) {
 std::vector<double> EmpiricalPmf(const std::vector<int64_t>& xs) {
   if (xs.empty()) return {};
   int64_t mx = *std::max_element(xs.begin(), xs.end());
-  std::vector<double> pmf(static_cast<size_t>(std::max<int64_t>(0, mx)) + 1,
-                          0.0);
+  if (mx < 0) return {};  // no non-negative observations: no support
+  std::vector<double> pmf(static_cast<size_t>(mx) + 1, 0.0);
+  int64_t counted = 0;
   for (int64_t x : xs) {
-    if (x >= 0) pmf[static_cast<size_t>(x)] += 1.0;
+    if (x >= 0) {
+      pmf[static_cast<size_t>(x)] += 1.0;
+      ++counted;
+    }
   }
-  for (double& p : pmf) p /= static_cast<double>(xs.size());
+  // Normalize over the observations that landed in the support;
+  // dividing by xs.size() would leave the PMF summing to less than 1
+  // whenever negative values were skipped.
+  for (double& p : pmf) p /= static_cast<double>(counted);
   return pmf;
 }
 

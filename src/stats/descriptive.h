@@ -28,7 +28,8 @@ class RunningStats {
   /// Unbiased sample standard deviation.
   double Stdv() const;
 
-  /// Minimum / maximum (0 when empty).
+  /// Minimum / maximum (0 when empty). A NaN observation poisons both,
+  /// consistent with Mean/Variance.
   double Min() const { return n_ ? min_ : 0.0; }
   double Max() const { return n_ ? max_ : 0.0; }
 
@@ -40,17 +41,21 @@ class RunningStats {
   double max_ = 0.0;
 };
 
-/// Mean of a vector (0 when empty).
+/// Mean of a vector (0 when empty; NaN inputs propagate to NaN).
 double Mean(const std::vector<double>& xs);
 
-/// Unbiased sample standard deviation (0 for <2 elements).
+/// Unbiased sample standard deviation (0 for <2 elements; NaN inputs
+/// propagate to NaN).
 double Stdv(const std::vector<double>& xs);
 
-/// `q`-quantile (0<=q<=1) by linear interpolation on a copy.
+/// `q`-quantile (0<=q<=1) by linear interpolation on a copy. Any NaN
+/// input yields NaN (never sorted: NaN breaks strict weak ordering).
 double Quantile(std::vector<double> xs, double q);
 
-/// Normalized histogram of non-negative integer observations:
-/// out[k] = fraction of observations equal to k, k = 0..max.
+/// Normalized histogram of the non-negative integer observations:
+/// out[k] = fraction of *non-negative* observations equal to k,
+/// k = 0..max, so the PMF always sums to 1 over its support. Negative
+/// values are excluded; empty input or all-negative input returns {}.
 std::vector<double> EmpiricalPmf(const std::vector<int64_t>& xs);
 
 }  // namespace ftl::stats

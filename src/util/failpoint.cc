@@ -6,6 +6,7 @@
 #include <mutex>
 #include <thread>
 
+#include "obs/metrics.h"
 #include "util/string_util.h"
 
 namespace ftl::failpoint {
@@ -40,12 +41,25 @@ Registry& GetRegistry() {
 
 /// Looks up the armed spec for `name` and bumps its hit counter.
 bool Lookup(const char* name, Spec* out) {
-  Registry& r = GetRegistry();
-  std::lock_guard<std::mutex> lock(r.mu);
-  auto it = r.armed.find(name);
-  if (it == r.armed.end()) return false;
-  ++r.hits[name];
-  *out = it->second;
+  {
+    Registry& r = GetRegistry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    auto it = r.armed.find(name);
+    if (it == r.armed.end()) return false;
+    ++r.hits[name];
+    *out = it->second;
+  }
+  // Trips are exported as obs counters too (aggregate + per site).
+  // Only armed sites reach this slow path, so the registry lookup per
+  // trip is fine; the registry mutex is released first to keep the
+  // obs and failpoint locks unordered.
+  auto& reg = obs::MetricsRegistry::Global();
+  static obs::Counter& trips =
+      reg.GetCounter("ftl_failpoint_trips_total");
+  trips.Add(1);
+  reg.GetCounter(std::string("ftl_failpoint_trips_total{site=\"") + name +
+                 "\"}")
+      .Add(1);
   return true;
 }
 

@@ -3,7 +3,41 @@
 #include <algorithm>
 #include <atomic>
 
+#include "obs/metrics.h"
+
 namespace ftl {
+
+namespace {
+
+/// Pool/scheduler metrics, resolved once. Queue depth and busy-worker
+/// gauges are bumped per task (pool tasks are coarse); the chunked
+/// scheduler counts regions and chunk claims per region, and tracks
+/// active workers so utilization is observable while a query runs.
+struct PoolMetrics {
+  obs::Counter* tasks;
+  obs::Gauge* queue_depth;
+  obs::Gauge* busy_workers;
+  obs::Counter* parallel_regions;
+  obs::Counter* parallel_chunks;
+  obs::Gauge* parallel_workers;
+};
+
+const PoolMetrics& Metrics() {
+  static const PoolMetrics m = [] {
+    auto& r = obs::MetricsRegistry::Global();
+    PoolMetrics pm;
+    pm.tasks = &r.GetCounter("ftl_threadpool_tasks_total");
+    pm.queue_depth = &r.GetGauge("ftl_threadpool_queue_depth");
+    pm.busy_workers = &r.GetGauge("ftl_threadpool_busy_workers");
+    pm.parallel_regions = &r.GetCounter("ftl_parallel_regions_total");
+    pm.parallel_chunks = &r.GetCounter("ftl_parallel_chunks_total");
+    pm.parallel_workers = &r.GetGauge("ftl_parallel_active_workers");
+    return pm;
+  }();
+  return m;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
   num_threads = std::max<size_t>(1, num_threads);
@@ -28,6 +62,9 @@ void ThreadPool::Submit(std::function<void()> task) {
     tasks_.push(std::move(task));
     ++in_flight_;
   }
+  const PoolMetrics& pm = Metrics();
+  pm.tasks->Add(1);
+  pm.queue_depth->Add(1);
   task_ready_.notify_one();
 }
 
@@ -49,7 +86,11 @@ void ThreadPool::WorkerLoop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
+    const PoolMetrics& pm = Metrics();
+    pm.queue_depth->Sub(1);
+    pm.busy_workers->Add(1);
     task();
+    pm.busy_workers->Sub(1);
     {
       std::unique_lock<std::mutex> lock(mu_);
       if (--in_flight_ == 0) idle_.notify_all();
@@ -94,19 +135,24 @@ size_t ParallelForWorkers(
   size_t chunk = std::max<size_t>(1, n / (workers * 8));
   std::atomic<size_t> next{0};
   std::atomic<bool> stopped{false};
-  auto run = [n, chunk, &next, &stopped, &stop, &fn](size_t worker) {
+  const PoolMetrics& pm = Metrics();
+  pm.parallel_regions->Add(1);
+  auto run = [n, chunk, &next, &stopped, &stop, &fn, &pm](size_t worker) {
+    pm.parallel_workers->Add(1);
     for (;;) {
       if (stop) {
-        if (stopped.load(std::memory_order_relaxed)) return;
+        if (stopped.load(std::memory_order_relaxed)) break;
         if (stop()) {
           stopped.store(true, std::memory_order_relaxed);
-          return;
+          break;
         }
       }
       size_t begin = next.fetch_add(chunk, std::memory_order_relaxed);
-      if (begin >= n) return;
+      if (begin >= n) break;
+      pm.parallel_chunks->Add(1);
       fn(worker, begin, std::min(n, begin + chunk));
     }
+    pm.parallel_workers->Sub(1);
   };
   std::vector<std::thread> threads;
   threads.reserve(workers - 1);

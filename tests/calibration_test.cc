@@ -44,6 +44,7 @@ TEST(CalibrationTest, PhiRespectsBudget) {
   EXPECT_LE(r.mean_candidates, 3.0);
   EXPECT_GT(r.phi_r, 0.0);
   EXPECT_GT(r.perceptiveness, 0.0);
+  EXPECT_TRUE(r.feasible);
 }
 
 TEST(CalibrationTest, LooserBudgetLoosensPhi) {
@@ -69,6 +70,7 @@ TEST(CalibrationTest, AlphaRespectsBudget) {
   EXPECT_LE(r.mean_candidates, 5.0);
   EXPECT_GT(r.alpha1, 0.0);
   EXPECT_GT(r.alpha2, 0.0);
+  EXPECT_TRUE(r.feasible);
 }
 
 TEST(CalibrationTest, ImpossibleBudgetFallsBackToStrictest) {
@@ -78,8 +80,23 @@ TEST(CalibrationTest, ImpossibleBudgetFallsBackToStrictest) {
   auto r = CalibratePhi(f.scores, f.workload.owners, f.data.transit_db,
                         impossible);
   // Strictest grid point returned; budget may still be exceeded but the
-  // result is well-defined.
+  // result is well-defined — and explicitly flagged infeasible, so
+  // callers cannot mistake the fallback for a setting within budget.
   EXPECT_DOUBLE_EQ(r.phi_r, 1e-6);
+  EXPECT_GT(r.mean_candidates, 0.0);
+  EXPECT_FALSE(r.feasible);
+}
+
+TEST(CalibrationTest, ImpossibleBudgetAlphaIsFlaggedInfeasible) {
+  Fixture f = MakeFixture();
+  CalibrationTarget impossible;
+  impossible.max_mean_candidates = 0.0;
+  auto r = CalibrateAlpha(f.scores, f.workload.owners, f.data.transit_db,
+                          impossible);
+  // The strictest (α1, α2) grid point is the fallback.
+  EXPECT_DOUBLE_EQ(r.alpha1, 0.2);
+  EXPECT_DOUBLE_EQ(r.alpha2, 0.001);
+  EXPECT_FALSE(r.feasible);
 }
 
 TEST(CalibrationTest, AutoCalibrateEndToEnd) {

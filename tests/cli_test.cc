@@ -320,5 +320,93 @@ TEST(CliTest, FailpointsFlagInjectsFaults) {
   }
 }
 
+// ------------------------------------------------------- Observability
+
+std::string ReadWholeFile(const std::string& path) {
+  std::ifstream f(path);
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+TEST(CliTest, MetricsOutWritesJsonSnapshot) {
+  TempFiles files;
+  std::string p_csv = files.Add("cli_mx_p.csv");
+  std::string q_csv = files.Add("cli_mx_q.csv");
+  std::string metrics = files.Add("cli_mx.json");
+  std::ostringstream sim_out;
+  ASSERT_EQ(RunCli({"simulate", "--out-p", p_csv, "--out-q", q_csv,
+                    "--config", "SD", "--objects", "10"},
+                   sim_out),
+            0);
+  std::ostringstream out;
+  ASSERT_EQ(RunCli({"link", "--p", p_csv, "--q", q_csv, "--matcher",
+                    "alpha", "--metrics-out", metrics},
+                   out),
+            0)
+      << out.str();
+  std::string dump = ReadWholeFile(metrics);
+  EXPECT_NE(dump.find("\"counters\""), std::string::npos) << dump;
+  EXPECT_NE(dump.find("ftl_query_total"), std::string::npos);
+  EXPECT_NE(dump.find("ftl_ingest_rows_total"), std::string::npos);
+  EXPECT_NE(dump.find("ftl_query_latency_us"), std::string::npos);
+}
+
+TEST(CliTest, MetricsOutPromExtensionSelectsPrometheus) {
+  TempFiles files;
+  std::string p_csv = files.Add("cli_mp_p.csv");
+  std::string q_csv = files.Add("cli_mp_q.csv");
+  std::string metrics = files.Add("cli_mp.prom");
+  std::ostringstream sim_out;
+  ASSERT_EQ(RunCli({"simulate", "--out-p", p_csv, "--out-q", q_csv,
+                    "--config", "SD", "--objects", "10"},
+                   sim_out),
+            0);
+  std::ostringstream out;
+  ASSERT_EQ(RunCli({"stats", "--db", p_csv, "--metrics-out", metrics},
+                   out),
+            0);
+  std::string dump = ReadWholeFile(metrics);
+  EXPECT_NE(dump.find("# TYPE ftl_ingest_rows_total counter"),
+            std::string::npos)
+      << dump;
+}
+
+TEST(CliTest, MetricsOutWrittenEvenOnCommandFailure) {
+  TempFiles files;
+  std::string metrics = files.Add("cli_mf.json");
+  std::ostringstream out, err;
+  EXPECT_EQ(RunCli({"stats", "--db", "/nonexistent/f.csv",
+                    "--metrics-out", metrics},
+                   out, err),
+            4);  // the command's IOError wins the exit code
+  EXPECT_TRUE(std::filesystem::exists(metrics));
+  EXPECT_NE(ReadWholeFile(metrics).find("\"counters\""),
+            std::string::npos);
+}
+
+TEST(CliTest, MetricsSubcommandDumps) {
+  TempFiles files;
+  std::string p_csv = files.Add("cli_ms_p.csv");
+  std::string q_csv = files.Add("cli_ms_q.csv");
+  std::ostringstream sim_out;
+  ASSERT_EQ(RunCli({"simulate", "--out-p", p_csv, "--out-q", q_csv,
+                    "--config", "SD", "--objects", "10"},
+                   sim_out),
+            0);
+  std::ostringstream stats_out;
+  ASSERT_EQ(RunCli({"stats", "--db", p_csv}, stats_out), 0);
+  std::ostringstream prom;
+  EXPECT_EQ(RunCli({"metrics"}, prom), 0);
+  EXPECT_NE(prom.str().find("# TYPE ftl_ingest_rows_total counter"),
+            std::string::npos)
+      << prom.str();
+  std::ostringstream json;
+  EXPECT_EQ(RunCli({"metrics", "--format", "json"}, json), 0);
+  EXPECT_NE(json.str().find("\"counters\""), std::string::npos);
+  std::ostringstream bad, bad_err;
+  EXPECT_EQ(RunCli({"metrics", "--format", "xml"}, bad, bad_err), 2);
+}
+
 }  // namespace
 }  // namespace ftl::tools

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "core/engine.h"
+#include "obs/metrics.h"
 #include "sim/population_sim.h"
 #include "traj/alignment.h"
 
@@ -317,6 +318,75 @@ TEST(EngineTest, BatchQueryAggregatesAllFailures) {
   EXPECT_NE(msg.find("3 of 3"), std::string::npos) << msg;
   EXPECT_NE(msg.find("query 0"), std::string::npos) << msg;
   EXPECT_NE(msg.find("query 2"), std::string::npos) << msg;
+}
+
+TEST(EngineTest, QueryBumpsObservabilityCounters) {
+  // Counter deltas, not absolutes: the registry is process-global and
+  // other queries in this test may already have run.
+  auto data = TestPopulation(20, 49);
+  FtlEngine engine(TestOptions());
+  ASSERT_TRUE(engine.Train(data.cdr_db, data.transit_db).ok());
+  auto& reg = obs::MetricsRegistry::Global();
+  obs::Counter& queries = reg.GetCounter("ftl_query_total");
+  obs::Counter& cands = reg.GetCounter("ftl_query_candidates_total");
+  obs::Counter& fast = reg.GetCounter("ftl_query_fast_reject_total");
+  obs::Counter& exact = reg.GetCounter("ftl_query_tail_exact_total");
+  obs::Counter& rna = reg.GetCounter("ftl_query_tail_rna_total");
+  obs::Histogram& latency = reg.GetHistogram("ftl_query_latency_us");
+  int64_t q0 = queries.Value(), c0 = cands.Value(), f0 = fast.Value();
+  int64_t e0 = exact.Value(), r0 = rna.Value(), l0 = latency.Count();
+  auto r = engine.Query(data.cdr_db[0], data.transit_db,
+                        Matcher::kAlphaFilter, 1);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(queries.Value() - q0, 1);
+  // Every scored pair lands in exactly one of the three tail outcomes
+  // (the non-overlap pre-filter may skip some candidates entirely, so
+  // the total is bounded by, not equal to, the database size).
+  int64_t dc = cands.Value() - c0;
+  EXPECT_GT(dc, 0);
+  EXPECT_LE(dc, static_cast<int64_t>(data.transit_db.size()));
+  EXPECT_EQ((fast.Value() - f0) + (exact.Value() - e0) + (rna.Value() - r0),
+            dc);
+  EXPECT_EQ(latency.Count() - l0, 1);
+}
+
+TEST(EngineTest, QueryRecordsSampledStageTimers) {
+  auto data = TestPopulation(20, 50);
+  FtlEngine engine(TestOptions());
+  ASSERT_TRUE(engine.Train(data.cdr_db, data.transit_db).ok());
+  auto& reg = obs::MetricsRegistry::Global();
+  obs::Histogram& align = reg.GetHistogram("ftl_stage_alignment_ns");
+  int64_t a0 = align.Count();
+  auto r = engine.Query(data.cdr_db[1], data.transit_db,
+                        Matcher::kAlphaFilter, 1);
+  ASSERT_TRUE(r.ok());
+  // The first pair of every scratch is always sampled, so at least one
+  // stage sample must land per query.
+  EXPECT_GT(align.Count() - a0, 0);
+}
+
+TEST(EngineTest, InstrumentationDoesNotChangeResults) {
+  // Two identical queries must return bitwise-identical candidates; the
+  // second runs with counters already warm. Guards against any
+  // instrumentation path feeding back into scoring.
+  auto data = TestPopulation(20, 51);
+  FtlEngine engine(TestOptions());
+  ASSERT_TRUE(engine.Train(data.cdr_db, data.transit_db).ok());
+  auto r1 = engine.Query(data.cdr_db[2], data.transit_db,
+                         Matcher::kAlphaFilter, 1);
+  auto r2 = engine.Query(data.cdr_db[2], data.transit_db,
+                         Matcher::kAlphaFilter, 1);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  const auto& a = r1.value().candidates;
+  const auto& b = r2.value().candidates;
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t j = 0; j < a.size(); ++j) {
+    EXPECT_EQ(a[j].index, b[j].index);
+    EXPECT_EQ(a[j].p1, b[j].p1);
+    EXPECT_EQ(a[j].p2, b[j].p2);
+    EXPECT_EQ(a[j].score, b[j].score);
+  }
 }
 
 TEST(EngineTest, EvidenceOptionsMirrorTraining) {

@@ -1,0 +1,219 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace ftl::obs {
+namespace {
+
+class ObsTest : public ::testing::Test {
+ protected:
+  // The registry is process-global; start each test from zeroed values
+  // so assertions are independent of test order.
+  void SetUp() override { MetricsRegistry::Global().ResetAllForTest(); }
+};
+
+TEST_F(ObsTest, CounterBasics) {
+  Counter c;
+  EXPECT_EQ(c.Value(), 0);
+  c.Add();
+  c.Add(41);
+  EXPECT_EQ(c.Value(), 42);
+  c.Reset();
+  EXPECT_EQ(c.Value(), 0);
+}
+
+TEST_F(ObsTest, CounterConcurrentAddsAreExact) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr int64_t kAddsPerThread = 100000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int64_t i = 0; i < kAddsPerThread; ++i) c.Add();
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(c.Value(), kThreads * kAddsPerThread);
+}
+
+TEST_F(ObsTest, GaugeBasics) {
+  Gauge g;
+  g.Set(7);
+  EXPECT_EQ(g.Value(), 7);
+  g.Add(3);
+  g.Sub(10);
+  EXPECT_EQ(g.Value(), 0);
+  g.Sub();
+  EXPECT_EQ(g.Value(), -1);  // gauges may go negative transiently
+}
+
+TEST_F(ObsTest, HistogramCountSumMean) {
+  Histogram h;
+  EXPECT_EQ(h.Count(), 0);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);
+  h.Record(0);
+  h.Record(10);
+  h.Record(20);
+  EXPECT_EQ(h.Count(), 3);
+  EXPECT_EQ(h.Sum(), 30);
+  EXPECT_DOUBLE_EQ(h.Mean(), 10.0);
+}
+
+TEST_F(ObsTest, HistogramNegativeClampsToZeroBucket) {
+  Histogram h;
+  h.Record(-5);
+  EXPECT_EQ(h.Count(), 1);
+  EXPECT_EQ(h.Sum(), 0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 0.0);
+}
+
+TEST_F(ObsTest, HistogramQuantileWithinBucketResolution) {
+  Histogram h;
+  for (int i = 0; i < 1000; ++i) h.Record(1000);  // bucket [512, 1024)
+  double p50 = h.Quantile(0.5);
+  EXPECT_GE(p50, 512.0);
+  EXPECT_LE(p50, 1024.0);
+  // All mass in one bucket: every quantile lands in its range.
+  EXPECT_GE(h.Quantile(0.01), 512.0);
+  EXPECT_LE(h.Quantile(0.99), 1024.0);
+}
+
+TEST_F(ObsTest, HistogramQuantileOrdersAcrossBuckets) {
+  Histogram h;
+  for (int i = 0; i < 90; ++i) h.Record(100);     // ~[64, 128)
+  for (int i = 0; i < 10; ++i) h.Record(100000);  // ~[65536, 131072)
+  EXPECT_LT(h.Quantile(0.5), 128.0 + 1);
+  EXPECT_GT(h.Quantile(0.95), 65536.0 - 1);
+  EXPECT_LE(h.Quantile(0.0), h.Quantile(1.0));
+}
+
+TEST_F(ObsTest, HistogramConcurrentRecordsKeepCountAndSum) {
+  Histogram h;
+  constexpr int kThreads = 8;
+  constexpr int64_t kPerThread = 50000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h] {
+      for (int64_t i = 0; i < kPerThread; ++i) h.Record(3);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(h.Count(), kThreads * kPerThread);
+  EXPECT_EQ(h.Sum(), 3 * kThreads * kPerThread);
+}
+
+TEST_F(ObsTest, RegistryReturnsStableHandles) {
+  auto& reg = MetricsRegistry::Global();
+  Counter& a = reg.GetCounter("obs_test_stable_total");
+  Counter& b = reg.GetCounter("obs_test_stable_total");
+  EXPECT_EQ(&a, &b);
+  a.Add(5);
+  EXPECT_EQ(b.Value(), 5);
+  Histogram& h1 = reg.GetHistogram("obs_test_stable_ns");
+  Histogram& h2 = reg.GetHistogram("obs_test_stable_ns");
+  EXPECT_EQ(&h1, &h2);
+}
+
+TEST_F(ObsTest, RegistryResetZeroesWithoutInvalidatingHandles) {
+  auto& reg = MetricsRegistry::Global();
+  Counter& c = reg.GetCounter("obs_test_reset_total");
+  c.Add(9);
+  reg.ResetAllForTest();
+  EXPECT_EQ(c.Value(), 0);
+  c.Add(1);  // handle still live
+  EXPECT_EQ(reg.GetCounter("obs_test_reset_total").Value(), 1);
+}
+
+TEST_F(ObsTest, PrometheusDumpFormat) {
+  auto& reg = MetricsRegistry::Global();
+  reg.GetCounter("obs_test_prom_total").Add(3);
+  reg.GetCounter("obs_test_prom_total{kind=\"labeled\"}").Add(2);
+  reg.GetGauge("obs_test_prom_depth").Set(4);
+  Histogram& h = reg.GetHistogram("obs_test_prom_ns");
+  h.Record(100);
+  h.Record(100000);
+  std::string dump = reg.DumpPrometheus();
+  EXPECT_NE(dump.find("# TYPE obs_test_prom_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(dump.find("obs_test_prom_total 3\n"), std::string::npos);
+  EXPECT_NE(dump.find("obs_test_prom_total{kind=\"labeled\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(dump.find("obs_test_prom_depth 4\n"), std::string::npos);
+  EXPECT_NE(dump.find("# TYPE obs_test_prom_ns histogram\n"),
+            std::string::npos);
+  EXPECT_NE(dump.find("obs_test_prom_ns_bucket{le=\"+Inf\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(dump.find("obs_test_prom_ns_sum 100100\n"), std::string::npos);
+  EXPECT_NE(dump.find("obs_test_prom_ns_count 2\n"), std::string::npos);
+  // One TYPE line per family, even with labeled variants present.
+  size_t first = dump.find("# TYPE obs_test_prom_total counter");
+  EXPECT_EQ(dump.find("# TYPE obs_test_prom_total counter", first + 1),
+            std::string::npos);
+}
+
+TEST_F(ObsTest, PrometheusHistogramBucketsAreCumulative) {
+  auto& reg = MetricsRegistry::Global();
+  Histogram& h = reg.GetHistogram("obs_test_cumulative_ns");
+  h.Record(1);   // bucket le="1"
+  h.Record(2);   // bucket le="3"
+  h.Record(3);   // bucket le="3"
+  std::string dump = reg.DumpPrometheus();
+  EXPECT_NE(dump.find("obs_test_cumulative_ns_bucket{le=\"1\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(dump.find("obs_test_cumulative_ns_bucket{le=\"3\"} 3\n"),
+            std::string::npos);
+}
+
+TEST_F(ObsTest, JsonDumpParsesShape) {
+  auto& reg = MetricsRegistry::Global();
+  reg.GetCounter("obs_test_json_total").Add(11);
+  reg.GetHistogram("obs_test_json_ns").Record(64);
+  std::string dump = reg.DumpJson();
+  EXPECT_NE(dump.find("\"counters\""), std::string::npos);
+  EXPECT_NE(dump.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(dump.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(dump.find("\"obs_test_json_total\": 11"), std::string::npos);
+  EXPECT_NE(dump.find("\"count\": 1"), std::string::npos);
+  // Balanced braces is a cheap structural sanity check (the CI smoke
+  // step runs a real JSON parser over the CLI's --metrics-out file).
+  int depth = 0;
+  bool in_string = false;
+  for (size_t i = 0; i < dump.size(); ++i) {
+    char ch = dump[i];
+    if (ch == '"' && (i == 0 || dump[i - 1] != '\\')) in_string = !in_string;
+    if (in_string) continue;
+    if (ch == '{') ++depth;
+    if (ch == '}') --depth;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST_F(ObsTest, GlobalDumpHelpersMatchRegistry) {
+  MetricsRegistry::Global().GetCounter("obs_test_helper_total").Add(1);
+  EXPECT_EQ(DumpPrometheus(), MetricsRegistry::Global().DumpPrometheus());
+  EXPECT_EQ(DumpJson(), MetricsRegistry::Global().DumpJson());
+}
+
+TEST_F(ObsTest, BucketUpperBoundsAreMonotone) {
+  int64_t prev = -1;
+  for (size_t b = 0; b < Histogram::kBuckets; ++b) {
+    int64_t ub = Histogram::BucketUpperBound(b);
+    EXPECT_GT(ub, prev - (b == 0 ? 1 : 0));
+    EXPECT_GE(ub, prev);
+    prev = ub;
+  }
+  EXPECT_EQ(Histogram::BucketUpperBound(0), 0);
+  EXPECT_EQ(Histogram::BucketUpperBound(1), 1);
+  EXPECT_EQ(Histogram::BucketUpperBound(10), 1023);
+}
+
+}  // namespace
+}  // namespace ftl::obs

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "stats/descriptive.h"
 #include "stats/distributions.h"
@@ -330,6 +331,77 @@ TEST(DescriptiveTest, EmpiricalPmf) {
   EXPECT_DOUBLE_EQ(pmf[2], 0.0);
   EXPECT_DOUBLE_EQ(pmf[3], 0.25);
   EXPECT_TRUE(EmpiricalPmf({}).empty());
+}
+
+TEST(DescriptiveTest, EmpiricalPmfNormalizesOverNonNegatives) {
+  // Regression: negative values are excluded from the support, so they
+  // must be excluded from the denominator too. With {-1, -1, 0, 2} only
+  // 2 of 4 observations are counted; the PMF must sum to 1 over those.
+  auto pmf = EmpiricalPmf({-1, -1, 0, 2});
+  ASSERT_EQ(pmf.size(), 3u);
+  EXPECT_DOUBLE_EQ(pmf[0], 0.5);
+  EXPECT_DOUBLE_EQ(pmf[1], 0.0);
+  EXPECT_DOUBLE_EQ(pmf[2], 0.5);
+}
+
+TEST(DescriptiveTest, EmpiricalPmfSumsToOneOverSignedInputs) {
+  // Property check over a deterministic sweep of signed inputs.
+  Rng rng(99);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<int64_t> xs;
+    bool any_nonneg = false;
+    size_t n = 1 + static_cast<size_t>(rng.Uniform(0, 40));
+    for (size_t i = 0; i < n; ++i) {
+      int64_t x = static_cast<int64_t>(rng.Uniform(-10, 20));
+      xs.push_back(x);
+      any_nonneg = any_nonneg || x >= 0;
+    }
+    auto pmf = EmpiricalPmf(xs);
+    if (!any_nonneg) {
+      EXPECT_TRUE(pmf.empty());
+      continue;
+    }
+    double sum = 0.0;
+    for (double p : pmf) {
+      EXPECT_GE(p, 0.0);
+      sum += p;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+}
+
+TEST(DescriptiveTest, EmpiricalPmfAllNegativeIsEmpty) {
+  EXPECT_TRUE(EmpiricalPmf({-5, -1, -3}).empty());
+}
+
+TEST(DescriptiveTest, MeanStdvPropagateNan) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_TRUE(std::isnan(Mean({1.0, nan, 3.0})));
+  EXPECT_TRUE(std::isnan(Stdv({1.0, nan, 3.0})));
+}
+
+TEST(DescriptiveTest, QuantilePropagatesNan) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  // Regression: NaN used to reach std::sort, which requires a strict
+  // weak order NaN cannot provide (undefined behavior). Now every
+  // quantile of a NaN-bearing sample is NaN.
+  EXPECT_TRUE(std::isnan(Quantile({nan}, 0.5)));
+  EXPECT_TRUE(std::isnan(Quantile({1.0, nan, 3.0}, 0.0)));
+  EXPECT_TRUE(std::isnan(Quantile({1.0, 2.0, nan}, 1.0)));
+  // NaN-free input is unaffected.
+  EXPECT_DOUBLE_EQ(Quantile({1.0, 2.0, 3.0}, 0.5), 2.0);
+}
+
+TEST(RunningStatsTest, NanPoisonsMinMax) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  RunningStats rs;
+  rs.Add(2.0);
+  rs.Add(nan);
+  rs.Add(1.0);
+  EXPECT_TRUE(std::isnan(rs.Mean()));
+  EXPECT_TRUE(std::isnan(rs.Min()));
+  EXPECT_TRUE(std::isnan(rs.Max()));
+  EXPECT_EQ(rs.Count(), 3u);
 }
 
 // -------------------------------------------------------- Goodness of fit

@@ -1,8 +1,10 @@
 #include "tools/cli.h"
 
+#include <fstream>
 #include <sstream>
 
 #include "ftl/ftl.h"
+#include "obs/metrics.h"
 
 namespace ftl::tools {
 
@@ -89,6 +91,8 @@ std::string UsageText() {
       "            [--queries 50]      auto-pick thresholds for a budget\n"
       "  enrich    --p P.csv --q Q.csv --query L1 --candidate L2\n"
       "                                merge a linked pair (Figure 2)\n"
+      "  metrics   [--format prom|json]\n"
+      "                                dump the process metrics registry\n"
       "\n"
       "global flags:\n"
       "  --lenient             quarantine malformed CSV rows instead of\n"
@@ -96,7 +100,10 @@ std::string UsageText() {
       "  --quarantine-out F    with --lenient, write quarantined rows of\n"
       "                        each input to F.<flag>.csv\n"
       "  --failpoints SPEC     arm fault injection: site=action[:arg];...\n"
-      "                        (also via the FTL_FAILPOINTS env var)\n";
+      "                        (also via the FTL_FAILPOINTS env var)\n"
+      "  --metrics-out F       after the command runs, write a metrics\n"
+      "                        snapshot to F (.prom/.txt: Prometheus text,\n"
+      "                        otherwise JSON); written even on failure\n";
 }
 
 int ExitCodeForStatus(const Status& status) {
@@ -372,6 +379,13 @@ Status CmdCalibrate(const ArgMap& args, std::ostream& out) {
       << " (budget " << FormatDouble(budget.value(), 1)
       << "), perceptiveness " << FormatDouble(r.perceptiveness, 3)
       << ", selectiveness " << FormatDouble(r.selectiveness, 5) << "\n";
+  if (!r.feasible) {
+    out << "warning: budget infeasible -- even the strictest grid point "
+           "exceeds "
+        << FormatDouble(budget.value(), 1)
+        << " mean candidates/query; returned setting is the strictest "
+           "available\n";
+  }
   return Status::OK();
 }
 
@@ -405,6 +419,54 @@ Status CmdEnrich(const ArgMap& args, std::ostream& out) {
       << enriched.value().incompatible_mutual_segments << "\n";
   return Status::OK();
 }
+
+Status CmdMetrics(const ArgMap& args, std::ostream& out) {
+  std::string format = args.Get("format", "prom");
+  if (format == "prom") {
+    out << obs::DumpPrometheus();
+  } else if (format == "json") {
+    out << obs::DumpJson() << "\n";
+  } else {
+    return Status::InvalidArgument("--format expects prom|json, got '" +
+                                   format + "'");
+  }
+  return Status::OK();
+}
+
+namespace {
+
+/// True when `path` names a Prometheus-text output (.prom/.txt);
+/// everything else gets JSON.
+bool WantsPrometheus(const std::string& path) {
+  auto ends_with = [&path](const char* suffix) {
+    std::string s(suffix);
+    return path.size() >= s.size() &&
+           path.compare(path.size() - s.size(), s.size(), s) == 0;
+  };
+  return ends_with(".prom") || ends_with(".txt");
+}
+
+/// Writes the metrics snapshot for --metrics-out. Uses a plain ofstream
+/// rather than io::WriteTextFile so armed IO failpoints cannot block the
+/// observability channel that would report them.
+Status WriteMetricsSnapshot(const std::string& path) {
+  std::ofstream f(path, std::ios::out | std::ios::trunc);
+  if (!f) {
+    return Status::IOError("cannot open metrics output '" + path + "'");
+  }
+  if (WantsPrometheus(path)) {
+    f << obs::DumpPrometheus();
+  } else {
+    f << obs::DumpJson() << "\n";
+  }
+  f.flush();
+  if (!f) {
+    return Status::IOError("failed writing metrics output '" + path + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace
 
 int RunCli(const std::vector<std::string>& args, std::ostream& out) {
   return RunCli(args, out, out);
@@ -455,9 +517,22 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out,
     st = CmdCalibrate(parsed.value(), out);
   } else if (cmd == "enrich") {
     st = CmdEnrich(parsed.value(), out);
+  } else if (cmd == "metrics") {
+    st = CmdMetrics(parsed.value(), out);
   } else {
     err << "error: unknown command '" << cmd << "'\n" << UsageText();
     return 1;
+  }
+  // The snapshot is written even when the command failed: counters
+  // explaining the failure (quarantines, failpoint trips, truncations)
+  // are exactly what a post-mortem wants.
+  std::string metrics_out = parsed.value().Get("metrics-out", "");
+  if (!metrics_out.empty()) {
+    Status ms = WriteMetricsSnapshot(metrics_out);
+    if (!ms.ok()) {
+      err << "error: " << ms.ToString() << "\n";
+      if (st.ok()) return ExitCodeForStatus(ms);
+    }
   }
   if (!st.ok()) {
     err << "error: " << st.ToString() << "\n";

@@ -18,6 +18,7 @@
 ///   ftl calibrate --p p.csv --q q.csv [--matcher nb|alpha]
 ///                 [--budget 10] [--queries 50]
 ///   ftl enrich   --p p.csv --q q.csv --query LABEL --candidate LABEL
+///   ftl metrics  [--format prom|json]
 ///
 /// Every subcommand returns a Status and writes human-readable output to
 /// the provided stream. Global flags:
@@ -28,6 +29,9 @@
 ///                       reported and skipped instead of failing the load.
 ///   --quarantine-out F  with --lenient, write quarantined rows of each
 ///                       input to F.<flag>.csv (e.g. F.p.csv, F.q.csv).
+///   --metrics-out F     after the command runs (even on failure), write
+///                       a snapshot of the process metrics registry to F
+///                       (.prom/.txt: Prometheus text; otherwise JSON).
 
 #include <ostream>
 #include <string>
@@ -83,6 +87,7 @@ Status CmdValidate(const ArgMap& args, std::ostream& out);
 Status CmdDiagnose(const ArgMap& args, std::ostream& out);
 Status CmdCalibrate(const ArgMap& args, std::ostream& out);
 Status CmdEnrich(const ArgMap& args, std::ostream& out);
+Status CmdMetrics(const ArgMap& args, std::ostream& out);
 
 /// The usage text.
 std::string UsageText();
