@@ -31,11 +31,11 @@ BlockedRun RunBlocked(const sim::DatasetPair& pair,
   }
   Stopwatch sw;
   size_t survivors_total = 0, recall_hits = 0, percept_hits = 0;
+  std::vector<size_t> survivors;  // reused across queries (scratch API)
   for (size_t qi = 0; qi < workload.queries.size(); ++qi) {
     const auto& query = workload.queries[qi];
-    std::vector<size_t> survivors;
     if (index) {
-      survivors = index->Candidates(query);
+      index->Candidates(query, &survivors);
     } else {
       survivors.resize(pair.q.size());
       for (size_t i = 0; i < pair.q.size(); ++i) survivors[i] = i;

@@ -1,0 +1,315 @@
+// FTB columnar-store benchmark: cold-load cost of the binary store vs
+// CSV parsing, and scoring throughput of the SoA FlatDatabase path vs
+// the AoS Trajectory path, on the same data.
+//
+//   * load: csv_parse      — ReadCsv (strict), the historical loader.
+//   * load: ftb_mmap       — ReadFtb, zero-copy mmap, checksums on
+//                            (the default posture; CRC touches every
+//                            page, so this is an honest full read).
+//   * load: ftb_mmap_nocrc — ReadFtb, mmap, checksums off (structural
+//                            validation only; pages fault lazily).
+//   * load: ftb_heap       — ReadFtb, heap fallback (one read + CRC).
+//   * score: aos / soa     — alpha-filter full-database queries through
+//                            FtlEngine::Query on TrajectoryDatabase vs
+//                            FlatDatabase backends.
+//
+// Both scoring backends are loaded from disk artifacts derived from the
+// same CSV, and the bench asserts their QueryResults are byte-identical
+// (bit-pattern compare of p1/p2/score). Emits BENCH_ftb.json (path
+// overridable via argv[1]).
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "ftl/ftl.h"
+#include "obs/metrics.h"
+#include "util/stopwatch.h"
+
+namespace {
+
+using namespace ftl;
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+bool SameBits(double a, double b) {
+  uint64_t ua = 0, ub = 0;
+  std::memcpy(&ua, &a, sizeof(ua));
+  std::memcpy(&ub, &b, sizeof(ub));
+  return ua == ub;
+}
+
+struct LoadResult {
+  std::string name;
+  double seconds = 0.0;  // fastest repetition
+  size_t bytes = 0;      // on-disk artifact size
+  bool mmapped = false;
+};
+
+struct ScoreResult {
+  std::string name;
+  int64_t pairs = 0;
+  double seconds = 0.0;
+  double pairs_per_sec = 0.0;
+  size_t accepted = 0;
+};
+
+constexpr int kReps = 5;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_ftb.json";
+  const std::string config = "SC";
+  const size_t num_objects = bench::PaperScale() ? 1000 : 200;
+  const size_t num_queries = bench::PaperScale() ? 64 : 24;
+  const std::string csv_path = TempPath("ftl_bench_ftb.csv");
+  const std::string ftb_path = TempPath("ftl_bench_ftb.ftb");
+
+  sim::DatasetPair pair = sim::BuildDataset(sim::FindConfig(config),
+                                            num_objects, bench::BenchSeed());
+
+  // Disk artifacts: the FTB file is converted from the CSV-loaded
+  // database (exactly what `ftl convert` does), so both backends carry
+  // the same post-roundtrip doubles and results can be byte-compared.
+  if (!io::WriteCsv(pair.q, csv_path).ok()) {
+    std::fprintf(stderr, "cannot write %s\n", csv_path.c_str());
+    return 1;
+  }
+  auto csv_loaded = io::ReadCsv(csv_path, "q");
+  if (!csv_loaded.ok()) {
+    std::fprintf(stderr, "csv load: %s\n",
+                 csv_loaded.status().ToString().c_str());
+    return 1;
+  }
+  const traj::TrajectoryDatabase& aos_db = csv_loaded.value();
+  if (!io::WriteFtb(aos_db, ftb_path).ok()) {
+    std::fprintf(stderr, "cannot write %s\n", ftb_path.c_str());
+    return 1;
+  }
+  auto ftb_loaded = io::ReadFtb(ftb_path);
+  if (!ftb_loaded.ok()) {
+    std::fprintf(stderr, "ftb load: %s\n",
+                 ftb_loaded.status().ToString().c_str());
+    return 1;
+  }
+  const traj::FlatDatabase& soa_db = ftb_loaded.value();
+
+  std::printf("config=%s objects=%zu db=%zu records=%zu queries=%zu\n",
+              config.c_str(), num_objects, aos_db.size(),
+              soa_db.TotalRecords(), num_queries);
+  std::printf("csv=%zu bytes  ftb=%zu bytes\n\n",
+              static_cast<size_t>(std::filesystem::file_size(csv_path)),
+              static_cast<size_t>(std::filesystem::file_size(ftb_path)));
+
+  // ------------------------------------------------------- cold loads
+  // Min-of-kReps; both formats go through the page cache equally, so
+  // this measures parse/validation cost, not disk spin-up.
+  std::vector<LoadResult> loads;
+  auto run_load = [&loads](const std::string& name, size_t bytes, bool mmapped,
+                           auto&& fn) {
+    LoadResult r;
+    r.name = name;
+    r.bytes = bytes;
+    r.mmapped = mmapped;
+    for (int rep = 0; rep < kReps; ++rep) {
+      Stopwatch sw;
+      if (!fn()) {
+        std::fprintf(stderr, "%s: load failed\n", name.c_str());
+        std::exit(1);
+      }
+      double s = sw.ElapsedSeconds();
+      if (rep == 0 || s < r.seconds) r.seconds = s;
+    }
+    std::printf("%-16s %10.3f ms  (%zu bytes)%s\n", r.name.c_str(),
+                r.seconds * 1e3, r.bytes, r.mmapped ? "  [mmap]" : "");
+    loads.push_back(r);
+  };
+  const size_t csv_bytes =
+      static_cast<size_t>(std::filesystem::file_size(csv_path));
+  const size_t ftb_bytes =
+      static_cast<size_t>(std::filesystem::file_size(ftb_path));
+  io::FtbLoadInfo info;
+  run_load("csv_parse", csv_bytes, false,
+           [&] { return io::ReadCsv(csv_path, "q").ok(); });
+  run_load("ftb_mmap", ftb_bytes, true, [&] {
+    io::FtbReadOptions o;
+    return io::ReadFtb(ftb_path, o, &info).ok() && info.mmapped;
+  });
+  const bool mmap_available = info.mmapped;
+  run_load("ftb_mmap_nocrc", ftb_bytes, true, [&] {
+    io::FtbReadOptions o;
+    o.verify_checksums = false;
+    return io::ReadFtb(ftb_path, o).ok();
+  });
+  run_load("ftb_heap", ftb_bytes, false, [&] {
+    io::FtbReadOptions o;
+    o.prefer_mmap = false;
+    return io::ReadFtb(ftb_path, o, &info).ok() && !info.mmapped;
+  });
+  double csv_s = loads[0].seconds, ftb_mmap_s = loads[1].seconds;
+  double cold_speedup = csv_s / ftb_mmap_s;
+  std::printf("\ncold-load speedup ftb_mmap vs csv: %.1fx "
+              "(acceptance floor 10x)\n\n",
+              cold_speedup);
+
+  // -------------------------------------------------------- train once
+  core::EngineOptions eo;
+  eo.training.vmax_mps = geo::KphToMps(120.0);
+  eo.training.horizon_units = 60;
+  eo.alpha.alpha1 = 0.01;
+  eo.alpha.alpha2 = 0.1;
+  core::FtlEngine engine(eo);
+  if (!engine.Train(pair.p, aos_db).ok()) {
+    std::fprintf(stderr, "training failed\n");
+    return 1;
+  }
+  eval::WorkloadOptions wo;
+  wo.num_queries = num_queries;
+  wo.seed = bench::BenchSeed() + 7;
+  eval::Workload workload = eval::MakeWorkload(pair.p, aos_db, wo);
+
+  // Query set, relabeled uniquely and mirrored into a FlatDatabase so
+  // the SoA path streams both sides from columns.
+  traj::TrajectoryDatabase query_db("queries");
+  for (size_t i = 0; i < workload.queries.size(); ++i) {
+    const auto& q = workload.queries[i];
+    Status st = query_db.Add(traj::Trajectory(
+        "query-" + std::to_string(i), q.owner(), q.records()));
+    if (!st.ok()) {
+      std::fprintf(stderr, "query db: %s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+  traj::FlatDatabase flat_queries =
+      traj::FlatDatabase::FromDatabase(query_db);
+
+  // ------------------------------------------------------ parity check
+  // The acceptance contract: the SoA path is an optimization, not a new
+  // algorithm, so every p-value and score must match to the bit.
+  size_t mismatches = 0;
+  for (size_t i = 0; i < query_db.size(); ++i) {
+    auto aos = engine.Query(query_db[i], aos_db, core::Matcher::kAlphaFilter);
+    auto soa = engine.Query(flat_queries[i], soa_db,
+                            core::Matcher::kAlphaFilter);
+    if (!aos.ok() || !soa.ok()) {
+      std::fprintf(stderr, "parity query %zu failed\n", i);
+      return 1;
+    }
+    const auto& ca = aos.value().candidates;
+    const auto& cs = soa.value().candidates;
+    if (ca.size() != cs.size()) {
+      ++mismatches;
+      continue;
+    }
+    for (size_t j = 0; j < ca.size(); ++j) {
+      if (ca[j].index != cs[j].index || ca[j].label != cs[j].label ||
+          !SameBits(ca[j].p1, cs[j].p1) || !SameBits(ca[j].p2, cs[j].p2) ||
+          !SameBits(ca[j].score, cs[j].score)) {
+        ++mismatches;
+        break;
+      }
+    }
+  }
+  const bool identical = mismatches == 0;
+  std::printf("parity: %zu/%zu queries byte-identical %s\n\n",
+              query_db.size() - mismatches, query_db.size(),
+              identical ? "(OK)" : "(FAIL)");
+
+  // ------------------------------------------------- scoring throughput
+  std::vector<ScoreResult> scores;
+  auto run_score = [&](const std::string& name, auto&& one_pass) {
+    ScoreResult best;
+    for (int rep = 0; rep < kReps; ++rep) {
+      ScoreResult m;
+      m.name = name;
+      Stopwatch sw;
+      one_pass(&m);
+      m.seconds = sw.ElapsedSeconds();
+      m.pairs_per_sec = static_cast<double>(m.pairs) / m.seconds;
+      if (rep == 0 || m.seconds < best.seconds) best = m;
+    }
+    std::printf("%-16s pairs=%-8lld %10.0f pairs/s  accepted=%zu\n",
+                best.name.c_str(), static_cast<long long>(best.pairs),
+                best.pairs_per_sec, best.accepted);
+    scores.push_back(best);
+  };
+  run_score("aos_serial", [&](ScoreResult* m) {
+    for (size_t i = 0; i < query_db.size(); ++i) {
+      auto r = engine.Query(query_db[i], aos_db, core::Matcher::kAlphaFilter);
+      if (!r.ok()) std::exit(1);
+      m->accepted += r.value().candidates.size();
+      m->pairs += static_cast<int64_t>(aos_db.size());
+    }
+  });
+  run_score("soa_serial", [&](ScoreResult* m) {
+    for (size_t i = 0; i < flat_queries.size(); ++i) {
+      auto r = engine.Query(flat_queries[i], soa_db,
+                            core::Matcher::kAlphaFilter);
+      if (!r.ok()) std::exit(1);
+      m->accepted += r.value().candidates.size();
+      m->pairs += static_cast<int64_t>(soa_db.size());
+    }
+  });
+  double soa_vs_aos = scores[1].pairs_per_sec / scores[0].pairs_per_sec;
+  std::printf("\nsoa vs aos pairs/sec: %.3fx (acceptance floor 1.0x)\n",
+              soa_vs_aos);
+
+  // -------------------------------------------------------------- JSON
+  FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"bench\": \"ftb\",\n"
+               "  \"config\": \"%s\",\n"
+               "  \"num_objects\": %zu,\n"
+               "  \"db_size\": %zu,\n"
+               "  \"num_records\": %zu,\n"
+               "  \"num_queries\": %zu,\n"
+               "  \"csv_bytes\": %zu,\n"
+               "  \"ftb_bytes\": %zu,\n"
+               "  \"mmap_available\": %s,\n"
+               "  \"cold_load_speedup_ftb_mmap_vs_csv\": %.2f,\n"
+               "  \"soa_vs_aos_pairs_per_sec\": %.4f,\n"
+               "  \"results_byte_identical\": %s,\n"
+               "  \"loads\": {\n",
+               config.c_str(), num_objects, aos_db.size(),
+               soa_db.TotalRecords(), query_db.size(), csv_bytes, ftb_bytes,
+               mmap_available ? "true" : "false", cold_speedup, soa_vs_aos,
+               identical ? "true" : "false");
+  for (size_t i = 0; i < loads.size(); ++i) {
+    const LoadResult& r = loads[i];
+    std::fprintf(f,
+                 "    \"%s\": { \"seconds\": %.6f, \"bytes\": %zu, "
+                 "\"mmapped\": %s }%s\n",
+                 r.name.c_str(), r.seconds, r.bytes,
+                 r.mmapped ? "true" : "false",
+                 i + 1 < loads.size() ? "," : "");
+  }
+  std::fprintf(f, "  },\n  \"scoring\": {\n");
+  for (size_t i = 0; i < scores.size(); ++i) {
+    const ScoreResult& m = scores[i];
+    std::fprintf(f,
+                 "    \"%s\": { \"pairs\": %lld, \"seconds\": %.6f, "
+                 "\"pairs_per_sec\": %.1f, \"accepted\": %zu }%s\n",
+                 m.name.c_str(), static_cast<long long>(m.pairs), m.seconds,
+                 m.pairs_per_sec, m.accepted,
+                 i + 1 < scores.size() ? "," : "");
+  }
+  std::fprintf(f, "  },\n  \"metrics\": %s\n}\n", obs::DumpJson().c_str());
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path.c_str());
+
+  std::filesystem::remove(csv_path);
+  std::filesystem::remove(ftb_path);
+  return identical ? 0 : 2;
+}

@@ -35,15 +35,25 @@ BlockingIndex::BlockingIndex(const traj::TrajectoryDatabase& db,
 std::vector<size_t> BlockingIndex::Candidates(
     const traj::Trajectory& query) const {
   std::vector<size_t> out;
-  if (query.empty()) return out;
+  Candidates(query, &out);
+  return out;
+}
 
-  // Spatial pass: count shared (expanded) cells per candidate.
-  std::vector<uint32_t> shared_counts;
+void BlockingIndex::Candidates(const traj::Trajectory& query,
+                               std::vector<size_t>* out) const {
+  out->clear();
+  if (query.empty()) return;
+
+  // Spatial pass: count shared (expanded) cells per candidate. The
+  // count buffer and probe set are per-thread scratch so a query loop
+  // allocates nothing in steady state.
+  thread_local std::vector<uint32_t> shared_counts;
+  thread_local std::unordered_set<int64_t> probe_cells;
   if (options_.use_spatial) {
     shared_counts.assign(spans_.size(), 0);
     double g = options_.cell_size_meters;
     int nb = options_.neighborhood;
-    std::unordered_set<int64_t> probe_cells;
+    probe_cells.clear();
     for (const auto& r : query.records()) {
       int32_t cx = static_cast<int32_t>(std::floor(r.location.x / g));
       int32_t cy = static_cast<int32_t>(std::floor(r.location.y / g));
@@ -75,9 +85,8 @@ std::vector<size_t> BlockingIndex::Candidates(
         shared_counts[i] < options_.min_shared_cells) {
       continue;
     }
-    out.push_back(i);
+    out->push_back(i);
   }
-  return out;
 }
 
 }  // namespace ftl::core

@@ -57,6 +57,13 @@ class BlockingIndex {
   /// Indices of candidates surviving all enabled blockers, ascending.
   std::vector<size_t> Candidates(const traj::Trajectory& query) const;
 
+  /// Scratch-buffer variant: clears and fills `*out` instead of
+  /// allocating, so a caller looping over queries reuses the vector's
+  /// capacity (and the internal count buffer's) across calls. Not
+  /// thread-safe with a shared `out`; use one buffer per thread.
+  void Candidates(const traj::Trajectory& query,
+                  std::vector<size_t>* out) const;
+
   /// Number of indexed candidates.
   size_t size() const { return spans_.size(); }
 

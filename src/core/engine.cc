@@ -107,9 +107,10 @@ EvidenceOptions FtlEngine::evidence_options() const {
   return ev;
 }
 
-bool FtlEngine::ScorePair(const traj::Trajectory& query,
-                          const traj::Trajectory& cand, Matcher matcher,
-                          MatchCandidate* out, ScoreScratch* scratch) const {
+template <typename QueryT, typename CandT>
+bool FtlEngine::ScorePair(const QueryT& query, const CandT& cand,
+                          Matcher matcher, MatchCandidate* out,
+                          ScoreScratch* scratch) const {
   // Stage timers are sampled (1 in kStageSampleEvery pairs, always
   // including the first of a stream) so per-stage attribution costs a
   // fraction of a clock read per pair amortized; counters are plain
@@ -215,8 +216,9 @@ bool FtlEngine::ScorePair(const traj::Trajectory& query,
   return false;
 }
 
+template <typename QueryT, typename DbT>
 Result<QueryResult> FtlEngine::QueryImpl(
-    const traj::Trajectory& query, const traj::TrajectoryDatabase& db,
+    const QueryT& query, const DbT& db,
     const std::vector<size_t>* candidate_indices, Matcher matcher,
     size_t num_threads, ScoreScratch* scratch,
     const QueryOptions* qopts) const {
@@ -238,7 +240,7 @@ Result<QueryResult> FtlEngine::QueryImpl(
   };
   // The non-overlap pre-filter only applies when scoring the whole
   // database; an explicit candidate list is always evaluated.
-  auto skip = [&](const traj::Trajectory& cand) {
+  auto skip = [&](const auto& cand) {
     return candidate_indices == nullptr &&
            !options_.evaluate_non_overlapping &&
            traj::TimeSpanOverlapSeconds(query, cand) == 0;
@@ -282,7 +284,9 @@ Result<QueryResult> FtlEngine::QueryImpl(
       // A hard injected fault (unlike a fired limit) fails the query.
       FTL_FAILPOINT("core.query.candidate");
       size_t idx = candidate_at(i);
-      const traj::Trajectory& cand = db[idx];
+      // `auto&&` so the by-value views of a FlatDatabase get lifetime
+      // extension while TrajectoryDatabase still binds by reference.
+      auto&& cand = db[idx];
       if (skip(cand)) continue;
       MatchCandidate mc;
       mc.index = idx;
@@ -319,7 +323,7 @@ Result<QueryResult> FtlEngine::QueryImpl(
           }
         }
         size_t idx = candidate_at(i);
-        const traj::Trajectory& cand = db[idx];
+        auto&& cand = db[idx];
         if (skip(cand)) continue;
         staged[i].index = idx;
         accepted[i] = ScorePair(query, cand, matcher, &staged[i], &s) ? 1 : 0;
@@ -396,6 +400,22 @@ Result<QueryResult> FtlEngine::Query(const traj::Trajectory& query,
   }
   return QueryImpl(query, db, nullptr, matcher, options_.num_threads, nullptr,
                    &qopts);
+}
+
+Result<QueryResult> FtlEngine::Query(const traj::FlatTrajectoryView& query,
+                                     const traj::FlatDatabase& db,
+                                     Matcher matcher) const {
+  return Query(query, db, matcher, options_.num_threads);
+}
+
+Result<QueryResult> FtlEngine::Query(const traj::FlatTrajectoryView& query,
+                                     const traj::FlatDatabase& db,
+                                     Matcher matcher,
+                                     size_t num_threads) const {
+  if (!trained_) {
+    return Status::FailedPrecondition("FtlEngine::Query before Train");
+  }
+  return QueryImpl(query, db, nullptr, matcher, num_threads, nullptr, nullptr);
 }
 
 Result<QueryResult> FtlEngine::QueryWithCandidates(

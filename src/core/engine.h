@@ -14,6 +14,7 @@
 #include "core/model_builders.h"
 #include "core/naive_bayes.h"
 #include "traj/database.h"
+#include "traj/flat_database.h"
 #include "util/deadline.h"
 #include "util/status.h"
 
@@ -151,6 +152,18 @@ class FtlEngine {
                             const traj::TrajectoryDatabase& db,
                             Matcher matcher, const QueryOptions& qopts) const;
 
+  /// Columnar (SoA) overloads: score against a FlatDatabase, streaming
+  /// candidate records straight out of its contiguous columns (e.g. an
+  /// mmap'd FTB file) with no per-record indirection. The evidence
+  /// kernel is shared with the AoS path, so for equal record data the
+  /// results are byte-identical to the TrajectoryDatabase overloads.
+  Result<QueryResult> Query(const traj::FlatTrajectoryView& query,
+                            const traj::FlatDatabase& db,
+                            Matcher matcher) const;
+  Result<QueryResult> Query(const traj::FlatTrajectoryView& query,
+                            const traj::FlatDatabase& db, Matcher matcher,
+                            size_t num_threads) const;
+
   /// Like Query, but only evaluates the candidates at `candidate_indices`
   /// (e.g. the survivors of a BlockingIndex). Selectiveness remains
   /// relative to the whole database.
@@ -204,12 +217,16 @@ class FtlEngine {
   };
 
   /// Scores one (query, candidate) pair into `out` using `scratch`;
-  /// returns true when the candidate should enter Q_P.
-  bool ScorePair(const traj::Trajectory& query, const traj::Trajectory& cand,
-                 Matcher matcher, MatchCandidate* out,
-                 ScoreScratch* scratch) const;
+  /// returns true when the candidate should enter Q_P. Template over
+  /// the trajectory representation (Trajectory or FlatTrajectoryView);
+  /// all instantiations live in engine.cc.
+  template <typename QueryT, typename CandT>
+  bool ScorePair(const QueryT& query, const CandT& cand, Matcher matcher,
+                 MatchCandidate* out, ScoreScratch* scratch) const;
 
-  /// Shared implementation of the public query entry points.
+  /// Shared implementation of the public query entry points, template
+  /// over the storage backend: DbT is TrajectoryDatabase (AoS) or
+  /// FlatDatabase (SoA columns), QueryT the matching trajectory type.
   /// `candidate_indices == nullptr` scores the whole database (and
   /// applies the evaluate_non_overlapping pre-filter). `scratch` may
   /// be null (a local one is used) and is only honored when
@@ -219,8 +236,8 @@ class FtlEngine {
   /// yields an OK partial result with truncated=true. Candidates are
   /// always evaluated in a stable order and truncation keeps a prefix
   /// of it, so partial results are reproducible.
-  Result<QueryResult> QueryImpl(const traj::Trajectory& query,
-                                const traj::TrajectoryDatabase& db,
+  template <typename QueryT, typename DbT>
+  Result<QueryResult> QueryImpl(const QueryT& query, const DbT& db,
                                 const std::vector<size_t>* candidate_indices,
                                 Matcher matcher, size_t num_threads,
                                 ScoreScratch* scratch,

@@ -66,19 +66,41 @@ void BucketEvidence::GroupsUnder(const CompatibilityModel& model,
   }
 }
 
-void CollectEvidence(const traj::Trajectory& p, const traj::Trajectory& q,
-                     const EvidenceOptions& options, BucketEvidence* out) {
+namespace {
+
+/// Column accessors: one arithmetic kernel below serves both storage
+/// layouts, so AoS and SoA scoring perform identical floating-point
+/// operations in identical order — the byte-identical-results contract
+/// between the CSV and FTB backends rests on this sharing.
+struct AosCols {
+  const traj::Record* r;
+  int64_t t(size_t i) const { return r[i].t; }
+  double x(size_t i) const { return r[i].location.x; }
+  double y(size_t i) const { return r[i].location.y; }
+};
+
+struct SoaCols {
+  const int64_t* ts;
+  const double* xs;
+  const double* ys;
+  int64_t t(size_t i) const { return ts[i]; }
+  double x(size_t i) const { return xs[i]; }
+  double y(size_t i) const { return ys[i]; }
+};
+
+/// The query-hot-path evidence kernel, layout-generic.
+///
+/// Mutual segments are exactly the source alternations of the merged
+/// order, so instead of the record-by-record merge (one unpredictable
+/// branch per record) the loop below walks Q's records and, per Q
+/// record, skips the whole run of P records at or before it with a
+/// tight scan. Only run boundaries — at most two per Q record — do any
+/// segment work. Order and tie-breaking (P-first on equal timestamps)
+/// match traj::VisitSegments exactly.
+template <typename PC, typename QC>
+void CollectEvidenceImpl(const PC& pc, size_t np, const QC& qc, size_t nq,
+                         const EvidenceOptions& options, BucketEvidence* out) {
   out->Reset(static_cast<size_t>(options.horizon_units));
-  // Mutual segments are exactly the source alternations of the merged
-  // order, so instead of the record-by-record merge (one unpredictable
-  // branch per record) the loop below walks Q's records and, per Q
-  // record, skips the whole run of P records at or before it with a
-  // tight scan. Only run boundaries — at most two per Q record — do any
-  // segment work. Order and tie-breaking (P-first on equal timestamps)
-  // match traj::VisitSegments exactly.
-  const traj::Record* pr = p.records().data();
-  const traj::Record* qr = q.records().data();
-  const size_t np = p.records().size(), nq = q.records().size();
   const int64_t tu = options.time_unit_seconds;
   const int64_t half = tu / 2;
   const int64_t horizon = options.horizon_units;
@@ -91,11 +113,11 @@ void CollectEvidence(const traj::Trajectory& p, const traj::Trajectory& q,
   // overflow slot and the incompatibility bit is added arithmetically,
   // so the only data-dependent branches left are the (almost never
   // taken) one-off corrections of the reciprocal-multiply division.
-  auto mutual = [&](const traj::Record& a, const traj::Record& b) {
+  auto mutual = [&](const auto& a, size_t ai, const auto& b, size_t bi) {
     ++total_mutual;
-    int64_t dt = b.t - a.t;  // merge order => non-negative
-    double dx = b.location.x - a.location.x;
-    double dy = b.location.y - a.location.y;
+    int64_t dt = b.t(bi) - a.t(ai);  // merge order => non-negative
+    double dx = b.x(bi) - a.x(ai);
+    double dy = b.y(bi) - a.y(ai);
     double limit = vmax * static_cast<double>(dt);
     int32_t incompat = dx * dx + dy * dy > limit * limit ? 1 : 0;
     // unit = (dt + half) / tu without the integer divide: multiply by
@@ -110,22 +132,22 @@ void CollectEvidence(const traj::Trajectory& p, const traj::Trajectory& q,
   };
   size_t i = 0;
   for (size_t j = 0; j < nq; ++j) {
-    const int64_t tj = qr[j].t;
-    if (i < np && pr[i].t <= tj) {
-      // A run of P records enters the merge before qr[j]. Its first
+    const int64_t tj = qc.t(j);
+    if (i < np && pc.t(i) <= tj) {
+      // A run of P records enters the merge before q[j]. Its first
       // record closes a Q->P alternation (except before the first Q
       // record, where it has no Q predecessor); interior records form
       // only self-segments; its last record opens the P->Q alternation
-      // closed by qr[j].
-      if (j > 0) mutual(qr[j - 1], pr[i]);
-      while (i + 1 < np && pr[i + 1].t <= tj) ++i;
-      mutual(pr[i], qr[j]);
+      // closed by q[j].
+      if (j > 0) mutual(qc, j - 1, pc, i);
+      while (i + 1 < np && pc.t(i + 1) <= tj) ++i;
+      mutual(pc, i, qc, j);
       ++i;
     }
   }
   // P records after the last Q record: only the first closes an
   // alternation (with the last Q record); the rest are self-segments.
-  if (i < np && nq > 0) mutual(qr[nq - 1], pr[i]);
+  if (i < np && nq > 0) mutual(qc, nq - 1, pc, i);
   // Fold the histogram into the aggregate counters in one pass.
   int64_t informative = 0, k = 0;
   const size_t h = static_cast<size_t>(horizon);
@@ -137,6 +159,21 @@ void CollectEvidence(const traj::Trajectory& p, const traj::Trajectory& q,
   out->informative = informative;
   out->k_observed = k;
   out->beyond_horizon_incompatible = inc[h];
+}
+
+}  // namespace
+
+void CollectEvidence(const traj::Trajectory& p, const traj::Trajectory& q,
+                     const EvidenceOptions& options, BucketEvidence* out) {
+  CollectEvidenceImpl(AosCols{p.records().data()}, p.size(),
+                      AosCols{q.records().data()}, q.size(), options, out);
+}
+
+void CollectEvidence(const traj::FlatTrajectoryView& p,
+                     const traj::FlatTrajectoryView& q,
+                     const EvidenceOptions& options, BucketEvidence* out) {
+  CollectEvidenceImpl(SoaCols{p.ts(), p.xs(), p.ys()}, p.size(),
+                      SoaCols{q.ts(), q.xs(), q.ys()}, q.size(), options, out);
 }
 
 void CompactEvidence(const MutualSegmentEvidence& ev, size_t horizon_units,

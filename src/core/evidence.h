@@ -14,6 +14,7 @@
 
 #include "core/compatibility_model.h"
 #include "stats/grouped_poisson_binomial.h"
+#include "traj/flat_database.h"
 #include "traj/trajectory.h"
 
 namespace ftl::core {
@@ -113,6 +114,14 @@ struct BucketEvidence {
 /// evidence into `out`, reusing its buffers. The allocation-free
 /// counterpart of CollectEvidence for the query hot path.
 void CollectEvidence(const traj::Trajectory& p, const traj::Trajectory& q,
+                     const EvidenceOptions& options, BucketEvidence* out);
+
+/// SoA overload: streams the evidence straight out of contiguous
+/// columns (FlatTrajectoryView). Shares its arithmetic kernel with the
+/// AoS overload, so the two produce bit-identical evidence for equal
+/// record data.
+void CollectEvidence(const traj::FlatTrajectoryView& p,
+                     const traj::FlatTrajectoryView& q,
                      const EvidenceOptions& options, BucketEvidence* out);
 
 /// Folds per-segment evidence into the bucket histogram (used by the

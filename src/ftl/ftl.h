@@ -41,6 +41,7 @@
 #include "geo/projection.h"
 #include "io/csv.h"
 #include "io/file_util.h"
+#include "io/ftb.h"
 #include "io/geojson.h"
 #include "io/model_io.h"
 #include "io/report_json.h"
@@ -57,6 +58,7 @@
 #include "stats/poisson_binomial.h"
 #include "traj/alignment.h"
 #include "traj/database.h"
+#include "traj/flat_database.h"
 #include "traj/record.h"
 #include "traj/resample.h"
 #include "traj/summary.h"

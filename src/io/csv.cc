@@ -3,8 +3,8 @@
 #include <algorithm>
 #include <array>
 #include <cmath>
-#include <map>
-#include <sstream>
+#include <string_view>
+#include <unordered_map>
 
 #include "io/file_util.h"
 #include "obs/metrics.h"
@@ -54,14 +54,17 @@ class QuarantineSink {
   QuarantineSink(const CsvReadOptions& options, QuarantineReport* report)
       : options_(options), report_(report) {}
 
-  void Add(size_t line_no, const std::string& row_text,
+  void Add(size_t line_no, std::string_view row_text,
            QuarantineReason reason) {
     ++report_->rows_quarantined;
     ++report_->by_reason[static_cast<size_t>(reason)];
     if (report_->sample_rows.size() < options_.max_sample_rows) {
-      report_->sample_rows.push_back(
-          "line " + std::to_string(line_no) + ": " + row_text + " [" +
-          QuarantineReasonName(reason) + "]");
+      std::string sample = "line " + std::to_string(line_no) + ": ";
+      sample += row_text;
+      sample += " [";
+      sample += QuarantineReasonName(reason);
+      sample += "]";
+      report_->sample_rows.push_back(std::move(sample));
     }
     if (!options_.sidecar_path.empty()) {
       sidecar_ += QuarantineReasonName(reason);
@@ -89,22 +92,60 @@ class QuarantineSink {
 
 /// Reconstructs the canonical row text of a parsed record (the raw line
 /// is no longer available once rows are grouped).
-std::string RowText(const std::string& label, int64_t owner,
+std::string RowText(std::string_view label, int64_t owner,
                     const traj::Record& r) {
-  return label + ',' + std::to_string(owner) + ',' + std::to_string(r.t) +
-         ',' + FormatDouble(r.location.x, 3) + ',' +
+  return std::string(label) + ',' + std::to_string(owner) + ',' +
+         std::to_string(r.t) + ',' + FormatDouble(r.location.x, 3) + ',' +
          FormatDouble(r.location.y, 3);
+}
+
+/// Maximum fields a row can carry (label,owner,t,x,y).
+inline constexpr size_t kCsvFieldCount = 5;
+
+/// Splits `line` on commas into at most `kCsvFieldCount` views (no
+/// allocation, unlike Split); returns the *total* field count so callers
+/// can report over-long rows precisely.
+size_t SplitFields(std::string_view line,
+                   std::string_view out[kCsvFieldCount]) {
+  size_t count = 0, start = 0;
+  while (true) {
+    size_t comma = line.find(',', start);
+    std::string_view field = comma == std::string_view::npos
+                                 ? line.substr(start)
+                                 : line.substr(start, comma - start);
+    if (count < kCsvFieldCount) out[count] = field;
+    ++count;
+    if (comma == std::string_view::npos) break;
+    start = comma + 1;
+  }
+  return count;
+}
+
+/// Yields `content` line by line (getline semantics: '\n' terminates a
+/// line; a final unterminated line is still produced). `pos` is the
+/// cursor; returns false at end of input.
+bool NextLine(std::string_view content, size_t* pos, std::string_view* line) {
+  if (*pos >= content.size()) return false;
+  size_t nl = content.find('\n', *pos);
+  if (nl == std::string_view::npos) {
+    *line = content.substr(*pos);
+    *pos = content.size();
+  } else {
+    *line = content.substr(*pos, nl - *pos);
+    *pos = nl + 1;
+  }
+  return true;
 }
 
 /// Classifies one data row. On success fills `out`; on failure returns
 /// the reason and a human-readable detail for strict-mode errors.
-bool ClassifyRow(const std::vector<std::string>& fields,
-                 const CsvReadOptions& options, int64_t* owner,
-                 traj::Record* out, QuarantineReason* reason,
+bool ClassifyRow(const std::string_view fields[kCsvFieldCount],
+                 size_t num_fields, const CsvReadOptions& options,
+                 int64_t* owner, traj::Record* out, QuarantineReason* reason,
                  std::string* detail) {
-  if (fields.size() != 5) {
+  if (num_fields != kCsvFieldCount) {
     *reason = QuarantineReason::kFieldCount;
-    *detail = "expected 5 fields, got " + std::to_string(fields.size());
+    *detail = "expected 5 fields, got " + std::to_string(num_fields);
     return false;
   }
   int64_t t = 0;
@@ -189,6 +230,13 @@ std::string QuarantineReport::ToString() const {
 
 std::string ToCsvString(const traj::TrajectoryDatabase& db) {
   std::string out = "label,owner,t,x,y\n";
+  // Upper-bound estimate (label + owner/t digits + 2×"%.3f" + commas)
+  // so multi-megabyte exports don't reallocate geometrically.
+  size_t estimate = out.size();
+  for (const auto& t : db) {
+    estimate += t.size() * (t.label().size() + 64);
+  }
+  out.reserve(estimate);
   for (const auto& t : db) {
     int64_t owner = t.owner() == traj::kUnknownOwner
                         ? -1
@@ -219,27 +267,52 @@ Result<traj::TrajectoryDatabase> FromCsvString(const std::string& content,
   *rep = QuarantineReport{};
   QuarantineSink sink(options, rep);
 
-  std::istringstream in(content);
-  std::string line;
-  if (!std::getline(in, line)) {
+  std::string_view text(content);
+  std::string_view line;
+  size_t pos = 0;
+  if (!NextLine(text, &pos, &line)) {
     return Status::IOError("empty CSV content");
   }
   if (Trim(line) != "label,owner,t,x,y") {
-    return Status::IOError("bad CSV header: '" + line + "'");
+    return Status::IOError("bad CSV header: '" + std::string(line) + "'");
   }
-  // label -> (owner, rows)
-  std::map<std::string, std::pair<int64_t, std::vector<ParsedRow>>> groups;
+  const size_t body_pos = pos;
+
+  // First pass: count rows per label so each group's vector is reserved
+  // once instead of growing geometrically. Labels are views into
+  // `content`, which outlives everything here, so no strings are built
+  // on the per-row path at all.
+  std::unordered_map<std::string_view, size_t> label_counts;
+  while (NextLine(text, &pos, &line)) {
+    if (Trim(line).empty()) continue;
+    size_t comma = line.find(',');
+    ++label_counts[comma == std::string_view::npos ? line
+                                                   : line.substr(0, comma)];
+  }
+
+  /// One label's rows plus the last-seen owner (matching the historical
+  /// "last row wins" owner semantics).
+  struct Group {
+    int64_t owner = 0;
+    std::vector<ParsedRow> rows;
+  };
+  std::unordered_map<std::string_view, Group> groups;
+  groups.reserve(label_counts.size());
+
+  pos = body_pos;
   size_t line_no = 1;
-  while (std::getline(in, line)) {
+  while (NextLine(text, &pos, &line)) {
     ++line_no;
     if (Trim(line).empty()) continue;
     ++rep->rows_total;
-    auto fields = Split(line, ',');
+    std::string_view fields[kCsvFieldCount];
+    size_t num_fields = SplitFields(line, fields);
     int64_t owner = 0;
     traj::Record record;
     QuarantineReason reason;
     std::string detail;
-    if (!ClassifyRow(fields, options, &owner, &record, &reason, &detail)) {
+    if (!ClassifyRow(fields, num_fields, options, &owner, &record, &reason,
+                     &detail)) {
       if (!options.lenient) {
         return Status::IOError("line " + std::to_string(line_no) + ": " +
                                detail);
@@ -248,13 +321,23 @@ Result<traj::TrajectoryDatabase> FromCsvString(const std::string& content,
       continue;
     }
     auto& group = groups[fields[0]];
-    group.first = owner;
-    group.second.push_back(ParsedRow{record, line_no});
+    if (group.rows.empty()) group.rows.reserve(label_counts[fields[0]]);
+    group.owner = owner;
+    group.rows.push_back(ParsedRow{record, line_no});
   }
 
+  // The database is built in sorted-label order (the std::map ordering
+  // this loop historically had), keeping trajectory indices — and thus
+  // downstream query results — independent of hash-map iteration order.
+  std::vector<std::string_view> labels;
+  labels.reserve(groups.size());
+  for (const auto& [label, group] : groups) labels.push_back(label);
+  std::sort(labels.begin(), labels.end());
+
   traj::TrajectoryDatabase db(db_name);
-  for (auto& [label, group] : groups) {
-    auto& rows = group.second;
+  for (std::string_view label : labels) {
+    Group& group = groups.find(label)->second;
+    auto& rows = group.rows;
     if (options.lenient) {
       // Record-level quarantine needs time order; stable sort keeps
       // file order among equal timestamps so "first row wins" holds.
@@ -267,14 +350,14 @@ Result<traj::TrajectoryDatabase> FromCsvString(const std::string& content,
       for (const ParsedRow& row : rows) {
         if (options.drop_duplicate_timestamps && !kept.empty() &&
             kept.back().record.t == row.record.t) {
-          sink.Add(row.line_no, RowText(label, group.first, row.record),
+          sink.Add(row.line_no, RowText(label, group.owner, row.record),
                    QuarantineReason::kDuplicateTimestamp);
           continue;
         }
         if (options.max_speed_mps > 0.0 && !kept.empty() &&
             !traj::IsCompatible(kept.back().record, row.record,
                                 options.max_speed_mps)) {
-          sink.Add(row.line_no, RowText(label, group.first, row.record),
+          sink.Add(row.line_no, RowText(label, group.owner, row.record),
                    QuarantineReason::kTeleport);
           continue;
         }
@@ -286,10 +369,11 @@ Result<traj::TrajectoryDatabase> FromCsvString(const std::string& content,
     std::vector<traj::Record> records;
     records.reserve(rows.size());
     for (const ParsedRow& row : rows) records.push_back(row.record);
-    traj::OwnerId owner = group.first < 0
+    traj::OwnerId owner = group.owner < 0
                               ? traj::kUnknownOwner
-                              : static_cast<traj::OwnerId>(group.first);
-    Status s = db.Add(traj::Trajectory(label, owner, std::move(records)));
+                              : static_cast<traj::OwnerId>(group.owner);
+    Status s = db.Add(
+        traj::Trajectory(std::string(label), owner, std::move(records)));
     if (!s.ok()) return s;
   }
   FTL_RETURN_NOT_OK(sink.Flush());

@@ -49,11 +49,4 @@ size_t CountMutualSegments(const Trajectory& p, const Trajectory& q) {
   return n;
 }
 
-int64_t TimeSpanOverlapSeconds(const Trajectory& p, const Trajectory& q) {
-  if (p.empty() || q.empty()) return 0;
-  int64_t lo = std::max(p.front().t, q.front().t);
-  int64_t hi = std::min(p.back().t, q.back().t);
-  return hi > lo ? hi - lo : 0;
-}
-
 }  // namespace ftl::traj

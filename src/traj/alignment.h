@@ -10,6 +10,7 @@
 /// a **mutual segment** when they straddle P and Q. Mutual segments carry
 /// the discriminating signal FTL is built on.
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <vector>
@@ -52,35 +53,42 @@ std::vector<AlignedRecord> Align(const Trajectory& p, const Trajectory& q);
 ///   Segment s;
 ///   while (cur.Next(&s)) { ... }
 ///
-/// Both trajectories must outlive the cursor.
+/// Works over any trajectory-like type (`size()` plus `operator[]`
+/// yielding a Record, by reference or by value): the AoS Trajectory and
+/// the SoA FlatTrajectoryView both qualify, so the same merge streams
+/// records out of heap vectors or straight out of mmap'd columns. Both
+/// trajectories must outlive the cursor. Records are held by value
+/// between steps (24 bytes), which keeps the cursor valid for by-value
+/// accessors.
+template <typename TP, typename TQ = TP>
 class SegmentCursor {
  public:
-  SegmentCursor(const Trajectory& p, const Trajectory& q)
-      : p_(&p), q_(&q) {}
+  SegmentCursor(const TP& p, const TQ& q) : p_(&p), q_(&q) {}
 
   /// Advances to the next segment of the alignment; returns false when
   /// the alignment is exhausted (fewer than two records overall).
   bool Next(Segment* out) {
-    const Trajectory& p = *p_;
-    const Trajectory& q = *q_;
+    const TP& p = *p_;
+    const TQ& q = *q_;
     while (i_ < p.size() || j_ < q.size()) {
-      const Record* cur;
+      Record cur;
       Source cur_src;
       if (i_ < p.size() && (j_ >= q.size() || p[i_].t <= q[j_].t)) {
-        cur = &p[i_++];
+        cur = p[i_++];
         cur_src = Source::kP;
       } else {
-        cur = &q[j_++];
+        cur = q[j_++];
         cur_src = Source::kQ;
       }
-      if (prev_ != nullptr) {
-        out->first = *prev_;
-        out->second = *cur;
+      if (have_prev_) {
+        out->first = prev_;
+        out->second = cur;
         out->mutual = prev_src_ != cur_src;
         prev_ = cur;
         prev_src_ = cur_src;
         return true;
       }
+      have_prev_ = true;
       prev_ = cur;
       prev_src_ = cur_src;
     }
@@ -88,35 +96,40 @@ class SegmentCursor {
   }
 
  private:
-  const Trajectory* p_;
-  const Trajectory* q_;
+  const TP* p_;
+  const TQ* q_;
   size_t i_ = 0, j_ = 0;
-  const Record* prev_ = nullptr;
+  Record prev_{};
+  bool have_prev_ = false;
   Source prev_src_ = Source::kP;
 };
 
 /// Streams every segment of W_PQ to `fn` in time order without
 /// materializing the merge. Template variant: the callback is inlined
 /// into the merge loop, with no std::function indirection. This is the
-/// innermost loop of model training and query evaluation.
-template <typename Fn>
-void VisitSegments(const Trajectory& p, const Trajectory& q, Fn&& fn) {
+/// innermost loop of model training and query evaluation. Like
+/// SegmentCursor, TP/TQ may be any trajectory-like type (Trajectory or
+/// FlatTrajectoryView).
+template <typename TP, typename TQ, typename Fn>
+void VisitSegments(const TP& p, const TQ& q, Fn&& fn) {
   size_t i = 0, j = 0;
-  const Record* prev = nullptr;
+  Record prev{};
+  bool have_prev = false;
   Source prev_src = Source::kP;
   while (i < p.size() || j < q.size()) {
-    const Record* cur;
+    Record cur;
     Source cur_src;
     if (i < p.size() && (j >= q.size() || p[i].t <= q[j].t)) {
-      cur = &p[i++];
+      cur = p[i++];
       cur_src = Source::kP;
     } else {
-      cur = &q[j++];
+      cur = q[j++];
       cur_src = Source::kQ;
     }
-    if (prev != nullptr) {
-      fn(Segment{*prev, *cur, prev_src != cur_src});
+    if (have_prev) {
+      fn(Segment{prev, cur, prev_src != cur_src});
     }
+    have_prev = true;
     prev = cur;
     prev_src = cur_src;
   }
@@ -124,9 +137,8 @@ void VisitSegments(const Trajectory& p, const Trajectory& q, Fn&& fn) {
 
 /// Streams only the mutual segments of W_PQ to `fn` (template variant,
 /// callback inlined).
-template <typename Fn>
-void VisitMutualSegments(const Trajectory& p, const Trajectory& q,
-                         Fn&& fn) {
+template <typename TP, typename TQ, typename Fn>
+void VisitMutualSegments(const TP& p, const TQ& q, Fn&& fn) {
   VisitSegments(p, q, [&fn](const Segment& s) {
     if (s.mutual) fn(s);
   });
@@ -151,8 +163,14 @@ size_t CountMutualSegments(const Trajectory& p, const Trajectory& q);
 /// Overlap of the two trajectories' time spans, seconds (0 when
 /// disjoint). Candidates with no overlap produce at most one
 /// informative mutual segment; engines may use this as a pre-filter
-/// signal.
-int64_t TimeSpanOverlapSeconds(const Trajectory& p, const Trajectory& q);
+/// signal. Template over trajectory-like types (see SegmentCursor).
+template <typename TP, typename TQ>
+int64_t TimeSpanOverlapSeconds(const TP& p, const TQ& q) {
+  if (p.empty() || q.empty()) return 0;
+  int64_t lo = std::max<int64_t>(p.front().t, q.front().t);
+  int64_t hi = std::min<int64_t>(p.back().t, q.back().t);
+  return hi > lo ? hi - lo : 0;
+}
 
 }  // namespace ftl::traj
 

@@ -1,0 +1,112 @@
+#include "traj/flat_database.h"
+
+#include <utility>
+
+namespace ftl::traj {
+
+namespace {
+
+/// Heap backing for a FlatDatabase built from an AoS database: the
+/// columns live in ordinary vectors owned by a shared_ptr so that
+/// copies of the database share one allocation.
+struct OwnedColumns {
+  std::vector<uint64_t> record_offsets;
+  std::vector<uint64_t> owners;
+  std::vector<uint64_t> label_offsets;
+  std::string label_pool;
+  std::vector<int64_t> ts;
+  std::vector<double> xs;
+  std::vector<double> ys;
+};
+
+}  // namespace
+
+Trajectory FlatTrajectoryView::Materialize() const {
+  std::vector<Record> records;
+  records.reserve(n_);
+  for (size_t i = 0; i < n_; ++i) records.push_back((*this)[i]);
+  return Trajectory(std::string(label_), owner_, std::move(records));
+}
+
+FlatDatabase FlatDatabase::FromDatabase(const TrajectoryDatabase& db) {
+  auto owned = std::make_shared<OwnedColumns>();
+  size_t total_records = 0;
+  size_t total_labels = 0;
+  for (size_t i = 0; i < db.size(); ++i) {
+    total_records += db[i].size();
+    total_labels += db[i].label().size();
+  }
+
+  owned->record_offsets.reserve(db.size() + 1);
+  owned->owners.reserve(db.size());
+  owned->label_offsets.reserve(db.size() + 1);
+  owned->label_pool.reserve(total_labels);
+  owned->ts.reserve(total_records);
+  owned->xs.reserve(total_records);
+  owned->ys.reserve(total_records);
+
+  owned->record_offsets.push_back(0);
+  owned->label_offsets.push_back(0);
+  for (size_t i = 0; i < db.size(); ++i) {
+    const Trajectory& t = db[i];
+    for (const Record& r : t.records()) {
+      owned->ts.push_back(r.t);
+      owned->xs.push_back(r.location.x);
+      owned->ys.push_back(r.location.y);
+    }
+    owned->label_pool.append(t.label());
+    owned->owners.push_back(static_cast<uint64_t>(t.owner()));
+    owned->record_offsets.push_back(owned->ts.size());
+    owned->label_offsets.push_back(owned->label_pool.size());
+  }
+
+  Columns cols;
+  cols.record_offsets = owned->record_offsets.data();
+  cols.owners = owned->owners.data();
+  cols.label_offsets = owned->label_offsets.data();
+  cols.label_pool = owned->label_pool.data();
+  cols.ts = owned->ts.data();
+  cols.xs = owned->xs.data();
+  cols.ys = owned->ys.data();
+  cols.num_trajectories = db.size();
+  cols.num_records = total_records;
+  cols.label_pool_size = owned->label_pool.size();
+
+  return FromColumns(cols, std::move(owned), db.name());
+}
+
+FlatDatabase FlatDatabase::FromColumns(const Columns& cols,
+                                       std::shared_ptr<const void> storage,
+                                       std::string name) {
+  FlatDatabase out;
+  out.cols_ = cols;
+  out.storage_ = std::move(storage);
+  out.name_ = std::move(name);
+  out.BuildLabelIndex();
+  return out;
+}
+
+TrajectoryDatabase FlatDatabase::ToDatabase() const {
+  TrajectoryDatabase db(name_);
+  for (size_t i = 0; i < size(); ++i) {
+    // Labels are validated unique at construction (FTB load) or come
+    // from a TrajectoryDatabase, so Add cannot reject here.
+    (void)db.Add((*this)[i].Materialize());
+  }
+  return db;
+}
+
+size_t FlatDatabase::Find(std::string_view label) const {
+  auto it = by_label_.find(label);
+  return it == by_label_.end() ? npos : it->second;
+}
+
+void FlatDatabase::BuildLabelIndex() {
+  by_label_.clear();
+  by_label_.reserve(size());
+  for (size_t i = 0; i < size(); ++i) {
+    by_label_.emplace(label(i), i);
+  }
+}
+
+}  // namespace ftl::traj

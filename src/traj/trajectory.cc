@@ -22,6 +22,7 @@ Status Trajectory::Append(const Record& r) {
 void Trajectory::SortByTime() {
   std::stable_sort(records_.begin(), records_.end(),
                    [](const Record& a, const Record& b) { return a.t < b.t; });
+  maybe_unsorted_ = false;
 }
 
 int64_t Trajectory::DurationSeconds() const {
@@ -36,6 +37,8 @@ double Trajectory::MeanGapSeconds() const {
 }
 
 size_t Trajectory::LowerBound(Timestamp t0) const {
+  assert(!maybe_unsorted_ && "Trajectory::LowerBound after AppendUnchecked "
+                             "without SortByTime()");
   auto it = std::lower_bound(
       records_.begin(), records_.end(), t0,
       [](const Record& r, Timestamp t) { return r.t < t; });

@@ -4,6 +4,7 @@
 /// \file trajectory.h
 /// A trajectory: the time-ordered record sequence of one moving object.
 
+#include <cassert>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -39,24 +40,37 @@ class Trajectory {
   void set_owner(OwnerId owner) { owner_ = owner; }
 
   /// Records in non-decreasing timestamp order.
-  const std::vector<Record>& records() const { return records_; }
+  const std::vector<Record>& records() const {
+    assert(!maybe_unsorted_ && "Trajectory read after AppendUnchecked "
+                               "without SortByTime()");
+    return records_;
+  }
 
   /// Number of records (the paper's |P|).
   size_t size() const { return records_.size(); }
   bool empty() const { return records_.empty(); }
 
   /// Record access, 0-based.
-  const Record& operator[](size_t i) const { return records_[i]; }
-  const Record& front() const { return records_.front(); }
-  const Record& back() const { return records_.back(); }
+  const Record& operator[](size_t i) const {
+    assert(!maybe_unsorted_ && "Trajectory read after AppendUnchecked "
+                               "without SortByTime()");
+    return records_[i];
+  }
+  const Record& front() const { return (*this)[0]; }
+  const Record& back() const { return (*this)[records_.size() - 1]; }
 
   /// Appends a record, keeping time order; returns InvalidArgument if the
   /// record would violate the ordering.
   Status Append(const Record& r);
 
   /// Appends a record unconditionally, then marks the sequence dirty; call
-  /// SortByTime() before reading. Fast path for bulk generation.
-  void AppendUnchecked(const Record& r) { records_.push_back(r); }
+  /// SortByTime() before reading. Fast path for bulk generation. While
+  /// dirty, debug builds assert in the record readers (IsSorted stays
+  /// usable — it is the check itself).
+  void AppendUnchecked(const Record& r) {
+    records_.push_back(r);
+    maybe_unsorted_ = true;
+  }
 
   /// Restores the time-order invariant after AppendUnchecked calls.
   void SortByTime();
@@ -81,6 +95,9 @@ class Trajectory {
   std::string label_;
   OwnerId owner_ = kUnknownOwner;
   std::vector<Record> records_;
+  /// Set by AppendUnchecked, cleared by SortByTime: the sequence may
+  /// violate the time-order invariant and must not be read.
+  bool maybe_unsorted_ = false;
 };
 
 }  // namespace ftl::traj

@@ -24,6 +24,8 @@ constexpr const char* kCatalog[] = {
     "io.write_csv",          // io::WriteCsv payload write
     "io.read_model",         // io::ReadModel, before parsing
     "io.write_model",        // io::WriteModel payload write
+    "io.read_ftb",           // io::ReadFtb, before mapping
+    "io.write_ftb",          // io::WriteFtb payload write
     "core.train",            // FtlEngine::Train entry
     "core.query.candidate",  // FtlEngine::QueryImpl, per candidate
 };

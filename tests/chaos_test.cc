@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <filesystem>
 #include <string>
@@ -35,7 +37,13 @@ core::EngineOptions ChaosOptions() {
 }
 
 std::string TempPath(const std::string& name) {
-  return (std::filesystem::temp_directory_path() / name).string();
+  // Per-process names: ctest runs each ChaosTest case as its own
+  // parallel process, and the fault-sweep cases deliberately leave torn
+  // files behind — a shared path would let one case corrupt another's
+  // pipeline inputs.
+  static const std::string suffix =
+      "." + std::to_string(static_cast<long long>(::getpid()));
+  return (std::filesystem::temp_directory_path() / (name + suffix)).string();
 }
 
 /// The outcome of one end-to-end pipeline run: either a failure detail
@@ -51,12 +59,14 @@ PipelineOutcome Fail(const std::string& step, const Status& st) {
 }
 
 /// WriteCsv -> ReadCsv -> Train -> WriteModel x2 -> ReadModel x2 ->
-/// SetModels -> Query + BatchQuery, through every failpoint site.
+/// SetModels -> Query + BatchQuery -> WriteFtb -> ReadFtb -> flat
+/// Query, through every failpoint site.
 PipelineOutcome RunPipeline(const sim::PopulationData& data) {
   std::string p_csv = TempPath("ftl_chaos_p.csv");
   std::string q_csv = TempPath("ftl_chaos_q.csv");
   std::string rej_path = TempPath("ftl_chaos_rej.model");
   std::string acc_path = TempPath("ftl_chaos_acc.model");
+  std::string q_ftb = TempPath("ftl_chaos_q.ftb");
 
   Status st = io::WriteCsv(data.cdr_db, p_csv);
   if (!st.ok()) return Fail("write_csv", st);
@@ -104,7 +114,21 @@ PipelineOutcome RunPipeline(const sim::PopulationData& data) {
   add(single.value());
   for (const auto& r : batch.value()) add(r);
 
-  for (const auto& f : {p_csv, q_csv, rej_path, acc_path}) {
+  // Columnar leg: the same query against Q stored as FTB must survive
+  // the sweep too, and its candidates join the fingerprint (the flat
+  // path promises byte-identical scores, so a divergence breaks the
+  // baseline-equality assertions).
+  st = io::WriteFtb(q.value(), q_ftb);
+  if (!st.ok()) return Fail("write_ftb", st);
+  auto flat_q = io::ReadFtb(q_ftb);
+  if (!flat_q.ok()) return Fail("read_ftb", flat_q.status());
+  traj::FlatDatabase flat_p = traj::FlatDatabase::FromDatabase(p.value());
+  auto flat_single = engine.Query(flat_p[0], flat_q.value(),
+                                  core::Matcher::kAlphaFilter);
+  if (!flat_single.ok()) return Fail("flat_query", flat_single.status());
+  add(flat_single.value());
+
+  for (const auto& f : {p_csv, q_csv, rej_path, acc_path, q_ftb}) {
     std::remove(f.c_str());
   }
   return {true, fingerprint};

@@ -5,6 +5,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "io/csv.h"
 #include "tools/cli.h"
 #include "util/failpoint.h"
 
@@ -146,6 +147,63 @@ TEST(CliTest, EndToEndPipeline) {
         << out.str();
     EXPECT_TRUE(std::filesystem::exists(gj));
   }
+}
+
+TEST(CliTest, ConvertRoundTripsAndFtbInputsLinkIdentically) {
+  TempFiles files;
+  std::string p_csv = files.Add("cli_ftb_p.csv");
+  std::string q_csv = files.Add("cli_ftb_q.csv");
+  std::string q_ftb = files.Add("cli_ftb_q.ftb");
+  std::string q2_csv = files.Add("cli_ftb_q2.csv");
+  {
+    std::ostringstream out;
+    ASSERT_EQ(RunCli({"simulate", "--out-p", p_csv, "--out-q", q_csv,
+                      "--config", "SD", "--objects", "20", "--seed", "5"},
+                     out),
+              0)
+        << out.str();
+  }
+  // CSV -> FTB; magic-byte sniffing then accepts it anywhere.
+  {
+    std::ostringstream out;
+    ASSERT_EQ(RunCli({"convert", "--in", q_csv, "--out", q_ftb}, out), 0)
+        << out.str();
+    EXPECT_NE(out.str().find("(FTB)"), std::string::npos);
+  }
+  std::string link_csv, link_ftb;
+  {
+    std::ostringstream out;
+    ASSERT_EQ(RunCli({"link", "--p", p_csv, "--q", q_csv, "--query",
+                      "log-0", "--matcher", "alpha"},
+                     out),
+              0)
+        << out.str();
+    link_csv = out.str();
+  }
+  {
+    std::ostringstream out;
+    ASSERT_EQ(RunCli({"link", "--p", p_csv, "--q", q_ftb, "--query",
+                      "log-0", "--matcher", "alpha"},
+                     out),
+              0)
+        << out.str();
+    link_ftb = out.str();
+  }
+  EXPECT_EQ(link_csv, link_ftb);
+  // FTB -> CSV round-trip preserves every record.
+  {
+    std::ostringstream out;
+    ASSERT_EQ(
+        RunCli({"convert", "--in", q_ftb, "--out", q2_csv, "--to", "csv"},
+               out),
+        0)
+        << out.str();
+  }
+  auto a = io::ReadCsv(q_csv, "a");
+  auto b = io::ReadCsv(q2_csv, "b");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(io::ToCsvString(a.value()), io::ToCsvString(b.value()));
 }
 
 TEST(CliTest, LinkRejectsBadMatcher) {

@@ -91,8 +91,14 @@ std::string UsageText() {
       "            [--queries 50]      auto-pick thresholds for a budget\n"
       "  enrich    --p P.csv --q Q.csv --query L1 --candidate L2\n"
       "                                merge a linked pair (Figure 2)\n"
+      "  convert   --in D.csv --out D.ftb [--to ftb|csv]\n"
+      "                                convert between CSV and the FTB\n"
+      "                                binary columnar store\n"
       "  metrics   [--format prom|json]\n"
       "                                dump the process metrics registry\n"
+      "\n"
+      "Any --p/--q/--db/--in input may be a .ftb file (detected by magic\n"
+      "bytes, loaded zero-copy via mmap) instead of CSV.\n"
       "\n"
       "global flags:\n"
       "  --lenient             quarantine malformed CSV rows instead of\n"
@@ -138,6 +144,17 @@ Result<traj::TrajectoryDatabase> LoadDb(const ArgMap& args,
   std::string path = args.Get(flag, "");
   if (path.empty()) {
     return Status::InvalidArgument("missing required --" + flag);
+  }
+  // Transparent binary-store detection: an input starting with the FTB
+  // magic loads through the columnar reader regardless of extension.
+  // --lenient does not apply (it quarantines malformed CSV rows; FTB
+  // sections are checksummed whole and either load or are rejected).
+  if (io::SniffFtb(path)) {
+    auto flat = io::ReadFtb(path);
+    if (!flat.ok()) return flat.status();
+    traj::TrajectoryDatabase db = flat.value().ToDatabase();
+    if (db.name().empty()) db.set_name(path);
+    return db;
   }
   if (!args.Has("lenient")) return io::ReadCsv(path, path);
   io::CsvReadOptions opts;
@@ -420,6 +437,37 @@ Status CmdEnrich(const ArgMap& args, std::ostream& out) {
   return Status::OK();
 }
 
+Status CmdConvert(const ArgMap& args, std::ostream& out) {
+  auto db = LoadDb(args, "in", out);
+  if (!db.ok()) return db.status();
+  std::string out_path = args.Get("out", "");
+  if (out_path.empty()) {
+    return Status::InvalidArgument("convert needs --out");
+  }
+  std::string to = args.Get("to", "");
+  if (to.empty()) {
+    // Infer the target from the output extension; FTB is the default
+    // (the whole point of converting).
+    bool csv = out_path.size() >= 4 &&
+               out_path.compare(out_path.size() - 4, 4, ".csv") == 0;
+    to = csv ? "csv" : "ftb";
+  }
+  if (to == "ftb") {
+    traj::FlatDatabase flat = traj::FlatDatabase::FromDatabase(db.value());
+    FTL_RETURN_NOT_OK(io::WriteFtb(flat, out_path));
+    out << "wrote " << flat.size() << " trajectories ("
+        << flat.TotalRecords() << " records) to " << out_path << " (FTB)\n";
+  } else if (to == "csv") {
+    FTL_RETURN_NOT_OK(io::WriteCsv(db.value(), out_path));
+    out << "wrote " << db.value().size() << " trajectories ("
+        << db.value().TotalRecords() << " records) to " << out_path
+        << " (CSV)\n";
+  } else {
+    return Status::InvalidArgument("--to expects ftb|csv, got '" + to + "'");
+  }
+  return Status::OK();
+}
+
 Status CmdMetrics(const ArgMap& args, std::ostream& out) {
   std::string format = args.Get("format", "prom");
   if (format == "prom") {
@@ -517,6 +565,8 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out,
     st = CmdCalibrate(parsed.value(), out);
   } else if (cmd == "enrich") {
     st = CmdEnrich(parsed.value(), out);
+  } else if (cmd == "convert") {
+    st = CmdConvert(parsed.value(), out);
   } else if (cmd == "metrics") {
     st = CmdMetrics(parsed.value(), out);
   } else {

@@ -18,7 +18,12 @@
 ///   ftl calibrate --p p.csv --q q.csv [--matcher nb|alpha]
 ///                 [--budget 10] [--queries 50]
 ///   ftl enrich   --p p.csv --q q.csv --query LABEL --candidate LABEL
+///   ftl convert  --in data.csv --out data.ftb [--to ftb|csv]
 ///   ftl metrics  [--format prom|json]
+///
+/// Any `--p` / `--q` / `--db` / `--in` input may be an FTB binary store
+/// instead of CSV; the format is detected by magic bytes, not
+/// extension.
 ///
 /// Every subcommand returns a Status and writes human-readable output to
 /// the provided stream. Global flags:
@@ -87,6 +92,7 @@ Status CmdValidate(const ArgMap& args, std::ostream& out);
 Status CmdDiagnose(const ArgMap& args, std::ostream& out);
 Status CmdCalibrate(const ArgMap& args, std::ostream& out);
 Status CmdEnrich(const ArgMap& args, std::ostream& out);
+Status CmdConvert(const ArgMap& args, std::ostream& out);
 Status CmdMetrics(const ArgMap& args, std::ostream& out);
 
 /// The usage text.
