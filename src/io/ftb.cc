@@ -275,7 +275,11 @@ Status WriteFtb(const traj::FlatDatabase& db, const std::string& path) {
 
   for (size_t i = 0; i < kSectionCount; ++i) {
     const Section& s = sections[i];
-    if (s.length > 0) {
+    // A default-constructed FlatDatabase has null offset-table pointers
+    // with one-entry (8-byte) section lengths; the zero-filled payload
+    // already encodes those empty prefix-sum tables, so a null source
+    // is skipped rather than handed to memcpy (UB).
+    if (s.length > 0 && s.data != nullptr) {
       std::memcpy(payload.data() + s.offset, s.data, s.length);
     }
     const size_t e = kTableOffset + i * kEntrySize;
@@ -360,14 +364,28 @@ Result<traj::FlatDatabase> ReadFtb(const std::string& path,
   const uint64_t num_traj = LoadU64(base + kOffNumTrajectories);
   const uint64_t num_records = LoadU64(base + kOffNumRecords);
 
-  // Section table: ids in canonical order, in-bounds, aligned, with
-  // the lengths the header's counts dictate.
+  // Any valid file stores (num_traj + 1) u64 offsets and num_records
+  // i64 timestamps in-body, so a count at or above size/8 cannot fit.
+  // Rejecting such counts here is exact, and it keeps the
+  // expected-length products below from wrapping uint64 on a crafted
+  // header (which would let a tiny section pass the length check and
+  // send the endpoint/monotonicity validation out of bounds).
+  if (num_traj >= size / sizeof(uint64_t) ||
+      num_records >= size / sizeof(int64_t)) {
+    return CorruptionError(path,
+                           "trajectory/record count exceeds file size");
+  }
+
+  // Section table: ids in canonical order, in-bounds, aligned,
+  // non-overlapping in ascending file order (what the writer
+  // produces), with the lengths the header's counts dictate.
   struct Entry {
     uint64_t offset = 0;
     uint64_t length = 0;
     uint32_t crc = 0;
   };
   Entry entries[kSectionCount];
+  uint64_t min_offset = kTableOffset + kTableSize;
   const uint64_t expected_lengths[kSectionCount] = {
       (num_traj + 1) * sizeof(uint64_t),  // record offsets
       num_traj * sizeof(uint64_t),        // owners
@@ -387,11 +405,14 @@ Result<traj::FlatDatabase> ReadFtb(const std::string& path,
     entries[i].offset = LoadU64(e + 8);
     entries[i].length = LoadU64(e + 16);
     if (entries[i].offset % 8 != 0 ||
-        entries[i].offset < kTableOffset + kTableSize ||
         entries[i].offset > size - kFooterSize ||
         entries[i].length > size - kFooterSize - entries[i].offset) {
       return CorruptionError(path, "section out of bounds");
     }
+    if (entries[i].offset < min_offset) {
+      return CorruptionError(path, "sections overlap or out of order");
+    }
+    min_offset = entries[i].offset + entries[i].length;
     if (expected_lengths[i] != static_cast<uint64_t>(-1) &&
         entries[i].length != expected_lengths[i]) {
       return CorruptionError(path, "section length mismatch");

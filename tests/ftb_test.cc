@@ -56,11 +56,16 @@ void StoreU32(std::string* b, size_t off, uint32_t v) {
   std::memcpy(b->data() + off, &v, sizeof(v));
 }
 
+void StoreU64(std::string* b, size_t off, uint64_t v) {
+  std::memcpy(b->data() + off, &v, sizeof(v));
+}
+
 // Mirrors the on-disk layout (documented in DESIGN.md §9) so tests can
 // patch files surgically.
 constexpr size_t kTableOffset = 48;
 constexpr size_t kEntrySize = 24;
 constexpr size_t kOffVersion = 8;
+constexpr size_t kOffNumTrajectories = 16;
 constexpr size_t kOffNumRecords = 24;
 constexpr size_t kOffTableCrc = 40;
 constexpr size_t kOffHeaderCrc = 44;
@@ -308,6 +313,66 @@ TEST_F(FtbTest, BadSectionCrcDetectedAndCounted) {
   io::FtbReadOptions opts;
   opts.verify_checksums = false;
   EXPECT_TRUE(io::ReadFtb(path_, opts).ok());
+}
+
+TEST_F(FtbTest, RejectsOverflowingHeaderCounts) {
+  // A crafted header with num_traj = 2^61 + 3 makes
+  // (num_traj + 1) * 8 wrap to exactly the 32 bytes the real offset
+  // section occupies, so without an explicit count bound the length
+  // check passes and endpoint validation reads far out of bounds.
+  ASSERT_TRUE(io::WriteFtb(MakeDb(), path_).ok());
+  std::string bytes = ReadFileBytes(path_);
+  StoreU64(&bytes, kOffNumTrajectories, (uint64_t{1} << 61) + 3);
+  StoreU32(&bytes, kOffHeaderCrc, io::Crc32(bytes.data(), kOffHeaderCrc));
+  WriteFileBytes(path_, bytes);
+  auto r = io::ReadFtb(path_);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().ToString().find("count exceeds file size"),
+            std::string::npos);
+
+  // Same trick on the record count.
+  bytes = ReadFileBytes(path_);
+  StoreU64(&bytes, kOffNumTrajectories, 3);
+  StoreU64(&bytes, kOffNumRecords, uint64_t{1} << 61);
+  StoreU32(&bytes, kOffHeaderCrc, io::Crc32(bytes.data(), kOffHeaderCrc));
+  WriteFileBytes(path_, bytes);
+  r = io::ReadFtb(path_);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().ToString().find("count exceeds file size"),
+            std::string::npos);
+}
+
+TEST_F(FtbTest, RejectsOverlappingSections) {
+  // Re-point the name section at the timestamp column. Every entry is
+  // still in-bounds, aligned, and CRC-consistent after resealing, but
+  // sections must be disjoint and ascending like the writer lays them
+  // out.
+  ASSERT_TRUE(io::WriteFtb(MakeDb(), path_).ok());
+  std::string bytes = ReadFileBytes(path_);
+  SectionEntry ts = FindSection(bytes, 5);
+  ASSERT_GT(ts.length, 0u);
+  for (size_t i = 0; i < 8; ++i) {
+    size_t at = kTableOffset + i * kEntrySize;
+    if (LoadU32(bytes, at) != 8) continue;  // name section entry
+    StoreU64(&bytes, at + 8, ts.offset);
+    StoreU64(&bytes, at + 16, 8);
+  }
+  ResealFile(&bytes, 8);
+  WriteFileBytes(path_, bytes);
+  auto r = io::ReadFtb(path_);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().ToString().find("overlap"), std::string::npos);
+}
+
+TEST_F(FtbTest, DefaultConstructedFlatDatabaseWrites) {
+  // Null column pointers with one-entry offset-table sections must not
+  // reach memcpy; the file still round-trips as an empty database.
+  traj::FlatDatabase empty;
+  ASSERT_TRUE(io::WriteFtb(empty, path_).ok());
+  auto r = io::ReadFtb(path_);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().size(), 0u);
+  EXPECT_EQ(r.value().TotalRecords(), 0u);
 }
 
 TEST_F(FtbTest, DuplicateLabelsRejected) {
