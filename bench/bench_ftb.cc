@@ -11,12 +11,20 @@
 //   * load: ftb_heap       — ReadFtb, heap fallback (one read + CRC).
 //   * score: aos / soa     — alpha-filter full-database queries through
 //                            FtlEngine::Query on TrajectoryDatabase vs
-//                            FlatDatabase backends.
+//                            FlatDatabase backends, both pinned to the
+//                            scalar kernels.
+//   * score: simd          — the SoA backend again, under the best
+//                            SIMD dispatch level this binary + CPU
+//                            support (what production runs by default).
 //
-// Both scoring backends are loaded from disk artifacts derived from the
+// All scoring backends are loaded from disk artifacts derived from the
 // same CSV, and the bench asserts their QueryResults are byte-identical
-// (bit-pattern compare of p1/p2/score). Emits BENCH_ftb.json (path
-// overridable via argv[1]).
+// (bit-pattern compare of p1/p2/score) — across storage layouts AND
+// across kernel ISA levels. Each backend row also reports p50/p90/p99
+// of the engine's sampled per-stage timers (alignment / bucketing /
+// tail), read from the ftl_stage_* histograms, so a speedup can be
+// attributed to a stage instead of guessed at from aggregate pairs/sec.
+// Emits BENCH_ftb.json (path overridable via argv[1]).
 
 #include <cstdint>
 #include <cstdio>
@@ -28,6 +36,7 @@
 #include "bench_common.h"
 #include "ftl/ftl.h"
 #include "obs/metrics.h"
+#include "simd/dispatch.h"
 #include "util/stopwatch.h"
 
 namespace {
@@ -52,12 +61,19 @@ struct LoadResult {
   bool mmapped = false;
 };
 
+struct StageQuantiles {
+  int64_t samples = 0;
+  double p50 = 0.0, p90 = 0.0, p99 = 0.0;
+};
+
 struct ScoreResult {
   std::string name;
+  std::string isa;  // kernel table the row ran on
   int64_t pairs = 0;
   double seconds = 0.0;
   double pairs_per_sec = 0.0;
   size_t accepted = 0;
+  StageQuantiles alignment, bucketing, tail;
 };
 
 constexpr int kReps = 5;
@@ -191,40 +207,68 @@ int main(int argc, char** argv) {
       traj::FlatDatabase::FromDatabase(query_db);
 
   // ------------------------------------------------------ parity check
-  // The acceptance contract: the SoA path is an optimization, not a new
-  // algorithm, so every p-value and score must match to the bit.
-  size_t mismatches = 0;
+  // The acceptance contract: the SoA path and the SIMD kernels are
+  // optimizations, not new algorithms, so every p-value and score must
+  // match the scalar AoS reference to the bit.
+  const simd::IsaLevel best_level = simd::BestSupportedLevel();
+  const std::string best_isa = simd::IsaLevelName(best_level);
+  auto same_candidates = [](const std::vector<core::MatchCandidate>& a,
+                            const std::vector<core::MatchCandidate>& b) {
+    if (a.size() != b.size()) return false;
+    for (size_t j = 0; j < a.size(); ++j) {
+      if (a[j].index != b[j].index || a[j].label != b[j].label ||
+          !SameBits(a[j].p1, b[j].p1) || !SameBits(a[j].p2, b[j].p2) ||
+          !SameBits(a[j].score, b[j].score)) {
+        return false;
+      }
+    }
+    return true;
+  };
+  size_t mismatches = 0;       // soa (scalar) vs aos (scalar)
+  size_t simd_mismatches = 0;  // soa (best SIMD level) vs aos (scalar)
   for (size_t i = 0; i < query_db.size(); ++i) {
+    simd::SetDispatchForTest(simd::IsaLevel::kScalar);
     auto aos = engine.Query(query_db[i], aos_db, core::Matcher::kAlphaFilter);
     auto soa = engine.Query(flat_queries[i], soa_db,
                             core::Matcher::kAlphaFilter);
-    if (!aos.ok() || !soa.ok()) {
+    simd::SetDispatchForTest(best_level);
+    auto vec = engine.Query(flat_queries[i], soa_db,
+                            core::Matcher::kAlphaFilter);
+    if (!aos.ok() || !soa.ok() || !vec.ok()) {
       std::fprintf(stderr, "parity query %zu failed\n", i);
       return 1;
     }
-    const auto& ca = aos.value().candidates;
-    const auto& cs = soa.value().candidates;
-    if (ca.size() != cs.size()) {
+    if (!same_candidates(aos.value().candidates, soa.value().candidates)) {
       ++mismatches;
-      continue;
     }
-    for (size_t j = 0; j < ca.size(); ++j) {
-      if (ca[j].index != cs[j].index || ca[j].label != cs[j].label ||
-          !SameBits(ca[j].p1, cs[j].p1) || !SameBits(ca[j].p2, cs[j].p2) ||
-          !SameBits(ca[j].score, cs[j].score)) {
-        ++mismatches;
-        break;
-      }
+    if (!same_candidates(aos.value().candidates, vec.value().candidates)) {
+      ++simd_mismatches;
     }
   }
   const bool identical = mismatches == 0;
-  std::printf("parity: %zu/%zu queries byte-identical %s\n\n",
+  const bool simd_identical = simd_mismatches == 0;
+  std::printf("parity soa/aos:  %zu/%zu queries byte-identical %s\n",
               query_db.size() - mismatches, query_db.size(),
               identical ? "(OK)" : "(FAIL)");
+  std::printf("parity %s/aos: %zu/%zu queries byte-identical %s\n\n",
+              best_isa.c_str(), query_db.size() - simd_mismatches,
+              query_db.size(), simd_identical ? "(OK)" : "(FAIL)");
 
   // ------------------------------------------------- scoring throughput
+  // Each backend row pins the kernel dispatch level, zeroes the
+  // engine's sampled per-stage histograms, runs kReps timed passes
+  // (keeping the fastest for throughput), then reads the stage
+  // quantiles accumulated across all passes.
+  obs::Histogram* stage_hists[3] = {
+      &obs::MetricsRegistry::Global().GetHistogram("ftl_stage_alignment_ns"),
+      &obs::MetricsRegistry::Global().GetHistogram("ftl_stage_bucketing_ns"),
+      &obs::MetricsRegistry::Global().GetHistogram("ftl_stage_tail_ns"),
+  };
   std::vector<ScoreResult> scores;
-  auto run_score = [&](const std::string& name, auto&& one_pass) {
+  auto run_score = [&](const std::string& name, simd::IsaLevel level,
+                       auto&& one_pass) {
+    const simd::Kernels& active = simd::SetDispatchForTest(level);
+    for (obs::Histogram* h : stage_hists) h->Reset();
     ScoreResult best;
     for (int rep = 0; rep < kReps; ++rep) {
       ScoreResult m;
@@ -235,12 +279,27 @@ int main(int argc, char** argv) {
       m.pairs_per_sec = static_cast<double>(m.pairs) / m.seconds;
       if (rep == 0 || m.seconds < best.seconds) best = m;
     }
-    std::printf("%-16s pairs=%-8lld %10.0f pairs/s  accepted=%zu\n",
-                best.name.c_str(), static_cast<long long>(best.pairs),
-                best.pairs_per_sec, best.accepted);
+    best.isa = simd::IsaLevelName(active.level);
+    StageQuantiles* stages[3] = {&best.alignment, &best.bucketing,
+                                 &best.tail};
+    for (int s = 0; s < 3; ++s) {
+      stages[s]->samples = stage_hists[s]->Count();
+      stages[s]->p50 = stage_hists[s]->Quantile(0.50);
+      stages[s]->p90 = stage_hists[s]->Quantile(0.90);
+      stages[s]->p99 = stage_hists[s]->Quantile(0.99);
+    }
+    std::printf("%-12s [%-6s] pairs=%-8lld %10.0f pairs/s  accepted=%zu\n",
+                best.name.c_str(), best.isa.c_str(),
+                static_cast<long long>(best.pairs), best.pairs_per_sec,
+                best.accepted);
+    std::printf("    stage ns (p50/p90/p99): align %.0f/%.0f/%.0f   "
+                "bucket %.0f/%.0f/%.0f   tail %.0f/%.0f/%.0f\n",
+                best.alignment.p50, best.alignment.p90, best.alignment.p99,
+                best.bucketing.p50, best.bucketing.p90, best.bucketing.p99,
+                best.tail.p50, best.tail.p90, best.tail.p99);
     scores.push_back(best);
   };
-  run_score("aos_serial", [&](ScoreResult* m) {
+  run_score("aos_serial", simd::IsaLevel::kScalar, [&](ScoreResult* m) {
     for (size_t i = 0; i < query_db.size(); ++i) {
       auto r = engine.Query(query_db[i], aos_db, core::Matcher::kAlphaFilter);
       if (!r.ok()) std::exit(1);
@@ -248,7 +307,16 @@ int main(int argc, char** argv) {
       m->pairs += static_cast<int64_t>(aos_db.size());
     }
   });
-  run_score("soa_serial", [&](ScoreResult* m) {
+  run_score("soa_serial", simd::IsaLevel::kScalar, [&](ScoreResult* m) {
+    for (size_t i = 0; i < flat_queries.size(); ++i) {
+      auto r = engine.Query(flat_queries[i], soa_db,
+                            core::Matcher::kAlphaFilter);
+      if (!r.ok()) std::exit(1);
+      m->accepted += r.value().candidates.size();
+      m->pairs += static_cast<int64_t>(soa_db.size());
+    }
+  });
+  run_score("simd", best_level, [&](ScoreResult* m) {
     for (size_t i = 0; i < flat_queries.size(); ++i) {
       auto r = engine.Query(flat_queries[i], soa_db,
                             core::Matcher::kAlphaFilter);
@@ -258,8 +326,11 @@ int main(int argc, char** argv) {
     }
   });
   double soa_vs_aos = scores[1].pairs_per_sec / scores[0].pairs_per_sec;
+  double simd_vs_soa = scores[2].pairs_per_sec / scores[1].pairs_per_sec;
   std::printf("\nsoa vs aos pairs/sec: %.3fx (acceptance floor 1.0x)\n",
               soa_vs_aos);
+  std::printf("simd (%s) vs soa_serial pairs/sec: %.3fx\n",
+              scores[2].isa.c_str(), simd_vs_soa);
 
   // -------------------------------------------------------------- JSON
   FILE* f = std::fopen(out_path.c_str(), "w");
@@ -280,12 +351,17 @@ int main(int argc, char** argv) {
                "  \"mmap_available\": %s,\n"
                "  \"cold_load_speedup_ftb_mmap_vs_csv\": %.2f,\n"
                "  \"soa_vs_aos_pairs_per_sec\": %.4f,\n"
+               "  \"simd_vs_soa_serial_pairs_per_sec\": %.4f,\n"
+               "  \"simd_isa\": \"%s\",\n"
                "  \"results_byte_identical\": %s,\n"
+               "  \"simd_results_byte_identical\": %s,\n"
                "  \"loads\": {\n",
                config.c_str(), num_objects, aos_db.size(),
                soa_db.TotalRecords(), query_db.size(), csv_bytes, ftb_bytes,
                mmap_available ? "true" : "false", cold_speedup, soa_vs_aos,
-               identical ? "true" : "false");
+               simd_vs_soa, scores[2].isa.c_str(),
+               identical ? "true" : "false",
+               simd_identical ? "true" : "false");
   for (size_t i = 0; i < loads.size(); ++i) {
     const LoadResult& r = loads[i];
     std::fprintf(f,
@@ -299,11 +375,25 @@ int main(int argc, char** argv) {
   for (size_t i = 0; i < scores.size(); ++i) {
     const ScoreResult& m = scores[i];
     std::fprintf(f,
-                 "    \"%s\": { \"pairs\": %lld, \"seconds\": %.6f, "
-                 "\"pairs_per_sec\": %.1f, \"accepted\": %zu }%s\n",
-                 m.name.c_str(), static_cast<long long>(m.pairs), m.seconds,
-                 m.pairs_per_sec, m.accepted,
-                 i + 1 < scores.size() ? "," : "");
+                 "    \"%s\": {\n"
+                 "      \"isa\": \"%s\", \"pairs\": %lld, "
+                 "\"seconds\": %.6f, \"pairs_per_sec\": %.1f, "
+                 "\"accepted\": %zu,\n",
+                 m.name.c_str(), m.isa.c_str(),
+                 static_cast<long long>(m.pairs), m.seconds, m.pairs_per_sec,
+                 m.accepted);
+    const StageQuantiles* stages[3] = {&m.alignment, &m.bucketing, &m.tail};
+    const char* stage_names[3] = {"alignment", "bucketing", "tail"};
+    std::fprintf(f, "      \"stages_ns\": {\n");
+    for (int s = 0; s < 3; ++s) {
+      std::fprintf(f,
+                   "        \"%s\": { \"samples\": %lld, \"p50\": %.0f, "
+                   "\"p90\": %.0f, \"p99\": %.0f }%s\n",
+                   stage_names[s], static_cast<long long>(stages[s]->samples),
+                   stages[s]->p50, stages[s]->p90, stages[s]->p99,
+                   s + 1 < 3 ? "," : "");
+    }
+    std::fprintf(f, "      }\n    }%s\n", i + 1 < scores.size() ? "," : "");
   }
   std::fprintf(f, "  },\n  \"metrics\": %s\n}\n", obs::DumpJson().c_str());
   std::fclose(f);
@@ -311,5 +401,5 @@ int main(int argc, char** argv) {
 
   std::filesystem::remove(csv_path);
   std::filesystem::remove(ftb_path);
-  return identical ? 0 : 2;
+  return identical && simd_identical ? 0 : 2;
 }

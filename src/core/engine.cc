@@ -21,6 +21,12 @@ namespace {
 /// tallies. Power of two so the modulo is a mask.
 constexpr uint32_t kStageSampleEvery = 64;
 
+/// Candidates per ScorePairBatch call on the unlimited query paths:
+/// large enough to amortize per-batch setup (classifier views, metric
+/// handles, SIMD dispatch) to noise, small enough that the stack
+/// staging arrays stay cache-resident.
+constexpr size_t kScoreBatchSize = 64;
+
 /// Named obs handles, resolved once per process (registry lookups are
 /// mutex-guarded and must stay off the per-query path).
 struct EngineMetrics {
@@ -32,6 +38,7 @@ struct EngineMetrics {
   obs::Counter* fast_rejects;
   obs::Counter* exact_tails;
   obs::Counter* rna_tails;
+  obs::Counter* batch_pairs;
   obs::Histogram* query_latency_us;
   obs::Histogram* stage_alignment_ns;
   obs::Histogram* stage_bucketing_ns;
@@ -53,6 +60,7 @@ const EngineMetrics& Metrics() {
     em.fast_rejects = &r.GetCounter("ftl_query_fast_reject_total");
     em.exact_tails = &r.GetCounter("ftl_query_tail_exact_total");
     em.rna_tails = &r.GetCounter("ftl_query_tail_rna_total");
+    em.batch_pairs = &r.GetCounter("ftl_score_batch_pairs_total");
     em.query_latency_us = &r.GetHistogram("ftl_query_latency_us");
     em.stage_alignment_ns = &r.GetHistogram("ftl_stage_alignment_ns");
     em.stage_bucketing_ns = &r.GetHistogram("ftl_stage_bucketing_ns");
@@ -107,10 +115,56 @@ EvidenceOptions FtlEngine::evidence_options() const {
   return ev;
 }
 
+namespace {
+
+/// Evidence collection entry of the scoring hot path: the SoA overload
+/// threads the per-thread kernel scratch through to the vector
+/// kernels; the AoS overload has no use for it (that path stays on the
+/// layout-generic scalar kernel, the byte-identity oracle).
+inline void CollectEvidenceDispatch(const traj::Trajectory& q,
+                                    const traj::Trajectory& c,
+                                    const EvidenceOptions& opts,
+                                    BucketEvidence* out,
+                                    simd::EvidenceScratch* /*scratch*/) {
+  CollectEvidence(q, c, opts, out);
+}
+
+inline void CollectEvidenceDispatch(const traj::FlatTrajectoryView& q,
+                                    const traj::FlatTrajectoryView& c,
+                                    const EvidenceOptions& opts,
+                                    BucketEvidence* out,
+                                    simd::EvidenceScratch* scratch) {
+  CollectEvidence(q, c, opts, out, scratch);
+}
+
+/// Warms the next batch slot's candidate while the current pair
+/// scores. Streaming a database larger than L1 otherwise starts every
+/// pair with demand misses down the candidate's columns — a cost the
+/// alignment merge then eats serially.
+inline void PrefetchSpan(const void* p, size_t bytes) {
+  const char* c = static_cast<const char*>(p);
+  for (size_t off = 0; off < bytes; off += 64) {
+    __builtin_prefetch(c + off, /*rw=*/0, /*locality=*/3);
+  }
+}
+
+inline void PrefetchCandidate(const traj::Trajectory& t) {
+  PrefetchSpan(t.records().data(), t.records().size() * sizeof(traj::Record));
+}
+
+inline void PrefetchCandidate(const traj::FlatTrajectoryView& v) {
+  PrefetchSpan(v.ts(), v.size() * sizeof(int64_t));
+  PrefetchSpan(v.xs(), v.size() * sizeof(double));
+  PrefetchSpan(v.ys(), v.size() * sizeof(double));
+}
+
+}  // namespace
+
 template <typename QueryT, typename CandT>
-bool FtlEngine::ScorePair(const QueryT& query, const CandT& cand,
-                          Matcher matcher, MatchCandidate* out,
-                          ScoreScratch* scratch) const {
+bool FtlEngine::ScoreOne(const QueryT& query, const CandT& cand,
+                         Matcher matcher, const EvidenceOptions& ev_opts,
+                         const AlphaFilter& filter, const NaiveBayesMatcher& nb,
+                         MatchCandidate* out, ScoreScratch* scratch) const {
   // Stage timers are sampled (1 in kStageSampleEvery pairs, always
   // including the first of a stream) so per-stage attribution costs a
   // fraction of a clock read per pair amortized; counters are plain
@@ -122,10 +176,12 @@ bool FtlEngine::ScorePair(const QueryT& query, const CandT& cand,
   int64_t alignment_ns = 0;
   if (sampled) {
     Stopwatch sw;
-    CollectEvidence(query, cand, evidence_options(), &scratch->evidence);
+    CollectEvidenceDispatch(query, cand, ev_opts, &scratch->evidence,
+                            &scratch->ev_scratch);
     alignment_ns = static_cast<int64_t>(sw.ElapsedSeconds() * 1e9);
   } else {
-    CollectEvidence(query, cand, evidence_options(), &scratch->evidence);
+    CollectEvidenceDispatch(query, cand, ev_opts, &scratch->evidence,
+                            &scratch->ev_scratch);
   }
   const BucketEvidence& ev = scratch->evidence;
   stats::GroupedPbWorkspace& ws = scratch->pb;
@@ -158,9 +214,8 @@ bool FtlEngine::ScorePair(const QueryT& query, const CandT& cand,
     case Matcher::kAlphaFilter: {
       // Single implementation of the two-phase test (Chernoff–KL
       // fast-reject, truncated exact tails, lazy p2) lives in
-      // AlphaFilter; the filter is a thin view over the models, so
-      // constructing it here is free.
-      AlphaFilter filter(models_, options_.alpha);
+      // AlphaFilter; the filter view is constructed once per batch by
+      // the caller.
       AlphaFilterDecision decision;
       if (sampled) {
         AlphaFilterStageTimes st;
@@ -190,7 +245,6 @@ bool FtlEngine::ScorePair(const QueryT& query, const CandT& cand,
       return decision.accepted;
     }
     case Matcher::kNaiveBayes: {
-      NaiveBayesMatcher nb(models_, options_.naive_bayes);
       if (sampled) {
         // NB has no grouped-kernel stage split; its whole
         // classification (plus the lazy p-value fill for accepted
@@ -214,6 +268,46 @@ bool FtlEngine::ScorePair(const QueryT& query, const CandT& cand,
     }
   }
   return false;
+}
+
+template <typename QueryT, typename CandT>
+bool FtlEngine::ScorePair(const QueryT& query, const CandT& cand,
+                          Matcher matcher, MatchCandidate* out,
+                          ScoreScratch* scratch) const {
+  // Both classifier views are thin model wrappers; constructing them
+  // per pair is cheap, just not free — the batch entry point below
+  // hoists them once per kScoreBatchSize pairs instead.
+  const EvidenceOptions ev_opts = evidence_options();
+  const AlphaFilter filter(models_, options_.alpha);
+  const NaiveBayesMatcher nb(models_, options_.naive_bayes);
+  return ScoreOne(query, cand, matcher, ev_opts, filter, nb, out, scratch);
+}
+
+template <typename QueryT, typename DbT>
+size_t FtlEngine::ScorePairBatch(const QueryT& query, const DbT& db,
+                                 const size_t* indices, size_t n,
+                                 Matcher matcher, MatchCandidate* out,
+                                 uint8_t* accepted,
+                                 ScoreScratch* scratch) const {
+  const EvidenceOptions ev_opts = evidence_options();
+  const AlphaFilter filter(models_, options_.alpha);
+  const NaiveBayesMatcher nb(models_, options_.naive_bayes);
+  const EngineMetrics& em = Metrics();
+  em.batch_pairs->Add(static_cast<int64_t>(n));
+  size_t n_accepted = 0;
+  for (size_t b = 0; b < n; ++b) {
+    // Reset the slot (the staging arrays are reused across batches and
+    // accepted candidates are moved out of them).
+    out[b] = MatchCandidate{};
+    out[b].index = indices[b];
+    auto&& cand = db[indices[b]];
+    if (b + 1 < n) PrefetchCandidate(db[indices[b + 1]]);
+    bool acc =
+        ScoreOne(query, cand, matcher, ev_opts, filter, nb, &out[b], scratch);
+    accepted[b] = acc ? 1 : 0;
+    n_accepted += acc ? 1 : 0;
+  }
+  return n_accepted;
 }
 
 template <typename QueryT, typename DbT>
@@ -271,28 +365,60 @@ Result<QueryResult> FtlEngine::QueryImpl(
   if (workers <= 1) {
     ScoreScratch local;
     ScoreScratch* s = scratch != nullptr ? scratch : &local;
-    for (size_t i = 0; i < m; ++i) {
-      if (qopts != nullptr && i % check_every == 0) {
-        Status limit = qopts->Check();
-        if (!limit.ok()) {
-          result.truncated = true;
-          result.status = std::move(limit);
-          result.evaluated = i;
-          break;
+    if (qopts == nullptr) {
+      // Unlimited serial path: stream candidates through the batch
+      // entry point, kScoreBatchSize at a time. Evaluation order is
+      // unchanged, so results are byte-identical to the per-pair loop.
+      size_t idxbuf[kScoreBatchSize];
+      uint8_t accbuf[kScoreBatchSize];
+      std::vector<MatchCandidate> mcbuf(kScoreBatchSize);
+      size_t i = 0;
+      while (i < m) {
+        size_t nb = 0;
+        while (i < m && nb < kScoreBatchSize) {
+          // A hard injected fault (unlike a fired limit) fails the
+          // query.
+          FTL_FAILPOINT("core.query.candidate");
+          size_t idx = candidate_at(i);
+          // `auto&&` so the by-value views of a FlatDatabase get
+          // lifetime extension while TrajectoryDatabase still binds by
+          // reference.
+          auto&& cand = db[idx];
+          if (!skip(cand)) idxbuf[nb++] = idx;
+          ++i;
+        }
+        if (nb == 0) continue;
+        ScorePairBatch(query, db, idxbuf, nb, matcher, mcbuf.data(), accbuf,
+                       s);
+        for (size_t b = 0; b < nb; ++b) {
+          if (!accbuf[b]) continue;
+          mcbuf[b].label = db[mcbuf[b].index].label();
+          result.candidates.push_back(std::move(mcbuf[b]));
         }
       }
-      // A hard injected fault (unlike a fired limit) fails the query.
-      FTL_FAILPOINT("core.query.candidate");
-      size_t idx = candidate_at(i);
-      // `auto&&` so the by-value views of a FlatDatabase get lifetime
-      // extension while TrajectoryDatabase still binds by reference.
-      auto&& cand = db[idx];
-      if (skip(cand)) continue;
-      MatchCandidate mc;
-      mc.index = idx;
-      if (ScorePair(query, cand, matcher, &mc, s)) {
-        mc.label = cand.label();
-        result.candidates.push_back(std::move(mc));
+    } else {
+      // Limit-polling path: per-pair scoring so a fired deadline or
+      // cancellation truncates within check_every candidates.
+      for (size_t i = 0; i < m; ++i) {
+        if (i % check_every == 0) {
+          Status limit = qopts->Check();
+          if (!limit.ok()) {
+            result.truncated = true;
+            result.status = std::move(limit);
+            result.evaluated = i;
+            break;
+          }
+        }
+        FTL_FAILPOINT("core.query.candidate");
+        size_t idx = candidate_at(i);
+        auto&& cand = db[idx];
+        if (skip(cand)) continue;
+        MatchCandidate mc;
+        mc.index = idx;
+        if (ScorePair(query, cand, matcher, &mc, s)) {
+          mc.label = cand.label();
+          result.candidates.push_back(std::move(mc));
+        }
       }
     }
     flush_tally(s);
@@ -309,19 +435,53 @@ Result<QueryResult> FtlEngine::QueryImpl(
     Status limit_status;
     Status fail_status;
     std::atomic<bool> failed{false};
+    auto check_failpoint = [&]() {
+      if (!failpoint::AnyArmed()) return true;
+      Status fp = failpoint::Check("core.query.candidate");
+      if (fp.ok()) return true;
+      std::lock_guard<std::mutex> lock(fail_mu);
+      if (fail_status.ok()) fail_status = std::move(fp);
+      failed.store(true, std::memory_order_relaxed);
+      return false;
+    };
+    // Unlimited chunks run through the batch entry point (positions
+    // are staged alongside indices so skipped candidates do not shift
+    // the output slots); the limit-polling variant stays per-pair.
+    auto worker_batch_fn = [&](size_t worker, size_t begin, size_t end) {
+      ScoreScratch& s = scratches[worker];
+      size_t idxbuf[kScoreBatchSize];
+      size_t posbuf[kScoreBatchSize];
+      uint8_t accbuf[kScoreBatchSize];
+      std::vector<MatchCandidate> mcbuf(kScoreBatchSize);
+      size_t i = begin;
+      while (i < end) {
+        size_t nb = 0;
+        while (i < end && nb < kScoreBatchSize) {
+          if (failed.load(std::memory_order_relaxed)) return;
+          if (!check_failpoint()) return;
+          size_t idx = candidate_at(i);
+          auto&& cand = db[idx];
+          if (!skip(cand)) {
+            idxbuf[nb] = idx;
+            posbuf[nb] = i;
+            ++nb;
+          }
+          ++i;
+        }
+        if (nb == 0) continue;
+        ScorePairBatch(query, db, idxbuf, nb, matcher, mcbuf.data(), accbuf,
+                       &s);
+        for (size_t b = 0; b < nb; ++b) {
+          staged[posbuf[b]] = std::move(mcbuf[b]);
+          accepted[posbuf[b]] = accbuf[b];
+        }
+      }
+    };
     auto worker_fn = [&](size_t worker, size_t begin, size_t end) {
       ScoreScratch& s = scratches[worker];
       for (size_t i = begin; i < end; ++i) {
         if (failed.load(std::memory_order_relaxed)) return;
-        if (failpoint::AnyArmed()) {
-          Status fp = failpoint::Check("core.query.candidate");
-          if (!fp.ok()) {
-            std::lock_guard<std::mutex> lock(fail_mu);
-            if (fail_status.ok()) fail_status = std::move(fp);
-            failed.store(true, std::memory_order_relaxed);
-            return;
-          }
-        }
+        if (!check_failpoint()) return;
         size_t idx = candidate_at(i);
         auto&& cand = db[idx];
         if (skip(cand)) continue;
@@ -331,7 +491,7 @@ Result<QueryResult> FtlEngine::QueryImpl(
     };
     size_t evaluated = m;
     if (qopts == nullptr) {
-      ParallelForWorkers(m, num_threads, worker_fn);
+      ParallelForWorkers(m, num_threads, worker_batch_fn);
     } else {
       auto stop = [&]() {
         if (failed.load(std::memory_order_relaxed)) return true;

@@ -7,12 +7,14 @@
 /// candidates by the paper's Eq. 2 score.
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "core/alpha_filter.h"
 #include "core/model_builders.h"
 #include "core/naive_bayes.h"
+#include "simd/kernels.h"
 #include "traj/database.h"
 #include "traj/flat_database.h"
 #include "util/deadline.h"
@@ -201,6 +203,10 @@ class FtlEngine {
     BucketEvidence evidence;
     stats::GroupedPbWorkspace pb;
 
+    /// Segment staging buffers of the vector evidence kernels
+    /// (simd/kernels.h); unused (but harmless) under scalar dispatch.
+    simd::EvidenceScratch ev_scratch;
+
     /// Local metric tallies: plain integers bumped per pair and
     /// flushed to the global obs counters once per query, so the
     /// steady-state per-pair metrics cost is a handful of register
@@ -216,13 +222,41 @@ class FtlEngine {
     uint32_t sample_tick = 0;
   };
 
+  /// Scores one (query, candidate) pair with every per-batch handle
+  /// already hoisted by the caller: evidence options, both classifier
+  /// views, and the resolved metric handles. The innermost unit of
+  /// both ScorePair and ScorePairBatch; returns true when the
+  /// candidate should enter Q_P. Template over the trajectory
+  /// representation (Trajectory or FlatTrajectoryView); all
+  /// instantiations live in engine.cc.
+  template <typename QueryT, typename CandT>
+  bool ScoreOne(const QueryT& query, const CandT& cand, Matcher matcher,
+                const EvidenceOptions& ev_opts, const AlphaFilter& filter,
+                const NaiveBayesMatcher& nb, MatchCandidate* out,
+                ScoreScratch* scratch) const;
+
   /// Scores one (query, candidate) pair into `out` using `scratch`;
-  /// returns true when the candidate should enter Q_P. Template over
-  /// the trajectory representation (Trajectory or FlatTrajectoryView);
-  /// all instantiations live in engine.cc.
+  /// returns true when the candidate should enter Q_P. Thin wrapper
+  /// over ScoreOne that sets up the per-batch state for a batch of
+  /// one; kept for the limit-polling query path, which needs per-pair
+  /// granularity.
   template <typename QueryT, typename CandT>
   bool ScorePair(const QueryT& query, const CandT& cand, Matcher matcher,
                  MatchCandidate* out, ScoreScratch* scratch) const;
+
+  /// Batch scoring entry point of the hot path: streams the `n`
+  /// database candidates listed in `indices` through ScoreOne with
+  /// kernel setup (evidence options, classifier construction, metric
+  /// handle and SIMD dispatch resolution) hoisted once per batch.
+  /// Writes per-candidate results to out[b] / accepted[b] (parallel to
+  /// `indices`) and returns the number accepted. Candidate evaluation
+  /// order inside the batch is the `indices` order, so results are
+  /// byte-identical to n successive ScorePair calls.
+  template <typename QueryT, typename DbT>
+  size_t ScorePairBatch(const QueryT& query, const DbT& db,
+                        const size_t* indices, size_t n, Matcher matcher,
+                        MatchCandidate* out, uint8_t* accepted,
+                        ScoreScratch* scratch) const;
 
   /// Shared implementation of the public query entry points, template
   /// over the storage backend: DbT is TrajectoryDatabase (AoS) or

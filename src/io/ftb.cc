@@ -69,6 +69,15 @@ bool HostIsLittleEndian() {
 
 size_t AlignUp8(size_t v) { return (v + 7u) & ~size_t{7}; }
 
+/// Version-2 section alignment: every section starts on a 32-byte
+/// boundary so 256-bit vector loads on the mmap'd columns (page
+/// aligned in memory) are themselves aligned.
+size_t AlignUp32(size_t v) { return (v + 31u) & ~size_t{31}; }
+
+/// Alignment the on-disk format guarantees for section offsets:
+/// version 1 padded to 8 bytes, version 2 pads to 32.
+uint64_t SectionAlignment(uint32_t version) { return version >= 2 ? 32 : 8; }
+
 void StoreU32(std::string* buf, size_t off, uint32_t v) {
   std::memcpy(buf->data() + off, &v, sizeof(v));
 }
@@ -258,7 +267,7 @@ Status WriteFtb(const traj::FlatDatabase& db, const std::string& path) {
 
   size_t pos = kTableOffset + kTableSize;
   for (Section& s : sections) {
-    pos = AlignUp8(pos);
+    pos = AlignUp32(pos);
     s.offset = pos;
     pos += s.length;
   }
@@ -343,7 +352,7 @@ Result<traj::FlatDatabase> ReadFtb(const std::string& path,
     return CorruptionError(path, "header CRC mismatch");
   }
   const uint32_t version = LoadU32(base + kOffVersion);
-  if (version != kFtbVersion) {
+  if (version < kFtbMinReadVersion || version > kFtbVersion) {
     return CorruptionError(path, "unsupported version " +
                                      std::to_string(version));
   }
@@ -404,7 +413,7 @@ Result<traj::FlatDatabase> ReadFtb(const std::string& path,
     entries[i].crc = LoadU32(e + 4);
     entries[i].offset = LoadU64(e + 8);
     entries[i].length = LoadU64(e + 16);
-    if (entries[i].offset % 8 != 0 ||
+    if (entries[i].offset % SectionAlignment(version) != 0 ||
         entries[i].offset > size - kFooterSize ||
         entries[i].length > size - kFooterSize - entries[i].offset) {
       return CorruptionError(path, "section out of bounds");

@@ -5,11 +5,15 @@
 /// FTB — the FTL Trajectory Binary columnar store.
 ///
 /// An FTB file is the on-disk form of a traj::FlatDatabase: a small
-/// little-endian header, a section table, and eight 8-byte-aligned
-/// payload sections (per-trajectory record offsets, owners, label
-/// offsets, interned label pool, and the three record columns
-/// timestamp/x/y), each integrity-checked by a CRC32 recorded in the
-/// section table. Because the payload sections ARE the FlatDatabase
+/// little-endian header, a section table, and eight aligned payload
+/// sections (per-trajectory record offsets, owners, label offsets,
+/// interned label pool, and the three record columns timestamp/x/y),
+/// each integrity-checked by a CRC32 recorded in the section table.
+/// Version 2 files start every section on a 32-byte boundary so
+/// 256-bit vector loads on mmap'd columns are aligned; version 1 files
+/// guaranteed only 8 bytes, and the reader accepts both.
+///
+/// Because the payload sections ARE the FlatDatabase
 /// columns, loading is zero-copy: the reader mmaps the file, validates
 /// header + checksums, and hands out column pointers straight into the
 /// mapping. A heap-read fallback covers platforms without mmap (and
@@ -34,8 +38,14 @@ namespace ftl::io {
 inline constexpr unsigned char kFtbMagic[8] = {0x89, 'F',  'T',  'B',
                                                '\r', '\n', 0x1a, '\n'};
 
-/// Current format version (readers reject any other).
-inline constexpr uint32_t kFtbVersion = 1;
+/// Current format version, written by WriteFtb. Version 2 pads every
+/// section start to 32 bytes (for aligned vector loads on mmap'd
+/// columns); the payload encoding is otherwise identical to version 1.
+inline constexpr uint32_t kFtbVersion = 2;
+
+/// Oldest version ReadFtb still accepts. Version-1 files only
+/// guarantee 8-byte section alignment.
+inline constexpr uint32_t kFtbMinReadVersion = 1;
 
 /// Options for ReadFtb.
 struct FtbReadOptions {

@@ -1,0 +1,131 @@
+#include "simd/dispatch.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <string_view>
+
+#include "obs/metrics.h"
+#include "simd/kernels_internal.h"
+
+namespace ftl::simd {
+
+namespace {
+
+using internal::GetScalarKernels;
+
+/// Runtime CPU capability for the AVX2 tier. SSE2/NEON are baseline
+/// for their platforms, so kSimd128 needs only a compile-time check.
+bool CpuHasAvx2() {
+#if defined(FTL_SIMD_HAVE_AVX2) && defined(__GNUC__)
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+const Kernels* TableFor(IsaLevel level) {
+  switch (level) {
+    case IsaLevel::kScalar:
+      return GetScalarKernels();
+    case IsaLevel::kSimd128:
+#if defined(FTL_SIMD_HAVE_128)
+      return internal::Get128Kernels();
+#else
+      return nullptr;
+#endif
+    case IsaLevel::kAvx2:
+#if defined(FTL_SIMD_HAVE_AVX2)
+      return CpuHasAvx2() ? internal::GetAvx2Kernels() : nullptr;
+#else
+      return nullptr;
+#endif
+  }
+  return nullptr;
+}
+
+/// Highest supported level at or below `want` (never clamps up, so an
+/// explicit override can not select instructions the CPU lacks).
+const Kernels* ClampDown(IsaLevel want) {
+  for (int l = static_cast<int>(want); l >= 0; --l) {
+    if (const Kernels* k = TableFor(static_cast<IsaLevel>(l))) return k;
+  }
+  return GetScalarKernels();
+}
+
+IsaLevel ParseOverride(std::string_view v, IsaLevel best) {
+  if (v == "scalar") return IsaLevel::kScalar;
+  if (v == "sse2" || v == "neon" || v == "simd128") return IsaLevel::kSimd128;
+  if (v == "avx2") return IsaLevel::kAvx2;
+  return best;  // "auto", empty, or unrecognized
+}
+
+/// Publishes which table serves traffic: a numeric level gauge plus a
+/// 0/1 gauge per level name, updated on every (re)selection so test
+/// overrides stay visible too.
+void PublishDispatchGauges(const Kernels& active) {
+  auto& r = obs::MetricsRegistry::Global();
+  r.GetGauge("ftl_simd_dispatch").Set(static_cast<int64_t>(active.level));
+  for (int l = 0; l <= static_cast<int>(IsaLevel::kAvx2); ++l) {
+    IsaLevel level = static_cast<IsaLevel>(l);
+    r.GetGauge(std::string("ftl_simd_dispatch_active{isa=\"") +
+               IsaLevelName(level) + "\"}")
+        .Set(level == active.level ? 1 : 0);
+  }
+}
+
+const Kernels* ResolveFromEnvironment() {
+  IsaLevel want = BestSupportedLevel();
+  if (const char* env = std::getenv("FTL_SIMD")) {
+    want = ParseOverride(env, want);
+  }
+  return ClampDown(want);
+}
+
+std::atomic<const Kernels*> g_active{nullptr};
+
+}  // namespace
+
+const Kernels& Dispatch() {
+  const Kernels* k = g_active.load(std::memory_order_acquire);
+  if (k == nullptr) {
+    const Kernels* resolved = ResolveFromEnvironment();
+    const Kernels* expected = nullptr;
+    if (g_active.compare_exchange_strong(expected, resolved,
+                                         std::memory_order_acq_rel)) {
+      k = resolved;
+      PublishDispatchGauges(*k);
+    } else {
+      k = expected;  // another thread won the race
+    }
+  }
+  return *k;
+}
+
+IsaLevel BestSupportedLevel() { return ClampDown(IsaLevel::kAvx2)->level; }
+
+const Kernels* KernelsFor(IsaLevel level) { return TableFor(level); }
+
+const Kernels& SetDispatchForTest(IsaLevel level) {
+  const Kernels* k = ClampDown(level);
+  g_active.store(k, std::memory_order_release);
+  PublishDispatchGauges(*k);
+  return *k;
+}
+
+const char* IsaLevelName(IsaLevel level) {
+  switch (level) {
+    case IsaLevel::kScalar:
+      return "scalar";
+    case IsaLevel::kSimd128:
+#if defined(__aarch64__)
+      return "neon";
+#else
+      return "sse2";
+#endif
+    case IsaLevel::kAvx2:
+      return "avx2";
+  }
+  return "scalar";
+}
+
+}  // namespace ftl::simd

@@ -1,0 +1,55 @@
+#ifndef FTL_SIMD_DISPATCH_H_
+#define FTL_SIMD_DISPATCH_H_
+
+/// \file dispatch.h
+/// Runtime ISA dispatch for the SIMD kernel table.
+///
+/// The active table is resolved once, on first use, from (a) what this
+/// binary was compiled with, (b) what the CPU reports at runtime
+/// (CPUID on x86-64), and (c) the `FTL_SIMD` environment override:
+///
+///   FTL_SIMD=scalar   force the scalar reference kernels
+///   FTL_SIMD=sse2     force the 128-bit kernels (x86-64 spelling)
+///   FTL_SIMD=neon     force the 128-bit kernels (aarch64 spelling)
+///   FTL_SIMD=simd128  force the 128-bit kernels (either platform)
+///   FTL_SIMD=avx2     force the 256-bit kernels
+///   FTL_SIMD=auto     best supported level (same as unset)
+///
+/// An override naming a level the build or CPU cannot run clamps down
+/// to the best supported level at or below the request (never up), so
+/// setting FTL_SIMD=avx2 on a non-AVX2 host degrades gracefully
+/// instead of executing illegal instructions. Unrecognized values
+/// behave like `auto`.
+///
+/// Resolution publishes the `ftl_simd_dispatch` gauge (numeric
+/// IsaLevel) plus one `ftl_simd_dispatch_active{isa="..."}` 0/1 gauge
+/// per compiled-in level, so /metrics consumers can see which kernels
+/// serve traffic.
+
+#include "simd/kernels.h"
+
+namespace ftl::simd {
+
+/// The active kernel table (resolved once; later calls are one atomic
+/// load). Thread safe.
+const Kernels& Dispatch();
+
+/// Best ISA level this binary + CPU can run.
+IsaLevel BestSupportedLevel();
+
+/// The kernel table for `level`, or null when that level is not
+/// compiled in or not runnable on this CPU. Benches and the property
+/// tests use this to pit levels against each other explicitly.
+const Kernels* KernelsFor(IsaLevel level);
+
+/// Forces the active table to `level` (clamped to supported), bypassing
+/// the environment override. Returns the now-active table. Test and
+/// bench support; not for concurrent use with in-flight queries.
+const Kernels& SetDispatchForTest(IsaLevel level);
+
+/// Human-readable level name ("scalar", "sse2"/"neon", "avx2").
+const char* IsaLevelName(IsaLevel level);
+
+}  // namespace ftl::simd
+
+#endif  // FTL_SIMD_DISPATCH_H_

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "simd/dispatch.h"
+
 namespace ftl::stats {
 
 namespace {
@@ -97,6 +99,12 @@ void BuildTruncatedPrefix(const std::vector<TrialGroup>& groups,
   pmf.assign(cap, 0.0);
   pmf[0] = 1.0;
   size_t len = 1;  // occupied prefix of pmf
+  // The inner convolution loops run through the runtime-dispatched
+  // kernel table (resolved once per call, amortized over the groups).
+  // Every tier accumulates each output slot in the scalar summation
+  // order, so the resulting pmf — and the p-values built from it — are
+  // byte-identical across scalar and SIMD dispatch (simd/kernels.h).
+  const simd::Kernels& kernels = simd::Dispatch();
   for (const TrialGroup& g : groups) {
     if (g.count <= 0) continue;
     double p = Clamp01(g.p);
@@ -104,23 +112,15 @@ void BuildTruncatedPrefix(const std::vector<TrialGroup>& groups,
     double* f = pmf.data();
     if (g.count == 1) {
       // Single Bernoulli trial: one in-place backward DP update.
-      double q = 1.0 - p;
       size_t new_len = std::min(cap, len + 1);
-      for (size_t t = new_len; t-- > 1;) f[t] = f[t] * q + f[t - 1] * p;
-      f[0] *= q;
+      kernels.bernoulli_step(f, new_len, p, 1.0 - p);
       len = new_len;
       continue;
     }
     size_t m = std::min(static_cast<size_t>(g.count), cap - 1);
     BinomialPmfPrefix(g.count, p, m, &ws->group_pmf);
-    const double* b = ws->group_pmf.data();
     size_t new_len = std::min(cap, len + m);
-    for (size_t t = new_len; t-- > 0;) {
-      size_t jmax = std::min(t, m);
-      double acc = 0.0;
-      for (size_t j = 0; j <= jmax; ++j) acc += f[t - j] * b[j];
-      f[t] = acc;
-    }
+    kernels.convolve_prefix(f, new_len, ws->group_pmf.data(), m);
     len = new_len;
   }
 }
