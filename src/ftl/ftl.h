@@ -12,7 +12,8 @@
 ///   * baselines::* — P2T/DTW/LCSS/EDR similarity search baselines,
 ///   * eval::* — perceptiveness/selectiveness/ranking metrics,
 ///   * analysis::* — the Section VI mutual-segment theory,
-///   * io::* — CSV and model persistence.
+///   * io::* — CSV and model persistence,
+///   * serve::* — the `ftl serve` HTTP query daemon.
 
 #include "analysis/feasibility.h"
 #include "analysis/mutual_segment_analysis.h"
@@ -43,8 +44,11 @@
 #include "io/file_util.h"
 #include "io/ftb.h"
 #include "io/geojson.h"
+#include "io/json_parse.h"
 #include "io/model_io.h"
 #include "io/report_json.h"
+#include "serve/http.h"
+#include "serve/server.h"
 #include "sim/city.h"
 #include "sim/observation.h"
 #include "sim/path.h"

@@ -1,0 +1,372 @@
+#include "io/json_parse.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+
+namespace ftl::io {
+
+JsonValue JsonValue::Null() { return JsonValue(); }
+
+JsonValue JsonValue::Bool(bool b) {
+  JsonValue v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::Number(double d) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.num_ = d;
+  return v;
+}
+
+JsonValue JsonValue::String(std::string s) {
+  JsonValue v;
+  v.kind_ = Kind::kString;
+  v.str_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::Array(std::vector<JsonValue> items) {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  v.items_ = std::move(items);
+  return v;
+}
+
+JsonValue JsonValue::Object(
+    std::vector<std::pair<std::string, JsonValue>> members) {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  v.members_ = std::move(members);
+  return v;
+}
+
+Result<int64_t> JsonValue::AsInt64() const {
+  if (kind_ != Kind::kNumber) {
+    return Status::InvalidArgument("JSON value is not a number");
+  }
+  if (!std::isfinite(num_) || num_ != std::floor(num_) ||
+      num_ < -9.007199254740992e15 || num_ > 9.007199254740992e15) {
+    return Status::InvalidArgument("JSON number is not an exact integer");
+  }
+  return static_cast<int64_t>(num_);
+}
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  for (const auto& [k, v] : members_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+namespace {
+
+/// Recursive-descent parser over a string_view; single forward pass,
+/// no backtracking. Every failure reports the byte offset so API
+/// clients get actionable 400 messages.
+class Parser {
+ public:
+  Parser(std::string_view text, const JsonParseOptions& options)
+      : text_(text), options_(options) {}
+
+  Result<JsonValue> Parse() {
+    SkipWhitespace();
+    JsonValue v;
+    FTL_RETURN_NOT_OK(ParseValue(0, &v));
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Fail("trailing characters after JSON value");
+    }
+    return v;
+  }
+
+ private:
+  Status Fail(const std::string& what) const {
+    return Status::InvalidArgument("JSON parse error at byte " +
+                                   std::to_string(pos_) + ": " + what);
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+
+  bool Consume(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  Status ParseValue(size_t depth, JsonValue* out) {
+    if (depth > options_.max_depth) {
+      return Fail("nesting deeper than " + std::to_string(options_.max_depth));
+    }
+    if (AtEnd()) return Fail("unexpected end of input");
+    switch (Peek()) {
+      case '{':
+        return ParseObject(depth, out);
+      case '[':
+        return ParseArray(depth, out);
+      case '"': {
+        std::string s;
+        FTL_RETURN_NOT_OK(ParseString(&s));
+        *out = JsonValue::String(std::move(s));
+        return Status::OK();
+      }
+      case 't':
+        if (Consume("true")) {
+          *out = JsonValue::Bool(true);
+          return Status::OK();
+        }
+        return Fail("invalid literal");
+      case 'f':
+        if (Consume("false")) {
+          *out = JsonValue::Bool(false);
+          return Status::OK();
+        }
+        return Fail("invalid literal");
+      case 'n':
+        if (Consume("null")) {
+          *out = JsonValue::Null();
+          return Status::OK();
+        }
+        return Fail("invalid literal");
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  Status ParseObject(size_t depth, JsonValue* out) {
+    ++pos_;  // '{'
+    std::vector<std::pair<std::string, JsonValue>> members;
+    SkipWhitespace();
+    if (!AtEnd() && Peek() == '}') {
+      ++pos_;
+      *out = JsonValue::Object(std::move(members));
+      return Status::OK();
+    }
+    while (true) {
+      SkipWhitespace();
+      if (AtEnd() || Peek() != '"') return Fail("expected object key");
+      std::string key;
+      FTL_RETURN_NOT_OK(ParseString(&key));
+      SkipWhitespace();
+      if (AtEnd() || Peek() != ':') return Fail("expected ':' after key");
+      ++pos_;
+      SkipWhitespace();
+      JsonValue value;
+      FTL_RETURN_NOT_OK(ParseValue(depth + 1, &value));
+      members.emplace_back(std::move(key), std::move(value));
+      SkipWhitespace();
+      if (AtEnd()) return Fail("unterminated object");
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == '}') {
+        ++pos_;
+        *out = JsonValue::Object(std::move(members));
+        return Status::OK();
+      }
+      return Fail("expected ',' or '}' in object");
+    }
+  }
+
+  Status ParseArray(size_t depth, JsonValue* out) {
+    ++pos_;  // '['
+    std::vector<JsonValue> items;
+    SkipWhitespace();
+    if (!AtEnd() && Peek() == ']') {
+      ++pos_;
+      *out = JsonValue::Array(std::move(items));
+      return Status::OK();
+    }
+    while (true) {
+      SkipWhitespace();
+      JsonValue value;
+      FTL_RETURN_NOT_OK(ParseValue(depth + 1, &value));
+      items.push_back(std::move(value));
+      SkipWhitespace();
+      if (AtEnd()) return Fail("unterminated array");
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == ']') {
+        ++pos_;
+        *out = JsonValue::Array(std::move(items));
+        return Status::OK();
+      }
+      return Fail("expected ',' or ']' in array");
+    }
+  }
+
+  Status ParseHex4(uint32_t* out) {
+    if (pos_ + 4 > text_.size()) return Fail("truncated \\u escape");
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      char c = text_[pos_ + i];
+      v <<= 4;
+      if (c >= '0' && c <= '9') {
+        v |= static_cast<uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        v |= static_cast<uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        v |= static_cast<uint32_t>(c - 'A' + 10);
+      } else {
+        return Fail("bad hex digit in \\u escape");
+      }
+    }
+    pos_ += 4;
+    *out = v;
+    return Status::OK();
+  }
+
+  static void AppendUtf8(uint32_t cp, std::string* out) {
+    if (cp < 0x80) {
+      out->push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  Status ParseString(std::string* out) {
+    ++pos_;  // '"'
+    out->clear();
+    while (true) {
+      if (AtEnd()) return Fail("unterminated string");
+      char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return Status::OK();
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out->push_back(c);
+        ++pos_;
+        continue;
+      }
+      ++pos_;  // '\'
+      if (AtEnd()) return Fail("truncated escape");
+      char e = text_[pos_++];
+      switch (e) {
+        case '"':
+          out->push_back('"');
+          break;
+        case '\\':
+          out->push_back('\\');
+          break;
+        case '/':
+          out->push_back('/');
+          break;
+        case 'b':
+          out->push_back('\b');
+          break;
+        case 'f':
+          out->push_back('\f');
+          break;
+        case 'n':
+          out->push_back('\n');
+          break;
+        case 'r':
+          out->push_back('\r');
+          break;
+        case 't':
+          out->push_back('\t');
+          break;
+        case 'u': {
+          uint32_t cp = 0;
+          FTL_RETURN_NOT_OK(ParseHex4(&cp));
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // High surrogate: require a low surrogate to follow.
+            if (pos_ + 1 >= text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u') {
+              return Fail("lone high surrogate");
+            }
+            pos_ += 2;
+            uint32_t lo = 0;
+            FTL_RETURN_NOT_OK(ParseHex4(&lo));
+            if (lo < 0xDC00 || lo > 0xDFFF) {
+              return Fail("invalid low surrogate");
+            }
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            return Fail("lone low surrogate");
+          }
+          AppendUtf8(cp, out);
+          break;
+        }
+        default:
+          return Fail("unknown escape");
+      }
+    }
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    size_t start = pos_;
+    if (!AtEnd() && Peek() == '-') ++pos_;
+    if (AtEnd() || Peek() < '0' || Peek() > '9') {
+      pos_ = start;
+      return Fail("invalid value");
+    }
+    if (Peek() == '0') {
+      ++pos_;
+    } else {
+      while (!AtEnd() && Peek() >= '0' && Peek() <= '9') ++pos_;
+    }
+    if (!AtEnd() && Peek() == '.') {
+      ++pos_;
+      if (AtEnd() || Peek() < '0' || Peek() > '9') {
+        return Fail("digits required after decimal point");
+      }
+      while (!AtEnd() && Peek() >= '0' && Peek() <= '9') ++pos_;
+    }
+    if (!AtEnd() && (Peek() == 'e' || Peek() == 'E')) {
+      ++pos_;
+      if (!AtEnd() && (Peek() == '+' || Peek() == '-')) ++pos_;
+      if (AtEnd() || Peek() < '0' || Peek() > '9') {
+        return Fail("digits required in exponent");
+      }
+      while (!AtEnd() && Peek() >= '0' && Peek() <= '9') ++pos_;
+    }
+    // The grammar above admits exactly what strtod accepts, so this
+    // cannot fail; the null-terminated copy keeps strtod in bounds.
+    std::string token(text_.substr(start, pos_ - start));
+    *out = JsonValue::Number(std::strtod(token.c_str(), nullptr));
+    return Status::OK();
+  }
+
+  std::string_view text_;
+  JsonParseOptions options_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<JsonValue> ParseJson(std::string_view text,
+                            const JsonParseOptions& options) {
+  return Parser(text, options).Parse();
+}
+
+}  // namespace ftl::io

@@ -1,0 +1,86 @@
+#ifndef FTL_IO_JSON_PARSE_H_
+#define FTL_IO_JSON_PARSE_H_
+
+/// \file json_parse.h
+/// Minimal JSON parser, the read-side counterpart of report_json.h's
+/// JsonWriter. Grown for the `ftl serve` network API, whose request
+/// bodies are small JSON objects; kept dependency-free and strict
+/// (RFC 8259 grammar, no extensions, bounded nesting depth) because it
+/// parses untrusted network input.
+///
+/// The parse result is an owning tree of JsonValue nodes. Numbers are
+/// held as double (adequate for the API's labels/counts/milliseconds;
+/// integers round-trip exactly up to 2^53). Object keys preserve
+/// insertion order and may repeat; Find returns the first occurrence.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ftl::io {
+
+/// One parsed JSON value (a tagged tree node).
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  /// Typed accessors; only meaningful for the matching kind.
+  bool AsBool() const { return bool_; }
+  double AsDouble() const { return num_; }
+  const std::string& AsString() const { return str_; }
+  const std::vector<JsonValue>& items() const { return items_; }
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+
+  /// Number as int64 when it is integral and in range; error otherwise.
+  Result<int64_t> AsInt64() const;
+
+  /// First member with `key`, or nullptr (objects only).
+  const JsonValue* Find(const std::string& key) const;
+
+  /// Construction helpers (used by the parser; handy in tests).
+  static JsonValue Null();
+  static JsonValue Bool(bool b);
+  static JsonValue Number(double d);
+  static JsonValue String(std::string s);
+  static JsonValue Array(std::vector<JsonValue> items);
+  static JsonValue Object(
+      std::vector<std::pair<std::string, JsonValue>> members);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/// Parse options: `max_depth` bounds container nesting so crafted
+/// input cannot exhaust the stack.
+struct JsonParseOptions {
+  size_t max_depth = 64;
+};
+
+/// Parses exactly one JSON document from `text` (leading/trailing
+/// whitespace allowed, anything else after the value is an error).
+/// Returns InvalidArgument with a byte offset on malformed input.
+Result<JsonValue> ParseJson(std::string_view text,
+                            const JsonParseOptions& options = {});
+
+}  // namespace ftl::io
+
+#endif  // FTL_IO_JSON_PARSE_H_

@@ -127,6 +127,10 @@ std::string QueryResultToJson(const std::string& query_label,
   w.Value(query_label);
   w.Key("selectiveness");
   w.Value(result.selectiveness);
+  w.Key("truncated");
+  w.Value(result.truncated);
+  w.Key("evaluated");
+  w.Value(static_cast<uint64_t>(result.evaluated));
   w.Key("candidates");
   w.BeginArray();
   for (const auto& c : result.candidates) {

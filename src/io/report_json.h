@@ -53,7 +53,9 @@ class JsonWriter {
 };
 
 /// Serializes one query's result: query label, candidate array with
-/// label/score/p-values, selectiveness.
+/// label/score/p-values, selectiveness, plus the truncation marker and
+/// evaluated-candidate count (so deadline-expired partial results are
+/// self-describing — the serve API returns them with HTTP 408).
 std::string QueryResultToJson(const std::string& query_label,
                               const core::QueryResult& result);
 

@@ -1,0 +1,337 @@
+#include "serve/http.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <cstring>
+
+#include "util/string_util.h"
+
+namespace ftl::serve {
+
+namespace {
+
+std::string ToLower(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::tolower(c));
+  return s;
+}
+
+std::string TrimWs(const std::string& s) {
+  size_t b = 0, e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t')) ++b;
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t' || s[e - 1] == '\r')) {
+    --e;
+  }
+  return s.substr(b, e - b);
+}
+
+/// Parses the header block `head` (request line / status line excluded)
+/// into lower-cased name/value pairs.
+Status ParseHeaderLines(const std::string& head, size_t start,
+                        std::vector<std::pair<std::string, std::string>>* out) {
+  size_t pos = start;
+  while (pos < head.size()) {
+    size_t eol = head.find("\r\n", pos);
+    if (eol == std::string::npos) eol = head.size();
+    std::string line = head.substr(pos, eol - pos);
+    pos = eol + 2;
+    if (line.empty()) break;
+    size_t colon = line.find(':');
+    if (colon == std::string::npos) {
+      return Status::InvalidArgument("malformed header line");
+    }
+    out->emplace_back(ToLower(TrimWs(line.substr(0, colon))),
+                      TrimWs(line.substr(colon + 1)));
+  }
+  return Status::OK();
+}
+
+/// Reads from `fd` until the CRLFCRLF head terminator, then exactly
+/// Content-Length body bytes. Shared by the server (requests) and the
+/// loopback client (responses): both sides use identical framing.
+Status ReadHead(int fd, size_t max_head_bytes, std::string* buf,
+                size_t* head_end) {
+  char chunk[4096];
+  while (true) {
+    size_t scan_from = buf->size() >= 3 ? buf->size() - 3 : 0;
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("recv: ") + std::strerror(errno));
+    }
+    if (n == 0) {
+      return Status::IOError(buf->empty() ? "connection closed before request"
+                                          : "connection closed mid-head");
+    }
+    buf->append(chunk, static_cast<size_t>(n));
+    size_t found = buf->find("\r\n\r\n", scan_from);
+    if (found != std::string::npos) {
+      *head_end = found + 4;
+      return Status::OK();
+    }
+    if (buf->size() > max_head_bytes) {
+      return Status::OutOfRange("request head exceeds " +
+                                std::to_string(max_head_bytes) + " bytes");
+    }
+  }
+}
+
+Status ReadBody(int fd, size_t content_length, size_t max_body_bytes,
+                std::string* buf, size_t body_start) {
+  if (content_length > max_body_bytes) {
+    return Status::OutOfRange("body of " + std::to_string(content_length) +
+                              " bytes exceeds limit of " +
+                              std::to_string(max_body_bytes));
+  }
+  size_t have = buf->size() - body_start;
+  char chunk[4096];
+  while (have < content_length) {
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("recv: ") + std::strerror(errno));
+    }
+    if (n == 0) return Status::IOError("connection closed mid-body");
+    buf->append(chunk, static_cast<size_t>(n));
+    have += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<size_t> ParseContentLength(
+    const std::vector<std::pair<std::string, std::string>>& headers) {
+  for (const auto& [name, value] : headers) {
+    if (name != "content-length") continue;
+    int64_t len = 0;
+    if (!ParseInt64(value, &len) || len < 0) {
+      return Status::InvalidArgument("bad Content-Length '" + value + "'");
+    }
+    return static_cast<size_t>(len);
+  }
+  return static_cast<size_t>(0);
+}
+
+}  // namespace
+
+std::string HttpRequest::Header(const std::string& name) const {
+  for (const auto& [n, v] : headers) {
+    if (n == name) return v;
+  }
+  return "";
+}
+
+const char* HttpReasonPhrase(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 408:
+      return "Request Timeout";
+    case 413:
+      return "Payload Too Large";
+    case 499:
+      return "Client Closed Request";
+    case 500:
+      return "Internal Server Error";
+    case 503:
+      return "Service Unavailable";
+    default:
+      return "Unknown";
+  }
+}
+
+int HttpStatusForStatus(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kOk:
+      return 200;
+    case StatusCode::kInvalidArgument:
+      return 400;
+    case StatusCode::kNotFound:
+      return 404;
+    case StatusCode::kDeadlineExceeded:
+      return 408;
+    case StatusCode::kCancelled:
+      return 499;
+    case StatusCode::kFailedPrecondition:
+    case StatusCode::kOutOfRange:
+      return 503;
+    case StatusCode::kIOError:
+    case StatusCode::kInternal:
+      return 500;
+  }
+  return 500;
+}
+
+std::string SerializeResponse(const HttpResponse& resp) {
+  std::string out = "HTTP/1.1 " + std::to_string(resp.status) + " " +
+                    HttpReasonPhrase(resp.status) + "\r\n";
+  out += "Content-Type: " + resp.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(resp.body.size()) + "\r\n";
+  for (const auto& [name, value] : resp.extra_headers) {
+    out += name + ": " + value + "\r\n";
+  }
+  out += "Connection: close\r\n\r\n";
+  out += resp.body;
+  return out;
+}
+
+Result<HttpRequest> ReadHttpRequest(int fd, const HttpLimits& limits) {
+  std::string buf;
+  size_t head_end = 0;
+  FTL_RETURN_NOT_OK(ReadHead(fd, limits.max_head_bytes, &buf, &head_end));
+
+  size_t line_end = buf.find("\r\n");
+  std::string request_line = buf.substr(0, line_end);
+  size_t sp1 = request_line.find(' ');
+  size_t sp2 = request_line.rfind(' ');
+  if (sp1 == std::string::npos || sp2 == sp1) {
+    return Status::InvalidArgument("malformed request line '" + request_line +
+                                   "'");
+  }
+  HttpRequest req;
+  req.method = request_line.substr(0, sp1);
+  req.target = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+  std::string version = request_line.substr(sp2 + 1);
+  if (version != "HTTP/1.1" && version != "HTTP/1.0") {
+    return Status::InvalidArgument("unsupported protocol '" + version + "'");
+  }
+  if (req.method.empty() || req.target.empty() || req.target[0] != '/') {
+    return Status::InvalidArgument("malformed request line '" + request_line +
+                                   "'");
+  }
+  FTL_RETURN_NOT_OK(ParseHeaderLines(buf, line_end + 2, &req.headers));
+
+  auto content_length = ParseContentLength(req.headers);
+  if (!content_length.ok()) return content_length.status();
+  FTL_RETURN_NOT_OK(ReadBody(fd, content_length.value(),
+                             limits.max_body_bytes, &buf, head_end));
+  req.body = buf.substr(head_end, content_length.value());
+  return req;
+}
+
+Status WriteFull(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                       MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("send: ") + std::strerror(errno));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<HttpResponse> HttpRequestOnce(const std::string& host, int port,
+                                     const std::string& method,
+                                     const std::string& target,
+                                     const std::string& body,
+                                     int64_t timeout_ms) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  struct FdCloser {
+    int fd;
+    ~FdCloser() { ::close(fd); }
+  } closer{fd};
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad IPv4 address '" + host + "'");
+  }
+
+  // Non-blocking connect with a poll timeout, then back to blocking
+  // with socket-level IO timeouts.
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc != 0) {
+    if (errno != EINPROGRESS) {
+      return Status::IOError(std::string("connect: ") + std::strerror(errno));
+    }
+    pollfd pfd{fd, POLLOUT, 0};
+    int pr = ::poll(&pfd, 1, static_cast<int>(timeout_ms));
+    if (pr <= 0) {
+      return Status::IOError(pr == 0 ? "connect timed out"
+                                     : std::string("poll: ") +
+                                           std::strerror(errno));
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len);
+    if (err != 0) {
+      return Status::IOError(std::string("connect: ") + std::strerror(err));
+    }
+  }
+  ::fcntl(fd, F_SETFL, flags);
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  std::string req = method + " " + target + " HTTP/1.1\r\n";
+  req += "Host: " + host + ":" + std::to_string(port) + "\r\n";
+  if (!body.empty() || method == "POST") {
+    req += "Content-Type: application/json\r\n";
+    req += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  }
+  req += "Connection: close\r\n\r\n";
+  req += body;
+  FTL_RETURN_NOT_OK(WriteFull(fd, req));
+
+  std::string buf;
+  size_t head_end = 0;
+  HttpLimits limits;
+  limits.max_body_bytes = 64 * 1024 * 1024;  // trust our own server
+  FTL_RETURN_NOT_OK(ReadHead(fd, limits.max_head_bytes, &buf, &head_end));
+
+  size_t line_end = buf.find("\r\n");
+  std::string status_line = buf.substr(0, line_end);
+  size_t sp1 = status_line.find(' ');
+  if (sp1 == std::string::npos || status_line.rfind("HTTP/", 0) != 0) {
+    return Status::IOError("malformed status line '" + status_line + "'");
+  }
+  HttpResponse resp;
+  int64_t code = 0;
+  if (!ParseInt64(TrimWs(status_line.substr(sp1 + 1, 3)), &code)) {
+    return Status::IOError("malformed status line '" + status_line + "'");
+  }
+  resp.status = static_cast<int>(code);
+
+  std::vector<std::pair<std::string, std::string>> headers;
+  FTL_RETURN_NOT_OK(ParseHeaderLines(buf, line_end + 2, &headers));
+  for (const auto& [name, value] : headers) {
+    if (name == "content-type") {
+      resp.content_type = value;
+    } else {
+      resp.extra_headers.emplace_back(name, value);
+    }
+  }
+  auto content_length = ParseContentLength(headers);
+  if (!content_length.ok()) return content_length.status();
+  FTL_RETURN_NOT_OK(ReadBody(fd, content_length.value(),
+                             limits.max_body_bytes, &buf, head_end));
+  resp.body = buf.substr(head_end, content_length.value());
+  return resp;
+}
+
+}  // namespace ftl::serve

@@ -1,0 +1,99 @@
+#ifndef FTL_SERVE_HTTP_H_
+#define FTL_SERVE_HTTP_H_
+
+/// \file http.h
+/// Minimal HTTP/1.1 framing for the `ftl serve` daemon: a blocking
+/// request reader / response writer over POSIX sockets, plus a tiny
+/// loopback client used by tests and bench_serve.
+///
+/// Scope is deliberately narrow — the daemon speaks exactly the subset
+/// its API needs:
+///   * request:  method + target + headers + optional Content-Length
+///               body (no chunked encoding, no multipart, no TLS);
+///   * response: always `Connection: close`, one request per
+///     connection, Content-Length framing.
+/// Connection-per-request keeps the worker loop trivially fair (a
+/// keep-alive client cannot pin a worker while idle) and makes
+/// admission control per-request by construction. See DESIGN.md §11.
+///
+/// Input is untrusted: header and body sizes are bounded, and every
+/// parse failure maps to a clean 400 instead of UB.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ftl::serve {
+
+/// One parsed request. Header names are lower-cased on parse; values
+/// keep their bytes (leading/trailing whitespace trimmed).
+struct HttpRequest {
+  std::string method;  ///< e.g. "GET", "POST" (verbatim case)
+  std::string target;  ///< request target, e.g. "/v1/query"
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  /// First header named `name` (lower-case), or "".
+  std::string Header(const std::string& name) const;
+};
+
+/// One response to serialize. `content_type` and `extra_headers` are
+/// emitted verbatim; Content-Length / Connection are always added.
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::vector<std::pair<std::string, std::string>> extra_headers;
+  std::string body;
+};
+
+/// Standard reason phrase for the handful of statuses the API emits
+/// ("Unknown" otherwise).
+const char* HttpReasonPhrase(int status);
+
+/// The single status-mapping table shared by the serve path. The
+/// process-exit-code mapping lives next to it in util/status.h
+/// (ExitCodeForStatus); both derive from StatusCode so the one-shot
+/// CLI and the daemon can never disagree on what a failure kind means.
+///   kOk → 200, kInvalidArgument → 400, kNotFound → 404,
+///   kDeadlineExceeded → 408, kCancelled → 499,
+///   kFailedPrecondition / kOutOfRange → 503 (retryable: not ready /
+///   overloaded), kIOError / kInternal → 500.
+int HttpStatusForStatus(const Status& status);
+
+/// Serializes `resp` including the framing headers.
+std::string SerializeResponse(const HttpResponse& resp);
+
+/// Size limits for ReadHttpRequest.
+struct HttpLimits {
+  size_t max_head_bytes = 16 * 1024;      ///< request line + headers
+  size_t max_body_bytes = 1024 * 1024;    ///< Content-Length cap
+};
+
+/// Reads one full request from `fd` (blocking; honor socket timeouts
+/// via SO_RCVTIMEO). Returns:
+///   * InvalidArgument — malformed request (caller answers 400);
+///   * OutOfRange     — limits exceeded (caller answers 400/413);
+///   * IOError        — socket error / timeout / EOF before a full
+///                      request (caller just closes).
+Result<HttpRequest> ReadHttpRequest(int fd, const HttpLimits& limits = {});
+
+/// Writes all of `data` to `fd`, retrying short writes.
+Status WriteFull(int fd, const std::string& data);
+
+/// Blocking loopback client for tests and benches: opens a TCP
+/// connection to host:port, sends one request with the given body
+/// (Content-Length set automatically; no body bytes sent when empty),
+/// reads the response, closes. `timeout_ms` bounds connect and each
+/// socket read/write.
+Result<HttpResponse> HttpRequestOnce(const std::string& host, int port,
+                                     const std::string& method,
+                                     const std::string& target,
+                                     const std::string& body,
+                                     int64_t timeout_ms = 5000);
+
+}  // namespace ftl::serve
+
+#endif  // FTL_SERVE_HTTP_H_

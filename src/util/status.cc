@@ -26,6 +26,30 @@ const char* StatusCodeName(StatusCode code) {
   return "Unknown";
 }
 
+int ExitCodeForStatus(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kOk:
+      return 0;
+    case StatusCode::kInvalidArgument:
+      return 2;
+    case StatusCode::kNotFound:
+      return 3;
+    case StatusCode::kIOError:
+      return 4;
+    case StatusCode::kOutOfRange:
+      return 5;
+    case StatusCode::kFailedPrecondition:
+      return 6;
+    case StatusCode::kInternal:
+      return 7;
+    case StatusCode::kDeadlineExceeded:
+      return 8;
+    case StatusCode::kCancelled:
+      return 9;
+  }
+  return 1;
+}
+
 std::string Status::ToString() const {
   if (ok()) return "OK";
   std::string s = StatusCodeName(code_);

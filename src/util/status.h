@@ -130,6 +130,18 @@ class Result {
   Status status_;  // OK iff value_ present
 };
 
+/// Maps a Status to a process exit code, one distinct code per error
+/// category so scripts can branch on the failure kind:
+///   0 OK; 2 InvalidArgument; 3 NotFound; 4 IOError; 5 OutOfRange;
+///   6 FailedPrecondition; 7 Internal; 8 DeadlineExceeded; 9 Cancelled.
+/// (1 is reserved for usage errors: unknown command / malformed flags.)
+/// This is THE status→exit-code table: the one-shot CLI and the
+/// `ftl serve` daemon both use it, and the serve layer's HTTP mapping
+/// (serve::HttpStatusForStatus) derives from the same StatusCode enum,
+/// so the two surfaces cannot drift apart. Documented in
+/// docs/OPERATIONS.md.
+int ExitCodeForStatus(const Status& status);
+
 /// Propagates a non-OK status out of the current function.
 #define FTL_RETURN_NOT_OK(expr)              \
   do {                                       \

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "io/csv.h"
+#include "io/json_parse.h"
 #include "tools/cli.h"
 #include "util/failpoint.h"
 
@@ -74,6 +75,43 @@ TEST(CliTest, UsageOnNoArgs) {
 TEST(CliTest, HelpIsSuccess) {
   std::ostringstream out;
   EXPECT_EQ(RunCli({"help"}, out), 0);
+}
+
+TEST(CliTest, UsageListsServeWithItsFlags) {
+  std::string usage = UsageText();
+  EXPECT_NE(usage.find("serve"), std::string::npos);
+  for (const char* flag : {"--listen", "--ftb", "--max-queue",
+                           "--request-deadline-ms", "--threads"}) {
+    EXPECT_NE(usage.find(flag), std::string::npos) << "usage missing " << flag;
+  }
+  EXPECT_NE(usage.find("--json"), std::string::npos);  // link --json
+}
+
+TEST(ArgMapTest, GetAllReturnsRepeatedFlagInOrder) {
+  auto m = ArgMap::Parse(
+      {"--ftb", "a.ftb", "--p", "p.csv", "--ftb", "b.ftb", "--ftb", "c.ftb"});
+  ASSERT_TRUE(m.ok());
+  std::vector<std::string> shards = m.value().GetAll("ftb");
+  ASSERT_EQ(shards.size(), 3u);
+  EXPECT_EQ(shards[0], "a.ftb");
+  EXPECT_EQ(shards[1], "b.ftb");
+  EXPECT_EQ(shards[2], "c.ftb");
+  EXPECT_TRUE(m.value().GetAll("absent").empty());
+}
+
+// The one-shot CLI and the daemon share one status table: exit codes
+// come from util/status (re-exported here) and the HTTP mapping derives
+// from the same enum — spot-check the pairing stays coherent.
+TEST(CliTest, ExitCodeTableIsTheSharedOne) {
+  EXPECT_EQ(ExitCodeForStatus(Status::OK()), 0);
+  EXPECT_EQ(ExitCodeForStatus(Status::InvalidArgument("x")), 2);
+  EXPECT_EQ(ExitCodeForStatus(Status::NotFound("x")), 3);
+  EXPECT_EQ(ExitCodeForStatus(Status::IOError("x")), 4);
+  EXPECT_EQ(ExitCodeForStatus(Status::OutOfRange("x")), 5);
+  EXPECT_EQ(ExitCodeForStatus(Status::FailedPrecondition("x")), 6);
+  EXPECT_EQ(ExitCodeForStatus(Status::Internal("x")), 7);
+  EXPECT_EQ(ExitCodeForStatus(Status::DeadlineExceeded("x")), 8);
+  EXPECT_EQ(ExitCodeForStatus(Status::Cancelled("x")), 9);
 }
 
 TEST(CliTest, UnknownCommand) {
@@ -204,6 +242,42 @@ TEST(CliTest, ConvertRoundTripsAndFtbInputsLinkIdentically) {
   ASSERT_TRUE(a.ok());
   ASSERT_TRUE(b.ok());
   EXPECT_EQ(io::ToCsvString(a.value()), io::ToCsvString(b.value()));
+}
+
+// `link --json` emits one machine-readable JSON object per query line
+// — the same serializer the serve daemon uses, so downstream tooling
+// (and the CI byte-identity check) can diff the two paths.
+TEST(CliTest, LinkJsonEmitsParseableObjects) {
+  TempFiles files;
+  std::string p_csv = files.Add("cli_json_p.csv");
+  std::string q_csv = files.Add("cli_json_q.csv");
+  {
+    std::ostringstream out;
+    ASSERT_EQ(RunCli({"simulate", "--out-p", p_csv, "--out-q", q_csv,
+                      "--config", "SD", "--objects", "20", "--seed", "5"},
+                     out),
+              0)
+        << out.str();
+  }
+  std::ostringstream out;
+  ASSERT_EQ(RunCli({"link", "--p", p_csv, "--q", q_csv, "--query", "log-0",
+                    "--matcher", "alpha", "--json"},
+                   out),
+            0)
+      << out.str();
+  std::istringstream lines(out.str());
+  std::string line;
+  size_t objects = 0;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    auto parsed = io::ParseJson(line);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString() << "\n" << line;
+    EXPECT_EQ(parsed.value().Find("query")->AsString(), "log-0");
+    ASSERT_NE(parsed.value().Find("truncated"), nullptr);
+    ASSERT_NE(parsed.value().Find("candidates"), nullptr);
+    ++objects;
+  }
+  EXPECT_EQ(objects, 1u);
 }
 
 TEST(CliTest, LinkRejectsBadMatcher) {

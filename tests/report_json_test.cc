@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "io/json_parse.h"
 #include "io/report_json.h"
 
 namespace ftl::io {
@@ -107,6 +108,113 @@ TEST(ReportJsonTest, Clusters) {
   EXPECT_NE(json.find("\"label\":\"phone-1\""), std::string::npos);
   EXPECT_NE(json.find("\"label\":\"card-1\""), std::string::npos);
   EXPECT_NE(json.find("\"source\":1"), std::string::npos);
+}
+
+// ------------------------------------------------------- JSON parser
+// io::ParseJson is the request-body parser for `ftl serve`; these
+// round-trip it against the writer and poke the classic edge cases.
+
+TEST(JsonParseTest, ParsesScalars) {
+  auto null_v = ParseJson("null");
+  ASSERT_TRUE(null_v.ok());
+  EXPECT_TRUE(null_v.value().is_null());
+
+  auto true_v = ParseJson(" true ");
+  ASSERT_TRUE(true_v.ok());
+  EXPECT_TRUE(true_v.value().AsBool());
+
+  auto num = ParseJson("-12.5e2");
+  ASSERT_TRUE(num.ok());
+  EXPECT_DOUBLE_EQ(num.value().AsDouble(), -1250.0);
+
+  auto str = ParseJson("\"hi\\n\\\"there\\\"\"");
+  ASSERT_TRUE(str.ok());
+  EXPECT_EQ(str.value().AsString(), "hi\n\"there\"");
+}
+
+TEST(JsonParseTest, ParsesContainersAndFind) {
+  auto r = ParseJson(
+      "{\"query\":\"log-3\",\"top\":5,\"candidates\":[\"a\",\"b\"],"
+      "\"nested\":{\"x\":true}}");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const JsonValue& v = r.value();
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.Find("query")->AsString(), "log-3");
+  auto top = v.Find("top")->AsInt64();
+  ASSERT_TRUE(top.ok());
+  EXPECT_EQ(top.value(), 5);
+  ASSERT_TRUE(v.Find("candidates")->is_array());
+  EXPECT_EQ(v.Find("candidates")->items().size(), 2u);
+  EXPECT_EQ(v.Find("candidates")->items()[1].AsString(), "b");
+  EXPECT_TRUE(v.Find("nested")->Find("x")->AsBool());
+  EXPECT_EQ(v.Find("absent"), nullptr);
+}
+
+TEST(JsonParseTest, UnicodeEscapesIncludingSurrogatePairs) {
+  auto bmp = ParseJson("\"\\u00e9\"");  // é
+  ASSERT_TRUE(bmp.ok());
+  EXPECT_EQ(bmp.value().AsString(), "\xc3\xa9");
+
+  auto astral = ParseJson("\"\\ud83d\\ude00\"");  // 😀
+  ASSERT_TRUE(astral.ok());
+  EXPECT_EQ(astral.value().AsString(), "\xf0\x9f\x98\x80");
+
+  // A lone high surrogate is malformed.
+  EXPECT_FALSE(ParseJson("\"\\ud83d\"").ok());
+}
+
+TEST(JsonParseTest, RejectsMalformedInput) {
+  for (const char* bad :
+       {"", "{", "{\"a\":}", "[1,]", "{\"a\" 1}", "tru", "\"unterminated",
+        "01", "1.2.3", "{}extra", "{\"a\":1,}", "nan"}) {
+    EXPECT_FALSE(ParseJson(bad).ok()) << "accepted: " << bad;
+  }
+}
+
+TEST(JsonParseTest, ReportsByteOffsetInErrors) {
+  auto r = ParseJson("{\"a\": nope}");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("byte 6"), std::string::npos)
+      << r.status().message();
+}
+
+TEST(JsonParseTest, EnforcesDepthLimit) {
+  std::string deep(100, '[');
+  deep += std::string(100, ']');
+  JsonParseOptions opts;
+  opts.max_depth = 64;
+  EXPECT_FALSE(ParseJson(deep, opts).ok());
+  opts.max_depth = 128;
+  EXPECT_TRUE(ParseJson(deep, opts).ok());
+}
+
+TEST(JsonParseTest, RoundTripsWriterOutput) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("query");
+  w.Value("log-0");
+  w.Key("score");
+  w.Value(0.999959335156716);
+  w.Key("truncated");
+  w.Value(false);
+  w.EndObject();
+  auto r = ParseJson(w.str());
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().Find("query")->AsString(), "log-0");
+  EXPECT_DOUBLE_EQ(r.value().Find("score")->AsDouble(), 0.999959335156716);
+  EXPECT_FALSE(r.value().Find("truncated")->AsBool());
+}
+
+TEST(ReportJsonTest, QueryResultCarriesTruncationMarkers) {
+  core::QueryResult result;
+  result.selectiveness = 0.25;
+  result.truncated = true;
+  result.evaluated = 7;
+  std::string json = QueryResultToJson("log-1", result);
+  EXPECT_NE(json.find("\"truncated\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"evaluated\":7"), std::string::npos);
+  auto parsed = ParseJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
 }
 
 TEST(ReportJsonTest, ClusterWithMissingDbOmitsLabel) {

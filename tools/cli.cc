@@ -1,7 +1,9 @@
 #include "tools/cli.h"
 
+#include <atomic>
 #include <fstream>
 #include <sstream>
+#include <thread>
 
 #include "ftl/ftl.h"
 #include "obs/metrics.h"
@@ -43,6 +45,14 @@ bool ArgMap::Has(const std::string& key) const {
   return false;
 }
 
+std::vector<std::string> ArgMap::GetAll(const std::string& key) const {
+  std::vector<std::string> out;
+  for (const auto& [k, v] : kv_) {
+    if (k == key) out.push_back(v);
+  }
+  return out;
+}
+
 Result<double> ArgMap::GetDouble(const std::string& key,
                                  double fallback) const {
   if (!Has(key)) return fallback;
@@ -81,7 +91,10 @@ std::string UsageText() {
       "            [--horizon 60]      train and persist both models\n"
       "  link      --p P.csv --q Q.csv [--query LABEL] [--matcher nb|alpha]\n"
       "            [--phi 0.01] [--alpha1 0.01] [--alpha2 0.1] [--top 10]\n"
-      "            [--threads 1]       link query trajectories against Q\n"
+      "            [--threads 1] [--json]\n"
+      "                                link query trajectories against Q;\n"
+      "                                --json emits one JSON document per\n"
+      "                                query (the serve API's wire format)\n"
       "  export    --db D.csv --out D.geojson\n"
       "                                convert a database to GeoJSON\n"
       "  validate  --db D.csv [--sanitized-out C.csv]\n"
@@ -96,6 +109,26 @@ std::string UsageText() {
       "                                binary columnar store\n"
       "  metrics   [--format prom|json]\n"
       "                                dump the process metrics registry\n"
+      "  serve     --p P.csv --ftb Q.ftb [--ftb MORE.ftb ...]\n"
+      "                                run the long-lived query daemon:\n"
+      "                                HTTP/1.1 JSON API (POST /v1/query,\n"
+      "                                POST /v1/rank, GET /metrics,\n"
+      "                                GET /healthz, POST /admin/shutdown)\n"
+      "    --listen H:P              bind address (default 127.0.0.1:8080)\n"
+      "    --ftb FILE                candidate shard, repeatable; shards\n"
+      "                              merge in flag order (CSV or FTB,\n"
+      "                              sniffed by magic bytes)\n"
+      "    --threads N               worker threads (default: one per\n"
+      "                              hardware thread)\n"
+      "    --max-queue N             bounded request queue; beyond it new\n"
+      "                              requests get 503 + Retry-After\n"
+      "                              (default 128)\n"
+      "    --request-deadline-ms MS  default per-request deadline; expired\n"
+      "                              requests get 408 with the partial\n"
+      "                              result (default 0 = none)\n"
+      "    --matcher nb|alpha        default matcher for requests that\n"
+      "                              name none (default nb)\n"
+      "                              see docs/OPERATIONS.md + docs/API.md\n"
       "\n"
       "Any --p/--q/--db/--in input may be a .ftb file (detected by magic\n"
       "bytes, loaded zero-copy via mmap) instead of CSV.\n"
@@ -112,36 +145,15 @@ std::string UsageText() {
       "                        otherwise JSON); written even on failure\n";
 }
 
-int ExitCodeForStatus(const Status& status) {
-  switch (status.code()) {
-    case StatusCode::kOk:
-      return 0;
-    case StatusCode::kInvalidArgument:
-      return 2;
-    case StatusCode::kNotFound:
-      return 3;
-    case StatusCode::kIOError:
-      return 4;
-    case StatusCode::kOutOfRange:
-      return 5;
-    case StatusCode::kFailedPrecondition:
-      return 6;
-    case StatusCode::kInternal:
-      return 7;
-    case StatusCode::kDeadlineExceeded:
-      return 8;
-    case StatusCode::kCancelled:
-      return 9;
-  }
-  return 1;
-}
-
 namespace {
 
-Result<traj::TrajectoryDatabase> LoadDb(const ArgMap& args,
-                                        const std::string& flag,
-                                        std::ostream& out) {
-  std::string path = args.Get(flag, "");
+/// Loads one input (CSV or FTB, sniffed by magic bytes) honoring the
+/// global --lenient / --quarantine-out flags. `flag` names the sidecar
+/// suffix and diagnostics only; `path` is the actual input.
+Result<traj::TrajectoryDatabase> LoadDbFromPath(const std::string& path,
+                                                const ArgMap& args,
+                                                const std::string& flag,
+                                                std::ostream& out) {
   if (path.empty()) {
     return Status::InvalidArgument("missing required --" + flag);
   }
@@ -175,6 +187,12 @@ Result<traj::TrajectoryDatabase> LoadDb(const ArgMap& args,
     }
   }
   return db;
+}
+
+Result<traj::TrajectoryDatabase> LoadDb(const ArgMap& args,
+                                        const std::string& flag,
+                                        std::ostream& out) {
+  return LoadDbFromPath(args.Get(flag, ""), args, flag, out);
 }
 
 Result<core::EngineOptions> EngineOptionsFromArgs(const ArgMap& args) {
@@ -305,6 +323,13 @@ Status CmdLink(const ArgMap& args, std::ostream& out) {
     const auto& query = p.value()[qi];
     auto result = engine.Query(query, q.value(), matcher);
     if (!result.ok()) return result.status();
+    if (args.Has("json")) {
+      // One JSON document per query, byte-identical to what the serve
+      // daemon's /v1/query endpoint returns for the same inputs (both
+      // call the same engine entry point and serializer).
+      out << io::QueryResultToJson(query.label(), result.value()) << "\n";
+      continue;
+    }
     out << query.label() << " -> " << result.value().candidates.size()
         << " candidate(s)";
     size_t shown = 0;
@@ -468,6 +493,104 @@ Status CmdConvert(const ArgMap& args, std::ostream& out) {
   return Status::OK();
 }
 
+Status CmdServe(const ArgMap& args, std::ostream& out) {
+  auto p = LoadDb(args, "p", out);
+  if (!p.ok()) return p.status();
+
+  // Candidate shards: every --ftb (and, as a convenience, --q) input,
+  // merged in flag order. Despite the flag name any shard may be CSV —
+  // the loader sniffs magic bytes like everywhere else.
+  std::vector<std::string> shard_paths = args.GetAll("ftb");
+  for (const auto& path : args.GetAll("q")) shard_paths.push_back(path);
+  if (shard_paths.empty()) {
+    return Status::InvalidArgument(
+        "serve needs at least one --ftb (or --q) candidate shard");
+  }
+  traj::TrajectoryDatabase q("Q");
+  for (const auto& path : shard_paths) {
+    auto shard = LoadDbFromPath(path, args, "ftb", out);
+    if (!shard.ok()) return shard.status();
+    if (shard_paths.size() == 1) {
+      q = std::move(shard).value();
+    } else {
+      for (const auto& t : shard.value()) {
+        Status st = q.Add(t);
+        if (!st.ok()) {
+          return Status::InvalidArgument("merging shard '" + path +
+                                         "': " + st.message());
+        }
+      }
+    }
+  }
+
+  auto eo = EngineOptionsFromArgs(args);
+  if (!eo.ok()) return eo.status();
+  // Worker-pool parallelism across requests, serial inside each query;
+  // --threads sizes the pool, not the engine.
+  size_t workers = eo.value().num_threads;
+  if (!args.Has("threads")) workers = 0;  // 0 = hardware concurrency
+  core::EngineOptions engine_opts = eo.value();
+  engine_opts.num_threads = 1;
+
+  serve::ServeOptions so;
+  std::string listen = args.Get("listen", "127.0.0.1:8080");
+  size_t colon = listen.rfind(':');
+  int64_t port = 0;
+  if (colon == std::string::npos || colon == 0 ||
+      !ParseInt64(listen.substr(colon + 1), &port) || port < 0 ||
+      port > 65535) {
+    return Status::InvalidArgument("--listen expects HOST:PORT, got '" +
+                                   listen + "'");
+  }
+  so.host = listen.substr(0, colon);
+  so.port = static_cast<int>(port);
+  so.num_threads = workers;
+  auto max_queue = args.GetInt("max-queue", 128);
+  if (!max_queue.ok()) return max_queue.status();
+  if (max_queue.value() < 1) {
+    return Status::InvalidArgument("--max-queue must be at least 1");
+  }
+  so.max_queue = static_cast<size_t>(max_queue.value());
+  auto deadline_ms = args.GetInt("request-deadline-ms", 0);
+  if (!deadline_ms.ok()) return deadline_ms.status();
+  if (deadline_ms.value() < 0) {
+    return Status::InvalidArgument("--request-deadline-ms must be >= 0");
+  }
+  so.request_deadline_ms = deadline_ms.value();
+  std::string matcher_name = args.Get("matcher", "nb");
+  if (matcher_name == "nb") {
+    so.default_matcher = core::Matcher::kNaiveBayes;
+  } else if (matcher_name == "alpha") {
+    so.default_matcher = core::Matcher::kAlphaFilter;
+  } else {
+    return Status::InvalidArgument("--matcher must be nb or alpha, got '" +
+                                   matcher_name + "'");
+  }
+
+  core::FtlEngine engine(engine_opts);
+  FTL_RETURN_NOT_OK(engine.Train(p.value(), q));
+
+  // SIGTERM / SIGINT trigger the same graceful drain as
+  // POST /admin/shutdown: stop accepting, finish what was admitted.
+  static std::atomic<int> stop_flag{0};
+  stop_flag.store(0);
+  serve::InstallShutdownSignalHandlers(&stop_flag);
+  so.stop_flag = &stop_flag;
+
+  serve::FtlServer server(so, &engine, &p.value(), &q);
+  FTL_RETURN_NOT_OK(server.Start());
+  out << "serving |P|=" << p.value().size() << " |Q|=" << q.size() << " on "
+      << so.host << ":" << server.port() << " (workers="
+      << (so.num_threads == 0 ? std::thread::hardware_concurrency()
+                              : so.num_threads)
+      << ", max-queue=" << so.max_queue << ", request-deadline-ms="
+      << so.request_deadline_ms << ", matcher=" << matcher_name << ")\n";
+  out.flush();
+  server.Wait();
+  out << "drained " << server.requests_handled() << " request(s); bye\n";
+  return Status::OK();
+}
+
 Status CmdMetrics(const ArgMap& args, std::ostream& out) {
   std::string format = args.Get("format", "prom");
   if (format == "prom") {
@@ -569,6 +692,8 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out,
     st = CmdConvert(parsed.value(), out);
   } else if (cmd == "metrics") {
     st = CmdMetrics(parsed.value(), out);
+  } else if (cmd == "serve") {
+    st = CmdServe(parsed.value(), out);
   } else {
     err << "error: unknown command '" << cmd << "'\n" << UsageText();
     return 1;

@@ -12,6 +12,7 @@
 ///                --out-acceptance a.model
 ///   ftl link     --p p.csv --q q.csv [--query LABEL] [--matcher nb|alpha]
 ///                [--phi 0.01 | --alpha1 0.01 --alpha2 0.1] [--top K]
+///                [--json]
 ///   ftl export   --db data.csv --out data.geojson
 ///   ftl validate --db data.csv [--sanitized-out clean.csv]
 ///   ftl diagnose --p p.csv --q q.csv
@@ -20,6 +21,10 @@
 ///   ftl enrich   --p p.csv --q q.csv --query LABEL --candidate LABEL
 ///   ftl convert  --in data.csv --out data.ftb [--to ftb|csv]
 ///   ftl metrics  [--format prom|json]
+///   ftl serve    --p p.csv --ftb q.ftb [--ftb more.ftb ...]
+///                [--listen 127.0.0.1:8080] [--threads N] [--max-queue 128]
+///                [--request-deadline-ms MS] [--matcher nb|alpha]
+///                run the long-lived query daemon (docs/OPERATIONS.md)
 ///
 /// Any `--p` / `--q` / `--db` / `--in` input may be an FTB binary store
 /// instead of CSV; the format is detected by magic bytes, not
@@ -58,6 +63,10 @@ class ArgMap {
   /// True when `--key` was supplied.
   bool Has(const std::string& key) const;
 
+  /// Every value of a repeatable `--key`, in flag order (empty when
+  /// absent). Used by `serve --ftb`, which accepts a shard list.
+  std::vector<std::string> GetAll(const std::string& key) const;
+
   /// Numeric accessors; return fallback on absent, error on malformed.
   Result<double> GetDouble(const std::string& key, double fallback) const;
   Result<int64_t> GetInt(const std::string& key, int64_t fallback) const;
@@ -66,12 +75,10 @@ class ArgMap {
   std::vector<std::pair<std::string, std::string>> kv_;
 };
 
-/// Maps a Status to a process exit code, one distinct code per error
-/// category so scripts can branch on the failure kind:
-///   0 OK; 2 InvalidArgument; 3 NotFound; 4 IOError; 5 OutOfRange;
-///   6 FailedPrecondition; 7 Internal; 8 DeadlineExceeded; 9 Cancelled.
-/// (1 is reserved for usage errors: unknown command / malformed flags.)
-int ExitCodeForStatus(const Status& status);
+/// The status→exit-code mapping lives in util/status.h now so the
+/// one-shot CLI and the serve daemon share one table; re-exported here
+/// for existing callers (tests, main).
+using ::ftl::ExitCodeForStatus;
 
 /// Dispatches a full command line (without the program name). Returns
 /// the process exit status; regular output goes to `out`, error
@@ -94,6 +101,11 @@ Status CmdCalibrate(const ArgMap& args, std::ostream& out);
 Status CmdEnrich(const ArgMap& args, std::ostream& out);
 Status CmdConvert(const ArgMap& args, std::ostream& out);
 Status CmdMetrics(const ArgMap& args, std::ostream& out);
+
+/// Runs the query daemon until a graceful drain completes (SIGTERM /
+/// SIGINT / POST /admin/shutdown). Blocks; prints one line to `out`
+/// when listening and one when drained.
+Status CmdServe(const ArgMap& args, std::ostream& out);
 
 /// The usage text.
 std::string UsageText();
