@@ -578,6 +578,17 @@ Result<QueryResult> FtlEngine::Query(const traj::FlatTrajectoryView& query,
   return QueryImpl(query, db, nullptr, matcher, num_threads, nullptr, nullptr);
 }
 
+Result<QueryResult> FtlEngine::Query(const traj::FlatTrajectoryView& query,
+                                     const traj::FlatDatabase& db,
+                                     Matcher matcher,
+                                     const QueryOptions& qopts) const {
+  if (!trained_) {
+    return Status::FailedPrecondition("FtlEngine::Query before Train");
+  }
+  return QueryImpl(query, db, nullptr, matcher, options_.num_threads, nullptr,
+                   &qopts);
+}
+
 Result<QueryResult> FtlEngine::QueryWithCandidates(
     const traj::Trajectory& query, const traj::TrajectoryDatabase& db,
     const std::vector<size_t>& candidate_indices, Matcher matcher) const {
@@ -587,6 +598,41 @@ Result<QueryResult> FtlEngine::QueryWithCandidates(
   }
   return QueryImpl(query, db, &candidate_indices, matcher,
                    options_.num_threads, nullptr, nullptr);
+}
+
+Result<QueryResult> FtlEngine::QueryWithCandidates(
+    const traj::Trajectory& query, const traj::TrajectoryDatabase& db,
+    const std::vector<size_t>& candidate_indices, Matcher matcher,
+    const QueryOptions& qopts) const {
+  if (!trained_) {
+    return Status::FailedPrecondition(
+        "FtlEngine::QueryWithCandidates before Train");
+  }
+  return QueryImpl(query, db, &candidate_indices, matcher,
+                   options_.num_threads, nullptr, &qopts);
+}
+
+Result<QueryResult> FtlEngine::QueryWithCandidates(
+    const traj::FlatTrajectoryView& query, const traj::FlatDatabase& db,
+    const std::vector<size_t>& candidate_indices, Matcher matcher) const {
+  if (!trained_) {
+    return Status::FailedPrecondition(
+        "FtlEngine::QueryWithCandidates before Train");
+  }
+  return QueryImpl(query, db, &candidate_indices, matcher,
+                   options_.num_threads, nullptr, nullptr);
+}
+
+Result<QueryResult> FtlEngine::QueryWithCandidates(
+    const traj::FlatTrajectoryView& query, const traj::FlatDatabase& db,
+    const std::vector<size_t>& candidate_indices, Matcher matcher,
+    const QueryOptions& qopts) const {
+  if (!trained_) {
+    return Status::FailedPrecondition(
+        "FtlEngine::QueryWithCandidates before Train");
+  }
+  return QueryImpl(query, db, &candidate_indices, matcher,
+                   options_.num_threads, nullptr, &qopts);
 }
 
 Result<std::vector<QueryResult>> FtlEngine::BatchQuery(

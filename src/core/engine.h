@@ -165,13 +165,32 @@ class FtlEngine {
   Result<QueryResult> Query(const traj::FlatTrajectoryView& query,
                             const traj::FlatDatabase& db, Matcher matcher,
                             size_t num_threads) const;
+  Result<QueryResult> Query(const traj::FlatTrajectoryView& query,
+                            const traj::FlatDatabase& db, Matcher matcher,
+                            const QueryOptions& qopts) const;
 
   /// Like Query, but only evaluates the candidates at `candidate_indices`
-  /// (e.g. the survivors of a BlockingIndex). Selectiveness remains
-  /// relative to the whole database.
+  /// (e.g. the survivors of a BlockingIndex, or one sub-range of a
+  /// multi-segment store fan-out). Selectiveness remains relative to
+  /// the whole database. Candidates are evaluated in `candidate_indices`
+  /// order and results are stable-sorted by score, so concatenating
+  /// per-range results and re-running the same stable sort reproduces a
+  /// whole-database query byte-for-byte (store::StoreSnapshot relies on
+  /// this; DESIGN.md §12).
   Result<QueryResult> QueryWithCandidates(
       const traj::Trajectory& query, const traj::TrajectoryDatabase& db,
       const std::vector<size_t>& candidate_indices, Matcher matcher) const;
+  Result<QueryResult> QueryWithCandidates(
+      const traj::Trajectory& query, const traj::TrajectoryDatabase& db,
+      const std::vector<size_t>& candidate_indices, Matcher matcher,
+      const QueryOptions& qopts) const;
+  Result<QueryResult> QueryWithCandidates(
+      const traj::FlatTrajectoryView& query, const traj::FlatDatabase& db,
+      const std::vector<size_t>& candidate_indices, Matcher matcher) const;
+  Result<QueryResult> QueryWithCandidates(
+      const traj::FlatTrajectoryView& query, const traj::FlatDatabase& db,
+      const std::vector<size_t>& candidate_indices, Matcher matcher,
+      const QueryOptions& qopts) const;
 
   /// Answers many queries, optionally in parallel
   /// (options.num_threads > 1). Results align with `queries` order.

@@ -13,6 +13,7 @@
 ///   * eval::* — perceptiveness/selectiveness/ranking metrics,
 ///   * analysis::* — the Section VI mutual-segment theory,
 ///   * io::* — CSV and model persistence,
+///   * store::* — the crash-safe WAL-backed multi-segment store,
 ///   * serve::* — the `ftl serve` HTTP query daemon.
 
 #include "analysis/feasibility.h"
@@ -60,6 +61,10 @@
 #include "stats/distributions.h"
 #include "stats/goodness_of_fit.h"
 #include "stats/poisson_binomial.h"
+#include "store/manifest.h"
+#include "store/memtable.h"
+#include "store/store.h"
+#include "store/wal.h"
 #include "traj/alignment.h"
 #include "traj/database.h"
 #include "traj/flat_database.h"

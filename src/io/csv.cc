@@ -74,14 +74,24 @@ class QuarantineSink {
     }
   }
 
-  /// Flushes the sidecar CSV, if one was requested.
+  /// Flushes the sidecar CSV, if one was requested. A torn write
+  /// (crash / fault injection mid-flush) is repaired in place by
+  /// truncating to the last complete row — the same
+  /// TruncateToLastValidRecord primitive WAL recovery uses — so the
+  /// sidecar on disk never ends in a partial record even when this
+  /// returns the original IOError.
   Status Flush() {
     if (options_.sidecar_path.empty() || sidecar_.empty()) {
       return Status::OK();
     }
-    return WriteTextFile(options_.sidecar_path,
-                         "reason,label,owner,t,x,y\n" + sidecar_,
-                         "io.write_csv");
+    Status st = WriteTextFile(options_.sidecar_path,
+                              "reason,label,owner,t,x,y\n" + sidecar_,
+                              "io.write_csv");
+    if (!st.ok()) {
+      (void)TruncateToLastValidRecord(options_.sidecar_path,
+                                      LastCompleteLinePrefix);
+    }
+    return st;
   }
 
  private:

@@ -9,7 +9,10 @@
 /// each call site declares a failpoint so fault-injection tests can
 /// make it fail, stall, or tear its output (see util/failpoint.h).
 
+#include <cstdint>
+#include <functional>
 #include <string>
+#include <string_view>
 
 #include "util/status.h"
 
@@ -25,6 +28,35 @@ Result<std::string> ReadTextFile(const std::string& path,
 /// are written and an IOError is returned.
 Status WriteTextFile(const std::string& path, const std::string& payload,
                      const char* failpoint_site);
+
+/// Given the full contents of a record-framed file, returns the length
+/// in bytes of the longest prefix made of whole, valid records. The
+/// callback never sees the path, only bytes, so one rule serves files
+/// and in-memory buffers alike (WAL frames, CSV rows, ...).
+using ValidPrefixFn = std::function<size_t(std::string_view)>;
+
+/// Repairs a torn tail in place: truncates the file at `path` down to
+/// its longest valid-record prefix as judged by `valid_prefix`, and
+/// returns the number of bytes dropped (0 when the file was already
+/// clean). This is the shared recovery primitive behind WAL replay and
+/// the CSV quarantine sidecar — torn writes are *repaired*, not merely
+/// detected. NotFound when the file does not exist.
+Result<uint64_t> TruncateToLastValidRecord(const std::string& path,
+                                           const ValidPrefixFn& valid_prefix);
+
+/// The line-oriented valid-prefix rule: the longest prefix ending in
+/// '\n'. Used by the quarantine sidecar (and any other
+/// one-record-per-line format) with TruncateToLastValidRecord.
+size_t LastCompleteLinePrefix(std::string_view data);
+
+/// fsync(2)s the file at `path`. `failpoint_site` (optional) is
+/// evaluated first so durability barriers are chaos-testable.
+Status SyncFile(const std::string& path, const char* failpoint_site = nullptr);
+
+/// fsync(2)s the directory at `path`, making renames and creates
+/// inside it durable (the second half of the temp-file + rename
+/// atomic-swap protocol, DESIGN.md §12).
+Status SyncDir(const std::string& path);
 
 }  // namespace ftl::io
 

@@ -14,6 +14,7 @@
 #include "io/json_parse.h"
 #include "io/report_json.h"
 #include "obs/metrics.h"
+#include "store/store.h"
 #include "util/deadline.h"
 
 namespace ftl::serve {
@@ -23,11 +24,11 @@ namespace {
 /// Metric label order; "other" collects unrouted paths, "admission"
 /// collects 503s rejected before routing (queue full).
 constexpr const char* kEndpointNames[] = {
-    "/v1/query", "/v1/rank", "/metrics", "/healthz", "/admin/shutdown",
-    "other",     "admission"};
+    "/v1/query", "/v1/rank",        "/v1/ingest", "/metrics", "/healthz",
+    "/readyz",   "/admin/shutdown", "other",      "admission"};
 constexpr size_t kNumEndpoints = sizeof(kEndpointNames) / sizeof(char*);
-constexpr size_t kEndpointOther = 5;
-constexpr size_t kEndpointAdmission = 6;
+constexpr size_t kEndpointOther = 7;
+constexpr size_t kEndpointAdmission = 8;
 
 /// Statuses with pre-resolved counters; anything else resolves through
 /// the registry mutex on first sight (rare by construction).
@@ -155,7 +156,19 @@ struct FtlServer::MetricHandles {
 FtlServer::FtlServer(ServeOptions options, const core::FtlEngine* engine,
                      const traj::TrajectoryDatabase* p,
                      const traj::TrajectoryDatabase* q)
-    : options_(std::move(options)), engine_(engine), p_(p), q_(q) {}
+    : options_(std::move(options)), engine_(engine), p_(p), q_(q) {
+  ready_.store(options_.start_ready, std::memory_order_release);
+}
+
+FtlServer::FtlServer(ServeOptions options, const core::FtlEngine* engine,
+                     const traj::TrajectoryDatabase* p, store::Store* store)
+    : options_(std::move(options)),
+      engine_(engine),
+      p_(p),
+      q_(nullptr),
+      store_(store) {
+  ready_.store(options_.start_ready, std::memory_order_release);
+}
 
 FtlServer::~FtlServer() {
   Shutdown();
@@ -166,10 +179,16 @@ Status FtlServer::Start() {
   if (started_.load()) {
     return Status::FailedPrecondition("server already started");
   }
-  if (engine_ == nullptr || p_ == nullptr || q_ == nullptr) {
-    return Status::InvalidArgument("engine and databases are required");
+  if (engine_ == nullptr || p_ == nullptr ||
+      (q_ == nullptr) == (store_ == nullptr)) {
+    return Status::InvalidArgument(
+        "engine, P, and exactly one candidate side (Q or store) are "
+        "required");
   }
-  if (!engine_->trained()) {
+  // With start_ready=false training happens behind the readiness gate
+  // (store mode: bind, recover, train, MarkReady), so the trained
+  // check moves to the first gated request.
+  if (options_.start_ready && !engine_->trained()) {
     return Status::FailedPrecondition("engine must be trained before serving");
   }
   if (options_.max_queue == 0) {
@@ -354,28 +373,43 @@ void FtlServer::HandleConnection(int fd) {
 HttpResponse FtlServer::Dispatch(const HttpRequest& req,
                                  size_t* endpoint_idx) {
   std::string path = req.target.substr(0, req.target.find('?'));
-  if (path == "/v1/query") {
-    *endpoint_idx = 0;
-    if (req.method != "POST") return MethodNotAllowed("POST");
-    return HandleQuery(req);
-  }
-  if (path == "/v1/rank") {
-    *endpoint_idx = 1;
-    if (req.method != "POST") return MethodNotAllowed("POST");
-    return HandleRank(req);
-  }
+  // The /v1/* endpoints sit behind the readiness gate: before
+  // MarkReady() the engine may not be trained (store mode trains after
+  // recovery), so they answer a retryable 503. Probes and /metrics
+  // stay open throughout.
+  auto gated = [&](size_t idx, const char* method,
+                   HttpResponse (FtlServer::*handler)(const HttpRequest&))
+      -> HttpResponse {
+    *endpoint_idx = idx;
+    if (req.method != method) return MethodNotAllowed(method);
+    if (!ready_.load(std::memory_order_acquire)) {
+      HttpResponse resp = ErrorResponse(Status::FailedPrecondition(
+          "server is warming up (recovery/training in progress)"));
+      resp.extra_headers.emplace_back("Retry-After", "1");
+      return resp;
+    }
+    return (this->*handler)(req);
+  };
+  if (path == "/v1/query") return gated(0, "POST", &FtlServer::HandleQuery);
+  if (path == "/v1/rank") return gated(1, "POST", &FtlServer::HandleRank);
+  if (path == "/v1/ingest") return gated(2, "POST", &FtlServer::HandleIngest);
   if (path == "/metrics") {
-    *endpoint_idx = 2;
+    *endpoint_idx = 3;
     if (req.method != "GET") return MethodNotAllowed("GET");
     return HandleMetrics();
   }
   if (path == "/healthz") {
-    *endpoint_idx = 3;
+    *endpoint_idx = 4;
     if (req.method != "GET") return MethodNotAllowed("GET");
     return HandleHealthz();
   }
+  if (path == "/readyz") {
+    *endpoint_idx = 5;
+    if (req.method != "GET") return MethodNotAllowed("GET");
+    return HandleReadyz();
+  }
   if (path == "/admin/shutdown") {
-    *endpoint_idx = 4;
+    *endpoint_idx = 6;
     if (req.method != "POST") return MethodNotAllowed("POST");
     return HandleShutdown();
   }
@@ -407,7 +441,10 @@ HttpResponse FtlServer::HandleQuery(const HttpRequest& req) {
   }
   core::QueryOptions qopts;
   if (deadline_ms > 0) qopts.deadline = Deadline::AfterMillis(deadline_ms);
-  auto r = engine_->Query((*p_)[idx], *q_, matcher, qopts);
+  auto r = store_ != nullptr
+               ? store_->Snapshot()->Query(*engine_, (*p_)[idx], matcher,
+                                           &qopts)
+               : engine_->Query((*p_)[idx], *q_, matcher, qopts);
   if (!r.ok()) return ErrorResponse(r.status());
   core::QueryResult result = std::move(r).value();
   if (top >= 0 && result.candidates.size() > static_cast<size_t>(top)) {
@@ -449,21 +486,31 @@ HttpResponse FtlServer::HandleRank(const HttpRequest& req) {
     return ErrorResponse(
         Status::NotFound("query label '" + label + "' not in P"));
   }
-  std::vector<size_t> indices;
-  indices.reserve(cands_v->items().size());
+  std::vector<std::string> labels;
+  labels.reserve(cands_v->items().size());
   for (const io::JsonValue& c : cands_v->items()) {
     if (!c.is_string()) {
       return ErrorResponse(
           Status::InvalidArgument("'candidates' entries must be strings"));
     }
-    size_t ci = q_->Find(c.AsString());
-    if (ci == traj::TrajectoryDatabase::npos) {
-      return ErrorResponse(Status::NotFound("candidate label '" +
-                                            c.AsString() + "' not in Q"));
-    }
-    indices.push_back(ci);
+    labels.push_back(c.AsString());
   }
-  auto r = engine_->QueryWithCandidates((*p_)[qidx], *q_, indices, matcher);
+  auto run = [&]() -> Result<core::QueryResult> {
+    if (store_ != nullptr) {
+      return store_->Snapshot()->Rank(*engine_, (*p_)[qidx], labels, matcher);
+    }
+    std::vector<size_t> indices;
+    indices.reserve(labels.size());
+    for (const std::string& c : labels) {
+      size_t ci = q_->Find(c);
+      if (ci == traj::TrajectoryDatabase::npos) {
+        return Status::NotFound("candidate label '" + c + "' not in Q");
+      }
+      indices.push_back(ci);
+    }
+    return engine_->QueryWithCandidates((*p_)[qidx], *q_, indices, matcher);
+  };
+  auto r = run();
   if (!r.ok()) return ErrorResponse(r.status());
   core::QueryResult result = std::move(r).value();
   if (top >= 0 && result.candidates.size() > static_cast<size_t>(top)) {
@@ -474,17 +521,121 @@ HttpResponse FtlServer::HandleRank(const HttpRequest& req) {
   return resp;
 }
 
+HttpResponse FtlServer::HandleIngest(const HttpRequest& req) {
+  if (store_ == nullptr) {
+    return ErrorResponse(Status::InvalidArgument(
+        "ingest requires store mode (`ftl serve --store`)"));
+  }
+  auto parsed = ParseBodyObject(req);
+  if (!parsed.ok()) return ErrorResponse(parsed.status());
+  const io::JsonValue& root = parsed.value();
+  const io::JsonValue* records_v = root.Find("records");
+  if (records_v == nullptr || !records_v->is_array() ||
+      records_v->items().empty()) {
+    return ErrorResponse(Status::InvalidArgument(
+        "missing non-empty array field 'records'"));
+  }
+  store::IngestBatch batch;
+  batch.rows.reserve(records_v->items().size());
+  for (const io::JsonValue& rec : records_v->items()) {
+    if (!rec.is_object()) {
+      return ErrorResponse(
+          Status::InvalidArgument("'records' entries must be objects"));
+    }
+    store::IngestRow row;
+    const io::JsonValue* label_v = rec.Find("label");
+    if (label_v == nullptr || !label_v->is_string() ||
+        label_v->AsString().empty()) {
+      return ErrorResponse(Status::InvalidArgument(
+          "record missing non-empty string field 'label'"));
+    }
+    row.label = label_v->AsString();
+    const io::JsonValue* t_v = rec.Find("t");
+    if (t_v == nullptr || !t_v->is_number()) {
+      return ErrorResponse(
+          Status::InvalidArgument("record missing number field 't'"));
+    }
+    auto t = t_v->AsInt64();
+    if (!t.ok()) {
+      return ErrorResponse(
+          Status::InvalidArgument("record field 't' must be an integer"));
+    }
+    row.t = t.value();
+    const io::JsonValue* x_v = rec.Find("x");
+    const io::JsonValue* y_v = rec.Find("y");
+    if (x_v == nullptr || !x_v->is_number() || y_v == nullptr ||
+        !y_v->is_number()) {
+      return ErrorResponse(
+          Status::InvalidArgument("record missing number fields 'x'/'y'"));
+    }
+    row.x = x_v->AsDouble();
+    row.y = y_v->AsDouble();
+    if (const io::JsonValue* o = rec.Find("owner")) {
+      auto v = o->AsInt64();
+      if (!v.ok() || v.value() < 0) {
+        return ErrorResponse(Status::InvalidArgument(
+            "record field 'owner' must be a non-negative integer"));
+      }
+      row.owner = static_cast<traj::OwnerId>(v.value());
+    }
+    batch.rows.push_back(std::move(row));
+  }
+  Status st = store_->Append(batch);
+  if (!st.ok()) {
+    HttpResponse resp = ErrorResponse(st);
+    // Backpressure (OutOfRange -> 503) is retryable; say so.
+    if (st.code() == StatusCode::kOutOfRange) {
+      resp.extra_headers.emplace_back("Retry-After", "1");
+    }
+    return resp;
+  }
+  io::JsonWriter w;
+  w.BeginObject();
+  w.Key("appended");
+  w.Value(static_cast<uint64_t>(batch.rows.size()));
+  w.Key("generation");
+  w.Value(store_->generation());
+  w.Key("memtable_records");
+  w.Value(static_cast<uint64_t>(store_->memtable_records()));
+  w.Key("total_records");
+  w.Value(static_cast<uint64_t>(store_->total_records()));
+  w.EndObject();
+  HttpResponse resp;
+  resp.body = w.str();
+  return resp;
+}
+
 HttpResponse FtlServer::HandleHealthz() const {
   io::JsonWriter w;
   w.BeginObject();
   w.Key("status");
-  w.Value(draining_.load(std::memory_order_acquire) ? "draining" : "ok");
+  w.Value(draining_.load(std::memory_order_acquire)
+              ? "draining"
+              : (ready_.load(std::memory_order_acquire) ? "ok"
+                                                        : "starting"));
   w.Key("uptime_seconds");
   w.Value(uptime_.ElapsedSeconds());
   w.Key("p_trajectories");
   w.Value(static_cast<uint64_t>(p_->size()));
-  w.Key("q_trajectories");
-  w.Value(static_cast<uint64_t>(q_->size()));
+  if (q_ != nullptr) {
+    w.Key("q_trajectories");
+    w.Value(static_cast<uint64_t>(q_->size()));
+  }
+  if (store_ != nullptr) {
+    w.Key("store");
+    w.BeginObject();
+    w.Key("recovered");
+    w.Value(store_->recovered());
+    w.Key("generation");
+    w.Value(store_->generation());
+    w.Key("segments");
+    w.Value(static_cast<uint64_t>(store_->num_segments()));
+    w.Key("memtable_records");
+    w.Value(static_cast<uint64_t>(store_->memtable_records()));
+    w.Key("total_records");
+    w.Value(static_cast<uint64_t>(store_->total_records()));
+    w.EndObject();
+  }
   w.Key("queue_depth");
   w.Value(metrics_->queue_depth->Value());
   w.Key("requests_handled");
@@ -492,6 +643,27 @@ HttpResponse FtlServer::HandleHealthz() const {
   w.EndObject();
   HttpResponse resp;
   resp.body = w.str();
+  return resp;
+}
+
+HttpResponse FtlServer::HandleReadyz() const {
+  const bool draining = draining_.load(std::memory_order_acquire);
+  const bool is_ready = ready_.load(std::memory_order_acquire) && !draining;
+  io::JsonWriter w;
+  w.BeginObject();
+  w.Key("ready");
+  w.Value(is_ready);
+  if (!is_ready) {
+    w.Key("reason");
+    w.Value(draining ? "draining" : "recovery/training in progress");
+  }
+  w.EndObject();
+  HttpResponse resp;
+  resp.status = is_ready ? 200 : 503;
+  resp.body = w.str();
+  if (!is_ready && !draining) {
+    resp.extra_headers.emplace_back("Retry-After", "1");
+  }
   return resp;
 }
 

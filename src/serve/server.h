@@ -9,10 +9,20 @@
 ///
 ///   POST /v1/query       score one query label against all of Q
 ///   POST /v1/rank        score one query label against named candidates
+///   POST /v1/ingest      append trajectory records (store mode only)
 ///   GET  /metrics        Prometheus text exposition of the process
 ///                        metrics registry (src/obs)
-///   GET  /healthz        liveness + readiness snapshot
+///   GET  /healthz        liveness snapshot (always 200 while the
+///                        process can answer)
+///   GET  /readyz         readiness probe: 503 until recovery/training
+///                        completes and again once draining begins
 ///   POST /admin/shutdown begin a graceful drain
+///
+/// The candidate side Q is either a static database (the original
+/// engine mode) or a store::Store (store mode): queries then fan out
+/// over the store's immutable snapshot — byte-identical to the merged
+/// database — and POST /v1/ingest appends through the WAL, visible to
+/// the next query immediately.
 ///
 /// Threading model (DESIGN.md §11): one accept thread owns the listen
 /// socket and performs admission control — when the bounded request
@@ -44,6 +54,10 @@
 #include "util/status.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
+
+namespace ftl::store {
+class Store;
+}  // namespace ftl::store
 
 namespace ftl::obs {
 class Counter;
@@ -93,6 +107,14 @@ struct ServeOptions {
   /// the server begins the same graceful drain as Shutdown(). Wired to
   /// SIGTERM/SIGINT by InstallShutdownSignalHandlers.
   const std::atomic<int>* stop_flag = nullptr;
+
+  /// When false the server starts NOT ready: /readyz answers 503 and
+  /// the /v1/* endpoints reject with 503 + Retry-After until
+  /// MarkReady() is called. This lets `ftl serve --store` bind its
+  /// port (so probes see the process) before the possibly-long store
+  /// recovery + engine training run. With true (the default) the
+  /// engine must already be trained at Start().
+  bool start_ready = true;
 };
 
 /// The daemon. The engine and both databases must outlive the server
@@ -104,6 +126,14 @@ class FtlServer {
   FtlServer(ServeOptions options, const core::FtlEngine* engine,
             const traj::TrajectoryDatabase* p,
             const traj::TrajectoryDatabase* q);
+
+  /// Store mode: the candidate side is a mutable store::Store instead
+  /// of a static Q. /v1/query and /v1/rank evaluate against the
+  /// store's current snapshot and /v1/ingest appends to it. The store
+  /// must outlive the server; it need not be recovered yet when
+  /// `options.start_ready` is false (recover, train, then MarkReady()).
+  FtlServer(ServeOptions options, const core::FtlEngine* engine,
+            const traj::TrajectoryDatabase* p, store::Store* store);
 
   /// Shutdown() + Wait().
   ~FtlServer();
@@ -130,6 +160,17 @@ class FtlServer {
   /// True once Shutdown() / stop_flag / /admin/shutdown triggered.
   bool draining() const { return draining_.load(std::memory_order_acquire); }
 
+  /// Flips the readiness gate open (no-op when already ready). In
+  /// store mode call this only after Recover() and engine training
+  /// have completed; until then /v1/* answer 503.
+  void MarkReady() { ready_.store(true, std::memory_order_release); }
+
+  /// True when /readyz would answer 200 (ready and not draining).
+  bool ready() const {
+    return ready_.load(std::memory_order_acquire) &&
+           !draining_.load(std::memory_order_acquire);
+  }
+
   /// Requests answered so far (any status), for tests.
   int64_t requests_handled() const {
     return requests_handled_.load(std::memory_order_relaxed);
@@ -148,7 +189,9 @@ class FtlServer {
 
   HttpResponse HandleQuery(const HttpRequest& req);
   HttpResponse HandleRank(const HttpRequest& req);
+  HttpResponse HandleIngest(const HttpRequest& req);
   HttpResponse HandleHealthz() const;
+  HttpResponse HandleReadyz() const;
   HttpResponse HandleMetrics() const;
   HttpResponse HandleShutdown();
 
@@ -157,7 +200,8 @@ class FtlServer {
   ServeOptions options_;
   const core::FtlEngine* engine_;
   const traj::TrajectoryDatabase* p_;
-  const traj::TrajectoryDatabase* q_;
+  const traj::TrajectoryDatabase* q_;        // engine mode; null in store mode
+  store::Store* store_ = nullptr;            // store mode; null in engine mode
 
   int listen_fd_ = -1;
   int port_ = 0;
@@ -172,6 +216,7 @@ class FtlServer {
 
   std::atomic<bool> started_{false};
   std::atomic<bool> draining_{false};
+  std::atomic<bool> ready_{true};
   std::atomic<int64_t> requests_handled_{0};
 
   std::unique_ptr<MetricHandles> metrics_;

@@ -1,0 +1,144 @@
+#include "store/manifest.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+
+#include "io/file_util.h"
+#include "io/ftb.h"
+#include "util/string_util.h"
+
+namespace ftl::store {
+
+namespace {
+
+constexpr char kHeaderLine[] = "FTLMANIFEST v1";
+
+Status Corrupt(const std::string& detail) {
+  return Status::IOError("corrupt manifest: " + detail);
+}
+
+}  // namespace
+
+std::string SegmentFileName(uint64_t gen) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "seg-%06" PRIu64 ".ftb", gen);
+  return buf;
+}
+
+std::string WalFileName(uint64_t gen) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "wal-%06" PRIu64 ".log", gen);
+  return buf;
+}
+
+std::string ManifestPath(const std::string& dir) { return dir + "/MANIFEST"; }
+
+std::string EncodeManifest(const Manifest& m) {
+  std::string out = kHeaderLine;
+  out += '\n';
+  out += "generation " + std::to_string(m.generation) + '\n';
+  out += "wal " + m.wal + '\n';
+  for (const std::string& seg : m.segments) {
+    out += "segment " + seg + '\n';
+  }
+  char crc[16];
+  std::snprintf(crc, sizeof(crc), "%08x",
+                io::Crc32(out.data(), out.size()));
+  out += "crc ";
+  out += crc;
+  out += '\n';
+  return out;
+}
+
+Result<Manifest> DecodeManifest(std::string_view text) {
+  std::vector<std::string> lines = Split(text, '\n');
+  // A well-formed file ends in '\n', so Split leaves one trailing
+  // empty field.
+  if (lines.empty() || !lines.back().empty()) {
+    return Corrupt("missing trailing newline");
+  }
+  lines.pop_back();
+  if (lines.size() < 4) return Corrupt("too few lines");
+  if (lines[0] != kHeaderLine) return Corrupt("bad header line");
+  const std::string& crc_line = lines.back();
+  if (!StartsWith(crc_line, "crc ")) return Corrupt("missing crc line");
+  size_t crc_pos = text.rfind("crc ");
+  uint32_t want_crc = 0;
+  {
+    const std::string hex = crc_line.substr(4);
+    if (hex.size() != 8) return Corrupt("bad crc field");
+    char* end = nullptr;
+    unsigned long v = std::strtoul(hex.c_str(), &end, 16);
+    if (end == nullptr || *end != '\0') return Corrupt("bad crc field");
+    want_crc = static_cast<uint32_t>(v);
+  }
+  if (io::Crc32(text.data(), crc_pos) != want_crc) {
+    return Corrupt("crc mismatch");
+  }
+  Manifest m;
+  bool saw_generation = false;
+  bool saw_wal = false;
+  for (size_t i = 1; i + 1 < lines.size(); ++i) {
+    const std::string& line = lines[i];
+    if (StartsWith(line, "generation ")) {
+      if (saw_generation) return Corrupt("duplicate generation line");
+      int64_t v = 0;
+      if (!ParseInt64(line.substr(11), &v) || v < 0) {
+        return Corrupt("bad generation");
+      }
+      m.generation = static_cast<uint64_t>(v);
+      saw_generation = true;
+    } else if (StartsWith(line, "wal ")) {
+      if (saw_wal) return Corrupt("duplicate wal line");
+      m.wal = line.substr(4);
+      if (m.wal.empty()) return Corrupt("empty wal name");
+      saw_wal = true;
+    } else if (StartsWith(line, "segment ")) {
+      std::string seg = line.substr(8);
+      if (seg.empty()) return Corrupt("empty segment name");
+      m.segments.push_back(std::move(seg));
+    } else {
+      return Corrupt("unknown line '" + line + "'");
+    }
+  }
+  if (!saw_generation) return Corrupt("missing generation");
+  if (!saw_wal) return Corrupt("missing wal");
+  return m;
+}
+
+Result<Manifest> ReadManifest(const std::string& dir) {
+  const std::string path = ManifestPath(dir);
+  std::error_code ec;
+  if (!std::filesystem::exists(path, ec)) {
+    return Status::NotFound("no manifest in " + dir);
+  }
+  auto text = io::ReadTextFile(path, "store.manifest.swap");
+  if (!text.ok()) return text.status();
+  return DecodeManifest(text.value());
+}
+
+Status WriteManifest(const std::string& dir, const Manifest& m) {
+  const std::string path = ManifestPath(dir);
+  const std::string tmp = path + ".tmp";
+  Status st = io::WriteTextFile(tmp, EncodeManifest(m), "store.manifest.swap");
+  if (!st.ok()) {
+    // A failed or torn temp write must not leave debris: the swap
+    // either completes or the directory looks exactly as before.
+    std::error_code ec;
+    std::filesystem::remove(tmp, ec);
+    return st;
+  }
+  FTL_RETURN_NOT_OK(io::SyncFile(tmp));
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::error_code ec2;
+    std::filesystem::remove(tmp, ec2);
+    return Status::IOError("rename " + tmp + " -> " + path + ": " +
+                           ec.message());
+  }
+  return io::SyncDir(dir);
+}
+
+}  // namespace ftl::store

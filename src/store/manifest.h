@@ -1,0 +1,61 @@
+#ifndef FTL_STORE_MANIFEST_H_
+#define FTL_STORE_MANIFEST_H_
+
+/// \file manifest.h
+/// The store MANIFEST: the single source of truth for which files are
+/// live. A store directory contains immutable FTB segments
+/// (`seg-NNNNNN.ftb`), the active WAL (`wal-NNNNNN.log`), and one
+/// MANIFEST naming them plus a generation number. The manifest is
+/// swapped atomically — write MANIFEST.tmp, fsync it, rename(2) over
+/// MANIFEST, fsync the directory — so a crash at any point leaves
+/// either the old or the new manifest intact, never a mix
+/// (DESIGN.md §12). Files not named by the manifest are orphans from
+/// interrupted flushes; recovery deletes them.
+///
+/// Format (text, CRC-sealed):
+///
+///   FTLMANIFEST v1
+///   generation <N>
+///   wal <wal file name>
+///   segment <ftb file name>      (0+ lines, oldest first)
+///   crc <hex crc32 of all preceding bytes>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ftl::store {
+
+struct Manifest {
+  uint64_t generation = 0;
+  std::vector<std::string> segments;  ///< live segment file names, oldest first
+  std::string wal;                    ///< active WAL file name
+};
+
+/// "seg-%06u.ftb" / "wal-%06u.log" for generation `gen`.
+std::string SegmentFileName(uint64_t gen);
+std::string WalFileName(uint64_t gen);
+
+/// dir + "/MANIFEST".
+std::string ManifestPath(const std::string& dir);
+
+/// Serializes / parses the manifest format above. Parsing is strict:
+/// any structural anomaly or CRC mismatch is an IOError (a corrupt
+/// manifest means the swap protocol was violated — fail loudly rather
+/// than guess).
+std::string EncodeManifest(const Manifest& m);
+Result<Manifest> DecodeManifest(std::string_view text);
+
+/// Reads dir/MANIFEST; NotFound when absent (fresh store).
+Result<Manifest> ReadManifest(const std::string& dir);
+
+/// Atomically installs `m` as dir/MANIFEST via the temp-file + rename
+/// protocol. Failpoint "store.manifest.swap" guards the temp write (an
+/// injected error or torn write leaves the old manifest untouched).
+Status WriteManifest(const std::string& dir, const Manifest& m);
+
+}  // namespace ftl::store
+
+#endif  // FTL_STORE_MANIFEST_H_

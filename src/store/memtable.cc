@@ -1,0 +1,37 @@
+#include "store/memtable.h"
+
+namespace ftl::store {
+
+void MutableSegment::Apply(const IngestBatch& batch) {
+  if (entries_.empty() && !batch.rows.empty()) age_.Reset();
+  for (const IngestRow& row : batch.rows) {
+    auto [it, inserted] = by_label_.emplace(row.label, entries_.size());
+    if (inserted) {
+      Entry e;
+      e.label = row.label;
+      entries_.push_back(std::move(e));
+    }
+    Entry& entry = entries_[it->second];
+    if (entry.owner == traj::kUnknownOwner) entry.owner = row.owner;
+    entry.records.push_back(traj::Record{{row.x, row.y}, row.t});
+    ++num_records_;
+  }
+}
+
+traj::TrajectoryDatabase MutableSegment::ToDatabase(
+    const std::string& name) const {
+  traj::TrajectoryDatabase db(name);
+  for (const Entry& e : entries_) {
+    // Labels are unique by construction, so Add cannot fail.
+    (void)db.Add(traj::Trajectory(e.label, e.owner, e.records));
+  }
+  return db;
+}
+
+void MutableSegment::Clear() {
+  entries_.clear();
+  by_label_.clear();
+  num_records_ = 0;
+}
+
+}  // namespace ftl::store

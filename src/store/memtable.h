@@ -1,0 +1,72 @@
+#ifndef FTL_STORE_MEMTABLE_H_
+#define FTL_STORE_MEMTABLE_H_
+
+/// \file memtable.h
+/// MutableSegment: the in-memory mutable segment fed by the WAL.
+///
+/// Rows are grouped by label in first-appearance order; within a label,
+/// records keep ingest order (time sorting happens once, in the
+/// Trajectory constructor, when the segment is materialized or
+/// flushed). The structure is deterministic in the applied-batch
+/// sequence, which is what makes crash recovery byte-exact: replaying
+/// the WAL rebuilds precisely this state.
+///
+/// Not thread-safe; the owning Store serializes access.
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "store/wal.h"
+#include "traj/database.h"
+#include "traj/record.h"
+#include "traj/trajectory.h"
+#include "util/stopwatch.h"
+
+namespace ftl::store {
+
+class MutableSegment {
+ public:
+  /// One label's accumulated rows, in ingest order.
+  struct Entry {
+    std::string label;
+    traj::OwnerId owner = traj::kUnknownOwner;
+    std::vector<traj::Record> records;
+  };
+
+  /// Applies every row of `batch`. The owner of a label is the first
+  /// non-unknown owner seen for it (later conflicting owners are
+  /// ignored) — the same rule the snapshot merge uses across segments,
+  /// so flushing never changes a label's resolved owner.
+  void Apply(const IngestBatch& batch);
+
+  size_t num_records() const { return num_records_; }
+  size_t num_trajectories() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  /// Seconds since the first Apply after the last Clear (0 when empty);
+  /// drives the age-based flush trigger.
+  double age_seconds() const {
+    return entries_.empty() ? 0.0 : age_.ElapsedSeconds();
+  }
+
+  /// Entries in first-appearance order.
+  const std::vector<Entry>& entries() const { return entries_; }
+
+  /// Materializes as an AoS database: entries in first-appearance
+  /// order, each Trajectory time-sorted by its constructor.
+  traj::TrajectoryDatabase ToDatabase(const std::string& name) const;
+
+  void Clear();
+
+ private:
+  std::vector<Entry> entries_;
+  std::unordered_map<std::string, size_t> by_label_;
+  size_t num_records_ = 0;
+  Stopwatch age_;
+};
+
+}  // namespace ftl::store
+
+#endif  // FTL_STORE_MEMTABLE_H_

@@ -1,0 +1,662 @@
+#include "store/store.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <utility>
+
+#include "io/ftb.h"
+#include "io/file_util.h"
+#include "obs/metrics.h"
+#include "util/failpoint.h"
+#include "util/stopwatch.h"
+
+namespace ftl::store {
+
+namespace {
+
+/// Metric handles resolved once (DESIGN.md §8 discipline): the append
+/// hot path touches pre-resolved counters only. Stores share the
+/// process-global registry, so counters aggregate across instances and
+/// gauges reflect the most recent writer.
+struct StoreMetrics {
+  obs::Counter* wal_bytes;
+  obs::Counter* wal_appends;
+  obs::Counter* wal_syncs;
+  obs::Counter* wal_torn_bytes;
+  obs::Counter* ingest_records;
+  obs::Counter* replay_batches;
+  obs::Counter* replay_records;
+  obs::Counter* flushes;
+  obs::Gauge* segments_live;
+  obs::Gauge* memtable_records;
+  obs::Gauge* generation;
+  obs::Histogram* flush_latency_us;
+
+  StoreMetrics() {
+    auto& reg = obs::MetricsRegistry::Global();
+    wal_bytes = &reg.GetCounter("ftl_store_wal_bytes_total");
+    wal_appends = &reg.GetCounter("ftl_store_wal_appends_total");
+    wal_syncs = &reg.GetCounter("ftl_store_wal_syncs_total");
+    wal_torn_bytes = &reg.GetCounter("ftl_store_wal_torn_bytes_total");
+    ingest_records = &reg.GetCounter("ftl_store_ingest_records_total");
+    replay_batches = &reg.GetCounter("ftl_store_replay_batches_total");
+    replay_records = &reg.GetCounter("ftl_store_replay_records_total");
+    flushes = &reg.GetCounter("ftl_store_flush_total");
+    segments_live = &reg.GetGauge("ftl_store_segments_live");
+    memtable_records = &reg.GetGauge("ftl_store_memtable_records");
+    generation = &reg.GetGauge("ftl_store_generation");
+    flush_latency_us = &reg.GetHistogram("ftl_store_flush_latency_us");
+  }
+};
+
+StoreMetrics& Metrics() {
+  static StoreMetrics* m = new StoreMetrics();  // leaked: shutdown-safe
+  return *m;
+}
+
+/// A filename this store layout could have produced. Orphan cleanup
+/// only ever deletes names matching these shapes, so foreign files in
+/// the directory are never touched.
+bool IsStoreFileName(const std::string& name) {
+  auto shaped = [&](const char* prefix, const char* suffix) {
+    const std::string p(prefix), s(suffix);
+    return name.size() == p.size() + 6 + s.size() &&
+           name.compare(0, p.size(), p) == 0 &&
+           name.compare(name.size() - s.size(), s.size(), s) == 0 &&
+           std::all_of(name.begin() + static_cast<long>(p.size()),
+                       name.begin() + static_cast<long>(p.size()) + 6,
+                       [](char c) { return c >= '0' && c <= '9'; });
+  };
+  return shaped("seg-", ".ftb") || shaped("wal-", ".log") ||
+         name == "MANIFEST.tmp";
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// StoreSnapshot
+
+std::shared_ptr<const StoreSnapshot> StoreSnapshot::Build(
+    const std::vector<std::shared_ptr<const traj::FlatDatabase>>& segments,
+    const MutableSegment& memtable, uint64_t generation, uint64_t version) {
+  auto snap = std::shared_ptr<StoreSnapshot>(new StoreSnapshot());
+  snap->segments_ = segments;
+  snap->memtable_db_ = memtable.ToDatabase("memtable");
+  snap->generation_ = generation;
+  snap->version_ = version;
+
+  const size_t nseg = segments.size();
+  const size_t nsources = nseg + 1;
+  snap->global_of_.resize(nsources);
+
+  // Pass 1: canonical order = first-appearance walk over sources in
+  // ingest order (segments oldest-first, then the memtable).
+  auto visit = [&](size_t source, size_t local, std::string label,
+                   size_t records) {
+    auto [it, inserted] = snap->by_label_.emplace(std::move(label),
+                                                 snap->canon_.size());
+    if (inserted) {
+      CanonEntry e;
+      e.contribs.push_back({static_cast<uint32_t>(source),
+                            static_cast<uint32_t>(local)});
+      snap->canon_.push_back(std::move(e));
+    } else {
+      snap->canon_[it->second].contribs.push_back(
+          {static_cast<uint32_t>(source), static_cast<uint32_t>(local)});
+    }
+    snap->global_of_[source].push_back(it->second);
+    snap->total_records_ += records;
+  };
+  for (size_t s = 0; s < nseg; ++s) {
+    const traj::FlatDatabase& seg = *segments[s];
+    snap->global_of_[s].reserve(seg.size());
+    for (size_t i = 0; i < seg.size(); ++i) {
+      visit(s, i, std::string(seg.label(i)), seg[i].size());
+    }
+  }
+  {
+    const traj::TrajectoryDatabase& mt = snap->memtable_db_;
+    snap->global_of_[nseg].reserve(mt.size());
+    for (size_t i = 0; i < mt.size(); ++i) {
+      visit(nseg, i, mt[i].label(), mt[i].size());
+    }
+  }
+
+  // Pass 2: pre-merge every label that spans sources into the overlay
+  // database, at its canonical first-appearance position.
+  std::vector<size_t> overlay_of_global(snap->canon_.size(), npos);
+  for (size_t g = 0; g < snap->canon_.size(); ++g) {
+    if (snap->canon_[g].contribs.size() <= 1) continue;
+    overlay_of_global[g] = snap->overlay_global_.size();
+    snap->overlay_global_.push_back(g);
+    (void)snap->overlay_db_.Add(snap->Materialize(g));
+  }
+
+  // Pass 3: per-source query plans. Walking locals in order, shadowed
+  // entries (later homes of a multi-source label) are omitted, overlay
+  // entries break the plain run so evaluation order stays canonical.
+  snap->plans_.resize(nsources);
+  for (size_t s = 0; s < nsources; ++s) {
+    std::vector<Run>& plan = snap->plans_[s];
+    Run plain;
+    auto flush_plain = [&]() {
+      if (!plain.indices.empty()) {
+        plan.push_back(std::move(plain));
+        plain = Run{};
+      }
+    };
+    const std::vector<size_t>& globals = snap->global_of_[s];
+    for (size_t local = 0; local < globals.size(); ++local) {
+      const CanonEntry& e = snap->canon_[globals[local]];
+      if (e.contribs.size() == 1) {
+        plain.indices.push_back(local);
+        continue;
+      }
+      const SourceRef& first = e.contribs.front();
+      if (first.source == s && first.local == local) {
+        flush_plain();
+        Run ov;
+        ov.overlay = true;
+        ov.indices.push_back(overlay_of_global[globals[local]]);
+        plan.push_back(std::move(ov));
+      }
+      // Later homes: shadowed, not evaluated from this source.
+    }
+    flush_plain();
+  }
+  return snap;
+}
+
+size_t StoreSnapshot::Find(std::string_view label) const {
+  auto it = by_label_.find(std::string(label));
+  return it == by_label_.end() ? npos : it->second;
+}
+
+std::string_view StoreSnapshot::label(size_t g) const {
+  const SourceRef& first = canon_[g].contribs.front();
+  if (first.source < segments_.size()) {
+    return segments_[first.source]->label(first.local);
+  }
+  return memtable_db_[first.local].label();
+}
+
+traj::Trajectory StoreSnapshot::Materialize(size_t g) const {
+  const CanonEntry& e = canon_[g];
+  std::string lbl(label(g));
+  traj::OwnerId owner = traj::kUnknownOwner;
+  std::vector<traj::Record> records;
+  for (const SourceRef& ref : e.contribs) {
+    if (ref.source < segments_.size()) {
+      traj::FlatTrajectoryView v = (*segments_[ref.source])[ref.local];
+      for (size_t i = 0; i < v.size(); ++i) records.push_back(v[i]);
+      if (owner == traj::kUnknownOwner) owner = v.owner();
+    } else {
+      const traj::Trajectory& t = memtable_db_[ref.local];
+      records.insert(records.end(), t.records().begin(), t.records().end());
+      if (owner == traj::kUnknownOwner) owner = t.owner();
+    }
+  }
+  // The Trajectory constructor stable-sorts by time; because each
+  // contribution is itself time-sorted and contributions are
+  // concatenated in ingest order, the result equals stable-sorting the
+  // full ingest-order row sequence — the never-flushed oracle.
+  return traj::Trajectory(std::move(lbl), owner, std::move(records));
+}
+
+traj::TrajectoryDatabase StoreSnapshot::MaterializeAll(
+    const std::string& name) const {
+  traj::TrajectoryDatabase db(name);
+  for (size_t g = 0; g < canon_.size(); ++g) {
+    (void)db.Add(Materialize(g));
+  }
+  return db;
+}
+
+Result<core::QueryResult> StoreSnapshot::Query(
+    const core::FtlEngine& engine, const traj::Trajectory& query,
+    core::Matcher matcher, const core::QueryOptions* qopts) const {
+  if (!engine.options().evaluate_non_overlapping) {
+    return Status::FailedPrecondition(
+        "store snapshot queries require evaluate_non_overlapping (the "
+        "multi-segment fan-out would diverge from a merged database "
+        "otherwise)");
+  }
+  if (empty()) {
+    // Match the engine's wording for an empty merged database.
+    return Status::InvalidArgument("candidate database is empty");
+  }
+
+  // SoA copy of the query, built once and shared by every segment
+  // sub-query (segments score zero-copy off their mmap'd columns).
+  traj::TrajectoryDatabase qwrap;
+  (void)qwrap.Add(query);
+  traj::FlatDatabase qflat = traj::FlatDatabase::FromDatabase(qwrap);
+  traj::FlatTrajectoryView qview = qflat[0];
+
+  core::QueryResult out;
+  const size_t nseg = segments_.size();
+  for (size_t s = 0; s < plans_.size() && !out.truncated; ++s) {
+    for (const Run& run : plans_[s]) {
+      if (run.indices.empty()) continue;
+      Result<core::QueryResult> r = [&]() {
+        if (run.overlay) {
+          return qopts != nullptr
+                     ? engine.QueryWithCandidates(query, overlay_db_,
+                                                  run.indices, matcher, *qopts)
+                     : engine.QueryWithCandidates(query, overlay_db_,
+                                                  run.indices, matcher);
+        }
+        if (s < nseg) {
+          return qopts != nullptr
+                     ? engine.QueryWithCandidates(qview, *segments_[s],
+                                                  run.indices, matcher, *qopts)
+                     : engine.QueryWithCandidates(qview, *segments_[s],
+                                                  run.indices, matcher);
+        }
+        return qopts != nullptr
+                   ? engine.QueryWithCandidates(query, memtable_db_,
+                                                run.indices, matcher, *qopts)
+                   : engine.QueryWithCandidates(query, memtable_db_,
+                                                run.indices, matcher);
+      }();
+      if (!r.ok()) return r.status();
+      core::QueryResult sub = std::move(r).value();
+      for (core::MatchCandidate& c : sub.candidates) {
+        c.index = run.overlay ? overlay_global_[c.index]
+                              : global_of_[s][c.index];
+        out.candidates.push_back(std::move(c));
+      }
+      out.evaluated += sub.evaluated;
+      if (sub.truncated) {
+        out.truncated = true;
+        out.status = sub.status;
+        break;
+      }
+    }
+  }
+  // Each sub-result is already stable-sorted by score with candidates
+  // collected in canonical order, so one more pass of the engine's
+  // exact comparator reproduces the merged-database sort byte-for-byte
+  // (ties keep canonical order).
+  std::stable_sort(out.candidates.begin(), out.candidates.end(),
+                   [](const core::MatchCandidate& a,
+                      const core::MatchCandidate& b) {
+                     return a.score > b.score;
+                   });
+  out.selectiveness = static_cast<double>(out.candidates.size()) /
+                      static_cast<double>(size());
+  return out;
+}
+
+Result<core::QueryResult> StoreSnapshot::Rank(
+    const core::FtlEngine& engine, const traj::Trajectory& query,
+    const std::vector<std::string>& candidates, core::Matcher matcher) const {
+  if (candidates.empty()) {
+    return Status::InvalidArgument("no candidates to rank");
+  }
+  // Materialize the named candidates once into a scratch database and
+  // rank there; scoring depends only on the record data, so the result
+  // needs just an index remap to match the canonical database.
+  traj::TrajectoryDatabase scratch;
+  std::vector<size_t> scratch_global;   // scratch idx -> global
+  std::vector<size_t> indices;          // request order, scratch indices
+  indices.reserve(candidates.size());
+  for (const std::string& label : candidates) {
+    size_t g = Find(label);
+    if (g == npos) {
+      return Status::NotFound("candidate label '" + label + "' not in Q");
+    }
+    size_t si = scratch.Find(label);
+    if (si == traj::TrajectoryDatabase::npos) {
+      si = scratch.size();
+      FTL_RETURN_NOT_OK(scratch.Add(Materialize(g)));
+      scratch_global.push_back(g);
+    }
+    indices.push_back(si);
+  }
+  auto r = engine.QueryWithCandidates(query, scratch, indices, matcher);
+  if (!r.ok()) return r.status();
+  core::QueryResult result = std::move(r).value();
+  for (core::MatchCandidate& c : result.candidates) {
+    c.index = scratch_global[c.index];
+  }
+  result.selectiveness = static_cast<double>(result.candidates.size()) /
+                         static_cast<double>(size());
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Store
+
+Store::Store(std::string dir, StoreOptions options)
+    : dir_(std::move(dir)), options_(options) {}
+
+std::unique_ptr<Store> Store::Create(std::string dir, StoreOptions options) {
+  return std::unique_ptr<Store>(new Store(std::move(dir), options));
+}
+
+Result<std::unique_ptr<Store>> Store::Open(const std::string& dir,
+                                           const StoreOptions& options,
+                                           RecoveryInfo* info) {
+  std::unique_ptr<Store> store = Create(dir, options);
+  FTL_RETURN_NOT_OK(store->Recover(info));
+  return store;
+}
+
+Status Store::Recover(RecoveryInfo* info) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return RecoverLocked(info);
+}
+
+Status Store::RecoverLocked(RecoveryInfo* info) {
+  if (recovered_) return Status::FailedPrecondition("store already recovered");
+  Stopwatch sw;
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec) {
+    return Status::IOError("create store dir " + dir_ + ": " + ec.message());
+  }
+
+  auto mr = ReadManifest(dir_);
+  if (mr.ok()) {
+    manifest_ = std::move(mr).value();
+  } else if (mr.status().code() == StatusCode::kNotFound) {
+    // Fresh store: install generation 0 with an empty segment list so
+    // the directory is always manifest-rooted from the first open.
+    manifest_ = Manifest{0, {}, WalFileName(0)};
+    FTL_RETURN_NOT_OK(WriteManifest(dir_, manifest_));
+  } else {
+    return mr.status();
+  }
+
+  segments_.clear();
+  for (const std::string& seg : manifest_.segments) {
+    auto r = io::ReadFtb(dir_ + "/" + seg);
+    if (!r.ok()) {
+      return Status::IOError("segment " + seg + ": " +
+                             r.status().ToString());
+    }
+    segments_.push_back(
+        std::make_shared<traj::FlatDatabase>(std::move(r).value()));
+  }
+
+  // WAL replay: repair the torn tail in place, then apply every
+  // surviving batch to the memtable — rebuilding exactly the mutable
+  // state the pre-crash process had at its last complete frame.
+  memtable_.Clear();
+  WalReplayStats stats;
+  const std::string wal_path = dir_ + "/" + manifest_.wal;
+  uint64_t replayed_batches = 0;
+  uint64_t replayed_records = 0;
+  Status rst = ReplayWal(
+      wal_path,
+      [&](uint64_t seqno, std::string_view payload) -> Status {
+        auto batch = DecodeBatch(payload);
+        if (!batch.ok()) {
+          return Status::IOError("WAL frame " + std::to_string(seqno) +
+                                 " undecodable: " + batch.status().message());
+        }
+        replayed_records += batch.value().rows.size();
+        ++replayed_batches;
+        memtable_.Apply(batch.value());
+        return Status::OK();
+      },
+      &stats);
+  if (!rst.ok()) return rst;
+
+  WalWriterOptions wopts;
+  wopts.sync = options_.wal_sync;
+  wopts.sync_interval_ms = options_.wal_sync_interval_ms;
+  auto w = WalWriter::Open(wal_path, wopts, stats.last_seqno + 1);
+  if (!w.ok()) return w.status();
+  wal_ = std::move(w).value();
+
+  // Orphan cleanup: an interrupted flush can leave a segment or WAL
+  // file that never made it into the manifest; recovery removes them
+  // so the directory always equals the manifest's view.
+  uint64_t orphans = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (!IsStoreFileName(name)) continue;
+    bool live = name == manifest_.wal;
+    for (const std::string& seg : manifest_.segments) {
+      live = live || name == seg;
+    }
+    if (live) continue;
+    std::error_code rec;
+    if (std::filesystem::remove(entry.path(), rec)) ++orphans;
+  }
+
+  recovered_ = true;
+  version_ = 1;
+
+  StoreMetrics& m = Metrics();
+  m.replay_batches->Add(static_cast<int64_t>(replayed_batches));
+  m.replay_records->Add(static_cast<int64_t>(replayed_records));
+  m.wal_torn_bytes->Add(static_cast<int64_t>(stats.torn_bytes_dropped));
+  m.segments_live->Set(static_cast<int64_t>(segments_.size()));
+  m.memtable_records->Set(static_cast<int64_t>(memtable_.num_records()));
+  m.generation->Set(static_cast<int64_t>(manifest_.generation));
+
+  if (info != nullptr) {
+    info->generation = manifest_.generation;
+    info->segments = segments_.size();
+    info->replayed_batches = replayed_batches;
+    info->replayed_records = replayed_records;
+    info->torn_bytes_dropped = stats.torn_bytes_dropped;
+    info->orphans_removed = orphans;
+    info->seconds = sw.ElapsedSeconds();
+  }
+  return Status::OK();
+}
+
+Status Store::Append(const IngestBatch& batch) {
+  if (batch.rows.empty()) {
+    return Status::InvalidArgument("empty ingest batch");
+  }
+  for (const IngestRow& row : batch.rows) {
+    if (row.label.empty()) {
+      return Status::InvalidArgument("ingest row with empty label");
+    }
+    if (row.label.size() > 65536) {
+      return Status::InvalidArgument("ingest label longer than 65536 bytes");
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!recovered_) return Status::FailedPrecondition("store not recovered");
+  if (broken_) {
+    return Status::FailedPrecondition(
+        "store is broken after a failed flush commit; reopen to recover");
+  }
+
+  const size_t cap = static_cast<size_t>(
+      static_cast<double>(options_.flush_threshold_records) *
+      options_.backpressure_factor);
+  bool flush_due =
+      memtable_.num_records() >= options_.flush_threshold_records ||
+      (options_.flush_max_age_seconds > 0 && !memtable_.empty() &&
+       memtable_.age_seconds() >= options_.flush_max_age_seconds);
+  if (flush_due) {
+    Status fst = FlushLocked();
+    if (!fst.ok() && memtable_.num_records() >= cap) {
+      // Admission control: flushes are failing and the memtable is at
+      // the cap — shed load with a retryable rejection instead of
+      // growing without bound.
+      return Status::OutOfRange("store backpressure: memtable at " +
+                                std::to_string(memtable_.num_records()) +
+                                " records with flush failing: " +
+                                fst.message());
+    }
+    if (broken_) {
+      return Status::FailedPrecondition(
+          "store is broken after a failed flush commit; reopen to recover");
+    }
+  }
+
+  const uint64_t before = wal_.bytes();
+  Status st = wal_.Append(EncodeBatch(batch));
+  StoreMetrics& m = Metrics();
+  if (!st.ok()) {
+    // Not acked, not visible — but the frame may be partially on disk,
+    // and replay truncates at the first invalid frame, which would
+    // strand any *later* acked frames behind the tear. Repair in place
+    // by cutting the file back to the pre-append length; if even that
+    // fails the WAL can no longer be trusted for further appends.
+    if (wal_.bytes() > before) {
+      m.wal_torn_bytes->Add(static_cast<int64_t>(wal_.bytes() - before));
+      Status trunc = wal_.TruncateTo(before);
+      if (!trunc.ok()) {
+        broken_ = true;
+        return Status::Internal("WAL append failed (" + st.message() +
+                                ") and torn-tail repair failed: " +
+                                trunc.message());
+      }
+    }
+    return st;
+  }
+  m.wal_bytes->Add(static_cast<int64_t>(wal_.bytes() - before));
+  memtable_.Apply(batch);
+  ++version_;
+  m.wal_appends->Add(1);
+  m.ingest_records->Add(static_cast<int64_t>(batch.rows.size()));
+  m.memtable_records->Set(static_cast<int64_t>(memtable_.num_records()));
+  return Status::OK();
+}
+
+Status Store::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!recovered_) return Status::FailedPrecondition("store not recovered");
+  if (broken_) {
+    return Status::FailedPrecondition(
+        "store is broken after a failed flush commit; reopen to recover");
+  }
+  return FlushLocked();
+}
+
+Status Store::FlushLocked() {
+  if (memtable_.empty()) return Status::OK();
+  FTL_FAILPOINT("store.flush.segment");
+  Stopwatch sw;
+  const uint64_t gen = manifest_.generation + 1;
+  const std::string seg_name = SegmentFileName(gen);
+  const std::string seg_path = dir_ + "/" + seg_name;
+
+  traj::FlatDatabase flat =
+      traj::FlatDatabase::FromDatabase(memtable_.ToDatabase(seg_name));
+  Status wst = io::WriteFtb(flat, seg_path);
+  if (!wst.ok()) {
+    std::error_code ec;
+    std::filesystem::remove(seg_path, ec);
+    return wst;
+  }
+  FTL_RETURN_NOT_OK(io::SyncFile(seg_path));
+  // Validate the segment end-to-end (CRCs, invariants) *before* the
+  // manifest names it: a bad segment must never become live.
+  auto reread = io::ReadFtb(seg_path);
+  if (!reread.ok()) {
+    std::error_code ec;
+    std::filesystem::remove(seg_path, ec);
+    return Status::IOError("flush validation failed for " + seg_name + ": " +
+                           reread.status().ToString());
+  }
+
+  Manifest next;
+  next.generation = gen;
+  next.segments = manifest_.segments;
+  next.segments.push_back(seg_name);
+  next.wal = WalFileName(gen);
+  Status mst = WriteManifest(dir_, next);
+  if (!mst.ok()) {
+    std::error_code ec;
+    std::filesystem::remove(seg_path, ec);
+    return mst;
+  }
+
+  // The swap is the commit point: the new manifest is durable. Any
+  // in-memory failure past here leaves disk ahead of memory, so the
+  // store marks itself broken rather than risk appending to a WAL the
+  // manifest no longer references.
+  WalWriterOptions wopts;
+  wopts.sync = options_.wal_sync;
+  wopts.sync_interval_ms = options_.wal_sync_interval_ms;
+  auto w = WalWriter::Open(dir_ + "/" + next.wal, wopts, 1);
+  if (!w.ok()) {
+    broken_ = true;
+    return Status::Internal("flush committed but new WAL failed to open (" +
+                            w.status().message() + "); reopen the store");
+  }
+  const std::string old_wal_path = dir_ + "/" + manifest_.wal;
+  wal_.Close();
+  wal_ = std::move(w).value();
+  segments_.push_back(
+      std::make_shared<traj::FlatDatabase>(std::move(reread).value()));
+  memtable_.Clear();
+  manifest_ = std::move(next);
+  ++version_;
+  {
+    std::error_code ec;
+    std::filesystem::remove(old_wal_path, ec);
+  }
+
+  StoreMetrics& m = Metrics();
+  m.flushes->Add(1);
+  m.flush_latency_us->Record(
+      static_cast<int64_t>(sw.ElapsedSeconds() * 1e6));
+  m.segments_live->Set(static_cast<int64_t>(segments_.size()));
+  m.memtable_records->Set(0);
+  m.generation->Set(static_cast<int64_t>(manifest_.generation));
+  return Status::OK();
+}
+
+std::shared_ptr<const StoreSnapshot> Store::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (snapshot_ == nullptr || snapshot_version_ != version_) {
+    snapshot_ = StoreSnapshot::Build(segments_, memtable_,
+                                     manifest_.generation, version_);
+    snapshot_version_ = version_;
+  }
+  return snapshot_;
+}
+
+traj::TrajectoryDatabase Store::MaterializeAll(const std::string& name) const {
+  return Snapshot()->MaterializeAll(name);
+}
+
+bool Store::recovered() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recovered_;
+}
+
+bool Store::broken() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return broken_;
+}
+
+uint64_t Store::generation() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return manifest_.generation;
+}
+
+size_t Store::num_segments() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return segments_.size();
+}
+
+size_t Store::memtable_records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return memtable_.num_records();
+}
+
+size_t Store::total_records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = memtable_.num_records();
+  for (const auto& seg : segments_) n += seg->TotalRecords();
+  return n;
+}
+
+uint64_t Store::wal_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return wal_.bytes();
+}
+
+}  // namespace ftl::store

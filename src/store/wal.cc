@@ -1,0 +1,375 @@
+#include "store/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <bit>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "io/file_util.h"
+#include "io/ftb.h"
+#include "util/failpoint.h"
+
+namespace ftl::store {
+
+namespace {
+
+constexpr size_t kFrameHeaderBytes = 16;  // len(4) + crc(4) + seqno(8)
+
+/// Sanity cap on one frame's payload; anything larger is treated as a
+/// torn/corrupt length field rather than an allocation request.
+constexpr uint32_t kMaxPayloadBytes = 1u << 30;
+
+/// Per-row label length cap in the batch encoding.
+constexpr uint32_t kMaxLabelBytes = 1u << 16;
+
+void PutU32(std::string* out, uint32_t v) {
+  char b[4];
+  b[0] = static_cast<char>(v & 0xff);
+  b[1] = static_cast<char>((v >> 8) & 0xff);
+  b[2] = static_cast<char>((v >> 16) & 0xff);
+  b[3] = static_cast<char>((v >> 24) & 0xff);
+  out->append(b, 4);
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  PutU32(out, static_cast<uint32_t>(v & 0xffffffffu));
+  PutU32(out, static_cast<uint32_t>(v >> 32));
+}
+
+uint32_t GetU32(const char* p) {
+  return static_cast<uint32_t>(static_cast<unsigned char>(p[0])) |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[1])) << 8 |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[2])) << 16 |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[3])) << 24;
+}
+
+uint64_t GetU64(const char* p) {
+  return static_cast<uint64_t>(GetU32(p)) |
+         static_cast<uint64_t>(GetU32(p + 4)) << 32;
+}
+
+int64_t NowSteadyMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// CRC over seqno (little-endian) || payload, via the FTB slicing-by-8
+/// kernel.
+uint32_t FrameCrc(uint64_t seqno, std::string_view payload) {
+  std::string head;
+  head.reserve(8 + payload.size());
+  PutU64(&head, seqno);
+  head.append(payload.data(), payload.size());
+  return io::Crc32(head.data(), head.size());
+}
+
+/// Parses one frame at data[pos...]. Returns false when the bytes from
+/// `pos` do not form a whole valid frame (torn tail).
+bool ParseFrame(std::string_view data, size_t pos, uint64_t* seqno,
+                std::string_view* payload, size_t* frame_bytes) {
+  if (data.size() - pos < kFrameHeaderBytes) return false;
+  const char* p = data.data() + pos;
+  uint32_t len = GetU32(p);
+  if (len > kMaxPayloadBytes) return false;
+  uint32_t crc = GetU32(p + 4);
+  uint64_t sq = GetU64(p + 8);
+  if (data.size() - pos - kFrameHeaderBytes < len) return false;
+  std::string_view body(p + kFrameHeaderBytes, len);
+  if (FrameCrc(sq, body) != crc) return false;
+  *seqno = sq;
+  *payload = body;
+  *frame_bytes = kFrameHeaderBytes + len;
+  return true;
+}
+
+}  // namespace
+
+std::string EncodeBatch(const IngestBatch& batch) {
+  std::string out;
+  PutU32(&out, static_cast<uint32_t>(batch.rows.size()));
+  for (const IngestRow& r : batch.rows) {
+    PutU32(&out, static_cast<uint32_t>(r.label.size()));
+    out.append(r.label);
+    PutU64(&out, static_cast<uint64_t>(r.owner));
+    PutU64(&out, static_cast<uint64_t>(r.t));
+    PutU64(&out, std::bit_cast<uint64_t>(r.x));
+    PutU64(&out, std::bit_cast<uint64_t>(r.y));
+  }
+  return out;
+}
+
+Result<IngestBatch> DecodeBatch(std::string_view payload) {
+  size_t pos = 0;
+  auto need = [&](size_t n) { return payload.size() - pos >= n; };
+  if (!need(4)) return Status::InvalidArgument("batch: truncated row count");
+  uint32_t nrows = GetU32(payload.data() + pos);
+  pos += 4;
+  // Each row is at least 36 bytes (empty label); reject impossible
+  // counts before reserving anything.
+  if (static_cast<uint64_t>(nrows) * 36 > payload.size() - pos) {
+    return Status::InvalidArgument("batch: row count " +
+                                   std::to_string(nrows) +
+                                   " exceeds payload size");
+  }
+  IngestBatch batch;
+  batch.rows.reserve(nrows);
+  for (uint32_t i = 0; i < nrows; ++i) {
+    if (!need(4)) return Status::InvalidArgument("batch: truncated label len");
+    uint32_t label_len = GetU32(payload.data() + pos);
+    pos += 4;
+    if (label_len > kMaxLabelBytes) {
+      return Status::InvalidArgument("batch: label length " +
+                                     std::to_string(label_len) +
+                                     " exceeds limit");
+    }
+    if (!need(static_cast<size_t>(label_len) + 32)) {
+      return Status::InvalidArgument("batch: truncated row body");
+    }
+    IngestRow row;
+    row.label.assign(payload.data() + pos, label_len);
+    pos += label_len;
+    row.owner = static_cast<traj::OwnerId>(GetU64(payload.data() + pos));
+    pos += 8;
+    row.t = static_cast<traj::Timestamp>(GetU64(payload.data() + pos));
+    pos += 8;
+    row.x = std::bit_cast<double>(GetU64(payload.data() + pos));
+    pos += 8;
+    row.y = std::bit_cast<double>(GetU64(payload.data() + pos));
+    pos += 8;
+    batch.rows.push_back(std::move(row));
+  }
+  if (pos != payload.size()) {
+    return Status::InvalidArgument("batch: " +
+                                   std::to_string(payload.size() - pos) +
+                                   " trailing bytes");
+  }
+  return batch;
+}
+
+Result<WalSync> ParseWalSync(std::string_view s) {
+  if (s == "always") return WalSync::kAlways;
+  if (s == "interval") return WalSync::kInterval;
+  if (s == "never") return WalSync::kNever;
+  return Status::InvalidArgument("bad --wal-sync '" + std::string(s) +
+                                 "' (expected always|interval|never)");
+}
+
+const char* WalSyncName(WalSync s) {
+  switch (s) {
+    case WalSync::kAlways: return "always";
+    case WalSync::kInterval: return "interval";
+    case WalSync::kNever: return "never";
+  }
+  return "?";
+}
+
+WalWriter::~WalWriter() { Close(); }
+
+WalWriter::WalWriter(WalWriter&& other) noexcept { *this = std::move(other); }
+
+WalWriter& WalWriter::operator=(WalWriter&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    path_ = std::move(other.path_);
+    options_ = other.options_;
+    next_seqno_ = other.next_seqno_;
+    bytes_ = other.bytes_;
+    syncs_ = other.syncs_;
+    last_sync_ms_ = other.last_sync_ms_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Result<WalWriter> WalWriter::Open(const std::string& path,
+                                  const WalWriterOptions& options,
+                                  uint64_t next_seqno) {
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC,
+                  0644);
+  if (fd < 0) {
+    return Status::IOError("open WAL " + path + ": " + std::strerror(errno));
+  }
+  off_t size = ::lseek(fd, 0, SEEK_END);
+  if (size < 0) {
+    int saved = errno;
+    ::close(fd);
+    return Status::IOError("lseek WAL " + path + ": " +
+                           std::strerror(saved));
+  }
+  WalWriter w;
+  w.fd_ = fd;
+  w.path_ = path;
+  w.options_ = options;
+  w.next_seqno_ = next_seqno;
+  w.bytes_ = static_cast<uint64_t>(size);
+  w.last_sync_ms_ = NowSteadyMs();
+  return w;
+}
+
+Status WalWriter::Append(std::string_view payload) {
+  if (fd_ < 0) return Status::FailedPrecondition("WAL is closed");
+  if (payload.size() > kMaxPayloadBytes) {
+    return Status::InvalidArgument("WAL payload too large: " +
+                                   std::to_string(payload.size()) + " bytes");
+  }
+  std::string frame;
+  frame.reserve(kFrameHeaderBytes + payload.size());
+  PutU32(&frame, static_cast<uint32_t>(payload.size()));
+  PutU32(&frame, FrameCrc(next_seqno_, payload));
+  PutU64(&frame, next_seqno_);
+  frame.append(payload.data(), payload.size());
+
+  size_t keep = frame.size();
+  if (failpoint::AnyArmed()) {
+    failpoint::Hit hit = failpoint::CheckIo("store.wal.append");
+    if (!hit.status.ok()) return hit.status;
+    if (hit.partial_write) {
+      // arg == 0 tears mid-frame (half the bytes): the canonical
+      // crash-during-append shape recovery must truncate away.
+      size_t budget =
+          hit.arg > 0 ? static_cast<size_t>(hit.arg) : frame.size() / 2;
+      keep = std::min(keep, budget);
+    }
+  }
+  size_t off = 0;
+  while (off < keep) {
+    ssize_t n = ::write(fd_, frame.data() + off, keep - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("WAL append " + path_ + ": " +
+                             std::strerror(errno));
+    }
+    off += static_cast<size_t>(n);
+  }
+  bytes_ += off;
+  if (keep < frame.size()) {
+    return Status::IOError(
+        "failpoint 'store.wal.append': partial write (" +
+        std::to_string(keep) + " of " + std::to_string(frame.size()) +
+        " bytes) to " + path_);
+  }
+  ++next_seqno_;
+  switch (options_.sync) {
+    case WalSync::kAlways:
+      return Sync();
+    case WalSync::kInterval: {
+      int64_t now = NowSteadyMs();
+      if (now - last_sync_ms_ >= options_.sync_interval_ms) return Sync();
+      return Status::OK();
+    }
+    case WalSync::kNever:
+      return Status::OK();
+  }
+  return Status::OK();
+}
+
+Status WalWriter::Sync() {
+  if (fd_ < 0) return Status::FailedPrecondition("WAL is closed");
+  FTL_FAILPOINT("store.wal.sync");
+  if (::fsync(fd_) != 0) {
+    return Status::IOError("WAL fsync " + path_ + ": " +
+                           std::strerror(errno));
+  }
+  ++syncs_;
+  last_sync_ms_ = NowSteadyMs();
+  return Status::OK();
+}
+
+Status WalWriter::TruncateTo(uint64_t target_bytes) {
+  if (fd_ < 0) return Status::FailedPrecondition("WAL is closed");
+  if (target_bytes > bytes_) {
+    return Status::InvalidArgument("WAL truncate target " +
+                                   std::to_string(target_bytes) +
+                                   " past end " + std::to_string(bytes_));
+  }
+  if (::ftruncate(fd_, static_cast<off_t>(target_bytes)) != 0) {
+    return Status::IOError("WAL truncate " + path_ + ": " +
+                           std::strerror(errno));
+  }
+  bytes_ = target_bytes;
+  return Status::OK();
+}
+
+void WalWriter::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+size_t WalValidPrefix(std::string_view data) {
+  size_t pos = 0;
+  uint64_t prev_seqno = 0;
+  while (pos < data.size()) {
+    uint64_t seqno = 0;
+    std::string_view payload;
+    size_t frame_bytes = 0;
+    if (!ParseFrame(data, pos, &seqno, &payload, &frame_bytes)) break;
+    if (prev_seqno != 0 && seqno <= prev_seqno) break;
+    prev_seqno = seqno;
+    pos += frame_bytes;
+  }
+  return pos;
+}
+
+Status ScanWal(std::string_view data,
+               const std::function<Status(uint64_t, std::string_view)>& fn,
+               WalReplayStats* stats) {
+  size_t pos = 0;
+  uint64_t prev_seqno = 0;
+  while (pos < data.size()) {
+    uint64_t seqno = 0;
+    std::string_view payload;
+    size_t frame_bytes = 0;
+    if (!ParseFrame(data, pos, &seqno, &payload, &frame_bytes)) break;
+    if (prev_seqno != 0 && seqno <= prev_seqno) break;
+    prev_seqno = seqno;
+    FTL_RETURN_NOT_OK(fn(seqno, payload));
+    pos += frame_bytes;
+    if (stats != nullptr) {
+      ++stats->frames;
+      stats->bytes += frame_bytes;
+      stats->last_seqno = seqno;
+    }
+  }
+  if (stats != nullptr) {
+    stats->torn_bytes_dropped += data.size() - pos;
+  }
+  return Status::OK();
+}
+
+Status ReplayWal(const std::string& path,
+                 const std::function<Status(uint64_t, std::string_view)>& fn,
+                 WalReplayStats* stats) {
+  std::error_code ec;
+  if (!std::filesystem::exists(path, ec)) return Status::OK();
+  // Repair first: physically truncate a torn tail so the file on disk
+  // is clean before any frame is applied — the recovered file is then
+  // byte-identical to one that never crashed mid-append.
+  auto dropped = io::TruncateToLastValidRecord(path, WalValidPrefix);
+  if (!dropped.ok()) return dropped.status();
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return Status::IOError("cannot open WAL for replay: " + path);
+  std::stringstream buf;
+  buf << f.rdbuf();
+  if (f.bad()) return Status::IOError("WAL read failed: " + path);
+  const std::string data = buf.str();
+  if (stats != nullptr) stats->torn_bytes_dropped += dropped.value();
+  return ScanWal(
+      data,
+      [&](uint64_t seqno, std::string_view payload) -> Status {
+        FTL_FAILPOINT("store.recovery.replay");
+        return fn(seqno, payload);
+      },
+      stats);
+}
+
+}  // namespace ftl::store

@@ -1,0 +1,169 @@
+#ifndef FTL_STORE_WAL_H_
+#define FTL_STORE_WAL_H_
+
+/// \file wal.h
+/// The store's write-ahead log: an append-only file of CRC-framed
+/// ingest batches, the durability root of the LSM-flavored store
+/// (DESIGN.md §12).
+///
+/// Frame layout (little-endian, 16-byte header):
+///
+///   u32 payload_len | u32 crc32(seqno || payload) | u64 seqno | payload
+///
+/// The CRC covers the sequence number and the payload, so a frame torn
+/// anywhere — header, seqno, or payload — fails validation. Sequence
+/// numbers are strictly increasing within one WAL file; replay treats
+/// the first invalid or out-of-order frame as the torn tail and
+/// truncates the file there via io::TruncateToLastValidRecord, so a
+/// crash mid-append can only drop the batches past the last complete
+/// frame (no partial-record ghosts).
+///
+/// The payload is an encoded IngestBatch: the unit of atomicity for
+/// ingest. A batch is either fully replayed or fully dropped.
+///
+/// Failpoint sites: "store.wal.append" (frame write; supports
+/// `partial` to tear the frame), "store.wal.sync" (fsync barrier),
+/// "store.recovery.replay" (per replayed frame).
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "traj/record.h"
+#include "traj/trajectory.h"
+#include "util/status.h"
+
+namespace ftl::store {
+
+/// One ingested observation row, the wire unit of POST /v1/ingest and
+/// `ftl ingest`.
+struct IngestRow {
+  std::string label;                          ///< trajectory label
+  traj::OwnerId owner = traj::kUnknownOwner;  ///< ground-truth owner
+  traj::Timestamp t = 0;                      ///< observation time
+  double x = 0.0;                             ///< projected x, meters
+  double y = 0.0;                             ///< projected y, meters
+};
+
+/// The WAL payload unit and the store's atomic write unit: all rows of
+/// a batch become visible (and durable) together.
+struct IngestBatch {
+  std::vector<IngestRow> rows;
+};
+
+/// Serializes a batch into the WAL payload encoding:
+///   u32 nrows; per row: u32 label_len, label bytes, u64 owner,
+///   i64 t, f64 x, f64 y.
+std::string EncodeBatch(const IngestBatch& batch);
+
+/// Parses a WAL payload. Defensive against arbitrary bytes (the WAL
+/// frame CRC normally guarantees integrity, but the decoder is also a
+/// fuzz target): any bounds or length violation is InvalidArgument,
+/// never UB.
+Result<IngestBatch> DecodeBatch(std::string_view payload);
+
+/// WAL fsync policy (`--wal-sync`): the durability / throughput dial.
+enum class WalSync {
+  kAlways,    ///< fsync after every append; an acked append survives any crash
+  kInterval,  ///< fsync at most every sync_interval_ms; bounded loss window
+  kNever,     ///< never fsync; crash durability = whatever the OS flushed
+};
+
+/// Parses "always" | "interval" | "never".
+Result<WalSync> ParseWalSync(std::string_view s);
+const char* WalSyncName(WalSync s);
+
+struct WalWriterOptions {
+  WalSync sync = WalSync::kInterval;
+  int64_t sync_interval_ms = 50;
+};
+
+/// Appends CRC-framed payloads to one WAL file. Not thread-safe: the
+/// owning Store serializes all writes under its mutex.
+class WalWriter {
+ public:
+  WalWriter() = default;
+  ~WalWriter();
+
+  WalWriter(WalWriter&& other) noexcept;
+  WalWriter& operator=(WalWriter&& other) noexcept;
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Opens (creating if absent) `path` for appending. `next_seqno` is
+  /// the sequence number of the next frame (recovery passes
+  /// last_replayed + 1; a fresh WAL starts at 1).
+  static Result<WalWriter> Open(const std::string& path,
+                                const WalWriterOptions& options,
+                                uint64_t next_seqno);
+
+  /// Frames and appends one payload, then applies the sync policy.
+  /// On error nothing is acked: the frame may still be partially on
+  /// disk (a torn tail), which replay truncates.
+  Status Append(std::string_view payload);
+
+  /// Explicit fsync barrier (failpoint "store.wal.sync").
+  Status Sync();
+
+  /// Cuts the file back to `target_bytes` — the in-place repair after a
+  /// torn append, so later frames land on a valid prefix instead of
+  /// behind unreadable garbage. `target_bytes` must not exceed bytes().
+  Status TruncateTo(uint64_t target_bytes);
+
+  /// Closes the descriptor; further Appends fail. Idempotent.
+  void Close();
+
+  bool is_open() const { return fd_ >= 0; }
+  const std::string& path() const { return path_; }
+  uint64_t next_seqno() const { return next_seqno_; }
+
+  /// Bytes in the file (pre-existing + appended here).
+  uint64_t bytes() const { return bytes_; }
+
+  /// Successful fsync barriers issued by this writer.
+  uint64_t syncs() const { return syncs_; }
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+  WalWriterOptions options_;
+  uint64_t next_seqno_ = 1;
+  uint64_t bytes_ = 0;
+  uint64_t syncs_ = 0;
+  int64_t last_sync_ms_ = 0;  ///< steady-clock ms of the last fsync
+};
+
+/// Replay statistics, surfaced through RecoveryInfo and the
+/// ftl_store_replay_* metrics.
+struct WalReplayStats {
+  uint64_t frames = 0;              ///< valid frames visited
+  uint64_t bytes = 0;               ///< bytes of valid frames
+  uint64_t torn_bytes_dropped = 0;  ///< torn-tail bytes truncated away
+  uint64_t last_seqno = 0;          ///< seqno of the last valid frame
+};
+
+/// Length in bytes of the longest prefix of `data` consisting of whole
+/// valid frames with strictly increasing sequence numbers — the WAL's
+/// io::ValidPrefixFn rule.
+size_t WalValidPrefix(std::string_view data);
+
+/// Scans an in-memory WAL image, invoking `fn(seqno, payload)` for
+/// every valid frame; stops at the first invalid frame (torn tail). A
+/// non-OK visitor status aborts and propagates.
+Status ScanWal(std::string_view data,
+               const std::function<Status(uint64_t, std::string_view)>& fn,
+               WalReplayStats* stats);
+
+/// Replays the WAL at `path`: repairs a torn tail in place (truncating
+/// the file to its valid prefix), then visits every frame. A missing
+/// file is OK (empty WAL). Each visited frame evaluates failpoint
+/// "store.recovery.replay" first.
+Status ReplayWal(const std::string& path,
+                 const std::function<Status(uint64_t, std::string_view)>& fn,
+                 WalReplayStats* stats);
+
+}  // namespace ftl::store
+
+#endif  // FTL_STORE_WAL_H_

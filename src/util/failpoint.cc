@@ -28,6 +28,11 @@ constexpr const char* kCatalog[] = {
     "io.write_ftb",          // io::WriteFtb payload write
     "core.train",            // FtlEngine::Train entry
     "core.query.candidate",  // FtlEngine::QueryImpl, per candidate
+    "store.wal.append",      // store::WalWriter::Append frame write
+    "store.wal.sync",        // store::WalWriter::Sync fsync barrier
+    "store.flush.segment",   // store::Store flush, before segment write
+    "store.manifest.swap",   // store::WriteManifest temp-file write
+    "store.recovery.replay", // store::ReplayWal, per recovered frame
 };
 
 struct Registry {

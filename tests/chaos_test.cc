@@ -128,6 +128,44 @@ PipelineOutcome RunPipeline(const sim::PopulationData& data) {
   if (!flat_single.ok()) return Fail("flat_query", flat_single.status());
   add(flat_single.value());
 
+  // Store leg: the store.* failpoint sites live off the query path, so
+  // walk them explicitly — create/recover, append (wal.append +
+  // wal.sync under kAlways), flush (flush.segment + manifest.swap),
+  // append again so the live WAL has a frame, then reopen: the second
+  // Recover replays that frame (recovery.replay). The materialized
+  // totals join the fingerprint.
+  std::string store_dir = TempPath("ftl_chaos_store");
+  std::error_code ec;
+  std::filesystem::remove_all(store_dir, ec);
+  store::StoreOptions so;
+  so.wal_sync = store::WalSync::kAlways;
+  so.flush_threshold_records = 1 << 20;  // flush only when asked
+  {
+    auto s = store::Store::Create(store_dir, so);
+    st = s->Recover(nullptr);
+    if (!st.ok()) return Fail("store_recover", st);
+    store::IngestBatch flushed, live;
+    for (int i = 0; i < 4; ++i) {
+      flushed.rows.push_back({"chaos-" + std::to_string(i), 0,
+                              traj::Timestamp(100 + 10 * i), 1.0 * i, -1.0 * i});
+      live.rows.push_back({"chaos-" + std::to_string(i), 0,
+                           traj::Timestamp(500 + 10 * i), 2.0 * i, -2.0 * i});
+    }
+    st = s->Append(flushed);
+    if (!st.ok()) return Fail("store_append", st);
+    st = s->Flush();
+    if (!st.ok()) return Fail("store_flush", st);
+    st = s->Append(live);
+    if (!st.ok()) return Fail("store_append", st);
+  }
+  auto reopened = store::Store::Open(store_dir, so);
+  if (!reopened.ok()) return Fail("store_reopen", reopened.status());
+  traj::TrajectoryDatabase recovered =
+      reopened.value()->MaterializeAll("chaos");
+  fingerprint += "store:" + std::to_string(recovered.size()) + ":" +
+                 std::to_string(reopened.value()->total_records()) + ";\n";
+  std::filesystem::remove_all(store_dir, ec);
+
   for (const auto& f : {p_csv, q_csv, rej_path, acc_path, q_ftb}) {
     std::remove(f.c_str());
   }

@@ -1,0 +1,36 @@
+// libFuzzer harness for io::ParseJson, the parser behind every serve
+// request body (/v1/query, /v1/rank, /v1/ingest): arbitrary bytes must
+// produce a Status or a value — never a crash, hang, or OOB access.
+// See wal_fuzz.cc for how the harness is built and driven.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "io/json_parse.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  std::string in(reinterpret_cast<const char*>(data), size);
+  auto parsed = ftl::io::ParseJson(in);
+  if (parsed.ok()) {
+    // Walk the tree so lazily-materialized accessors run under the
+    // sanitizers too.
+    std::function<void(const ftl::io::JsonValue&)> walk =
+        [&](const ftl::io::JsonValue& v) {
+          if (v.is_number()) (void)v.AsDouble();
+          if (v.is_string()) (void)v.AsString();
+          if (v.is_array()) {
+            for (const auto& e : v.items()) walk(e);
+          }
+          if (v.is_object()) {
+            for (const auto& [k, e] : v.members()) {
+              (void)k;
+              walk(e);
+            }
+          }
+        };
+    walk(parsed.value());
+  }
+  return 0;
+}

@@ -1,0 +1,409 @@
+// Chaos harness for the crash-safe store (ISSUE 8 tentpole): sweeps
+// fault injection over every store failpoint site during ingest,
+// crash-drops the store without flushing, recovers, and asserts the
+// recovered state equals an oracle fed exactly the acknowledged
+// batches — then proves post-recovery query responses are
+// byte-identical to querying one merged database. The second half
+// exercises the full ingest-while-serving path: /readyz gating during
+// warm-up, concurrent POST /v1/ingest + /v1/query traffic, graceful
+// drain, and reopen.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ftl/ftl.h"
+#include "serve/http.h"
+#include "serve/server.h"
+
+namespace ftl {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  static const std::string suffix =
+      "." + std::to_string(static_cast<long long>(::getpid()));
+  return (std::filesystem::temp_directory_path() / (name + suffix)).string();
+}
+
+std::string FreshDir(const std::string& name) {
+  std::string dir = TempPath(name);
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+store::IngestBatch MakeBatch(const std::string& label, int64_t t0, size_t n) {
+  store::IngestBatch b;
+  for (size_t i = 0; i < n; ++i) {
+    store::IngestRow row;
+    row.label = label;
+    row.t = t0 + static_cast<int64_t>(i) * 30;
+    row.x = 7.0 * static_cast<double>(i) + 0.5;
+    row.y = -3.0 * static_cast<double>(i) + 0.25;
+    b.rows.push_back(std::move(row));
+  }
+  return b;
+}
+
+/// The recovery oracle: the canonical merged database is by definition
+/// what a never-flushed memtable fed the same batches would hold
+/// (first-appearance order, first non-unknown owner, time-sorted).
+traj::TrajectoryDatabase OracleDb(
+    const std::vector<store::IngestBatch>& batches) {
+  store::MutableSegment mt;
+  for (const auto& b : batches) mt.Apply(b);
+  return mt.ToDatabase("recovered");
+}
+
+void ExpectSameDatabase(const traj::TrajectoryDatabase& got,
+                        const traj::TrajectoryDatabase& want,
+                        const std::string& context) {
+  ASSERT_EQ(got.size(), want.size()) << context;
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].label(), want[i].label()) << context << " traj " << i;
+    EXPECT_EQ(got[i].owner(), want[i].owner()) << context << " traj " << i;
+    ASSERT_EQ(got[i].size(), want[i].size())
+        << context << " traj " << i << " (" << got[i].label() << ")";
+    for (size_t j = 0; j < got[i].size(); ++j) {
+      ASSERT_EQ(got[i].records()[j], want[i].records()[j])
+          << context << " traj " << i << " record " << j;
+    }
+  }
+}
+
+class StoreChaosTest : public ::testing::Test {
+ protected:
+  void SetUp() override { failpoint::DisarmAll(); }
+  void TearDown() override { failpoint::DisarmAll(); }
+};
+
+// --------------------------------------------------------------------------
+// Failpoint sweep: fault in the middle of an ingest stream, crash, recover.
+
+TEST_F(StoreChaosTest, FaultSweepRecoversExactlyTheAckedBatches) {
+  struct FaultCase {
+    const char* site;
+    failpoint::Action action;
+  };
+  const std::vector<FaultCase> cases = {
+      {"store.wal.append", failpoint::Action::kError},
+      {"store.wal.append", failpoint::Action::kPartialWrite},
+      {"store.wal.sync", failpoint::Action::kError},
+      {"store.flush.segment", failpoint::Action::kError},
+      {"store.manifest.swap", failpoint::Action::kError},
+      {"store.manifest.swap", failpoint::Action::kPartialWrite},
+  };
+
+  for (size_t ci = 0; ci < cases.size(); ++ci) {
+    const FaultCase& fc = cases[ci];
+    SCOPED_TRACE(std::string(fc.site) + "/" +
+                 (fc.action == failpoint::Action::kError ? "error"
+                                                         : "partial"));
+    std::string dir = FreshDir("chaos_sweep_" + std::to_string(ci));
+    store::StoreOptions so;
+    so.wal_sync = store::WalSync::kAlways;  // acked must survive any crash
+    so.flush_threshold_records = 6;
+    so.backpressure_factor = 4.0;
+    auto opened = store::Store::Open(dir, so);
+    ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+    std::unique_ptr<store::Store> s = std::move(opened).value();
+
+    std::vector<store::IngestBatch> acked;
+    for (int i = 0; i < 20; ++i) {
+      if (i == 8) failpoint::Arm(fc.site, {fc.action, 0});
+      if (i == 14) failpoint::DisarmAll();
+      store::IngestBatch b =
+          MakeBatch("obj-" + std::to_string(i % 7), i * 1000, 3);
+      Status st = s->Append(b);
+      if (st.ok()) {
+        acked.push_back(b);
+      } else if (s->broken()) {
+        break;  // refusal mode: nothing further can be acked
+      }
+    }
+    failpoint::DisarmAll();
+    EXPECT_GE(acked.size(), 8u);  // the pre-fault stream always lands
+
+    // Crash: drop the store with no flush, no clean shutdown.
+    s.reset();
+
+    store::RecoveryInfo info;
+    auto reopened = store::Store::Open(dir, so, &info);
+    ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+    ExpectSameDatabase(reopened.value()->MaterializeAll("recovered"),
+                       OracleDb(acked), "post-crash");
+  }
+}
+
+TEST_F(StoreChaosTest, ReplayFaultFailsRecoveryThenSucceeds) {
+  std::string dir = FreshDir("chaos_replay_fault");
+  store::StoreOptions so;
+  so.wal_sync = store::WalSync::kAlways;
+  std::vector<store::IngestBatch> acked;
+  {
+    auto s = store::Store::Open(dir, so);
+    ASSERT_TRUE(s.ok());
+    for (int i = 0; i < 5; ++i) {
+      store::IngestBatch b = MakeBatch("r-" + std::to_string(i), i * 100, 2);
+      ASSERT_TRUE(s.value()->Append(b).ok());
+      acked.push_back(b);
+    }
+  }
+  failpoint::Arm("store.recovery.replay",
+                 {failpoint::Action::kError, 0});
+  auto fail = store::Store::Open(dir, so);
+  EXPECT_FALSE(fail.ok());
+  failpoint::DisarmAll();
+  // The failed recovery attempt must not have eaten the WAL.
+  auto s = store::Store::Open(dir, so);
+  ASSERT_TRUE(s.ok()) << s.status().ToString();
+  ExpectSameDatabase(s.value()->MaterializeAll("recovered"), OracleDb(acked),
+                     "after failed recovery attempt");
+}
+
+TEST_F(StoreChaosTest, RepeatedCrashReopenCyclesAccumulateState) {
+  std::string dir = FreshDir("chaos_cycles");
+  store::StoreOptions so;
+  so.wal_sync = store::WalSync::kAlways;
+  so.flush_threshold_records = 8;
+  std::vector<store::IngestBatch> acked;
+  uint64_t last_generation = 0;
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    store::RecoveryInfo info;
+    auto s = store::Store::Open(dir, so, &info);
+    ASSERT_TRUE(s.ok()) << "cycle " << cycle << ": "
+                        << s.status().ToString();
+    EXPECT_GE(s.value()->generation(), last_generation) << "cycle " << cycle;
+    last_generation = s.value()->generation();
+    ExpectSameDatabase(s.value()->MaterializeAll("recovered"),
+                       OracleDb(acked), "cycle " + std::to_string(cycle));
+    for (int i = 0; i < 4; ++i) {
+      store::IngestBatch b = MakeBatch(
+          "cyc-" + std::to_string((cycle * 4 + i) % 6), cycle * 10000 + i, 3);
+      ASSERT_TRUE(s.value()->Append(b).ok());
+      acked.push_back(b);
+    }
+    // Crash (no flush, no clean close).
+    s.value().reset();
+  }
+  auto final_open = store::Store::Open(dir, so);
+  ASSERT_TRUE(final_open.ok());
+  EXPECT_GE(final_open.value()->num_segments(), 1u);
+  ExpectSameDatabase(final_open.value()->MaterializeAll("recovered"),
+                     OracleDb(acked), "final");
+}
+
+// --------------------------------------------------------------------------
+// Post-recovery query byte-identity: the acceptance gate of the issue.
+
+TEST_F(StoreChaosTest, PostRecoveryQueriesByteIdenticalToMergedDatabase) {
+  sim::DatasetPair pair = sim::BuildDataset(sim::FindConfig("SD"), 16, 42);
+
+  // Ingest Q in per-trajectory halves with a small flush threshold so
+  // labels span segments, then tear the WAL tail by hand (the
+  // bytes-on-disk shape of a kill -9 mid-append).
+  std::string dir = FreshDir("chaos_identity");
+  store::StoreOptions so;
+  so.wal_sync = store::WalSync::kNever;
+  so.flush_threshold_records = 60;
+  {
+    auto s = store::Store::Open(dir, so);
+    ASSERT_TRUE(s.ok());
+    for (int round = 0; round < 2; ++round) {
+      for (const traj::Trajectory& t : pair.q) {
+        store::IngestBatch b;
+        size_t half = t.size() / 2;
+        for (size_t i = round == 0 ? 0 : half;
+             i < (round == 0 ? half : t.size()); ++i) {
+          const traj::Record& r = t.records()[i];
+          b.rows.push_back(store::IngestRow{t.label(), t.owner(), r.t,
+                                            r.location.x, r.location.y});
+        }
+        if (!b.rows.empty()) {
+          ASSERT_TRUE(s.value()->Append(b).ok());
+        }
+      }
+    }
+    ASSERT_GE(s.value()->num_segments(), 2u);
+    s.value().reset();  // crash
+  }
+  // Tear the live WAL: append half a valid-looking frame of garbage.
+  {
+    auto manifest = store::ReadManifest(dir);
+    ASSERT_TRUE(manifest.ok());
+    std::ofstream wal(dir + "/" + manifest.value().wal,
+                      std::ios::binary | std::ios::app);
+    const char torn[] = "\x40\x00\x00\x00\xde\xad\xbe\xef torn frame";
+    wal.write(torn, sizeof(torn) - 1);
+    ASSERT_TRUE(wal.good());
+  }
+
+  store::RecoveryInfo info;
+  auto reopened = store::Store::Open(dir, so, &info);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_GT(info.torn_bytes_dropped, 0u);
+  EXPECT_GT(info.replayed_batches, 0u);
+
+  // Train on the recovered canonical database; every query response
+  // must serialize byte-identically to querying that one merged
+  // database directly.
+  traj::TrajectoryDatabase merged =
+      reopened.value()->MaterializeAll("merged");
+  core::EngineOptions eo;
+  eo.training.horizon_units = 20;
+  eo.training.acceptance_pairs_per_db = 100;
+  core::FtlEngine engine(eo);
+  ASSERT_TRUE(engine.Train(pair.p, merged).ok());
+  auto snap = reopened.value()->Snapshot();
+  for (size_t qi = 0; qi < pair.p.size(); ++qi) {
+    auto want = engine.Query(pair.p[qi], merged, core::Matcher::kNaiveBayes);
+    auto got =
+        snap->Query(engine, pair.p[qi], core::Matcher::kNaiveBayes, nullptr);
+    ASSERT_EQ(want.ok(), got.ok()) << pair.p[qi].label();
+    if (!want.ok()) continue;
+    EXPECT_EQ(io::QueryResultToJson(pair.p[qi].label(), got.value()),
+              io::QueryResultToJson(pair.p[qi].label(), want.value()))
+        << "query " << pair.p[qi].label();
+  }
+}
+
+// --------------------------------------------------------------------------
+// Ingest while serving: /readyz gating, live appends, drain, reopen.
+
+TEST_F(StoreChaosTest, IngestWhileServing) {
+  sim::DatasetPair pair = sim::BuildDataset(sim::FindConfig("SD"), 12, 7);
+  std::string dir = FreshDir("chaos_serve");
+  store::StoreOptions so;
+  so.wal_sync = store::WalSync::kNever;
+  so.flush_threshold_records = 200;
+  std::unique_ptr<store::Store> s = store::Store::Create(dir, so);
+
+  core::EngineOptions eo;
+  eo.training.horizon_units = 20;
+  eo.training.acceptance_pairs_per_db = 100;
+  core::FtlEngine engine(eo);
+
+  serve::ServeOptions opts;
+  opts.port = 0;
+  opts.num_threads = 2;
+  opts.start_ready = false;
+  serve::FtlServer server(opts, &engine, &pair.p, s.get());
+  ASSERT_TRUE(server.Start().ok());
+  int port = server.port();
+
+  // Warming up: probes split — alive but not ready, ingest gated.
+  auto readyz = serve::HttpRequestOnce("127.0.0.1", port, "GET", "/readyz",
+                                       "");
+  ASSERT_TRUE(readyz.ok()) << readyz.status().ToString();
+  EXPECT_EQ(readyz.value().status, 503);
+  EXPECT_NE(readyz.value().body.find("\"ready\":false"), std::string::npos);
+  auto healthz =
+      serve::HttpRequestOnce("127.0.0.1", port, "GET", "/healthz", "");
+  ASSERT_TRUE(healthz.ok());
+  EXPECT_EQ(healthz.value().status, 200);
+  auto early = serve::HttpRequestOnce(
+      "127.0.0.1", port, "POST", "/v1/ingest",
+      R"({"records":[{"label":"early","t":1,"x":0,"y":0}]})");
+  ASSERT_TRUE(early.ok());
+  EXPECT_EQ(early.value().status, 503);
+
+  // Warm up: recover, seed with Q, train, mark ready.
+  ASSERT_TRUE(s->Recover().ok());
+  for (const traj::Trajectory& t : pair.q) {
+    store::IngestBatch b;
+    for (const traj::Record& r : t.records()) {
+      b.rows.push_back(store::IngestRow{t.label(), t.owner(), r.t,
+                                        r.location.x, r.location.y});
+    }
+    ASSERT_TRUE(s->Append(b).ok());
+  }
+  ASSERT_TRUE(engine.Train(pair.p, s->MaterializeAll("store")).ok());
+  server.MarkReady();
+  const size_t seeded = s->total_records();
+
+  readyz = serve::HttpRequestOnce("127.0.0.1", port, "GET", "/readyz", "");
+  ASSERT_TRUE(readyz.ok());
+  EXPECT_EQ(readyz.value().status, 200);
+
+  // Concurrent chaos: one thread streams ingest posts, the main thread
+  // queries throughout; every response must be well-formed.
+  constexpr int kPosts = 30;
+  std::atomic<int> ingest_ok{0};
+  std::thread ingester([&] {
+    for (int i = 0; i < kPosts; ++i) {
+      std::string body =
+          R"({"records":[{"label":"live-)" + std::to_string(i % 5) +
+          R"(","t":)" + std::to_string(1000000 + i * 60) +
+          R"(,"x":)" + std::to_string(100.0 + i) + R"(,"y":-42.5}]})";
+      auto r = serve::HttpRequestOnce("127.0.0.1", port, "POST",
+                                      "/v1/ingest", body);
+      if (r.ok() && r.value().status == 200) ingest_ok.fetch_add(1);
+    }
+  });
+  int query_ok = 0;
+  for (int i = 0; i < 15; ++i) {
+    std::string body =
+        "{\"query\":\"" + std::string(pair.p[i % pair.p.size()].label()) +
+        "\"}";
+    auto r =
+        serve::HttpRequestOnce("127.0.0.1", port, "POST", "/v1/query", body);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r.value().status, 200) << r.value().body;
+    auto parsed = io::ParseJson(r.value().body);
+    EXPECT_TRUE(parsed.ok()) << r.value().body;
+    if (r.value().status == 200 && parsed.ok()) ++query_ok;
+  }
+  ingester.join();
+  EXPECT_EQ(ingest_ok.load(), kPosts);
+  EXPECT_EQ(query_ok, 15);
+
+  // Live-ingested labels are query-visible immediately (no flush, no
+  // restart): /v1/rank on the memtable-resident label returns 200 —
+  // an unknown label would be 404 — even though the far-away candidate
+  // is filtered out of the match list.
+  auto rank = serve::HttpRequestOnce(
+      "127.0.0.1", port, "POST", "/v1/rank",
+      "{\"query\":\"" + std::string(pair.p[0].label()) +
+          R"(","candidates":["live-0"]})");
+  ASSERT_TRUE(rank.ok());
+  EXPECT_EQ(rank.value().status, 200) << rank.value().body;
+  auto rank_unknown = serve::HttpRequestOnce(
+      "127.0.0.1", port, "POST", "/v1/rank",
+      "{\"query\":\"" + std::string(pair.p[0].label()) +
+          R"(","candidates":["never-ingested"]})");
+  ASSERT_TRUE(rank_unknown.ok());
+  EXPECT_EQ(rank_unknown.value().status, 404) << rank_unknown.value().body;
+
+  // Healthz exposes the store block with the post-ingest totals.
+  healthz = serve::HttpRequestOnce("127.0.0.1", port, "GET", "/healthz", "");
+  ASSERT_TRUE(healthz.ok());
+  auto h = io::ParseJson(healthz.value().body);
+  ASSERT_TRUE(h.ok()) << healthz.value().body;
+  const io::JsonValue* st = h.value().Find("store");
+  ASSERT_NE(st, nullptr) << healthz.value().body;
+  EXPECT_EQ(static_cast<size_t>(st->Find("total_records")->AsDouble()),
+            seeded + kPosts);
+
+  // Graceful drain, then reopen the directory: every acked ingest
+  // survives the restart via WAL replay.
+  server.Shutdown();
+  server.Wait();
+  s.reset();
+  store::RecoveryInfo info;
+  auto reopened = store::Store::Open(dir, so, &info);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(reopened.value()->total_records(), seeded + kPosts);
+  EXPECT_EQ(reopened.value()->Snapshot()->Find("live-0") !=
+                store::StoreSnapshot::npos,
+            true);
+}
+
+}  // namespace
+}  // namespace ftl

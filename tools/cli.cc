@@ -109,15 +109,40 @@ std::string UsageText() {
       "                                binary columnar store\n"
       "  metrics   [--format prom|json]\n"
       "                                dump the process metrics registry\n"
+      "  ingest    --store DIR --in D.csv\n"
+      "                                append trajectories to a crash-safe\n"
+      "                                WAL-backed store (one atomic batch\n"
+      "                                per trajectory; DESIGN.md §12)\n"
+      "    --wal-sync MODE           always|interval|never: fsync policy\n"
+      "                              (default interval; always = every\n"
+      "                              acked append survives any crash)\n"
+      "    --wal-sync-interval-ms MS fsync cadence for interval mode\n"
+      "                              (default 50)\n"
+      "    --flush-threshold N       memtable records before an automatic\n"
+      "                              flush to an immutable FTB segment\n"
+      "                              (default 100000)\n"
+      "    --flush-max-age-s S       also flush when the memtable is older\n"
+      "                              than S seconds (default 0 = off)\n"
+      "    --backpressure-factor F   reject appends (exit code 5) once the\n"
+      "                              memtable exceeds F x flush-threshold\n"
+      "                              with flushes failing (default 4)\n"
+      "    --flush                   force a final flush after ingesting\n"
       "  serve     --p P.csv --ftb Q.ftb [--ftb MORE.ftb ...]\n"
       "                                run the long-lived query daemon:\n"
       "                                HTTP/1.1 JSON API (POST /v1/query,\n"
-      "                                POST /v1/rank, GET /metrics,\n"
-      "                                GET /healthz, POST /admin/shutdown)\n"
+      "                                POST /v1/rank, POST /v1/ingest,\n"
+      "                                GET /metrics, GET /healthz,\n"
+      "                                GET /readyz, POST /admin/shutdown)\n"
       "    --listen H:P              bind address (default 127.0.0.1:8080)\n"
       "    --ftb FILE                candidate shard, repeatable; shards\n"
       "                              merge in flag order (CSV or FTB,\n"
       "                              sniffed by magic bytes)\n"
+      "    --store DIR               candidate side is a live store\n"
+      "                              instead of static shards: /v1/ingest\n"
+      "                              appends (visible immediately), the\n"
+      "                              port binds before recovery + training\n"
+      "                              and /readyz gates the warm-up; the\n"
+      "                              ingest flags above apply\n"
       "    --threads N               worker threads (default: one per\n"
       "                              hardware thread)\n"
       "    --max-queue N             bounded request queue; beyond it new\n"
@@ -221,7 +246,102 @@ Result<core::EngineOptions> EngineOptionsFromArgs(const ArgMap& args) {
   return eo;
 }
 
+/// Parses the shared store flags (`ftl ingest`, `ftl serve --store`).
+Result<store::StoreOptions> StoreOptionsFromArgs(const ArgMap& args) {
+  store::StoreOptions so;
+  auto sync = store::ParseWalSync(args.Get("wal-sync", "interval"));
+  if (!sync.ok()) return sync.status();
+  so.wal_sync = sync.value();
+  auto interval = args.GetInt("wal-sync-interval-ms", 50);
+  if (!interval.ok()) return interval.status();
+  if (interval.value() < 1) {
+    return Status::InvalidArgument("--wal-sync-interval-ms must be >= 1");
+  }
+  so.wal_sync_interval_ms = interval.value();
+  auto threshold = args.GetInt("flush-threshold", 100000);
+  if (!threshold.ok()) return threshold.status();
+  if (threshold.value() < 1) {
+    return Status::InvalidArgument("--flush-threshold must be >= 1");
+  }
+  so.flush_threshold_records = static_cast<size_t>(threshold.value());
+  auto age = args.GetDouble("flush-max-age-s", 0.0);
+  if (!age.ok()) return age.status();
+  if (age.value() < 0) {
+    return Status::InvalidArgument("--flush-max-age-s must be >= 0");
+  }
+  so.flush_max_age_seconds = age.value();
+  auto bp = args.GetDouble("backpressure-factor", 4.0);
+  if (!bp.ok()) return bp.status();
+  if (bp.value() < 1.0) {
+    return Status::InvalidArgument("--backpressure-factor must be >= 1");
+  }
+  so.backpressure_factor = bp.value();
+  return so;
+}
+
+void PrintRecoveryInfo(const store::RecoveryInfo& info, std::ostream& out) {
+  out << "recovered store: generation " << info.generation << ", "
+      << info.segments << " segment(s), replayed " << info.replayed_batches
+      << " batch(es) / " << info.replayed_records << " record(s)";
+  if (info.torn_bytes_dropped > 0) {
+    out << ", dropped " << info.torn_bytes_dropped << " torn WAL byte(s)";
+  }
+  if (info.orphans_removed > 0) {
+    out << ", removed " << info.orphans_removed << " orphan file(s)";
+  }
+  out << " in " << info.seconds << "s\n";
+}
+
 }  // namespace
+
+Status CmdIngest(const ArgMap& args, std::ostream& out) {
+  std::string dir = args.Get("store", "");
+  if (dir.empty()) {
+    return Status::InvalidArgument("ingest needs --store DIR");
+  }
+  auto db = LoadDb(args, "in", out);
+  if (!db.ok()) return db.status();
+
+  auto so = StoreOptionsFromArgs(args);
+  if (!so.ok()) return so.status();
+  store::RecoveryInfo info;
+  auto opened = store::Store::Open(dir, so.value(), &info);
+  if (!opened.ok()) return opened.status();
+  store::Store& store = *opened.value();
+  PrintRecoveryInfo(info, out);
+
+  // One atomic batch per trajectory: a crash mid-ingest leaves a
+  // prefix of whole trajectories, never a torn one.
+  size_t batches = 0;
+  size_t records = 0;
+  for (const traj::Trajectory& t : db.value()) {
+    store::IngestBatch batch;
+    batch.rows.reserve(t.size());
+    for (const traj::Record& r : t.records()) {
+      batch.rows.push_back(store::IngestRow{t.label(), t.owner(), r.t,
+                                            r.location.x, r.location.y});
+    }
+    Status st = store.Append(batch);
+    if (!st.ok()) {
+      out << "ingest stopped after " << batches << " trajectory(ies) ("
+          << records << " record(s)): " << st.ToString() << "\n";
+      return st;
+    }
+    ++batches;
+    records += batch.rows.size();
+  }
+  if (args.Has("flush")) {
+    FTL_RETURN_NOT_OK(store.Flush());
+  }
+  out << "ingested " << batches << " trajectory(ies) (" << records
+      << " record(s)) into " << dir << ": generation "
+      << store.generation() << ", " << store.num_segments()
+      << " segment(s), " << store.memtable_records()
+      << " memtable record(s), " << store.total_records()
+      << " total record(s), wal-sync="
+      << store::WalSyncName(so.value().wal_sync) << "\n";
+  return Status::OK();
+}
 
 Status CmdSimulate(const ArgMap& args, std::ostream& out) {
   std::string out_p = args.Get("out-p", "");
@@ -497,14 +617,18 @@ Status CmdServe(const ArgMap& args, std::ostream& out) {
   auto p = LoadDb(args, "p", out);
   if (!p.ok()) return p.status();
 
-  // Candidate shards: every --ftb (and, as a convenience, --q) input,
-  // merged in flag order. Despite the flag name any shard may be CSV —
-  // the loader sniffs magic bytes like everywhere else.
+  // Candidate side: either static shards (--ftb/--q, merged in flag
+  // order) or a live store (--store DIR) that /v1/ingest appends to.
+  const std::string store_dir = args.Get("store", "");
   std::vector<std::string> shard_paths = args.GetAll("ftb");
   for (const auto& path : args.GetAll("q")) shard_paths.push_back(path);
-  if (shard_paths.empty()) {
+  if (store_dir.empty() && shard_paths.empty()) {
     return Status::InvalidArgument(
-        "serve needs at least one --ftb (or --q) candidate shard");
+        "serve needs --store DIR or at least one --ftb (or --q) shard");
+  }
+  if (!store_dir.empty() && !shard_paths.empty()) {
+    return Status::InvalidArgument(
+        "--store and --ftb/--q are mutually exclusive");
   }
   traj::TrajectoryDatabase q("Q");
   for (const auto& path : shard_paths) {
@@ -568,7 +692,6 @@ Status CmdServe(const ArgMap& args, std::ostream& out) {
   }
 
   core::FtlEngine engine(engine_opts);
-  FTL_RETURN_NOT_OK(engine.Train(p.value(), q));
 
   // SIGTERM / SIGINT trigger the same graceful drain as
   // POST /admin/shutdown: stop accepting, finish what was admitted.
@@ -577,6 +700,48 @@ Status CmdServe(const ArgMap& args, std::ostream& out) {
   serve::InstallShutdownSignalHandlers(&stop_flag);
   so.stop_flag = &stop_flag;
 
+  if (!store_dir.empty()) {
+    // Store mode is two-phase: bind first so probes reach the process
+    // (/readyz answers 503), then run the possibly-long recovery and
+    // training behind the readiness gate.
+    auto sto = StoreOptionsFromArgs(args);
+    if (!sto.ok()) return sto.status();
+    std::unique_ptr<store::Store> store =
+        store::Store::Create(store_dir, sto.value());
+    so.start_ready = false;
+    serve::FtlServer server(so, &engine, &p.value(), store.get());
+    FTL_RETURN_NOT_OK(server.Start());
+    out << "listening on " << so.host << ":" << server.port()
+        << " (store=" << store_dir << ", warming up: /readyz is 503)\n";
+    out.flush();
+    store::RecoveryInfo info;
+    Status st = store->Recover(&info);
+    if (st.ok()) {
+      PrintRecoveryInfo(info, out);
+      traj::TrajectoryDatabase q0 = store->MaterializeAll("store");
+      st = engine.Train(p.value(), q0);
+      if (st.ok()) {
+        server.MarkReady();
+        out << "ready: serving |P|=" << p.value().size() << " |Q|="
+            << q0.size() << " (generation " << store->generation() << ", "
+            << store->num_segments() << " segment(s), wal-sync="
+            << store::WalSyncName(sto.value().wal_sync) << ")\n";
+        out.flush();
+      }
+    }
+    if (!st.ok()) {
+      // Warm-up failed: drain whatever connected and report the error
+      // through the normal exit-code path.
+      server.Shutdown();
+      server.Wait();
+      return st;
+    }
+    server.Wait();
+    out << "drained " << server.requests_handled() << " request(s); bye\n";
+    return Status::OK();
+  }
+
+  FTL_RETURN_NOT_OK(engine.Train(p.value(), q));
   serve::FtlServer server(so, &engine, &p.value(), &q);
   FTL_RETURN_NOT_OK(server.Start());
   out << "serving |P|=" << p.value().size() << " |Q|=" << q.size() << " on "
@@ -692,6 +857,8 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out,
     st = CmdConvert(parsed.value(), out);
   } else if (cmd == "metrics") {
     st = CmdMetrics(parsed.value(), out);
+  } else if (cmd == "ingest") {
+    st = CmdIngest(parsed.value(), out);
   } else if (cmd == "serve") {
     st = CmdServe(parsed.value(), out);
   } else {

@@ -21,10 +21,16 @@
 ///   ftl enrich   --p p.csv --q q.csv --query LABEL --candidate LABEL
 ///   ftl convert  --in data.csv --out data.ftb [--to ftb|csv]
 ///   ftl metrics  [--format prom|json]
+///   ftl ingest   --store DIR --in data.csv [--wal-sync always|interval|never]
+///                [--flush-threshold N] [--flush]
+///                append trajectories to a crash-safe store (DESIGN.md §12)
 ///   ftl serve    --p p.csv --ftb q.ftb [--ftb more.ftb ...]
 ///                [--listen 127.0.0.1:8080] [--threads N] [--max-queue 128]
 ///                [--request-deadline-ms MS] [--matcher nb|alpha]
-///                run the long-lived query daemon (docs/OPERATIONS.md)
+///                run the long-lived query daemon (docs/OPERATIONS.md);
+///                with --store DIR instead of --ftb the candidate side is
+///                a live store: POST /v1/ingest appends, queries see new
+///                data immediately, /readyz gates the warm-up
 ///
 /// Any `--p` / `--q` / `--db` / `--in` input may be an FTB binary store
 /// instead of CSV; the format is detected by magic bytes, not
@@ -101,6 +107,13 @@ Status CmdCalibrate(const ArgMap& args, std::ostream& out);
 Status CmdEnrich(const ArgMap& args, std::ostream& out);
 Status CmdConvert(const ArgMap& args, std::ostream& out);
 Status CmdMetrics(const ArgMap& args, std::ostream& out);
+
+/// Appends trajectories from --in to the WAL-backed store at --store
+/// (creating it on first use), one atomic batch per trajectory.
+/// Distinct exit codes via ExitCodeForStatus: 2 bad flags
+/// (InvalidArgument), 4 IO fault (IOError), 5 backpressure
+/// (OutOfRange), 6 store broken (FailedPrecondition).
+Status CmdIngest(const ArgMap& args, std::ostream& out);
 
 /// Runs the query daemon until a graceful drain completes (SIGTERM /
 /// SIGINT / POST /admin/shutdown). Blocks; prints one line to `out`
