@@ -2,91 +2,505 @@
 
 #include <algorithm>
 #include <cmath>
-#include <unordered_set>
+#include <cstdint>
+#include <limits>
+#include <numeric>
+
+#include "obs/metrics.h"
+#include "util/stopwatch.h"
 
 namespace ftl::core {
+namespace {
+
+/// Grid coordinates are clamped to ±2^30 before the int32 cast, so
+/// extreme coordinates (or a tiny cell size) stay well-defined and a
+/// neighborhood offset can never wrap int32.
+constexpr double kMaxCellCoord = 1073741824.0;  // 2^30
+
+/// A candidate whose span covers more buckets than this goes to the
+/// always-checked overflow list instead of one posting per bucket,
+/// bounding index size against epoch-spanning outliers.
+constexpr int64_t kMaxSpanBuckets = 1024;
+
+int32_t CellCoord(double v, double cell_size) {
+  double c = std::floor(v / cell_size);
+  if (!(c >= -kMaxCellCoord)) return static_cast<int32_t>(-kMaxCellCoord);
+  if (c > kMaxCellCoord) return static_cast<int32_t>(kMaxCellCoord);
+  return static_cast<int32_t>(c);
+}
+
+int64_t FloorDiv(int64_t a, int64_t b) {
+  int64_t q = a / b, r = a % b;
+  return (r != 0 && (r < 0) != (b < 0)) ? q - 1 : q;
+}
+
+int64_t SatAdd(int64_t a, int64_t b) {
+  int64_t r;
+  if (__builtin_add_overflow(a, b, &r)) {
+    return b > 0 ? std::numeric_limits<int64_t>::max()
+                 : std::numeric_limits<int64_t>::min();
+  }
+  return r;
+}
+
+int64_t SatSub(int64_t a, int64_t b) {
+  int64_t r;
+  if (__builtin_sub_overflow(a, b, &r)) {
+    return b > 0 ? std::numeric_limits<int64_t>::min()
+                 : std::numeric_limits<int64_t>::max();
+  }
+  return r;
+}
+
+/// Pre-resolved obs handles (names are resolved once per process; the
+/// per-event cost is one relaxed atomic add — DESIGN.md §8).
+struct BlockingMetrics {
+  obs::Counter* builds;
+  obs::Histogram* build_us;
+  obs::Counter* queries_aggressive;
+  obs::Counter* queries_guaranteed;
+  obs::Counter* pairs_examined;
+  obs::Counter* pairs_pruned;
+};
+
+const BlockingMetrics& Metrics() {
+  static const BlockingMetrics m = [] {
+    auto& r = obs::MetricsRegistry::Global();
+    BlockingMetrics out;
+    out.builds = &r.GetCounter("ftl_blocking_index_builds_total");
+    out.build_us = &r.GetHistogram("ftl_blocking_index_build_us");
+    out.queries_aggressive =
+        &r.GetCounter("ftl_blocking_queries_total{mode=\"aggressive\"}");
+    out.queries_guaranteed =
+        &r.GetCounter("ftl_blocking_queries_total{mode=\"guaranteed\"}");
+    out.pairs_examined = &r.GetCounter("ftl_blocking_pairs_examined_total");
+    out.pairs_pruned = &r.GetCounter("ftl_blocking_pairs_pruned_total");
+    return out;
+  }();
+  return m;
+}
+
+void RecordQuery(bool guaranteed, size_t survivors, size_t total) {
+  const BlockingMetrics& m = Metrics();
+  (guaranteed ? m.queries_guaranteed : m.queries_aggressive)->Add(1);
+  m.pairs_examined->Add(static_cast<int64_t>(survivors));
+  m.pairs_pruned->Add(static_cast<int64_t>(total - survivors));
+}
+
+/// Grows the stamped accumulators to `n` candidates and opens a fresh
+/// generation, so stale counts from earlier queries (or other index
+/// instances) read as unset without any O(n) clearing.
+void OpenGeneration(BlockingScratch* s, size_t n) {
+  if (s->stamp.size() < n) {
+    s->stamp.resize(n, 0);
+    s->count.resize(n, 0);
+  }
+  if (++s->generation == 0) {  // wrapped: stamps are ambiguous, clear
+    std::fill(s->stamp.begin(), s->stamp.end(), 0u);
+    s->generation = 1;
+  }
+  s->touched.clear();
+}
+
+void Touch(BlockingScratch* s, uint32_t cand, uint32_t add) {
+  if (s->stamp[cand] != s->generation) {
+    s->stamp[cand] = s->generation;
+    s->count[cand] = add;
+    s->touched.push_back(cand);
+  } else {
+    uint64_t c = static_cast<uint64_t>(s->count[cand]) + add;
+    s->count[cand] = static_cast<uint32_t>(
+        std::min<uint64_t>(c, std::numeric_limits<uint32_t>::max()));
+  }
+}
+
+/// [min t, max t] over all records; computed explicitly instead of
+/// trusting front()/back(), so inputs violating the sorted invariant
+/// (e.g. hand-built FlatDatabase columns) still get a correct span.
+template <typename TrajT>
+std::pair<int64_t, int64_t> TimeSpan(const TrajT& t) {
+  int64_t lo = std::numeric_limits<int64_t>::max();
+  int64_t hi = std::numeric_limits<int64_t>::min();
+  for (size_t j = 0; j < t.size(); ++j) {
+    int64_t ts = t[j].t;
+    lo = std::min(lo, ts);
+    hi = std::max(hi, ts);
+  }
+  return {lo, hi};
+}
+
+struct KeyEntry {
+  int64_t key;
+  uint32_t cand;
+  uint32_t weight;
+  bool operator<(const KeyEntry& o) const {
+    return key != o.key ? key < o.key : cand < o.cand;
+  }
+};
+
+}  // namespace
+
+const char* BlockingModeName(BlockingMode mode) {
+  switch (mode) {
+    case BlockingMode::kOff:
+      return "off";
+    case BlockingMode::kGuaranteed:
+      return "guaranteed";
+    case BlockingMode::kAggressive:
+      return "aggressive";
+  }
+  return "off";
+}
+
+Result<BlockingMode> ParseBlockingMode(std::string_view name) {
+  if (name == "off") return BlockingMode::kOff;
+  if (name == "guaranteed") return BlockingMode::kGuaranteed;
+  if (name == "aggressive") return BlockingMode::kAggressive;
+  return Status::InvalidArgument(
+      "unknown blocking mode '" + std::string(name) +
+      "' (expected off | guaranteed | aggressive)");
+}
+
+Status BlockingOptions::Validate() const {
+  if (!std::isfinite(cell_size_meters) || cell_size_meters <= 0.0) {
+    return Status::InvalidArgument(
+        "blocking cell_size_meters must be positive and finite");
+  }
+  if (temporal_slack_seconds < 0) {
+    return Status::InvalidArgument(
+        "blocking temporal_slack_seconds must be non-negative");
+  }
+  if (time_bucket_seconds <= 0) {
+    return Status::InvalidArgument(
+        "blocking time_bucket_seconds must be positive");
+  }
+  if (neighborhood < 0 || neighborhood > 16) {
+    return Status::InvalidArgument(
+        "blocking neighborhood must be in [0, 16]");
+  }
+  return Status();
+}
 
 BlockingIndex::BlockingIndex(const traj::TrajectoryDatabase& db,
                              const BlockingOptions& options)
-    : db_(db), options_(options) {
-  spans_.reserve(db.size());
-  for (size_t i = 0; i < db.size(); ++i) {
+    : options_(options) {
+  Build(db);
+}
+
+BlockingIndex::BlockingIndex(const traj::FlatDatabase& db,
+                             const BlockingOptions& options)
+    : options_(options) {
+  Build(db);
+}
+
+template <typename DbT>
+void BlockingIndex::Build(const DbT& db) {
+  Stopwatch sw;
+  // Clamp invalid knobs to safe defaults (callers that must reject
+  // instead run BlockingOptions::Validate() first).
+  if (!std::isfinite(options_.cell_size_meters) ||
+      options_.cell_size_meters <= 0.0) {
+    options_.cell_size_meters = 3000.0;
+  }
+  if (options_.temporal_slack_seconds < 0) options_.temporal_slack_seconds = 0;
+  if (options_.time_bucket_seconds <= 0) options_.time_bucket_seconds = 3600;
+  options_.neighborhood = std::clamp(options_.neighborhood, 0, 16);
+
+  const size_t n = db.size();
+  num_candidates_ = n;
+  spans_.assign(n, {1, 0});  // (1, 0): empty span, never overlaps
+
+  const int64_t bucket = options_.time_bucket_seconds;
+  const double cell = options_.cell_size_meters;
+  std::vector<KeyEntry> occ, spn, cel;
+  std::vector<int64_t> tmp;
+  for (size_t i = 0; i < n; ++i) {
     const auto& t = db[i];
-    if (t.empty()) {
-      spans_.emplace_back(1, 0);  // empty span: never overlaps
-    } else {
-      spans_.emplace_back(t.front().t, t.back().t);
+    const size_t m = t.size();
+    if (m == 0) continue;
+    const uint32_t cand = static_cast<uint32_t>(i);
+
+    // Occupancy: one (bucket, record count) posting per occupied
+    // bucket; also the exact span, as a true min/max over records.
+    auto [lo, hi] = TimeSpan(t);
+    spans_[i] = {lo, hi};
+    tmp.clear();
+    for (size_t j = 0; j < m; ++j) tmp.push_back(FloorDiv(t[j].t, bucket));
+    std::sort(tmp.begin(), tmp.end());
+    for (size_t j = 0; j < tmp.size();) {
+      size_t k = j;
+      while (k < tmp.size() && tmp[k] == tmp[j]) ++k;
+      occ.push_back({tmp[j], cand, static_cast<uint32_t>(k - j)});
+      j = k;
     }
+
+    // Span coverage: every bucket in [bucket(lo), bucket(hi)], unless
+    // the span is so long it would bloat the lists.
+    if (options_.use_temporal) {
+      int64_t b0 = FloorDiv(lo, bucket), b1 = FloorDiv(hi, bucket);
+      if (b1 - b0 >= kMaxSpanBuckets) {
+        span_overflow_.push_back(cand);
+      } else {
+        for (int64_t b = b0; b <= b1; ++b) spn.push_back({b, cand, 1});
+      }
+    }
+
+    // Spatial cells: deduplicated per candidate.
     if (options_.use_spatial) {
-      std::unordered_set<int64_t> cells;
-      double g = options_.cell_size_meters;
-      for (const auto& r : t.records()) {
-        int32_t cx = static_cast<int32_t>(std::floor(r.location.x / g));
-        int32_t cy = static_cast<int32_t>(std::floor(r.location.y / g));
-        cells.insert(CellKey(cx, cy));
+      tmp.clear();
+      for (size_t j = 0; j < m; ++j) {
+        const auto r = t[j];
+        tmp.push_back(CellKey(CellCoord(r.location.x, cell),
+                              CellCoord(r.location.y, cell)));
       }
-      for (int64_t c : cells) {
-        cell_to_candidates_[c].push_back(static_cast<uint32_t>(i));
+      std::sort(tmp.begin(), tmp.end());
+      tmp.erase(std::unique(tmp.begin(), tmp.end()), tmp.end());
+      for (int64_t c : tmp) cel.push_back({c, cand, 1});
+    }
+  }
+
+  auto flatten = [](std::vector<KeyEntry>* in, PostingLists* out,
+                    bool keep_weight) {
+    std::sort(in->begin(), in->end());
+    out->keys.clear();
+    out->begin.clear();
+    out->entry.reserve(in->size());
+    for (const KeyEntry& e : *in) {
+      if (out->keys.empty() || out->keys.back() != e.key) {
+        out->keys.push_back(e.key);
+        out->begin.push_back(static_cast<uint32_t>(out->entry.size()));
       }
+      out->entry.push_back(e.cand);
+      if (keep_weight) out->weight.push_back(e.weight);
+    }
+    out->begin.push_back(static_cast<uint32_t>(out->entry.size()));
+    in->clear();
+    in->shrink_to_fit();
+  };
+  flatten(&occ, &occupancy_, /*keep_weight=*/true);
+  flatten(&spn, &span_, /*keep_weight=*/false);
+  flatten(&cel, &cells_, /*keep_weight=*/false);
+
+  build_micros_ = static_cast<int64_t>(sw.ElapsedSeconds() * 1e6);
+  Metrics().builds->Add(1);
+  Metrics().build_us->Record(build_micros_);
+}
+
+template <typename QueryT>
+void BlockingIndex::AccumulateSharedCells(const QueryT& query,
+                                          BlockingScratch* scratch) const {
+  // Base cells of the query, deduplicated.
+  std::vector<int64_t>& keys = scratch->keys;
+  keys.clear();
+  const double cell = options_.cell_size_meters;
+  for (size_t j = 0; j < query.size(); ++j) {
+    const auto r = query[j];
+    keys.push_back(CellKey(CellCoord(r.location.x, cell),
+                           CellCoord(r.location.y, cell)));
+  }
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+
+  // Neighborhood expansion (appended after the base portion, then
+  // deduplicated; adjacent base cells share ring cells). A probe may
+  // hit the same candidate cell via several query cells' expansions;
+  // each candidate cell counts once per probe cell.
+  const int nb = options_.neighborhood;
+  size_t probe_lo = 0, probe_hi = keys.size();
+  if (nb > 0) {
+    probe_lo = keys.size();
+    for (size_t j = 0; j < probe_lo; ++j) {
+      int32_t cx = static_cast<int32_t>(keys[j] >> 32);
+      int32_t cy = static_cast<int32_t>(static_cast<uint32_t>(keys[j]));
+      for (int dx = -nb; dx <= nb; ++dx) {
+        for (int dy = -nb; dy <= nb; ++dy) {
+          keys.push_back(CellKey(cx + dx, cy + dy));
+        }
+      }
+    }
+    std::sort(keys.begin() + probe_lo, keys.end());
+    keys.erase(std::unique(keys.begin() + probe_lo, keys.end()), keys.end());
+    probe_hi = keys.size();
+  }
+
+  for (size_t j = probe_lo; j < probe_hi; ++j) {
+    auto it = std::lower_bound(cells_.keys.begin(), cells_.keys.end(),
+                               keys[j]);
+    if (it == cells_.keys.end() || *it != keys[j]) continue;
+    size_t row = static_cast<size_t>(it - cells_.keys.begin());
+    for (uint32_t e = cells_.begin[row]; e < cells_.begin[row + 1]; ++e) {
+      Touch(scratch, cells_.entry[e], 1);
     }
   }
 }
 
+template <typename QueryT>
+void BlockingIndex::CandidatesImpl(const QueryT& query,
+                                   BlockingScratch* scratch,
+                                   std::vector<size_t>* out) const {
+  out->clear();
+  if (query.empty()) {
+    RecordQuery(/*guaranteed=*/false, 0, num_candidates_);
+    return;
+  }
+  const bool spatial = options_.use_spatial && options_.min_shared_cells > 0;
+  const bool temporal = options_.use_temporal;
+  if (!spatial && !temporal) {  // no blockers: identity
+    out->resize(num_candidates_);
+    std::iota(out->begin(), out->end(), size_t{0});
+    RecordQuery(false, out->size(), num_candidates_);
+    return;
+  }
+
+  auto [q_min, q_max] = TimeSpan(query);
+  const int64_t q_lo = SatSub(q_min, options_.temporal_slack_seconds);
+  const int64_t q_hi = SatAdd(q_max, options_.temporal_slack_seconds);
+
+  OpenGeneration(scratch, num_candidates_);
+  if (spatial) {
+    // Spatial survivors, refined by the exact span predicate — the
+    // temporal index is only needed when no spatial list narrows the
+    // candidate set first.
+    AccumulateSharedCells(query, scratch);
+    for (uint32_t cand : scratch->touched) {
+      if (scratch->count[cand] < options_.min_shared_cells) continue;
+      if (temporal && !SpanOverlaps(cand, q_lo, q_hi)) continue;
+      out->push_back(cand);
+    }
+  } else {
+    // Temporal only: probe the span lists for every bucket in the
+    // query window (an interval of the sorted occupied-bucket keys, so
+    // degenerate windows cost nothing), add the long-span overflow
+    // list, then refine probe hits with the exact span predicate —
+    // bucket rounding alone would admit near misses.
+    const int64_t bucket = options_.time_bucket_seconds;
+    const int64_t b_lo = FloorDiv(q_lo, bucket);
+    const int64_t b_hi = FloorDiv(q_hi, bucket);
+    auto it = std::lower_bound(span_.keys.begin(), span_.keys.end(), b_lo);
+    for (; it != span_.keys.end() && *it <= b_hi; ++it) {
+      size_t row = static_cast<size_t>(it - span_.keys.begin());
+      for (uint32_t e = span_.begin[row]; e < span_.begin[row + 1]; ++e) {
+        Touch(scratch, span_.entry[e], 1);
+      }
+    }
+    for (uint32_t cand : span_overflow_) Touch(scratch, cand, 1);
+    for (uint32_t cand : scratch->touched) {
+      if (SpanOverlaps(cand, q_lo, q_hi)) out->push_back(cand);
+    }
+  }
+  std::sort(out->begin(), out->end());
+  RecordQuery(false, out->size(), num_candidates_);
+}
+
+template <typename QueryT>
+void BlockingIndex::GuaranteedImpl(const QueryT& query,
+                                   const BlockingGuarantee& guarantee,
+                                   BlockingScratch* scratch,
+                                   std::vector<size_t>* out) const {
+  out->clear();
+  if (guarantee.min_segments == 0) {
+    // The accept criterion needs no evidence; nothing can be pruned.
+    out->resize(num_candidates_);
+    std::iota(out->begin(), out->end(), size_t{0});
+    RecordQuery(/*guaranteed=*/true, out->size(), num_candidates_);
+    return;
+  }
+  if (query.empty()) {
+    // No records → no mutual segments → nothing acceptable.
+    RecordQuery(true, 0, num_candidates_);
+    return;
+  }
+
+  // Distinct query buckets, expanded ±r buckets and merged into
+  // disjoint intervals so every candidate record lands in at most one
+  // probed interval (m̂ must count each record once).
+  const int64_t bucket = options_.time_bucket_seconds;
+  const int64_t horizon = std::max<int64_t>(guarantee.horizon_seconds, 0);
+  const int64_t r = (horizon + bucket - 1) / bucket;
+  std::vector<int64_t>& keys = scratch->keys;
+  keys.clear();
+  for (size_t j = 0; j < query.size(); ++j) {
+    keys.push_back(FloorDiv(query[j].t, bucket));
+  }
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+
+  OpenGeneration(scratch, num_candidates_);
+  size_t j = 0;
+  while (j < keys.size()) {
+    int64_t lo = SatSub(keys[j], r), hi = SatAdd(keys[j], r);
+    ++j;
+    while (j < keys.size() && SatSub(keys[j], r) <= SatAdd(hi, 1)) {
+      hi = SatAdd(keys[j], r);
+      ++j;
+    }
+    auto it = std::lower_bound(occupancy_.keys.begin(),
+                               occupancy_.keys.end(), lo);
+    for (; it != occupancy_.keys.end() && *it <= hi; ++it) {
+      size_t row = static_cast<size_t>(it - occupancy_.keys.begin());
+      for (uint32_t e = occupancy_.begin[row]; e < occupancy_.begin[row + 1];
+           ++e) {
+        Touch(scratch, occupancy_.entry[e], occupancy_.weight[e]);
+      }
+    }
+  }
+
+  // Keep iff the segment-count upper bound 2·m̂ reaches min_segments.
+  for (uint32_t cand : scratch->touched) {
+    if (2 * static_cast<uint64_t>(scratch->count[cand]) >=
+        guarantee.min_segments) {
+      out->push_back(cand);
+    }
+  }
+  std::sort(out->begin(), out->end());
+  RecordQuery(true, out->size(), num_candidates_);
+}
+
+void BlockingIndex::Candidates(const traj::Trajectory& query,
+                               BlockingScratch* scratch,
+                               std::vector<size_t>* out) const {
+  CandidatesImpl(query, scratch, out);
+}
+
+void BlockingIndex::Candidates(const traj::FlatTrajectoryView& query,
+                               BlockingScratch* scratch,
+                               std::vector<size_t>* out) const {
+  CandidatesImpl(query, scratch, out);
+}
+
 std::vector<size_t> BlockingIndex::Candidates(
     const traj::Trajectory& query) const {
+  BlockingScratch scratch;
   std::vector<size_t> out;
-  Candidates(query, &out);
+  CandidatesImpl(query, &scratch, &out);
+  return out;
+}
+
+std::vector<size_t> BlockingIndex::Candidates(
+    const traj::FlatTrajectoryView& query) const {
+  BlockingScratch scratch;
+  std::vector<size_t> out;
+  CandidatesImpl(query, &scratch, &out);
   return out;
 }
 
 void BlockingIndex::Candidates(const traj::Trajectory& query,
                                std::vector<size_t>* out) const {
-  out->clear();
-  if (query.empty()) return;
+  BlockingScratch scratch;
+  CandidatesImpl(query, &scratch, out);
+}
 
-  // Spatial pass: count shared (expanded) cells per candidate. The
-  // count buffer and probe set are per-thread scratch so a query loop
-  // allocates nothing in steady state.
-  thread_local std::vector<uint32_t> shared_counts;
-  thread_local std::unordered_set<int64_t> probe_cells;
-  if (options_.use_spatial) {
-    shared_counts.assign(spans_.size(), 0);
-    double g = options_.cell_size_meters;
-    int nb = options_.neighborhood;
-    probe_cells.clear();
-    for (const auto& r : query.records()) {
-      int32_t cx = static_cast<int32_t>(std::floor(r.location.x / g));
-      int32_t cy = static_cast<int32_t>(std::floor(r.location.y / g));
-      for (int dx = -nb; dx <= nb; ++dx) {
-        for (int dy = -nb; dy <= nb; ++dy) {
-          probe_cells.insert(CellKey(cx + dx, cy + dy));
-        }
-      }
-    }
-    // A candidate's cell set is deduplicated at build time, but a probe
-    // may hit the same candidate cell via several query records'
-    // expansions; count each candidate cell once per probe cell.
-    for (int64_t c : probe_cells) {
-      auto it = cell_to_candidates_.find(c);
-      if (it == cell_to_candidates_.end()) continue;
-      for (uint32_t cand : it->second) ++shared_counts[cand];
-    }
-  }
+void BlockingIndex::GuaranteedCandidates(const traj::Trajectory& query,
+                                         const BlockingGuarantee& guarantee,
+                                         BlockingScratch* scratch,
+                                         std::vector<size_t>* out) const {
+  GuaranteedImpl(query, guarantee, scratch, out);
+}
 
-  int64_t q_first = query.front().t - options_.temporal_slack_seconds;
-  int64_t q_last = query.back().t + options_.temporal_slack_seconds;
-  for (size_t i = 0; i < spans_.size(); ++i) {
-    if (options_.use_temporal) {
-      auto [c_first, c_last] = spans_[i];
-      if (c_first > c_last) continue;  // empty candidate
-      if (c_last < q_first || c_first > q_last) continue;
-    }
-    if (options_.use_spatial &&
-        shared_counts[i] < options_.min_shared_cells) {
-      continue;
-    }
-    out->push_back(i);
-  }
+void BlockingIndex::GuaranteedCandidates(
+    const traj::FlatTrajectoryView& query, const BlockingGuarantee& guarantee,
+    BlockingScratch* scratch, std::vector<size_t>* out) const {
+  GuaranteedImpl(query, guarantee, scratch, out);
 }
 
 }  // namespace ftl::core

@@ -635,6 +635,135 @@ Result<QueryResult> FtlEngine::QueryWithCandidates(
                    options_.num_threads, nullptr, &qopts);
 }
 
+BlockingGuarantee FtlEngine::DeriveBlockingGuarantee(Matcher matcher) const {
+  BlockingGuarantee g;
+  const EvidenceOptions ev = evidence_options();
+  const int64_t tu = std::max<int64_t>(ev.time_unit_seconds, 1);
+  // A mutual segment is informative iff (dt + tu/2) / tu <
+  // horizon_units (round-half-up in CollectEvidence), i.e.
+  // dt <= horizon·tu − tu/2 − 1 — the largest informative gap.
+  g.horizon_seconds =
+      std::max<int64_t>(0, ev.horizon_units * tu - tu / 2 - 1);
+
+  // min_segments sentinel when the models make acceptance impossible;
+  // far above any reachable 2·m̂ but free of uint64 overflow.
+  constexpr uint64_t kNever = uint64_t{1} << 62;
+
+  if (matcher == Matcher::kNaiveBayes) {
+    // Accept ⇔ Σ per-segment LLR >= log(1−φr) − log(φr). Each
+    // informative segment contributes at most the best single-unit
+    // LLR, so acceptance needs n >= gap / best.
+    const double phi =
+        std::min(1.0 - 1e-12, std::max(1e-12, options_.naive_bayes.phi_r));
+    const double prior_gap = std::log(1.0 - phi) - std::log(phi);
+    if (prior_gap <= 0.0) {
+      g.min_segments = 0;  // the prior alone accepts; cannot prune
+      return g;
+    }
+    const double floor_p = options_.naive_bayes.prob_floor;
+    double best = -std::numeric_limits<double>::infinity();
+    for (int64_t u = 0; u < ev.horizon_units; ++u) {
+      double sr = models_.rejection.IncompatProbByUnit(u);
+      double sa = models_.acceptance.IncompatProbByUnit(u);
+      sr = std::min(1.0 - floor_p, std::max(floor_p, sr));
+      sa = std::min(1.0 - floor_p, std::max(floor_p, sa));
+      best = std::max(best, std::log(sr) - std::log(sa));
+      best = std::max(best, std::log(1.0 - sr) - std::log(1.0 - sa));
+    }
+    if (!(best > 0.0)) {
+      g.min_segments = kNever;  // no segment favors "same person"
+      return g;
+    }
+    // The 1e-6 absolute margin dominates the classifier's float
+    // accumulation error, keeping the bound conservative.
+    const double n_min = (prior_gap - 1e-6) / best;
+    g.min_segments =
+        n_min <= 1.0 ? 1
+                     : static_cast<uint64_t>(std::min<double>(
+                           std::ceil(n_min), static_cast<double>(kNever)));
+    return g;
+  }
+
+  // Alpha filter: accept requires p2 < alpha2 with
+  // p2 >= Pr(K=0 | Ma) >= (1 − p_max)^n, widened by the sanctioned RNA
+  // absolute-error budget plus a float margin. alpha2 > 1 accepts at
+  // n = 0 (cannot prune); p_max = 0 makes p2 = 1 for every n (nothing
+  // is ever acceptable).
+  const double alpha2 = options_.alpha.alpha2;
+  if (alpha2 > 1.0) {
+    g.min_segments = 0;
+    return g;
+  }
+  const double alpha2_eff =
+      alpha2 + options_.alpha.tail.rna_max_abs_error + 1e-6;
+  if (alpha2_eff >= 1.0) {
+    g.min_segments = 1;  // only n = 0 (p2 = 1 exactly) is excluded
+    return g;
+  }
+  double p_max = 0.0;
+  for (int64_t u = 0; u < ev.horizon_units; ++u) {
+    p_max = std::max(
+        p_max,
+        std::min(1.0, std::max(0.0, models_.acceptance.IncompatProbByUnit(u))));
+  }
+  if (p_max >= 1.0 - 1e-12) {
+    g.min_segments = 1;
+  } else if (p_max <= 0.0) {
+    g.min_segments = kNever;
+  } else {
+    // (1 − p_max)^n < alpha2_eff ⇒ n > ratio; the widened alpha2_eff
+    // already absorbs float slop, keeping floor()+1 conservative.
+    const double ratio = std::log(alpha2_eff) / std::log1p(-p_max);
+    g.min_segments = static_cast<uint64_t>(std::min<double>(
+        std::floor(ratio) + 1.0, static_cast<double>(kNever)));
+  }
+  return g;
+}
+
+template <typename QueryT, typename DbT>
+Result<QueryResult> FtlEngine::QueryBlockedImpl(
+    const QueryT& query, const DbT& db, const BlockingIndex& index,
+    BlockingMode mode, Matcher matcher, BlockingScratch* scratch,
+    const QueryOptions* qopts) const {
+  if (!trained_) {
+    return Status::FailedPrecondition("FtlEngine::QueryBlocked before Train");
+  }
+  if (mode == BlockingMode::kOff) {
+    return QueryImpl(query, db, nullptr, matcher, options_.num_threads,
+                     nullptr, qopts);
+  }
+  if (index.size() != db.size()) {
+    return Status::InvalidArgument(
+        "blocking index covers " + std::to_string(index.size()) +
+        " candidates but the database has " + std::to_string(db.size()));
+  }
+  BlockingScratch local;
+  BlockingScratch* bs = scratch != nullptr ? scratch : &local;
+  std::vector<size_t> survivors;
+  if (mode == BlockingMode::kGuaranteed) {
+    index.GuaranteedCandidates(query, DeriveBlockingGuarantee(matcher), bs,
+                               &survivors);
+  } else {
+    index.Candidates(query, bs, &survivors);
+  }
+  return QueryImpl(query, db, &survivors, matcher, options_.num_threads,
+                   nullptr, qopts);
+}
+
+Result<QueryResult> FtlEngine::QueryBlocked(
+    const traj::Trajectory& query, const traj::TrajectoryDatabase& db,
+    const BlockingIndex& index, BlockingMode mode, Matcher matcher,
+    BlockingScratch* scratch, const QueryOptions* qopts) const {
+  return QueryBlockedImpl(query, db, index, mode, matcher, scratch, qopts);
+}
+
+Result<QueryResult> FtlEngine::QueryBlocked(
+    const traj::FlatTrajectoryView& query, const traj::FlatDatabase& db,
+    const BlockingIndex& index, BlockingMode mode, Matcher matcher,
+    BlockingScratch* scratch, const QueryOptions* qopts) const {
+  return QueryBlockedImpl(query, db, index, mode, matcher, scratch, qopts);
+}
+
 Result<std::vector<QueryResult>> FtlEngine::BatchQuery(
     const std::vector<traj::Trajectory>& queries,
     const traj::TrajectoryDatabase& db, Matcher matcher) const {

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/alpha_filter.h"
+#include "core/blocking.h"
 #include "core/model_builders.h"
 #include "core/naive_bayes.h"
 #include "simd/kernels.h"
@@ -192,6 +193,43 @@ class FtlEngine {
       const std::vector<size_t>& candidate_indices, Matcher matcher,
       const QueryOptions& qopts) const;
 
+  /// Derives the accept-preserving blocking contract for `matcher`
+  /// from the trained models (requires trained()): `horizon_seconds`
+  /// is the largest time gap an informative mutual segment can have
+  /// under the evidence discretization, and `min_segments` the fewest
+  /// informative segments any accepted candidate must carry — for
+  /// kAlphaFilter from p2 >= Pr(K=0 | Ma) >= (1-p_max)^n against
+  /// alpha2 (widened by the sanctioned RNA absolute-error budget), for
+  /// kNaiveBayes from n · max-per-segment-LLR >= the prior log-odds
+  /// gap. A BlockingIndex pruning only candidates that cannot reach
+  /// `min_segments` therefore never changes an accept decision, so
+  /// guaranteed-mode accept sets are byte-identical to exhaustive
+  /// scoring (DESIGN.md §13). The identity assumes the default
+  /// evaluate_non_overlapping=true; with the ablation-only false
+  /// setting, exhaustive runs themselves skip non-overlapping
+  /// candidates that blocking may score.
+  BlockingGuarantee DeriveBlockingGuarantee(Matcher matcher) const;
+
+  /// Query through a BlockingIndex built over `db`: generates the
+  /// candidate set in `mode` (kOff scores everything, kGuaranteed
+  /// preserves accept sets exactly, kAggressive applies the heuristic
+  /// span/co-visitation blockers) and scores the survivors on the
+  /// engine's thread pool. `scratch` (optional) keeps a query loop
+  /// allocation-free; `qopts` (optional) carries deadline/cancel
+  /// limits. The index must have been built over this `db`.
+  Result<QueryResult> QueryBlocked(const traj::Trajectory& query,
+                                   const traj::TrajectoryDatabase& db,
+                                   const BlockingIndex& index,
+                                   BlockingMode mode, Matcher matcher,
+                                   BlockingScratch* scratch = nullptr,
+                                   const QueryOptions* qopts = nullptr) const;
+  Result<QueryResult> QueryBlocked(const traj::FlatTrajectoryView& query,
+                                   const traj::FlatDatabase& db,
+                                   const BlockingIndex& index,
+                                   BlockingMode mode, Matcher matcher,
+                                   BlockingScratch* scratch = nullptr,
+                                   const QueryOptions* qopts = nullptr) const;
+
   /// Answers many queries, optionally in parallel
   /// (options.num_threads > 1). Results align with `queries` order.
   Result<std::vector<QueryResult>> BatchQuery(
@@ -289,6 +327,15 @@ class FtlEngine {
   /// yields an OK partial result with truncated=true. Candidates are
   /// always evaluated in a stable order and truncation keeps a prefix
   /// of it, so partial results are reproducible.
+  /// Shared body of the QueryBlocked overloads: candidate generation
+  /// in `mode` followed by QueryImpl over the survivors.
+  template <typename QueryT, typename DbT>
+  Result<QueryResult> QueryBlockedImpl(const QueryT& query, const DbT& db,
+                                       const BlockingIndex& index,
+                                       BlockingMode mode, Matcher matcher,
+                                       BlockingScratch* scratch,
+                                       const QueryOptions* qopts) const;
+
   template <typename QueryT, typename DbT>
   Result<QueryResult> QueryImpl(const QueryT& query, const DbT& db,
                                 const std::vector<size_t>* candidate_indices,

@@ -194,6 +194,11 @@ Status FtlServer::Start() {
   if (options_.max_queue == 0) {
     return Status::InvalidArgument("--max-queue must be at least 1");
   }
+  if (options_.blocking_mode != core::BlockingMode::kOff && q_ != nullptr) {
+    FTL_RETURN_NOT_OK(options_.blocking.Validate());
+    blocking_index_ = std::make_unique<const core::BlockingIndex>(
+        *q_, options_.blocking);
+  }
   if (options_.port < 0 || options_.port > 65535) {
     return Status::InvalidArgument("port must be in [0, 65535]");
   }
@@ -441,10 +446,17 @@ HttpResponse FtlServer::HandleQuery(const HttpRequest& req) {
   }
   core::QueryOptions qopts;
   if (deadline_ms > 0) qopts.deadline = Deadline::AfterMillis(deadline_ms);
-  auto r = store_ != nullptr
-               ? store_->Snapshot()->Query(*engine_, (*p_)[idx], matcher,
-                                           &qopts)
-               : engine_->Query((*p_)[idx], *q_, matcher, qopts);
+  auto r = [&]() {
+    if (store_ != nullptr) {
+      return store_->Snapshot()->Query(*engine_, (*p_)[idx], matcher, &qopts);
+    }
+    if (blocking_index_ != nullptr) {
+      return engine_->QueryBlocked((*p_)[idx], *q_, *blocking_index_,
+                                   options_.blocking_mode, matcher, nullptr,
+                                   &qopts);
+    }
+    return engine_->Query((*p_)[idx], *q_, matcher, qopts);
+  }();
   if (!r.ok()) return ErrorResponse(r.status());
   core::QueryResult result = std::move(r).value();
   if (top >= 0 && result.candidates.size() > static_cast<size_t>(top)) {

@@ -108,6 +108,16 @@ struct ServeOptions {
   /// SIGTERM/SIGINT by InstallShutdownSignalHandlers.
   const std::atomic<int>* stop_flag = nullptr;
 
+  /// Candidate generation (`--blocking`). In engine mode (static Q) a
+  /// BlockingIndex over Q is built once at Start() and every /v1/query
+  /// scores only the survivors (kGuaranteed: byte-identical results;
+  /// kAggressive: heuristic blockers, recall < 1). In store mode set
+  /// StoreOptions::blocking_mode instead — the store's snapshots carry
+  /// per-segment indices and these fields are ignored. /v1/rank is
+  /// never blocked (the client already chose the candidates).
+  core::BlockingMode blocking_mode = core::BlockingMode::kOff;
+  core::BlockingOptions blocking;
+
   /// When false the server starts NOT ready: /readyz answers 503 and
   /// the /v1/* endpoints reject with 503 + Retry-After until
   /// MarkReady() is called. This lets `ftl serve --store` bind its
@@ -202,6 +212,9 @@ class FtlServer {
   const traj::TrajectoryDatabase* p_;
   const traj::TrajectoryDatabase* q_;        // engine mode; null in store mode
   store::Store* store_ = nullptr;            // store mode; null in engine mode
+  /// Engine mode with blocking_mode != kOff: the index over Q, built
+  /// at Start() and immutable afterwards.
+  std::unique_ptr<const core::BlockingIndex> blocking_index_;
 
   int listen_fd_ = -1;
   int port_ = 0;

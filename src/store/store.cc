@@ -78,9 +78,13 @@ bool IsStoreFileName(const std::string& name) {
 
 std::shared_ptr<const StoreSnapshot> StoreSnapshot::Build(
     const std::vector<std::shared_ptr<const traj::FlatDatabase>>& segments,
-    const MutableSegment& memtable, uint64_t generation, uint64_t version) {
+    const MutableSegment& memtable, uint64_t generation, uint64_t version,
+    std::vector<std::shared_ptr<const core::BlockingIndex>> segment_indices,
+    core::BlockingMode blocking_mode) {
   auto snap = std::shared_ptr<StoreSnapshot>(new StoreSnapshot());
   snap->segments_ = segments;
+  snap->segment_indices_ = std::move(segment_indices);
+  snap->blocking_mode_ = blocking_mode;
   snap->memtable_db_ = memtable.ToDatabase("memtable");
   snap->generation_ = generation;
   snap->version_ = version;
@@ -233,11 +237,49 @@ Result<core::QueryResult> StoreSnapshot::Query(
   traj::FlatDatabase qflat = traj::FlatDatabase::FromDatabase(qwrap);
   traj::FlatTrajectoryView qview = qflat[0];
 
+  // Candidate generation: when the snapshot carries per-segment
+  // BlockingIndexes, each plain segment run is intersected with the
+  // index survivors before scoring (guaranteed mode keeps the result
+  // byte-identical — see DESIGN.md §13; aggressive mode trades recall).
+  // Overlay and memtable runs are always scored exhaustively.
+  const bool blocked = blocking_mode_ != core::BlockingMode::kOff &&
+                       !segment_indices_.empty() && engine.trained();
+  core::BlockingGuarantee guarantee;
+  if (blocked && blocking_mode_ == core::BlockingMode::kGuaranteed) {
+    guarantee = engine.DeriveBlockingGuarantee(matcher);
+  }
+  core::BlockingScratch bscratch;
+  std::vector<size_t> survivors;  // per-segment, ascending
+  std::vector<size_t> filtered;   // run ∩ survivors, ascending
+
   core::QueryResult out;
   const size_t nseg = segments_.size();
   for (size_t s = 0; s < plans_.size() && !out.truncated; ++s) {
+    const core::BlockingIndex* index =
+        blocked && s < nseg && s < segment_indices_.size()
+            ? segment_indices_[s].get()
+            : nullptr;
+    if (index != nullptr) {
+      if (blocking_mode_ == core::BlockingMode::kGuaranteed) {
+        index->GuaranteedCandidates(qview, guarantee, &bscratch, &survivors);
+      } else {
+        index->Candidates(qview, &bscratch, &survivors);
+      }
+    }
     for (const Run& run : plans_[s]) {
       if (run.indices.empty()) continue;
+      const std::vector<size_t>* run_indices = &run.indices;
+      if (index != nullptr && !run.overlay) {
+        // Plain-run locals are ascending within a run (Build pushes
+        // them in local order), as are the survivors, so a sorted
+        // intersection preserves canonical evaluation order.
+        filtered.clear();
+        std::set_intersection(run.indices.begin(), run.indices.end(),
+                              survivors.begin(), survivors.end(),
+                              std::back_inserter(filtered));
+        if (filtered.empty()) continue;
+        run_indices = &filtered;
+      }
       Result<core::QueryResult> r = [&]() {
         if (run.overlay) {
           return qopts != nullptr
@@ -249,9 +291,9 @@ Result<core::QueryResult> StoreSnapshot::Query(
         if (s < nseg) {
           return qopts != nullptr
                      ? engine.QueryWithCandidates(qview, *segments_[s],
-                                                  run.indices, matcher, *qopts)
+                                                  *run_indices, matcher, *qopts)
                      : engine.QueryWithCandidates(qview, *segments_[s],
-                                                  run.indices, matcher);
+                                                  *run_indices, matcher);
         }
         return qopts != nullptr
                    ? engine.QueryWithCandidates(query, memtable_db_,
@@ -370,6 +412,7 @@ Status Store::RecoverLocked(RecoveryInfo* info) {
   }
 
   segments_.clear();
+  segment_indices_.clear();
   for (const std::string& seg : manifest_.segments) {
     auto r = io::ReadFtb(dir_ + "/" + seg);
     if (!r.ok()) {
@@ -378,6 +421,10 @@ Status Store::RecoverLocked(RecoveryInfo* info) {
     }
     segments_.push_back(
         std::make_shared<traj::FlatDatabase>(std::move(r).value()));
+    if (options_.blocking_mode != core::BlockingMode::kOff) {
+      segment_indices_.push_back(std::make_shared<const core::BlockingIndex>(
+          *segments_.back(), options_.blocking));
+    }
   }
 
   // WAL replay: repair the torn tail in place, then apply every
@@ -590,6 +637,10 @@ Status Store::FlushLocked() {
   wal_ = std::move(w).value();
   segments_.push_back(
       std::make_shared<traj::FlatDatabase>(std::move(reread).value()));
+  if (options_.blocking_mode != core::BlockingMode::kOff) {
+    segment_indices_.push_back(std::make_shared<const core::BlockingIndex>(
+        *segments_.back(), options_.blocking));
+  }
   memtable_.Clear();
   manifest_ = std::move(next);
   ++version_;
@@ -612,7 +663,9 @@ std::shared_ptr<const StoreSnapshot> Store::Snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   if (snapshot_ == nullptr || snapshot_version_ != version_) {
     snapshot_ = StoreSnapshot::Build(segments_, memtable_,
-                                     manifest_.generation, version_);
+                                     manifest_.generation, version_,
+                                     segment_indices_,
+                                     options_.blocking_mode);
     snapshot_version_ = version_;
   }
   return snapshot_;

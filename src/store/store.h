@@ -36,6 +36,7 @@
 #include <string>
 #include <vector>
 
+#include "core/blocking.h"
 #include "core/engine.h"
 #include "store/manifest.h"
 #include "store/memtable.h"
@@ -65,6 +66,16 @@ struct StoreOptions {
   /// Append returns OutOfRange (HTTP 503 / exit code 5) until a flush
   /// succeeds.
   double backpressure_factor = 4.0;
+
+  /// Candidate generation for snapshot queries (`--blocking`). When
+  /// not kOff, every immutable segment gets a BlockingIndex built at
+  /// flush/recovery time and snapshot queries score only the segment
+  /// survivors (kGuaranteed preserves accept sets byte-identically;
+  /// kAggressive applies the heuristic span/co-visitation blockers).
+  /// The memtable and the cross-segment overlay are always scored
+  /// exhaustively — they are small and churn too fast to index.
+  core::BlockingMode blocking_mode = core::BlockingMode::kOff;
+  core::BlockingOptions blocking;
 };
 
 /// What Recover() did, for operator output and tests.
@@ -170,11 +181,20 @@ class StoreSnapshot {
 
   static std::shared_ptr<const StoreSnapshot> Build(
       const std::vector<std::shared_ptr<const traj::FlatDatabase>>& segments,
-      const MutableSegment& memtable, uint64_t generation, uint64_t version);
+      const MutableSegment& memtable, uint64_t generation, uint64_t version,
+      std::vector<std::shared_ptr<const core::BlockingIndex>> segment_indices =
+          {},
+      core::BlockingMode blocking_mode = core::BlockingMode::kOff);
 
   StoreSnapshot() = default;
 
   std::vector<std::shared_ptr<const traj::FlatDatabase>> segments_;
+  /// Per-segment candidate-generation indices (parallel to segments_;
+  /// empty when blocking_mode_ == kOff). Query() intersects each plain
+  /// segment run with the index survivors; overlay and memtable runs
+  /// stay exhaustive.
+  std::vector<std::shared_ptr<const core::BlockingIndex>> segment_indices_;
+  core::BlockingMode blocking_mode_ = core::BlockingMode::kOff;
   traj::TrajectoryDatabase memtable_db_;  ///< snapshot copy of the memtable
   traj::TrajectoryDatabase overlay_db_;   ///< pre-merged multi-home labels
 
@@ -261,6 +281,10 @@ class Store {
   bool broken_ = false;
   Manifest manifest_;
   std::vector<std::shared_ptr<const traj::FlatDatabase>> segments_;
+  /// Parallel to segments_ when options_.blocking_mode != kOff (empty
+  /// otherwise): the BlockingIndex built for each segment at
+  /// flush/recovery time.
+  std::vector<std::shared_ptr<const core::BlockingIndex>> segment_indices_;
   MutableSegment memtable_;
   WalWriter wal_;
   uint64_t version_ = 0;  ///< bumps on every visible mutation

@@ -1,10 +1,14 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
 
 #include "core/blocking.h"
 #include "core/engine.h"
 #include "sim/population_sim.h"
+#include "traj/flat_database.h"
 
 namespace ftl::core {
 namespace {
@@ -194,6 +198,322 @@ TEST(BlockingTest, QueryWithCandidatesMatchesFullQueryOnSurvivors) {
     }
     EXPECT_TRUE(found);
   }
+}
+
+/// Owned columns for hand-built FlatDatabases (no sortedness
+/// validation — the vector for the unsorted-span regression).
+struct OwnedColumns {
+  std::vector<uint64_t> record_offsets;
+  std::vector<uint64_t> owners;
+  std::vector<uint64_t> label_offsets;
+  std::string label_pool;
+  std::vector<int64_t> ts;
+  std::vector<double> xs;
+  std::vector<double> ys;
+};
+
+traj::FlatDatabase FlatFromRows(
+    const std::vector<std::pair<std::string,
+                                std::vector<Record>>>& rows) {
+  auto oc = std::make_shared<OwnedColumns>();
+  oc->record_offsets.push_back(0);
+  oc->label_offsets.push_back(0);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    for (const Record& r : rows[i].second) {
+      oc->ts.push_back(r.t);
+      oc->xs.push_back(r.location.x);
+      oc->ys.push_back(r.location.y);
+    }
+    oc->record_offsets.push_back(oc->ts.size());
+    oc->owners.push_back(i + 1);
+    oc->label_pool += rows[i].first;
+    oc->label_offsets.push_back(oc->label_pool.size());
+  }
+  traj::FlatDatabase::Columns c;
+  c.record_offsets = oc->record_offsets.data();
+  c.owners = oc->owners.data();
+  c.label_offsets = oc->label_offsets.data();
+  c.label_pool = oc->label_pool.data();
+  c.ts = oc->ts.data();
+  c.xs = oc->xs.data();
+  c.ys = oc->ys.data();
+  c.num_trajectories = rows.size();
+  c.num_records = oc->ts.size();
+  c.label_pool_size = oc->label_pool.size();
+  return traj::FlatDatabase::FromColumns(c, oc, "handmade");
+}
+
+TEST(BlockingTest, UnsortedInputSpansComputedAsMinMax) {
+  // Regression: the index must not trust first/last records as the
+  // span. This candidate's rows arrive newest-first; trusting
+  // front()/back() yields the inverted span [100000, 50] and a query
+  // inside the true span would be pruned.
+  traj::FlatDatabase db = FlatFromRows(
+      {{"unsorted", {R(0, 0, 100000), R(0, 0, 50)}}});
+  BlockingOptions o;
+  o.use_spatial = false;
+  o.temporal_slack_seconds = 0;
+  BlockingIndex index(db, o);
+  // Query strictly inside [50, 100000] but far from both endpoints.
+  traj::FlatDatabase qdb = FlatFromRows({{"q", {R(0, 0, 40000)}}});
+  auto mid = index.Candidates(qdb[0]);
+  ASSERT_EQ(mid.size(), 1u);
+  EXPECT_EQ(mid[0], 0u);
+  // And outside the true span it is still pruned.
+  traj::FlatDatabase qout = FlatFromRows({{"q2", {R(0, 0, 200000)}}});
+  EXPECT_TRUE(index.Candidates(qout[0]).empty());
+}
+
+TEST(BlockingTest, ExtremeCoordinatesDoNotOverflow) {
+  // Cell coordinates saturate instead of overflowing int32 (UB in the
+  // old code): huge/non-finite positions index and query safely.
+  const double inf = std::numeric_limits<double>::infinity();
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  TrajectoryDatabase db;
+  (void)db.Add(T("huge", 1, {R(1e308, -1e308, 0)}));
+  (void)db.Add(T("inf", 2, {R(inf, -inf, 10)}));
+  (void)db.Add(T("nan", 3, {R(nan, nan, 20)}));
+  (void)db.Add(T("near", 4, {R(100, 100, 30)}));
+  BlockingOptions o = NoSlack();
+  o.use_temporal = false;
+  o.cell_size_meters = 0.001;  // tiny cells amplify the coordinates
+  o.neighborhood = 1;
+  BlockingIndex index(db, o);
+  // A normal-area query must not pick up the saturated candidates.
+  auto near = index.Candidates(T("q", 9, {R(100, 100, 0)}));
+  ASSERT_EQ(near.size(), 1u);
+  EXPECT_EQ(db[near[0]].label(), "near");
+  // A saturated query lands in the same clamped cells as the
+  // saturated candidates — no crash, deterministic result.
+  auto far = index.Candidates(T("q2", 9, {R(1e308, -1e308, 0)}));
+  EXPECT_FALSE(far.empty());
+}
+
+TEST(BlockingTest, ValidateRejectsBadOptions) {
+  EXPECT_TRUE(BlockingOptions{}.Validate().ok());
+  BlockingOptions o;
+  o.cell_size_meters = 0.0;
+  EXPECT_EQ(o.Validate().code(), StatusCode::kInvalidArgument);
+  o.cell_size_meters = -5.0;
+  EXPECT_EQ(o.Validate().code(), StatusCode::kInvalidArgument);
+  o.cell_size_meters = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(o.Validate().code(), StatusCode::kInvalidArgument);
+  o.cell_size_meters = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(o.Validate().code(), StatusCode::kInvalidArgument);
+  o = BlockingOptions{};
+  o.temporal_slack_seconds = -1;
+  EXPECT_EQ(o.Validate().code(), StatusCode::kInvalidArgument);
+  o = BlockingOptions{};
+  o.time_bucket_seconds = 0;
+  EXPECT_EQ(o.Validate().code(), StatusCode::kInvalidArgument);
+  o = BlockingOptions{};
+  o.neighborhood = -1;
+  EXPECT_EQ(o.Validate().code(), StatusCode::kInvalidArgument);
+  o.neighborhood = 17;
+  EXPECT_EQ(o.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(BlockingTest, ParseBlockingModeRoundTrips) {
+  for (BlockingMode m : {BlockingMode::kOff, BlockingMode::kGuaranteed,
+                         BlockingMode::kAggressive}) {
+    auto parsed = ParseBlockingMode(BlockingModeName(m));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value(), m);
+  }
+  EXPECT_EQ(ParseBlockingMode("bogus").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(BlockingTest, CallerOwnedScratchReusableAcrossIndices) {
+  // One scratch serving two indices of different sizes (the
+  // thread_local pinning bug made this pattern return stale results).
+  TrajectoryDatabase small;
+  (void)small.Add(T("s0", 1, {R(0, 0, 0), R(0, 0, 100)}));
+  TrajectoryDatabase big;
+  for (int i = 0; i < 50; ++i) {
+    (void)big.Add(T("b" + std::to_string(i), 100 + i,
+                    {R(i * 10.0, 0, i * 10), R(i * 10.0, 0, i * 10 + 5)}));
+  }
+  BlockingOptions o;
+  BlockingIndex small_index(small, o);
+  BlockingIndex big_index(big, o);
+  BlockingScratch scratch;
+  Trajectory query = T("q", 9, {R(0, 0, 50)});
+  for (int round = 0; round < 3; ++round) {
+    std::vector<size_t> out;
+    small_index.Candidates(query, &scratch, &out);
+    EXPECT_EQ(out, small_index.Candidates(query));
+    big_index.Candidates(query, &scratch, &out);
+    EXPECT_EQ(out, big_index.Candidates(query));
+  }
+}
+
+TEST(BlockingTest, NegativeCoordinatesStraddleCellZero) {
+  // Floor-division grid: (-1, -1) is in cell (-1, -1), not cell (0, 0)
+  // (integer truncation would merge them and mask real separation).
+  TrajectoryDatabase db;
+  (void)db.Add(T("neg", 1, {R(-1, -1, 0)}));
+  BlockingOptions o = NoSlack();
+  o.use_temporal = false;
+  o.cell_size_meters = 1000.0;
+  o.neighborhood = 0;
+  BlockingIndex strict(db, o);
+  o.neighborhood = 1;
+  BlockingIndex relaxed(db, o);
+  Trajectory query = T("q", 9, {R(1, 1, 0)});
+  EXPECT_TRUE(strict.Candidates(query).empty());
+  EXPECT_EQ(relaxed.Candidates(query).size(), 1u);
+}
+
+TEST(BlockingTest, BothBlockersDisabledReturnsIdentity) {
+  TrajectoryDatabase db;
+  (void)db.Add(T("a", 1, {R(0, 0, 0)}));
+  (void)db.Add(T("b", 2, {}));  // even empty candidates
+  (void)db.Add(T("c", 3, {R(1e6, 1e6, 1000000)}));
+  BlockingOptions o;
+  o.use_temporal = false;
+  o.use_spatial = false;
+  BlockingIndex index(db, o);
+  auto cands = index.Candidates(T("q", 9, {R(0, 0, 0)}));
+  EXPECT_EQ(cands, (std::vector<size_t>{0, 1, 2}));
+  // ... but an empty query still returns nothing.
+  EXPECT_TRUE(index.Candidates(T("q2", 9, {})).empty());
+}
+
+TEST(BlockingTest, MinSharedCellsZeroDisablesSpatialFilter) {
+  TrajectoryDatabase db;
+  (void)db.Add(T("far", 1, {R(90000, 90000, 0)}));
+  BlockingOptions o = NoSlack();
+  o.use_temporal = false;
+  o.min_shared_cells = 0;
+  BlockingIndex index(db, o);
+  EXPECT_EQ(index.Candidates(T("q", 9, {R(0, 0, 0)})).size(), 1u);
+}
+
+TEST(BlockingGuaranteedTest, EdgeCases) {
+  TrajectoryDatabase db;
+  (void)db.Add(T("a", 1, {R(0, 0, 0), R(0, 0, 100)}));
+  (void)db.Add(T("empty", 2, {}));
+  (void)db.Add(T("far", 3, {R(0, 0, 1000000)}));
+  BlockingIndex index(db, {});
+  BlockingScratch scratch;
+  std::vector<size_t> out;
+
+  // min_segments == 0 means "cannot prune": identity, even for an
+  // empty query (a no-evidence accept criterion accepts everything).
+  BlockingGuarantee cannot{3600, 0};
+  index.GuaranteedCandidates(T("q", 9, {}), cannot, &scratch, &out);
+  EXPECT_EQ(out, (std::vector<size_t>{0, 1, 2}));
+
+  // An empty query has no co-occurrence: with a real bound everything
+  // is provably unacceptable.
+  BlockingGuarantee g{3600, 1};
+  index.GuaranteedCandidates(T("q", 9, {}), g, &scratch, &out);
+  EXPECT_TRUE(out.empty());
+
+  // Empty candidates can never co-occur; far candidates are outside
+  // the horizon.
+  index.GuaranteedCandidates(T("q", 9, {R(0, 0, 50)}), g, &scratch, &out);
+  EXPECT_EQ(out, (std::vector<size_t>{0}));
+}
+
+/// Property harness: guaranteed mode must keep engine results
+/// byte-identical to exhaustive scoring, for both matchers, on both
+/// representations.
+void ExpectGuaranteedIdentity(Matcher matcher) {
+  sim::PopulationOptions po;
+  po.num_persons = 40;
+  po.duration_days = 5;
+  po.cdr_accesses_per_day = 20.0;
+  po.transit_accesses_per_day = 20.0;
+  po.seed = 407;
+  auto data = sim::SimulatePopulation(po);
+  EngineOptions eo;
+  eo.training.horizon_units = 30;
+  FtlEngine engine(eo);
+  ASSERT_TRUE(engine.Train(data.cdr_db, data.transit_db).ok());
+
+  BlockingIndex index(data.transit_db, {});
+  traj::FlatDatabase flat_q = traj::FlatDatabase::FromDatabase(
+      data.transit_db);
+  BlockingIndex flat_index(flat_q, {});
+  traj::FlatDatabase flat_p = traj::FlatDatabase::FromDatabase(data.cdr_db);
+  BlockingScratch scratch;
+  for (size_t qi = 0; qi < data.cdr_db.size(); ++qi) {
+    auto full = engine.Query(data.cdr_db[qi], data.transit_db, matcher);
+    auto blocked = engine.QueryBlocked(data.cdr_db[qi], data.transit_db,
+                                       index, BlockingMode::kGuaranteed,
+                                       matcher, &scratch);
+    ASSERT_TRUE(full.ok());
+    ASSERT_TRUE(blocked.ok());
+    ASSERT_EQ(full.value().candidates.size(),
+              blocked.value().candidates.size());
+    for (size_t i = 0; i < full.value().candidates.size(); ++i) {
+      EXPECT_EQ(full.value().candidates[i].index,
+                blocked.value().candidates[i].index);
+      EXPECT_EQ(full.value().candidates[i].score,
+                blocked.value().candidates[i].score);
+    }
+    // SoA path: same property over the columnar database.
+    auto flat_blocked = engine.QueryBlocked(
+        flat_p[qi], flat_q, flat_index, BlockingMode::kGuaranteed, matcher,
+        &scratch);
+    ASSERT_TRUE(flat_blocked.ok());
+    ASSERT_EQ(full.value().candidates.size(),
+              flat_blocked.value().candidates.size());
+    for (size_t i = 0; i < full.value().candidates.size(); ++i) {
+      EXPECT_EQ(full.value().candidates[i].index,
+                flat_blocked.value().candidates[i].index);
+    }
+  }
+}
+
+TEST(BlockingGuaranteedTest, NaiveBayesAcceptSetsByteIdentical) {
+  ExpectGuaranteedIdentity(Matcher::kNaiveBayes);
+}
+
+TEST(BlockingGuaranteedTest, AlphaFilterAcceptSetsByteIdentical) {
+  ExpectGuaranteedIdentity(Matcher::kAlphaFilter);
+}
+
+TEST(BlockingGuaranteedTest, QueryBlockedOffMatchesPlainQuery) {
+  sim::PopulationOptions po;
+  po.num_persons = 15;
+  po.duration_days = 3;
+  po.seed = 408;
+  auto data = sim::SimulatePopulation(po);
+  FtlEngine engine;
+  ASSERT_TRUE(engine.Train(data.cdr_db, data.transit_db).ok());
+  BlockingIndex index(data.transit_db, {});
+  auto off = engine.QueryBlocked(data.cdr_db[0], data.transit_db, index,
+                                 BlockingMode::kOff, Matcher::kNaiveBayes);
+  auto plain = engine.Query(data.cdr_db[0], data.transit_db,
+                            Matcher::kNaiveBayes);
+  ASSERT_TRUE(off.ok());
+  ASSERT_TRUE(plain.ok());
+  ASSERT_EQ(off.value().candidates.size(), plain.value().candidates.size());
+  for (size_t i = 0; i < off.value().candidates.size(); ++i) {
+    EXPECT_EQ(off.value().candidates[i].index,
+              plain.value().candidates[i].index);
+  }
+}
+
+TEST(BlockingGuaranteedTest, IndexSizeMismatchRejected) {
+  sim::PopulationOptions po;
+  po.num_persons = 10;
+  po.duration_days = 2;
+  po.seed = 409;
+  auto data = sim::SimulatePopulation(po);
+  FtlEngine engine;
+  ASSERT_TRUE(engine.Train(data.cdr_db, data.transit_db).ok());
+  TrajectoryDatabase other;
+  (void)other.Add(T("x", 1, {R(0, 0, 0)}));
+  BlockingIndex stale(other, {});
+  auto r = engine.QueryBlocked(data.cdr_db[0], data.transit_db, stale,
+                               BlockingMode::kGuaranteed,
+                               Matcher::kNaiveBayes);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
 }
 
 TEST(BlockingTest, OutOfRangeCandidateIndexRejected) {

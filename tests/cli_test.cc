@@ -280,6 +280,47 @@ TEST(CliTest, LinkJsonEmitsParseableObjects) {
   EXPECT_EQ(objects, 1u);
 }
 
+TEST(CliTest, LinkBlockingGuaranteedIsByteIdentical) {
+  TempFiles files;
+  std::string p_csv = files.Add("cli_blk_p.csv");
+  std::string q_csv = files.Add("cli_blk_q.csv");
+  {
+    std::ostringstream out;
+    ASSERT_EQ(RunCli({"simulate", "--out-p", p_csv, "--out-q", q_csv,
+                      "--config", "SD", "--objects", "25", "--seed", "6"},
+                     out),
+              0)
+        << out.str();
+  }
+  std::ostringstream off, guaranteed;
+  ASSERT_EQ(RunCli({"link", "--p", p_csv, "--q", q_csv, "--json"}, off), 0);
+  ASSERT_EQ(RunCli({"link", "--p", p_csv, "--q", q_csv, "--json",
+                    "--blocking", "guaranteed"},
+                   guaranteed),
+            0);
+  // The serve wire format covers every index, score, and p-value: one
+  // string compare proves the accept sets identical.
+  EXPECT_EQ(off.str(), guaranteed.str());
+
+  // Aggressive mode runs (results may legitimately differ).
+  std::ostringstream aggressive;
+  EXPECT_EQ(RunCli({"link", "--p", p_csv, "--q", q_csv, "--json",
+                    "--blocking", "aggressive"},
+                   aggressive),
+            0);
+
+  // Bad mode and bad tuning are rejected up front.
+  std::ostringstream err1, err2;
+  EXPECT_EQ(RunCli({"link", "--p", p_csv, "--q", q_csv, "--blocking",
+                    "sometimes"},
+                   err1),
+            2);
+  EXPECT_EQ(RunCli({"link", "--p", p_csv, "--q", q_csv, "--blocking",
+                    "guaranteed", "--blocking-cell-m", "-3"},
+                   err2),
+            2);
+}
+
 TEST(CliTest, LinkRejectsBadMatcher) {
   TempFiles files;
   std::string p_csv = files.Add("cli_p2.csv");

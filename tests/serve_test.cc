@@ -231,6 +231,39 @@ TEST_F(ServeTest, ConcurrentClientsGetByteIdenticalResults) {
   server.Wait();
 }
 
+TEST_F(ServeTest, BlockedQueriesByteIdenticalInGuaranteedMode) {
+  // Engine mode with --blocking guaranteed: the server builds the
+  // index over Q at Start() and every /v1/query response must stay
+  // byte-identical to direct exhaustive engine calls.
+  ServeOptions so = EphemeralOptions();
+  so.blocking_mode = core::BlockingMode::kGuaranteed;
+  FtlServer server(so, engine_, &data_->cdr_db, &data_->transit_db);
+  ASSERT_TRUE(server.Start().ok());
+  int port = server.port();
+  for (size_t i = 0; i < 6; ++i) {
+    const std::string label = data_->cdr_db[i].label();
+    auto direct = engine_->Query(data_->cdr_db[i], data_->transit_db,
+                                 Matcher::kNaiveBayes);
+    ASSERT_TRUE(direct.ok());
+    auto r = HttpRequestOnce("127.0.0.1", port, "POST", "/v1/query",
+                             "{\"query\":\"" + label + "\"}");
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    ASSERT_EQ(r.value().status, 200);
+    EXPECT_EQ(r.value().body, io::QueryResultToJson(label, direct.value()))
+        << "query " << label;
+  }
+  server.Shutdown();
+  server.Wait();
+}
+
+TEST_F(ServeTest, StartRejectsInvalidBlockingOptions) {
+  ServeOptions so = EphemeralOptions();
+  so.blocking_mode = core::BlockingMode::kAggressive;
+  so.blocking.cell_size_meters = -1.0;
+  FtlServer server(so, engine_, &data_->cdr_db, &data_->transit_db);
+  EXPECT_EQ(server.Start().code(), StatusCode::kInvalidArgument);
+}
+
 TEST_F(ServeTest, RankMatchesQueryWithCandidates) {
   FtlServer server(EphemeralOptions(), engine_, &data_->cdr_db,
                    &data_->transit_db);

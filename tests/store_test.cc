@@ -589,6 +589,81 @@ TEST_F(StoreQueryTest, SnapshotQueryByteIdenticalToMergedDatabase) {
   }
 }
 
+TEST_F(StoreQueryTest, BlockedSnapshotQueryByteIdenticalToMergedDatabase) {
+  // Same rows through a store with per-segment blocking indices
+  // (guaranteed mode): snapshot queries must still be byte-identical
+  // to exhaustive engine queries over the merged database.
+  store::StoreOptions so = SmallStoreOptions(120);
+  so.blocking_mode = core::BlockingMode::kGuaranteed;
+  auto opened = store::Store::Open(FreshDir("store_query_blocked"), so);
+  ASSERT_TRUE(opened.ok());
+  store::Store& blocked_store = *opened.value();
+  for (int round = 0; round < 2; ++round) {
+    for (const traj::Trajectory& t : q_) {
+      store::IngestBatch b;
+      size_t half = t.size() / 2;
+      size_t begin = round == 0 ? 0 : half;
+      size_t end = round == 0 ? half : t.size();
+      for (size_t i = begin; i < end; ++i) {
+        const traj::Record& r = t.records()[i];
+        b.rows.push_back(store::IngestRow{t.label(), t.owner(), r.t,
+                                          r.location.x, r.location.y});
+      }
+      if (!b.rows.empty()) ASSERT_TRUE(blocked_store.Append(b).ok());
+    }
+  }
+  ASSERT_GE(blocked_store.num_segments(), 2u);
+  auto snap = blocked_store.Snapshot();
+  ASSERT_EQ(snap->size(), merged_.size());
+  for (core::Matcher matcher :
+       {core::Matcher::kNaiveBayes, core::Matcher::kAlphaFilter}) {
+    for (size_t qi = 0; qi < p_.size(); ++qi) {
+      auto want = engine_->Query(p_[qi], merged_, matcher);
+      auto got = snap->Query(*engine_, p_[qi], matcher, nullptr);
+      ASSERT_EQ(want.ok(), got.ok()) << p_[qi].label();
+      if (!want.ok()) continue;
+      EXPECT_EQ(io::QueryResultToJson(p_[qi].label(), got.value()),
+                io::QueryResultToJson(p_[qi].label(), want.value()))
+          << "query " << p_[qi].label() << " matcher "
+          << (matcher == core::Matcher::kNaiveBayes ? "nb" : "alpha");
+      // Fewer pairs scored, same accept set.
+      EXPECT_LE(got.value().evaluated, want.value().evaluated);
+    }
+  }
+}
+
+TEST_F(StoreQueryTest, BlockedIndicesSurviveRecovery) {
+  // Indices are rebuilt at recovery: reopening the blocked store keeps
+  // queries byte-identical and still prunes.
+  store::StoreOptions so = SmallStoreOptions(120);
+  so.blocking_mode = core::BlockingMode::kGuaranteed;
+  std::string dir = FreshDir("store_query_blocked_recover");
+  {
+    auto opened = store::Store::Open(dir, so);
+    ASSERT_TRUE(opened.ok());
+    for (const traj::Trajectory& t : q_) {
+      store::IngestBatch b;
+      for (const traj::Record& r : t.records()) {
+        b.rows.push_back(store::IngestRow{t.label(), t.owner(), r.t,
+                                          r.location.x, r.location.y});
+      }
+      ASSERT_TRUE(opened.value()->Append(b).ok());
+    }
+    ASSERT_TRUE(opened.value()->Flush().ok());
+    ASSERT_GE(opened.value()->num_segments(), 1u);
+  }
+  auto reopened = store::Store::Open(dir, so);
+  ASSERT_TRUE(reopened.ok());
+  auto snap = reopened.value()->Snapshot();
+  auto want = engine_->Query(p_[0], merged_, core::Matcher::kNaiveBayes);
+  auto got = snap->Query(*engine_, p_[0], core::Matcher::kNaiveBayes,
+                         nullptr);
+  ASSERT_TRUE(want.ok());
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(io::QueryResultToJson(p_[0].label(), got.value()),
+            io::QueryResultToJson(p_[0].label(), want.value()));
+}
+
 TEST_F(StoreQueryTest, RankMatchesMergedDatabaseSubset) {
   auto snap = store_->Snapshot();
   std::vector<std::string> labels;

@@ -91,7 +91,8 @@ std::string UsageText() {
       "            [--horizon 60]      train and persist both models\n"
       "  link      --p P.csv --q Q.csv [--query LABEL] [--matcher nb|alpha]\n"
       "            [--phi 0.01] [--alpha1 0.01] [--alpha2 0.1] [--top 10]\n"
-      "            [--threads 1] [--json]\n"
+      "            [--threads 1] [--json] [--blocking off|guaranteed|\n"
+      "            aggressive]\n"
       "                                link query trajectories against Q;\n"
       "                                --json emits one JSON document per\n"
       "                                query (the serve API's wire format)\n"
@@ -154,6 +155,20 @@ std::string UsageText() {
       "    --matcher nb|alpha        default matcher for requests that\n"
       "                              name none (default nb)\n"
       "                              see docs/OPERATIONS.md + docs/API.md\n"
+      "\n"
+      "candidate generation (link + serve, DESIGN.md §13):\n"
+      "  --blocking MODE       off (default, exhaustive) | guaranteed\n"
+      "                        (prune with byte-identical results) |\n"
+      "                        aggressive (span-overlap + co-visitation\n"
+      "                        heuristics; recall < 1)\n"
+      "  --blocking-bucket-s S time-bucket width, seconds (default 3600)\n"
+      "  --blocking-slack-s S  aggressive span slack, seconds\n"
+      "                        (default 21600)\n"
+      "  --blocking-cell-m M   aggressive grid cell size, meters\n"
+      "                        (default 3000)\n"
+      "  --blocking-min-cells N  shared cells required (0 disables the\n"
+      "                        spatial blocker; default 1)\n"
+      "  --blocking-neighborhood R  cell expansion rings (default 1)\n"
       "\n"
       "Any --p/--q/--db/--in input may be a .ftb file (detected by magic\n"
       "bytes, loaded zero-copy via mmap) instead of CSV.\n"
@@ -246,6 +261,39 @@ Result<core::EngineOptions> EngineOptionsFromArgs(const ArgMap& args) {
   return eo;
 }
 
+/// Parses the shared candidate-generation flags (`ftl link`,
+/// `ftl serve`, and the store commands): --blocking MODE plus the
+/// tuning knobs. Returns mode kOff when the flag is absent.
+Status BlockingFromArgs(const ArgMap& args, core::BlockingMode* mode,
+                        core::BlockingOptions* bo) {
+  auto m = core::ParseBlockingMode(args.Get("blocking", "off"));
+  if (!m.ok()) return m.status();
+  *mode = m.value();
+  auto cell = args.GetDouble("blocking-cell-m", bo->cell_size_meters);
+  if (!cell.ok()) return cell.status();
+  bo->cell_size_meters = cell.value();
+  auto slack = args.GetInt("blocking-slack-s", bo->temporal_slack_seconds);
+  if (!slack.ok()) return slack.status();
+  bo->temporal_slack_seconds = slack.value();
+  auto bucket = args.GetInt("blocking-bucket-s", bo->time_bucket_seconds);
+  if (!bucket.ok()) return bucket.status();
+  bo->time_bucket_seconds = bucket.value();
+  auto cells = args.GetInt("blocking-min-cells",
+                           static_cast<int64_t>(bo->min_shared_cells));
+  if (!cells.ok()) return cells.status();
+  if (cells.value() < 0) {
+    return Status::InvalidArgument("--blocking-min-cells must be >= 0");
+  }
+  bo->min_shared_cells = static_cast<size_t>(cells.value());
+  auto hood = args.GetInt("blocking-neighborhood", bo->neighborhood);
+  if (!hood.ok()) return hood.status();
+  bo->neighborhood = static_cast<int>(hood.value());
+  if (*mode != core::BlockingMode::kOff) {
+    FTL_RETURN_NOT_OK(bo->Validate());
+  }
+  return Status::OK();
+}
+
 /// Parses the shared store flags (`ftl ingest`, `ftl serve --store`).
 Result<store::StoreOptions> StoreOptionsFromArgs(const ArgMap& args) {
   store::StoreOptions so;
@@ -276,6 +324,7 @@ Result<store::StoreOptions> StoreOptionsFromArgs(const ArgMap& args) {
     return Status::InvalidArgument("--backpressure-factor must be >= 1");
   }
   so.backpressure_factor = bp.value();
+  FTL_RETURN_NOT_OK(BlockingFromArgs(args, &so.blocking_mode, &so.blocking));
   return so;
 }
 
@@ -423,9 +472,21 @@ Status CmdLink(const ArgMap& args, std::ostream& out) {
   }
   auto top = args.GetInt("top", 10);
   if (!top.ok()) return top.status();
+  core::BlockingMode blocking_mode = core::BlockingMode::kOff;
+  core::BlockingOptions blocking_opts;
+  FTL_RETURN_NOT_OK(BlockingFromArgs(args, &blocking_mode, &blocking_opts));
 
   core::FtlEngine engine(eo.value());
   FTL_RETURN_NOT_OK(engine.Train(p.value(), q.value()));
+
+  // Candidate generation: build the index over Q once, reuse the
+  // scratch across queries (DESIGN.md §13).
+  std::unique_ptr<const core::BlockingIndex> blocking_index;
+  core::BlockingScratch blocking_scratch;
+  if (blocking_mode != core::BlockingMode::kOff) {
+    blocking_index = std::make_unique<const core::BlockingIndex>(
+        q.value(), blocking_opts);
+  }
 
   std::vector<size_t> query_indices;
   if (args.Has("query")) {
@@ -441,7 +502,11 @@ Status CmdLink(const ArgMap& args, std::ostream& out) {
 
   for (size_t qi : query_indices) {
     const auto& query = p.value()[qi];
-    auto result = engine.Query(query, q.value(), matcher);
+    auto result = blocking_index != nullptr
+                      ? engine.QueryBlocked(query, q.value(), *blocking_index,
+                                            blocking_mode, matcher,
+                                            &blocking_scratch)
+                      : engine.Query(query, q.value(), matcher);
     if (!result.ok()) return result.status();
     if (args.Has("json")) {
       // One JSON document per query, byte-identical to what the serve
@@ -690,6 +755,10 @@ Status CmdServe(const ArgMap& args, std::ostream& out) {
     return Status::InvalidArgument("--matcher must be nb or alpha, got '" +
                                    matcher_name + "'");
   }
+  // Engine mode applies --blocking via the server's index over the
+  // static Q; store mode applies it via StoreOptionsFromArgs below
+  // (per-segment indices inside the snapshots).
+  FTL_RETURN_NOT_OK(BlockingFromArgs(args, &so.blocking_mode, &so.blocking));
 
   core::FtlEngine engine(engine_opts);
 
