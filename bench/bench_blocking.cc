@@ -24,6 +24,7 @@
 
 #include "bench_common.h"
 #include "ftl/ftl.h"
+#include "obs/metrics.h"
 
 namespace {
 
@@ -350,9 +351,10 @@ int main(int argc, char** argv) {
   std::fprintf(f,
                "  ],\n  \"guaranteed_byte_identical\": %s,\n"
                "  \"guaranteed_recall_min\": %.6f,\n"
-               "  \"guaranteed_reduction_min_x\": %.3f\n}\n",
+               "  \"guaranteed_reduction_min_x\": %.3f,\n"
+               "  \"metrics\": %s\n}\n",
                all_identical ? "true" : "false", min_guaranteed_recall,
-               worst_guaranteed_reduction);
+               worst_guaranteed_reduction, ftl::obs::DumpJson().c_str());
   std::fclose(f);
 
   std::printf(

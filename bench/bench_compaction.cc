@@ -1,0 +1,334 @@
+// Compaction + sharded-parallel-query benchmark for the store
+// (DESIGN.md §14):
+//
+//   * For each target segment count (1 / 8 / 64): ingest the candidate
+//     database into that many immutable segments, then measure the
+//     snapshot query path — per-query p50/p99 latency and scored
+//     pairs/sec — serial (num_threads=1) and parallel (the sharded
+//     segment walk on the PR 1 ThreadPool).
+//   * Compact the store down to one segment (Store::CompactOnce rounds,
+//     the same code the background Compactor drives) and measure again:
+//     the before/after delta is what compaction buys query latency.
+//   * The identity gate: every response in every mode — serial,
+//     parallel, before and after compaction — must serialize
+//     byte-identically to querying one merged database. The process
+//     exits non-zero when any byte diverges, so CI fails loudly rather
+//     than recording a lie.
+//
+// Parallel speedup is reported honestly: on a single-hardware-thread
+// host the sharded walk cannot beat serial (the JSON records
+// hardware_concurrency so readers can judge).
+//
+// Emits BENCH_compaction.json (path overridable via argv[1]).
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "ftl/ftl.h"
+#include "obs/metrics.h"
+#include "util/stopwatch.h"
+
+namespace {
+
+using namespace ftl;
+
+std::string TempDir(const std::string& name) {
+  std::string dir = (std::filesystem::temp_directory_path() / name).string();
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+std::vector<store::IngestBatch> ToBatches(const traj::TrajectoryDatabase& db) {
+  std::vector<store::IngestBatch> batches;
+  batches.reserve(db.size());
+  for (const traj::Trajectory& t : db) {
+    store::IngestBatch b;
+    b.rows.reserve(t.size());
+    for (const traj::Record& r : t.records()) {
+      b.rows.push_back(store::IngestRow{t.label(), t.owner(), r.t,
+                                        r.location.x, r.location.y});
+    }
+    batches.push_back(std::move(b));
+  }
+  return batches;
+}
+
+struct QueryStats {
+  double seconds = 0.0;        // total wall time over all executions
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double pairs_per_sec = 0.0;
+  uint64_t pairs = 0;          // candidate pairs scored
+};
+
+double QuantileMs(std::vector<double>& samples, double q) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  size_t idx = static_cast<size_t>(q * static_cast<double>(samples.size()));
+  if (idx >= samples.size()) idx = samples.size() - 1;
+  return samples[idx] * 1000.0;
+}
+
+/// Runs `reps` passes of every query against the snapshot, checking
+/// each response against the oracle bytes. Returns false on any
+/// divergence (after printing the offending query).
+bool MeasureQueries(const store::StoreSnapshot& snap,
+                    const core::FtlEngine& engine,
+                    const traj::TrajectoryDatabase& p, size_t num_queries,
+                    size_t num_threads, int reps,
+                    const std::vector<std::string>& oracle, QueryStats* out) {
+  std::vector<double> latencies;
+  latencies.reserve(num_queries * static_cast<size_t>(reps));
+  Stopwatch total;
+  uint64_t pairs = 0;
+  for (int rep = 0; rep < reps; ++rep) {
+    for (size_t qi = 0; qi < num_queries; ++qi) {
+      Stopwatch sw;
+      auto got = snap.Query(engine, p[qi], core::Matcher::kNaiveBayes,
+                            nullptr, num_threads);
+      latencies.push_back(sw.ElapsedSeconds());
+      if (!got.ok()) {
+        std::fprintf(stderr, "query %s: %s\n",
+                     std::string(p[qi].label()).c_str(),
+                     got.status().ToString().c_str());
+        return false;
+      }
+      pairs += got.value().evaluated;
+      if (rep == 0 &&
+          io::QueryResultToJson(p[qi].label(), got.value()) != oracle[qi]) {
+        std::fprintf(stderr,
+                     "identity violated for query %s (num_threads=%zu)\n",
+                     std::string(p[qi].label()).c_str(), num_threads);
+        return false;
+      }
+    }
+  }
+  out->seconds = total.ElapsedSeconds();
+  out->pairs = pairs;
+  out->pairs_per_sec = static_cast<double>(pairs) / out->seconds;
+  out->p50_ms = QuantileMs(latencies, 0.5);
+  out->p99_ms = QuantileMs(latencies, 0.99);
+  return true;
+}
+
+void PrintStats(const char* tag, const QueryStats& s) {
+  std::printf("  %-16s p50=%7.3fms p99=%7.3fms  %10.0f pairs/sec\n", tag,
+              s.p50_ms, s.p99_ms, s.pairs_per_sec);
+}
+
+void StatsJson(FILE* f, const char* name, const QueryStats& s,
+               const char* trailer) {
+  std::fprintf(f,
+               "        \"%s\": { \"p50_ms\": %.6f, \"p99_ms\": %.6f, "
+               "\"pairs_per_sec\": %.1f, \"pairs\": %llu, "
+               "\"seconds\": %.6f }%s\n",
+               name, s.p50_ms, s.p99_ms, s.pairs_per_sec,
+               static_cast<unsigned long long>(s.pairs), s.seconds, trailer);
+}
+
+struct Scenario {
+  size_t target_segments = 0;
+  size_t actual_segments = 0;
+  size_t compacted_segments = 0;
+  size_t compaction_rounds = 0;
+  double compaction_seconds = 0.0;
+  uint64_t compaction_input_records = 0;
+  QueryStats before_serial, before_parallel, after_serial, after_parallel;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_compaction.json";
+  const std::string config = "SC";
+  const size_t num_objects = bench::PaperScale() ? 1000 : 200;
+  const size_t num_queries = bench::PaperScale() ? 48 : 16;
+  const int reps = bench::PaperScale() ? 5 : 3;
+  const size_t hw = std::max<size_t>(1, std::thread::hardware_concurrency());
+  // Exercise the sharded walk even on small hosts; the JSON records the
+  // real hardware so a <1x speedup there is read as expected, not a bug.
+  const size_t parallel_workers = std::max<size_t>(4, hw);
+
+  sim::DatasetPair pair = sim::BuildDataset(sim::FindConfig(config),
+                                            num_objects, bench::BenchSeed());
+  std::vector<store::IngestBatch> batches = ToBatches(pair.q);
+  size_t total_records = 0;
+  for (const auto& b : batches) total_records += b.rows.size();
+  const size_t queries = std::min(num_queries, pair.p.size());
+  std::printf(
+      "config=%s objects=%zu records=%zu queries=%zu reps=%d "
+      "hardware_concurrency=%zu parallel_workers=%zu\n",
+      config.c_str(), num_objects, total_records, queries, reps, hw,
+      parallel_workers);
+
+  // One engine serves every scenario: the canonical merged database is
+  // the same rows in the same first-appearance order no matter how many
+  // segments hold them, so the oracle bytes are computed once.
+  core::FtlEngine engine{core::EngineOptions{}};
+  std::vector<std::string> oracle;
+  traj::TrajectoryDatabase merged("merged");
+  {
+    auto s = store::Store::Open(TempDir("ftl_bench_compaction_oracle"),
+                                store::StoreOptions{});
+    if (!s.ok()) return 1;
+    for (const auto& b : batches) {
+      if (!s.value()->Append(b).ok()) return 1;
+    }
+    merged = s.value()->MaterializeAll("merged");
+    Status ts = engine.Train(pair.p, merged);
+    if (!ts.ok()) {
+      std::fprintf(stderr, "train: %s\n", ts.ToString().c_str());
+      return 1;
+    }
+    for (size_t qi = 0; qi < queries; ++qi) {
+      auto want =
+          engine.Query(pair.p[qi], merged, core::Matcher::kNaiveBayes);
+      if (!want.ok()) {
+        std::fprintf(stderr, "oracle query: %s\n",
+                     want.status().ToString().c_str());
+        return 1;
+      }
+      oracle.push_back(io::QueryResultToJson(pair.p[qi].label(),
+                                             want.value()));
+    }
+  }
+
+  const size_t targets[] = {1, 8, 64};
+  std::vector<Scenario> scenarios;
+  bool identical = true;
+  for (size_t target : targets) {
+    Scenario sc;
+    sc.target_segments = target;
+    std::string dir =
+        TempDir("ftl_bench_compaction_" + std::to_string(target));
+    store::StoreOptions so;
+    so.wal_sync = store::WalSync::kNever;
+    so.flush_threshold_records = total_records + 1;  // flush only on demand
+    auto s = store::Store::Open(dir, so);
+    if (!s.ok()) return 1;
+    // Split the ingest stream into `target` explicit flush rounds.
+    const size_t chunk = (batches.size() + target - 1) / target;
+    for (size_t i = 0; i < batches.size(); ++i) {
+      if (!s.value()->Append(batches[i]).ok()) return 1;
+      if ((i + 1) % chunk == 0 || i + 1 == batches.size()) {
+        if (!s.value()->Flush().ok()) return 1;
+      }
+    }
+    sc.actual_segments = s.value()->num_segments();
+    std::printf("=== %zu segment(s) (target %zu) ===\n", sc.actual_segments,
+                target);
+
+    auto snap = s.value()->Snapshot();
+    if (!MeasureQueries(*snap, engine, pair.p, queries, 1, reps, oracle,
+                        &sc.before_serial)) {
+      identical = false;
+    }
+    PrintStats("serial", sc.before_serial);
+    if (!MeasureQueries(*snap, engine, pair.p, queries, parallel_workers,
+                        reps, oracle, &sc.before_parallel)) {
+      identical = false;
+    }
+    PrintStats("parallel", sc.before_parallel);
+
+    // Compact to one segment: the same rounds the background Compactor
+    // would run, timed.
+    Stopwatch csw;
+    while (s.value()->num_segments() > 1) {
+      auto cst = s.value()->CompactOnce(/*force=*/true);
+      if (!cst.ok()) {
+        std::fprintf(stderr, "compact: %s\n",
+                     cst.status().ToString().c_str());
+        return 1;
+      }
+      if (cst.value().inputs == 0) break;
+      ++sc.compaction_rounds;
+      sc.compaction_input_records += cst.value().input_records;
+    }
+    sc.compaction_seconds = csw.ElapsedSeconds();
+    sc.compacted_segments = s.value()->num_segments();
+    std::printf("  compacted to %zu segment(s) in %zu round(s), %.3fs\n",
+                sc.compacted_segments, sc.compaction_rounds,
+                sc.compaction_seconds);
+
+    auto after = s.value()->Snapshot();
+    if (!MeasureQueries(*after, engine, pair.p, queries, 1, reps, oracle,
+                        &sc.after_serial)) {
+      identical = false;
+    }
+    PrintStats("serial/compact", sc.after_serial);
+    if (!MeasureQueries(*after, engine, pair.p, queries, parallel_workers,
+                        reps, oracle, &sc.after_parallel)) {
+      identical = false;
+    }
+    PrintStats("parallel/compact", sc.after_parallel);
+
+    scenarios.push_back(sc);
+    snap.reset();
+    after.reset();
+    s.value().reset();
+    std::filesystem::remove_all(dir);
+  }
+
+  std::printf("identity: responses %s across every mode\n",
+              identical ? "byte-identical to the merged database"
+                        : "DIVERGED");
+
+  FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"config\": \"%s\",\n"
+               "  \"num_objects\": %zu,\n"
+               "  \"num_records\": %zu,\n"
+               "  \"num_queries\": %zu,\n"
+               "  \"reps\": %d,\n"
+               "  \"hardware_concurrency\": %zu,\n"
+               "  \"parallel_workers\": %zu,\n"
+               "  \"scenarios\": [\n",
+               config.c_str(), num_objects, total_records, queries, reps, hw,
+               parallel_workers);
+  for (size_t i = 0; i < scenarios.size(); ++i) {
+    const Scenario& sc = scenarios[i];
+    std::fprintf(f,
+                 "    {\n"
+                 "      \"target_segments\": %zu,\n"
+                 "      \"actual_segments\": %zu,\n"
+                 "      \"before_compaction\": {\n",
+                 sc.target_segments, sc.actual_segments);
+    StatsJson(f, "serial", sc.before_serial, ",");
+    StatsJson(f, "parallel", sc.before_parallel, "");
+    std::fprintf(f,
+                 "      },\n"
+                 "      \"parallel_speedup_x\": %.3f,\n"
+                 "      \"compaction\": { \"rounds\": %zu, "
+                 "\"seconds\": %.6f, \"input_records\": %llu, "
+                 "\"segments_after\": %zu },\n"
+                 "      \"after_compaction\": {\n",
+                 sc.before_serial.seconds / sc.before_parallel.seconds,
+                 sc.compaction_rounds, sc.compaction_seconds,
+                 static_cast<unsigned long long>(sc.compaction_input_records),
+                 sc.compacted_segments);
+    StatsJson(f, "serial", sc.after_serial, ",");
+    StatsJson(f, "parallel", sc.after_parallel, "");
+    std::fprintf(f, "      }\n    }%s\n",
+                 i + 1 < scenarios.size() ? "," : "");
+  }
+  std::fprintf(f,
+               "  ],\n"
+               "  \"byte_identical\": %s,\n"
+               "  \"metrics\": %s\n"
+               "}\n",
+               identical ? "true" : "false", obs::DumpJson().c_str());
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path.c_str());
+  return identical ? 0 : 2;
+}

@@ -635,6 +635,41 @@ Result<QueryResult> FtlEngine::QueryWithCandidates(
                    options_.num_threads, nullptr, &qopts);
 }
 
+struct QueryScratch::Impl {
+  FtlEngine::ScoreScratch scratch;
+};
+
+QueryScratch::QueryScratch() : impl_(std::make_unique<Impl>()) {}
+QueryScratch::~QueryScratch() = default;
+QueryScratch::QueryScratch(QueryScratch&&) noexcept = default;
+QueryScratch& QueryScratch::operator=(QueryScratch&&) noexcept = default;
+
+Result<QueryResult> FtlEngine::QueryWithCandidates(
+    const traj::Trajectory& query, const traj::TrajectoryDatabase& db,
+    const std::vector<size_t>& candidate_indices, Matcher matcher,
+    const QueryOptions* qopts, QueryScratch* scratch) const {
+  if (!trained_) {
+    return Status::FailedPrecondition(
+        "FtlEngine::QueryWithCandidates before Train");
+  }
+  return QueryImpl(query, db, &candidate_indices, matcher, /*num_threads=*/1,
+                   scratch != nullptr ? &scratch->impl_->scratch : nullptr,
+                   qopts);
+}
+
+Result<QueryResult> FtlEngine::QueryWithCandidates(
+    const traj::FlatTrajectoryView& query, const traj::FlatDatabase& db,
+    const std::vector<size_t>& candidate_indices, Matcher matcher,
+    const QueryOptions* qopts, QueryScratch* scratch) const {
+  if (!trained_) {
+    return Status::FailedPrecondition(
+        "FtlEngine::QueryWithCandidates before Train");
+  }
+  return QueryImpl(query, db, &candidate_indices, matcher, /*num_threads=*/1,
+                   scratch != nullptr ? &scratch->impl_->scratch : nullptr,
+                   qopts);
+}
+
 BlockingGuarantee FtlEngine::DeriveBlockingGuarantee(Matcher matcher) const {
   BlockingGuarantee g;
   const EvidenceOptions ev = evidence_options();

@@ -8,6 +8,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -107,6 +108,27 @@ struct EngineOptions {
   size_t num_threads = 1;
 };
 
+/// Opaque reusable scoring workspace for callers that drive many
+/// serial QueryWithCandidates calls themselves — e.g. the store's
+/// sharded multi-segment fan-out, which runs one engine sub-query per
+/// work unit on its own workers. One instance per thread, never shared
+/// concurrently; reusing it keeps steady-state scoring allocation-free
+/// exactly like the engine's internal per-worker scratch.
+class QueryScratch {
+ public:
+  QueryScratch();
+  ~QueryScratch();
+  QueryScratch(QueryScratch&&) noexcept;
+  QueryScratch& operator=(QueryScratch&&) noexcept;
+  QueryScratch(const QueryScratch&) = delete;
+  QueryScratch& operator=(const QueryScratch&) = delete;
+
+ private:
+  friend class FtlEngine;
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
 /// Trains models once, then answers many queries against a candidate
 /// database.
 class FtlEngine {
@@ -193,6 +215,20 @@ class FtlEngine {
       const std::vector<size_t>& candidate_indices, Matcher matcher,
       const QueryOptions& qopts) const;
 
+  /// Serial QueryWithCandidates with a caller-owned QueryScratch:
+  /// always runs on the calling thread (never the engine pool), so a
+  /// caller that shards candidates across its own workers — one
+  /// scratch per worker — composes sub-results without oversubscribing
+  /// threads. `qopts` and `scratch` may each be null.
+  Result<QueryResult> QueryWithCandidates(
+      const traj::Trajectory& query, const traj::TrajectoryDatabase& db,
+      const std::vector<size_t>& candidate_indices, Matcher matcher,
+      const QueryOptions* qopts, QueryScratch* scratch) const;
+  Result<QueryResult> QueryWithCandidates(
+      const traj::FlatTrajectoryView& query, const traj::FlatDatabase& db,
+      const std::vector<size_t>& candidate_indices, Matcher matcher,
+      const QueryOptions* qopts, QueryScratch* scratch) const;
+
   /// Derives the accept-preserving blocking contract for `matcher`
   /// from the trained models (requires trained()): `horizon_seconds`
   /// is the largest time gap an informative mutual segment can have
@@ -252,6 +288,8 @@ class FtlEngine {
   EngineOptions* mutable_options() { return &options_; }
 
  private:
+  friend class QueryScratch;  // wraps ScoreScratch for external callers
+
   /// Per-thread scratch arena for the scoring hot path: evidence
   /// buffers, trial groups and pmf workspaces are reused across pairs
   /// instead of reallocated, so steady-state scoring is allocation

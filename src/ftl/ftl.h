@@ -61,6 +61,7 @@
 #include "stats/distributions.h"
 #include "stats/goodness_of_fit.h"
 #include "stats/poisson_binomial.h"
+#include "store/compactor.h"
 #include "store/manifest.h"
 #include "store/memtable.h"
 #include "store/store.h"

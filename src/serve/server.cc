@@ -194,6 +194,9 @@ Status FtlServer::Start() {
   if (options_.max_queue == 0) {
     return Status::InvalidArgument("--max-queue must be at least 1");
   }
+  if (options_.store_query_threads == 0) {
+    return Status::InvalidArgument("--query-threads must be at least 1");
+  }
   if (options_.blocking_mode != core::BlockingMode::kOff && q_ != nullptr) {
     FTL_RETURN_NOT_OK(options_.blocking.Validate());
     blocking_index_ = std::make_unique<const core::BlockingIndex>(
@@ -448,7 +451,8 @@ HttpResponse FtlServer::HandleQuery(const HttpRequest& req) {
   if (deadline_ms > 0) qopts.deadline = Deadline::AfterMillis(deadline_ms);
   auto r = [&]() {
     if (store_ != nullptr) {
-      return store_->Snapshot()->Query(*engine_, (*p_)[idx], matcher, &qopts);
+      return store_->Snapshot()->Query(*engine_, (*p_)[idx], matcher, &qopts,
+                                       options_.store_query_threads);
     }
     if (blocking_index_ != nullptr) {
       return engine_->QueryBlocked((*p_)[idx], *q_, *blocking_index_,

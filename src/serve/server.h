@@ -118,6 +118,16 @@ struct ServeOptions {
   core::BlockingMode blocking_mode = core::BlockingMode::kOff;
   core::BlockingOptions blocking;
 
+  /// Store mode: per-request parallel fan-out (`--query-threads`).
+  /// Each /v1/query shards the snapshot's segment walk onto this many
+  /// threads (StoreSnapshot::Query num_threads) — results stay
+  /// byte-identical to the serial walk. Total concurrency is
+  /// num_threads × store_query_threads; keep the product within the
+  /// machine or set `--threads` down to compensate (CmdServe's
+  /// auto-sizing does this when `--threads` is unset). Ignored in
+  /// engine mode.
+  size_t store_query_threads = 1;
+
   /// When false the server starts NOT ready: /readyz answers 503 and
   /// the /v1/* endpoints reject with 503 + Retry-After until
   /// MarkReady() is called. This lets `ftl serve --store` bind its

@@ -1,0 +1,59 @@
+#include "store/compactor.h"
+
+#include <chrono>
+
+namespace ftl::store {
+
+Compactor::Compactor(Store* store, CompactorOptions options)
+    : store_(store), options_(options) {}
+
+Compactor::~Compactor() { Stop(); }
+
+void Compactor::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (started_) return;
+  started_ = true;
+  stop_ = false;
+  thread_ = std::thread([this]() { Loop(); });
+}
+
+void Compactor::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!started_) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  started_ = false;
+}
+
+void Compactor::Notify() { cv_.notify_all(); }
+
+void Compactor::Loop() {
+  const auto interval = std::chrono::milliseconds(
+      options_.poll_interval_ms > 0 ? options_.poll_interval_ms : 1);
+  for (;;) {
+    // Drain: keep merging while the trigger holds. A failed round
+    // (e.g. transient disk fault) backs off to the next poll instead
+    // of spinning against the same error.
+    while (store_->CompactionDue()) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (stop_) return;
+      }
+      auto r = store_->CompactOnce();
+      if (!r.ok()) {
+        failures_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      }
+      if (r.value().inputs == 0) break;
+      rounds_.fetch_add(1, std::memory_order_relaxed);
+    }
+    std::unique_lock<std::mutex> lock(mu_);
+    if (cv_.wait_for(lock, interval, [this]() { return stop_; })) return;
+  }
+}
+
+}  // namespace ftl::store

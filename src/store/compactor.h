@@ -1,0 +1,81 @@
+#ifndef FTL_STORE_COMPACTOR_H_
+#define FTL_STORE_COMPACTOR_H_
+
+/// \file compactor.h
+/// Background segment compaction for the store.
+///
+/// A long-lived store accumulates one immutable segment per flush, and
+/// every snapshot query pays the per-segment fan-out. The Compactor is
+/// a single background thread that polls Store::CompactionDue() and
+/// runs Store::CompactOnce() rounds until the segment count drops
+/// below the trigger, merging small manifest-adjacent segments into
+/// larger ones (size-tiered; DESIGN.md §14). All crash-safety lives in
+/// CompactOnce — the thread here is a thin scheduler.
+///
+/// At most one Compactor may run per Store: CompactOnce assumes no
+/// concurrent compaction (concurrent flushes/appends are fine).
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+
+#include "store/store.h"
+
+namespace ftl::store {
+
+struct CompactorOptions {
+  /// How often the idle thread re-checks CompactionDue().
+  int64_t poll_interval_ms = 250;
+};
+
+class Compactor {
+ public:
+  /// `store` must outlive the Compactor. Call Start() to begin.
+  explicit Compactor(Store* store, CompactorOptions options = {});
+
+  /// Stops and joins the thread.
+  ~Compactor();
+
+  Compactor(const Compactor&) = delete;
+  Compactor& operator=(const Compactor&) = delete;
+
+  /// Spawns the background thread (idempotent).
+  void Start();
+
+  /// Signals the thread to exit and joins it (idempotent). Any
+  /// in-flight compaction round finishes first — rounds are never
+  /// interrupted midway (they are crash-safe anyway, but a clean stop
+  /// should not leave temp files behind).
+  void Stop();
+
+  /// Wakes the thread now instead of waiting out the poll interval
+  /// (e.g. right after an explicit Flush()).
+  void Notify();
+
+  /// Compaction rounds completed / failed since Start().
+  uint64_t rounds() const { return rounds_.load(std::memory_order_relaxed); }
+  uint64_t failures() const {
+    return failures_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void Loop();
+
+  Store* const store_;
+  const CompactorOptions options_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  bool started_ = false;
+  std::thread thread_;
+
+  std::atomic<uint64_t> rounds_{0};
+  std::atomic<uint64_t> failures_{0};
+};
+
+}  // namespace ftl::store
+
+#endif  // FTL_STORE_COMPACTOR_H_

@@ -32,6 +32,12 @@ std::string WalFileName(uint64_t gen) {
   return buf;
 }
 
+std::string CompactTempFileName(uint64_t gen) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "compact-%06" PRIu64 ".tmp", gen);
+  return buf;
+}
+
 std::string ManifestPath(const std::string& dir) { return dir + "/MANIFEST"; }
 
 std::string EncodeManifest(const Manifest& m) {

@@ -38,6 +38,11 @@ struct Manifest {
 std::string SegmentFileName(uint64_t gen);
 std::string WalFileName(uint64_t gen);
 
+/// "compact-%06u.tmp": the temp name a compaction round writes its
+/// merged segment under before the commit rename. Never named by a
+/// manifest, so any survivor is an orphan and recovery deletes it.
+std::string CompactTempFileName(uint64_t gen);
+
 /// dir + "/MANIFEST".
 std::string ManifestPath(const std::string& dir);
 

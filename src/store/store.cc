@@ -1,6 +1,8 @@
 #include "store/store.h"
 
 #include <algorithm>
+#include <atomic>
+#include <deque>
 #include <filesystem>
 #include <utility>
 
@@ -9,6 +11,7 @@
 #include "obs/metrics.h"
 #include "util/failpoint.h"
 #include "util/stopwatch.h"
+#include "util/thread_pool.h"
 
 namespace ftl::store {
 
@@ -27,10 +30,16 @@ struct StoreMetrics {
   obs::Counter* replay_batches;
   obs::Counter* replay_records;
   obs::Counter* flushes;
+  obs::Counter* compactions;
+  obs::Counter* compaction_input_segments;
+  obs::Counter* compaction_output_records;
+  obs::Counter* query_units;
+  obs::Counter* parallel_queries;
   obs::Gauge* segments_live;
   obs::Gauge* memtable_records;
   obs::Gauge* generation;
   obs::Histogram* flush_latency_us;
+  obs::Histogram* compaction_latency_us;
 
   StoreMetrics() {
     auto& reg = obs::MetricsRegistry::Global();
@@ -42,10 +51,19 @@ struct StoreMetrics {
     replay_batches = &reg.GetCounter("ftl_store_replay_batches_total");
     replay_records = &reg.GetCounter("ftl_store_replay_records_total");
     flushes = &reg.GetCounter("ftl_store_flush_total");
+    compactions = &reg.GetCounter("ftl_store_compactions_total");
+    compaction_input_segments =
+        &reg.GetCounter("ftl_store_compaction_input_segments_total");
+    compaction_output_records =
+        &reg.GetCounter("ftl_store_compaction_output_records_total");
+    query_units = &reg.GetCounter("ftl_store_query_units_total");
+    parallel_queries = &reg.GetCounter("ftl_store_parallel_queries_total");
     segments_live = &reg.GetGauge("ftl_store_segments_live");
     memtable_records = &reg.GetGauge("ftl_store_memtable_records");
     generation = &reg.GetGauge("ftl_store_generation");
     flush_latency_us = &reg.GetHistogram("ftl_store_flush_latency_us");
+    compaction_latency_us =
+        &reg.GetHistogram("ftl_store_compaction_latency_us");
   }
 };
 
@@ -68,7 +86,7 @@ bool IsStoreFileName(const std::string& name) {
                        [](char c) { return c >= '0' && c <= '9'; });
   };
   return shaped("seg-", ".ftb") || shaped("wal-", ".log") ||
-         name == "MANIFEST.tmp";
+         shaped("compact-", ".tmp") || name == "MANIFEST.tmp";
 }
 
 }  // namespace
@@ -218,7 +236,8 @@ traj::TrajectoryDatabase StoreSnapshot::MaterializeAll(
 
 Result<core::QueryResult> StoreSnapshot::Query(
     const core::FtlEngine& engine, const traj::Trajectory& query,
-    core::Matcher matcher, const core::QueryOptions* qopts) const {
+    core::Matcher matcher, const core::QueryOptions* qopts,
+    size_t num_threads) const {
   if (!engine.options().evaluate_non_overlapping) {
     return Status::FailedPrecondition(
         "store snapshot queries require evaluate_non_overlapping (the "
@@ -248,73 +267,177 @@ Result<core::QueryResult> StoreSnapshot::Query(
   if (blocked && blocking_mode_ == core::BlockingMode::kGuaranteed) {
     guarantee = engine.DeriveBlockingGuarantee(matcher);
   }
-  core::BlockingScratch bscratch;
-  std::vector<size_t> survivors;  // per-segment, ascending
-  std::vector<size_t> filtered;   // run ∩ survivors, ascending
+
+  // The fan-out, flattened into an ordered list of work units — unit
+  // order IS canonical evaluation order, each unit one span of one
+  // run's candidate list. Serial execution keeps one unit per run
+  // (zero copies, exactly the pre-sharding walk); with num_threads > 1
+  // runs are also split into ~kUnitCandidates spans so one fat segment
+  // cannot serialize the tail. Because every unit's sub-result is
+  // stable-sorted by score with ties in canonical order, concatenating
+  // units in order and re-running the final stable sort yields the
+  // same bytes for any unit decomposition (DESIGN.md §14).
+  struct Unit {
+    uint32_t source = 0;
+    bool overlay = false;
+    const std::vector<size_t>* base = nullptr;  ///< whole-run candidates
+    size_t begin = 0, end = 0;                  ///< span of *base
+  };
+  constexpr size_t kUnitCandidates = 256;
+  const size_t workers_hint = num_threads < 1 ? 1 : num_threads;
+  const size_t nseg = segments_.size();
+
+  std::deque<std::vector<size_t>> filtered_keep;  // stable addresses
+  std::vector<Unit> units;
+  {
+    core::BlockingScratch bscratch;
+    std::vector<size_t> survivors;  // per-segment, ascending
+    for (size_t s = 0; s < plans_.size(); ++s) {
+      const core::BlockingIndex* index =
+          blocked && s < nseg && s < segment_indices_.size()
+              ? segment_indices_[s].get()
+              : nullptr;
+      if (index != nullptr) {
+        if (blocking_mode_ == core::BlockingMode::kGuaranteed) {
+          index->GuaranteedCandidates(qview, guarantee, &bscratch,
+                                      &survivors);
+        } else {
+          index->Candidates(qview, &bscratch, &survivors);
+        }
+      }
+      for (const Run& run : plans_[s]) {
+        if (run.indices.empty()) continue;
+        const std::vector<size_t>* run_indices = &run.indices;
+        if (index != nullptr && !run.overlay) {
+          // Plain-run locals are ascending within a run (Build pushes
+          // them in local order), as are the survivors, so a sorted
+          // intersection preserves canonical evaluation order.
+          std::vector<size_t> filtered;
+          std::set_intersection(run.indices.begin(), run.indices.end(),
+                                survivors.begin(), survivors.end(),
+                                std::back_inserter(filtered));
+          if (filtered.empty()) continue;
+          filtered_keep.push_back(std::move(filtered));
+          run_indices = &filtered_keep.back();
+        }
+        const size_t n = run_indices->size();
+        const size_t step = workers_hint > 1 ? kUnitCandidates : n;
+        for (size_t b = 0; b < n; b += step) {
+          Unit u;
+          u.source = static_cast<uint32_t>(s);
+          u.overlay = run.overlay;
+          u.base = run_indices;
+          u.begin = b;
+          u.end = std::min(n, b + step);
+          units.push_back(u);
+        }
+      }
+    }
+  }
+
+  const size_t nunits = units.size();
+  const size_t workers = ParallelWorkerCount(nunits, workers_hint);
+  {
+    StoreMetrics& m = Metrics();
+    m.query_units->Add(static_cast<int64_t>(nunits));
+    if (workers > 1) m.parallel_queries->Add(1);
+  }
+
+  // Per-unit results land in `ustate`; `first_stop` tracks the lowest
+  // unit that truncated or hard-errored. Units beyond it are skipped
+  // (their results would be discarded), and because the chunked
+  // scheduler claims units in increasing order and runs every claimed
+  // chunk, units [0, first_stop] are guaranteed to have run — the
+  // returned candidates always form a prefix of the canonical
+  // evaluation order, exactly like the serial walk.
+  struct UnitState {
+    core::QueryResult result;
+    Status error;
+  };
+  std::vector<UnitState> ustate(nunits);
+  std::vector<core::QueryScratch> scratches(workers);
+  std::vector<std::vector<size_t>> span_buf(workers);  // reused chunk copy
+  std::atomic<size_t> first_stop{nunits};
+
+  auto bump_stop = [&first_stop](size_t u) {
+    size_t cur = first_stop.load(std::memory_order_relaxed);
+    while (u < cur && !first_stop.compare_exchange_weak(
+                          cur, u, std::memory_order_relaxed)) {
+    }
+  };
+  auto run_unit = [&](size_t worker, size_t u) {
+    const Unit& unit = units[u];
+    const std::vector<size_t>* idx = unit.base;
+    if (unit.begin != 0 || unit.end != idx->size()) {
+      std::vector<size_t>& buf = span_buf[worker];
+      buf.assign(idx->begin() + static_cast<long>(unit.begin),
+                 idx->begin() + static_cast<long>(unit.end));
+      idx = &buf;
+    }
+    core::QueryScratch* scratch = &scratches[worker];
+    Result<core::QueryResult> r =
+        unit.overlay
+            ? engine.QueryWithCandidates(query, overlay_db_, *idx, matcher,
+                                         qopts, scratch)
+            : unit.source < nseg
+                  ? engine.QueryWithCandidates(qview, *segments_[unit.source],
+                                               *idx, matcher, qopts, scratch)
+                  : engine.QueryWithCandidates(query, memtable_db_, *idx,
+                                               matcher, qopts, scratch);
+    UnitState& st = ustate[u];
+    if (!r.ok()) {
+      st.error = r.status();
+      bump_stop(u);
+      return;
+    }
+    st.result = std::move(r).value();
+    for (core::MatchCandidate& c : st.result.candidates) {
+      c.index = unit.overlay ? overlay_global_[c.index]
+                             : global_of_[unit.source][c.index];
+    }
+    if (st.result.truncated) bump_stop(u);
+  };
+
+  const size_t processed = ParallelForWorkers(
+      nunits, workers_hint,
+      [&]() {
+        return first_stop.load(std::memory_order_relaxed) != nunits ||
+               (qopts != nullptr && !qopts->Check().ok());
+      },
+      [&](size_t worker, size_t b, size_t e) {
+        for (size_t u = b; u < e; ++u) {
+          if (u > first_stop.load(std::memory_order_relaxed)) break;
+          run_unit(worker, u);
+        }
+      });
+
+  // Every unit below first_stop ran cleanly (a skipped unit is always
+  // above the final first_stop), so the unit at first_stop is exactly
+  // where the serial walk would have stopped: a hard error there fails
+  // the query, a truncation there ends the prefix.
+  const size_t stop_unit = first_stop.load(std::memory_order_relaxed);
+  if (stop_unit != nunits && !ustate[stop_unit].error.ok()) {
+    return ustate[stop_unit].error;
+  }
 
   core::QueryResult out;
-  const size_t nseg = segments_.size();
-  for (size_t s = 0; s < plans_.size() && !out.truncated; ++s) {
-    const core::BlockingIndex* index =
-        blocked && s < nseg && s < segment_indices_.size()
-            ? segment_indices_[s].get()
-            : nullptr;
-    if (index != nullptr) {
-      if (blocking_mode_ == core::BlockingMode::kGuaranteed) {
-        index->GuaranteedCandidates(qview, guarantee, &bscratch, &survivors);
-      } else {
-        index->Candidates(qview, &bscratch, &survivors);
-      }
+  const size_t last =
+      stop_unit == nunits ? processed : std::min(processed, stop_unit + 1);
+  for (size_t u = 0; u < last; ++u) {
+    core::QueryResult& sub = ustate[u].result;
+    for (core::MatchCandidate& c : sub.candidates) {
+      out.candidates.push_back(std::move(c));
     }
-    for (const Run& run : plans_[s]) {
-      if (run.indices.empty()) continue;
-      const std::vector<size_t>* run_indices = &run.indices;
-      if (index != nullptr && !run.overlay) {
-        // Plain-run locals are ascending within a run (Build pushes
-        // them in local order), as are the survivors, so a sorted
-        // intersection preserves canonical evaluation order.
-        filtered.clear();
-        std::set_intersection(run.indices.begin(), run.indices.end(),
-                              survivors.begin(), survivors.end(),
-                              std::back_inserter(filtered));
-        if (filtered.empty()) continue;
-        run_indices = &filtered;
-      }
-      Result<core::QueryResult> r = [&]() {
-        if (run.overlay) {
-          return qopts != nullptr
-                     ? engine.QueryWithCandidates(query, overlay_db_,
-                                                  run.indices, matcher, *qopts)
-                     : engine.QueryWithCandidates(query, overlay_db_,
-                                                  run.indices, matcher);
-        }
-        if (s < nseg) {
-          return qopts != nullptr
-                     ? engine.QueryWithCandidates(qview, *segments_[s],
-                                                  *run_indices, matcher, *qopts)
-                     : engine.QueryWithCandidates(qview, *segments_[s],
-                                                  *run_indices, matcher);
-        }
-        return qopts != nullptr
-                   ? engine.QueryWithCandidates(query, memtable_db_,
-                                                run.indices, matcher, *qopts)
-                   : engine.QueryWithCandidates(query, memtable_db_,
-                                                run.indices, matcher);
-      }();
-      if (!r.ok()) return r.status();
-      core::QueryResult sub = std::move(r).value();
-      for (core::MatchCandidate& c : sub.candidates) {
-        c.index = run.overlay ? overlay_global_[c.index]
-                              : global_of_[s][c.index];
-        out.candidates.push_back(std::move(c));
-      }
-      out.evaluated += sub.evaluated;
-      if (sub.truncated) {
-        out.truncated = true;
-        out.status = sub.status;
-        break;
-      }
-    }
+    out.evaluated += sub.evaluated;
+  }
+  if (stop_unit != nunits) {
+    out.truncated = true;
+    out.status = ustate[stop_unit].result.status;
+  } else if (processed < nunits) {
+    // The limit fired between units: every included unit is complete
+    // and they form a canonical-order prefix.
+    out.truncated = true;
+    out.status = qopts != nullptr ? qopts->Check() : Status::OK();
   }
   // Each sub-result is already stable-sorted by score with candidates
   // collected in canonical order, so one more pass of the engine's
@@ -657,6 +780,230 @@ Status Store::FlushLocked() {
   m.memtable_records->Set(0);
   m.generation->Set(static_cast<int64_t>(manifest_.generation));
   return Status::OK();
+}
+
+bool Store::CompactionDue() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recovered_ && !broken_ && options_.compact_trigger > 0 &&
+         segments_.size() >= options_.compact_trigger;
+}
+
+Result<CompactionStats> Store::CompactOnce(bool force) {
+  Stopwatch sw;
+
+  // Phase 1 (locked): pick the input window and pin the inputs. Only a
+  // *contiguous* run of manifest-adjacent segments may merge — a
+  // non-contiguous merge would reorder the canonical first-appearance
+  // walk and change query bytes. Size-tiered pick: the contiguous
+  // window of compact_max_segments segments with the fewest total
+  // records, so small flush-sized segments coalesce first and big
+  // merged segments are not rewritten every round.
+  size_t window_begin = 0;
+  uint64_t gen_hint = 0;
+  std::vector<std::string> input_names;
+  std::vector<std::shared_ptr<const traj::FlatDatabase>> inputs;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!recovered_) return Status::FailedPrecondition("store not recovered");
+    if (broken_) {
+      return Status::FailedPrecondition(
+          "store is broken after a failed flush commit; reopen to recover");
+    }
+    const bool due = options_.compact_trigger > 0 &&
+                     segments_.size() >= options_.compact_trigger;
+    if ((!due && !force) || segments_.size() < 2) return CompactionStats{};
+    const size_t width = std::min(
+        std::max<size_t>(2, options_.compact_max_segments), segments_.size());
+    size_t best = 0;
+    uint64_t best_cost = ~uint64_t{0};
+    for (size_t b = 0; b + width <= segments_.size(); ++b) {
+      uint64_t cost = 0;
+      for (size_t i = b; i < b + width; ++i) {
+        cost += segments_[i]->TotalRecords();
+      }
+      if (cost < best_cost) {
+        best_cost = cost;
+        best = b;
+      }
+    }
+    window_begin = best;
+    gen_hint = manifest_.generation + 1;
+    for (size_t i = best; i < best + width; ++i) {
+      input_names.push_back(manifest_.segments[i]);
+      inputs.push_back(segments_[i]);
+    }
+  }
+
+  // Phase 2 (unlocked — appends and flushes proceed concurrently): the
+  // merged segment is the snapshot merge semantics restricted to the
+  // window (first-appearance label order, per-label records time-sorted
+  // with ingest order breaking ties, first non-unknown owner), written
+  // under a temp name no manifest ever references, then validated
+  // end-to-end before it can become live. A crash past any of this
+  // leaves an orphan that recovery GCs.
+  CompactionStats stats;
+  stats.inputs = inputs.size();
+  for (const auto& seg : inputs) {
+    stats.input_records += seg->TotalRecords();
+  }
+  const std::string out_name_hint = SegmentFileName(gen_hint);
+  const std::string tmp_name = CompactTempFileName(gen_hint);
+  const std::string tmp_path = dir_ + "/" + tmp_name;
+  auto drop_tmp = [&tmp_path]() {
+    std::error_code ec;
+    std::filesystem::remove(tmp_path, ec);
+  };
+
+  FTL_FAILPOINT("store.compact.write");
+  traj::FlatDatabase merged = [&]() {
+    MutableSegment no_memtable;
+    auto mini = StoreSnapshot::Build(inputs, no_memtable, 0, 0);
+    return traj::FlatDatabase::FromDatabase(
+        mini->MaterializeAll(out_name_hint));
+  }();
+  stats.output_records = merged.TotalRecords();
+  stats.output_labels = merged.size();
+
+  Status wst = io::WriteFtb(merged, tmp_path);
+  if (!wst.ok()) {
+    drop_tmp();
+    return wst;
+  }
+  {
+    Status sst = io::SyncFile(tmp_path);
+    if (!sst.ok()) {
+      drop_tmp();
+      return sst;
+    }
+  }
+  // Validate end-to-end (CRCs, invariants) *before* the manifest can
+  // name it: a bad merged segment must never become live.
+  auto reread = io::ReadFtb(tmp_path);
+  if (!reread.ok()) {
+    drop_tmp();
+    return Status::IOError("compaction validation failed for " + tmp_name +
+                           ": " + reread.status().ToString());
+  }
+  auto seg_db =
+      std::make_shared<traj::FlatDatabase>(std::move(reread).value());
+  std::shared_ptr<const core::BlockingIndex> seg_index;
+  if (options_.blocking_mode != core::BlockingMode::kOff) {
+    seg_index = std::make_shared<const core::BlockingIndex>(
+        *seg_db, options_.blocking);
+  }
+
+  // Phase 3 (locked): commit. Rename the output into place, swap a
+  // manifest that splices the window, then splice memory. Nothing
+  // fallible happens after the manifest swap, so compaction never
+  // leaves the store broken: any failure before the swap aborts with
+  // the old segment set fully live.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (broken_) {
+      drop_tmp();
+      return Status::FailedPrecondition(
+          "store is broken after a failed flush commit; reopen to recover");
+    }
+    // Re-validate the window. Concurrent flushes only append, and a
+    // store runs at most one compactor, so the names must still sit at
+    // the same positions; anything else means a caller raced two
+    // compactions — abort rather than guess.
+    bool window_intact =
+        window_begin + input_names.size() <= manifest_.segments.size();
+    for (size_t i = 0; window_intact && i < input_names.size(); ++i) {
+      window_intact = manifest_.segments[window_begin + i] == input_names[i];
+    }
+    if (!window_intact) {
+      drop_tmp();
+      return Status::FailedPrecondition(
+          "compaction window changed during merge");
+    }
+
+    {
+      Status fst = [&]() -> Status {
+        FTL_FAILPOINT("store.compact.swap");
+        return Status::OK();
+      }();
+      if (!fst.ok()) {
+        drop_tmp();
+        return fst;
+      }
+    }
+
+    const uint64_t gen = manifest_.generation + 1;
+    const std::string seg_name = SegmentFileName(gen);
+    const std::string seg_path = dir_ + "/" + seg_name;
+    std::error_code ec;
+    std::filesystem::rename(tmp_path, seg_path, ec);
+    if (ec) {
+      drop_tmp();
+      return Status::IOError("rename " + tmp_name + " -> " + seg_name + ": " +
+                             ec.message());
+    }
+    // The directory fsync inside WriteManifest makes the rename and the
+    // manifest durable together; a crash in between leaves the renamed
+    // file as an orphan the next recovery GCs.
+    Manifest next;
+    next.generation = gen;
+    next.wal = manifest_.wal;  // compaction never touches WAL/memtable
+    next.segments.assign(manifest_.segments.begin(),
+                         manifest_.segments.begin() +
+                             static_cast<long>(window_begin));
+    next.segments.push_back(seg_name);
+    next.segments.insert(next.segments.end(),
+                         manifest_.segments.begin() +
+                             static_cast<long>(window_begin +
+                                               input_names.size()),
+                         manifest_.segments.end());
+    Status mst = WriteManifest(dir_, next);
+    if (!mst.ok()) {
+      std::error_code rec;
+      std::filesystem::remove(seg_path, rec);
+      return mst;
+    }
+
+    // Committed on disk; switch memory (infallible).
+    segments_.erase(segments_.begin() + static_cast<long>(window_begin),
+                    segments_.begin() +
+                        static_cast<long>(window_begin + inputs.size()));
+    segments_.insert(segments_.begin() + static_cast<long>(window_begin),
+                     seg_db);
+    if (options_.blocking_mode != core::BlockingMode::kOff &&
+        segment_indices_.size() >= window_begin + inputs.size()) {
+      segment_indices_.erase(
+          segment_indices_.begin() + static_cast<long>(window_begin),
+          segment_indices_.begin() +
+              static_cast<long>(window_begin + inputs.size()));
+      segment_indices_.insert(
+          segment_indices_.begin() + static_cast<long>(window_begin),
+          seg_index);
+    }
+    manifest_ = std::move(next);
+    ++version_;
+    stats.generation = manifest_.generation;
+
+    // The merged-away inputs are immutable and unreferenced by the new
+    // manifest: unlink best-effort (live snapshots keep reading through
+    // their shared_ptr mmaps; a crash before the unlinks leaves orphans
+    // for recovery GC).
+    for (const std::string& name : input_names) {
+      std::error_code rec;
+      std::filesystem::remove(dir_ + "/" + name, rec);
+    }
+
+    StoreMetrics& m = Metrics();
+    m.compactions->Add(1);
+    m.compaction_input_segments->Add(static_cast<int64_t>(stats.inputs));
+    m.compaction_output_records->Add(
+        static_cast<int64_t>(stats.output_records));
+    m.segments_live->Set(static_cast<int64_t>(segments_.size()));
+    m.generation->Set(static_cast<int64_t>(manifest_.generation));
+  }
+
+  stats.seconds = sw.ElapsedSeconds();
+  Metrics().compaction_latency_us->Record(
+      static_cast<int64_t>(stats.seconds * 1e6));
+  return stats;
 }
 
 std::shared_ptr<const StoreSnapshot> Store::Snapshot() const {

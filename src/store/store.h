@@ -67,6 +67,19 @@ struct StoreOptions {
   /// succeeds.
   double backpressure_factor = 4.0;
 
+  /// Background compaction trigger (`--compact-trigger`): once the
+  /// store holds at least this many immutable segments, CompactionDue()
+  /// reports true and a store::Compactor (or an explicit CompactOnce
+  /// call) merges a window of them. 0 disables compaction entirely —
+  /// the store then behaves exactly like the pre-compaction store.
+  size_t compact_trigger = 0;
+
+  /// Most segments merged per compaction round
+  /// (`--compact-max-segments`). Each round replaces one contiguous
+  /// window of up to this many manifest-adjacent segments with a
+  /// single merged segment; clamped to at least 2.
+  size_t compact_max_segments = 8;
+
   /// Candidate generation for snapshot queries (`--blocking`). When
   /// not kOff, every immutable segment gets a BlockingIndex built at
   /// flush/recovery time and snapshot queries score only the segment
@@ -87,6 +100,17 @@ struct RecoveryInfo {
   uint64_t torn_bytes_dropped = 0; ///< torn-tail bytes truncated from the WAL
   uint64_t orphans_removed = 0;    ///< unreferenced files deleted
   double seconds = 0.0;            ///< wall time of the whole recovery
+};
+
+/// What one CompactOnce() round did, for operator output, metrics and
+/// tests. inputs == 0 means no round ran (nothing was due).
+struct CompactionStats {
+  uint64_t generation = 0;   ///< manifest generation after the commit
+  size_t inputs = 0;         ///< segments merged away this round
+  size_t input_records = 0;  ///< records across the merged inputs
+  size_t output_records = 0; ///< records in the merged output segment
+  size_t output_labels = 0;  ///< canonical labels in the output segment
+  double seconds = 0.0;      ///< wall time of the round
 };
 
 /// An immutable, consistent view of the store at one version: the
@@ -140,10 +164,20 @@ class StoreSnapshot {
   /// engine.options().evaluate_non_overlapping (the default);
   /// FailedPrecondition otherwise. `qopts` may be null; a fired
   /// deadline yields a truncated prefix of the canonical order.
+  ///
+  /// `num_threads > 1` shards the fan-out: the plan is cut into
+  /// per-segment candidate chunks that score in parallel on that many
+  /// workers (each with its own core::QueryScratch), and the merge
+  /// re-assembles chunk results in canonical order — complete results
+  /// are byte-identical to the serial walk for any thread count, and
+  /// truncated results are still a canonical-order prefix (DESIGN.md
+  /// §14). Callers already parallel at a coarser grain (serve workers)
+  /// should keep workers × num_threads within the machine.
   Result<core::QueryResult> Query(const core::FtlEngine& engine,
                                   const traj::Trajectory& query,
                                   core::Matcher matcher,
-                                  const core::QueryOptions* qopts) const;
+                                  const core::QueryOptions* qopts,
+                                  size_t num_threads = 1) const;
 
   /// Scores `query` against the named candidates only (the /v1/rank
   /// path). Evaluation order is the request order; returned indices
@@ -246,6 +280,26 @@ class Store {
   /// Forces a memtable flush to an immutable segment now (no-op when
   /// the memtable is empty).
   Status Flush();
+
+  /// True when the segment count has reached options().compact_trigger
+  /// (and compaction is enabled). The store::Compactor polls this.
+  bool CompactionDue() const;
+
+  /// Runs one compaction round: picks the cheapest *contiguous* window
+  /// of up to compact_max_segments manifest-adjacent segments
+  /// (contiguity keeps the canonical first-appearance order — and so
+  /// query bytes — unchanged; DESIGN.md §14), merges them into one
+  /// segment via the snapshot merge semantics, writes it behind a
+  /// compact-NNNNNN.tmp temp name (failpoint "store.compact.write"),
+  /// validates it end-to-end, then commits by renaming it into place
+  /// and atomically swapping a manifest that splices the window
+  /// (failpoint "store.compact.swap"). The WAL and memtable are
+  /// untouched. A crash anywhere leaves either the old or the new
+  /// segment set live; recovery GCs any orphaned output. Returns
+  /// inputs == 0 when nothing was due. `force` compacts even when the
+  /// trigger is unmet/disabled (tests, `ftl ingest` final packing), as
+  /// long as at least two segments exist.
+  Result<CompactionStats> CompactOnce(bool force = false);
 
   /// An immutable view of the current state (cached; rebuilt only
   /// after mutations).

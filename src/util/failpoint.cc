@@ -33,6 +33,8 @@ constexpr const char* kCatalog[] = {
     "store.flush.segment",   // store::Store flush, before segment write
     "store.manifest.swap",   // store::WriteManifest temp-file write
     "store.recovery.replay", // store::ReplayWal, per recovered frame
+    "store.compact.write",   // store::Store compaction, before merged write
+    "store.compact.swap",    // store::Store compaction, before manifest swap
 };
 
 struct Registry {

@@ -130,10 +130,11 @@ PipelineOutcome RunPipeline(const sim::PopulationData& data) {
 
   // Store leg: the store.* failpoint sites live off the query path, so
   // walk them explicitly — create/recover, append (wal.append +
-  // wal.sync under kAlways), flush (flush.segment + manifest.swap),
-  // append again so the live WAL has a frame, then reopen: the second
-  // Recover replays that frame (recovery.replay). The materialized
-  // totals join the fingerprint.
+  // wal.sync under kAlways), flush twice (flush.segment +
+  // manifest.swap), compact the two segments (compact.write +
+  // compact.swap), append again so the live WAL has a frame, then
+  // reopen: the second Recover replays that frame (recovery.replay).
+  // The materialized totals join the fingerprint.
   std::string store_dir = TempPath("ftl_chaos_store");
   std::error_code ec;
   std::filesystem::remove_all(store_dir, ec);
@@ -144,10 +145,13 @@ PipelineOutcome RunPipeline(const sim::PopulationData& data) {
     auto s = store::Store::Create(store_dir, so);
     st = s->Recover(nullptr);
     if (!st.ok()) return Fail("store_recover", st);
-    store::IngestBatch flushed, live;
+    store::IngestBatch flushed, flushed2, live;
     for (int i = 0; i < 4; ++i) {
       flushed.rows.push_back({"chaos-" + std::to_string(i), 0,
                               traj::Timestamp(100 + 10 * i), 1.0 * i, -1.0 * i});
+      flushed2.rows.push_back({"chaos-" + std::to_string(i), 0,
+                               traj::Timestamp(300 + 10 * i), 1.5 * i,
+                               -1.5 * i});
       live.rows.push_back({"chaos-" + std::to_string(i), 0,
                            traj::Timestamp(500 + 10 * i), 2.0 * i, -2.0 * i});
     }
@@ -155,6 +159,16 @@ PipelineOutcome RunPipeline(const sim::PopulationData& data) {
     if (!st.ok()) return Fail("store_append", st);
     st = s->Flush();
     if (!st.ok()) return Fail("store_flush", st);
+    st = s->Append(flushed2);
+    if (!st.ok()) return Fail("store_append", st);
+    st = s->Flush();
+    if (!st.ok()) return Fail("store_flush", st);
+    auto cst = s->CompactOnce(/*force=*/true);
+    if (!cst.ok()) return Fail("store_compact", cst.status());
+    if (cst.value().inputs != 2) {
+      return Fail("store_compact",
+                  Status::Internal("expected a 2-segment merge"));
+    }
     st = s->Append(live);
     if (!st.ok()) return Fail("store_append", st);
   }

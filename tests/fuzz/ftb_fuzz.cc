@@ -1,0 +1,89 @@
+// libFuzzer harness for the FTB columnar reader: arbitrary bytes on
+// disk must be either a valid database or a clean error — no
+// out-of-bounds reads through the mmap, no unbounded allocation from
+// forged section lengths, no crash — and the mmap and heap load paths
+// must agree byte-for-byte on what they accept.
+//
+// Built as a real -fsanitize=fuzzer binary under Clang
+// (-DFTL_ENABLE_FUZZERS=ON); under other compilers the standalone
+// driver in fuzz_driver_main.cc replays the seed corpus plus
+// single-byte mutations, which is what the ctest smoke entry runs.
+
+#include <unistd.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "io/ftb.h"
+#include "traj/flat_database.h"
+
+namespace {
+
+/// One scratch file per process, overwritten on every input: ReadFtb
+/// only speaks paths, so the fuzz bytes take a trip through disk.
+const std::string& ScratchPath() {
+  static const std::string path =
+      (std::filesystem::temp_directory_path() /
+       ("ftl_ftb_fuzz." + std::to_string(static_cast<long long>(::getpid())) +
+        ".ftb"))
+          .string();
+  return path;
+}
+
+bool SameDatabase(const ftl::traj::FlatDatabase& a,
+                  const ftl::traj::FlatDatabase& b) {
+  if (a.size() != b.size() || a.TotalRecords() != b.TotalRecords()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].label() != b[i].label() || a[i].size() != b[i].size()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  {
+    std::FILE* f = std::fopen(ScratchPath().c_str(), "wb");
+    if (f == nullptr) return 0;
+    if (size > 0 && std::fwrite(data, 1, size, f) != size) {
+      std::fclose(f);
+      return 0;
+    }
+    std::fclose(f);
+  }
+
+  ftl::io::FtbReadOptions mmap_opts;
+  mmap_opts.prefer_mmap = true;
+  ftl::io::FtbReadOptions heap_opts;
+  heap_opts.prefer_mmap = false;
+
+  auto via_mmap = ftl::io::ReadFtb(ScratchPath(), mmap_opts);
+  auto via_heap = ftl::io::ReadFtb(ScratchPath(), heap_opts);
+
+  // The two load paths validate the same bytes: they must agree on
+  // accept/reject, and on the database they accept.
+  if (via_mmap.ok() != via_heap.ok()) __builtin_trap();
+  if (via_mmap.ok() && !SameDatabase(via_mmap.value(), via_heap.value())) {
+    __builtin_trap();
+  }
+
+  // Skipping the CRC pass relaxes corruption *detection*, never memory
+  // safety: structural validation still rejects anything whose offsets
+  // or lengths leave the file. A database accepted with checksums on
+  // must also load with them off.
+  ftl::io::FtbReadOptions no_crc;
+  no_crc.verify_checksums = false;
+  auto relaxed = ftl::io::ReadFtb(ScratchPath(), no_crc);
+  if (via_mmap.ok() && !relaxed.ok()) __builtin_trap();
+  if (via_mmap.ok() && !SameDatabase(via_mmap.value(), relaxed.value())) {
+    __builtin_trap();
+  }
+  return 0;
+}

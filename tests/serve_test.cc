@@ -8,8 +8,12 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <atomic>
 #include <csignal>
+#include <filesystem>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -19,6 +23,7 @@
 #include "io/report_json.h"
 #include "serve/http.h"
 #include "sim/population_sim.h"
+#include "store/store.h"
 #include "util/failpoint.h"
 
 namespace ftl {
@@ -519,6 +524,88 @@ TEST_F(ServeTest, SigtermTriggersGracefulDrain) {
   // Restore default disposition so a stray later SIGTERM isn't eaten.
   std::signal(SIGTERM, SIG_DFL);
   std::signal(SIGINT, SIG_DFL);
+}
+
+// Store mode with --query-threads > 1: the per-request parallel segment
+// walk must keep every response byte-identical to a direct engine query
+// over the materialized merged database.
+TEST_F(ServeTest, StoreQueryThreadsByteIdentical) {
+  std::string dir = (std::filesystem::temp_directory_path() /
+                     ("ftl_serve_qthreads." +
+                      std::to_string(static_cast<long long>(::getpid()))))
+                        .string();
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  store::StoreOptions sto;
+  sto.wal_sync = store::WalSync::kNever;
+  sto.flush_threshold_records = 60;
+  std::unique_ptr<store::Store> store = store::Store::Create(dir, sto);
+
+  ServeOptions so = EphemeralOptions();
+  so.num_threads = 2;
+  so.store_query_threads = 3;
+  so.start_ready = false;
+  FtlEngine engine(ServeEngineOptions());
+  FtlServer server(so, &engine, &data_->cdr_db, store.get());
+  ASSERT_TRUE(server.Start().ok());
+  int port = server.port();
+
+  ASSERT_TRUE(store->Recover().ok());
+  // Seed Q in per-trajectory halves so labels span segment boundaries.
+  for (int round = 0; round < 2; ++round) {
+    for (const traj::Trajectory& t : data_->transit_db) {
+      store::IngestBatch b;
+      size_t half = t.size() / 2;
+      for (size_t i = round == 0 ? 0 : half;
+           i < (round == 0 ? half : t.size()); ++i) {
+        const traj::Record& r = t.records()[i];
+        b.rows.push_back(store::IngestRow{t.label(), t.owner(), r.t,
+                                          r.location.x, r.location.y});
+      }
+      if (!b.rows.empty()) ASSERT_TRUE(store->Append(b).ok());
+    }
+  }
+  ASSERT_GE(store->num_segments(), 2u);
+  traj::TrajectoryDatabase merged = store->MaterializeAll("store");
+  ASSERT_TRUE(engine.Train(data_->cdr_db, merged).ok());
+  server.MarkReady();
+
+  for (size_t i = 0; i < 6 && i < data_->cdr_db.size(); ++i) {
+    const std::string label = data_->cdr_db[i].label();
+    auto direct = engine.Query(data_->cdr_db[i], merged,
+                               Matcher::kNaiveBayes);
+    ASSERT_TRUE(direct.ok()) << direct.status().ToString();
+    auto r = HttpRequestOnce("127.0.0.1", port, "POST", "/v1/query",
+                             "{\"query\":\"" + label + "\"}");
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    ASSERT_EQ(r.value().status, 200) << r.value().body;
+    EXPECT_EQ(r.value().body, io::QueryResultToJson(label, direct.value()))
+        << "query " << label;
+  }
+
+  server.Shutdown();
+  server.Wait();
+  store.reset();
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(ServeTest, StartRejectsZeroStoreQueryThreads) {
+  std::string dir = (std::filesystem::temp_directory_path() /
+                     ("ftl_serve_qthreads0." +
+                      std::to_string(static_cast<long long>(::getpid()))))
+                        .string();
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  std::unique_ptr<store::Store> store =
+      store::Store::Create(dir, store::StoreOptions{});
+  ServeOptions so = EphemeralOptions();
+  so.store_query_threads = 0;
+  so.start_ready = false;
+  FtlEngine engine(ServeEngineOptions());
+  FtlServer server(so, &engine, &data_->cdr_db, store.get());
+  EXPECT_EQ(server.Start().code(), StatusCode::kInvalidArgument);
+  store.reset();
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace

@@ -201,6 +201,151 @@ TEST_F(StoreChaosTest, RepeatedCrashReopenCyclesAccumulateState) {
 }
 
 // --------------------------------------------------------------------------
+// Compaction crash sweep (ISSUE 10): a fault at either compaction
+// failpoint must abort the round cleanly — store still usable, no temp
+// debris — and a crash + reopen must recover exactly the acked batches
+// with queries byte-identical to the uncompacted snapshot.
+
+TEST_F(StoreChaosTest, CompactionFaultSweepRecoversAndStaysByteIdentical) {
+  struct FaultCase {
+    const char* site;
+    failpoint::Action action;
+  };
+  const std::vector<FaultCase> cases = {
+      {"store.compact.write", failpoint::Action::kError},
+      {"store.compact.write", failpoint::Action::kAllocFail},
+      {"store.compact.swap", failpoint::Action::kError},
+      {"store.compact.swap", failpoint::Action::kAllocFail},
+  };
+  for (size_t ci = 0; ci < cases.size(); ++ci) {
+    const FaultCase& fc = cases[ci];
+    SCOPED_TRACE(std::string(fc.site) + "/" +
+                 (fc.action == failpoint::Action::kError ? "error"
+                                                        : "alloc"));
+    std::string dir = FreshDir("chaos_compact_" + std::to_string(ci));
+    store::StoreOptions so;
+    so.wal_sync = store::WalSync::kAlways;
+    so.flush_threshold_records = 6;
+    auto opened = store::Store::Open(dir, so);
+    ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+    std::unique_ptr<store::Store> s = std::move(opened).value();
+
+    std::vector<store::IngestBatch> acked;
+    for (int i = 0; i < 10; ++i) {
+      store::IngestBatch b =
+          MakeBatch("cmp-" + std::to_string(i % 4), i * 1000, 3);
+      ASSERT_TRUE(s->Append(b).ok());
+      acked.push_back(b);
+    }
+    ASSERT_GE(s->num_segments(), 2u);
+    const size_t segments_before = s->num_segments();
+
+    // Faulted round: clean non-OK, store NOT broken, segment set and
+    // database untouched, no compaction temp files left behind.
+    failpoint::Arm(fc.site, {fc.action, 0});
+    auto faulted = s->CompactOnce(/*force=*/true);
+    failpoint::DisarmAll();
+    EXPECT_FALSE(faulted.ok()) << fc.site;
+    EXPECT_FALSE(s->broken());
+    EXPECT_EQ(s->num_segments(), segments_before);
+    for (const auto& e : std::filesystem::directory_iterator(dir)) {
+      EXPECT_EQ(e.path().filename().string().find("compact-"),
+                std::string::npos)
+          << "temp debris: " << e.path().filename().string();
+    }
+    ExpectSameDatabase(s->MaterializeAll("db"), OracleDb(acked),
+                       "after faulted round");
+
+    // The store stays fully operational: the next round succeeds and
+    // appends still land.
+    auto retried = s->CompactOnce(/*force=*/true);
+    ASSERT_TRUE(retried.ok()) << retried.status().ToString();
+    EXPECT_GT(retried.value().inputs, 0u);
+    store::IngestBatch live = MakeBatch("cmp-live", 999000, 2);
+    ASSERT_TRUE(s->Append(live).ok());
+    acked.push_back(live);
+
+    // Crash, reopen: acked state exactly, no orphans surviving GC.
+    s.reset();
+    store::RecoveryInfo info;
+    auto reopened = store::Store::Open(dir, so, &info);
+    ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+    ExpectSameDatabase(reopened.value()->MaterializeAll("db"),
+                       OracleDb(acked), "post-crash");
+  }
+}
+
+TEST_F(StoreChaosTest, CompactedQueriesByteIdenticalToUncompactedSnapshot) {
+  sim::DatasetPair pair = sim::BuildDataset(sim::FindConfig("SD"), 14, 23);
+  std::string dir = FreshDir("chaos_compact_identity");
+  store::StoreOptions so;
+  so.wal_sync = store::WalSync::kNever;
+  so.flush_threshold_records = 60;
+  auto opened = store::Store::Open(dir, so);
+  ASSERT_TRUE(opened.ok());
+  std::unique_ptr<store::Store> s = std::move(opened).value();
+  for (int round = 0; round < 2; ++round) {
+    for (const traj::Trajectory& t : pair.q) {
+      store::IngestBatch b;
+      size_t half = t.size() / 2;
+      for (size_t i = round == 0 ? 0 : half;
+           i < (round == 0 ? half : t.size()); ++i) {
+        const traj::Record& r = t.records()[i];
+        b.rows.push_back(store::IngestRow{t.label(), t.owner(), r.t,
+                                          r.location.x, r.location.y});
+      }
+      if (!b.rows.empty()) ASSERT_TRUE(s->Append(b).ok());
+    }
+  }
+  ASSERT_GE(s->num_segments(), 2u);
+
+  core::EngineOptions eo;
+  eo.training.horizon_units = 20;
+  eo.training.acceptance_pairs_per_db = 100;
+  core::FtlEngine engine(eo);
+  ASSERT_TRUE(engine.Train(pair.p, s->MaterializeAll("merged")).ok());
+
+  // Uncompacted responses are the oracle bytes.
+  auto before = s->Snapshot();
+  std::vector<std::string> want;
+  for (size_t qi = 0; qi < pair.p.size(); ++qi) {
+    auto r = before->Query(engine, pair.p[qi], core::Matcher::kNaiveBayes,
+                           nullptr);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    want.push_back(io::QueryResultToJson(pair.p[qi].label(), r.value()));
+  }
+
+  // Compact to one segment (the snapshot pinned above keeps reading the
+  // merged-away files through its shared_ptrs), then crash + reopen so
+  // the post-recovery snapshot is rebuilt from the compacted manifest.
+  while (s->num_segments() > 1) {
+    auto cst = s->CompactOnce(/*force=*/true);
+    ASSERT_TRUE(cst.ok()) << cst.status().ToString();
+    ASSERT_GT(cst.value().inputs, 0u);
+  }
+  before.reset();
+  s.reset();
+  auto reopened = store::Store::Open(dir, so);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(reopened.value()->num_segments(), 1u);
+  auto after = reopened.value()->Snapshot();
+  for (size_t qi = 0; qi < pair.p.size(); ++qi) {
+    auto r = after->Query(engine, pair.p[qi], core::Matcher::kNaiveBayes,
+                          nullptr);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(io::QueryResultToJson(pair.p[qi].label(), r.value()), want[qi])
+        << "query " << pair.p[qi].label();
+    // And the parallel walk over the compacted snapshot agrees too.
+    auto par = after->Query(engine, pair.p[qi], core::Matcher::kNaiveBayes,
+                            nullptr, 4);
+    ASSERT_TRUE(par.ok()) << par.status().ToString();
+    EXPECT_EQ(io::QueryResultToJson(pair.p[qi].label(), par.value()),
+              want[qi])
+        << "query " << pair.p[qi].label();
+  }
+}
+
+// --------------------------------------------------------------------------
 // Post-recovery query byte-identity: the acceptance gate of the issue.
 
 TEST_F(StoreChaosTest, PostRecoveryQueriesByteIdenticalToMergedDatabase) {

@@ -8,10 +8,12 @@
 
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "ftl/ftl.h"
@@ -698,6 +700,295 @@ TEST_F(StoreQueryTest, QueryRequiresEvaluateNonOverlapping) {
                 .status()
                 .code(),
             StatusCode::kFailedPrecondition);
+}
+
+// --------------------------------------------------------------------------
+// Parallel snapshot queries (ISSUE 10): sharding the segment walk over
+// threads must not change a byte of any complete response.
+
+TEST_F(StoreQueryTest, ParallelQueryByteIdenticalToSerial) {
+  auto snap = store_->Snapshot();
+  for (size_t num_threads : {size_t{2}, size_t{4}}) {
+    for (core::Matcher matcher :
+         {core::Matcher::kNaiveBayes, core::Matcher::kAlphaFilter}) {
+      for (size_t qi = 0; qi < p_.size(); ++qi) {
+        auto want = engine_->Query(p_[qi], merged_, matcher);
+        auto got = snap->Query(*engine_, p_[qi], matcher, nullptr,
+                               num_threads);
+        ASSERT_EQ(want.ok(), got.ok()) << p_[qi].label();
+        if (!want.ok()) continue;
+        EXPECT_EQ(io::QueryResultToJson(p_[qi].label(), got.value()),
+                  io::QueryResultToJson(p_[qi].label(), want.value()))
+            << "query " << p_[qi].label() << " threads " << num_threads;
+        EXPECT_EQ(got.value().evaluated, want.value().evaluated);
+        EXPECT_EQ(got.value().selectiveness, want.value().selectiveness);
+      }
+    }
+  }
+}
+
+TEST_F(StoreQueryTest, ParallelBlockedQueryByteIdenticalToSerial) {
+  store::StoreOptions so = SmallStoreOptions(120);
+  so.blocking_mode = core::BlockingMode::kGuaranteed;
+  auto opened = store::Store::Open(FreshDir("store_query_par_blocked"), so);
+  ASSERT_TRUE(opened.ok());
+  for (int round = 0; round < 2; ++round) {
+    for (const traj::Trajectory& t : q_) {
+      store::IngestBatch b;
+      size_t half = t.size() / 2;
+      size_t begin = round == 0 ? 0 : half;
+      size_t end = round == 0 ? half : t.size();
+      for (size_t i = begin; i < end; ++i) {
+        const traj::Record& r = t.records()[i];
+        b.rows.push_back(store::IngestRow{t.label(), t.owner(), r.t,
+                                          r.location.x, r.location.y});
+      }
+      if (!b.rows.empty()) ASSERT_TRUE(opened.value()->Append(b).ok());
+    }
+  }
+  ASSERT_GE(opened.value()->num_segments(), 2u);
+  auto snap = opened.value()->Snapshot();
+  for (size_t qi = 0; qi < p_.size(); ++qi) {
+    auto want = snap->Query(*engine_, p_[qi], core::Matcher::kNaiveBayes,
+                            nullptr);
+    auto got = snap->Query(*engine_, p_[qi], core::Matcher::kNaiveBayes,
+                           nullptr, 4);
+    ASSERT_EQ(want.ok(), got.ok()) << p_[qi].label();
+    if (!want.ok()) continue;
+    EXPECT_EQ(io::QueryResultToJson(p_[qi].label(), got.value()),
+              io::QueryResultToJson(p_[qi].label(), want.value()))
+        << "query " << p_[qi].label();
+    EXPECT_EQ(got.value().evaluated, want.value().evaluated);
+  }
+}
+
+TEST_F(StoreQueryTest, ParallelQueryDeadlineTruncatesPrefixConsistently) {
+  auto snap = store_->Snapshot();
+  core::QueryOptions qopts;
+  qopts.deadline = Deadline::AfterMillis(0);  // already expired
+  qopts.check_every = 1;
+  for (size_t num_threads : {size_t{1}, size_t{4}}) {
+    auto got = snap->Query(*engine_, p_[0], core::Matcher::kNaiveBayes,
+                           &qopts, num_threads);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    EXPECT_TRUE(got.value().truncated) << "threads " << num_threads;
+    EXPECT_EQ(got.value().status.code(), StatusCode::kDeadlineExceeded)
+        << "threads " << num_threads;
+    // Whatever prefix was scored carries exactly the scores of the full
+    // run: every truncated candidate appears in the complete result
+    // with an identical score triple.
+    auto full = engine_->Query(p_[0], merged_, core::Matcher::kNaiveBayes);
+    ASSERT_TRUE(full.ok());
+    for (const auto& c : got.value().candidates) {
+      bool found = false;
+      for (const auto& f : full.value().candidates) {
+        if (f.label == c.label) {
+          found = true;
+          EXPECT_EQ(f.score, c.score) << c.label;
+          EXPECT_EQ(f.p1, c.p1) << c.label;
+          EXPECT_EQ(f.p2, c.p2) << c.label;
+        }
+      }
+      EXPECT_TRUE(found) << c.label << " not in the complete result";
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// Compaction (ISSUE 10 tentpole): merging manifest-adjacent segments
+// must never change a byte of the canonical database or any query.
+
+TEST(StoreTest, CompactionDueRespectsTrigger) {
+  store::StoreOptions so = SmallStoreOptions(4);
+  so.compact_trigger = 3;
+  auto s = store::Store::Open(FreshDir("store_compact_due"), so);
+  ASSERT_TRUE(s.ok());
+  EXPECT_FALSE(s.value()->CompactionDue());
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(s.value()->Append(MakeBatch("c", i * 1000, 5)).ok());
+    ASSERT_TRUE(s.value()->Flush().ok());
+  }
+  ASSERT_GE(s.value()->num_segments(), 3u);
+  EXPECT_TRUE(s.value()->CompactionDue());
+  auto cst = s.value()->CompactOnce();
+  ASSERT_TRUE(cst.ok()) << cst.status().ToString();
+  EXPECT_GE(cst.value().inputs, 2u);
+  EXPECT_LT(s.value()->num_segments(), 3u);
+  EXPECT_FALSE(s.value()->CompactionDue());
+
+  // Trigger 0 disables the policy entirely (CompactOnce(force) still
+  // works for explicit callers).
+  store::StoreOptions off = SmallStoreOptions(4);
+  auto s2 = store::Store::Open(FreshDir("store_compact_off"), off);
+  ASSERT_TRUE(s2.ok());
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(s2.value()->Append(MakeBatch("c", i * 1000, 5)).ok());
+  }
+  EXPECT_FALSE(s2.value()->CompactionDue());
+  auto noop = s2.value()->CompactOnce();
+  ASSERT_TRUE(noop.ok());
+  EXPECT_EQ(noop.value().inputs, 0u);  // not due, not forced
+}
+
+TEST(StoreTest, CompactOnceMergesWindowAndSurvivesReopen) {
+  std::string dir = FreshDir("store_compact_merge");
+  store::StoreOptions so = SmallStoreOptions(4);
+  so.compact_max_segments = 2;
+  auto s = store::Store::Open(dir, so);
+  ASSERT_TRUE(s.ok());
+  std::vector<store::IngestBatch> batches;
+  for (int i = 0; i < 6; ++i) {
+    batches.push_back(MakeBatch("m-" + std::to_string(i % 4), i * 1000, 5,
+                                i % 2 == 0 ? static_cast<traj::OwnerId>(i + 1)
+                                           : traj::kUnknownOwner));
+    ASSERT_TRUE(s.value()->Append(batches.back()).ok());
+  }
+  ASSERT_TRUE(s.value()->Append(MakeBatch("m-live", 99000, 2)).ok());
+  const size_t before = s.value()->num_segments();
+  ASSERT_GE(before, 3u);
+
+  // Oracle: the same rows through a never-flushing store.
+  auto oracle = store::Store::Open(FreshDir("store_compact_oracle"),
+                                   SmallStoreOptions());
+  ASSERT_TRUE(oracle.ok());
+  for (const auto& b : batches) ASSERT_TRUE(oracle.value()->Append(b).ok());
+  ASSERT_TRUE(oracle.value()->Append(MakeBatch("m-live", 99000, 2)).ok());
+  traj::TrajectoryDatabase want = oracle.value()->MaterializeAll("db");
+
+  auto cst = s.value()->CompactOnce(/*force=*/true);
+  ASSERT_TRUE(cst.ok()) << cst.status().ToString();
+  EXPECT_EQ(cst.value().inputs, 2u);  // compact_max_segments caps the window
+  EXPECT_GT(cst.value().input_records, 0u);
+  EXPECT_EQ(s.value()->num_segments(), before - 1);
+  ExpectSameDatabase(s.value()->MaterializeAll("db"), want);
+
+  // Drain the rest of the segments; each round stays byte-identical.
+  while (s.value()->num_segments() > 1) {
+    auto round = s.value()->CompactOnce(/*force=*/true);
+    ASSERT_TRUE(round.ok()) << round.status().ToString();
+    ASSERT_GT(round.value().inputs, 0u);
+  }
+  ExpectSameDatabase(s.value()->MaterializeAll("db"), want);
+
+  // No compaction debris: no temp files, no unreferenced segments.
+  size_t ftb_files = 0;
+  for (const auto& e : std::filesystem::directory_iterator(dir)) {
+    const std::string name = e.path().filename().string();
+    EXPECT_EQ(name.find("compact-"), std::string::npos) << name;
+    if (name.find(".ftb") != std::string::npos) ++ftb_files;
+  }
+  EXPECT_EQ(ftb_files, 1u);
+
+  // Reopen: the compacted manifest recovers to the same database, and
+  // the live memtable rows come back through WAL replay.
+  s.value().reset();
+  auto reopened = store::Store::Open(dir, so);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(reopened.value()->num_segments(), 1u);
+  ExpectSameDatabase(reopened.value()->MaterializeAll("db"), want);
+}
+
+TEST(StoreTest, CompactOnceNoOpWithoutEnoughSegments) {
+  auto s = store::Store::Open(FreshDir("store_compact_noop"),
+                              SmallStoreOptions(4));
+  ASSERT_TRUE(s.ok());
+  ASSERT_TRUE(s.value()->Append(MakeBatch("one", 0, 5)).ok());
+  ASSERT_TRUE(s.value()->Flush().ok());
+  ASSERT_EQ(s.value()->num_segments(), 1u);
+  auto cst = s.value()->CompactOnce(/*force=*/true);
+  ASSERT_TRUE(cst.ok()) << cst.status().ToString();
+  EXPECT_EQ(cst.value().inputs, 0u);  // nothing to merge, clean no-op
+  EXPECT_EQ(s.value()->num_segments(), 1u);
+}
+
+TEST(StoreTest, OrphanCompactTmpCleanedOnRecovery) {
+  std::string dir = FreshDir("store_compact_orphan");
+  {
+    auto s = store::Store::Open(dir, SmallStoreOptions(4));
+    ASSERT_TRUE(s.ok());
+    ASSERT_TRUE(s.value()->Append(MakeBatch("a", 0, 5)).ok());
+    ASSERT_TRUE(s.value()->Flush().ok());
+  }
+  // The debris an interrupted compaction leaves: a temp output never
+  // renamed, or a renamed segment whose manifest swap never landed.
+  WriteAll(dir + "/" + store::CompactTempFileName(31337), "junk");
+  WriteAll(dir + "/" + store::SegmentFileName(31337), "junk");
+  store::RecoveryInfo info;
+  auto s = store::Store::Open(dir, SmallStoreOptions(4), &info);
+  ASSERT_TRUE(s.ok()) << s.status().ToString();
+  EXPECT_EQ(info.orphans_removed, 2u);
+  EXPECT_FALSE(std::filesystem::exists(
+      dir + "/" + store::CompactTempFileName(31337)));
+  EXPECT_FALSE(
+      std::filesystem::exists(dir + "/" + store::SegmentFileName(31337)));
+}
+
+TEST(StoreTest, CompactorBackgroundThreadDrainsSegments) {
+  store::StoreOptions so = SmallStoreOptions(4);
+  so.compact_trigger = 2;
+  auto s = store::Store::Open(FreshDir("store_compactor_bg"), so);
+  ASSERT_TRUE(s.ok());
+  std::vector<store::IngestBatch> batches;
+  for (int i = 0; i < 4; ++i) {
+    batches.push_back(MakeBatch("bg-" + std::to_string(i % 3), i * 1000, 5));
+    ASSERT_TRUE(s.value()->Append(batches.back()).ok());
+  }
+  ASSERT_GE(s.value()->num_segments(), 2u);
+
+  store::Compactor compactor(s.value().get(), {/*poll_interval_ms=*/10});
+  compactor.Start();
+  compactor.Notify();
+  // The thread drains rounds until the segment count drops below the
+  // trigger; give it (generous) wall time, then verify.
+  for (int spins = 0; spins < 500 && s.value()->CompactionDue(); ++spins) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  compactor.Stop();
+  EXPECT_FALSE(s.value()->CompactionDue());
+  EXPECT_LT(s.value()->num_segments(), 2u);
+  EXPECT_GE(compactor.rounds(), 1u);
+  EXPECT_EQ(compactor.failures(), 0u);
+
+  auto oracle = store::Store::Open(FreshDir("store_compactor_bg_oracle"),
+                                   SmallStoreOptions());
+  ASSERT_TRUE(oracle.ok());
+  for (const auto& b : batches) ASSERT_TRUE(oracle.value()->Append(b).ok());
+  ExpectSameDatabase(s.value()->MaterializeAll("db"),
+                     oracle.value()->MaterializeAll("db"));
+}
+
+TEST_F(StoreQueryTest, CompactedSnapshotQueryByteIdenticalToUncompacted) {
+  // The acceptance gate: fully compact the fixture store (which holds
+  // several segments plus a live memtable) and re-run every query —
+  // each response must serialize byte-identically to both the
+  // uncompacted snapshot and the merged-database oracle.
+  auto before = store_->Snapshot();
+  while (store_->num_segments() > 1) {
+    auto cst = store_->CompactOnce(/*force=*/true);
+    ASSERT_TRUE(cst.ok()) << cst.status().ToString();
+    ASSERT_GT(cst.value().inputs, 0u);
+  }
+  auto after = store_->Snapshot();
+  ASSERT_NE(before.get(), after.get());
+  ExpectSameDatabase(store_->MaterializeAll("merged"), merged_);
+  for (core::Matcher matcher :
+       {core::Matcher::kNaiveBayes, core::Matcher::kAlphaFilter}) {
+    for (size_t qi = 0; qi < p_.size(); ++qi) {
+      auto want = engine_->Query(p_[qi], merged_, matcher);
+      auto uncompacted = before->Query(*engine_, p_[qi], matcher, nullptr);
+      auto got = after->Query(*engine_, p_[qi], matcher, nullptr);
+      ASSERT_EQ(want.ok(), got.ok()) << p_[qi].label();
+      if (!want.ok()) continue;
+      ASSERT_TRUE(uncompacted.ok());
+      const std::string want_json =
+          io::QueryResultToJson(p_[qi].label(), want.value());
+      EXPECT_EQ(io::QueryResultToJson(p_[qi].label(), got.value()), want_json)
+          << "query " << p_[qi].label();
+      EXPECT_EQ(io::QueryResultToJson(p_[qi].label(), uncompacted.value()),
+                want_json)
+          << "query " << p_[qi].label();
+    }
+  }
 }
 
 }  // namespace

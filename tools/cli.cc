@@ -128,6 +128,12 @@ std::string UsageText() {
       "                              memtable exceeds F x flush-threshold\n"
       "                              with flushes failing (default 4)\n"
       "    --flush                   force a final flush after ingesting\n"
+      "    --compact-trigger N       compact once the store holds >= N\n"
+      "                              segments (default 0 = off); ingest\n"
+      "                              compacts inline before exiting, serve\n"
+      "                              runs a background compactor thread\n"
+      "    --compact-max-segments M  segments merged per compaction round\n"
+      "                              (default 8, minimum 2)\n"
       "  serve     --p P.csv --ftb Q.ftb [--ftb MORE.ftb ...]\n"
       "                                run the long-lived query daemon:\n"
       "                                HTTP/1.1 JSON API (POST /v1/query,\n"
@@ -145,7 +151,13 @@ std::string UsageText() {
       "                              and /readyz gates the warm-up; the\n"
       "                              ingest flags above apply\n"
       "    --threads N               worker threads (default: one per\n"
-      "                              hardware thread)\n"
+      "                              hardware thread; with --query-threads\n"
+      "                              set, defaults to hardware threads /\n"
+      "                              query threads to keep the product\n"
+      "                              within the machine)\n"
+      "    --query-threads N         store mode: shard each query's\n"
+      "                              segment walk over N threads; results\n"
+      "                              stay byte-identical (default 1)\n"
       "    --max-queue N             bounded request queue; beyond it new\n"
       "                              requests get 503 + Retry-After\n"
       "                              (default 128)\n"
@@ -324,6 +336,18 @@ Result<store::StoreOptions> StoreOptionsFromArgs(const ArgMap& args) {
     return Status::InvalidArgument("--backpressure-factor must be >= 1");
   }
   so.backpressure_factor = bp.value();
+  auto trigger = args.GetInt("compact-trigger", 0);
+  if (!trigger.ok()) return trigger.status();
+  if (trigger.value() < 0) {
+    return Status::InvalidArgument("--compact-trigger must be >= 0");
+  }
+  so.compact_trigger = static_cast<size_t>(trigger.value());
+  auto maxseg = args.GetInt("compact-max-segments", 8);
+  if (!maxseg.ok()) return maxseg.status();
+  if (maxseg.value() < 2) {
+    return Status::InvalidArgument("--compact-max-segments must be >= 2");
+  }
+  so.compact_max_segments = static_cast<size_t>(maxseg.value());
   FTL_RETURN_NOT_OK(BlockingFromArgs(args, &so.blocking_mode, &so.blocking));
   return so;
 }
@@ -381,6 +405,19 @@ Status CmdIngest(const ArgMap& args, std::ostream& out) {
   }
   if (args.Has("flush")) {
     FTL_RETURN_NOT_OK(store.Flush());
+  }
+  // With a trigger configured, pack the segments before exiting — the
+  // one-shot CLI has no background thread, so compaction runs inline.
+  size_t compaction_rounds = 0;
+  while (store.CompactionDue()) {
+    auto cr = store.CompactOnce();
+    if (!cr.ok()) return cr.status();
+    if (cr.value().inputs == 0) break;
+    ++compaction_rounds;
+    out << "compacted " << cr.value().inputs << " segment(s) ("
+        << cr.value().input_records << " record(s)) into 1 in "
+        << cr.value().seconds << "s: generation " << cr.value().generation
+        << "\n";
   }
   out << "ingested " << batches << " trajectory(ies) (" << records
       << " record(s)) into " << dir << ": generation "
@@ -746,6 +783,23 @@ Status CmdServe(const ArgMap& args, std::ostream& out) {
     return Status::InvalidArgument("--request-deadline-ms must be >= 0");
   }
   so.request_deadline_ms = deadline_ms.value();
+  auto qthreads = args.GetInt("query-threads", 1);
+  if (!qthreads.ok()) return qthreads.status();
+  if (qthreads.value() < 1) {
+    return Status::InvalidArgument("--query-threads must be at least 1");
+  }
+  if (qthreads.value() > 1 && store_dir.empty()) {
+    return Status::InvalidArgument("--query-threads requires --store");
+  }
+  so.store_query_threads = static_cast<size_t>(qthreads.value());
+  if (!args.Has("threads") && so.store_query_threads > 1) {
+    // Keep workers x query-threads within the machine when --threads is
+    // left to default.
+    size_t hw = std::thread::hardware_concurrency();
+    if (hw == 0) hw = 1;
+    size_t sized = hw / so.store_query_threads;
+    so.num_threads = sized > 0 ? sized : 1;
+  }
   std::string matcher_name = args.Get("matcher", "nb");
   if (matcher_name == "nb") {
     so.default_matcher = core::Matcher::kNaiveBayes;
@@ -779,6 +833,9 @@ Status CmdServe(const ArgMap& args, std::ostream& out) {
         store::Store::Create(store_dir, sto.value());
     so.start_ready = false;
     serve::FtlServer server(so, &engine, &p.value(), store.get());
+    // Background compaction (--compact-trigger): started only after
+    // recovery succeeds; Stop() joins any in-flight round on exit.
+    store::Compactor compactor(store.get());
     FTL_RETURN_NOT_OK(server.Start());
     out << "listening on " << so.host << ":" << server.port()
         << " (store=" << store_dir << ", warming up: /readyz is 503)\n";
@@ -790,11 +847,14 @@ Status CmdServe(const ArgMap& args, std::ostream& out) {
       traj::TrajectoryDatabase q0 = store->MaterializeAll("store");
       st = engine.Train(p.value(), q0);
       if (st.ok()) {
+        if (sto.value().compact_trigger > 0) compactor.Start();
         server.MarkReady();
         out << "ready: serving |P|=" << p.value().size() << " |Q|="
             << q0.size() << " (generation " << store->generation() << ", "
             << store->num_segments() << " segment(s), wal-sync="
-            << store::WalSyncName(sto.value().wal_sync) << ")\n";
+            << store::WalSyncName(sto.value().wal_sync)
+            << ", query-threads=" << so.store_query_threads
+            << ", compact-trigger=" << sto.value().compact_trigger << ")\n";
         out.flush();
       }
     }
@@ -806,7 +866,9 @@ Status CmdServe(const ArgMap& args, std::ostream& out) {
       return st;
     }
     server.Wait();
-    out << "drained " << server.requests_handled() << " request(s); bye\n";
+    compactor.Stop();
+    out << "drained " << server.requests_handled() << " request(s) ("
+        << compactor.rounds() << " compaction round(s)); bye\n";
     return Status::OK();
   }
 
